@@ -1,0 +1,217 @@
+//! Group-sharing dynamics: Fig 1 (URLs discovered per day) and Fig 2
+//! (tweets per group URL).
+
+use crate::stats::Ecdf;
+use chatlens_core::Dataset;
+use chatlens_platforms::id::PlatformKind;
+use chatlens_platforms::invite::parse_invite_url;
+use std::collections::{HashMap, HashSet};
+
+/// Fig 1 for one platform: per study-day URL counts.
+#[derive(Debug, Clone)]
+pub struct DailyDiscovery {
+    /// Panel (a): every URL occurrence collected that day (duplicates
+    /// included — each tweet's each invite URL counts).
+    pub all: Vec<u64>,
+    /// Panel (b): distinct URLs seen that day.
+    pub unique: Vec<u64>,
+    /// Panel (c): URLs never seen on any earlier day.
+    pub new: Vec<u64>,
+}
+
+impl DailyDiscovery {
+    /// Median across days of one panel.
+    fn median(series: &[u64]) -> f64 {
+        Ecdf::from_ints(series.iter().copied())
+            .median()
+            .unwrap_or(0.0)
+    }
+
+    /// Median of panel (a).
+    pub fn median_all(&self) -> f64 {
+        Self::median(&self.all)
+    }
+
+    /// Median of panel (b).
+    pub fn median_unique(&self) -> f64 {
+        Self::median(&self.unique)
+    }
+
+    /// Median of panel (c).
+    pub fn median_new(&self) -> f64 {
+        Self::median(&self.new)
+    }
+}
+
+/// Compute Fig 1's three panels for `kind`. Days are indexed by the
+/// *collection* day (`seen_at`), so the day-0 spike from the Search API's
+/// 7-day backlog shows up exactly as in the paper.
+pub fn daily_discovery(ds: &Dataset, kind: PlatformKind) -> DailyDiscovery {
+    let days = ds.window.num_days() as usize;
+    let mut all = vec![0u64; days];
+    let mut unique_sets: Vec<HashSet<String>> = vec![HashSet::new(); days];
+    let mut ever_seen: HashSet<String> = HashSet::new();
+    let mut new = vec![0u64; days];
+    for ct in &ds.tweets {
+        let Some(day) = ds.window.day_index(ct.seen_at) else {
+            continue;
+        };
+        let day = day as usize;
+        for url in &ct.tweet.urls {
+            let Some(invite) = parse_invite_url(url) else {
+                continue;
+            };
+            if invite.platform() != kind {
+                continue;
+            }
+            let key = invite.dedup_key();
+            all[day] += 1;
+            unique_sets[day].insert(key);
+        }
+    }
+    // "New" needs day order, not tweet order.
+    for (day, set) in unique_sets.iter().enumerate() {
+        for key in set {
+            if ever_seen.insert(key.clone()) {
+                new[day] += 1;
+            }
+        }
+    }
+    DailyDiscovery {
+        all,
+        unique: unique_sets.iter().map(|s| s.len() as u64).collect(),
+        new,
+    }
+}
+
+/// Fig 2: the distribution of tweets per group URL for one platform.
+pub fn tweets_per_url(ds: &Dataset, kind: PlatformKind) -> Ecdf {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for ct in &ds.tweets {
+        // Count each URL once per tweet even if repeated in the text.
+        let mut seen_in_tweet: HashSet<String> = HashSet::new();
+        for url in &ct.tweet.urls {
+            if let Some(invite) = parse_invite_url(url) {
+                if invite.platform() == kind {
+                    seen_in_tweet.insert(invite.dedup_key());
+                }
+            }
+        }
+        for key in seen_in_tweet {
+            *counts.entry(key).or_insert(0) += 1;
+        }
+    }
+    Ecdf::from_ints(counts.into_values())
+}
+
+/// Fraction of `kind`'s URLs shared exactly once (the headline of Fig 2).
+pub fn share_once_fraction(ds: &Dataset, kind: PlatformKind) -> f64 {
+    let e = tweets_per_url(ds, kind);
+    e.fraction_at_most(1.0)
+}
+
+/// Tweets carrying invites of more than one platform — the reason
+/// Table 2's per-platform rows sum to more than its printed total.
+pub fn cross_platform_tweets(ds: &Dataset) -> u64 {
+    ds.tweets
+        .iter()
+        .filter(|ct| {
+            let mut seen = [false; 3];
+            for url in &ct.tweet.urls {
+                if let Some(inv) = parse_invite_url(url) {
+                    seen[inv.platform().index()] = true;
+                }
+            }
+            seen.iter().filter(|&&b| b).count() > 1
+        })
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatlens_core::run_study;
+    use chatlens_workload::ScenarioConfig;
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| run_study(ScenarioConfig::tiny()))
+    }
+
+    #[test]
+    fn day_zero_backlog_spike() {
+        for kind in PlatformKind::ALL {
+            let d = daily_discovery(dataset(), kind);
+            assert_eq!(d.all.len(), 38);
+            let later_max = d.new[3..].iter().copied().max().unwrap_or(0);
+            assert!(
+                d.new[0] > later_max,
+                "{kind}: day-0 new {} should beat later days' {later_max}",
+                d.new[0]
+            );
+        }
+    }
+
+    #[test]
+    fn panels_are_consistent() {
+        for kind in PlatformKind::ALL {
+            let d = daily_discovery(dataset(), kind);
+            for day in 0..38 {
+                assert!(d.unique[day] <= d.all[day], "{kind} day {day}");
+                assert!(d.new[day] <= d.unique[day], "{kind} day {day}");
+            }
+            // Sum of "new" equals total distinct discovered via tweets.
+            let total_new: u64 = d.new.iter().sum();
+            let urls = dataset().summary(kind).group_urls;
+            assert!(
+                total_new <= urls,
+                "{kind}: new {total_new} > discovered {urls}"
+            );
+            assert!(
+                total_new * 10 >= urls * 9,
+                "{kind}: new {total_new} far below discovered {urls}"
+            );
+        }
+    }
+
+    #[test]
+    fn telegram_urls_shared_most() {
+        // Fig 1a/2: Telegram URLs are shared in the most tweets per URL.
+        let ds = dataset();
+        let tg = tweets_per_url(ds, PlatformKind::Telegram).mean().unwrap();
+        let wa = tweets_per_url(ds, PlatformKind::WhatsApp).mean().unwrap();
+        let dc = tweets_per_url(ds, PlatformKind::Discord).mean().unwrap();
+        assert!(tg > wa, "TG {tg:.1} vs WA {wa:.1}");
+        assert!(tg > dc, "TG {tg:.1} vs DC {dc:.1}");
+    }
+
+    #[test]
+    fn cross_platform_tweets_exist_but_rare() {
+        let ds = dataset();
+        let cross = cross_platform_tweets(ds);
+        assert!(cross > 0, "some tweets advertise two platforms");
+        let rate = cross as f64 / ds.tweets.len() as f64;
+        assert!(rate < 0.02, "cross-platform rate {rate}");
+        // These tweets are exactly why per-platform rows overcount the
+        // distinct total, as in the paper's Table 2.
+        let row_sum: u64 = PlatformKind::ALL
+            .iter()
+            .map(|&k| ds.summary(k).tweets)
+            .sum();
+        assert!(row_sum > ds.tweets.len() as u64);
+        assert_eq!(row_sum - ds.tweets.len() as u64, cross);
+    }
+
+    #[test]
+    fn share_once_fractions_match_fig2() {
+        let ds = dataset();
+        let wa = share_once_fraction(ds, PlatformKind::WhatsApp);
+        let tg = share_once_fraction(ds, PlatformKind::Telegram);
+        let dc = share_once_fraction(ds, PlatformKind::Discord);
+        assert!((wa - 0.50).abs() < 0.08, "WA {wa}");
+        assert!((tg - 0.50).abs() < 0.08, "TG {tg}");
+        assert!((dc - 0.62).abs() < 0.08, "DC {dc}");
+        assert!(dc > wa && dc > tg, "Discord has the most share-once URLs");
+    }
+}

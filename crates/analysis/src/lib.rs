@@ -1,0 +1,38 @@
+//! # chatlens-analysis — the paper's analyses, one module per section
+//!
+//! Everything here consumes the [`Dataset`] produced by the collection
+//! campaign (never the simulator's ground truth — the analyses must work
+//! from what the instrument saw, like the paper's did):
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`discovery`] | Fig 1 (URLs/day: all, unique, new), Fig 2 (tweets per URL) |
+//! | [`content`] | Fig 3 (hashtags/mentions/retweets), Fig 4 (languages) |
+//! | [`lda`] + [`topics`] | Table 3 (LDA topics over English tweets) |
+//! | [`lifecycle`] | Fig 5 (staleness), Fig 6 (lifetime & revocation) |
+//! | [`membership`] | Fig 7 (sizes, online share, growth), §5 creators |
+//! | [`messages`] | Fig 8 (message types), Fig 9 (volumes) |
+//! | [`pii`] | Table 4 (exposure), Table 5 (Discord linked accounts) |
+//!
+//! Supporting machinery: [`text`] (tokenization and stopword removal),
+//! [`lda`] (collapsed-Gibbs Latent Dirichlet Allocation, from scratch),
+//! and [`stats`] (ECDFs, quantiles, concentration shares).
+//!
+//! [`Dataset`]: chatlens_core::Dataset
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod content;
+pub mod discovery;
+pub mod lda;
+pub mod lifecycle;
+pub mod membership;
+pub mod messages;
+pub mod pii;
+pub mod stats;
+pub mod text;
+pub mod topics;
+
+pub use lda::{LdaConfig, LdaModel};
+pub use stats::Ecdf;

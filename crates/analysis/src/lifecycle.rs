@@ -1,0 +1,222 @@
+//! Group lifecycle: Fig 5 (staleness — group age when shared on Twitter)
+//! and Fig 6 (URL lifetime and revocation).
+
+use crate::stats::Ecdf;
+use chatlens_core::monitor::ObservedStatus;
+use chatlens_core::Dataset;
+use chatlens_platforms::id::PlatformKind;
+
+/// Fig 5: group ages (in days) at the moment their URL was first tweeted.
+///
+/// Availability follows the paper (§5): WhatsApp and Telegram creation
+/// dates are only known for *joined* groups; Discord's come from the
+/// invite API for every monitored group.
+pub fn staleness_days(ds: &Dataset, kind: PlatformKind) -> Ecdf {
+    let mut ages: Vec<f64> = Vec::new();
+    match kind {
+        PlatformKind::WhatsApp | PlatformKind::Telegram => {
+            for jg in ds.joined_of(kind) {
+                let Some(created_day) = jg.created_day else {
+                    continue;
+                };
+                let Some(rec) = ds.groups.iter().find(|g| g.invite.dedup_key() == jg.key) else {
+                    continue;
+                };
+                let share_day = rec.first_tweet_at.date().day_number();
+                ages.push((share_day - created_day).max(0) as f64);
+            }
+        }
+        PlatformKind::Discord => {
+            for rec in ds.groups.iter().filter(|g| g.platform == kind) {
+                let Some(tl) = ds.timeline_of(rec) else {
+                    continue;
+                };
+                let Some(created_day) = tl.dc_created_day else {
+                    continue;
+                };
+                let share_day = rec.first_tweet_at.date().day_number();
+                ages.push((share_day - created_day).max(0) as f64);
+            }
+        }
+    }
+    Ecdf::new(ages)
+}
+
+/// Fig 6 roll-up for one platform.
+#[derive(Debug, Clone)]
+pub struct RevocationStats {
+    /// Groups with at least one observation.
+    pub observed: u64,
+    /// Share of groups whose URL was seen revoked at some point.
+    pub revoked_fraction: f64,
+    /// Share whose *first* observation was already a revocation (the
+    /// "revoked before our first observation" bucket).
+    pub dead_on_arrival_fraction: f64,
+    /// Fig 6a: accessible lifetime (days from first observation to the
+    /// observed revocation) over revoked URLs.
+    pub lifetime_days: Ecdf,
+    /// Fig 6b: share of the platform's groups revoked on each study day.
+    pub revoked_per_day: Vec<f64>,
+}
+
+/// Compute Fig 6 for one platform.
+pub fn revocation_stats(ds: &Dataset, kind: PlatformKind) -> RevocationStats {
+    let days = ds.window.num_days() as usize;
+    let mut observed = 0u64;
+    let mut revoked = 0u64;
+    let mut doa = 0u64;
+    let mut lifetimes: Vec<f64> = Vec::new();
+    let mut per_day = vec![0u64; days];
+    for rec in ds.groups.iter().filter(|g| g.platform == kind) {
+        let Some(tl) = ds.timeline_of(rec) else {
+            continue;
+        };
+        let Some(first) = tl.first() else {
+            continue;
+        };
+        observed += 1;
+        if tl.dead_on_arrival() {
+            doa += 1;
+        }
+        if let Some(rd) = tl.revoked_day() {
+            revoked += 1;
+            per_day[rd as usize] += 1;
+            lifetimes.push(f64::from(rd - first.day));
+        }
+    }
+    let denom = observed.max(1) as f64;
+    RevocationStats {
+        observed,
+        revoked_fraction: revoked as f64 / denom,
+        dead_on_arrival_fraction: doa as f64 / denom,
+        lifetime_days: Ecdf::new(lifetimes),
+        revoked_per_day: per_day.into_iter().map(|c| c as f64 / denom).collect(),
+    }
+}
+
+/// Sanity view used by tests and EXPERIMENTS.md: sizes observed alive at
+/// least once.
+pub fn ever_alive_fraction(ds: &Dataset, kind: PlatformKind) -> f64 {
+    let mut observed = 0u64;
+    let mut alive = 0u64;
+    for rec in ds.groups.iter().filter(|g| g.platform == kind) {
+        if let Some(tl) = ds.timeline_of(rec) {
+            if tl.first().is_some() {
+                observed += 1;
+                if tl
+                    .observations
+                    .iter()
+                    .any(|o| matches!(o.status, ObservedStatus::Alive { .. }))
+                {
+                    alive += 1;
+                }
+            }
+        }
+    }
+    alive as f64 / observed.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatlens_core::run_study;
+    use chatlens_workload::ScenarioConfig;
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| run_study(ScenarioConfig::tiny()))
+    }
+
+    #[test]
+    fn fig5_whatsapp_is_fresh() {
+        let ds = dataset();
+        let wa = staleness_days(ds, PlatformKind::WhatsApp);
+        assert!(!wa.is_empty());
+        let same_day = wa.fraction_at_most(0.0);
+        assert!(same_day > 0.55, "WA same-day {same_day}");
+        let dc = staleness_days(ds, PlatformKind::Discord);
+        let dc_same_day = dc.fraction_at_most(0.0);
+        assert!(
+            dc_same_day < same_day,
+            "Discord groups are older when shared: {dc_same_day} vs {same_day}"
+        );
+    }
+
+    #[test]
+    fn fig5_old_groups_exist() {
+        let ds = dataset();
+        let dc = staleness_days(ds, PlatformKind::Discord);
+        let over_year = dc.fraction_above(365.0);
+        assert!(
+            (0.1..=0.4).contains(&over_year),
+            "Discord >1y share {over_year}"
+        );
+    }
+
+    #[test]
+    fn fig6_revocation_ordering() {
+        let ds = dataset();
+        let wa = revocation_stats(ds, PlatformKind::WhatsApp);
+        let tg = revocation_stats(ds, PlatformKind::Telegram);
+        let dc = revocation_stats(ds, PlatformKind::Discord);
+        // Paper: 27.3% / 20.4% / 68.4%.
+        assert!(
+            dc.revoked_fraction > 0.55,
+            "DC revoked {}",
+            dc.revoked_fraction
+        );
+        assert!(
+            dc.revoked_fraction > wa.revoked_fraction,
+            "DC {} > WA {}",
+            dc.revoked_fraction,
+            wa.revoked_fraction
+        );
+        assert!(
+            wa.revoked_fraction > tg.revoked_fraction,
+            "WA {} > TG {}",
+            wa.revoked_fraction,
+            tg.revoked_fraction
+        );
+        // Paper: 6.4% / 16.3% / 67.4% dead before first observation.
+        assert!(
+            dc.dead_on_arrival_fraction > 0.5,
+            "DC dead-on-arrival {}",
+            dc.dead_on_arrival_fraction
+        );
+        assert!(
+            tg.dead_on_arrival_fraction > wa.dead_on_arrival_fraction,
+            "TG {} > WA {}",
+            tg.dead_on_arrival_fraction,
+            wa.dead_on_arrival_fraction
+        );
+    }
+
+    #[test]
+    fn fig6_internal_consistency() {
+        let ds = dataset();
+        for kind in PlatformKind::ALL {
+            let s = revocation_stats(ds, kind);
+            assert!(s.observed > 0);
+            assert!(s.dead_on_arrival_fraction <= s.revoked_fraction + 1e-9);
+            let per_day_total: f64 = s.revoked_per_day.iter().sum();
+            assert!(
+                (per_day_total - s.revoked_fraction).abs() < 1e-9,
+                "{kind}: per-day revocations must sum to the total"
+            );
+            // Lifetimes are within the window.
+            if let Some(max) = s.lifetime_days.max() {
+                assert!(max <= 37.0);
+            }
+        }
+    }
+
+    #[test]
+    fn most_whatsapp_groups_observed_alive() {
+        let ds = dataset();
+        let f = ever_alive_fraction(ds, PlatformKind::WhatsApp);
+        assert!(f > 0.85, "WA ever-alive {f}");
+        let f_dc = ever_alive_fraction(ds, PlatformKind::Discord);
+        assert!(f_dc < 0.5, "DC ever-alive {f_dc}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Group composition: Fig 7 (member counts, online share, growth) and
+//! §5's "Group Creators" analysis.
+
+use crate::stats::Ecdf;
+use chatlens_core::monitor::ObservedStatus;
+use chatlens_core::Dataset;
+use chatlens_platforms::id::PlatformKind;
+use std::collections::HashMap;
+
+/// Fig 7a: member counts at each group's first alive observation.
+pub fn member_counts(ds: &Dataset, kind: PlatformKind) -> Ecdf {
+    let mut sizes: Vec<f64> = Vec::new();
+    for rec in ds.groups.iter().filter(|g| g.platform == kind) {
+        if let Some(tl) = ds.timeline_of(rec) {
+            if let Some((first, _)) = tl.size_span() {
+                sizes.push(f64::from(first));
+            }
+        }
+    }
+    Ecdf::new(sizes)
+}
+
+/// Fig 7b: online members as a fraction of total, at the first alive
+/// observation (only meaningful for Telegram and Discord).
+pub fn online_fractions(ds: &Dataset, kind: PlatformKind) -> Ecdf {
+    let mut fracs: Vec<f64> = Vec::new();
+    for rec in ds.groups.iter().filter(|g| g.platform == kind) {
+        let Some(tl) = ds.timeline_of(rec) else {
+            continue;
+        };
+        for o in &tl.observations {
+            if let ObservedStatus::Alive { size, online } = o.status {
+                if size > 0 {
+                    fracs.push(f64::from(online) / f64::from(size));
+                }
+                break;
+            }
+        }
+    }
+    Ecdf::new(fracs)
+}
+
+/// Fig 7c roll-up: growth between first and last observation.
+#[derive(Debug, Clone)]
+pub struct GrowthStats {
+    /// Signed member-count deltas (last − first observation).
+    pub deltas: Ecdf,
+    /// Share of groups that grew.
+    pub grew: f64,
+    /// Share that shrank.
+    pub shrank: f64,
+    /// Share that ended exactly where they started.
+    pub flat: f64,
+}
+
+/// Compute Fig 7c for one platform. Growth is only measurable for groups
+/// with at least two alive observations (a single snapshot has no "first
+/// and last day" to difference).
+pub fn growth(ds: &Dataset, kind: PlatformKind) -> GrowthStats {
+    let mut deltas: Vec<f64> = Vec::new();
+    let (mut grew, mut shrank, mut flat) = (0u64, 0u64, 0u64);
+    for rec in ds.groups.iter().filter(|g| g.platform == kind) {
+        let Some(tl) = ds.timeline_of(rec) else {
+            continue;
+        };
+        if tl.alive_days() < 2 {
+            continue;
+        }
+        let Some((first, last)) = tl.size_span() else {
+            continue;
+        };
+        let delta = f64::from(last) - f64::from(first);
+        deltas.push(delta);
+        if last > first {
+            grew += 1;
+        } else if last < first {
+            shrank += 1;
+        } else {
+            flat += 1;
+        }
+    }
+    let n = (grew + shrank + flat).max(1) as f64;
+    GrowthStats {
+        deltas: Ecdf::new(deltas),
+        grew: grew as f64 / n,
+        shrank: shrank as f64 / n,
+        flat: flat as f64 / n,
+    }
+}
+
+/// §5 "Group Creators" roll-up.
+#[derive(Debug, Clone)]
+pub struct CreatorStats {
+    /// Distinct creators identified.
+    pub creators: u64,
+    /// Groups attributable to a creator.
+    pub groups: u64,
+    /// Share of creators with exactly one group.
+    pub single_group_share: f64,
+    /// The largest number of groups by one creator.
+    pub max_groups: u64,
+}
+
+/// Creator statistics for one platform. WhatsApp creators are identified
+/// by the landing page's (hashed) phone; Discord creators by the invite
+/// API's creator id; Telegram creators are only known for joined groups
+/// (each had a distinct creator in the paper — and here, by
+/// construction of the generator).
+pub fn creators(ds: &Dataset, kind: PlatformKind) -> CreatorStats {
+    let mut per_creator: HashMap<String, u64> = HashMap::new();
+    match kind {
+        PlatformKind::WhatsApp => {
+            for rec in ds.groups.iter().filter(|g| g.platform == kind) {
+                if let Some(h) = ds.timeline_of(rec).and_then(|t| t.wa_creator_hash.as_ref()) {
+                    *per_creator.entry(h.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        PlatformKind::Discord => {
+            for rec in ds.groups.iter().filter(|g| g.platform == kind) {
+                if let Some(c) = ds.timeline_of(rec).and_then(|t| t.dc_creator) {
+                    *per_creator.entry(c.to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+        PlatformKind::Telegram => {
+            // Creator identity is only visible for joined groups; the API
+            // exposes no cross-group creator handle beyond that, so each
+            // joined group contributes one creator (as in §5).
+            for (i, _) in ds.joined_of(kind).enumerate() {
+                per_creator.insert(format!("joined-{i}"), 1);
+            }
+        }
+    }
+    let creators = per_creator.len() as u64;
+    let groups: u64 = per_creator.values().sum();
+    let single = per_creator.values().filter(|&&c| c == 1).count() as u64;
+    CreatorStats {
+        creators,
+        groups,
+        single_group_share: single as f64 / creators.max(1) as f64,
+        max_groups: per_creator.values().copied().max().unwrap_or(0),
+    }
+}
+
+/// §5 "Group Countries": WhatsApp creator country counts, descending.
+pub fn whatsapp_countries(ds: &Dataset) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = ds
+        .pii
+        .wa_creator_countries
+        .iter()
+        .map(|(k, &n)| (k.clone(), n))
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatlens_core::run_study;
+    use chatlens_workload::ScenarioConfig;
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| run_study(ScenarioConfig::tiny()))
+    }
+
+    #[test]
+    fn fig7a_size_ordering() {
+        let ds = dataset();
+        let wa = member_counts(ds, PlatformKind::WhatsApp);
+        let tg = member_counts(ds, PlatformKind::Telegram);
+        let dc = member_counts(ds, PlatformKind::Discord);
+        assert!(wa.max().unwrap() <= 257.0, "WhatsApp cap");
+        assert!(
+            tg.max().unwrap() > 10_000.0,
+            "Telegram tail reaches 10k+: {}",
+            tg.max().unwrap()
+        );
+        // Paper: ~60% of Discord groups under 100 members vs ~40% for
+        // Telegram.
+        let dc_small = dc.fraction_at_most(100.0);
+        let tg_small = tg.fraction_at_most(100.0);
+        assert!(dc_small > tg_small, "DC {dc_small} vs TG {tg_small}");
+    }
+
+    #[test]
+    fn fig7b_online_fractions() {
+        let ds = dataset();
+        let dc = online_fractions(ds, PlatformKind::Discord);
+        let tg = online_fractions(ds, PlatformKind::Telegram);
+        let dc_active = dc.fraction_above(0.5);
+        let tg_active = tg.fraction_above(0.5);
+        assert!(
+            (0.05..0.3).contains(&dc_active),
+            "DC >50% online: {dc_active}"
+        );
+        assert!(tg_active < dc_active, "TG {tg_active} < DC {dc_active}");
+        let wa = online_fractions(ds, PlatformKind::WhatsApp);
+        assert_eq!(
+            wa.max().unwrap_or(0.0),
+            0.0,
+            "WhatsApp shows no online counts"
+        );
+    }
+
+    #[test]
+    fn fig7c_growth() {
+        let ds = dataset();
+        for kind in PlatformKind::ALL {
+            let g = growth(ds, kind);
+            assert!(
+                g.grew > g.shrank,
+                "{kind}: sharing on Twitter grows groups ({} vs {})",
+                g.grew,
+                g.shrank
+            );
+            assert!((g.grew + g.shrank + g.flat - 1.0).abs() < 1e-9);
+        }
+        // WhatsApp deltas are bounded by the cap.
+        let wa = growth(ds, PlatformKind::WhatsApp);
+        assert!(wa.deltas.max().unwrap() <= 257.0);
+    }
+
+    #[test]
+    fn creators_mostly_single_group() {
+        let ds = dataset();
+        for kind in [PlatformKind::WhatsApp, PlatformKind::Discord] {
+            let c = creators(ds, kind);
+            assert!(c.creators > 0, "{kind}");
+            assert!(c.creators <= c.groups);
+            assert!(
+                c.single_group_share > 0.85,
+                "{kind} single-group share {}",
+                c.single_group_share
+            );
+        }
+        let tg = creators(ds, PlatformKind::Telegram);
+        assert_eq!(tg.single_group_share, 1.0);
+        assert_eq!(tg.creators, tg.groups);
+    }
+
+    #[test]
+    fn whatsapp_countries_brazil_first() {
+        let ds = dataset();
+        let countries = whatsapp_countries(ds);
+        assert!(!countries.is_empty());
+        assert_eq!(countries[0].0, "BR", "countries: {countries:?}");
+    }
+}

@@ -1,0 +1,137 @@
+//! PII exposure: Table 4 (per-platform exposure) and Table 5 (Discord
+//! connected accounts).
+
+use chatlens_core::Dataset;
+use chatlens_platforms::id::PlatformKind;
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExposureRow {
+    /// Platform.
+    pub platform: PlatformKind,
+    /// Users whose information the collector observed.
+    pub users_observed: u64,
+    /// Distinct phone numbers (hashes) exposed, if the platform exposes
+    /// any.
+    pub phones: Option<u64>,
+    /// Phones as a share of observed users.
+    pub phone_rate: Option<f64>,
+    /// Users with at least one linked social account (Discord only).
+    pub linked_users: Option<u64>,
+    /// Linked users as a share of observed users.
+    pub link_rate: Option<f64>,
+}
+
+/// Compute Table 4.
+pub fn exposure_table(ds: &Dataset) -> [ExposureRow; 3] {
+    // WhatsApp: every member of joined groups plus every creator of an
+    // accessible group exposes a phone number (100% by construction of the
+    // platform — the paper's headline).
+    let wa_members: u64 = ds.pii.wa_member_hashes.len() as u64;
+    let wa_creators: u64 = ds.pii.wa_creator_hashes.len() as u64;
+    let wa_total = ds.pii.wa_total_phones() as u64;
+    let wa = ExposureRow {
+        platform: PlatformKind::WhatsApp,
+        users_observed: wa_members + wa_creators,
+        phones: Some(wa_total),
+        phone_rate: Some(1.0),
+        linked_users: None,
+        link_rate: None,
+    };
+    let tg = ExposureRow {
+        platform: PlatformKind::Telegram,
+        users_observed: ds.pii.tg_users_observed.len() as u64,
+        phones: Some(ds.pii.tg_phone_hashes.len() as u64),
+        phone_rate: Some(ds.pii.tg_phone_rate()),
+        linked_users: None,
+        link_rate: None,
+    };
+    let dc = ExposureRow {
+        platform: PlatformKind::Discord,
+        users_observed: ds.pii.dc_users_observed.len() as u64,
+        phones: None,
+        phone_rate: None,
+        linked_users: Some(ds.pii.dc_users_with_link.len() as u64),
+        link_rate: Some(ds.pii.dc_link_rate()),
+    };
+    [wa, tg, dc]
+}
+
+/// Table 5: Discord users per linked platform, descending, with shares of
+/// observed users.
+pub fn linked_accounts_table(ds: &Dataset) -> Vec<(String, u64, f64)> {
+    let observed = ds.pii.dc_users_observed.len().max(1) as f64;
+    let mut rows: Vec<(String, u64, f64)> = ds
+        .pii
+        .dc_linked_counts
+        .iter()
+        .map(|(label, &n)| (label.clone(), n, n as f64 / observed))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatlens_core::run_study;
+    use chatlens_workload::ScenarioConfig;
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| run_study(ScenarioConfig::tiny()))
+    }
+
+    #[test]
+    fn table4_whatsapp_exposes_everyone() {
+        let [wa, _, _] = exposure_table(dataset());
+        assert!(wa.users_observed > 0);
+        assert_eq!(wa.phone_rate, Some(1.0));
+        assert!(wa.phones.unwrap() > 0);
+        // Creators alone (no joining needed) are already a large share.
+        assert!(dataset().pii.wa_creator_hashes.len() > 100);
+    }
+
+    #[test]
+    fn table4_telegram_phone_rate_tiny() {
+        let [_, tg, _] = exposure_table(dataset());
+        assert!(tg.users_observed > 0);
+        let rate = tg.phone_rate.unwrap();
+        assert!(rate < 0.05, "TG phone rate {rate} (paper: 0.68%)");
+    }
+
+    #[test]
+    fn table4_discord_no_phones_but_links() {
+        let [_, _, dc] = exposure_table(dataset());
+        assert_eq!(dc.phones, None, "Discord has no phone numbers");
+        assert!(dc.users_observed > 0);
+        let rate = dc.link_rate.unwrap();
+        assert!((rate - 0.30).abs() < 0.12, "DC link rate {rate}");
+    }
+
+    #[test]
+    fn table5_twitch_leads() {
+        let rows = linked_accounts_table(dataset());
+        assert!(!rows.is_empty());
+        assert_eq!(rows[0].0, "Twitch", "rows: {rows:?}");
+        // Shares are monotone by construction of the sort.
+        for w in rows.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Facebook/Skype are near the bottom when present.
+        if let Some(fb) = rows.iter().find(|r| r.0 == "Facebook") {
+            assert!(fb.2 < 0.05, "Facebook share {}", fb.2);
+        }
+    }
+
+    #[test]
+    fn hashes_not_numbers_in_store() {
+        let ds = dataset();
+        for h in ds.pii.wa_creator_hashes.iter().take(50) {
+            assert_eq!(h.len(), 64);
+            assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+            assert!(!h.starts_with('+'));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Statistical primitives: empirical CDFs, quantiles, concentration.
+
+/// An empirical cumulative distribution function over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (non-finite values are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Ecdf {
+        samples.retain(|x| x.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Ecdf { sorted: samples }
+    }
+
+    /// Build from integer samples.
+    pub fn from_ints<I: IntoIterator<Item = u64>>(items: I) -> Ecdf {
+        Ecdf::new(items.into_iter().map(|x| x as f64).collect())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x` (0 for an empty ECDF).
+    pub fn fraction_at_most(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples `> x`.
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        1.0 - self.fraction_at_most(x)
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`) by the nearest-rank method, or
+    /// `None` for an empty ECDF.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// `(x, F(x))` pairs at each distinct sample value — the series a CDF
+    /// plot draws.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = f,
+                _ => out.push((x, f)),
+            }
+        }
+        out
+    }
+
+    /// Evaluate `F` at the given grid points (for fixed-grid figure
+    /// regeneration).
+    pub fn sample_at(&self, grid: &[f64]) -> Vec<(f64, f64)> {
+        grid.iter()
+            .map(|&x| (x, self.fraction_at_most(x)))
+            .collect()
+    }
+}
+
+/// Share of the total mass held by the top `frac` of values (e.g.
+/// `top_share(&volumes, 0.01)` = "the top 1% of members account for X% of
+/// messages", Fig 9b).
+pub fn top_share(values: &[u64], frac: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = values.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = values.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let k = ((values.len() as f64 * frac).ceil() as usize).clamp(1, values.len());
+    let top: u64 = sorted[..k].iter().sum();
+    top as f64 / total as f64
+}
+
+/// Fraction of `items` satisfying `pred` (0 for an empty slice).
+pub fn fraction_of<T>(items: &[T], pred: impl Fn(&T) -> bool) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    items.iter().filter(|x| pred(x)).count() as f64 / items.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_basics() {
+        let e = Ecdf::from_ints([1, 2, 2, 3, 10]);
+        assert_eq!(e.len(), 5);
+        assert!((e.fraction_at_most(2.0) - 0.6).abs() < 1e-12);
+        assert!((e.fraction_at_most(0.5) - 0.0).abs() < 1e-12);
+        assert!((e.fraction_at_most(10.0) - 1.0).abs() < 1e-12);
+        assert!((e.fraction_above(2.0) - 0.4).abs() < 1e-12);
+        assert_eq!(e.median(), Some(2.0));
+        assert_eq!(e.min(), Some(1.0));
+        assert_eq!(e.max(), Some(10.0));
+        assert!((e.mean().unwrap() - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_quantiles_nearest_rank() {
+        let e = Ecdf::from_ints(1..=100);
+        assert_eq!(e.quantile(0.25), Some(25.0));
+        assert_eq!(e.quantile(0.5), Some(50.0));
+        assert_eq!(e.quantile(1.0), Some(100.0));
+        assert_eq!(e.quantile(0.0), Some(1.0), "clamped to first rank");
+    }
+
+    #[test]
+    fn ecdf_empty() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.median(), None);
+        assert_eq!(e.fraction_at_most(5.0), 0.0);
+        assert!(e.series().is_empty());
+    }
+
+    #[test]
+    fn ecdf_drops_non_finite() {
+        let e = Ecdf::new(vec![1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn series_merges_duplicates_and_ends_at_one() {
+        let e = Ecdf::from_ints([5, 5, 5, 7]);
+        let s = e.series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], (5.0, 0.75));
+        assert_eq!(s[1], (7.0, 1.0));
+    }
+
+    #[test]
+    fn sample_at_grid() {
+        let e = Ecdf::from_ints([1, 10, 100]);
+        let pts = e.sample_at(&[0.0, 1.0, 50.0, 1000.0]);
+        assert_eq!(pts[0].1, 0.0);
+        assert!((pts[1].1 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((pts[2].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pts[3].1, 1.0);
+    }
+
+    #[test]
+    fn top_share_concentration() {
+        // One giant + 99 ones: top 1% holds 901/1000.
+        let mut v = vec![1u64; 99];
+        v.push(901);
+        assert!((top_share(&v, 0.01) - 0.901).abs() < 1e-12);
+        // Uniform values: top 10% holds ~10%.
+        let u = vec![5u64; 100];
+        assert!((top_share(&u, 0.10) - 0.10).abs() < 1e-12);
+        assert_eq!(top_share(&[], 0.01), 0.0);
+        assert_eq!(top_share(&[0, 0], 0.5), 0.0);
+    }
+
+    #[test]
+    fn fraction_of_helper() {
+        let v = [1, 2, 3, 4];
+        assert!((fraction_of(&v, |&x| x % 2 == 0) - 0.5).abs() < 1e-12);
+        let empty: [u8; 0] = [];
+        assert_eq!(fraction_of(&empty, |_| true), 0.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Table 3 regeneration: LDA over the English tweets of each platform,
+//! plus automatic labeling of the recovered topics.
+//!
+//! The paper's authors labelled topics by eye; here labeling is done by
+//! matching each recovered topic's top terms against the known Table 3
+//! vocabularies (the closest label wins and the overlap score is
+//! reported), which makes the comparison mechanical and testable.
+
+use crate::lda::{LdaConfig, LdaModel};
+use crate::text::StopwordFilter;
+use chatlens_core::Dataset;
+use chatlens_platforms::id::PlatformKind;
+use chatlens_twitter::Lang;
+use chatlens_workload::topics::{topics_for, topics_for_lang, Topic};
+use chatlens_workload::Vocabulary;
+
+/// One recovered, labelled topic.
+#[derive(Debug, Clone)]
+pub struct LabeledTopic {
+    /// The matched Table 3 label.
+    pub label: String,
+    /// Overlap score with the matched reference topic (matched terms /
+    /// compared terms, in `[0, 1]`).
+    pub match_score: f64,
+    /// The topic's top terms (most probable first).
+    pub top_terms: Vec<String>,
+    /// Share of English tweets whose dominant topic this is (Table 3's
+    /// percentage column).
+    pub tweet_share: f64,
+}
+
+/// Table 3 for one platform: the fitted model and its labelled topics.
+pub struct TopicAnalysis {
+    /// Platform analysed.
+    pub platform: PlatformKind,
+    /// Number of English tweets that went into the model.
+    pub num_docs: usize,
+    /// Labelled topics, in model order.
+    pub topics: Vec<LabeledTopic>,
+}
+
+/// Build the tweet corpus for one platform in one language:
+/// stopword-filtered token-id documents.
+pub fn corpus_for_lang(
+    ds: &Dataset,
+    kind: PlatformKind,
+    lang: Lang,
+    vocab: &Vocabulary,
+) -> Vec<Vec<u16>> {
+    let filter = StopwordFilter::new(vocab);
+    ds.tweets_of(kind)
+        .filter(|t| t.tweet.lang == lang)
+        .map(|t| filter.filter(&t.tweet.tokens))
+        .filter(|doc| !doc.is_empty())
+        .collect()
+}
+
+/// Build the English-tweet corpus for one platform (Table 3's input).
+pub fn english_corpus(ds: &Dataset, kind: PlatformKind, vocab: &Vocabulary) -> Vec<Vec<u16>> {
+    corpus_for_lang(ds, kind, Lang::En, vocab)
+}
+
+/// Fit LDA and label the topics for one platform (Table 3, one column
+/// group).
+pub fn analyze_topics(
+    ds: &Dataset,
+    kind: PlatformKind,
+    vocab: &Vocabulary,
+    cfg: LdaConfig,
+) -> TopicAnalysis {
+    let docs = english_corpus(ds, kind, vocab);
+    let model = LdaModel::fit(&docs, vocab.len(), cfg);
+    let doc_shares = model.topic_doc_shares();
+    let topics = (0..model.k())
+        .map(|t| {
+            let top: Vec<String> = model
+                .top_words(t, 10)
+                .into_iter()
+                .map(|(w, _)| vocab.word(w).to_string())
+                .collect();
+            let (label, score) = best_label(kind, &top);
+            LabeledTopic {
+                label,
+                match_score: score,
+                top_terms: top,
+                tweet_share: doc_shares[t],
+            }
+        })
+        .collect();
+    TopicAnalysis {
+        platform: kind,
+        num_docs: docs.len(),
+        topics,
+    }
+}
+
+/// Match a recovered topic's top terms against a reference topic set;
+/// returns the best label and its overlap score.
+pub fn best_label_among(refs: &[Topic], top_terms: &[String]) -> (String, f64) {
+    let mut best = ("(unmatched)".to_string(), 0.0f64);
+    for r in refs {
+        let overlap = top_terms
+            .iter()
+            .filter(|t| r.terms.contains(&t.as_str()))
+            .count() as f64;
+        let score = overlap / top_terms.len().max(1) as f64;
+        if score > best.1 {
+            best = (r.label.to_string(), score);
+        }
+    }
+    best
+}
+
+/// Match against the platform's English reference topics (Table 3).
+pub fn best_label(kind: PlatformKind, top_terms: &[String]) -> (String, f64) {
+    best_label_among(&topics_for(kind), top_terms)
+}
+
+/// The multilingual analysis of §4's closing remark: fit LDA over one
+/// platform's tweets in `lang` and label against that language's
+/// reference set (COVID-19 / politics vocabularies). Returns `None` for
+/// (platform, language) pairs the paper found no distinct topics for.
+pub fn analyze_topics_lang(
+    ds: &Dataset,
+    kind: PlatformKind,
+    lang: Lang,
+    vocab: &Vocabulary,
+    cfg: LdaConfig,
+) -> Option<TopicAnalysis> {
+    let refs = topics_for_lang(kind, lang)?;
+    let docs = corpus_for_lang(ds, kind, lang, vocab);
+    let model = LdaModel::fit(&docs, vocab.len(), cfg);
+    let doc_shares = model.topic_doc_shares();
+    let topics = (0..model.k())
+        .map(|t| {
+            let top: Vec<String> = model
+                .top_words(t, 8)
+                .into_iter()
+                .map(|(w, _)| vocab.word(w).to_string())
+                .collect();
+            let (label, score) = best_label_among(&refs, &top);
+            LabeledTopic {
+                label,
+                match_score: score,
+                top_terms: top,
+                tweet_share: doc_shares[t],
+            }
+        })
+        .collect();
+    Some(TopicAnalysis {
+        platform: kind,
+        num_docs: docs.len(),
+        topics,
+    })
+}
+
+/// Aggregate the share of English tweets per *label* (several recovered
+/// topics can map to the same label, exactly as Table 3 repeats labels).
+pub fn share_by_label(analysis: &TopicAnalysis) -> Vec<(String, f64)> {
+    let mut map: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    for t in &analysis.topics {
+        *map.entry(t.label.clone()).or_insert(0.0) += t.tweet_share;
+    }
+    let mut out: Vec<(String, f64)> = map.into_iter().collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatlens_core::run_study;
+    use chatlens_workload::ScenarioConfig;
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| run_study(ScenarioConfig::tiny()))
+    }
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::build()
+    }
+
+    #[test]
+    fn corpus_is_english_and_filtered() {
+        let v = vocab();
+        let docs = english_corpus(dataset(), PlatformKind::Telegram, &v);
+        assert!(docs.len() > 100, "corpus size {}", docs.len());
+        let filter = StopwordFilter::new(&v);
+        for doc in docs.iter().take(200) {
+            assert!(doc.iter().all(|&t| !filter.is_stop(t)));
+        }
+    }
+
+    #[test]
+    fn discord_advertising_topic_recovered() {
+        // Discord's dominant Table 3 topic is "Advertising Discord groups"
+        // (33% + 10% + 4%); even a tiny corpus recovers it as the largest
+        // label.
+        let v = vocab();
+        let analysis = analyze_topics(
+            dataset(),
+            PlatformKind::Discord,
+            &v,
+            LdaConfig {
+                k: 10,
+                iterations: 40,
+                seed: 7,
+                ..LdaConfig::default()
+            },
+        );
+        assert_eq!(analysis.topics.len(), 10);
+        let shares = share_by_label(&analysis);
+        // At tiny scale one viral group can push another label past it;
+        // require the advertising label to be top-2 with a solid share
+        // (the 0.1-scale repro reports it on top, as in the paper).
+        let rank = shares
+            .iter()
+            .position(|(l, _)| l == "Advertising Discord groups")
+            .expect("advertising label recovered");
+        assert!(rank <= 1, "label shares: {shares:?}");
+        assert!(
+            shares[rank].1 > 0.15,
+            "advertising share {}",
+            shares[rank].1
+        );
+    }
+
+    #[test]
+    fn recovered_topics_match_reference_vocabulary() {
+        let v = vocab();
+        let analysis = analyze_topics(
+            dataset(),
+            PlatformKind::WhatsApp,
+            &v,
+            LdaConfig {
+                k: 10,
+                iterations: 40,
+                seed: 8,
+                ..LdaConfig::default()
+            },
+        );
+        // Most recovered topics should match a reference topic well.
+        let good = analysis
+            .topics
+            .iter()
+            .filter(|t| t.match_score >= 0.5)
+            .count();
+        assert!(good >= 6, "only {good}/10 topics matched >= 0.5");
+        // Shares sum to 1 over English tweets.
+        let total: f64 = analysis.topics.iter().map(|t| t.tweet_share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spanish_whatsapp_recovers_covid() {
+        // §4: "topics that do not emerge in our English analysis mainly
+        // due to the COVID-19 pandemic (in Spanish for WhatsApp...)".
+        let v = vocab();
+        let analysis = analyze_topics_lang(
+            dataset(),
+            PlatformKind::WhatsApp,
+            Lang::Es,
+            &v,
+            LdaConfig {
+                k: 4,
+                iterations: 40,
+                seed: 5,
+                ..LdaConfig::default()
+            },
+        )
+        .expect("Spanish WhatsApp has a reference topic set");
+        assert!(analysis.num_docs > 50, "docs {}", analysis.num_docs);
+        let labels: Vec<&str> = analysis.topics.iter().map(|t| t.label.as_str()).collect();
+        assert!(labels.contains(&"COVID-19"), "labels: {labels:?}");
+    }
+
+    #[test]
+    fn portuguese_whatsapp_recovers_politics() {
+        let v = vocab();
+        let analysis = analyze_topics_lang(
+            dataset(),
+            PlatformKind::WhatsApp,
+            Lang::Pt,
+            &v,
+            LdaConfig {
+                k: 4,
+                iterations: 40,
+                seed: 6,
+                ..LdaConfig::default()
+            },
+        )
+        .unwrap();
+        let labels: Vec<&str> = analysis.topics.iter().map(|t| t.label.as_str()).collect();
+        assert!(labels.contains(&"Politics (pt)"), "labels: {labels:?}");
+    }
+
+    #[test]
+    fn no_lang_topics_where_paper_found_none() {
+        let v = vocab();
+        assert!(analyze_topics_lang(
+            dataset(),
+            PlatformKind::Discord,
+            Lang::Ja,
+            &v,
+            LdaConfig::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn best_label_scores_overlap() {
+        let terms: Vec<String> = ["join", "discord", "server", "come", "hentai"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (label, score) = best_label(PlatformKind::Discord, &terms);
+        assert_eq!(label, "Hentai");
+        assert!(score >= 0.9);
+        let nonsense: Vec<String> = ["zzz", "qqq"].iter().map(|s| s.to_string()).collect();
+        let (label, score) = best_label(PlatformKind::Discord, &nonsense);
+        assert_eq!(label, "(unmatched)");
+        assert_eq!(score, 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! dual-API merge, monitoring cadence, search cadence, and the LDA topic
+//! count. (Runtime is measured here; the quality deltas are reported by
+//! `cargo run --release --example ablation_study`.)
+
+use chatlens_analysis::{LdaConfig, LdaModel};
+use chatlens_bench::{bench_scenario, shared_dataset};
+use chatlens_core::{run_study_with, CampaignConfig};
+use chatlens_platforms::id::PlatformKind;
+use chatlens_workload::Vocabulary;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_discovery");
+    g.sample_size(10);
+    for (name, use_search, use_stream) in [
+        ("merged", true, true),
+        ("search_only", true, false),
+        ("stream_only", false, true),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run_study_with(
+                    bench_scenario(),
+                    CampaignConfig {
+                        use_search,
+                        use_stream,
+                        ..CampaignConfig::default()
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_cadence");
+    g.sample_size(10);
+    for days in [1u32, 3, 7] {
+        g.bench_function(format!("monitor_every_{days}d"), |b| {
+            b.iter(|| {
+                black_box(run_study_with(
+                    bench_scenario(),
+                    CampaignConfig {
+                        monitor_interval_days: days,
+                        ..CampaignConfig::default()
+                    },
+                ))
+            })
+        });
+    }
+    for hours in [1u32, 6, 24] {
+        g.bench_function(format!("search_every_{hours}h"), |b| {
+            b.iter(|| {
+                black_box(run_study_with(
+                    bench_scenario(),
+                    CampaignConfig {
+                        search_interval_hours: hours,
+                        ..CampaignConfig::default()
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+
+    // LDA K-sweep over the shared dataset's Discord corpus (the paper's
+    // footnote 1 re-ran with up to 50 topics).
+    let mut g = c.benchmark_group("ablation_lda_k");
+    g.sample_size(10);
+    let ds = shared_dataset();
+    let vocab = Vocabulary::build();
+    let docs = chatlens_analysis::topics::english_corpus(ds, PlatformKind::Discord, &vocab);
+    for k in [5usize, 10, 25, 50] {
+        g.bench_function(format!("k{k}"), |b| {
+            b.iter(|| {
+                black_box(LdaModel::fit(
+                    &docs,
+                    vocab.len(),
+                    LdaConfig {
+                        k,
+                        iterations: 20,
+                        seed: 9,
+                        ..LdaConfig::default()
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! One benchmark per table and figure: the cost of regenerating each
+//! artifact from an already-collected dataset (the DESIGN.md experiment
+//! index maps each to its implementing modules).
+
+use chatlens_analysis::LdaConfig;
+use chatlens_analysis::{content, discovery, lifecycle, membership, messages, pii, topics};
+use chatlens_bench::shared_dataset;
+use chatlens_platforms::id::PlatformKind;
+use chatlens_platforms::spec::PlatformSpec;
+use chatlens_workload::Vocabulary;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_artifacts(c: &mut Criterion) {
+    let ds = shared_dataset();
+    let mut g = c.benchmark_group("artifacts");
+
+    g.bench_function("table1_specs", |b| {
+        b.iter(|| black_box(PlatformSpec::all()))
+    });
+
+    g.bench_function("table2_summary", |b| {
+        b.iter(|| {
+            for kind in PlatformKind::ALL {
+                black_box(ds.summary(kind));
+            }
+            black_box(ds.totals())
+        })
+    });
+
+    g.bench_function("fig1_daily_discovery", |b| {
+        b.iter(|| {
+            for kind in PlatformKind::ALL {
+                black_box(discovery::daily_discovery(ds, kind));
+            }
+        })
+    });
+
+    g.bench_function("fig2_tweets_per_url", |b| {
+        b.iter(|| {
+            for kind in PlatformKind::ALL {
+                black_box(discovery::tweets_per_url(ds, kind));
+            }
+        })
+    });
+
+    g.bench_function("fig3_content_features", |b| {
+        b.iter(|| {
+            for kind in PlatformKind::ALL {
+                black_box(content::platform_features(ds, kind));
+            }
+            black_box(content::control_features(ds))
+        })
+    });
+
+    g.bench_function("fig4_language_shares", |b| {
+        b.iter(|| {
+            for kind in PlatformKind::ALL {
+                black_box(content::language_shares(ds, kind));
+            }
+        })
+    });
+
+    g.bench_function("fig5_staleness", |b| {
+        b.iter(|| {
+            for kind in PlatformKind::ALL {
+                black_box(lifecycle::staleness_days(ds, kind));
+            }
+        })
+    });
+
+    g.bench_function("fig6_revocation", |b| {
+        b.iter(|| {
+            for kind in PlatformKind::ALL {
+                black_box(lifecycle::revocation_stats(ds, kind));
+            }
+        })
+    });
+
+    g.bench_function("fig7_membership", |b| {
+        b.iter(|| {
+            for kind in PlatformKind::ALL {
+                black_box(membership::member_counts(ds, kind));
+                black_box(membership::online_fractions(ds, kind));
+                black_box(membership::growth(ds, kind));
+            }
+        })
+    });
+
+    g.bench_function("fig8_message_types", |b| {
+        b.iter(|| {
+            for kind in PlatformKind::ALL {
+                black_box(messages::kind_shares(ds, kind));
+            }
+        })
+    });
+
+    g.bench_function("fig9_volumes", |b| {
+        b.iter(|| {
+            for kind in PlatformKind::ALL {
+                black_box(messages::msgs_per_group_day(ds, kind));
+                black_box(messages::user_activity(ds, kind));
+            }
+        })
+    });
+
+    g.bench_function("table4_exposure", |b| {
+        b.iter(|| black_box(pii::exposure_table(ds)))
+    });
+
+    g.bench_function("table5_linked_accounts", |b| {
+        b.iter(|| black_box(pii::linked_accounts_table(ds)))
+    });
+
+    g.finish();
+
+    // Table 3 (LDA) is orders of magnitude heavier; its own group keeps
+    // the sample count low.
+    let mut g = c.benchmark_group("artifacts_lda");
+    g.sample_size(10);
+    let vocab = Vocabulary::build();
+    g.bench_function("table3_lda_discord", |b| {
+        b.iter(|| {
+            black_box(topics::analyze_topics(
+                ds,
+                PlatformKind::Discord,
+                &vocab,
+                LdaConfig {
+                    k: 10,
+                    iterations: 30,
+                    seed: 1,
+                    ..LdaConfig::default()
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_artifacts);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Micro-benchmarks of the substrate components.
+
+use chatlens_platforms::id::PlatformKind;
+use chatlens_platforms::invite::{parse_invite_url, InviteCode};
+use chatlens_platforms::wire::WireDoc;
+use chatlens_simnet::dist::{Categorical, LogNormal, Poisson, Zipf};
+use chatlens_simnet::hash::sha256;
+use chatlens_simnet::rng::Rng;
+use chatlens_simnet::time::{SimDuration, SimTime};
+use chatlens_simnet::transport::{Client, Request, Response, Router};
+use chatlens_simnet::Engine;
+use chatlens_twitter::{Lang, Tweet, TweetId, TwitterUserId};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_rng_and_dists(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1));
+    let mut rng = Rng::new(1);
+    g.bench_function("next_u64", |b| b.iter(|| black_box(rng.next_u64())));
+    g.bench_function("below_1000", |b| b.iter(|| black_box(rng.below(1000))));
+    g.bench_function("normal", |b| b.iter(|| black_box(rng.normal())));
+    let cat = Categorical::new(&(1..=100).map(f64::from).collect::<Vec<_>>());
+    g.bench_function("categorical_100", |b| {
+        b.iter(|| black_box(cat.sample(&mut rng)))
+    });
+    let zipf = Zipf::new(10_000, 1.15);
+    g.bench_function("zipf_10k", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
+    let ln = LogNormal::from_median(10.0, 1.5);
+    g.bench_function("lognormal", |b| b.iter(|| black_box(ln.sample(&mut rng))));
+    let poisson = Poisson::new(8.0);
+    g.bench_function("poisson_8", |b| {
+        b.iter(|| black_box(poisson.sample(&mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [32usize, 1024, 65_536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| b.iter(|| black_box(sha256(&data))));
+    }
+    g.finish();
+}
+
+fn bench_parsing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parsing");
+    let mut rng = Rng::new(2);
+    let urls: Vec<String> = (0..256)
+        .map(|i| InviteCode::generate(PlatformKind::ALL[i % 3], &mut rng).url())
+        .collect();
+    g.throughput(Throughput::Elements(urls.len() as u64));
+    g.bench_function("parse_invite_url_x256", |b| {
+        b.iter(|| {
+            for u in &urls {
+                black_box(parse_invite_url(u));
+            }
+        })
+    });
+    let tweet = Tweet {
+        id: TweetId(123_456),
+        author: TwitterUserId(42),
+        at: SimTime::from_secs(1_586_000_000),
+        lang: Lang::En,
+        hashtags: 2,
+        mentions: 1,
+        retweet_of: Some(TweetId(99)),
+        urls: vec!["https://discord.gg/abc123XY".into()],
+        tokens: (0..12).collect(),
+        is_control: false,
+    };
+    let encoded = tweet.encode();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("tweet_encode", |b| b.iter(|| black_box(tweet.encode())));
+    g.bench_function("tweet_decode", |b| {
+        b.iter(|| black_box(Tweet::decode(&encoded)))
+    });
+    let doc = WireDoc::new("wa-landing")
+        .field("title", "Crypto Signals 2020")
+        .field("size", 142u32)
+        .field("creator_cc", "BR")
+        .field("creator_phone", "+5511987654321");
+    let body = doc.render();
+    g.bench_function("wire_render", |b| b.iter(|| black_box(doc.render())));
+    g.bench_function("wire_parse", |b| {
+        b.iter(|| black_box(WireDoc::parse(&body)))
+    });
+    g.finish();
+}
+
+fn bench_engine_and_transport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_drain_10k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u32> = Engine::new(SimTime::EPOCH);
+            for i in 0..10_000u32 {
+                engine.schedule_in(SimDuration::secs(u64::from(i % 977)), i);
+            }
+            let mut sum = 0u64;
+            engine.run_to_exhaustion(|_, ev| sum += u64::from(ev));
+            black_box(sum)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("transport");
+    g.throughput(Throughput::Elements(1));
+    let mut svc = |_: SimTime, req: &Request| Response::ok(format!("echo\npath: {}", req.endpoint));
+    g.bench_function("client_roundtrip", |b| {
+        let mut client = Client::plain(7, SimTime::EPOCH);
+        let req = Request::new("svc/op").with("code", "abc");
+        b.iter(|| {
+            let mut router = Router::new();
+            router.mount("svc", &mut svc);
+            black_box(client.call(&mut router, SimTime::EPOCH, &req).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rng_and_dists,
+    bench_hash,
+    bench_parsing,
+    bench_engine_and_transport
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! End-to-end pipeline benchmarks: world building and the full collection
+//! campaign at the benchmark scale, plus the per-round costs of each
+//! campaign component.
+
+use chatlens_bench::{bench_scenario, shared_ecosystem};
+use chatlens_core::discovery::Discovery;
+use chatlens_core::net::Net;
+use chatlens_core::{run_study, run_study_with, CampaignConfig};
+use chatlens_simnet::time::SimDuration;
+use chatlens_workload::Ecosystem;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    g.bench_function("ecosystem_build", |b| {
+        b.iter(|| black_box(Ecosystem::build(bench_scenario())))
+    });
+
+    g.bench_function("full_study", |b| {
+        b.iter(|| black_box(run_study(bench_scenario())))
+    });
+
+    g.bench_function("full_study_no_faults", |b| {
+        b.iter(|| {
+            black_box(run_study_with(
+                bench_scenario(),
+                CampaignConfig {
+                    faults: chatlens_simnet::fault::FaultInjector::none(),
+                    ..CampaignConfig::default()
+                },
+            ))
+        })
+    });
+
+    // One search round against a fresh (backlog-heavy) index vs an
+    // incremental one.
+    g.bench_function("search_round_backlog", |b| {
+        let mut eco = shared_ecosystem();
+        let start = eco.window.start_time();
+        b.iter(|| {
+            let mut net = Net::reliable(1, start);
+            let mut disco = Discovery::new(start);
+            disco
+                .run_search(&mut net, &mut eco, start + SimDuration::hours(1))
+                .unwrap();
+            black_box(disco.group_count())
+        })
+    });
+
+    g.bench_function("search_round_incremental", |b| {
+        let mut eco = shared_ecosystem();
+        let start = eco.window.start_time();
+        let mut net = Net::reliable(2, start);
+        let mut disco = Discovery::new(start);
+        disco
+            .run_search(&mut net, &mut eco, start + SimDuration::hours(1))
+            .unwrap();
+        let mut hour = 2u64;
+        b.iter(|| {
+            disco
+                .run_search(&mut net, &mut eco, start + SimDuration::hours(hour))
+                .unwrap();
+            hour += 1;
+            black_box(disco.group_count())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

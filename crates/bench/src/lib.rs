@@ -1,0 +1,40 @@
+//! Shared fixtures for the chatlens benchmark suite.
+//!
+//! Every artifact bench regenerates its table/figure from the same
+//! pre-collected dataset, so the numbers measure *analysis* cost; the
+//! pipeline benches measure the collection campaign itself.
+
+use chatlens_core::{run_study, Dataset};
+use chatlens_workload::{Ecosystem, ScenarioConfig};
+use std::sync::OnceLock;
+
+/// The benchmark scale: 1% of the paper (a full campaign at this scale
+/// runs in about a second in release mode).
+pub const BENCH_SCALE: f64 = 0.01;
+
+/// The scenario every bench shares.
+pub fn bench_scenario() -> ScenarioConfig {
+    ScenarioConfig::at_scale(BENCH_SCALE)
+}
+
+/// A campaign dataset shared by all artifact benches (built once).
+pub fn shared_dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| run_study(bench_scenario()))
+}
+
+/// A built ecosystem shared by transport-level benches.
+pub fn shared_ecosystem() -> Ecosystem {
+    Ecosystem::build(bench_scenario())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert!(shared_dataset().groups.len() > 500);
+        assert!(shared_ecosystem().twitter.stats().total > 10_000);
+    }
+}

@@ -1,0 +1,166 @@
+//! The assembled campaign output — everything the analyses consume.
+
+use crate::discovery::{CollectedTweet, Discovery, DiscoveryRecord};
+use crate::joiner::JoinedGroup;
+use crate::monitor::GroupTimeline;
+use crate::pii::PiiStore;
+use chatlens_platforms::id::PlatformKind;
+use chatlens_simnet::time::StudyWindow;
+use chatlens_twitter::Tweet;
+use std::collections::HashMap;
+
+/// Per-platform roll-up of Table 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlatformSummary {
+    /// Tweets carrying this platform's URLs (dedup by tweet id).
+    pub tweets: u64,
+    /// Distinct tweet authors.
+    pub twitter_users: u64,
+    /// Distinct group URLs discovered.
+    pub group_urls: u64,
+    /// Groups joined.
+    pub joined_groups: u64,
+    /// Messages collected from joined groups.
+    pub messages: u64,
+    /// Total members across joined groups (the paper's "Messaging
+    /// Platforms #Users" column: group sizes for the API platforms, the
+    /// member list for WhatsApp).
+    pub platform_users: u64,
+}
+
+/// The full campaign output.
+pub struct Dataset {
+    /// The collection window.
+    pub window: StudyWindow,
+    /// Collected pattern-matched tweets with provenance.
+    pub tweets: Vec<CollectedTweet>,
+    /// The control sample.
+    pub control: Vec<Tweet>,
+    /// Discovered groups in discovery order.
+    pub groups: Vec<DiscoveryRecord>,
+    /// Monitor timelines keyed by dedup key.
+    pub timelines: HashMap<String, GroupTimeline>,
+    /// Joined groups with members and messages.
+    pub joined: Vec<JoinedGroup>,
+    /// PII exposure accounting.
+    pub pii: PiiStore,
+    /// URL-extraction totals.
+    pub extraction: crate::patterns::ExtractionStats,
+    /// Transport requests that failed after retries.
+    pub failed_requests: u64,
+    /// Accounts opened per platform.
+    pub accounts_used: [u16; 3],
+    /// Whether the Discord bot-join probe was refused.
+    pub bot_join_rejected: bool,
+    /// Campaign-health counters and histograms (request volumes, rounds
+    /// executed, discovery progress).
+    pub metrics: chatlens_simnet::metrics::Metrics,
+}
+
+impl Dataset {
+    /// Assemble from the campaign components.
+    pub(crate) fn assemble(
+        window: StudyWindow,
+        discovery: Discovery,
+        timelines: HashMap<String, GroupTimeline>,
+        joiner: crate::joiner::Joiner,
+        pii: PiiStore,
+    ) -> Dataset {
+        Dataset {
+            window,
+            extraction: discovery.stats,
+            failed_requests: discovery.failed_requests,
+            tweets: discovery.tweets,
+            control: discovery.control,
+            groups: discovery.groups,
+            timelines,
+            accounts_used: joiner.accounts_used,
+            bot_join_rejected: joiner.bot_join_rejected,
+            joined: joiner.joined,
+            pii,
+            metrics: chatlens_simnet::metrics::Metrics::new(),
+        }
+    }
+
+    /// Tweets that carry at least one URL of `kind` (a tweet sharing two
+    /// platforms counts toward both, like Table 2's per-platform rows).
+    pub fn tweets_of(&self, kind: PlatformKind) -> impl Iterator<Item = &CollectedTweet> {
+        self.tweets.iter().filter(move |t| {
+            t.tweet
+                .urls
+                .iter()
+                .filter_map(|u| chatlens_platforms::invite::parse_invite_url(u))
+                .any(|inv| inv.platform() == kind)
+        })
+    }
+
+    /// Joined groups of one platform.
+    pub fn joined_of(&self, kind: PlatformKind) -> impl Iterator<Item = &JoinedGroup> {
+        self.joined.iter().filter(move |j| j.platform == kind)
+    }
+
+    /// Monitor timeline of a discovered group.
+    pub fn timeline_of(&self, rec: &DiscoveryRecord) -> Option<&GroupTimeline> {
+        self.timelines.get(&rec.invite.dedup_key())
+    }
+
+    /// The Table 2 roll-up for one platform.
+    pub fn summary(&self, kind: PlatformKind) -> PlatformSummary {
+        let mut tweets = 0u64;
+        let mut authors = std::collections::HashSet::new();
+        for t in self.tweets_of(kind) {
+            tweets += 1;
+            authors.insert(t.tweet.author);
+        }
+        let group_urls = self.groups.iter().filter(|g| g.platform == kind).count() as u64;
+        let mut joined_groups = 0u64;
+        let mut messages = 0u64;
+        let mut platform_users = 0u64;
+        for jg in self.joined_of(kind) {
+            joined_groups += 1;
+            messages += jg.messages.len() as u64;
+            platform_users += match kind {
+                // WhatsApp: the member list itself.
+                PlatformKind::WhatsApp => jg.members.len() as u64,
+                // API platforms: the group size reported by the monitor at
+                // the last alive observation (the paper reads totals off
+                // group metadata, not member lists).
+                _ => self
+                    .timelines
+                    .get(&jg.key)
+                    .and_then(|t| t.size_span())
+                    .map(|(_, last)| u64::from(last))
+                    .unwrap_or(0),
+            };
+        }
+        PlatformSummary {
+            tweets,
+            twitter_users: authors.len() as u64,
+            group_urls,
+            joined_groups,
+            messages,
+            platform_users,
+        }
+    }
+
+    /// Totals across platforms plus the distinct-author union (Table 2's
+    /// bottom row counts each tweet/author once).
+    pub fn totals(&self) -> PlatformSummary {
+        let mut authors = std::collections::HashSet::new();
+        for t in &self.tweets {
+            authors.insert(t.tweet.author);
+        }
+        let per: Vec<PlatformSummary> = PlatformKind::ALL
+            .into_iter()
+            .map(|k| self.summary(k))
+            .collect();
+        PlatformSummary {
+            tweets: self.tweets.len() as u64,
+            twitter_users: authors.len() as u64,
+            group_urls: self.groups.len() as u64,
+            joined_groups: per.iter().map(|p| p.joined_groups).sum(),
+            messages: per.iter().map(|p| p.messages).sum(),
+            platform_users: per.iter().map(|p| p.platform_users).sum(),
+        }
+    }
+}

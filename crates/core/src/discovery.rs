@@ -1,0 +1,344 @@
+//! Group discovery via Twitter's Search and Streaming APIs (§3.1).
+//!
+//! Every hour the component queries the Search API once per tracked host
+//! (paginated, `since_id`-incremental; the very first query of each host
+//! pulls the full 7-day backlog) and drains the Streaming API for the
+//! elapsed hour. The two feeds disagree — each misses a deterministic
+//! subset of tweets — so tweets are merged by id and a tweet's provenance
+//! (search, stream, or both) is retained. The 1% sample stream is drained
+//! daily into the control dataset.
+
+use crate::error::CoreError;
+use crate::net::Net;
+use crate::patterns::{extract_invites, ExtractionStats};
+use chatlens_platforms::id::PlatformKind;
+use chatlens_platforms::invite::InviteCode;
+use chatlens_platforms::wire::WireDoc;
+use chatlens_simnet::time::SimTime;
+use chatlens_simnet::transport::Request;
+use chatlens_twitter::store::TRACK_HOSTS;
+use chatlens_twitter::Tweet;
+use chatlens_workload::Ecosystem;
+use std::collections::HashMap;
+
+/// First sighting of a group URL.
+#[derive(Debug, Clone)]
+pub struct DiscoveryRecord {
+    /// The validated invite.
+    pub invite: InviteCode,
+    /// Which platform it belongs to.
+    pub platform: PlatformKind,
+    /// When the collector first saw it (collection time, not tweet time).
+    pub discovered_at: SimTime,
+    /// Posting time of the earliest tweet seen carrying it.
+    pub first_tweet_at: SimTime,
+}
+
+/// A collected tweet with provenance.
+#[derive(Debug, Clone)]
+pub struct CollectedTweet {
+    /// The tweet as decoded off the wire.
+    pub tweet: Tweet,
+    /// When the collector first received it.
+    pub seen_at: SimTime,
+    /// Delivered by the Search API.
+    pub via_search: bool,
+    /// Delivered by the Streaming API.
+    pub via_stream: bool,
+}
+
+/// The discovery component's accumulated state.
+pub struct Discovery {
+    since_id: [Option<u64>; 6],
+    tweet_index: HashMap<u64, usize>,
+    /// Collected pattern-matched tweets, in arrival order, deduplicated.
+    pub tweets: Vec<CollectedTweet>,
+    /// Control-sample tweets.
+    pub control: Vec<Tweet>,
+    group_index: HashMap<String, usize>,
+    /// Discovered groups in discovery order.
+    pub groups: Vec<DiscoveryRecord>,
+    /// URL extraction totals.
+    pub stats: ExtractionStats,
+    last_stream_drain: SimTime,
+    last_sample_drain: SimTime,
+    /// Transport-level failures that cost data (after retries).
+    pub failed_requests: u64,
+}
+
+impl Discovery {
+    /// A fresh component; `start` anchors the stream drains.
+    pub fn new(start: SimTime) -> Discovery {
+        Discovery {
+            since_id: [None; 6],
+            tweet_index: HashMap::new(),
+            tweets: Vec::new(),
+            control: Vec::new(),
+            group_index: HashMap::new(),
+            groups: Vec::new(),
+            stats: ExtractionStats::default(),
+            last_stream_drain: start,
+            last_sample_drain: start,
+            failed_requests: 0,
+        }
+    }
+
+    /// Number of distinct groups discovered so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Groups of one platform, in discovery order.
+    pub fn groups_of(&self, kind: PlatformKind) -> impl Iterator<Item = &DiscoveryRecord> {
+        self.groups.iter().filter(move |g| g.platform == kind)
+    }
+
+    /// Look up a discovered group by its dedup key.
+    pub fn group_by_key(&self, key: &str) -> Option<&DiscoveryRecord> {
+        self.group_index.get(key).map(|&i| &self.groups[i])
+    }
+
+    fn ingest(&mut self, tweet: Tweet, now: SimTime, via_search: bool) {
+        if let Some(&i) = self.tweet_index.get(&tweet.id.0) {
+            // Seen before (the other feed, or an overlapping search
+            // window): merge provenance only.
+            let rec = &mut self.tweets[i];
+            rec.via_search |= via_search;
+            rec.via_stream |= !via_search;
+            return;
+        }
+        for invite in extract_invites(&tweet, &mut self.stats) {
+            let key = invite.dedup_key();
+            match self.group_index.get(&key) {
+                Some(&gi) => {
+                    let g = &mut self.groups[gi];
+                    if tweet.at < g.first_tweet_at {
+                        g.first_tweet_at = tweet.at;
+                    }
+                }
+                None => {
+                    self.group_index.insert(key, self.groups.len());
+                    self.groups.push(DiscoveryRecord {
+                        platform: invite.platform(),
+                        invite,
+                        discovered_at: now,
+                        first_tweet_at: tweet.at,
+                    });
+                }
+            }
+        }
+        self.tweet_index.insert(tweet.id.0, self.tweets.len());
+        self.tweets.push(CollectedTweet {
+            tweet,
+            seen_at: now,
+            via_search,
+            via_stream: !via_search,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn drain_pages(
+        &mut self,
+        net: &mut Net,
+        eco: &mut Ecosystem,
+        now: SimTime,
+        base: Request,
+        doc_kind: &'static str,
+        via_search: bool,
+        into_control: bool,
+    ) -> Result<Option<u64>, CoreError> {
+        let mut page = 0u64;
+        let mut max_id: Option<u64> = None;
+        loop {
+            let req = base.clone().with("page", page.to_string());
+            let resp = match net.twitter(eco, now, &req) {
+                Ok(r) => r,
+                Err(_) => {
+                    self.failed_requests += 1;
+                    return Ok(max_id); // lose the page, keep the campaign going
+                }
+            };
+            let doc = WireDoc::parse_as(&resp.body, doc_kind)?;
+            for encoded in doc.get_all("tweet") {
+                let Some(mut tweet) = Tweet::decode(encoded) else {
+                    return Err(CoreError::Protocol(format!(
+                        "undecodable tweet: {encoded:?}"
+                    )));
+                };
+                max_id = Some(max_id.map_or(tweet.id.0, |m| m.max(tweet.id.0)));
+                if into_control {
+                    tweet.is_control = true;
+                    self.control.push(tweet);
+                } else {
+                    self.ingest(tweet, now, via_search);
+                }
+            }
+            match doc.opt_u64("next_page")? {
+                Some(next) => page = next,
+                None => return Ok(max_id),
+            }
+        }
+    }
+
+    /// One hourly Search API round: one paginated, `since_id`-incremental
+    /// query per tracked host.
+    pub fn run_search(
+        &mut self,
+        net: &mut Net,
+        eco: &mut Ecosystem,
+        now: SimTime,
+    ) -> Result<(), CoreError> {
+        for (hi, host) in TRACK_HOSTS.into_iter().enumerate() {
+            let mut req = Request::new("twitter/search").with("host", host);
+            if let Some(since) = self.since_id[hi] {
+                req = req.with("since_id", since.to_string());
+            }
+            let max_id = self.drain_pages(net, eco, now, req, "tw-search", true, false)?;
+            // Advance the host's high-water mark only past tweets *this
+            // host's search* actually delivered — anything older is
+            // invisible to search forever, anything newer must still be
+            // fetchable next hour even if the stream saw it first.
+            if max_id > self.since_id[hi] {
+                self.since_id[hi] = max_id;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain the Streaming API for the period since the previous drain.
+    pub fn drain_stream(
+        &mut self,
+        net: &mut Net,
+        eco: &mut Ecosystem,
+        now: SimTime,
+    ) -> Result<(), CoreError> {
+        let from = self.last_stream_drain;
+        self.last_stream_drain = now;
+        let req = Request::new("twitter/stream")
+            .with("from", from.as_secs().to_string())
+            .with("to", now.as_secs().to_string());
+        self.drain_pages(net, eco, now, req, "tw-stream", false, false)
+            .map(|_| ())
+    }
+
+    /// Drain the 1% sample stream into the control dataset.
+    pub fn drain_sample(
+        &mut self,
+        net: &mut Net,
+        eco: &mut Ecosystem,
+        now: SimTime,
+    ) -> Result<(), CoreError> {
+        let from = self.last_sample_drain;
+        self.last_sample_drain = now;
+        let req = Request::new("twitter/sample")
+            .with("from", from.as_secs().to_string())
+            .with("to", now.as_secs().to_string());
+        self.drain_pages(net, eco, now, req, "tw-sample", false, true)
+            .map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatlens_simnet::time::SimDuration;
+    use chatlens_workload::ScenarioConfig;
+
+    fn setup() -> (Ecosystem, Net, Discovery) {
+        let eco = Ecosystem::build(ScenarioConfig::tiny());
+        let start = eco.window.start_time();
+        let net = Net::reliable(7, start);
+        let disco = Discovery::new(start);
+        (eco, net, disco)
+    }
+
+    #[test]
+    fn first_search_pulls_backlog() {
+        let (mut eco, mut net, mut disco) = setup();
+        let t0 = eco.window.start_time() + SimDuration::hours(1);
+        disco.run_search(&mut net, &mut eco, t0).unwrap();
+        assert!(disco.group_count() > 0, "backlog should yield groups");
+        assert!(disco.tweets.iter().all(|t| t.via_search));
+        // Everything seen so far was posted within the search window.
+        for t in &disco.tweets {
+            assert!(t.tweet.at <= t0);
+        }
+    }
+
+    #[test]
+    fn since_id_makes_hourly_searches_incremental() {
+        let (mut eco, mut net, mut disco) = setup();
+        let t0 = eco.window.start_time() + SimDuration::hours(1);
+        disco.run_search(&mut net, &mut eco, t0).unwrap();
+        let after_first = disco.tweets.len();
+        // Immediately repeating the search must add nothing.
+        disco.run_search(&mut net, &mut eco, t0).unwrap();
+        assert_eq!(disco.tweets.len(), after_first);
+        // An hour later only the new hour's tweets arrive.
+        let t1 = t0 + SimDuration::hours(1);
+        disco.run_search(&mut net, &mut eco, t1).unwrap();
+        let delta = disco.tweets.len() - after_first;
+        assert!(delta < after_first / 4, "hourly delta {delta} too large");
+    }
+
+    #[test]
+    fn merging_feeds_beats_either_alone() {
+        let (mut eco, mut net, mut disco) = setup();
+        let end = eco.window.start_time() + SimDuration::days(2);
+        let mut t = eco.window.start_time() + SimDuration::hours(1);
+        while t < end {
+            disco.run_search(&mut net, &mut eco, t).unwrap();
+            disco.drain_stream(&mut net, &mut eco, t).unwrap();
+            t += SimDuration::hours(1);
+        }
+        let both = disco
+            .tweets
+            .iter()
+            .filter(|t| t.via_search && t.via_stream)
+            .count();
+        let search_only = disco
+            .tweets
+            .iter()
+            .filter(|t| t.via_search && !t.via_stream)
+            .count();
+        let stream_only = disco
+            .tweets
+            .iter()
+            .filter(|t| !t.via_search && t.via_stream)
+            .count();
+        assert!(both > 0, "feeds overlap");
+        assert!(search_only > 0, "search sees tweets the stream lost");
+        assert!(stream_only > 0, "stream sees tweets search misses");
+    }
+
+    #[test]
+    fn control_drain_collects_sample() {
+        let (mut eco, mut net, mut disco) = setup();
+        let t = eco.window.start_time() + SimDuration::days(1);
+        disco.drain_sample(&mut net, &mut eco, t).unwrap();
+        assert!(!disco.control.is_empty());
+        assert!(disco.control.iter().all(|t| t.is_control));
+        // A second drain for the same period adds nothing.
+        let n = disco.control.len();
+        disco.drain_sample(&mut net, &mut eco, t).unwrap();
+        assert_eq!(disco.control.len(), n);
+    }
+
+    #[test]
+    fn groups_deduplicate_across_tweets() {
+        let (mut eco, mut net, mut disco) = setup();
+        let end = eco.window.start_time() + SimDuration::days(3);
+        let mut t = eco.window.start_time() + SimDuration::hours(1);
+        while t < end {
+            disco.run_search(&mut net, &mut eco, t).unwrap();
+            t += SimDuration::hours(6);
+        }
+        assert!(disco.tweets.len() > disco.group_count(), "URLs repeat");
+        // Every discovered group is resolvable by key and consistent.
+        for g in &disco.groups {
+            let found = disco.group_by_key(&g.invite.dedup_key()).unwrap();
+            assert_eq!(found.invite, g.invite);
+            assert!(found.first_tweet_at <= found.discovered_at);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the collection pipeline.
+
+use chatlens_platforms::wire::WireError;
+use chatlens_simnet::transport::TransportError;
+use std::fmt;
+
+/// Anything that can go wrong while collecting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The transport gave up (retries exhausted, rate budget blown).
+    Transport(TransportError),
+    /// A response body failed to parse.
+    Wire(WireError),
+    /// The far end answered something protocol-violating (e.g. a join
+    /// response without a group id).
+    Protocol(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Transport(e) => write!(f, "transport: {e}"),
+            CoreError::Wire(e) => write!(f, "wire: {e}"),
+            CoreError::Protocol(s) => write!(f, "protocol: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Transport(e) => Some(e),
+            CoreError::Wire(e) => Some(e),
+            CoreError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<TransportError> for CoreError {
+    fn from(e: TransportError) -> Self {
+        CoreError::Transport(e)
+    }
+}
+
+impl From<WireError> for CoreError {
+    fn from(e: WireError) -> Self {
+        CoreError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(TransportError::RateBudgetExhausted);
+        assert!(e.to_string().contains("transport"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::from(WireError::Empty);
+        assert!(e.to_string().contains("wire"));
+        let e = CoreError::Protocol("weird".into());
+        assert!(e.to_string().contains("weird"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,751 @@
+//! Joining sampled groups and collecting their contents (§3.3).
+//!
+//! The paper joined 416 WhatsApp groups, 100 Telegram chats, and 100
+//! Discord servers, selected uniformly at random, under each platform's
+//! constraints:
+//!
+//! * WhatsApp bans an account after ~250–300 joins, so the joiner rotates
+//!   to a fresh account when the platform starts refusing.
+//! * Discord rejects bot self-joins; the joiner demonstrates that (one
+//!   probing bot attempt) and proceeds with a user account, capped at 100
+//!   servers per account.
+//! * Telegram's API flood control throttles joins and history fetches;
+//!   the transport client absorbs `FLOOD_WAIT`s with retry + backoff.
+//!
+//! After joining, the collector fetches member lists (where the platform
+//! allows), user profiles, and message histories, feeding every piece of
+//! PII through the hashing store.
+
+use crate::discovery::Discovery;
+use crate::error::CoreError;
+use crate::net::Net;
+use crate::pii::{country_of, hash_phone, PiiStore};
+use chatlens_platforms::id::{GroupId, PlatformKind};
+use chatlens_platforms::message::Message;
+use chatlens_platforms::service::parse_message;
+use chatlens_platforms::wire::WireDoc;
+use chatlens_simnet::rng::Rng;
+use chatlens_simnet::time::SimTime;
+
+/// How the join sample is drawn from the discovered groups (the paper
+/// samples uniformly, §3.3; size-biased sampling is the ablation
+/// DESIGN.md calls out — it inflates message-volume estimates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Uniformly random over discovered groups (the paper's choice).
+    #[default]
+    Uniform,
+    /// Largest observed groups first (requires monitor sizes).
+    SizeBiased,
+}
+use chatlens_simnet::transport::{Request, Status};
+use chatlens_workload::Ecosystem;
+
+/// A member as the collector recorded it (already ethics-scrubbed: phones
+/// are hashes).
+#[derive(Debug, Clone)]
+pub struct MemberRecord {
+    /// Platform-local user id, when the platform exposes one (Telegram,
+    /// Discord); WhatsApp identifies members only by phone.
+    pub user_id: Option<u32>,
+    /// SHA-256 of the member's E.164 phone number, if exposed.
+    pub phone_hash: Option<String>,
+    /// Country code derived from the number before hashing.
+    pub country: Option<String>,
+    /// Connected accounts (Discord).
+    pub linked: Vec<String>,
+}
+
+/// One joined group and everything collected from inside it.
+#[derive(Debug, Clone)]
+pub struct JoinedGroup {
+    /// The platform.
+    pub platform: PlatformKind,
+    /// Dedup key of the invite it was joined through.
+    pub key: String,
+    /// Platform-local group id returned by the join call.
+    pub group_id: GroupId,
+    /// When the collector joined.
+    pub joined_at: SimTime,
+    /// Creation day number, once known (WhatsApp/Telegram reveal it only
+    /// after joining; Discord already had it from the invite API).
+    pub created_day: Option<i64>,
+    /// Members with any collected information.
+    pub members: Vec<MemberRecord>,
+    /// Whether a member list was available at all (§3.3: hidden on most
+    /// Telegram chats; never available to Discord collectors).
+    pub member_list_available: bool,
+    /// Collected messages.
+    pub messages: Vec<Message>,
+}
+
+/// The joining/collection component.
+#[derive(Default)]
+pub struct Joiner {
+    /// Successfully joined groups with their collected contents.
+    pub joined: Vec<JoinedGroup>,
+    /// Accounts opened per platform (index = [`PlatformKind::index`]).
+    pub accounts_used: [u16; 3],
+    /// Join attempts refused because the URL was dead by join time.
+    pub dead_at_join: u64,
+    /// Whether the Discord bot-join probe was rejected (it always is;
+    /// recorded to mirror §3.3's constraint).
+    pub bot_join_rejected: bool,
+    /// Collection fetches lost to transport failures (after retries) —
+    /// the campaign skips and carries on, like any crawler.
+    pub failed_fetches: u64,
+}
+
+impl Joiner {
+    /// A fresh joiner.
+    pub fn new() -> Joiner {
+        Joiner::default()
+    }
+
+    /// Join up to `budget` sampled discovered groups on `platform`. Dead
+    /// URLs are skipped and resampled, mirroring the paper's join of live
+    /// public groups. `observed_size` supplies monitor sizes for the
+    /// size-biased ablation strategy (ignored under `Uniform`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn join_phase_with(
+        &mut self,
+        net: &mut Net,
+        eco: &mut Ecosystem,
+        discovery: &Discovery,
+        platform: PlatformKind,
+        budget: u64,
+        now: SimTime,
+        rng: &mut Rng,
+        strategy: JoinStrategy,
+        observed_size: &dyn Fn(&str) -> Option<u32>,
+    ) -> Result<(), CoreError> {
+        let pidx = platform.index();
+        let (join_ep, join_doc) = match platform {
+            PlatformKind::WhatsApp => ("whatsapp/join", "wa-join"),
+            PlatformKind::Telegram => ("telegram/api/join", "tg-join"),
+            PlatformKind::Discord => ("discord/api/join", "dc-join"),
+        };
+        // Candidate order: uniformly shuffled (the paper), or largest
+        // observed first (ablation).
+        let mut candidates: Vec<&crate::discovery::DiscoveryRecord> =
+            discovery.groups_of(platform).collect();
+        rng.shuffle(&mut candidates);
+        if strategy == JoinStrategy::SizeBiased {
+            candidates.sort_by_key(|r| {
+                std::cmp::Reverse(observed_size(&r.invite.dedup_key()).unwrap_or(0))
+            });
+        }
+
+        let mut account = eco.platforms[pidx].create_account();
+        self.accounts_used[pidx] += 1;
+
+        // Discord: demonstrate that a bot credential cannot join (§3.3).
+        if platform == PlatformKind::Discord {
+            if let Some(first) = candidates.first() {
+                let req = Request::new(join_ep)
+                    .with("account", account.0.to_string())
+                    .with("code", first.invite.code.clone())
+                    .with("actor", "bot");
+                if let Ok(resp) = net.platform(eco, platform, now, &req) {
+                    self.bot_join_rejected = resp.status == Status::Forbidden;
+                }
+            }
+        }
+
+        let mut joined_here = 0u64;
+        // Joins are sequential in real life; pace them at one per second
+        // of virtual time so server-side flood control (Telegram) sees a
+        // sustainable rate instead of one infinite burst.
+        let mut cursor = now;
+        for rec in candidates {
+            if joined_here >= budget {
+                break;
+            }
+            cursor += chatlens_simnet::time::SimDuration::secs(1);
+            let req = Request::new(join_ep)
+                .with("account", account.0.to_string())
+                .with("code", rec.invite.code.clone());
+            let resp = match net.platform(eco, platform, cursor, &req) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            match resp.status {
+                Status::Ok => {
+                    let doc = WireDoc::parse_as(&resp.body, join_doc)?;
+                    let gid = GroupId(doc.req_u64("group")? as u32);
+                    // The platform granted membership; materialize the
+                    // group's world-side history so later collection has
+                    // something to return.
+                    eco.materialize_group(platform, gid);
+                    self.joined.push(JoinedGroup {
+                        platform,
+                        key: rec.invite.dedup_key(),
+                        group_id: gid,
+                        joined_at: cursor,
+                        created_day: None,
+                        members: Vec::new(),
+                        member_list_available: false,
+                        messages: Vec::new(),
+                    });
+                    joined_here += 1;
+                }
+                Status::Gone | Status::NotFound => {
+                    self.dead_at_join += 1;
+                }
+                Status::Forbidden => {
+                    // Join limit reached: rotate to a fresh account (the
+                    // paper needed multiple phones/SIMs for WhatsApp) and
+                    // retry this candidate once.
+                    account = eco.platforms[pidx].create_account();
+                    self.accounts_used[pidx] += 1;
+                    let retry = Request::new(join_ep)
+                        .with("account", account.0.to_string())
+                        .with("code", rec.invite.code.clone());
+                    if let Ok(r2) = net.platform(eco, platform, cursor, &retry) {
+                        if r2.status == Status::Ok {
+                            let doc = WireDoc::parse_as(&r2.body, join_doc)?;
+                            let gid = GroupId(doc.req_u64("group")? as u32);
+                            eco.materialize_group(platform, gid);
+                            self.joined.push(JoinedGroup {
+                                platform,
+                                key: rec.invite.dedup_key(),
+                                group_id: gid,
+                                joined_at: cursor,
+                                created_day: None,
+                                members: Vec::new(),
+                                member_list_available: false,
+                                messages: Vec::new(),
+                            });
+                            joined_here += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Join uniformly at random (the paper's strategy, §3.3).
+    #[allow(clippy::too_many_arguments)]
+    pub fn join_phase(
+        &mut self,
+        net: &mut Net,
+        eco: &mut Ecosystem,
+        discovery: &Discovery,
+        platform: PlatformKind,
+        budget: u64,
+        now: SimTime,
+        rng: &mut Rng,
+    ) -> Result<(), CoreError> {
+        self.join_phase_with(
+            net,
+            eco,
+            discovery,
+            platform,
+            budget,
+            now,
+            rng,
+            JoinStrategy::Uniform,
+            &|_| None,
+        )
+    }
+
+    /// Collect member lists, profiles and message histories for every
+    /// joined group, recording PII exposures.
+    pub fn collect_phase(
+        &mut self,
+        net: &mut Net,
+        eco: &mut Ecosystem,
+        now: SimTime,
+        pii: &mut PiiStore,
+    ) -> Result<(), CoreError> {
+        // Collection is a long sequential crawl: each request advances a
+        // shared virtual cursor so server-side flood control (Telegram's
+        // FLOOD_WAIT) experiences a sustainable rate, exactly as a real
+        // crawler pacing itself would.
+        let mut cursor = now;
+        // The account that joined each group: accounts were rotated in
+        // join order, and group membership is per-account, so replay the
+        // same resolution the platform uses.
+        for jg in &mut self.joined {
+            let platform = jg.platform;
+            let account = find_member_account(eco, jg);
+            let Some(account) = account else {
+                continue; // defensive: join bookkeeping mismatch
+            };
+            match platform {
+                PlatformKind::WhatsApp => {
+                    collect_whatsapp(
+                        net,
+                        eco,
+                        jg,
+                        account,
+                        &mut cursor,
+                        pii,
+                        &mut self.failed_fetches,
+                    )?;
+                }
+                PlatformKind::Telegram => {
+                    collect_telegram(
+                        net,
+                        eco,
+                        jg,
+                        account,
+                        &mut cursor,
+                        pii,
+                        &mut self.failed_fetches,
+                    )?;
+                }
+                PlatformKind::Discord => {
+                    collect_discord(
+                        net,
+                        eco,
+                        jg,
+                        account,
+                        &mut cursor,
+                        pii,
+                        &mut self.failed_fetches,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Find the collector account that holds membership of `jg`.
+fn find_member_account(eco: &Ecosystem, jg: &JoinedGroup) -> Option<u16> {
+    let p = &eco.platforms[jg.platform.index()];
+    (0..p.account_count() as u16).find(|&a| {
+        p.joined_at(chatlens_platforms::id::AccountId(a), jg.group_id)
+            .is_some()
+    })
+}
+
+/// Advance the collection cursor by one pacing step (1 s per request).
+fn tick(cursor: &mut SimTime) -> SimTime {
+    *cursor += chatlens_simnet::time::SimDuration::secs(1);
+    *cursor
+}
+
+fn parse_messages(doc: &WireDoc) -> Result<Vec<Message>, CoreError> {
+    let mut out = Vec::new();
+    for raw in doc.get_all("msg") {
+        let Some(m) = parse_message(raw) else {
+            return Err(CoreError::Protocol(format!("bad message: {raw:?}")));
+        };
+        out.push(m);
+    }
+    Ok(out)
+}
+
+fn collect_whatsapp(
+    net: &mut Net,
+    eco: &mut Ecosystem,
+    jg: &mut JoinedGroup,
+    account: u16,
+    cursor: &mut SimTime,
+    pii: &mut PiiStore,
+    failed: &mut u64,
+) -> Result<(), CoreError> {
+    let base = |ep: &str| {
+        Request::new(ep)
+            .with("account", account.to_string())
+            .with("group", jg.group_id.0.to_string())
+    };
+    // Member phone numbers + creation date (visible only after joining).
+    // Transport failures (after retries) cost this group's data, not the
+    // campaign.
+    let Ok(resp) = net.platform(
+        eco,
+        PlatformKind::WhatsApp,
+        tick(cursor),
+        &base("whatsapp/members"),
+    ) else {
+        *failed += 1;
+        return Ok(());
+    };
+    if resp.status == Status::Ok {
+        let doc = WireDoc::parse_as(&resp.body, "wa-members")?;
+        jg.created_day = Some(doc.req_i64("created_day")?);
+        jg.member_list_available = true;
+        for phone in doc.get_all("member") {
+            pii.record_wa_member(phone);
+            jg.members.push(MemberRecord {
+                user_id: None,
+                phone_hash: Some(hash_phone(phone)),
+                country: country_of(phone).map(str::to_string),
+                linked: Vec::new(),
+            });
+        }
+    }
+    // Messages since the join date.
+    let Ok(resp) = net.platform(
+        eco,
+        PlatformKind::WhatsApp,
+        tick(cursor),
+        &base("whatsapp/messages"),
+    ) else {
+        *failed += 1;
+        return Ok(());
+    };
+    if resp.status == Status::Ok {
+        let doc = WireDoc::parse_as(&resp.body, "wa-messages")?;
+        jg.messages = parse_messages(&doc)?;
+    }
+    Ok(())
+}
+
+fn collect_telegram(
+    net: &mut Net,
+    eco: &mut Ecosystem,
+    jg: &mut JoinedGroup,
+    account: u16,
+    cursor: &mut SimTime,
+    pii: &mut PiiStore,
+    failed: &mut u64,
+) -> Result<(), CoreError> {
+    let base = |ep: &str| {
+        Request::new(ep)
+            .with("account", account.to_string())
+            .with("group", jg.group_id.0.to_string())
+    };
+    // Full history since creation.
+    let Ok(resp) = net.platform(
+        eco,
+        PlatformKind::Telegram,
+        tick(cursor),
+        &base("telegram/api/history"),
+    ) else {
+        *failed += 1;
+        return Ok(());
+    };
+    if resp.status == Status::Ok {
+        let doc = WireDoc::parse_as(&resp.body, "tg-history")?;
+        jg.created_day = Some(doc.req_i64("created_day")?);
+        jg.messages = parse_messages(&doc)?;
+    }
+    // Member list, if the admins left it visible.
+    let mut user_ids: Vec<u32> = Vec::new();
+    let Ok(resp) = net.platform(
+        eco,
+        PlatformKind::Telegram,
+        tick(cursor),
+        &base("telegram/api/members"),
+    ) else {
+        *failed += 1;
+        return Ok(());
+    };
+    if resp.status == Status::Ok {
+        let doc = WireDoc::parse_as(&resp.body, "tg-members")?;
+        jg.member_list_available = true;
+        for raw in doc.get_all("member") {
+            if let Ok(id) = raw.parse::<u32>() {
+                user_ids.push(id);
+            }
+        }
+    } else {
+        // Hidden list (§3.3): fall back to the users who posted at least
+        // one message, exactly as the paper did (§6).
+        let mut senders: Vec<u32> = jg.messages.iter().map(|m| m.sender.0).collect();
+        senders.sort_unstable();
+        senders.dedup();
+        user_ids = senders;
+    }
+    // Profile lookups: phones only for the opt-in sliver.
+    for id in user_ids {
+        let req = Request::new("telegram/api/user")
+            .with("account", account.to_string())
+            .with("id", id.to_string());
+        let Ok(resp) = net.platform(eco, PlatformKind::Telegram, tick(cursor), &req) else {
+            *failed += 1;
+            continue;
+        };
+        if resp.status != Status::Ok {
+            continue;
+        }
+        let doc = WireDoc::parse_as(&resp.body, "tg-user")?;
+        let phone = doc.get("phone");
+        pii.record_tg_user(id, phone);
+        jg.members.push(MemberRecord {
+            user_id: Some(id),
+            phone_hash: phone.map(hash_phone),
+            country: phone.and_then(country_of).map(str::to_string),
+            linked: Vec::new(),
+        });
+    }
+    Ok(())
+}
+
+fn collect_discord(
+    net: &mut Net,
+    eco: &mut Ecosystem,
+    jg: &mut JoinedGroup,
+    account: u16,
+    cursor: &mut SimTime,
+    pii: &mut PiiStore,
+    failed: &mut u64,
+) -> Result<(), CoreError> {
+    let base = |ep: &str| {
+        Request::new(ep)
+            .with("account", account.to_string())
+            .with("group", jg.group_id.0.to_string())
+    };
+    let Ok(resp) = net.platform(
+        eco,
+        PlatformKind::Discord,
+        tick(cursor),
+        &base("discord/api/messages"),
+    ) else {
+        *failed += 1;
+        return Ok(());
+    };
+    if resp.status == Status::Ok {
+        let doc = WireDoc::parse_as(&resp.body, "dc-messages")?;
+        jg.created_day = Some(doc.req_i64("created_day")?);
+        jg.messages = parse_messages(&doc)?;
+    }
+    // No member list for user-level collectors (§3.3): profiles are
+    // fetched for users who posted at least one message.
+    let mut senders: Vec<u32> = jg.messages.iter().map(|m| m.sender.0).collect();
+    senders.sort_unstable();
+    senders.dedup();
+    for id in senders {
+        let req = Request::new("discord/api/user").with("id", id.to_string());
+        let Ok(resp) = net.platform(eco, PlatformKind::Discord, tick(cursor), &req) else {
+            *failed += 1;
+            continue;
+        };
+        if resp.status != Status::Ok {
+            continue;
+        }
+        let doc = WireDoc::parse_as(&resp.body, "dc-user")?;
+        let linked: Vec<String> = doc.get_all("linked").map(str::to_string).collect();
+        pii.record_dc_user(id, &linked);
+        jg.members.push(MemberRecord {
+            user_id: Some(id),
+            phone_hash: None,
+            country: None,
+            linked,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatlens_simnet::time::SimDuration;
+    use chatlens_workload::ScenarioConfig;
+
+    fn setup_with_discovery() -> (Ecosystem, Net, Discovery) {
+        let eco = Ecosystem::build(ScenarioConfig::tiny());
+        let start = eco.window.start_time();
+        let mut net = Net::reliable(21, start);
+        let mut disco = Discovery::new(start);
+        let mut eco = eco;
+        let t0 = start + SimDuration::hours(1);
+        disco.run_search(&mut net, &mut eco, t0).unwrap();
+        (eco, net, disco)
+    }
+
+    #[test]
+    fn joins_live_groups_up_to_budget() {
+        let (mut eco, mut net, disco) = setup_with_discovery();
+        let mut joiner = Joiner::new();
+        let mut rng = Rng::new(1);
+        let now = eco.window.start_time() + SimDuration::days(2);
+        joiner
+            .join_phase(
+                &mut net,
+                &mut eco,
+                &disco,
+                PlatformKind::Telegram,
+                5,
+                now,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(joiner.joined.len(), 5);
+        for jg in &joiner.joined {
+            assert_eq!(jg.platform, PlatformKind::Telegram);
+            assert!(
+                eco.platform(PlatformKind::Telegram)
+                    .group(jg.group_id)
+                    .history
+                    .is_some(),
+                "joined group materialized"
+            );
+        }
+    }
+
+    #[test]
+    fn discord_bot_probe_is_rejected() {
+        let (mut eco, mut net, disco) = setup_with_discovery();
+        let mut joiner = Joiner::new();
+        let mut rng = Rng::new(2);
+        let now = eco.window.start_time() + SimDuration::days(1);
+        joiner
+            .join_phase(
+                &mut net,
+                &mut eco,
+                &disco,
+                PlatformKind::Discord,
+                3,
+                now,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(joiner.bot_join_rejected, "bots cannot self-join (§3.3)");
+        assert!(joiner.dead_at_join > 0, "many Discord invites are dead");
+    }
+
+    #[test]
+    fn whatsapp_collection_yields_hashed_phones() {
+        let (mut eco, mut net, disco) = setup_with_discovery();
+        let mut joiner = Joiner::new();
+        let mut pii = PiiStore::new();
+        let mut rng = Rng::new(3);
+        let now = eco.window.start_time() + SimDuration::days(2);
+        joiner
+            .join_phase(
+                &mut net,
+                &mut eco,
+                &disco,
+                PlatformKind::WhatsApp,
+                4,
+                now,
+                &mut rng,
+            )
+            .unwrap();
+        let end = eco
+            .window
+            .end_time()
+            .checked_sub(SimDuration::hours(1))
+            .unwrap();
+        joiner
+            .collect_phase(&mut net, &mut eco, end, &mut pii)
+            .unwrap();
+        assert!(!joiner.joined.is_empty());
+        let mut saw_member = false;
+        for jg in &joiner.joined {
+            assert!(jg.member_list_available, "WhatsApp always shows members");
+            assert!(jg.created_day.is_some(), "creation date visible post-join");
+            for m in &jg.members {
+                saw_member = true;
+                let h = m.phone_hash.as_ref().expect("every member has a phone");
+                assert_eq!(h.len(), 64, "stored as SHA-256, not a number");
+                assert!(m.country.is_some());
+            }
+        }
+        assert!(saw_member);
+        assert!(!pii.wa_member_hashes.is_empty());
+    }
+
+    #[test]
+    fn telegram_hidden_lists_fall_back_to_senders() {
+        let (mut eco, mut net, disco) = setup_with_discovery();
+        let mut joiner = Joiner::new();
+        let mut pii = PiiStore::new();
+        let mut rng = Rng::new(4);
+        let now = eco.window.start_time() + SimDuration::days(2);
+        joiner
+            .join_phase(
+                &mut net,
+                &mut eco,
+                &disco,
+                PlatformKind::Telegram,
+                12,
+                now,
+                &mut rng,
+            )
+            .unwrap();
+        let end = eco
+            .window
+            .end_time()
+            .checked_sub(SimDuration::hours(1))
+            .unwrap();
+        joiner
+            .collect_phase(&mut net, &mut eco, end, &mut pii)
+            .unwrap();
+        let hidden = joiner
+            .joined
+            .iter()
+            .filter(|j| !j.member_list_available)
+            .count();
+        let visible = joiner.joined.len() - hidden;
+        assert!(hidden > 0, "most Telegram lists are hidden");
+        // Visible-list groups report more members than they have senders.
+        let _ = visible;
+        assert!(!pii.tg_users_observed.is_empty());
+        // Opt-in phones are rare but the rate is tiny, not guaranteed >0
+        // in a tiny scenario; just check the bound.
+        assert!(pii.tg_phone_hashes.len() <= pii.tg_users_observed.len());
+    }
+
+    #[test]
+    fn discord_collection_yields_linked_accounts() {
+        let (mut eco, mut net, disco) = setup_with_discovery();
+        let mut joiner = Joiner::new();
+        let mut pii = PiiStore::new();
+        let mut rng = Rng::new(5);
+        let now = eco.window.start_time() + SimDuration::days(1);
+        joiner
+            .join_phase(
+                &mut net,
+                &mut eco,
+                &disco,
+                PlatformKind::Discord,
+                8,
+                now,
+                &mut rng,
+            )
+            .unwrap();
+        let end = eco
+            .window
+            .end_time()
+            .checked_sub(SimDuration::hours(1))
+            .unwrap();
+        joiner
+            .collect_phase(&mut net, &mut eco, end, &mut pii)
+            .unwrap();
+        assert!(!joiner.joined.is_empty());
+        assert!(!pii.dc_users_observed.is_empty());
+        let rate = pii.dc_link_rate();
+        assert!((0.1..=0.55).contains(&rate), "link rate {rate}");
+        // No phone numbers on Discord, ever.
+        for jg in &joiner.joined {
+            assert!(jg.members.iter().all(|m| m.phone_hash.is_none()));
+        }
+    }
+
+    #[test]
+    fn account_rotation_on_join_limits() {
+        // Force a tiny join limit by using Discord (limit 100) with a
+        // budget above it.
+        let (mut eco, mut net, disco) = setup_with_discovery();
+        let n_discord_alive = disco.groups_of(PlatformKind::Discord).count();
+        if n_discord_alive < 110 {
+            // tiny scenario may not have enough groups; skip gracefully
+            return;
+        }
+        let mut joiner = Joiner::new();
+        let mut rng = Rng::new(6);
+        let now = eco.window.start_time() + SimDuration::days(1);
+        joiner
+            .join_phase(
+                &mut net,
+                &mut eco,
+                &disco,
+                PlatformKind::Discord,
+                150,
+                now,
+                &mut rng,
+            )
+            .unwrap();
+        if joiner.joined.len() > 100 {
+            assert!(joiner.accounts_used[PlatformKind::Discord.index()] > 1);
+        }
+    }
+}

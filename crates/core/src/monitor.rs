@@ -1,0 +1,409 @@
+//! Daily group-metadata monitoring (§3.2).
+//!
+//! From the day a group is discovered until its URL is found revoked, the
+//! monitor fetches its public metadata once per day: the WhatsApp landing
+//! page (title, size, creator country + phone — hashed on arrival), the
+//! Telegram web page (title, size, online count, group-vs-channel), or
+//! the Discord invite API (title, size, online, creator, creation date).
+
+use crate::discovery::Discovery;
+use crate::error::CoreError;
+use crate::net::Net;
+use crate::pii::PiiStore;
+use chatlens_platforms::id::PlatformKind;
+use chatlens_platforms::wire::WireDoc;
+use chatlens_simnet::time::SimTime;
+use chatlens_simnet::transport::{Request, Status};
+use chatlens_workload::Ecosystem;
+use std::collections::HashMap;
+
+/// What the monitor saw for one group on one day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservedStatus {
+    /// Landing page served: the group is alive with these counts.
+    Alive {
+        /// Member count shown.
+        size: u32,
+        /// Online count shown (0 where the platform shows none).
+        online: u32,
+    },
+    /// The URL is revoked/expired (410).
+    Revoked,
+    /// Transport failed after retries; no information for the day.
+    Failed,
+}
+
+/// One day's observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// Zero-based study-day index.
+    pub day: u32,
+    /// What was seen.
+    pub status: ObservedStatus,
+}
+
+/// Everything the monitor learned about one group over the campaign.
+#[derive(Debug, Clone, Default)]
+pub struct GroupTimeline {
+    /// Daily observations, in day order (stops after `Revoked`).
+    pub observations: Vec<Observation>,
+    /// Title from the first successful fetch.
+    pub title: Option<String>,
+    /// Telegram: `"group"` or `"channel"`.
+    pub tg_kind: Option<String>,
+    /// Discord: creation day number from the invite API.
+    pub dc_created_day: Option<i64>,
+    /// Discord: creator user id from the invite API.
+    pub dc_creator: Option<u32>,
+    /// WhatsApp: creator country code from the landing page.
+    pub wa_creator_cc: Option<String>,
+    /// WhatsApp: SHA-256 of the creator's phone (the only creator identity
+    /// available; used by §5's creators-per-group analysis).
+    pub wa_creator_hash: Option<String>,
+}
+
+impl GroupTimeline {
+    /// First observation, if any.
+    pub fn first(&self) -> Option<&Observation> {
+        self.observations.first()
+    }
+
+    /// Whether the group was ever observed revoked.
+    pub fn saw_revoked(&self) -> bool {
+        self.observations
+            .iter()
+            .any(|o| o.status == ObservedStatus::Revoked)
+    }
+
+    /// Whether the *first* observation was already a revocation — the
+    /// "revoked before our first observation" bucket of Fig 6.
+    pub fn dead_on_arrival(&self) -> bool {
+        matches!(
+            self.first(),
+            Some(Observation {
+                status: ObservedStatus::Revoked,
+                ..
+            })
+        )
+    }
+
+    /// `(first, last)` sizes over the alive observations (Fig 7).
+    pub fn size_span(&self) -> Option<(u32, u32)> {
+        let mut first = None;
+        let mut last = None;
+        for o in &self.observations {
+            if let ObservedStatus::Alive { size, .. } = o.status {
+                if first.is_none() {
+                    first = Some(size);
+                }
+                last = Some(size);
+            }
+        }
+        Some((first?, last?))
+    }
+
+    /// Day index of the observed revocation, if any.
+    pub fn revoked_day(&self) -> Option<u32> {
+        self.observations
+            .iter()
+            .find(|o| o.status == ObservedStatus::Revoked)
+            .map(|o| o.day)
+    }
+
+    /// Number of days the group was observed alive.
+    pub fn alive_days(&self) -> u32 {
+        self.observations
+            .iter()
+            .filter(|o| matches!(o.status, ObservedStatus::Alive { .. }))
+            .count() as u32
+    }
+}
+
+/// The monitoring component.
+#[derive(Default)]
+pub struct Monitor {
+    /// Timelines keyed by the group's dedup key.
+    pub timelines: HashMap<String, GroupTimeline>,
+    /// Keys that reached a terminal state (revoked) — no longer polled.
+    terminal: std::collections::HashSet<String>,
+}
+
+impl Monitor {
+    /// A fresh monitor.
+    pub fn new() -> Monitor {
+        Monitor::default()
+    }
+
+    /// Run one daily round over every discovered, not-yet-revoked group.
+    /// `day` is the zero-based study-day index. When `pii` is given,
+    /// WhatsApp creator phone numbers coming off the landing pages are
+    /// hashed into it (the landing page is the only pre-join source of
+    /// creator phones, §6).
+    pub fn run_day(
+        &mut self,
+        net: &mut Net,
+        eco: &mut Ecosystem,
+        discovery: &Discovery,
+        now: SimTime,
+        day: u32,
+        mut pii: Option<&mut PiiStore>,
+    ) -> Result<(), CoreError> {
+        // Iterate over a snapshot of keys: discovery keeps growing, but
+        // today's round covers what is known right now.
+        for rec in &discovery.groups {
+            let key = rec.invite.dedup_key();
+            if self.terminal.contains(&key) {
+                continue;
+            }
+            let (endpoint, doc_kind) = match rec.platform {
+                PlatformKind::WhatsApp => ("whatsapp/landing", "wa-landing"),
+                PlatformKind::Telegram => ("telegram/web", "tg-web"),
+                PlatformKind::Discord => ("discord/api/invite", "dc-invite"),
+            };
+            let req = Request::new(endpoint).with("code", rec.invite.code.clone());
+            let resp = match net.platform(eco, rec.platform, now, &req) {
+                Ok(r) => r,
+                Err(_) => {
+                    self.timelines
+                        .entry(key)
+                        .or_default()
+                        .observations
+                        .push(Observation {
+                            day,
+                            status: ObservedStatus::Failed,
+                        });
+                    continue;
+                }
+            };
+            let timeline = self.timelines.entry(key.clone()).or_default();
+            match resp.status {
+                Status::Ok => {
+                    let doc = WireDoc::parse_as(&resp.body, doc_kind)?;
+                    let size = doc.req_u64("size")? as u32;
+                    let online = doc.opt_u64("online")?.unwrap_or(0) as u32;
+                    if timeline.title.is_none() {
+                        timeline.title = doc.get("title").map(str::to_string);
+                    }
+                    timeline.observations.push(Observation {
+                        day,
+                        status: ObservedStatus::Alive { size, online },
+                    });
+                    match rec.platform {
+                        PlatformKind::WhatsApp => {
+                            if timeline.wa_creator_cc.is_none() {
+                                timeline.wa_creator_cc = doc.get("creator_cc").map(str::to_string);
+                            }
+                            if timeline.wa_creator_hash.is_none() {
+                                timeline.wa_creator_hash =
+                                    Some(crate::pii::hash_phone(doc.req("creator_phone")?));
+                            }
+                            if let Some(pii) = pii.as_deref_mut() {
+                                pii.record_wa_creator(
+                                    doc.req("creator_phone")?,
+                                    doc.req("creator_cc")?,
+                                );
+                            }
+                        }
+                        PlatformKind::Telegram => {
+                            if timeline.tg_kind.is_none() {
+                                timeline.tg_kind = doc.get("kind").map(str::to_string);
+                            }
+                        }
+                        PlatformKind::Discord => {
+                            if timeline.dc_created_day.is_none() {
+                                timeline.dc_created_day = Some(doc.req_i64("created_day")?);
+                                timeline.dc_creator = Some(doc.req_u64("creator")? as u32);
+                            }
+                        }
+                    }
+                }
+                Status::Gone => {
+                    timeline.observations.push(Observation {
+                        day,
+                        status: ObservedStatus::Revoked,
+                    });
+                    self.terminal.insert(key);
+                }
+                _ => {
+                    timeline.observations.push(Observation {
+                        day,
+                        status: ObservedStatus::Failed,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Borrow a group's timeline by dedup key.
+    pub fn timeline(&self, key: &str) -> Option<&GroupTimeline> {
+        self.timelines.get(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatlens_simnet::time::SimDuration;
+    use chatlens_workload::ScenarioConfig;
+
+    fn setup() -> (Ecosystem, Net, Discovery, Monitor) {
+        let eco = Ecosystem::build(ScenarioConfig::tiny());
+        let start = eco.window.start_time();
+        let net = Net::reliable(11, start);
+        let disco = Discovery::new(start);
+        (eco, net, disco, Monitor::new())
+    }
+
+    #[test]
+    fn daily_rounds_build_timelines() {
+        let (mut eco, mut net, mut disco, mut monitor) = setup();
+        let t0 = eco.window.start_time() + SimDuration::hours(1);
+        disco.run_search(&mut net, &mut eco, t0).unwrap();
+        let n_groups = disco.group_count();
+        assert!(n_groups > 0);
+        for day in 0..3u32 {
+            let t = eco.window.start_time()
+                + SimDuration::days(u64::from(day))
+                + SimDuration::hours(23);
+            monitor
+                .run_day(&mut net, &mut eco, &disco, t, day, None)
+                .unwrap();
+        }
+        assert_eq!(monitor.timelines.len(), n_groups);
+        // Groups observed alive on day 0 have three observations; revoked
+        // ones stop early.
+        for tl in monitor.timelines.values() {
+            assert!(!tl.observations.is_empty());
+            assert!(tl.observations.len() <= 3);
+            if tl.observations.len() < 3 {
+                assert!(tl.saw_revoked() || tl.first().is_none());
+            }
+            // Days are strictly increasing.
+            assert!(tl.observations.windows(2).all(|w| w[0].day < w[1].day));
+        }
+    }
+
+    #[test]
+    fn revoked_groups_stop_being_polled() {
+        let (mut eco, mut net, mut disco, mut monitor) = setup();
+        let t0 = eco.window.start_time() + SimDuration::hours(1);
+        disco.run_search(&mut net, &mut eco, t0).unwrap();
+        for day in 0..2u32 {
+            let t = eco.window.start_time()
+                + SimDuration::days(u64::from(day))
+                + SimDuration::hours(23);
+            monitor
+                .run_day(&mut net, &mut eco, &disco, t, day, None)
+                .unwrap();
+        }
+        for tl in monitor.timelines.values() {
+            if let Some(rd) = tl.revoked_day() {
+                assert_eq!(
+                    tl.observations.last().unwrap().day,
+                    rd,
+                    "no observations after revocation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn discord_metadata_includes_creation_date() {
+        let (mut eco, mut net, mut disco, mut monitor) = setup();
+        let t0 = eco.window.start_time() + SimDuration::hours(1);
+        disco.run_search(&mut net, &mut eco, t0).unwrap();
+        monitor
+            .run_day(
+                &mut net,
+                &mut eco,
+                &disco,
+                t0 + SimDuration::hours(22),
+                0,
+                None,
+            )
+            .unwrap();
+        let mut dc_alive = 0;
+        for rec in disco.groups_of(PlatformKind::Discord) {
+            let tl = monitor.timeline(&rec.invite.dedup_key()).unwrap();
+            if matches!(
+                tl.first().map(|o| o.status),
+                Some(ObservedStatus::Alive { .. })
+            ) {
+                assert!(tl.dc_created_day.is_some());
+                assert!(tl.dc_creator.is_some());
+                dc_alive += 1;
+            }
+        }
+        assert!(dc_alive > 0, "some Discord invites alive on day 0");
+    }
+
+    #[test]
+    fn pii_harvest_collects_creator_hashes() {
+        let (mut eco, mut net, mut disco, mut monitor) = setup();
+        let mut pii = PiiStore::new();
+        let t0 = eco.window.start_time() + SimDuration::hours(1);
+        disco.run_search(&mut net, &mut eco, t0).unwrap();
+        monitor
+            .run_day(
+                &mut net,
+                &mut eco,
+                &disco,
+                t0 + SimDuration::hours(22),
+                0,
+                Some(&mut pii),
+            )
+            .unwrap();
+        let wa_alive = disco
+            .groups_of(PlatformKind::WhatsApp)
+            .filter(|r| {
+                monitor
+                    .timeline(&r.invite.dedup_key())
+                    .is_some_and(|t| !t.dead_on_arrival())
+            })
+            .count();
+        assert!(wa_alive > 0);
+        assert!(!pii.wa_creator_hashes.is_empty());
+        assert!(
+            pii.wa_creator_hashes.len() <= wa_alive,
+            "at most one hash per alive group (creators may repeat)"
+        );
+        assert!(!pii.wa_creator_countries.is_empty());
+    }
+
+    #[test]
+    fn size_span_tracks_growth() {
+        let mut tl = GroupTimeline::default();
+        tl.observations.push(Observation {
+            day: 0,
+            status: ObservedStatus::Alive {
+                size: 10,
+                online: 0,
+            },
+        });
+        tl.observations.push(Observation {
+            day: 1,
+            status: ObservedStatus::Failed,
+        });
+        tl.observations.push(Observation {
+            day: 2,
+            status: ObservedStatus::Alive {
+                size: 25,
+                online: 3,
+            },
+        });
+        assert_eq!(tl.size_span(), Some((10, 25)));
+        assert_eq!(tl.alive_days(), 2);
+        assert!(!tl.dead_on_arrival());
+        assert!(!tl.saw_revoked());
+    }
+
+    #[test]
+    fn empty_timeline_helpers() {
+        let tl = GroupTimeline::default();
+        assert!(tl.first().is_none());
+        assert_eq!(tl.size_span(), None);
+        assert_eq!(tl.revoked_day(), None);
+        assert!(!tl.dead_on_arrival());
+    }
+}

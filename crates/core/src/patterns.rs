@@ -1,0 +1,101 @@
+//! Invite-URL extraction and validation (§3.1).
+//!
+//! Twitter's track matching is host-based and credulous; the collector
+//! cannot be. Every URL in every matched tweet is parsed against the six
+//! documented patterns and rejected unless it yields a well-formed invite
+//! (so `discord.com/developers` or a shortened `bit.ly` link never becomes
+//! a "group"). Deduplication is by platform + opaque code, which also
+//! merges the two URL spellings of the same Discord invite.
+
+use chatlens_platforms::invite::{parse_invite_url, InviteCode};
+use chatlens_twitter::Tweet;
+
+/// Running totals of the extractor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractionStats {
+    /// URLs inspected.
+    pub urls_seen: u64,
+    /// URLs that parsed into a valid invite.
+    pub invites: u64,
+    /// URLs rejected (not one of the six patterns, or malformed).
+    pub rejected: u64,
+}
+
+/// Extract every valid invite from a tweet, updating `stats`.
+pub fn extract_invites(tweet: &Tweet, stats: &mut ExtractionStats) -> Vec<InviteCode> {
+    let mut out = Vec::new();
+    for url in &tweet.urls {
+        stats.urls_seen += 1;
+        match parse_invite_url(url) {
+            Some(invite) => {
+                stats.invites += 1;
+                out.push(invite);
+            }
+            None => stats.rejected += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatlens_platforms::id::PlatformKind;
+    use chatlens_simnet::time::SimTime;
+    use chatlens_twitter::{Lang, TweetId, TwitterUserId};
+
+    fn tweet(urls: Vec<&str>) -> Tweet {
+        Tweet {
+            id: TweetId(0),
+            author: TwitterUserId(0),
+            at: SimTime::EPOCH,
+            lang: Lang::En,
+            hashtags: 0,
+            mentions: 0,
+            retweet_of: None,
+            urls: urls.into_iter().map(str::to_string).collect(),
+            tokens: vec![],
+            is_control: false,
+        }
+    }
+
+    #[test]
+    fn extracts_valid_rejects_noise() {
+        let mut stats = ExtractionStats::default();
+        let t = tweet(vec![
+            "https://chat.whatsapp.com/AAAAAAAAAAAAAAAAAAAAAA",
+            "https://bit.ly/xyz",
+            "https://discord.com/developers",
+            "https://discord.gg/abc123XY",
+        ]);
+        let invites = extract_invites(&t, &mut stats);
+        assert_eq!(invites.len(), 2);
+        assert_eq!(invites[0].platform(), PlatformKind::WhatsApp);
+        assert_eq!(invites[1].platform(), PlatformKind::Discord);
+        assert_eq!(
+            stats,
+            ExtractionStats {
+                urls_seen: 4,
+                invites: 2,
+                rejected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn empty_tweet_yields_nothing() {
+        let mut stats = ExtractionStats::default();
+        assert!(extract_invites(&tweet(vec![]), &mut stats).is_empty());
+        assert_eq!(stats.urls_seen, 0);
+    }
+
+    #[test]
+    fn stats_accumulate_across_tweets() {
+        let mut stats = ExtractionStats::default();
+        extract_invites(&tweet(vec!["https://t.me/abc"]), &mut stats);
+        extract_invites(&tweet(vec!["https://nope.com/x"]), &mut stats);
+        assert_eq!(stats.urls_seen, 2);
+        assert_eq!(stats.invites, 1);
+        assert_eq!(stats.rejected, 1);
+    }
+}

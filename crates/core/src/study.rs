@@ -1,0 +1,308 @@
+//! The campaign orchestrator: wires discovery, monitoring, and joining to
+//! one discrete-event timeline and runs the full 38-day study.
+//!
+//! Daily rhythm (§3):
+//! * every hour at :00 — Search API round (six hosts, paginated);
+//! * every hour at :30 — Streaming API drain for the elapsed hour;
+//! * daily at 22:40 — 1% sample drain into the control dataset;
+//! * daily at 23:10 — monitor round over every known, unrevoked group
+//!   (placed late so groups discovered earlier the same day get their
+//!   first observation on their discovery day, as in §3.2);
+//! * once, on `join_day` at 12:00 — join the sampled groups;
+//! * once, at the end of the final day — collect member lists, profiles
+//!   and message histories from every joined group.
+
+use crate::dataset::Dataset;
+use crate::discovery::Discovery;
+use crate::joiner::Joiner;
+use crate::monitor::Monitor;
+use crate::net::Net;
+use crate::pii::PiiStore;
+use chatlens_platforms::id::PlatformKind;
+use chatlens_simnet::fault::FaultInjector;
+use chatlens_simnet::metrics::Metrics;
+use chatlens_simnet::rng::Rng;
+use chatlens_simnet::time::SimDuration;
+use chatlens_simnet::Engine;
+use chatlens_workload::{Ecosystem, ScenarioConfig};
+
+/// Knobs of the collection campaign itself (as opposed to the world it
+/// observes). Defaults follow the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Zero-based study day on which groups are joined.
+    pub join_day: u32,
+    /// Hours between Search API rounds (1 = the paper's hourly cadence).
+    pub search_interval_hours: u32,
+    /// Days between monitor rounds (1 = daily, §3.2).
+    pub monitor_interval_days: u32,
+    /// Use the Search API feed (ablation: the paper merges both feeds
+    /// because each alone is incomplete).
+    pub use_search: bool,
+    /// Use the Streaming API feed.
+    pub use_stream: bool,
+    /// How the join sample is drawn (§3.3 uses uniform sampling).
+    pub join_strategy: crate::joiner::JoinStrategy,
+    /// Transport fault model for every client.
+    pub faults: FaultInjector,
+    /// Seed for campaign-side randomness (join sampling, client jitter) —
+    /// separate from the world seed so the same world can be re-collected
+    /// differently.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            join_day: 10,
+            search_interval_hours: 1,
+            monitor_interval_days: 1,
+            use_search: true,
+            use_stream: true,
+            join_strategy: crate::joiner::JoinStrategy::default(),
+            faults: FaultInjector::new(0.01, 0.005),
+            seed: 0xC011_EC70,
+        }
+    }
+}
+
+/// Campaign events on the virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Search,
+    StreamDrain,
+    SampleDrain,
+    Monitor { day: u32 },
+    Join,
+    Collect,
+}
+
+/// Run the full study over a freshly built ecosystem with default
+/// campaign settings.
+pub fn run_study(scenario: ScenarioConfig) -> Dataset {
+    run_study_with(scenario, CampaignConfig::default())
+}
+
+/// Run the full study with explicit campaign settings. Returns the
+/// assembled [`Dataset`].
+pub fn run_study_with(scenario: ScenarioConfig, campaign: CampaignConfig) -> Dataset {
+    let mut eco = Ecosystem::build(scenario);
+    run_study_on(&mut eco, campaign)
+}
+
+/// Run the campaign against an existing ecosystem (used by ablation
+/// benches that re-collect the same world under different settings; the
+/// ecosystem's materialized histories are deterministic per group, so
+/// re-use is safe).
+pub fn run_study_on(eco: &mut Ecosystem, campaign: CampaignConfig) -> Dataset {
+    let window = eco.window;
+    let start = window.start_time();
+    let end = window.end_time();
+    let mut net = Net::new(campaign.seed, start, campaign.faults);
+    let mut rng = Rng::new(campaign.seed ^ 0x9E37_79B9);
+    let mut discovery = Discovery::new(start);
+    let mut monitor = Monitor::new();
+    let mut joiner = Joiner::new();
+    let mut pii = PiiStore::new();
+    let mut metrics = Metrics::new();
+    let mut engine: Engine<Ev> = Engine::new(start);
+
+    // Schedule the whole campaign up front (the event mix is static).
+    let total_hours = window.num_days() * 24;
+    for h in 0..total_hours {
+        if campaign.use_search && h % u64::from(campaign.search_interval_hours.max(1)) == 0 {
+            engine.schedule_at(start + SimDuration::hours(h), Ev::Search);
+        }
+        if campaign.use_stream {
+            engine.schedule_at(
+                start + SimDuration::hours(h) + SimDuration::minutes(30),
+                Ev::StreamDrain,
+            );
+        }
+    }
+    for d in 0..window.num_days() {
+        engine.schedule_at(
+            start + SimDuration::days(d) + SimDuration::hours(22) + SimDuration::minutes(40),
+            Ev::SampleDrain,
+        );
+        if d % u64::from(campaign.monitor_interval_days.max(1)) == 0 {
+            engine.schedule_at(
+                start + SimDuration::days(d) + SimDuration::hours(23) + SimDuration::minutes(10),
+                Ev::Monitor { day: d as u32 },
+            );
+        }
+    }
+    engine.schedule_at(
+        start + SimDuration::days(u64::from(campaign.join_day)) + SimDuration::hours(12),
+        Ev::Join,
+    );
+    engine.schedule_at(
+        end.checked_sub(SimDuration::minutes(20)).expect("window"),
+        Ev::Collect,
+    );
+
+    engine.run_until(end, |eng, ev| {
+        let now = eng.now();
+        match ev {
+            Ev::Search => {
+                metrics.incr("campaign.search_rounds");
+                discovery
+                    .run_search(&mut net, eco, now)
+                    .expect("search round");
+                metrics.observe(
+                    "discovery.groups_known",
+                    discovery.group_count() as f64,
+                    &[1e2, 1e3, 1e4, 1e5, 1e6],
+                );
+            }
+            Ev::StreamDrain => {
+                metrics.incr("campaign.stream_drains");
+                discovery
+                    .drain_stream(&mut net, eco, now)
+                    .expect("stream drain");
+            }
+            Ev::SampleDrain => {
+                metrics.incr("campaign.sample_drains");
+                discovery
+                    .drain_sample(&mut net, eco, now)
+                    .expect("sample drain");
+            }
+            Ev::Monitor { day } => {
+                metrics.incr("campaign.monitor_rounds");
+                monitor
+                    .run_day(&mut net, eco, &discovery, now, day, Some(&mut pii))
+                    .expect("monitor round");
+            }
+            Ev::Join => {
+                for kind in PlatformKind::ALL {
+                    let budget = eco.config.join_budget_scaled(kind);
+                    let timelines = &monitor.timelines;
+                    joiner
+                        .join_phase_with(
+                            &mut net,
+                            eco,
+                            &discovery,
+                            kind,
+                            budget,
+                            now,
+                            &mut rng,
+                            campaign.join_strategy,
+                            &|key| {
+                                timelines
+                                    .get(key)
+                                    .and_then(|t| t.size_span())
+                                    .map(|(_, last)| last)
+                            },
+                        )
+                        .expect("join phase");
+                }
+            }
+            Ev::Collect => {
+                joiner
+                    .collect_phase(&mut net, eco, now, &mut pii)
+                    .expect("collect phase");
+            }
+        }
+    });
+
+    metrics.add("transport.attempts", net.total_attempts());
+    metrics.add("discovery.tweets_collected", discovery.tweets.len() as u64);
+    metrics.add("discovery.groups_discovered", discovery.groups.len() as u64);
+    metrics.add("discovery.failed_requests", discovery.failed_requests);
+    metrics.add("join.dead_at_join", joiner.dead_at_join);
+    metrics.add("join.joined_groups", joiner.joined.len() as u64);
+    metrics.add("join.failed_fetches", joiner.failed_fetches);
+
+    let mut ds = Dataset::assemble(window, discovery, monitor.timelines, joiner, pii);
+    ds.metrics = metrics;
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The full tiny campaign is the expensive fixture here; run it once
+    /// and share it across tests.
+    fn tiny_dataset() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| run_study(ScenarioConfig::tiny()))
+    }
+
+    #[test]
+    fn full_campaign_produces_everything() {
+        let ds = tiny_dataset();
+        assert!(!ds.tweets.is_empty());
+        assert!(!ds.control.is_empty());
+        assert!(!ds.groups.is_empty());
+        assert!(!ds.timelines.is_empty());
+        assert!(!ds.joined.is_empty());
+        assert!(ds.bot_join_rejected);
+        assert!(ds.pii.wa_total_phones() > 0);
+        // Every platform is represented.
+        for kind in PlatformKind::ALL {
+            let s = ds.summary(kind);
+            assert!(s.tweets > 0, "{kind} tweets");
+            assert!(s.group_urls > 0, "{kind} urls");
+            assert!(s.joined_groups > 0, "{kind} joined");
+            assert!(s.messages > 0, "{kind} messages");
+        }
+    }
+
+    #[test]
+    fn discovery_covers_most_of_the_world() {
+        let ds = tiny_dataset();
+        let cfg = ScenarioConfig::tiny();
+        for kind in PlatformKind::ALL {
+            let expected = cfg.scaled(cfg.platform(kind).n_group_urls) as f64;
+            let found = ds.summary(kind).group_urls as f64;
+            let coverage = found / expected;
+            assert!(
+                coverage > 0.9,
+                "{kind}: discovered {found} of {expected} ({coverage:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = run_study(ScenarioConfig::at_scale(0.003));
+        let b = run_study(ScenarioConfig::at_scale(0.003));
+        assert_eq!(a.tweets.len(), b.tweets.len());
+        assert_eq!(a.groups.len(), b.groups.len());
+        assert_eq!(a.joined.len(), b.joined.len());
+        assert_eq!(a.pii.wa_total_phones(), b.pii.wa_total_phones());
+        assert_eq!(a.totals(), b.totals());
+    }
+
+    #[test]
+    fn joined_budgets_respected() {
+        let ds = tiny_dataset();
+        let cfg = ScenarioConfig::tiny();
+        for kind in PlatformKind::ALL {
+            let budget = cfg.join_budget_scaled(kind);
+            let joined = ds.summary(kind).joined_groups;
+            assert!(joined <= budget, "{kind}: {joined} > {budget}");
+        }
+    }
+
+    #[test]
+    fn monitor_saw_discord_die_young() {
+        let ds = tiny_dataset();
+        let dc: Vec<_> = ds
+            .groups
+            .iter()
+            .filter(|g| g.platform == PlatformKind::Discord)
+            .collect();
+        let dead_on_arrival = dc
+            .iter()
+            .filter(|g| ds.timeline_of(g).is_some_and(|t| t.dead_on_arrival()))
+            .count() as f64
+            / dc.len() as f64;
+        assert!(
+            dead_on_arrival > 0.4,
+            "Discord dead-on-arrival share {dead_on_arrival}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! The scoring API as a transport service, QPS-limited like the real
+//! Perspective API's free tier.
+
+use crate::lexicon::ToxicityLexicon;
+use chatlens_platforms::wire::WireDoc;
+use chatlens_simnet::fault::TokenBucket;
+use chatlens_simnet::time::SimTime;
+use chatlens_simnet::transport::{Request, Response, Service, Status};
+
+/// Default sustained request rate (the real API's free tier is 1 QPS; we
+/// grant a research quota).
+pub const DEFAULT_QPS: f64 = 10.0;
+
+/// The Perspective-style analyzer service. Mount under `perspective`;
+/// it answers `perspective/analyze?tokens=<space-separated ids>` with a
+/// `px-score` document carrying the toxicity probability.
+pub struct PerspectiveService {
+    lexicon: ToxicityLexicon,
+    bucket: TokenBucket,
+    /// Requests served (diagnostics).
+    pub served: u64,
+}
+
+impl PerspectiveService {
+    /// A service with the given lexicon and QPS quota.
+    pub fn new(lexicon: ToxicityLexicon, qps: f64, start: SimTime) -> PerspectiveService {
+        PerspectiveService {
+            lexicon,
+            bucket: TokenBucket::new((qps * 2.0).max(1.0), qps, start),
+            served: 0,
+        }
+    }
+
+    fn analyze(&mut self, now: SimTime, req: &Request) -> Response {
+        if self.bucket.available(now) < 1.0 {
+            return Response::status(
+                Status::RateLimited(1),
+                WireDoc::new("px-quota").field("retry_after", 1u32).render(),
+            );
+        }
+        self.bucket.acquire(now);
+        let Some(raw) = req.param("tokens") else {
+            return Response::status(Status::NotFound, "bad-request\nwhat: missing tokens");
+        };
+        let mut tokens = Vec::new();
+        if !raw.is_empty() {
+            for part in raw.split(' ') {
+                match part.parse::<u16>() {
+                    Ok(t) => tokens.push(t),
+                    Err(_) => {
+                        return Response::status(
+                            Status::NotFound,
+                            "bad-request\nwhat: bad token id",
+                        )
+                    }
+                }
+            }
+        }
+        self.served += 1;
+        let score = self.lexicon.score(&tokens);
+        Response::ok(
+            WireDoc::new("px-score")
+                .field("toxicity", format!("{score:.6}"))
+                .render(),
+        )
+    }
+}
+
+impl Service for PerspectiveService {
+    fn handle(&mut self, now: SimTime, req: &Request) -> Response {
+        let op = req
+            .endpoint
+            .split_once('/')
+            .map(|(_, rest)| rest)
+            .unwrap_or("");
+        match op {
+            "analyze" => self.analyze(now, req),
+            _ => Response::status(Status::NotFound, "not-found\nwhat: operation"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatlens_simnet::time::SimDuration;
+    use chatlens_workload::Vocabulary;
+
+    fn service() -> (Vocabulary, PerspectiveService) {
+        let v = Vocabulary::build();
+        let lex = ToxicityLexicon::build(&v);
+        (v, PerspectiveService::new(lex, 10.0, SimTime::EPOCH))
+    }
+
+    fn analyze(svc: &mut PerspectiveService, now: SimTime, tokens: &str) -> Response {
+        svc.handle(
+            now,
+            &Request::new("perspective/analyze").with("tokens", tokens),
+        )
+    }
+
+    #[test]
+    fn scores_documents_over_the_wire() {
+        let (v, mut svc) = service();
+        let toxic = format!("{} {}", v.id("fuck").unwrap(), v.id("pussy").unwrap());
+        let resp = analyze(&mut svc, SimTime::EPOCH, &toxic);
+        assert_eq!(resp.status, Status::Ok);
+        let doc = WireDoc::parse_as(&resp.body, "px-score").unwrap();
+        let score: f64 = doc.req("toxicity").unwrap().parse().unwrap();
+        assert!(score > 0.8, "score {score}");
+        assert_eq!(svc.served, 1);
+    }
+
+    #[test]
+    fn empty_document_is_benign() {
+        let (_, mut svc) = service();
+        let resp = analyze(&mut svc, SimTime::EPOCH, "");
+        let doc = WireDoc::parse_as(&resp.body, "px-score").unwrap();
+        let score: f64 = doc.req("toxicity").unwrap().parse().unwrap();
+        assert!(score < 0.05);
+    }
+
+    #[test]
+    fn quota_enforced_then_recovers() {
+        let (_, mut svc) = service();
+        let mut limited = 0;
+        for _ in 0..100 {
+            if matches!(
+                analyze(&mut svc, SimTime::EPOCH, "1").status,
+                Status::RateLimited(_)
+            ) {
+                limited += 1;
+            }
+        }
+        assert!(limited > 50, "burst should trip the quota ({limited})");
+        let later = SimTime::EPOCH + SimDuration::minutes(1);
+        assert_eq!(analyze(&mut svc, later, "1").status, Status::Ok);
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        let (_, mut svc) = service();
+        let resp = svc.handle(SimTime::EPOCH, &Request::new("perspective/analyze"));
+        assert_eq!(resp.status, Status::NotFound);
+        let resp = analyze(&mut svc, SimTime::EPOCH, "1 x 3");
+        assert_eq!(resp.status, Status::NotFound);
+        let resp = svc.handle(SimTime::EPOCH, &Request::new("perspective/nope"));
+        assert_eq!(resp.status, Status::NotFound);
+    }
+}

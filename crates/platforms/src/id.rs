@@ -1,0 +1,112 @@
+//! Identifier types shared across the platform simulators.
+
+use std::fmt;
+
+/// The three messaging platforms of the study (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PlatformKind {
+    /// WhatsApp (launched January 2009).
+    WhatsApp,
+    /// Telegram (launched August 2013).
+    Telegram,
+    /// Discord (launched May 2015).
+    Discord,
+}
+
+impl PlatformKind {
+    /// All platforms, in the paper's canonical order.
+    pub const ALL: [PlatformKind; 3] = [
+        PlatformKind::WhatsApp,
+        PlatformKind::Telegram,
+        PlatformKind::Discord,
+    ];
+
+    /// Human-readable platform name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformKind::WhatsApp => "WhatsApp",
+            PlatformKind::Telegram => "Telegram",
+            PlatformKind::Discord => "Discord",
+        }
+    }
+
+    /// Stable index (0, 1, 2) for array-per-platform bookkeeping.
+    pub fn index(self) -> usize {
+        match self {
+            PlatformKind::WhatsApp => 0,
+            PlatformKind::Telegram => 1,
+            PlatformKind::Discord => 2,
+        }
+    }
+
+    /// Inverse of [`PlatformKind::index`].
+    ///
+    /// # Panics
+    /// Panics if `i > 2`.
+    pub fn from_index(i: usize) -> PlatformKind {
+        PlatformKind::ALL[i]
+    }
+}
+
+impl fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A platform-local group identifier (dense index into `Platform::groups`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u32);
+
+/// A platform-local user identifier (dense index into `Platform::users`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(pub u32);
+
+/// A collector-side account identity on a platform (the paper used one or a
+/// handful of accounts per platform, bounded by join limits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AccountId(pub u16);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acct{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_index_roundtrip() {
+        for p in PlatformKind::ALL {
+            assert_eq!(PlatformKind::from_index(p.index()), p);
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(PlatformKind::WhatsApp.to_string(), "WhatsApp");
+        assert_eq!(PlatformKind::Telegram.to_string(), "Telegram");
+        assert_eq!(PlatformKind::Discord.to_string(), "Discord");
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(GroupId(7).to_string(), "g7");
+        assert_eq!(UserId(3).to_string(), "u3");
+        assert_eq!(AccountId(1).to_string(), "acct1");
+    }
+}

@@ -1,0 +1,402 @@
+//! The platform state container: users, groups, invite index, and the
+//! join rules each platform enforces on collector accounts.
+
+use crate::group::{Group, GroupHistory};
+use crate::id::{AccountId, GroupId, PlatformKind, UserId};
+use crate::spec::PlatformSpec;
+use crate::user::User;
+use chatlens_simnet::fault::TokenBucket;
+use chatlens_simnet::time::SimTime;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a join attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinError {
+    /// No group with this invite code ever existed.
+    UnknownCode,
+    /// The invite was revoked or expired before the attempt.
+    Revoked,
+    /// The account hit the platform's join limit and is now banned
+    /// (WhatsApp: ~250–300 groups; Discord: 100 servers — §3.2).
+    LimitExceeded,
+    /// The account was previously banned.
+    Banned,
+    /// Bots cannot join Discord servers by themselves (§3.3).
+    BotsNotAllowed,
+    /// Unknown account id.
+    UnknownAccount,
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinError::UnknownCode => "unknown invite code",
+            JoinError::Revoked => "invite revoked or expired",
+            JoinError::LimitExceeded => "join limit exceeded; account banned",
+            JoinError::Banned => "account banned",
+            JoinError::BotsNotAllowed => "bots cannot join by themselves",
+            JoinError::UnknownAccount => "unknown account",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// A collector-side account's standing on the platform.
+#[derive(Debug, Clone, Default)]
+pub struct AccountState {
+    /// Groups joined, with join instants (WhatsApp reveals messages only
+    /// from the join date onward, so the instant matters).
+    pub joined: Vec<(GroupId, SimTime)>,
+    /// Whether the platform banned the account (exceeded join limit).
+    pub banned: bool,
+}
+
+impl AccountState {
+    /// The join instant for `group`, if this account is a member.
+    pub fn joined_at(&self, group: GroupId) -> Option<SimTime> {
+        self.joined
+            .iter()
+            .find(|(g, _)| *g == group)
+            .map(|&(_, t)| t)
+    }
+}
+
+/// One simulated messaging platform: its user and group population plus the
+/// state of the collector's accounts on it.
+pub struct Platform {
+    /// Which platform this is.
+    pub kind: PlatformKind,
+    /// Static characteristics (Table 1).
+    pub spec: PlatformSpec,
+    /// All users, indexed by [`UserId`].
+    pub users: Vec<User>,
+    /// All groups, indexed by [`GroupId`].
+    pub groups: Vec<Group>,
+    invite_index: HashMap<String, GroupId>,
+    accounts: Vec<AccountState>,
+    /// Telegram's API flood control (`FLOOD_WAIT`): a server-side token
+    /// bucket gating `api/*` endpoints. `None` on platforms whose APIs the
+    /// collector is not flood-limited on in the paper.
+    pub(crate) api_bucket: Option<TokenBucket>,
+}
+
+impl Platform {
+    /// An empty platform of the given kind.
+    pub fn new(kind: PlatformKind) -> Platform {
+        // Telegram's API is rate-limited aggressively enough that the paper
+        // cites it as the reason they joined only 100 groups (§8): model a
+        // sustained 2 req/s with a burst of 40.
+        let api_bucket =
+            (kind == PlatformKind::Telegram).then(|| TokenBucket::new(40.0, 2.0, SimTime::EPOCH));
+        Platform {
+            kind,
+            spec: PlatformSpec::of(kind),
+            users: Vec::new(),
+            groups: Vec::new(),
+            invite_index: HashMap::new(),
+            accounts: Vec::new(),
+            api_bucket,
+        }
+    }
+
+    /// Register a user; the platform assigns and returns its id.
+    pub fn push_user(&mut self, mut user: User) -> UserId {
+        let id = UserId(self.users.len() as u32);
+        user.id = id;
+        debug_assert_eq!(user.platform, self.kind);
+        self.users.push(user);
+        id
+    }
+
+    /// Register a group; the platform assigns its id and indexes the
+    /// invite code.
+    ///
+    /// # Panics
+    /// Panics if the group's invite code collides with an existing one —
+    /// the workload generator must call [`Platform::invite_taken`] first
+    /// and regenerate.
+    pub fn push_group(&mut self, mut group: Group) -> GroupId {
+        let id = GroupId(self.groups.len() as u32);
+        group.id = id;
+        debug_assert_eq!(group.platform, self.kind);
+        let prev = self.invite_index.insert(group.invite.code.clone(), id);
+        assert!(
+            prev.is_none(),
+            "invite code collision: {}",
+            group.invite.code
+        );
+        self.groups.push(group);
+        id
+    }
+
+    /// Whether an invite code is already allocated.
+    pub fn invite_taken(&self, code: &str) -> bool {
+        self.invite_index.contains_key(code)
+    }
+
+    /// Resolve an invite code to its group.
+    pub fn find_by_code(&self, code: &str) -> Option<GroupId> {
+        self.invite_index.get(code).copied()
+    }
+
+    /// Borrow a group.
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id.0 as usize]
+    }
+
+    /// Mutably borrow a group.
+    pub fn group_mut(&mut self, id: GroupId) -> &mut Group {
+        &mut self.groups[id.0 as usize]
+    }
+
+    /// Borrow a user.
+    pub fn user(&self, id: UserId) -> &User {
+        &self.users[id.0 as usize]
+    }
+
+    /// Open a fresh collector account; returns its id.
+    pub fn create_account(&mut self) -> AccountId {
+        self.accounts.push(AccountState::default());
+        AccountId((self.accounts.len() - 1) as u16)
+    }
+
+    /// Number of collector accounts created.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Borrow an account's state.
+    pub fn account(&self, id: AccountId) -> Option<&AccountState> {
+        self.accounts.get(usize::from(id.0))
+    }
+
+    /// Attempt to join the group behind `code` with `account` at time
+    /// `now`. `as_bot` marks Discord bot credentials, which the platform
+    /// rejects (§3.3).
+    pub fn join(
+        &mut self,
+        account: AccountId,
+        code: &str,
+        now: SimTime,
+        as_bot: bool,
+    ) -> Result<GroupId, JoinError> {
+        let gid = self.find_by_code(code).ok_or(JoinError::UnknownCode)?;
+        let limit = self.spec.join_limit;
+        let state = self
+            .accounts
+            .get_mut(usize::from(account.0))
+            .ok_or(JoinError::UnknownAccount)?;
+        if state.banned {
+            return Err(JoinError::Banned);
+        }
+        if as_bot && self.kind == PlatformKind::Discord {
+            return Err(JoinError::BotsNotAllowed);
+        }
+        if let Some(limit) = limit {
+            if state.joined.len() as u32 >= limit {
+                state.banned = true;
+                return Err(JoinError::LimitExceeded);
+            }
+        }
+        let group = &self.groups[gid.0 as usize];
+        if !group.is_alive(now) {
+            return Err(JoinError::Revoked);
+        }
+        if state.joined_at(gid).is_none() {
+            state.joined.push((gid, now));
+        }
+        Ok(gid)
+    }
+
+    /// The join instant of `account` in `group`, or `None` if not a member.
+    pub fn joined_at(&self, account: AccountId, group: GroupId) -> Option<SimTime> {
+        self.accounts
+            .get(usize::from(account.0))
+            .and_then(|a| a.joined_at(group))
+    }
+
+    /// Install a materialized history (members + messages) for a joined
+    /// group; the service endpoints serve from it.
+    pub fn install_history(&mut self, id: GroupId, history: GroupHistory) {
+        self.groups[id.0 as usize].history = Some(history);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{ChatKind, SizeTimeline};
+    use crate::invite::InviteCode;
+    use crate::phone::{country_by_iso, PhoneNumber};
+    use chatlens_simnet::rng::Rng;
+    use chatlens_simnet::time::{Date, SimDuration};
+
+    fn make_group(platform: &mut Platform, rng: &mut Rng, revoked: Option<SimTime>) -> GroupId {
+        let created = Date::new(2020, 4, 1);
+        let mut invite = InviteCode::generate(platform.kind, rng);
+        while platform.invite_taken(&invite.code) {
+            invite = InviteCode::generate(platform.kind, rng);
+        }
+        platform.push_group(Group {
+            id: GroupId(0),
+            platform: platform.kind,
+            chat_kind: ChatKind::Group,
+            title: "t".into(),
+            creator: UserId(0),
+            created_at: created.midnight(),
+            revoked_at: revoked,
+            invite,
+            member_list_hidden: false,
+            online_frac: 0.2,
+            sizes: SizeTimeline::flat(created, 10),
+            msgs_per_day: 1.0,
+            activity_seed: 0,
+            history: None,
+        })
+    }
+
+    fn wa_user(p: &mut Platform, rng: &mut Rng) -> UserId {
+        let phone = PhoneNumber::allocate(country_by_iso("BR").unwrap(), rng);
+        p.push_user(User::whatsapp(UserId(0), phone))
+    }
+
+    #[test]
+    fn push_assigns_dense_ids() {
+        let mut p = Platform::new(PlatformKind::WhatsApp);
+        let mut rng = Rng::new(1);
+        let u0 = wa_user(&mut p, &mut rng);
+        let u1 = wa_user(&mut p, &mut rng);
+        assert_eq!(u0, UserId(0));
+        assert_eq!(u1, UserId(1));
+        let g0 = make_group(&mut p, &mut rng, None);
+        let g1 = make_group(&mut p, &mut rng, None);
+        assert_eq!(g0, GroupId(0));
+        assert_eq!(g1, GroupId(1));
+    }
+
+    #[test]
+    fn find_by_code_roundtrip() {
+        let mut p = Platform::new(PlatformKind::Telegram);
+        let mut rng = Rng::new(2);
+        let gid = make_group(&mut p, &mut rng, None);
+        let code = p.group(gid).invite.code.clone();
+        assert_eq!(p.find_by_code(&code), Some(gid));
+        assert_eq!(p.find_by_code("nope"), None);
+        assert!(p.invite_taken(&code));
+    }
+
+    #[test]
+    fn join_happy_path_records_time() {
+        let mut p = Platform::new(PlatformKind::Telegram);
+        let mut rng = Rng::new(3);
+        let gid = make_group(&mut p, &mut rng, None);
+        let code = p.group(gid).invite.code.clone();
+        let acct = p.create_account();
+        let t = Date::new(2020, 4, 10).midnight();
+        assert_eq!(p.join(acct, &code, t, false), Ok(gid));
+        assert_eq!(p.joined_at(acct, gid), Some(t));
+        // Re-joining keeps the original join time.
+        let t2 = t + SimDuration::days(1);
+        assert_eq!(p.join(acct, &code, t2, false), Ok(gid));
+        assert_eq!(p.joined_at(acct, gid), Some(t));
+    }
+
+    #[test]
+    fn join_revoked_group_fails() {
+        let mut p = Platform::new(PlatformKind::Telegram);
+        let mut rng = Rng::new(4);
+        let revoked_at = Date::new(2020, 4, 5).midnight();
+        let gid = make_group(&mut p, &mut rng, Some(revoked_at));
+        let code = p.group(gid).invite.code.clone();
+        let acct = p.create_account();
+        let err = p
+            .join(acct, &code, Date::new(2020, 4, 10).midnight(), false)
+            .unwrap_err();
+        assert_eq!(err, JoinError::Revoked);
+    }
+
+    #[test]
+    fn join_unknown_code_fails() {
+        let mut p = Platform::new(PlatformKind::Telegram);
+        let acct = p.create_account();
+        assert_eq!(
+            p.join(acct, "nothere", SimTime::EPOCH, false),
+            Err(JoinError::UnknownCode)
+        );
+    }
+
+    #[test]
+    fn discord_rejects_bots() {
+        let mut p = Platform::new(PlatformKind::Discord);
+        let mut rng = Rng::new(5);
+        let gid = make_group(&mut p, &mut rng, None);
+        let code = p.group(gid).invite.code.clone();
+        let acct = p.create_account();
+        let t = Date::new(2020, 4, 10).midnight();
+        assert_eq!(p.join(acct, &code, t, true), Err(JoinError::BotsNotAllowed));
+        // A user account works.
+        assert_eq!(p.join(acct, &code, t, false), Ok(gid));
+    }
+
+    #[test]
+    fn join_limit_bans_account() {
+        let mut p = Platform::new(PlatformKind::Discord); // limit 100
+        let mut rng = Rng::new(6);
+        let codes: Vec<String> = (0..101)
+            .map(|_| {
+                let gid = make_group(&mut p, &mut rng, None);
+                p.group(gid).invite.code.clone()
+            })
+            .collect();
+        let acct = p.create_account();
+        let t = Date::new(2020, 4, 10).midnight();
+        for code in &codes[..100] {
+            assert!(p.join(acct, code, t, false).is_ok());
+        }
+        assert_eq!(
+            p.join(acct, &codes[100], t, false),
+            Err(JoinError::LimitExceeded)
+        );
+        // Account is now banned for everything.
+        assert_eq!(p.join(acct, &codes[0], t, false), Err(JoinError::Banned));
+        assert!(p.account(acct).unwrap().banned);
+    }
+
+    #[test]
+    fn telegram_has_no_join_limit() {
+        let mut p = Platform::new(PlatformKind::Telegram);
+        let mut rng = Rng::new(7);
+        let acct = p.create_account();
+        let t = Date::new(2020, 4, 10).midnight();
+        for _ in 0..150 {
+            let gid = make_group(&mut p, &mut rng, None);
+            let code = p.group(gid).invite.code.clone();
+            assert!(p.join(acct, &code, t, false).is_ok());
+        }
+    }
+
+    #[test]
+    fn unknown_account_is_an_error() {
+        let mut p = Platform::new(PlatformKind::Telegram);
+        let mut rng = Rng::new(8);
+        let gid = make_group(&mut p, &mut rng, None);
+        let code = p.group(gid).invite.code.clone();
+        assert_eq!(
+            p.join(AccountId(9), &code, SimTime::EPOCH, false),
+            Err(JoinError::UnknownAccount)
+        );
+    }
+
+    #[test]
+    fn install_history() {
+        let mut p = Platform::new(PlatformKind::Telegram);
+        let mut rng = Rng::new(9);
+        let gid = make_group(&mut p, &mut rng, None);
+        assert!(p.group(gid).history.is_none());
+        p.install_history(gid, GroupHistory::default());
+        assert!(p.group(gid).history.is_some());
+    }
+}

@@ -1,0 +1,195 @@
+//! Static platform characteristics — the contents of the paper's Table 1.
+
+use crate::id::PlatformKind;
+use chatlens_simnet::time::Date;
+
+/// How users register on a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Registration {
+    /// Registration requires a phone number (WhatsApp, Telegram).
+    Phone,
+    /// Registration requires an email address (Discord).
+    Email,
+}
+
+impl Registration {
+    /// Label used in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            Registration::Phone => "Phone",
+            Registration::Email => "Email",
+        }
+    }
+}
+
+/// End-to-end-encryption posture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum E2ee {
+    /// All chats end-to-end encrypted (WhatsApp).
+    Always,
+    /// Only opt-in "secret" chats (Telegram).
+    SecretChatsOnly,
+    /// No end-to-end encryption (Discord).
+    Never,
+}
+
+impl E2ee {
+    /// Label used in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            E2ee::Always => "Yes",
+            E2ee::SecretChatsOnly => "Only for \"secret\" chats",
+            E2ee::Never => "No",
+        }
+    }
+}
+
+/// Static characteristics of one platform (one column of Table 1).
+#[derive(Debug, Clone)]
+pub struct PlatformSpec {
+    /// Which platform this spec describes.
+    pub kind: PlatformKind,
+    /// Initial public release date.
+    pub release: Date,
+    /// Approximate user base at study time (April 2020).
+    pub user_base: u64,
+    /// Registration requirement.
+    pub registration: Registration,
+    /// Options for public chats (Table 1 row).
+    pub public_chat_options: &'static str,
+    /// Maximum members in an ordinary public chat.
+    pub max_members: u32,
+    /// Maximum members in the platform's extended tier (verified Discord
+    /// servers; `u32::MAX` stands in for Telegram's unlimited channels).
+    pub max_members_extended: u32,
+    /// Whether the platform offers a data-collection API (Table 1:
+    /// WhatsApp has only a Business API, treated as "No").
+    pub has_data_api: bool,
+    /// Message-forwarding limit, if any (WhatsApp limited forwards to 5
+    /// chats at study time; `None` = unrestricted or N/A).
+    pub forward_limit: Option<u32>,
+    /// End-to-end-encryption posture.
+    pub e2ee: E2ee,
+    /// Default invite-link time-to-live in days (`None` = links live until
+    /// manually revoked). Discord invites expire after 1 day by default.
+    pub invite_ttl_days: Option<u32>,
+    /// Empirical per-account join limit the paper reports (§3.2): 250–300
+    /// groups for WhatsApp, 100 servers for Discord; Telegram is bounded by
+    /// API rate limits rather than a hard count (`None`).
+    pub join_limit: Option<u32>,
+}
+
+impl PlatformSpec {
+    /// The spec for `kind` as of the study period (April–May 2020).
+    pub fn of(kind: PlatformKind) -> PlatformSpec {
+        match kind {
+            PlatformKind::WhatsApp => PlatformSpec {
+                kind,
+                release: Date::new(2009, 1, 1),
+                user_base: 2_000_000_000,
+                registration: Registration::Phone,
+                public_chat_options: "Groups",
+                // Table 1 lists 256 as the max member count; §2 notes group
+                // chats with "up to 257 users" (256 members + creator). We
+                // use 257 as the hard cap on the stored member count, like
+                // §5's "imposed group limit (257 members)".
+                max_members: 257,
+                max_members_extended: 257,
+                has_data_api: false,
+                forward_limit: Some(5),
+                e2ee: E2ee::Always,
+                invite_ttl_days: None,
+                join_limit: Some(280),
+            },
+            PlatformKind::Telegram => PlatformSpec {
+                kind,
+                release: Date::new(2013, 8, 1),
+                user_base: 400_000_000,
+                registration: Registration::Phone,
+                public_chat_options: "Groups and Channels",
+                max_members: 200_000,
+                max_members_extended: u32::MAX, // channels: unlimited
+                has_data_api: true,
+                forward_limit: None,
+                e2ee: E2ee::SecretChatsOnly,
+                invite_ttl_days: None,
+                join_limit: None,
+            },
+            PlatformKind::Discord => PlatformSpec {
+                kind,
+                release: Date::new(2015, 5, 1),
+                user_base: 250_000_000,
+                registration: Registration::Email,
+                public_chat_options: "Server",
+                max_members: 250_000,
+                max_members_extended: 500_000, // verified servers
+                has_data_api: true,
+                forward_limit: None,
+                e2ee: E2ee::Never,
+                invite_ttl_days: Some(1),
+                join_limit: Some(100),
+            },
+        }
+    }
+
+    /// Specs for all three platforms in canonical order.
+    pub fn all() -> [PlatformSpec; 3] {
+        [
+            PlatformSpec::of(PlatformKind::WhatsApp),
+            PlatformSpec::of(PlatformKind::Telegram),
+            PlatformSpec::of(PlatformKind::Discord),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_key_facts() {
+        let wa = PlatformSpec::of(PlatformKind::WhatsApp);
+        assert_eq!(wa.max_members, 257);
+        assert!(!wa.has_data_api);
+        assert_eq!(wa.forward_limit, Some(5));
+        assert_eq!(wa.e2ee, E2ee::Always);
+        assert_eq!(wa.registration, Registration::Phone);
+
+        let tg = PlatformSpec::of(PlatformKind::Telegram);
+        assert_eq!(tg.max_members, 200_000);
+        assert_eq!(tg.max_members_extended, u32::MAX);
+        assert!(tg.has_data_api);
+        assert_eq!(tg.e2ee, E2ee::SecretChatsOnly);
+
+        let dc = PlatformSpec::of(PlatformKind::Discord);
+        assert_eq!(dc.max_members, 250_000);
+        assert_eq!(dc.max_members_extended, 500_000);
+        assert_eq!(dc.registration, Registration::Email);
+        assert_eq!(dc.invite_ttl_days, Some(1));
+        assert_eq!(dc.join_limit, Some(100));
+        assert_eq!(dc.e2ee, E2ee::Never);
+    }
+
+    #[test]
+    fn release_order_matches_history() {
+        let [wa, tg, dc] = PlatformSpec::all();
+        assert!(wa.release < tg.release);
+        assert!(tg.release < dc.release);
+    }
+
+    #[test]
+    fn user_base_ordering() {
+        let [wa, tg, dc] = PlatformSpec::all();
+        assert!(wa.user_base > tg.user_base);
+        assert!(tg.user_base > dc.user_base);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Registration::Phone.label(), "Phone");
+        assert_eq!(Registration::Email.label(), "Email");
+        assert_eq!(E2ee::Always.label(), "Yes");
+        assert_eq!(E2ee::Never.label(), "No");
+        assert!(E2ee::SecretChatsOnly.label().contains("secret"));
+    }
+}

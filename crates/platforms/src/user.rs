@@ -1,0 +1,184 @@
+//! Platform users and the PII each platform attaches to them.
+//!
+//! §6 (Privacy Implications): WhatsApp exposes member phone numbers to
+//! co-members and creator phone numbers to *anyone* with the invite URL;
+//! Telegram hides phone numbers unless the user opts in (0.68% of observed
+//! users had); Discord has no phone numbers but exposes **connected
+//! accounts** on other platforms for ~30% of users (Table 5).
+
+use crate::id::{PlatformKind, UserId};
+use crate::phone::PhoneNumber;
+
+/// External platforms a Discord profile can link to (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LinkedPlatform {
+    /// Twitch (20.4% of observed users in the paper).
+    Twitch,
+    /// Steam (12.2%).
+    Steam,
+    /// Twitter (8.9%).
+    Twitter,
+    /// Spotify (8.0%).
+    Spotify,
+    /// YouTube (6.6%).
+    YouTube,
+    /// Battle.net (5.2%).
+    Battlenet,
+    /// Xbox (3.7%).
+    Xbox,
+    /// Reddit (3.0%).
+    Reddit,
+    /// League of Legends (2.4%).
+    LeagueOfLegends,
+    /// Skype (0.6%).
+    Skype,
+    /// Facebook (0.5%).
+    Facebook,
+}
+
+impl LinkedPlatform {
+    /// All linkable platforms in Table 5's order.
+    pub const ALL: [LinkedPlatform; 11] = [
+        LinkedPlatform::Twitch,
+        LinkedPlatform::Steam,
+        LinkedPlatform::Twitter,
+        LinkedPlatform::Spotify,
+        LinkedPlatform::YouTube,
+        LinkedPlatform::Battlenet,
+        LinkedPlatform::Xbox,
+        LinkedPlatform::Reddit,
+        LinkedPlatform::LeagueOfLegends,
+        LinkedPlatform::Skype,
+        LinkedPlatform::Facebook,
+    ];
+
+    /// Display name as printed in Table 5.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkedPlatform::Twitch => "Twitch",
+            LinkedPlatform::Steam => "Steam",
+            LinkedPlatform::Twitter => "Twitter",
+            LinkedPlatform::Spotify => "Spotify",
+            LinkedPlatform::YouTube => "YouTube",
+            LinkedPlatform::Battlenet => "Battlenet",
+            LinkedPlatform::Xbox => "Xbox",
+            LinkedPlatform::Reddit => "Reddit",
+            LinkedPlatform::LeagueOfLegends => "League of Legends",
+            LinkedPlatform::Skype => "Skype",
+            LinkedPlatform::Facebook => "Facebook",
+        }
+    }
+
+    /// Stable index into [`LinkedPlatform::ALL`].
+    pub fn index(self) -> usize {
+        LinkedPlatform::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("platform present in ALL")
+    }
+}
+
+/// A registered user of one messaging platform.
+#[derive(Debug, Clone)]
+pub struct User {
+    /// Dense platform-local id.
+    pub id: UserId,
+    /// The platform the account lives on.
+    pub platform: PlatformKind,
+    /// Registration phone number (WhatsApp and Telegram; `None` on
+    /// Discord, which registers by email).
+    pub phone: Option<PhoneNumber>,
+    /// Telegram only: whether the user opted in to showing their phone
+    /// number to group co-members (off by default; 0.68% opted in per §6).
+    pub phone_visible: bool,
+    /// Discord only: connected accounts on other platforms.
+    pub linked: Vec<LinkedPlatform>,
+}
+
+impl User {
+    /// A WhatsApp user (phone always present and always visible to
+    /// co-members — the crux of §6's WhatsApp finding).
+    pub fn whatsapp(id: UserId, phone: PhoneNumber) -> User {
+        User {
+            id,
+            platform: PlatformKind::WhatsApp,
+            phone: Some(phone),
+            phone_visible: true,
+            linked: Vec::new(),
+        }
+    }
+
+    /// A Telegram user; `phone_visible` reflects the opt-in.
+    pub fn telegram(id: UserId, phone: PhoneNumber, phone_visible: bool) -> User {
+        User {
+            id,
+            platform: PlatformKind::Telegram,
+            phone: Some(phone),
+            phone_visible,
+            linked: Vec::new(),
+        }
+    }
+
+    /// A Discord user with the given connected accounts.
+    pub fn discord(id: UserId, linked: Vec<LinkedPlatform>) -> User {
+        User {
+            id,
+            platform: PlatformKind::Discord,
+            phone: None,
+            phone_visible: false,
+            linked,
+        }
+    }
+
+    /// The phone number this user's platform would *expose* to a
+    /// co-member: always for WhatsApp, opt-in for Telegram, never for
+    /// Discord.
+    pub fn exposed_phone(&self) -> Option<PhoneNumber> {
+        match self.platform {
+            PlatformKind::WhatsApp => self.phone,
+            PlatformKind::Telegram => self.phone.filter(|_| self.phone_visible),
+            PlatformKind::Discord => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phone::{country_by_iso, PhoneNumber};
+    use chatlens_simnet::rng::Rng;
+
+    fn phone() -> PhoneNumber {
+        PhoneNumber::allocate(country_by_iso("BR").unwrap(), &mut Rng::new(1))
+    }
+
+    #[test]
+    fn whatsapp_always_exposes_phone() {
+        let u = User::whatsapp(UserId(0), phone());
+        assert_eq!(u.exposed_phone(), Some(phone()));
+    }
+
+    #[test]
+    fn telegram_exposes_only_on_opt_in() {
+        let hidden = User::telegram(UserId(0), phone(), false);
+        assert_eq!(hidden.exposed_phone(), None);
+        let shown = User::telegram(UserId(1), phone(), true);
+        assert_eq!(shown.exposed_phone(), Some(phone()));
+    }
+
+    #[test]
+    fn discord_never_exposes_phone() {
+        let u = User::discord(UserId(0), vec![LinkedPlatform::Twitch]);
+        assert_eq!(u.exposed_phone(), None);
+        assert_eq!(u.linked, vec![LinkedPlatform::Twitch]);
+    }
+
+    #[test]
+    fn table5_order_and_labels() {
+        assert_eq!(LinkedPlatform::ALL[0].label(), "Twitch");
+        assert_eq!(LinkedPlatform::ALL[10].label(), "Facebook");
+        for (i, p) in LinkedPlatform::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+}

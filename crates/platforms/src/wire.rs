@@ -1,0 +1,285 @@
+//! The line-based wire format platform frontends serialize bodies with.
+//!
+//! The paper's collectors *scraped* landing pages and *parsed* API replies;
+//! to keep those code paths honest, the simulated platforms render their
+//! responses as text and the collectors parse them back. The format is
+//! deliberately simple and deterministic:
+//!
+//! ```text
+//! doc-type
+//! key: value
+//! key: value          # keys may repeat (lists)
+//! ```
+//!
+//! The first line is the document type; every following non-empty line is a
+//! `key: value` pair. Values may contain anything except a newline.
+
+use std::fmt;
+
+/// Errors produced while parsing or interrogating a wire document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The body was empty.
+    Empty,
+    /// A line had no `": "` separator.
+    MalformedLine(String),
+    /// A required field was absent.
+    MissingField(&'static str),
+    /// A field failed numeric conversion.
+    BadNumber(&'static str, String),
+    /// The document type was not the expected one.
+    WrongType {
+        /// Expected document type.
+        expected: &'static str,
+        /// Actual document type found.
+        found: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Empty => write!(f, "empty wire document"),
+            WireError::MalformedLine(l) => write!(f, "malformed line: {l:?}"),
+            WireError::MissingField(k) => write!(f, "missing field {k:?}"),
+            WireError::BadNumber(k, v) => write!(f, "field {k:?} is not a number: {v:?}"),
+            WireError::WrongType { expected, found } => {
+                write!(f, "expected document type {expected:?}, found {found:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A parsed (or under-construction) wire document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDoc {
+    /// Document type (the first line).
+    pub kind: String,
+    fields: Vec<(String, String)>,
+}
+
+impl WireDoc {
+    /// Start building a document of type `kind`.
+    pub fn new(kind: impl Into<String>) -> WireDoc {
+        WireDoc {
+            kind: kind.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Append a field (keys may repeat).
+    ///
+    /// # Panics
+    /// Panics if the value contains a newline — the caller must sanitize
+    /// free-form text (group titles) first via [`sanitize`].
+    pub fn field(mut self, key: impl Into<String>, value: impl fmt::Display) -> WireDoc {
+        let key = key.into();
+        let value = value.to_string();
+        assert!(
+            !value.contains('\n') && !key.contains('\n'),
+            "wire fields must be single-line"
+        );
+        self.fields.push((key, value));
+        self
+    }
+
+    /// Render to the textual body.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(32 + self.fields.len() * 24);
+        out.push_str(&self.kind);
+        for (k, v) in &self.fields {
+            out.push('\n');
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(v);
+        }
+        out
+    }
+
+    /// Parse a body back into a document.
+    pub fn parse(body: &str) -> Result<WireDoc, WireError> {
+        let mut lines = body.lines();
+        let kind = lines
+            .next()
+            .filter(|l| !l.is_empty())
+            .ok_or(WireError::Empty)?;
+        let mut fields = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once(": ")
+                .ok_or_else(|| WireError::MalformedLine(line.to_string()))?;
+            fields.push((k.to_string(), v.to_string()));
+        }
+        Ok(WireDoc {
+            kind: kind.to_string(),
+            fields,
+        })
+    }
+
+    /// Parse and verify the document type in one step.
+    pub fn parse_as(body: &str, expected: &'static str) -> Result<WireDoc, WireError> {
+        let doc = WireDoc::parse(body)?;
+        if doc.kind != expected {
+            return Err(WireError::WrongType {
+                expected,
+                found: doc.kind,
+            });
+        }
+        Ok(doc)
+    }
+
+    /// First value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `key`, in order.
+    pub fn get_all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.fields
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Required string field.
+    pub fn req(&self, key: &'static str) -> Result<&str, WireError> {
+        self.get(key).ok_or(WireError::MissingField(key))
+    }
+
+    /// Required `u64` field.
+    pub fn req_u64(&self, key: &'static str) -> Result<u64, WireError> {
+        let v = self.req(key)?;
+        v.parse()
+            .map_err(|_| WireError::BadNumber(key, v.to_string()))
+    }
+
+    /// Required `i64` field.
+    pub fn req_i64(&self, key: &'static str) -> Result<i64, WireError> {
+        let v = self.req(key)?;
+        v.parse()
+            .map_err(|_| WireError::BadNumber(key, v.to_string()))
+    }
+
+    /// Optional `u64` field (error only if present and malformed).
+    pub fn opt_u64(&self, key: &'static str) -> Result<Option<u64>, WireError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| WireError::BadNumber(key, v.to_string())),
+        }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the document has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// Replace newlines in free-form text (group titles come from user input)
+/// so it can be carried in a single-line field.
+pub fn sanitize(text: &str) -> String {
+    text.replace(['\n', '\r'], " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let doc = WireDoc::new("landing")
+            .field("title", "Crypto Signals")
+            .field("size", 42u32);
+        let parsed = WireDoc::parse(&doc.render()).unwrap();
+        assert_eq!(parsed.kind, "landing");
+        assert_eq!(parsed.get("title"), Some("Crypto Signals"));
+        assert_eq!(parsed.req_u64("size").unwrap(), 42);
+    }
+
+    #[test]
+    fn repeated_keys_preserved_in_order() {
+        let doc = WireDoc::new("members")
+            .field("member", "+551100")
+            .field("member", "+551101")
+            .field("member", "+551102");
+        let parsed = WireDoc::parse(&doc.render()).unwrap();
+        let all: Vec<_> = parsed.get_all("member").collect();
+        assert_eq!(all, vec!["+551100", "+551101", "+551102"]);
+        assert_eq!(parsed.len(), 3);
+    }
+
+    #[test]
+    fn parse_as_checks_type() {
+        let body = WireDoc::new("alpha").render();
+        assert!(WireDoc::parse_as(&body, "alpha").is_ok());
+        let err = WireDoc::parse_as(&body, "beta").unwrap_err();
+        assert_eq!(
+            err,
+            WireError::WrongType {
+                expected: "beta",
+                found: "alpha".into()
+            }
+        );
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert_eq!(WireDoc::parse(""), Err(WireError::Empty));
+        assert!(matches!(
+            WireDoc::parse("doc\nnocolonhere"),
+            Err(WireError::MalformedLine(_))
+        ));
+        let doc = WireDoc::parse("doc\nn: abc").unwrap();
+        assert!(matches!(doc.req_u64("n"), Err(WireError::BadNumber(_, _))));
+        assert!(matches!(doc.req("x"), Err(WireError::MissingField("x"))));
+    }
+
+    #[test]
+    fn values_may_contain_colons_and_unicode() {
+        let doc = WireDoc::new("t").field("title", "Grupo: Vagas 🚀 SP: zona sul");
+        let parsed = WireDoc::parse(&doc.render()).unwrap();
+        assert_eq!(parsed.get("title"), Some("Grupo: Vagas 🚀 SP: zona sul"));
+    }
+
+    #[test]
+    fn sanitize_strips_newlines() {
+        assert_eq!(sanitize("a\nb\r\nc"), "a b  c");
+    }
+
+    #[test]
+    #[should_panic(expected = "single-line")]
+    fn field_rejects_embedded_newline() {
+        let _ = WireDoc::new("t").field("title", "a\nb");
+    }
+
+    #[test]
+    fn opt_u64_semantics() {
+        let doc = WireDoc::parse("t\na: 5").unwrap();
+        assert_eq!(doc.opt_u64("a").unwrap(), Some(5));
+        assert_eq!(doc.opt_u64("b").unwrap(), None);
+        let bad = WireDoc::parse("t\na: x").unwrap();
+        assert!(bad.opt_u64("a").is_err());
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let doc = WireDoc::new("t").field("delta", -42i64);
+        let parsed = WireDoc::parse(&doc.render()).unwrap();
+        assert_eq!(parsed.req_i64("delta").unwrap(), -42);
+    }
+}

@@ -1,0 +1,175 @@
+//! Paper-vs-measured comparison records — the raw material of
+//! EXPERIMENTS.md.
+//!
+//! The reproduction is not expected to match the paper's absolute numbers
+//! (the substrate is a simulator, §2 of DESIGN.md), but the *shape* must
+//! hold: who wins, by roughly what factor, where the thresholds fall. A
+//! [`Comparison`] captures one published value, the measured value, and a
+//! verdict under a relative tolerance.
+
+use std::fmt;
+
+/// How a measured value may be compared to the paper's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Measured should be close to the paper's value (relative band).
+    Near,
+    /// Measured should be at least the paper's value.
+    AtLeast,
+    /// Measured should be at most the paper's value.
+    AtMost,
+}
+
+/// One paper-vs-measured record.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Which table/figure this belongs to (e.g. `"Fig 6"`).
+    pub artifact: String,
+    /// Human description (e.g. `"Discord revoked URLs"`).
+    pub quantity: String,
+    /// The paper's published value.
+    pub paper: f64,
+    /// What this run measured.
+    pub measured: f64,
+    /// Comparison mode.
+    pub direction: Direction,
+    /// Relative tolerance for [`Direction::Near`] (e.g. 0.25 = ±25%).
+    pub tolerance: f64,
+}
+
+impl Comparison {
+    /// A `Near` comparison.
+    pub fn near(
+        artifact: impl Into<String>,
+        quantity: impl Into<String>,
+        paper: f64,
+        measured: f64,
+        tolerance: f64,
+    ) -> Comparison {
+        Comparison {
+            artifact: artifact.into(),
+            quantity: quantity.into(),
+            paper,
+            measured,
+            direction: Direction::Near,
+            tolerance,
+        }
+    }
+
+    /// Whether the measured value satisfies the comparison.
+    pub fn holds(&self) -> bool {
+        match self.direction {
+            Direction::Near => {
+                if self.paper == 0.0 {
+                    return self.measured.abs() <= self.tolerance;
+                }
+                let rel = (self.measured - self.paper).abs() / self.paper.abs();
+                rel <= self.tolerance
+            }
+            Direction::AtLeast => self.measured >= self.paper,
+            Direction::AtMost => self.measured <= self.paper,
+        }
+    }
+
+    /// Relative deviation from the paper value (0 when paper is 0).
+    pub fn deviation(&self) -> f64 {
+        if self.paper == 0.0 {
+            0.0
+        } else {
+            (self.measured - self.paper) / self.paper.abs()
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = if self.holds() { "OK" } else { "DRIFT" };
+        write!(
+            f,
+            "[{verdict}] {} | {}: paper {:.4}, measured {:.4} ({:+.1}%)",
+            self.artifact,
+            self.quantity,
+            self.paper,
+            self.measured,
+            self.deviation() * 100.0
+        )
+    }
+}
+
+/// Render a set of comparisons as a markdown table (EXPERIMENTS.md rows).
+pub fn markdown_table(comparisons: &[Comparison]) -> String {
+    let mut out = String::from("| Artifact | Quantity | Paper | Measured | Δ | Verdict |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for c in comparisons {
+        out.push_str(&format!(
+            "| {} | {} | {:.4} | {:.4} | {:+.1}% | {} |\n",
+            c.artifact,
+            c.quantity,
+            c.paper,
+            c.measured,
+            c.deviation() * 100.0,
+            if c.holds() { "ok" } else { "drift" }
+        ));
+    }
+    out
+}
+
+/// Count of comparisons that hold.
+pub fn holding(comparisons: &[Comparison]) -> usize {
+    comparisons.iter().filter(|c| c.holds()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_within_band() {
+        let c = Comparison::near("Fig 6", "revoked", 0.684, 0.70, 0.10);
+        assert!(c.holds());
+        let c = Comparison::near("Fig 6", "revoked", 0.684, 0.30, 0.10);
+        assert!(!c.holds());
+    }
+
+    #[test]
+    fn near_zero_paper_value() {
+        let c = Comparison::near("X", "q", 0.0, 0.005, 0.01);
+        assert!(c.holds());
+        let c = Comparison::near("X", "q", 0.0, 0.5, 0.01);
+        assert!(!c.holds());
+        assert_eq!(c.deviation(), 0.0);
+    }
+
+    #[test]
+    fn directional_comparisons() {
+        let c = Comparison {
+            artifact: "T".into(),
+            quantity: "q".into(),
+            paper: 10.0,
+            measured: 12.0,
+            direction: Direction::AtLeast,
+            tolerance: 0.0,
+        };
+        assert!(c.holds());
+        let c = Comparison {
+            direction: Direction::AtMost,
+            ..c
+        };
+        assert!(!c.holds());
+    }
+
+    #[test]
+    fn display_and_markdown() {
+        let cs = vec![
+            Comparison::near("Fig 2", "share-once", 0.50, 0.52, 0.10),
+            Comparison::near("Fig 2", "share-once DC", 0.62, 0.10, 0.10),
+        ];
+        assert!(cs[0].to_string().starts_with("[OK]"));
+        assert!(cs[1].to_string().starts_with("[DRIFT]"));
+        let md = markdown_table(&cs);
+        assert_eq!(md.lines().count(), 4);
+        assert!(md.contains("| ok |"));
+        assert!(md.contains("| drift |"));
+        assert_eq!(holding(&cs), 1);
+    }
+}

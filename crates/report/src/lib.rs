@@ -1,0 +1,17 @@
+//! # chatlens-report — rendering of tables, series, and comparisons
+//!
+//! Small, dependency-free presentation layer: ASCII tables ([`table`]),
+//! CDF/series rendering and CSV export ([`series`]), and structured
+//! paper-vs-measured comparison records ([`compare`]) used to fill
+//! EXPERIMENTS.md.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compare;
+pub mod plot;
+pub mod series;
+pub mod table;
+
+pub use compare::{Comparison, Direction};
+pub use table::Table;

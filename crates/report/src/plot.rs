@@ -1,0 +1,139 @@
+//! Terminal CDF plots: the figures of the paper, rendered as text.
+//!
+//! Multiple series share one axis; x can be logarithmic (member counts and
+//! share counts span five orders of magnitude, exactly why the paper's
+//! CDF figures use log axes).
+
+use chatlens_analysis::Ecdf;
+
+/// Markers assigned to series in order.
+const MARKERS: [char; 5] = ['*', '+', 'o', 'x', '#'];
+
+/// Render one or more ECDFs as an ASCII plot of `width`×`height`
+/// characters (plus axes). `log_x` plots x on a log10 scale (values < 1
+/// are clamped to 1).
+pub fn plot_cdfs(
+    title: &str,
+    series: &[(&str, &Ecdf)],
+    width: usize,
+    height: usize,
+    log_x: bool,
+) -> String {
+    let width = width.clamp(16, 200);
+    let height = height.clamp(4, 60);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let nonempty: Vec<&(&str, &Ecdf)> = series.iter().filter(|(_, e)| !e.is_empty()).collect();
+    if nonempty.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let xmax = nonempty
+        .iter()
+        .map(|(_, e)| e.max().unwrap_or(1.0))
+        .fold(1.0f64, f64::max);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ecdf)) in nonempty.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        let mut marks: Vec<(usize, usize)> = Vec::with_capacity(width);
+        for col in 0..width {
+            // Invert: which value reaches this x position?
+            let xfrac = col as f64 / (width - 1) as f64;
+            let value = if log_x {
+                10f64.powf(xfrac * xmax.max(1.0).log10())
+            } else {
+                xfrac * xmax
+            };
+            let f = ecdf.fraction_at_most(value);
+            let row = ((1.0 - f) * (height - 1) as f64).round() as usize;
+            marks.push((row.min(height - 1), col));
+        }
+        for (row, col) in marks {
+            grid[row][col] = marker;
+        }
+    }
+    for (r, row) in grid.iter().enumerate() {
+        let y = 1.0 - r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y:5.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("      +{}\n", "-".repeat(width)));
+    let xlabel = if log_x {
+        format!("x: 1 .. {xmax:.0} (log scale)")
+    } else {
+        format!("x: 0 .. {xmax:.0}")
+    };
+    out.push_str(&format!("       {xlabel}\n"));
+    for (si, (name, _)) in nonempty.iter().enumerate() {
+        out.push_str(&format!(
+            "       {} {}\n",
+            MARKERS[si % MARKERS.len()],
+            name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecdf(range: std::ops::RangeInclusive<u64>) -> Ecdf {
+        Ecdf::from_ints(range)
+    }
+
+    #[test]
+    fn renders_axes_and_legend() {
+        let a = ecdf(1..=100);
+        let b = ecdf(1..=10_000);
+        let s = plot_cdfs("demo", &[("small", &a), ("large", &b)], 40, 10, true);
+        assert!(s.starts_with("demo\n"));
+        assert!(s.contains(" 1.00 |"));
+        assert!(s.contains(" 0.00 |"));
+        assert!(s.contains("log scale"));
+        assert!(s.contains("* small"));
+        assert!(s.contains("+ large"));
+        // Every plot row has the axis prefix.
+        assert_eq!(s.lines().filter(|l| l.contains('|')).count(), 10);
+    }
+
+    #[test]
+    fn smaller_distribution_sits_left_of_larger() {
+        // At mid-plot the small series should already be near 1.0 while
+        // the large one is still climbing: find the row containing '*' at
+        // the top region.
+        let a = ecdf(1..=10);
+        let b = ecdf(1..=10_000);
+        let s = plot_cdfs("d", &[("a", &a), ("b", &b)], 60, 12, true);
+        let top_rows: Vec<&str> = s.lines().skip(1).take(3).collect();
+        assert!(
+            top_rows.iter().any(|l| l.contains('*')),
+            "small series reaches the top early:\n{s}"
+        );
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        let e = chatlens_analysis::Ecdf::new(vec![]);
+        let s = plot_cdfs("empty", &[("none", &e)], 30, 8, false);
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn linear_scale_label() {
+        let a = ecdf(1..=50);
+        let s = plot_cdfs("d", &[("a", &a)], 30, 8, false);
+        assert!(s.contains("x: 0 .. 50"));
+        assert!(!s.contains("log"));
+    }
+
+    #[test]
+    fn dimensions_clamped() {
+        let a = ecdf(1..=5);
+        let s = plot_cdfs("d", &[("a", &a)], 1, 1, false);
+        // Clamped to minimums, still well-formed.
+        assert!(s.lines().count() >= 6);
+    }
+}

@@ -1,0 +1,124 @@
+//! Series rendering: CDF plots as text, CSV export, sparklines.
+
+/// Render `(x, y)` points as CSV with the given column names.
+pub fn to_csv(columns: (&str, &str), points: &[(f64, f64)]) -> String {
+    let mut out = String::with_capacity(points.len() * 16 + 16);
+    out.push_str(columns.0);
+    out.push(',');
+    out.push_str(columns.1);
+    out.push('\n');
+    for (x, y) in points {
+        out.push_str(&format!("{x},{y}\n"));
+    }
+    out
+}
+
+/// Render several named series over a shared day axis as CSV
+/// (`day,name1,name2,...`). All series must be the same length.
+///
+/// # Panics
+/// Panics if series lengths differ.
+pub fn days_csv(names: &[&str], series: &[Vec<u64>]) -> String {
+    assert_eq!(names.len(), series.len(), "one name per series");
+    let len = series.first().map(Vec::len).unwrap_or(0);
+    for s in series {
+        assert_eq!(s.len(), len, "all series share the day axis");
+    }
+    let mut out = String::from("day");
+    for n in names {
+        out.push(',');
+        out.push_str(n);
+    }
+    out.push('\n');
+    for day in 0..len {
+        out.push_str(&day.to_string());
+        for s in series {
+            out.push(',');
+            out.push_str(&s[day].to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A one-line unicode sparkline of a series (8 levels).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let level = (((v - min) / span) * 7.0).round() as usize;
+            BARS[level.min(7)]
+        })
+        .collect()
+}
+
+/// Summarise a CDF at the quantile grid the paper's figures are read at.
+pub fn cdf_summary(label: &str, ecdf: &chatlens_analysis::Ecdf) -> String {
+    if ecdf.is_empty() {
+        return format!("{label}: (no samples)\n");
+    }
+    format!(
+        "{label}: n={} min={:.1} p25={:.1} median={:.1} p75={:.1} p90={:.1} p99={:.1} max={:.1}\n",
+        ecdf.len(),
+        ecdf.min().unwrap_or(0.0),
+        ecdf.quantile(0.25).unwrap_or(0.0),
+        ecdf.median().unwrap_or(0.0),
+        ecdf.quantile(0.75).unwrap_or(0.0),
+        ecdf.quantile(0.90).unwrap_or(0.0),
+        ecdf.quantile(0.99).unwrap_or(0.0),
+        ecdf.max().unwrap_or(0.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_points() {
+        let csv = to_csv(("x", "F"), &[(1.0, 0.5), (2.0, 1.0)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["x,F", "1,0.5", "2,1"]);
+    }
+
+    #[test]
+    fn day_series_csv() {
+        let csv = days_csv(&["all", "new"], &[vec![5, 6], vec![1, 2]]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["day,all,new", "0,5,1", "1,6,2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the day axis")]
+    fn day_series_length_mismatch_panics() {
+        let _ = days_csv(&["a", "b"], &[vec![1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+        // Constant series doesn't panic (zero span guarded).
+        assert_eq!(sparkline(&[3.0, 3.0]).chars().count(), 2);
+    }
+
+    #[test]
+    fn cdf_summary_line() {
+        let e = chatlens_analysis::Ecdf::from_ints(1..=100);
+        let s = cdf_summary("demo", &e);
+        assert!(s.contains("n=100"));
+        assert!(s.contains("median=50.0"));
+        let empty = chatlens_analysis::Ecdf::new(vec![]);
+        assert!(cdf_summary("e", &empty).contains("no samples"));
+    }
+}

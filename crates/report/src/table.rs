@@ -1,0 +1,182 @@
+//! ASCII table rendering with width-aware alignment.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table with a title.
+    pub fn new(title: impl Into<String>) -> Table {
+        Table {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the column headers.
+    pub fn header<I, S>(mut self, cols: I) -> Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a row (shorter rows are right-padded with empty cells).
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to text. The first column is left-aligned, the rest right-
+    /// aligned (the usual look of numeric tables).
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        fn cell(row: &[String], c: usize) -> &str {
+            row.get(c).map(String::as_str).unwrap_or("")
+        }
+        let widths: Vec<usize> = (0..ncols)
+            .map(|c| {
+                let header_w = self.header.get(c).map(|h| h.chars().count()).unwrap_or(0);
+                self.rows
+                    .iter()
+                    .map(|row| cell(row, c).chars().count())
+                    .fold(header_w, usize::max)
+            })
+            .collect();
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        let render_row = |cells: &Vec<String>| -> String {
+            let mut line = String::new();
+            for (c, width) in widths.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                let text = cell(cells, c);
+                let pad = width.saturating_sub(text.chars().count());
+                if c == 0 {
+                    line.push_str(text);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(text);
+                }
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            out.push_str(&render_row(&self.header));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a count with thousands separators (`1234567` → `1,234,567`).
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Format a fraction as a percentage with one decimal (`0.273` → `27.3%`).
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo").header(["name", "count"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "1000"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "Demo");
+        assert!(lines[1].contains("name"));
+        assert!(lines[2].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("alpha"));
+        assert!(lines[4].ends_with("1000"));
+        // Right-aligned numeric column: the "1" lines up with "1000"'s end.
+        assert_eq!(lines[3].len(), lines[1].len());
+    }
+
+    #[test]
+    fn tolerates_ragged_rows() {
+        let mut t = Table::new("").header(["a", "b", "c"]);
+        t.row(["x"]);
+        t.row(["y", "2", "3"]);
+        let s = t.render();
+        assert!(s.contains('y'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new("T").header(["h"]);
+        let s = t.render();
+        assert!(s.contains('h'));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_000), "1,000");
+        assert_eq!(fmt_count(351_535), "351,535");
+        assert_eq!(fmt_count(8_255_069), "8,255,069");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(fmt_pct(0.273), "27.3%");
+        assert_eq!(fmt_pct(1.0), "100.0%");
+        assert_eq!(fmt_pct(0.0068), "0.7%");
+    }
+}

@@ -1,0 +1,486 @@
+//! Distribution toolbox for workload modelling.
+//!
+//! The paper's findings are distributional — heavy-tailed share counts
+//! (Fig 2), log-normal-ish group sizes (Fig 7), Zipfian per-user message
+//! volumes (Fig 9) — so the workload generators need a small but solid set
+//! of samplers. Everything here consumes the crate's own [`Rng`], keeping
+//! every draw attributable to the scenario seed.
+
+use crate::rng::Rng;
+
+/// Sample from a discrete distribution given by non-negative `weights`
+/// using Vose's alias method: O(n) construction, O(1) sampling.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl Categorical {
+    /// Build the alias table from `weights`.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Categorical {
+        assert!(!weights.is_empty(), "empty weight vector");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must sum to a positive finite value"
+        );
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "invalid weight {w}");
+        }
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Residual entries (floating-point dust) take probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        Categorical { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw a category index.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Bounded Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^-s`. Built on a [`Categorical`] alias table, so sampling is
+/// O(1) and exact for the bounded supports used by the workload models.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    table: Categorical,
+}
+
+impl Zipf {
+    /// Zipf over `1..=n` with exponent `s > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s > 0.0, "invalid Zipf exponent {s}");
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        Zipf {
+            table: Categorical::new(&weights),
+        }
+    }
+
+    /// Draw a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        self.table.sample(rng) + 1
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Never true.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// Log-normal distribution: `exp(mu + sigma * N(0,1))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal (must be >= 0).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct from the underlying normal's parameters.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> LogNormal {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Construct a log-normal whose *median* is `median` with the given
+    /// underlying sigma — often the more intuitive parameterisation when
+    /// matching reported medians from the paper.
+    pub fn from_median(median: f64, sigma: f64) -> LogNormal {
+        assert!(median > 0.0, "median must be positive");
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Draw a sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.mu + self.sigma * rng.normal()).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    /// Rate parameter (> 0).
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Construct with rate `lambda > 0`.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Exponential {
+        assert!(lambda.is_finite() && lambda > 0.0, "invalid rate {lambda}");
+        Exponential { lambda }
+    }
+
+    /// Draw a sample via inverse transform.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let u = 1.0 - rng.f64(); // in (0, 1]
+        -u.ln() / self.lambda
+    }
+}
+
+/// Pareto (type I) distribution with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    /// Minimum value (scale, > 0).
+    pub x_min: f64,
+    /// Tail exponent (shape, > 0).
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Construct with scale `x_min > 0` and shape `alpha > 0`.
+    ///
+    /// # Panics
+    /// Panics on non-positive or non-finite parameters.
+    pub fn new(x_min: f64, alpha: f64) -> Pareto {
+        assert!(x_min.is_finite() && x_min > 0.0);
+        assert!(alpha.is_finite() && alpha > 0.0);
+        Pareto { x_min, alpha }
+    }
+
+    /// Draw a sample via inverse transform.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let u = 1.0 - rng.f64(); // in (0, 1]
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+///
+/// Uses Knuth's product method for small `lambda` and a normal
+/// approximation (rounded, clamped at zero) for `lambda > 30`, which is
+/// ample for the per-day event counts drawn in the workload models.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    /// Mean (>= 0).
+    pub lambda: f64,
+}
+
+impl Poisson {
+    /// Construct with mean `lambda >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn new(lambda: f64) -> Poisson {
+        assert!(lambda.is_finite() && lambda >= 0.0, "invalid mean {lambda}");
+        Poisson { lambda }
+    }
+
+    /// Draw a sample.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda > 30.0 {
+            let x = self.lambda + self.lambda.sqrt() * rng.normal();
+            return x.round().max(0.0) as u64;
+        }
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Geometric distribution over `{1, 2, ...}`: number of Bernoulli(`p`)
+/// trials up to and including the first success.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometric {
+    /// Success probability in `(0, 1]`.
+    pub p: f64,
+}
+
+impl Geometric {
+    /// Construct with success probability `p` in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `(0, 1]`.
+    pub fn new(p: f64) -> Geometric {
+        assert!(p > 0.0 && p <= 1.0, "invalid probability {p}");
+        Geometric { p }
+    }
+
+    /// Draw a sample (>= 1) via inverse transform.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        let u = 1.0 - rng.f64(); // in (0, 1]
+        (u.ln() / (1.0 - self.p).ln()).ceil().max(1.0) as u64
+    }
+}
+
+/// A two-component mixture: with probability `p_first` sample from the
+/// first closure, otherwise from the second. Used for e.g. the staleness
+/// model (a same-day spike mixed with a long tail, Fig 5).
+pub fn mixture<T>(
+    rng: &mut Rng,
+    p_first: f64,
+    first: impl FnOnce(&mut Rng) -> T,
+    second: impl FnOnce(&mut Rng) -> T,
+) -> T {
+    if rng.chance(p_first) {
+        first(rng)
+    } else {
+        second(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::new(0xC0FFEE)
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let c = Categorical::new(&[1.0, 2.0, 7.0]);
+        let mut r = rng();
+        let mut counts = [0u32; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[c.sample(&mut r)] += 1;
+        }
+        let expect = [0.1, 0.2, 0.7];
+        for i in 0..3 {
+            let rate = f64::from(counts[i]) / n as f64;
+            assert!((rate - expect[i]).abs() < 0.01, "cat {i}: {rate}");
+        }
+    }
+
+    #[test]
+    fn categorical_zero_weight_never_sampled() {
+        let c = Categorical::new(&[0.0, 1.0, 0.0]);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert_eq!(c.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn categorical_single_category() {
+        let c = Categorical::new(&[3.5]);
+        let mut r = rng();
+        assert_eq!(c.sample(&mut r), 0);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weight vector")]
+    fn categorical_rejects_empty() {
+        let _ = Categorical::new(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn categorical_rejects_all_zero() {
+        let _ = Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn categorical_rejects_negative() {
+        let _ = Categorical::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(100, 1.2);
+        let mut r = rng();
+        let mut counts = vec![0u32; 101];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[5]);
+        // Harmonic-weight check: P(1) = 1 / H(100, 1.2).
+        let h: f64 = (1..=100).map(|k| (k as f64).powf(-1.2)).sum();
+        let p1 = f64::from(counts[1]) / n as f64;
+        assert!((p1 - 1.0 / h).abs() < 0.02, "P(rank 1) = {p1}");
+    }
+
+    #[test]
+    fn zipf_bounds() {
+        let z = Zipf::new(5, 2.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let v = z.sample(&mut r);
+            assert!((1..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = LogNormal::from_median(50.0, 1.0);
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..50_001).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        assert!((med / 50.0 - 1.0).abs() < 0.1, "median {med}");
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let d = LogNormal::from_median(7.0, 0.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!((d.sample(&mut r) - 7.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::new(0.25);
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_min_respected_and_tail_heavy() {
+        let d = Pareto::new(2.0, 1.5);
+        let mut r = rng();
+        let mut max = 0.0f64;
+        for _ in 0..100_000 {
+            let x = d.sample(&mut r);
+            assert!(x >= 2.0);
+            max = max.max(x);
+        }
+        assert!(
+            max > 100.0,
+            "heavy tail should produce large values, max {max}"
+        );
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let d = Poisson::new(3.0);
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let d = Poisson::new(500.0);
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        assert!((mean / 500.0 - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let d = Poisson::new(0.0);
+        let mut r = rng();
+        assert_eq!(d.sample(&mut r), 0);
+    }
+
+    #[test]
+    fn geometric_mean_and_min() {
+        let d = Geometric::new(0.2);
+        let mut r = rng();
+        let n = 100_000;
+        let mut min = u64::MAX;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                let v = d.sample(&mut r);
+                min = min.min(v);
+                v as f64
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert_eq!(min, 1);
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_p1_always_one() {
+        let d = Geometric::new(1.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn mixture_respects_probability() {
+        let mut r = rng();
+        let n = 50_000;
+        let firsts = (0..n)
+            .filter(|_| mixture(&mut r, 0.8, |_| true, |_| false))
+            .count();
+        let rate = firsts as f64 / n as f64;
+        assert!((rate - 0.8).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,223 @@
+//! The simulation engine: a virtual clock driving an event queue.
+//!
+//! `Engine<E>` owns the clock and an [`EventQueue`]; callers schedule typed
+//! events and drain them in order with [`Engine::step`] or
+//! [`Engine::run_until`]. Handlers receive `&mut Engine` back, so an event
+//! may schedule follow-up events — the classic discrete-event pattern.
+//!
+//! The engine is intentionally single-threaded (the networking guides'
+//! smoltcp philosophy: simplicity and robustness over cleverness); the
+//! campaign-scale workloads in this project run in milliseconds without
+//! parallelism, and determinism would be hard to keep otherwise.
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulation engine with event payload type `E`.
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Engine<E> {
+    /// A new engine whose clock starts at `start`.
+    pub fn new(start: SimTime) -> Self {
+        Engine {
+            now: start,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events (including lazily-cancelled entries).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling backwards in time is
+    /// always a logic bug in a discrete-event program.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at} before now {}",
+            self.now
+        );
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedule an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        let at = self.now + delay;
+        self.queue.schedule(at, event)
+    }
+
+    /// Cancel a pending event.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Pop and return the next event, advancing the clock to its time.
+    /// Returns `None` when the queue is exhausted.
+    pub fn step(&mut self) -> Option<(SimTime, E)> {
+        let (at, ev) = self.queue.pop()?;
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.processed += 1;
+        Some((at, ev))
+    }
+
+    /// Process events with `handler` until the queue is empty or the clock
+    /// would pass `deadline`. Events scheduled exactly at `deadline` are
+    /// processed; the clock never advances beyond it. Returns the number of
+    /// events handled.
+    pub fn run_until(&mut self, deadline: SimTime, mut handler: impl FnMut(&mut Self, E)) -> u64 {
+        let start_processed = self.processed;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            // Unwrap is fine: peek_time just proved there is an event.
+            let (_, ev) = self.step().expect("event vanished between peek and pop");
+            handler(self, ev);
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.processed - start_processed
+    }
+
+    /// Drain the queue completely, processing every event.
+    pub fn run_to_exhaustion(&mut self, mut handler: impl FnMut(&mut Self, E)) -> u64 {
+        let start_processed = self.processed;
+        while let Some((_, ev)) = self.step() {
+            handler(self, ev);
+        }
+        self.processed - start_processed
+    }
+
+    /// Advance the clock without processing events (e.g. to a campaign
+    /// start time).
+    ///
+    /// # Panics
+    /// Panics if events earlier than `to` are still pending, or `to` is in
+    /// the past.
+    pub fn fast_forward(&mut self, to: SimTime) {
+        assert!(to >= self.now, "cannot fast-forward into the past");
+        if let Some(t) = self.queue.peek_time() {
+            assert!(
+                t >= to,
+                "fast_forward({to}) would skip a pending event at {t}"
+            );
+        }
+        self.now = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SimDuration, SimTime};
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Spawn,
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut e = Engine::new(SimTime(0));
+        e.schedule_at(SimTime(10), Ev::Tick(1));
+        e.schedule_at(SimTime(20), Ev::Tick(2));
+        assert_eq!(e.step(), Some((SimTime(10), Ev::Tick(1))));
+        assert_eq!(e.now(), SimTime(10));
+        assert_eq!(e.step(), Some((SimTime(20), Ev::Tick(2))));
+        assert_eq!(e.now(), SimTime(20));
+        assert_eq!(e.step(), None);
+        assert_eq!(e.processed(), 2);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut e = Engine::new(SimTime(0));
+        e.schedule_at(SimTime(1), Ev::Spawn);
+        let mut ticks = Vec::new();
+        e.run_to_exhaustion(|eng, ev| match ev {
+            Ev::Spawn => {
+                eng.schedule_in(SimDuration::secs(5), Ev::Tick(7));
+            }
+            Ev::Tick(n) => ticks.push((eng.now(), n)),
+        });
+        assert_eq!(ticks, vec![(SimTime(6), 7)]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut e = Engine::new(SimTime(0));
+        for t in [5u64, 10, 15, 20] {
+            e.schedule_at(SimTime(t), Ev::Tick(t as u32));
+        }
+        let mut seen = Vec::new();
+        let n = e.run_until(SimTime(15), |_, ev| seen.push(ev));
+        assert_eq!(n, 3);
+        assert_eq!(seen, vec![Ev::Tick(5), Ev::Tick(10), Ev::Tick(15)]);
+        // Clock lands exactly on the deadline even though an event remains.
+        assert_eq!(e.now(), SimTime(15));
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut e: Engine<Ev> = Engine::new(SimTime(0));
+        e.run_until(SimTime(100), |_, _| {});
+        assert_eq!(e.now(), SimTime(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn scheduling_in_past_panics() {
+        let mut e = Engine::new(SimTime(100));
+        e.schedule_at(SimTime(50), Ev::Spawn);
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut e = Engine::new(SimTime(0));
+        let id = e.schedule_at(SimTime(5), Ev::Tick(1));
+        e.schedule_at(SimTime(6), Ev::Tick(2));
+        assert!(e.cancel(id));
+        let mut seen = Vec::new();
+        e.run_to_exhaustion(|_, ev| seen.push(ev));
+        assert_eq!(seen, vec![Ev::Tick(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip a pending event")]
+    fn fast_forward_cannot_skip_events() {
+        let mut e = Engine::new(SimTime(0));
+        e.schedule_at(SimTime(5), Ev::Spawn);
+        e.fast_forward(SimTime(10));
+    }
+
+    #[test]
+    fn fast_forward_to_pending_event_time_ok() {
+        let mut e = Engine::new(SimTime(0));
+        e.schedule_at(SimTime(5), Ev::Spawn);
+        e.fast_forward(SimTime(5));
+        assert_eq!(e.now(), SimTime(5));
+    }
+}

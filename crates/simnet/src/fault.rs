@@ -1,0 +1,257 @@
+//! Fault injection, rate limiting, and backoff.
+//!
+//! Mirrors the knobs the networking guides highlight (smoltcp's
+//! `--drop-chance` / token-bucket shaping): a [`FaultInjector`] decides per
+//! attempt whether the wire eats the request or the far end errors, a
+//! [`TokenBucket`] enforces a sustained request rate with bursts, and
+//! [`Backoff`] produces exponentially growing, fully jittered retry delays.
+
+use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
+
+/// Per-attempt fault model: independent drop and server-error probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjector {
+    /// Probability the request is silently dropped in transit.
+    pub drop_chance: f64,
+    /// Probability the service responds with a transient 5xx.
+    pub error_chance: f64,
+}
+
+impl FaultInjector {
+    /// A fault model with the given probabilities (each clamped to [0, 1]).
+    pub fn new(drop_chance: f64, error_chance: f64) -> FaultInjector {
+        FaultInjector {
+            drop_chance: drop_chance.clamp(0.0, 1.0),
+            error_chance: error_chance.clamp(0.0, 1.0),
+        }
+    }
+
+    /// A perfectly reliable network.
+    pub fn none() -> FaultInjector {
+        FaultInjector::new(0.0, 0.0)
+    }
+
+    /// Roll for an in-transit drop.
+    pub fn drop_now(&self, rng: &mut Rng) -> bool {
+        self.drop_chance > 0.0 && rng.chance(self.drop_chance)
+    }
+
+    /// Roll for an injected server error.
+    pub fn error_now(&self, rng: &mut Rng) -> bool {
+        self.error_chance > 0.0 && rng.chance(self.error_chance)
+    }
+}
+
+/// A token bucket: capacity `burst`, refilled at `rate` tokens/second of
+/// virtual time. `acquire` reports how long the caller must (virtually)
+/// wait for the next token instead of blocking.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    rate: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full.
+    ///
+    /// # Panics
+    /// Panics unless `capacity >= 1` and `rate > 0` (a bucket that can never
+    /// hold or produce a whole token would deadlock every caller).
+    pub fn new(capacity: f64, rate: f64, start: SimTime) -> TokenBucket {
+        assert!(capacity >= 1.0, "capacity {capacity} cannot hold one token");
+        assert!(rate > 0.0 && rate.is_finite(), "invalid refill rate {rate}");
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            rate,
+            last: start,
+        }
+    }
+
+    /// Take one token at virtual time `now`, returning the wait imposed:
+    /// `Some(ZERO)` if a token was available immediately, `Some(wait)` if
+    /// the caller must wait `wait` for the bucket to refill. Returns `None`
+    /// only if the wait would exceed an hour — treated as a configuration
+    /// error by callers.
+    pub fn acquire(&mut self, now: SimTime) -> Option<SimDuration> {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            return Some(SimDuration::ZERO);
+        }
+        let deficit = 1.0 - self.tokens;
+        let wait_secs = (deficit / self.rate).ceil();
+        if wait_secs > 3_600.0 {
+            return None;
+        }
+        let wait = SimDuration::secs(wait_secs as u64);
+        // Advance our own view of time past the wait and spend the token.
+        self.refill(now + wait);
+        self.tokens = (self.tokens - 1.0).max(0.0);
+        Some(wait)
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now <= self.last {
+            return;
+        }
+        let elapsed = (now - self.last).as_secs() as f64;
+        self.tokens = (self.tokens + elapsed * self.rate).min(self.capacity);
+        self.last = now;
+    }
+}
+
+/// Exponential backoff with full jitter: delay `i` is uniform in
+/// `[0, min(max, base * factor^i)]`, per the widely used AWS formulation.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: SimDuration,
+    factor: f64,
+    max: SimDuration,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A backoff schedule starting at `base`, growing by `factor`, capped
+    /// at `max`.
+    pub fn new(base: SimDuration, factor: f64, max: SimDuration) -> Backoff {
+        Backoff {
+            base,
+            factor: factor.max(1.0),
+            max,
+            attempt: 0,
+        }
+    }
+
+    /// The next delay (advances the attempt counter).
+    pub fn next_delay(&mut self, rng: &mut Rng) -> SimDuration {
+        let ceiling =
+            (self.base.as_secs() as f64 * self.factor.powi(self.attempt as i32)).round() as u64;
+        let ceiling = ceiling.min(self.max.as_secs()).max(1);
+        self.attempt = self.attempt.saturating_add(1);
+        SimDuration::secs(rng.range(0, ceiling))
+    }
+
+    /// Number of delays handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Reset to the first attempt (e.g. after a success).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_extremes() {
+        let mut rng = Rng::new(1);
+        let always = FaultInjector::new(1.0, 1.0);
+        let never = FaultInjector::none();
+        for _ in 0..100 {
+            assert!(always.drop_now(&mut rng));
+            assert!(always.error_now(&mut rng));
+            assert!(!never.drop_now(&mut rng));
+            assert!(!never.error_now(&mut rng));
+        }
+    }
+
+    #[test]
+    fn injector_clamps_probabilities() {
+        let f = FaultInjector::new(7.0, -2.0);
+        assert_eq!(f.drop_chance, 1.0);
+        assert_eq!(f.error_chance, 0.0);
+    }
+
+    #[test]
+    fn bucket_burst_then_throttle() {
+        let mut b = TokenBucket::new(3.0, 1.0, SimTime(0));
+        // Three immediate tokens.
+        for _ in 0..3 {
+            assert_eq!(b.acquire(SimTime(0)), Some(SimDuration::ZERO));
+        }
+        // Fourth must wait ~1s.
+        let wait = b.acquire(SimTime(0)).unwrap();
+        assert_eq!(wait, SimDuration::secs(1));
+    }
+
+    #[test]
+    fn bucket_refills_over_time() {
+        let mut b = TokenBucket::new(5.0, 2.0, SimTime(0));
+        for _ in 0..5 {
+            b.acquire(SimTime(0)).unwrap();
+        }
+        assert!(b.available(SimTime(0)) < 1.0);
+        // After 2 virtual seconds at 2 tokens/sec, ~4 tokens are back.
+        let avail = b.available(SimTime(2));
+        assert!((3.5..=5.0).contains(&avail), "available {avail}");
+        assert_eq!(b.acquire(SimTime(2)), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn bucket_never_exceeds_capacity() {
+        let mut b = TokenBucket::new(2.0, 100.0, SimTime(0));
+        assert!(b.available(SimTime(1_000_000)) <= 2.0);
+    }
+
+    #[test]
+    fn bucket_refuses_hour_long_waits() {
+        let mut b = TokenBucket::new(1.0, 0.0001, SimTime(0));
+        b.acquire(SimTime(0)).unwrap();
+        assert_eq!(b.acquire(SimTime(0)), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bucket_rejects_zero_rate() {
+        let _ = TokenBucket::new(1.0, 0.0, SimTime(0));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let mut rng = Rng::new(2);
+        let mut b = Backoff::new(SimDuration::secs(1), 2.0, SimDuration::secs(8));
+        // Ceilings: 1, 2, 4, 8, 8, 8...
+        let expected_ceilings = [1u64, 2, 4, 8, 8, 8];
+        for &ceil in &expected_ceilings {
+            let d = b.next_delay(&mut rng);
+            assert!(d.as_secs() <= ceil, "delay {d} above ceiling {ceil}");
+        }
+        assert_eq!(b.attempts(), 6);
+    }
+
+    #[test]
+    fn backoff_reset_restarts_schedule() {
+        let mut rng = Rng::new(3);
+        let mut b = Backoff::new(SimDuration::secs(10), 2.0, SimDuration::secs(1000));
+        for _ in 0..5 {
+            b.next_delay(&mut rng);
+        }
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        let d = b.next_delay(&mut rng);
+        assert!(d.as_secs() <= 10);
+    }
+
+    #[test]
+    fn backoff_jitter_varies() {
+        let mut rng = Rng::new(4);
+        let mut b = Backoff::new(SimDuration::secs(100), 1.0, SimDuration::secs(100));
+        let delays: std::collections::HashSet<u64> =
+            (0..50).map(|_| b.next_delay(&mut rng).as_secs()).collect();
+        assert!(delays.len() > 10, "jitter should spread delays");
+    }
+}

@@ -1,0 +1,271 @@
+//! Lightweight named counters and fixed-bucket histograms.
+//!
+//! The collector and monitor use a [`Metrics`] registry to keep campaign
+//! health numbers (requests issued, revocations observed, joins denied…)
+//! without threading bespoke counters through every call path.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram over fixed, caller-supplied bucket upper bounds, plus an
+/// overflow bucket. Also tracks exact count/sum/min/max.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Count of observations in the bucket ending at `bounds[i]` (the last
+    /// index is the overflow bucket).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// `(upper_bound, count)` pairs; the final pair uses `f64::INFINITY`.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+    }
+}
+
+/// A registry of named counters and histograms with deterministic
+/// (sorted) iteration order.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add `n` to the counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Increment the counter `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Read a counter (0 if absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Observe a value into the histogram `name`, creating it with the
+    /// given default bounds on first use.
+    pub fn observe(&mut self, name: &str, value: f64, default_bounds: &[f64]) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(default_bounds))
+            .observe(value);
+    }
+
+    /// Read a histogram if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merge another registry into this one (counters add; histograms must
+    /// not collide — campaign subsystems use disjoint name prefixes).
+    ///
+    /// # Panics
+    /// Panics on a histogram name collision.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for k in other.histograms.keys() {
+            assert!(
+                !self.histograms.contains_key(k),
+                "histogram name collision: {k}"
+            );
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.insert(k.clone(), v.clone());
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "{name} = {v}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "{name}: n={} mean={:.2} min={:?} max={:?}",
+                h.count(),
+                h.mean(),
+                h.min(),
+                h.max()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.add("a", 4);
+        assert_eq!(m.get("a"), 5);
+        assert_eq!(m.get("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_count(0), 2, "<=1");
+        assert_eq!(h.bucket_count(1), 1, "<=10");
+        assert_eq!(h.bucket_count(2), 1, "<=100");
+        assert_eq!(h.bucket_count(3), 1, "overflow");
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(500.0));
+        assert!((h.mean() - 111.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn histogram_empty_stats() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[10.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_histograms() {
+        let mut m = Metrics::new();
+        m.observe("lat", 5.0, &[1.0, 10.0]);
+        m.observe("lat", 0.5, &[999.0]); // bounds ignored on reuse
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_count(0), 1);
+        assert!(m.histogram("other").is_none());
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = Metrics::new();
+        a.add("x", 1);
+        let mut b = Metrics::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        b.observe("h", 1.0, &[10.0]);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+        assert!(a.histogram("h").is_some());
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let mut m = Metrics::new();
+        m.add("requests", 7);
+        m.observe("latency", 2.0, &[1.0, 5.0]);
+        let s = m.to_string();
+        assert!(s.contains("requests = 7"));
+        assert!(s.contains("latency: n=1"));
+    }
+
+    #[test]
+    fn buckets_iterator_ends_with_infinity() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        let bounds: Vec<f64> = h.buckets().map(|(b, _)| b).collect();
+        assert_eq!(bounds.len(), 3);
+        assert!(bounds[2].is_infinite());
+    }
+}

@@ -1,0 +1,444 @@
+//! Virtual time and calendar arithmetic.
+//!
+//! The simulation measures time in whole **seconds** since the Unix epoch
+//! (1970-01-01T00:00:00Z). The paper's data-collection window runs from
+//! 2020-04-08 through 2020-05-15 (38 days); [`Date`] provides exact civil
+//! (proleptic Gregorian) date arithmetic so campaign schedules — "query the
+//! Search API every hour", "scrape every group's landing page once per day"
+//! — are expressed in calendar terms rather than raw offsets.
+//!
+//! Civil-date conversions use Howard Hinnant's `days_from_civil` /
+//! `civil_from_days` algorithms, which are exact over the entire `i64` range
+//! used here.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Seconds in one minute.
+pub const SECS_PER_MINUTE: u64 = 60;
+/// Seconds in one hour.
+pub const SECS_PER_HOUR: u64 = 3_600;
+/// Seconds in one civil day.
+pub const SECS_PER_DAY: u64 = 86_400;
+
+/// An instant of virtual time: whole seconds since the Unix epoch.
+///
+/// `SimTime` is the only notion of "now" in the simulation; nothing reads
+/// the host clock, which is what makes runs reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time in whole seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A duration of `n` seconds.
+    pub const fn secs(n: u64) -> Self {
+        SimDuration(n)
+    }
+
+    /// A duration of `n` minutes.
+    pub const fn minutes(n: u64) -> Self {
+        SimDuration(n * SECS_PER_MINUTE)
+    }
+
+    /// A duration of `n` hours.
+    pub const fn hours(n: u64) -> Self {
+        SimDuration(n * SECS_PER_HOUR)
+    }
+
+    /// A duration of `n` civil days.
+    pub const fn days(n: u64) -> Self {
+        SimDuration(n * SECS_PER_DAY)
+    }
+
+    /// The duration as whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The duration as whole days, truncating.
+    pub const fn as_days(self) -> u64 {
+        self.0 / SECS_PER_DAY
+    }
+
+    /// Saturating duration addition.
+    pub const fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Multiply the duration by an integer factor, saturating.
+    pub const fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl SimTime {
+    /// The Unix epoch, the simulation time origin.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Construct from whole seconds since the epoch.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The civil date this instant falls on (UTC).
+    pub fn date(self) -> Date {
+        Date::from_day_number((self.0 / SECS_PER_DAY) as i64)
+    }
+
+    /// Seconds elapsed since midnight of the instant's civil day.
+    pub const fn seconds_into_day(self) -> u64 {
+        self.0 % SECS_PER_DAY
+    }
+
+    /// The instant at the most recent midnight (start of the civil day).
+    pub const fn floor_day(self) -> SimTime {
+        SimTime(self.0 - self.0 % SECS_PER_DAY)
+    }
+
+    /// The instant at the most recent top of the hour.
+    pub const fn floor_hour(self) -> SimTime {
+        SimTime(self.0 - self.0 % SECS_PER_HOUR)
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero if `earlier` is later.
+    pub const fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked subtraction of a duration.
+    pub const fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
+        match self.0.checked_sub(d.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.date();
+        let s = self.seconds_into_day();
+        write!(
+            f,
+            "{}T{:02}:{:02}:{:02}Z",
+            d,
+            s / SECS_PER_HOUR,
+            (s % SECS_PER_HOUR) / SECS_PER_MINUTE,
+            s % SECS_PER_MINUTE
+        )
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(SECS_PER_DAY) {
+            write!(f, "{}d", self.0 / SECS_PER_DAY)
+        } else {
+            write!(f, "{}s", self.0)
+        }
+    }
+}
+
+/// A civil (proleptic Gregorian, UTC) calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Calendar year (e.g. 2020).
+    pub year: i32,
+    /// Month in `1..=12`.
+    pub month: u8,
+    /// Day of month in `1..=31`.
+    pub day: u8,
+}
+
+impl Date {
+    /// Construct a date, validating month/day ranges.
+    ///
+    /// # Panics
+    /// Panics if `month` or `day` is out of range for the given month/year;
+    /// dates in this codebase are compile-time campaign constants, so an
+    /// invalid one is a programming error.
+    pub fn new(year: i32, month: u8, day: u8) -> Date {
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day {day} out of range for {year}-{month:02}"
+        );
+        Date { year, month, day }
+    }
+
+    /// Days since 1970-01-01 (may be negative for earlier dates).
+    ///
+    /// Implements Hinnant's `days_from_civil`.
+    pub fn day_number(self) -> i64 {
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let m = i64::from(self.month);
+        let d = i64::from(self.day);
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468
+    }
+
+    /// The date `days` after 1970-01-01. Inverse of [`Date::day_number`].
+    ///
+    /// Implements Hinnant's `civil_from_days`.
+    pub fn from_day_number(days: i64) -> Date {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+        Date {
+            year: (y + i64::from(m <= 2)) as i32,
+            month: m as u8,
+            day: d as u8,
+        }
+    }
+
+    /// Midnight (00:00:00 UTC) at the start of this date.
+    ///
+    /// # Panics
+    /// Panics for dates before 1970, which cannot be represented as
+    /// [`SimTime`]. Group *creation* dates older than the epoch do not occur:
+    /// the oldest platform in the study launched in 2009.
+    pub fn midnight(self) -> SimTime {
+        let n = self.day_number();
+        assert!(n >= 0, "date {self} precedes the simulation epoch");
+        SimTime(n as u64 * SECS_PER_DAY)
+    }
+
+    /// The date `n` days after this one (or before, if `n` is negative).
+    pub fn plus_days(self, n: i64) -> Date {
+        Date::from_day_number(self.day_number() + n)
+    }
+
+    /// Whole days from `self` to `other` (positive if `other` is later).
+    pub fn days_until(self, other: Date) -> i64 {
+        other.day_number() - self.day_number()
+    }
+
+    /// Day of week, 0 = Monday … 6 = Sunday.
+    pub fn weekday(self) -> u8 {
+        // 1970-01-01 was a Thursday (index 3).
+        (self.day_number() + 3).rem_euclid(7) as u8
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// Whether `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in `month` of `year`.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+/// The fixed study window of the paper: 38 days of data collection,
+/// 2020-04-08 through 2020-05-15 inclusive (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyWindow {
+    /// First day of collection (inclusive).
+    pub start: Date,
+    /// Last day of collection (inclusive).
+    pub end: Date,
+}
+
+impl StudyWindow {
+    /// The window used throughout the paper.
+    pub fn paper() -> StudyWindow {
+        StudyWindow {
+            start: Date::new(2020, 4, 8),
+            end: Date::new(2020, 5, 15),
+        }
+    }
+
+    /// Number of collection days in the window (inclusive of both ends).
+    pub fn num_days(&self) -> u64 {
+        (self.start.days_until(self.end) + 1) as u64
+    }
+
+    /// Instant at which collection starts.
+    pub fn start_time(&self) -> SimTime {
+        self.start.midnight()
+    }
+
+    /// First instant *after* the window (midnight following the last day).
+    pub fn end_time(&self) -> SimTime {
+        self.end.plus_days(1).midnight()
+    }
+
+    /// The zero-based study-day index of `t`, or `None` if outside the window.
+    pub fn day_index(&self, t: SimTime) -> Option<u32> {
+        if t < self.start_time() || t >= self.end_time() {
+            return None;
+        }
+        Some(((t - self.start_time()).as_days()) as u32)
+    }
+
+    /// The date of the zero-based study day `idx`.
+    pub fn date_of_day(&self, idx: u32) -> Date {
+        self.start.plus_days(i64::from(idx))
+    }
+
+    /// Whether instant `t` falls within the collection window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start_time() && t < self.end_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_roundtrip() {
+        let d = Date::new(1970, 1, 1);
+        assert_eq!(d.day_number(), 0);
+        assert_eq!(Date::from_day_number(0), d);
+    }
+
+    #[test]
+    fn known_day_numbers() {
+        // Spot values cross-checked against `date -d @...`.
+        assert_eq!(Date::new(2020, 4, 8).day_number(), 18_360);
+        assert_eq!(Date::new(2020, 5, 15).day_number(), 18_397);
+        assert_eq!(Date::new(2000, 3, 1).day_number(), 11_017);
+        assert_eq!(Date::new(1969, 12, 31).day_number(), -1);
+    }
+
+    #[test]
+    fn roundtrip_many_days() {
+        for n in -200_000..200_000i64 {
+            let d = Date::from_day_number(n);
+            assert_eq!(d.day_number(), n, "mismatch at day {n} = {d}");
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2020));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2019));
+        assert_eq!(days_in_month(2020, 2), 29);
+        assert_eq!(days_in_month(2019, 2), 28);
+    }
+
+    #[test]
+    fn weekday_known() {
+        // 2020-04-08 was a Wednesday.
+        assert_eq!(Date::new(2020, 4, 8).weekday(), 2);
+        // 1970-01-01 was a Thursday.
+        assert_eq!(Date::new(1970, 1, 1).weekday(), 3);
+    }
+
+    #[test]
+    fn study_window_paper() {
+        let w = StudyWindow::paper();
+        assert_eq!(w.num_days(), 38);
+        assert_eq!(w.day_index(w.start_time()), Some(0));
+        assert_eq!(
+            w.day_index(w.end_time().checked_sub(SimDuration::secs(1)).unwrap()),
+            Some(37)
+        );
+        assert_eq!(w.day_index(w.end_time()), None);
+        assert_eq!(w.date_of_day(37), Date::new(2020, 5, 15));
+        assert!(!w.contains(SimTime::EPOCH));
+    }
+
+    #[test]
+    fn simtime_display() {
+        let t = Date::new(2020, 4, 8).midnight() + SimDuration::hours(13) + SimDuration::secs(62);
+        assert_eq!(t.to_string(), "2020-04-08T13:01:02Z");
+    }
+
+    #[test]
+    fn floor_ops() {
+        let t = Date::new(2020, 4, 9).midnight() + SimDuration::hours(5) + SimDuration::secs(10);
+        assert_eq!(t.floor_day(), Date::new(2020, 4, 9).midnight());
+        assert_eq!(
+            t.floor_hour(),
+            Date::new(2020, 4, 9).midnight() + SimDuration::hours(5)
+        );
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(SimDuration::days(2).as_secs(), 172_800);
+        assert_eq!(SimDuration::hours(2).as_secs(), 7_200);
+        assert_eq!(SimDuration::minutes(2).as_secs(), 120);
+        assert_eq!(SimDuration::days(3).as_days(), 3);
+        assert_eq!(SimDuration::secs(86_399).as_days(), 0);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let a = SimTime::from_secs(100);
+        let b = a + SimDuration::secs(50);
+        assert_eq!(b.as_secs(), 150);
+        assert_eq!((b - a).as_secs(), 50);
+        assert_eq!((a - b).as_secs(), 0, "since() saturates");
+        assert_eq!(a.checked_sub(SimDuration::secs(200)), None);
+    }
+}

@@ -1,0 +1,174 @@
+//! Bounded request/response tracing — the pcap analogue for the simulated
+//! transport.
+//!
+//! Every client attempt is recorded (endpoint, status or drop, latency,
+//! attempt number). The recorder is bounded: once full it discards the
+//! oldest entries but keeps exact aggregate counters, so long campaigns can
+//! still answer "how many 410s did the monitor see?" cheaply.
+
+use crate::time::{SimDuration, SimTime};
+use crate::transport::Status;
+use std::collections::{BTreeMap, VecDeque};
+
+/// One recorded transport attempt. `status: None` means the attempt was
+/// dropped in transit (no response observed).
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Virtual time of the attempt.
+    pub at: SimTime,
+    /// Endpoint the request targeted.
+    pub endpoint: String,
+    /// Response status, or `None` for an in-transit drop.
+    pub status: Option<Status>,
+    /// Sampled latency of the exchange.
+    pub latency: SimDuration,
+    /// 1-based attempt number within the logical request.
+    pub attempt: u32,
+}
+
+/// A bounded ring of [`TraceEntry`] plus exact aggregate counters.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    ring: VecDeque<TraceEntry>,
+    capacity: usize,
+    total: u64,
+    dropped_attempts: u64,
+    by_status: BTreeMap<String, u64>,
+    by_endpoint: BTreeMap<String, u64>,
+}
+
+impl TraceRecorder {
+    /// A recorder keeping at most `capacity` recent entries.
+    pub fn new(capacity: usize) -> TraceRecorder {
+        TraceRecorder {
+            ring: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            total: 0,
+            dropped_attempts: 0,
+            by_status: BTreeMap::new(),
+            by_endpoint: BTreeMap::new(),
+        }
+    }
+
+    /// Record one attempt.
+    pub fn record(&mut self, entry: TraceEntry) {
+        self.total += 1;
+        match entry.status {
+            Some(s) => *self.by_status.entry(s.to_string()).or_insert(0) += 1,
+            None => self.dropped_attempts += 1,
+        }
+        *self.by_endpoint.entry(entry.endpoint.clone()).or_insert(0) += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(entry);
+    }
+
+    /// Total attempts ever recorded (not just those still in the ring).
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Attempts dropped in transit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_attempts
+    }
+
+    /// Exact attempt counts per status string.
+    pub fn by_status(&self) -> &BTreeMap<String, u64> {
+        &self.by_status
+    }
+
+    /// Exact attempt counts per endpoint.
+    pub fn by_endpoint(&self) -> &BTreeMap<String, u64> {
+        &self.by_endpoint
+    }
+
+    /// The retained (most recent) entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.ring.iter()
+    }
+
+    /// Render a compact text summary, one line per status and endpoint.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} attempts ({} dropped in transit)\n",
+            self.total, self.dropped_attempts
+        ));
+        for (status, n) in &self.by_status {
+            out.push_str(&format!("  status {status}: {n}\n"));
+        }
+        for (ep, n) in &self.by_endpoint {
+            out.push_str(&format!("  endpoint {ep}: {n}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ep: &str, status: Option<Status>) -> TraceEntry {
+        TraceEntry {
+            at: SimTime(0),
+            endpoint: ep.to_string(),
+            status,
+            latency: SimDuration::ZERO,
+            attempt: 1,
+        }
+    }
+
+    #[test]
+    fn counts_are_exact_beyond_capacity() {
+        let mut t = TraceRecorder::new(2);
+        for _ in 0..10 {
+            t.record(entry("a", Some(Status::Ok)));
+        }
+        t.record(entry("b", None));
+        assert_eq!(t.len(), 11);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.by_status().get("200 OK"), Some(&10));
+        assert_eq!(t.by_endpoint().get("a"), Some(&10));
+        assert_eq!(t.by_endpoint().get("b"), Some(&1));
+        // Ring holds only the 2 most recent.
+        assert_eq!(t.entries().count(), 2);
+        assert_eq!(t.entries().last().unwrap().endpoint, "b");
+    }
+
+    #[test]
+    fn zero_capacity_keeps_counters_only() {
+        let mut t = TraceRecorder::new(0);
+        t.record(entry("x", Some(Status::Gone)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries().count(), 0);
+        assert_eq!(t.by_status().get("410 Gone"), Some(&1));
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let mut t = TraceRecorder::new(8);
+        t.record(entry("api/search", Some(Status::Ok)));
+        t.record(entry("api/search", None));
+        let s = t.summary();
+        assert!(s.contains("2 attempts"));
+        assert!(s.contains("1 dropped"));
+        assert!(s.contains("api/search: 2"));
+    }
+
+    #[test]
+    fn empty_recorder() {
+        let t = TraceRecorder::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

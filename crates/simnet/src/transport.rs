@@ -1,0 +1,558 @@
+//! Simulated request/response transport.
+//!
+//! The collector crates talk to the simulated platforms the way the paper's
+//! tooling talked to the real ones: by issuing requests to named endpoints
+//! and parsing textual responses (a scraped landing page, an API reply).
+//! This module provides the plumbing:
+//!
+//! * [`Request`] / [`Response`] — endpoint path, string parameters, status
+//!   code, textual body.
+//! * [`Service`] — the handler trait a simulated platform implements.
+//! * [`Router`] — dispatches requests to services by endpoint prefix.
+//! * [`Client`] — the caller side: token-bucket rate limiting, fault
+//!   injection, retry with exponential backoff, and trace recording.
+//!
+//! Latency is *sampled and accounted* (reported on each response and in the
+//! trace) rather than woven into the event queue: the campaign operates at
+//! hour/day granularity, so per-request latencies only need to be realistic
+//! in aggregate, not to reorder events.
+
+use crate::fault::{Backoff, FaultInjector, TokenBucket};
+use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEntry, TraceRecorder};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Response status, modelled on the HTTP codes the paper's scrapers saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// 200 — successful response with a meaningful body.
+    Ok,
+    /// 404 — the resource never existed (malformed id, dead vanity URL).
+    NotFound,
+    /// 410 — the resource existed but was revoked/expired; the body carries
+    /// the revocation notice, exactly like a dead invite's landing page.
+    Gone,
+    /// 429 — rate limited; retry after the embedded number of seconds
+    /// (Telegram's FLOOD_WAIT, Twitter's rate-limit window).
+    RateLimited(u32),
+    /// 403 — authenticated but not allowed (e.g. a bot asked to self-join a
+    /// Discord guild).
+    Forbidden,
+    /// 5xx — transient server error.
+    ServerError,
+}
+
+impl Status {
+    /// Whether a request that got this status is worth retrying.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, Status::RateLimited(_) | Status::ServerError)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Status::Ok => write!(f, "200 OK"),
+            Status::NotFound => write!(f, "404 Not Found"),
+            Status::Gone => write!(f, "410 Gone"),
+            Status::RateLimited(s) => write!(f, "429 Rate Limited (retry after {s}s)"),
+            Status::Forbidden => write!(f, "403 Forbidden"),
+            Status::ServerError => write!(f, "500 Server Error"),
+        }
+    }
+}
+
+/// A request to a named endpoint with string parameters.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Endpoint path, e.g. `"whatsapp/landing"` or `"twitter/search"`.
+    pub endpoint: String,
+    /// Key/value parameters (ordered, for deterministic tracing).
+    pub params: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// A request with no parameters.
+    pub fn new(endpoint: impl Into<String>) -> Request {
+        Request {
+            endpoint: endpoint.into(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style parameter attachment.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Request {
+        self.params.insert(key.into(), value.into());
+        self
+    }
+
+    /// Fetch a parameter by key.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(String::as_str)
+    }
+}
+
+/// A response: status, textual body, and the sampled service latency.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Outcome status.
+    pub status: Status,
+    /// Serialized body (scraped page, API reply). Empty on errors unless the
+    /// error page itself carries content (e.g. a revocation notice).
+    pub body: String,
+    /// Simulated service latency for this exchange.
+    pub latency: SimDuration,
+}
+
+impl Response {
+    /// A 200 response with `body` (latency filled in by the router).
+    pub fn ok(body: impl Into<String>) -> Response {
+        Response {
+            status: Status::Ok,
+            body: body.into(),
+            latency: SimDuration::ZERO,
+        }
+    }
+
+    /// An error-ish response with `status` and an optional notice body.
+    pub fn status(status: Status, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            latency: SimDuration::ZERO,
+        }
+    }
+}
+
+/// A simulated server-side handler (a platform frontend or API).
+pub trait Service {
+    /// Handle `req` at virtual time `now`.
+    fn handle(&mut self, now: SimTime, req: &Request) -> Response;
+}
+
+impl<F> Service for F
+where
+    F: FnMut(SimTime, &Request) -> Response,
+{
+    fn handle(&mut self, now: SimTime, req: &Request) -> Response {
+        self(now, req)
+    }
+}
+
+/// Routes requests to registered services by longest matching endpoint
+/// prefix (segments separated by `/`).
+#[derive(Default)]
+pub struct Router<'a> {
+    routes: Vec<(String, &'a mut dyn Service)>,
+}
+
+impl<'a> Router<'a> {
+    /// An empty router.
+    pub fn new() -> Self {
+        Router { routes: Vec::new() }
+    }
+
+    /// Register `service` for endpoints under `prefix`.
+    pub fn mount(&mut self, prefix: impl Into<String>, service: &'a mut dyn Service) {
+        self.routes.push((prefix.into(), service));
+    }
+
+    /// Dispatch a request; unknown endpoints yield 404.
+    pub fn dispatch(&mut self, now: SimTime, req: &Request) -> Response {
+        let mut best: Option<usize> = None;
+        let mut best_len = 0;
+        for (i, (prefix, _)) in self.routes.iter().enumerate() {
+            let matches = req.endpoint == *prefix
+                || (req.endpoint.starts_with(prefix.as_str())
+                    && req.endpoint.as_bytes().get(prefix.len()) == Some(&b'/'));
+            if matches && prefix.len() >= best_len {
+                best = Some(i);
+                best_len = prefix.len();
+            }
+        }
+        match best {
+            Some(i) => self.routes[i].1.handle(now, req),
+            None => Response::status(Status::NotFound, "no such endpoint"),
+        }
+    }
+}
+
+/// Client-side transport error after retries are exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The fault injector dropped every attempt (network unreachable).
+    Dropped {
+        /// Number of attempts made before giving up.
+        attempts: u32,
+    },
+    /// The final attempt returned a non-retryable or persistent status.
+    Failed {
+        /// Status of the final attempt.
+        status: Status,
+        /// Number of attempts made.
+        attempts: u32,
+    },
+    /// The local rate limiter refused to release a token within the
+    /// client's patience window.
+    RateBudgetExhausted,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Dropped { attempts } => {
+                write!(f, "request dropped after {attempts} attempts")
+            }
+            TransportError::Failed { status, attempts } => {
+                write!(f, "request failed with {status} after {attempts} attempts")
+            }
+            TransportError::RateBudgetExhausted => write!(f, "local rate budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Configuration for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Maximum attempts per logical request (1 = no retries).
+    pub max_attempts: u32,
+    /// Base delay for exponential backoff between retries.
+    pub backoff_base: SimDuration,
+    /// Upper bound on a single backoff delay.
+    pub backoff_max: SimDuration,
+    /// Sustained request rate allowed by the local token bucket, per second.
+    pub rate_per_sec: f64,
+    /// Token-bucket burst capacity.
+    pub burst: f64,
+    /// Mean simulated latency per exchange, in milliseconds (sampled
+    /// exponentially; accounted, not scheduled).
+    pub mean_latency_ms: f64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_attempts: 4,
+            backoff_base: SimDuration::secs(1),
+            backoff_max: SimDuration::secs(60),
+            rate_per_sec: 10.0,
+            burst: 20.0,
+            mean_latency_ms: 120.0,
+        }
+    }
+}
+
+/// The caller side of the transport: rate limiting, fault injection,
+/// retries with backoff, and tracing. One `Client` per logical account or
+/// API credential, mirroring how the paper's collectors held one credential
+/// per platform.
+pub struct Client {
+    config: ClientConfig,
+    bucket: TokenBucket,
+    faults: FaultInjector,
+    rng: Rng,
+    trace: TraceRecorder,
+    /// Virtual time spent waiting (backoff + rate limiting), accumulated so
+    /// the campaign can account for collection slowness.
+    pub waited: SimDuration,
+}
+
+impl Client {
+    /// Build a client. `rng` drives latency sampling, fault injection and
+    /// backoff jitter; `faults` configures drop/error probabilities.
+    pub fn new(config: ClientConfig, faults: FaultInjector, rng: Rng, start: SimTime) -> Self {
+        let bucket = TokenBucket::new(config.burst, config.rate_per_sec, start);
+        Client {
+            config,
+            bucket,
+            faults,
+            rng,
+            trace: TraceRecorder::new(4096),
+            waited: SimDuration::ZERO,
+        }
+    }
+
+    /// A client with default config, no faults, seeded from `seed`.
+    pub fn plain(seed: u64, start: SimTime) -> Client {
+        Client::new(
+            ClientConfig::default(),
+            FaultInjector::none(),
+            Rng::new(seed),
+            start,
+        )
+    }
+
+    /// Access the recorded trace.
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Issue `req` against `router` at virtual time `now`, with retries.
+    ///
+    /// On success returns the response. The client's `waited` counter
+    /// accumulates all simulated waiting (rate limiting and backoff).
+    pub fn call(
+        &mut self,
+        router: &mut Router<'_>,
+        now: SimTime,
+        req: &Request,
+    ) -> Result<Response, TransportError> {
+        let mut backoff = Backoff::new(self.config.backoff_base, 2.0, self.config.backoff_max);
+        let mut virtual_now = now;
+        let mut attempts = 0u32;
+        let mut last_status: Option<Status> = None;
+        while attempts < self.config.max_attempts {
+            attempts += 1;
+            // Local rate limiting: wait (virtually) for a token.
+            match self.bucket.acquire(virtual_now) {
+                Some(wait) => {
+                    virtual_now += wait;
+                    self.waited = self.waited + wait;
+                }
+                None => return Err(TransportError::RateBudgetExhausted),
+            }
+            let latency =
+                SimDuration::secs((self.sample_latency_ms() / 1000.0).ceil().max(0.0) as u64);
+            // Fault injection: dropped on the wire?
+            if self.faults.drop_now(&mut self.rng) {
+                self.trace.record(TraceEntry {
+                    at: virtual_now,
+                    endpoint: req.endpoint.clone(),
+                    status: None,
+                    latency,
+                    attempt: attempts,
+                });
+                let wait = backoff.next_delay(&mut self.rng);
+                virtual_now += wait;
+                self.waited = self.waited + wait;
+                continue;
+            }
+            // Injected server-side error?
+            let mut resp = if self.faults.error_now(&mut self.rng) {
+                Response::status(Status::ServerError, "injected fault")
+            } else {
+                router.dispatch(virtual_now, req)
+            };
+            resp.latency = latency;
+            self.trace.record(TraceEntry {
+                at: virtual_now,
+                endpoint: req.endpoint.clone(),
+                status: Some(resp.status),
+                latency,
+                attempt: attempts,
+            });
+            match resp.status {
+                Status::Ok | Status::NotFound | Status::Gone | Status::Forbidden => {
+                    return Ok(resp);
+                }
+                Status::RateLimited(retry_after) => {
+                    last_status = Some(resp.status);
+                    let wait = SimDuration::secs(u64::from(retry_after))
+                        + backoff.next_delay(&mut self.rng);
+                    virtual_now += wait;
+                    self.waited = self.waited + wait;
+                }
+                Status::ServerError => {
+                    last_status = Some(resp.status);
+                    let wait = backoff.next_delay(&mut self.rng);
+                    virtual_now += wait;
+                    self.waited = self.waited + wait;
+                }
+            }
+        }
+        match last_status {
+            Some(status) => Err(TransportError::Failed { status, attempts }),
+            None => Err(TransportError::Dropped { attempts }),
+        }
+    }
+
+    fn sample_latency_ms(&mut self) -> f64 {
+        // Exponential latency with the configured mean.
+        let u = 1.0 - self.rng.f64();
+        -u.ln() * self.config.mean_latency_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultInjector;
+
+    fn ok_service() -> impl Service {
+        |_: SimTime, req: &Request| Response::ok(format!("echo:{}", req.endpoint))
+    }
+
+    #[test]
+    fn router_dispatches_by_prefix() {
+        let mut a = ok_service();
+        let mut b = |_: SimTime, _: &Request| Response::ok("b");
+        let mut r = Router::new();
+        r.mount("alpha", &mut a);
+        r.mount("alpha/deep", &mut b);
+        let resp = r.dispatch(SimTime(0), &Request::new("alpha/shallow"));
+        assert_eq!(resp.body, "echo:alpha/shallow");
+        let resp = r.dispatch(SimTime(0), &Request::new("alpha/deep/x"));
+        assert_eq!(resp.body, "b", "longest prefix wins");
+        let resp = r.dispatch(SimTime(0), &Request::new("alphabet"));
+        assert_eq!(
+            resp.status,
+            Status::NotFound,
+            "prefix must end at a segment"
+        );
+    }
+
+    #[test]
+    fn router_unknown_endpoint_404() {
+        let mut r = Router::new();
+        let resp = r.dispatch(SimTime(0), &Request::new("nowhere"));
+        assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn client_success_roundtrip() {
+        let mut svc = ok_service();
+        let mut router = Router::new();
+        router.mount("svc", &mut svc);
+        let mut client = Client::plain(1, SimTime(0));
+        let resp = client
+            .call(&mut router, SimTime(0), &Request::new("svc/op"))
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body, "echo:svc/op");
+        assert_eq!(client.trace().len(), 1);
+    }
+
+    #[test]
+    fn client_retries_server_errors_then_succeeds() {
+        let mut remaining_failures = 2;
+        let mut svc = move |_: SimTime, _: &Request| {
+            if remaining_failures > 0 {
+                remaining_failures -= 1;
+                Response::status(Status::ServerError, "boom")
+            } else {
+                Response::ok("fine")
+            }
+        };
+        let mut router = Router::new();
+        router.mount("svc", &mut svc);
+        let mut client = Client::plain(2, SimTime(0));
+        let resp = client
+            .call(&mut router, SimTime(0), &Request::new("svc"))
+            .unwrap();
+        assert_eq!(resp.body, "fine");
+        assert_eq!(client.trace().len(), 3, "two failures + one success");
+        assert!(client.waited > SimDuration::ZERO, "backoff accumulated");
+    }
+
+    #[test]
+    fn client_gives_up_after_max_attempts() {
+        let mut svc = |_: SimTime, _: &Request| Response::status(Status::ServerError, "");
+        let mut router = Router::new();
+        router.mount("svc", &mut svc);
+        let mut client = Client::plain(3, SimTime(0));
+        let err = client
+            .call(&mut router, SimTime(0), &Request::new("svc"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::Failed {
+                status: Status::ServerError,
+                attempts: 4
+            }
+        );
+    }
+
+    #[test]
+    fn client_honours_rate_limited_retry_after() {
+        let mut first = true;
+        let mut svc = move |_: SimTime, _: &Request| {
+            if first {
+                first = false;
+                Response::status(Status::RateLimited(30), "")
+            } else {
+                Response::ok("after wait")
+            }
+        };
+        let mut router = Router::new();
+        router.mount("svc", &mut svc);
+        let mut client = Client::plain(4, SimTime(0));
+        let resp = client
+            .call(&mut router, SimTime(0), &Request::new("svc"))
+            .unwrap();
+        assert_eq!(resp.body, "after wait");
+        assert!(
+            client.waited >= SimDuration::secs(30),
+            "waited {} < retry-after",
+            client.waited
+        );
+    }
+
+    #[test]
+    fn non_retryable_statuses_return_immediately() {
+        for status in [Status::NotFound, Status::Gone, Status::Forbidden] {
+            let mut svc = move |_: SimTime, _: &Request| Response::status(status, "nope");
+            let mut router = Router::new();
+            router.mount("svc", &mut svc);
+            let mut client = Client::plain(5, SimTime(0));
+            let resp = client
+                .call(&mut router, SimTime(0), &Request::new("svc"))
+                .unwrap();
+            assert_eq!(resp.status, status);
+            assert_eq!(client.trace().len(), 1, "no retries for {status}");
+        }
+    }
+
+    #[test]
+    fn full_drop_faults_exhaust_attempts() {
+        let mut svc = ok_service();
+        let mut router = Router::new();
+        router.mount("svc", &mut svc);
+        let mut client = Client::new(
+            ClientConfig::default(),
+            FaultInjector::new(1.0, 0.0),
+            Rng::new(6),
+            SimTime(0),
+        );
+        let err = client
+            .call(&mut router, SimTime(0), &Request::new("svc"))
+            .unwrap_err();
+        assert_eq!(err, TransportError::Dropped { attempts: 4 });
+    }
+
+    #[test]
+    fn request_params_roundtrip() {
+        let req = Request::new("x").with("a", "1").with("b", "2");
+        assert_eq!(req.param("a"), Some("1"));
+        assert_eq!(req.param("b"), Some("2"));
+        assert_eq!(req.param("c"), None);
+    }
+
+    #[test]
+    fn moderate_faults_eventually_succeed() {
+        // With 30% drop and 4 attempts, most calls succeed; verify at least
+        // some do and the trace captures the drops.
+        let mut svc = ok_service();
+        let mut router = Router::new();
+        router.mount("svc", &mut svc);
+        let mut client = Client::new(
+            ClientConfig::default(),
+            FaultInjector::new(0.3, 0.0),
+            Rng::new(7),
+            SimTime(0),
+        );
+        let mut ok = 0;
+        for _ in 0..100 {
+            if client
+                .call(&mut router, SimTime(0), &Request::new("svc"))
+                .is_ok()
+            {
+                ok += 1;
+            }
+        }
+        assert!(ok > 90, "only {ok}/100 succeeded under 30% drop");
+    }
+}

@@ -1,0 +1,28 @@
+//! # chatlens-twitter — the Twitter simulator
+//!
+//! The paper discovers messaging-platform groups *through* Twitter (§3.1):
+//! it queries the **Search API** every hour (which returns matching tweets
+//! from the past seven days) and consumes the **Streaming API** in real
+//! time, merging both because the two feeds disagree. A **1% sample
+//! stream** provides the control dataset.
+//!
+//! This crate provides:
+//!
+//! * [`tweet`] — the tweet model: author, time, language, hashtag/mention
+//!   counts, retweet linkage, embedded URLs (as raw strings the collector
+//!   must parse), and tokenized text for topic modeling.
+//! * [`store`] — a time-indexed tweet store exposing the three feeds as
+//!   transport endpoints (`twitter/search`, `twitter/stream`,
+//!   `twitter/sample`) with the real APIs' quirks: 7-day search window,
+//!   `since_id` incremental queries, pagination, per-feed *deterministic
+//!   incompleteness* (a tweet missed by search is always missed by search,
+//!   which is exactly why merging the feeds helps, §3.1).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod store;
+pub mod tweet;
+
+pub use store::{StoreStats, TweetStore};
+pub use tweet::{Lang, Tweet, TweetId, TwitterUserId};

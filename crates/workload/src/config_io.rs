@@ -1,0 +1,374 @@
+//! Scenario-config serialization: a compact, dependency-free JSON
+//! serializer driven by the configs' `serde::Serialize` derives.
+//!
+//! The offline crate set includes `serde` but no format crate, so the
+//! writer lives here. It covers the subset of the serde data model the
+//! scenario types use (structs, arrays, tuples, primitives, strings) and
+//! rejects anything else loudly — this is a config exporter, not a general
+//! JSON library. Output is deterministic (field order = declaration
+//! order), so exported scenarios diff cleanly.
+
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialize: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl ser::Error for JsonError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+/// Serialize any `Serialize` value to a JSON string.
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, JsonError> {
+    let mut out = String::new();
+    value.serialize(Json { out: &mut out })?;
+    Ok(out)
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Json<'a> {
+    out: &'a mut String,
+}
+
+/// Sequence/struct body writer: tracks whether a comma is due.
+struct Body<'a> {
+    out: &'a mut String,
+    first: bool,
+    close: char,
+}
+
+impl Body<'_> {
+    fn comma(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+    }
+}
+
+macro_rules! forward_int {
+    ($($name:ident: $ty:ty),*) => {
+        $(fn $name(self, v: $ty) -> Result<(), JsonError> {
+            self.out.push_str(&v.to_string());
+            Ok(())
+        })*
+    };
+}
+
+impl<'a> ser::Serializer for Json<'a> {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = Body<'a>;
+    type SerializeTuple = Body<'a>;
+    type SerializeTupleStruct = Body<'a>;
+    type SerializeTupleVariant = ser::Impossible<(), JsonError>;
+    type SerializeMap = ser::Impossible<(), JsonError>;
+    type SerializeStruct = Body<'a>;
+    type SerializeStructVariant = ser::Impossible<(), JsonError>;
+
+    forward_int!(
+        serialize_i8: i8, serialize_i16: i16, serialize_i32: i32, serialize_i64: i64,
+        serialize_u8: u8, serialize_u16: u16, serialize_u32: u32, serialize_u64: u64
+    );
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), JsonError> {
+        self.serialize_f64(f64::from(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
+        if !v.is_finite() {
+            return Err(JsonError(format!("non-finite float {v}")));
+        }
+        self.out.push_str(&format!("{v}"));
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), JsonError> {
+        push_json_string(self.out, &v.to_string());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        push_json_string(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, _v: &[u8]) -> Result<(), JsonError> {
+        Err(JsonError("bytes unsupported".into()))
+    }
+
+    fn serialize_none(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonError> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonError> {
+        push_json_string(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        _variant: &'static str,
+        _value: &T,
+    ) -> Result<(), JsonError> {
+        Err(JsonError("newtype variants unsupported".into()))
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Body<'a>, JsonError> {
+        self.out.push('[');
+        Ok(Body {
+            out: self.out,
+            first: true,
+            close: ']',
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Body<'a>, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Body<'a>, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, JsonError> {
+        Err(JsonError("tuple variants unsupported".into()))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, JsonError> {
+        Err(JsonError("maps unsupported (configs use structs)".into()))
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Body<'a>, JsonError> {
+        self.out.push('{');
+        Ok(Body {
+            out: self.out,
+            first: true,
+            close: '}',
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, JsonError> {
+        Err(JsonError("struct variants unsupported".into()))
+    }
+}
+
+impl ser::SerializeSeq for Body<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.comma();
+        value.serialize(Json { out: self.out })
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Body<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleStruct for Body<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeStruct for Body<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.comma();
+        push_json_string(self.out, key);
+        self.out.push(':');
+        value.serialize(Json { out: self.out })
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push(self.close);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use serde::Serialize;
+
+    #[test]
+    fn scenario_config_serializes() {
+        let json = to_json(&ScenarioConfig::paper()).unwrap();
+        assert!(json.starts_with('{'));
+        assert!(json.ends_with('}'));
+        assert!(json.contains("\"seed\":20200408"));
+        assert!(json.contains("\"n_group_urls\":45718"));
+        assert!(json.contains("\"kind_weights\":[78,6,3,2,10,0.5,0.25,0.25,0]"));
+        // Balanced braces/brackets (cheap structural check).
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = to_json(&ScenarioConfig::default()).unwrap();
+        let b = to_json(&ScenarioConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        #[derive(Serialize)]
+        struct S {
+            title: String,
+        }
+        let json = to_json(&S {
+            title: "a\"b\\c\nd\u{1}".into(),
+        })
+        .unwrap();
+        assert_eq!(json, "{\"title\":\"a\\\"b\\\\c\\nd\\u0001\"}");
+    }
+
+    #[test]
+    fn options_and_unit() {
+        #[derive(Serialize)]
+        struct S {
+            a: Option<u32>,
+            b: Option<u32>,
+        }
+        let json = to_json(&S {
+            a: Some(5),
+            b: None,
+        })
+        .unwrap();
+        assert_eq!(json, r#"{"a":5,"b":null}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_rejected() {
+        #[derive(Serialize)]
+        struct S {
+            x: f64,
+        }
+        assert!(to_json(&S { x: f64::NAN }).is_err());
+        assert!(to_json(&S { x: f64::INFINITY }).is_err());
+    }
+
+    #[test]
+    fn nested_arrays_and_bools() {
+        #[derive(Serialize)]
+        struct S {
+            flags: [bool; 2],
+            rows: Vec<Vec<u8>>,
+        }
+        let json = to_json(&S {
+            flags: [true, false],
+            rows: vec![vec![1, 2], vec![]],
+        })
+        .unwrap();
+        assert_eq!(json, r#"{"flags":[true,false],"rows":[[1,2],[]]}"#);
+    }
+}

@@ -1,0 +1,37 @@
+//! # chatlens-workload — generative models calibrated to the paper
+//!
+//! Everything the paper *measured* about user behaviour is a distribution:
+//! how many groups exist per platform, how often their URLs are shared on
+//! Twitter (Fig 1–2), in which languages (Fig 4) and about which topics
+//! (Table 3), how old groups are when shared (Fig 5), when invites die
+//! (Fig 6), how memberships evolve (Fig 7), and how much gets posted inside
+//! (Fig 8–9). This crate holds the generative models for all of it,
+//! parameterised by [`config::ScenarioConfig`] whose defaults are
+//! calibrated so the collection + analysis pipeline reproduces the paper's
+//! published shapes.
+//!
+//! The split of responsibilities: `chatlens-platforms` is *mechanism*
+//! (groups, invites, APIs), this crate is *policy* (how many, how big, how
+//! fast), and `chatlens-core` is the *measurement instrument* pointed at
+//! the result.
+//!
+//! [`ecosystem::Ecosystem::build`] assembles the full world: three
+//! populated platforms and a tweet store, ready to be mounted on the
+//! simulated transport.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod activity;
+pub mod config;
+pub mod config_io;
+pub mod ecosystem;
+pub mod groups;
+pub mod lang;
+pub mod population;
+pub mod sharing;
+pub mod topics;
+
+pub use config::ScenarioConfig;
+pub use ecosystem::Ecosystem;
+pub use topics::Vocabulary;

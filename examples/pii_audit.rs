@@ -1,0 +1,81 @@
+//! PII exposure audit (§6): what each platform leaks, measured through
+//! the collection pipeline — with the ethics protocol (hash-on-arrival)
+//! demonstrated on the way.
+//!
+//! ```sh
+//! cargo run --release --example pii_audit
+//! ```
+
+use chatlens::analysis::pii;
+use chatlens::core::pii::hash_phone;
+use chatlens::platforms::id::PlatformKind;
+use chatlens::report::table::{fmt_count, fmt_pct, Table};
+use chatlens::{run_study, ScenarioConfig};
+
+fn main() {
+    println!("ethics first: phone numbers never survive collection —");
+    let demo = "+5511987654321";
+    println!("  {} -> {}\n", demo, hash_phone(demo));
+
+    println!("running the campaign at scale 0.02...\n");
+    let dataset = run_study(ScenarioConfig::at_scale(0.02));
+
+    let mut t = Table::new("Table 4-style exposure audit").header([
+        "Platform",
+        "users observed",
+        "phones exposed",
+        "rate",
+        "linked accounts",
+    ]);
+    for row in pii::exposure_table(&dataset) {
+        t.row([
+            row.platform.name().to_string(),
+            fmt_count(row.users_observed),
+            row.phones.map(fmt_count).unwrap_or_else(|| "-".into()),
+            row.phone_rate.map(fmt_pct).unwrap_or_else(|| "-".into()),
+            row.linked_users
+                .map(|n| {
+                    format!(
+                        "{} ({})",
+                        fmt_count(n),
+                        fmt_pct(row.link_rate.unwrap_or(0.0))
+                    )
+                })
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!(
+        "WhatsApp detail: {} creator phones were harvested from landing \
+         pages WITHOUT joining any group; joining added {} member phones.",
+        fmt_count(dataset.pii.wa_creator_hashes.len() as u64),
+        fmt_count(dataset.pii.wa_member_hashes.len() as u64),
+    );
+
+    println!("\nDiscord connected accounts (Table 5):");
+    for (platform, users, share) in pii::linked_accounts_table(&dataset).into_iter().take(6) {
+        println!(
+            "  {platform:<18} {:>8}  {}",
+            fmt_count(users),
+            fmt_pct(share)
+        );
+    }
+
+    // The structural guarantee: nothing in the dataset can reproduce a
+    // phone number.
+    let mut hashes = 0usize;
+    for jg in &dataset.joined {
+        for m in &jg.members {
+            if let Some(h) = &m.phone_hash {
+                assert_eq!(h.len(), 64, "only SHA-256 hex in the store");
+                hashes += 1;
+            }
+        }
+    }
+    let _ = PlatformKind::ALL;
+    println!(
+        "\naudit: {hashes} member phone records checked — all stored as \
+         one-way hashes, none as numbers."
+    );
+}

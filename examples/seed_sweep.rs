@@ -1,0 +1,87 @@
+//! Seed-robustness sweep: run the full campaign under several world seeds
+//! in parallel (crossbeam scoped threads) and report how stable each
+//! headline quantity is — the reproducibility check behind
+//! EXPERIMENTS.md's "seed robustness" section.
+//!
+//! ```sh
+//! cargo run --release --example seed_sweep [n_seeds] [scale]
+//! ```
+
+use chatlens::analysis::lifecycle::revocation_stats;
+use chatlens::analysis::{content, discovery};
+use chatlens::platforms::id::PlatformKind;
+use chatlens::{run_study, ScenarioConfig};
+use parking_lot::Mutex;
+
+/// One run's headline quantities.
+#[derive(Debug, Clone, Copy)]
+struct Headline {
+    seed: u64,
+    discord_revoked: f64,
+    telegram_retweets: f64,
+    whatsapp_share_once: f64,
+    group_urls: u64,
+}
+
+fn main() {
+    let n_seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01);
+    println!("sweeping {n_seeds} seeds at scale {scale} in parallel...\n");
+
+    let results: Mutex<Vec<Headline>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for i in 0..n_seeds {
+            let results = &results;
+            scope.spawn(move |_| {
+                let seed = 1000 + i * 7919;
+                let mut config = ScenarioConfig::at_scale(scale);
+                config.seed = seed;
+                let ds = run_study(config);
+                let headline = Headline {
+                    seed,
+                    discord_revoked: revocation_stats(&ds, PlatformKind::Discord)
+                        .revoked_fraction,
+                    telegram_retweets: content::platform_features(&ds, PlatformKind::Telegram)
+                        .retweets,
+                    whatsapp_share_once: discovery::share_once_fraction(
+                        &ds,
+                        PlatformKind::WhatsApp,
+                    ),
+                    group_urls: ds.totals().group_urls,
+                };
+                results.lock().push(headline);
+            });
+        }
+    })
+    .expect("sweep threads");
+
+    let mut rows = results.into_inner();
+    rows.sort_by_key(|h| h.seed);
+    println!("seed     DC revoked  TG retweets  WA share-once  group URLs");
+    for h in &rows {
+        println!(
+            "{:<8} {:>9.3}  {:>10.3}  {:>12.3}  {:>10}",
+            h.seed, h.discord_revoked, h.telegram_retweets, h.whatsapp_share_once, h.group_urls
+        );
+    }
+    let spread = |f: fn(&Headline) -> f64| {
+        let vals: Vec<f64> = rows.iter().map(f).collect();
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        max - min
+    };
+    println!(
+        "\nspreads across seeds: DC revoked {:.3}, TG retweets {:.3}, WA share-once {:.3}",
+        spread(|h| h.discord_revoked),
+        spread(|h| h.telegram_retweets),
+        spread(|h| h.whatsapp_share_once)
+    );
+    println!("every quantity above is a paper headline; small spreads mean the");
+    println!("reproduction's shapes are properties of the model, not of a lucky seed.");
+}

@@ -1,0 +1,1224 @@
+//! Regenerates every table and figure of the paper and prints
+//! paper-vs-measured comparisons.
+//!
+//! ```text
+//! repro [--scale 0.1] [--seed 20200408] [artifact]
+//! ```
+//!
+//! `artifact` is one of `table1 table2 table3 table4 table5 fig1 fig2 fig3
+//! fig4 fig5 fig6 fig7 fig8 fig9 extras all` (default `all`). At the end a
+//! markdown comparison table (the EXPERIMENTS.md body) is printed.
+
+use chatlens::analysis::LdaConfig;
+use chatlens::analysis::{content, discovery, lifecycle, membership, messages, pii, topics};
+use chatlens::perspective::score_dataset;
+use chatlens::platforms::id::PlatformKind;
+use chatlens::platforms::spec::PlatformSpec;
+use chatlens::report::compare::{holding, markdown_table, Comparison};
+use chatlens::report::series::{cdf_summary, days_csv, sparkline, to_csv};
+use chatlens::report::table::{fmt_count, fmt_pct, Table};
+use chatlens::twitter::Lang;
+use chatlens::workload::Vocabulary;
+use chatlens::{run_study, Dataset, ScenarioConfig};
+
+const PLATFORMS: [PlatformKind; 3] = PlatformKind::ALL;
+
+fn main() {
+    let mut scale = 0.1f64;
+    let mut seed = 20_200_408u64;
+    let mut artifact = "all".to_string();
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale <f64>");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed <u64>");
+            }
+            "--csv" => {
+                csv_dir = Some(std::path::PathBuf::from(args.next().expect("--csv <dir>")));
+            }
+            other => artifact = other.to_string(),
+        }
+    }
+    let mut config = ScenarioConfig::at_scale(scale);
+    config.seed = seed;
+    if artifact == "dump-config" {
+        println!(
+            "{}",
+            chatlens::workload::config_io::to_json(&config).expect("config serializes")
+        );
+        return;
+    }
+    eprintln!("# chatlens repro — scale {scale}, seed {seed}");
+    eprintln!("# building ecosystem and running the 38-day campaign...");
+    let t0 = std::time::Instant::now();
+    let ds = run_study(config);
+    eprintln!("# campaign done in {:.1?}\n", t0.elapsed());
+
+    let mut cmp: Vec<Comparison> = Vec::new();
+    let all = artifact == "all";
+    if all || artifact == "table1" {
+        table1();
+    }
+    if all || artifact == "table2" {
+        table2(&ds, scale, &mut cmp);
+    }
+    if all || artifact == "fig1" {
+        fig1(&ds, scale, &mut cmp);
+    }
+    if all || artifact == "fig2" {
+        fig2(&ds, &mut cmp);
+    }
+    if all || artifact == "fig3" {
+        fig3(&ds, &mut cmp);
+    }
+    if all || artifact == "fig4" {
+        fig4(&ds, &mut cmp);
+    }
+    if all || artifact == "table3" {
+        table3(&ds, &mut cmp);
+    }
+    if all || artifact == "fig5" {
+        fig5(&ds, &mut cmp);
+    }
+    if all || artifact == "fig6" {
+        fig6(&ds, &mut cmp);
+    }
+    if all || artifact == "fig7" {
+        fig7(&ds, &mut cmp);
+    }
+    if all || artifact == "fig8" {
+        fig8(&ds, &mut cmp);
+    }
+    if all || artifact == "fig9" {
+        fig9(&ds, &mut cmp);
+    }
+    if all || artifact == "table4" {
+        table4(&ds, &mut cmp);
+    }
+    if all || artifact == "table5" {
+        table5(&ds, &mut cmp);
+    }
+    if all || artifact == "extras" {
+        extras(&ds, &mut cmp);
+    }
+    if all || artifact == "extensions" {
+        extensions(&ds, &mut cmp);
+    }
+    if let Some(dir) = &csv_dir {
+        export_csv(&ds, dir).expect("CSV export");
+        eprintln!("# figure series written to {}", dir.display());
+    }
+    if !cmp.is_empty() {
+        println!("\n## Paper vs measured (scale {scale}, seed {seed})\n");
+        println!("{}", markdown_table(&cmp));
+        println!(
+            "{} of {} comparisons within tolerance",
+            holding(&cmp),
+            cmp.len()
+        );
+    }
+}
+
+fn pname(k: PlatformKind) -> &'static str {
+    k.name()
+}
+
+/// Write every figure's plottable series as CSV files into `dir`.
+fn export_csv(ds: &Dataset, dir: &std::path::Path) -> std::io::Result<()> {
+    use std::fs;
+    fs::create_dir_all(dir)?;
+    let write = |name: String, body: String| fs::write(dir.join(name), body);
+    for kind in PLATFORMS {
+        let tag = pname(kind).to_lowercase();
+        let d = discovery::daily_discovery(ds, kind);
+        write(
+            format!("fig1_{tag}.csv"),
+            days_csv(&["all", "unique", "new"], &[d.all, d.unique, d.new]),
+        )?;
+        write(
+            format!("fig2_tweets_per_url_{tag}.csv"),
+            to_csv(
+                ("tweets_per_url", "cdf"),
+                &discovery::tweets_per_url(ds, kind).series(),
+            ),
+        )?;
+        write(
+            format!("fig5_staleness_{tag}.csv"),
+            to_csv(
+                ("age_days", "cdf"),
+                &lifecycle::staleness_days(ds, kind).series(),
+            ),
+        )?;
+        let r = lifecycle::revocation_stats(ds, kind);
+        write(
+            format!("fig6_lifetime_{tag}.csv"),
+            to_csv(("days_accessible", "cdf"), &r.lifetime_days.series()),
+        )?;
+        write(
+            format!("fig6_revoked_per_day_{tag}.csv"),
+            to_csv(
+                ("day", "revoked_share"),
+                &r.revoked_per_day
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (i as f64, v))
+                    .collect::<Vec<_>>(),
+            ),
+        )?;
+        write(
+            format!("fig7_members_{tag}.csv"),
+            to_csv(
+                ("members", "cdf"),
+                &membership::member_counts(ds, kind).series(),
+            ),
+        )?;
+        write(
+            format!("fig7_online_{tag}.csv"),
+            to_csv(
+                ("online_fraction", "cdf"),
+                &membership::online_fractions(ds, kind).series(),
+            ),
+        )?;
+        write(
+            format!("fig7_growth_{tag}.csv"),
+            to_csv(
+                ("delta_members", "cdf"),
+                &membership::growth(ds, kind).deltas.series(),
+            ),
+        )?;
+        write(
+            format!("fig9_msgs_per_group_day_{tag}.csv"),
+            to_csv(
+                ("msgs_per_day", "cdf"),
+                &messages::msgs_per_group_day(ds, kind).series(),
+            ),
+        )?;
+        write(
+            format!("fig9_msgs_per_user_{tag}.csv"),
+            to_csv(
+                ("msgs_per_user", "cdf"),
+                &messages::user_activity(ds, kind).volumes.series(),
+            ),
+        )?;
+    }
+    Ok(())
+}
+
+// ---- Extensions: §4 multilingual topics, §8 toxicity, Table 2 overlap ----
+
+fn extensions(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+    println!("Extensions (paper's omitted-for-space / future-work analyses)");
+    // Cross-platform co-shares: the Table 2 rows-vs-total gap.
+    let cross = discovery::cross_platform_tweets(ds);
+    println!(
+        "  {} tweets advertise groups on more than one platform — the gap \
+         between Table 2's per-platform rows and its printed total",
+        fmt_count(cross)
+    );
+    cmp.push(Comparison {
+        artifact: "Ext".into(),
+        quantity: "cross-platform tweets exist".into(),
+        paper: 1.0,
+        measured: cross as f64,
+        direction: chatlens::report::Direction::AtLeast,
+        tolerance: 0.0,
+    });
+
+    // Multilingual LDA (§4's closing remark): COVID-19 in Spanish,
+    // politics in Spanish/Portuguese.
+    let vocab = Vocabulary::build();
+    for (kind, lang, want) in [
+        (PlatformKind::WhatsApp, Lang::Es, "COVID-19"),
+        (PlatformKind::Telegram, Lang::Es, "Politics (es)"),
+        (PlatformKind::WhatsApp, Lang::Pt, "Politics (pt)"),
+    ] {
+        let Some(analysis) = topics::analyze_topics_lang(
+            ds,
+            kind,
+            lang,
+            &vocab,
+            // K above the reference-set size gives LDA room to split a
+            // viral group's flood off from the thematic topics.
+            chatlens::analysis::LdaConfig {
+                k: 8,
+                iterations: 60,
+                seed: 13,
+                ..chatlens::analysis::LdaConfig::default()
+            },
+        ) else {
+            continue;
+        };
+        let found = analysis.topics.iter().any(|t| t.label == want);
+        let shares = topics::share_by_label(&analysis);
+        println!(
+            "  {} {} tweets ({} docs): {}",
+            pname(kind),
+            lang,
+            analysis.num_docs,
+            shares
+                .iter()
+                .map(|(l, s)| format!("{l} {}", fmt_pct(*s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        cmp.push(Comparison {
+            artifact: "Ext".into(),
+            quantity: format!("{kind} {lang}: \"{want}\" topic recovered"),
+            paper: 1.0,
+            measured: f64::from(found),
+            direction: chatlens::report::Direction::AtLeast,
+            tolerance: 0.0,
+        });
+    }
+
+    // §8 future work: toxicity via the Perspective-style analyzer.
+    let reports = score_dataset(ds, &vocab, 50.0);
+    for r in &reports {
+        println!(
+            "  toxicity {:<8} scored {:<7} mean {:.3}  likely-toxic {}",
+            pname(r.platform),
+            fmt_count(r.scored),
+            r.mean,
+            fmt_pct(r.toxic_share)
+        );
+    }
+    let share = |k: PlatformKind| {
+        reports
+            .iter()
+            .find(|r| r.platform == k)
+            .map(|r| r.toxic_share)
+            .unwrap_or(0.0)
+    };
+    cmp.push(Comparison {
+        artifact: "Ext".into(),
+        quantity: "toxicity ordering TG > DC > WA".into(),
+        paper: share(PlatformKind::Discord).max(share(PlatformKind::WhatsApp)),
+        measured: share(PlatformKind::Telegram),
+        direction: chatlens::report::Direction::AtLeast,
+        tolerance: 0.0,
+    });
+    println!();
+}
+
+// ---- Table 1 -------------------------------------------------------------
+
+fn table1() {
+    let mut t = Table::new("Table 1: Platform characteristics").header([
+        "Characteristic",
+        "WhatsApp",
+        "Telegram",
+        "Discord",
+    ]);
+    let specs = PlatformSpec::all();
+    let row = |label: &str, f: &dyn Fn(&PlatformSpec) -> String| -> Vec<String> {
+        let mut cells = vec![label.to_string()];
+        cells.extend(specs.iter().map(f));
+        cells
+    };
+    t.row(row("Initial release", &|s| s.release.to_string()));
+    t.row(row("User base", &|s| fmt_count(s.user_base)));
+    t.row(row("Registration", &|s| s.registration.label().to_string()));
+    t.row(row("Public chats", &|s| s.public_chat_options.to_string()));
+    t.row(row("Max members", &|s| fmt_count(u64::from(s.max_members))));
+    t.row(row("Data API", &|s| {
+        if s.has_data_api { "Yes" } else { "No" }.to_string()
+    }));
+    t.row(row("Forward limit", &|s| match s.forward_limit {
+        Some(n) => format!("up to {n}"),
+        None => "-".to_string(),
+    }));
+    t.row(row("E2E encryption", &|s| s.e2ee.label().to_string()));
+    t.row(row("Invite TTL (days)", &|s| match s.invite_ttl_days {
+        Some(d) => d.to_string(),
+        None => "-".to_string(),
+    }));
+    println!("{}", t.render());
+}
+
+// ---- Table 2 -------------------------------------------------------------
+
+fn table2(ds: &Dataset, scale: f64, cmp: &mut Vec<Comparison>) {
+    let paper_rows: [(PlatformKind, [f64; 6]); 3] = [
+        (
+            PlatformKind::WhatsApp,
+            [239_807.0, 88_119.0, 45_718.0, 416.0, 476_059.0, 20_906.0],
+        ),
+        (
+            PlatformKind::Telegram,
+            [
+                1_224_540.0,
+                398_816.0,
+                78_105.0,
+                100.0,
+                3_148_826.0,
+                688_343.0,
+            ],
+        ),
+        (
+            PlatformKind::Discord,
+            [
+                779_685.0,
+                340_702.0,
+                227_712.0,
+                100.0,
+                4_630_184.0,
+                52_463.0,
+            ],
+        ),
+    ];
+    let mut t = Table::new(format!("Table 2: Dataset overview (scale {scale})")).header([
+        "Platform",
+        "#Tweets",
+        "#TwUsers",
+        "#GroupURLs",
+        "#Joined",
+        "#Messages",
+        "#Users",
+    ]);
+    for (kind, paper) in paper_rows {
+        let s = ds.summary(kind);
+        t.row([
+            pname(kind).to_string(),
+            fmt_count(s.tweets),
+            fmt_count(s.twitter_users),
+            fmt_count(s.group_urls),
+            fmt_count(s.joined_groups),
+            fmt_count(s.messages),
+            fmt_count(s.platform_users),
+        ]);
+        // Linear-scaled quantities compare against paper×scale; join
+        // budgets scale as sqrt(scale) and message/member totals follow
+        // them.
+        let budget_scale = scale.powf(0.25);
+        // Tweet totals are dominated by a heavy share-count tail (14 of
+        // the paper's Telegram URLs account for >100K tweets), so small
+        // scales fluctuate hard; the tolerance reflects that.
+        cmp.push(Comparison::near(
+            "Table 2",
+            format!("{kind} tweets"),
+            paper[0] * scale,
+            s.tweets as f64,
+            if kind == PlatformKind::Telegram {
+                0.6
+            } else {
+                0.45
+            },
+        ));
+        cmp.push(Comparison::near(
+            "Table 2",
+            format!("{kind} group URLs"),
+            paper[2] * scale,
+            s.group_urls as f64,
+            0.15,
+        ));
+        cmp.push(Comparison::near(
+            "Table 2",
+            format!("{kind} joined groups"),
+            paper[3] * budget_scale,
+            s.joined_groups as f64,
+            0.15,
+        ));
+        // Joined-group message totals are dominated by whether the join
+        // sample caught one of the few giant rooms, so this is the widest
+        // band in the suite.
+        cmp.push(Comparison::near(
+            "Table 2",
+            format!("{kind} messages"),
+            paper[4] * budget_scale,
+            s.messages as f64,
+            0.85,
+        ));
+    }
+    let tot = ds.totals();
+    t.row([
+        "Total".to_string(),
+        fmt_count(tot.tweets),
+        fmt_count(tot.twitter_users),
+        fmt_count(tot.group_urls),
+        fmt_count(tot.joined_groups),
+        fmt_count(tot.messages),
+        fmt_count(tot.platform_users),
+    ]);
+    println!("{}", t.render());
+}
+
+// ---- Fig 1 ---------------------------------------------------------------
+
+fn fig1(ds: &Dataset, scale: f64, cmp: &mut Vec<Comparison>) {
+    println!("Fig 1: group URLs discovered per day (collection-day axis)");
+    // Paper medians: all (TG 33,864 / DC 19,970), unique (DC 8,090 /
+    // TG 4,661), new (WA 1,111 / TG 1,817 / DC 5,664).
+    let paper_new = [1_111.0, 1_817.0, 5_664.0];
+    for kind in PLATFORMS {
+        let d = discovery::daily_discovery(ds, kind);
+        println!(
+            "  {:<8} all/day    {}",
+            pname(kind),
+            sparkline(&d.all.iter().map(|&x| x as f64).collect::<Vec<_>>())
+        );
+        println!(
+            "  {:<8} unique/day {}",
+            "",
+            sparkline(&d.unique.iter().map(|&x| x as f64).collect::<Vec<_>>())
+        );
+        println!(
+            "  {:<8} new/day    {}",
+            "",
+            sparkline(&d.new.iter().map(|&x| x as f64).collect::<Vec<_>>())
+        );
+        println!(
+            "  {:<8} medians: all {:.0}, unique {:.0}, new {:.0}",
+            "",
+            d.median_all(),
+            d.median_unique(),
+            d.median_new()
+        );
+        cmp.push(Comparison::near(
+            "Fig 1",
+            format!("{kind} median new URLs/day"),
+            paper_new[kind.index()] * scale,
+            d.median_new(),
+            0.35,
+        ));
+    }
+    let tg = discovery::daily_discovery(ds, PlatformKind::Telegram);
+    let dc = discovery::daily_discovery(ds, PlatformKind::Discord);
+    let wa = discovery::daily_discovery(ds, PlatformKind::WhatsApp);
+    cmp.push(Comparison {
+        artifact: "Fig 1".into(),
+        quantity: "Telegram has most URL mentions/day".into(),
+        paper: dc.median_all(),
+        measured: tg.median_all(),
+        direction: chatlens::report::Direction::AtLeast,
+        tolerance: 0.0,
+    });
+    cmp.push(Comparison {
+        artifact: "Fig 1".into(),
+        quantity: "WhatsApp discovers fewest new URLs/day".into(),
+        paper: wa.median_new(),
+        measured: tg.median_new().min(dc.median_new()),
+        direction: chatlens::report::Direction::AtLeast,
+        tolerance: 0.0,
+    });
+    println!();
+}
+
+// ---- Fig 2 ---------------------------------------------------------------
+
+fn fig2(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+    println!("Fig 2: tweets per group URL");
+    let wa = discovery::tweets_per_url(ds, PlatformKind::WhatsApp);
+    let tg = discovery::tweets_per_url(ds, PlatformKind::Telegram);
+    let dc = discovery::tweets_per_url(ds, PlatformKind::Discord);
+    println!(
+        "{}",
+        chatlens::report::plot::plot_cdfs(
+            "  Fig 2: tweets per URL (CDF, log x)",
+            &[("WhatsApp", &wa), ("Telegram", &tg), ("Discord", &dc)],
+            64,
+            10,
+            true,
+        )
+    );
+    let paper_once = [0.50, 0.50, 0.62];
+    for kind in PLATFORMS {
+        let e = discovery::tweets_per_url(ds, kind);
+        println!("  {}", cdf_summary(pname(kind), &e).trim_end());
+        let once = discovery::share_once_fraction(ds, kind);
+        println!("  {:<8} shared once: {}", "", fmt_pct(once));
+        cmp.push(Comparison::near(
+            "Fig 2",
+            format!("{kind} URLs shared once"),
+            paper_once[kind.index()],
+            once,
+            0.12,
+        ));
+    }
+    println!();
+}
+
+// ---- Fig 3 ---------------------------------------------------------------
+
+fn fig3(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+    let mut t = Table::new("Fig 3: tweet features").header([
+        "Population",
+        ">=1 hashtag",
+        ">=2 hashtags",
+        ">=1 mention",
+        ">=2 mentions",
+        "retweets",
+    ]);
+    // Paper: hashtags 13/24/14/13 (>1: 4/10/7/5), mentions 73/84/68/76
+    // (>1: 20/14/15/12), RT 33/76/50.
+    let paper = [(0.13, 0.73, 0.33), (0.24, 0.84, 0.76), (0.14, 0.68, 0.50)];
+    let paper_multi = [(0.04, 0.20), (0.10, 0.14), (0.07, 0.15)];
+    for kind in PLATFORMS {
+        let f = content::platform_features(ds, kind);
+        t.row([
+            pname(kind).to_string(),
+            fmt_pct(f.with_hashtag),
+            fmt_pct(f.with_multi_hashtag),
+            fmt_pct(f.with_mention),
+            fmt_pct(f.with_multi_mention),
+            fmt_pct(f.retweets),
+        ]);
+        let (mh, mm) = paper_multi[kind.index()];
+        cmp.push(Comparison::near(
+            "Fig 3",
+            format!("{kind} multi-hashtag rate"),
+            mh,
+            f.with_multi_hashtag,
+            0.3,
+        ));
+        cmp.push(Comparison::near(
+            "Fig 3",
+            format!("{kind} multi-mention rate"),
+            mm,
+            f.with_multi_mention,
+            0.3,
+        ));
+        let (ph, pm, pr) = paper[kind.index()];
+        cmp.push(Comparison::near(
+            "Fig 3",
+            format!("{kind} hashtag rate"),
+            ph,
+            f.with_hashtag,
+            0.2,
+        ));
+        cmp.push(Comparison::near(
+            "Fig 3",
+            format!("{kind} mention rate"),
+            pm,
+            f.with_mention,
+            0.1,
+        ));
+        cmp.push(Comparison::near(
+            "Fig 3",
+            format!("{kind} retweet rate"),
+            pr,
+            f.retweets,
+            0.2,
+        ));
+    }
+    let c = content::control_features(ds);
+    t.row([
+        "control".to_string(),
+        fmt_pct(c.with_hashtag),
+        fmt_pct(c.with_multi_hashtag),
+        fmt_pct(c.with_mention),
+        fmt_pct(c.with_multi_mention),
+        fmt_pct(c.retweets),
+    ]);
+    cmp.push(Comparison::near(
+        "Fig 3",
+        "control hashtag rate",
+        0.13,
+        c.with_hashtag,
+        0.2,
+    ));
+    println!("{}", t.render());
+}
+
+// ---- Fig 4 ---------------------------------------------------------------
+
+fn fig4(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+    let mut t = Table::new("Fig 4: tweet languages").header(["Platform", "top languages (share)"]);
+    let paper_en = [0.26, 0.35, 0.47];
+    for kind in PLATFORMS {
+        let mut shares = content::language_shares(ds, kind);
+        shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let top: Vec<String> = shares
+            .iter()
+            .take(4)
+            .map(|(l, s)| format!("{l} {}", fmt_pct(*s)))
+            .collect();
+        t.row([pname(kind).to_string(), top.join(", ")]);
+        cmp.push(Comparison::near(
+            "Fig 4",
+            format!("{kind} English share"),
+            paper_en[kind.index()],
+            content::language_share(ds, kind, Lang::En),
+            0.25,
+        ));
+    }
+    cmp.push(Comparison::near(
+        "Fig 4",
+        "Discord Japanese share",
+        0.27,
+        content::language_share(ds, PlatformKind::Discord, Lang::Ja),
+        0.3,
+    ));
+    cmp.push(Comparison::near(
+        "Fig 4",
+        "Telegram Arabic share",
+        0.15,
+        content::language_share(ds, PlatformKind::Telegram, Lang::Ar),
+        0.3,
+    ));
+    println!("{}", t.render());
+}
+
+// ---- Table 3 -------------------------------------------------------------
+
+fn table3(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+    println!("Table 3: LDA topics over English tweets (10 per platform)");
+    let vocab = Vocabulary::build();
+    for kind in PLATFORMS {
+        let analysis = topics::analyze_topics(
+            ds,
+            kind,
+            &vocab,
+            LdaConfig {
+                k: 10,
+                iterations: 60,
+                seed: 3,
+                ..LdaConfig::default()
+            },
+        );
+        println!("  {} ({} English tweets)", pname(kind), analysis.num_docs);
+        let mut sorted = analysis.topics.clone();
+        sorted.sort_by(|a, b| b.tweet_share.partial_cmp(&a.tweet_share).expect("finite"));
+        for topic in &sorted {
+            println!(
+                "    {:<32} {:>6}  match {:.2}  [{}]",
+                topic.label,
+                fmt_pct(topic.tweet_share),
+                topic.match_score,
+                topic.top_terms[..5.min(topic.top_terms.len())].join(", ")
+            );
+        }
+        let matched_well = analysis
+            .topics
+            .iter()
+            .filter(|t| t.match_score >= 0.5)
+            .count();
+        cmp.push(Comparison {
+            artifact: "Table 3".into(),
+            quantity: format!("{kind} topics matching reference vocab (of 10)"),
+            paper: 8.0,
+            measured: matched_well as f64,
+            direction: chatlens::report::Direction::AtLeast,
+            tolerance: 0.0,
+        });
+        // Signature label shares: WhatsApp's advertising topic is 30% of
+        // Table 3, Telegram's sex topics 23%.
+        let shares = topics::share_by_label(&analysis);
+        let share_of = |label: &str| {
+            shares
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, s)| *s)
+                .unwrap_or(0.0)
+        };
+        match kind {
+            PlatformKind::WhatsApp => cmp.push(Comparison::near(
+                "Table 3",
+                "WhatsApp advertising-label share",
+                0.30,
+                share_of("WhatsApp group advertisement"),
+                0.5,
+            )),
+            PlatformKind::Telegram => cmp.push(Comparison::near(
+                "Table 3",
+                "Telegram sex-label share",
+                0.23,
+                share_of("Sex"),
+                0.6,
+            )),
+            PlatformKind::Discord => {}
+        }
+    }
+    // Signature platform-specific topics must be recovered.
+    let vocab2 = Vocabulary::build();
+    let dc = topics::analyze_topics(
+        ds,
+        PlatformKind::Discord,
+        &vocab2,
+        LdaConfig {
+            k: 10,
+            iterations: 60,
+            seed: 3,
+            ..LdaConfig::default()
+        },
+    );
+    let shares = topics::share_by_label(&dc);
+    let adv = shares
+        .iter()
+        .find(|(l, _)| l == "Advertising Discord groups")
+        .map(|(_, s)| *s)
+        .unwrap_or(0.0);
+    cmp.push(Comparison::near(
+        "Table 3",
+        "Discord advertising-label share",
+        0.47,
+        adv,
+        0.5,
+    ));
+    println!();
+}
+
+// ---- Fig 5 ---------------------------------------------------------------
+
+fn fig5(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+    println!("Fig 5: staleness (group age in days at first share)");
+    let wa = lifecycle::staleness_days(ds, PlatformKind::WhatsApp);
+    let tg = lifecycle::staleness_days(ds, PlatformKind::Telegram);
+    let dc = lifecycle::staleness_days(ds, PlatformKind::Discord);
+    println!(
+        "{}",
+        chatlens::report::plot::plot_cdfs(
+            "  Fig 5: group age at first share, days (CDF, log x)",
+            &[("WhatsApp", &wa), ("Telegram", &tg), ("Discord", &dc)],
+            64,
+            10,
+            true,
+        )
+    );
+    let paper_same_day = [0.76, 0.28, 0.27];
+    let paper_over_year = [0.10, 0.29, 0.256];
+    for kind in PLATFORMS {
+        let e = lifecycle::staleness_days(ds, kind);
+        let same_day = e.fraction_at_most(0.0);
+        let over_year = e.fraction_above(365.0);
+        println!(
+            "  {:<8} n={:<6} same-day {}  >1 year {}  max {:.0}d",
+            pname(kind),
+            e.len(),
+            fmt_pct(same_day),
+            fmt_pct(over_year),
+            e.max().unwrap_or(0.0)
+        );
+        // WhatsApp/Telegram samples are small (joined groups only), so
+        // tolerances widen there.
+        let tol = if kind == PlatformKind::Discord {
+            0.2
+        } else {
+            0.5
+        };
+        cmp.push(Comparison::near(
+            "Fig 5",
+            format!("{kind} same-day share"),
+            paper_same_day[kind.index()],
+            same_day,
+            tol,
+        ));
+        cmp.push(Comparison::near(
+            "Fig 5",
+            format!("{kind} >1-year share"),
+            paper_over_year[kind.index()],
+            over_year,
+            0.6,
+        ));
+    }
+    println!();
+}
+
+// ---- Fig 6 ---------------------------------------------------------------
+
+fn fig6(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+    println!("Fig 6: URL lifetime and revocation");
+    let paper_revoked = [0.273, 0.204, 0.684];
+    let paper_doa = [0.064, 0.163, 0.674];
+    for kind in PLATFORMS {
+        let s = lifecycle::revocation_stats(ds, kind);
+        println!(
+            "  {:<8} observed {:<6} revoked {}  dead-on-arrival {}",
+            pname(kind),
+            s.observed,
+            fmt_pct(s.revoked_fraction),
+            fmt_pct(s.dead_on_arrival_fraction),
+        );
+        println!(
+            "  {:<8} lifetime: {}",
+            "",
+            cdf_summary("days accessible", &s.lifetime_days).trim_end()
+        );
+        cmp.push(Comparison::near(
+            "Fig 6",
+            format!("{kind} revoked share"),
+            paper_revoked[kind.index()],
+            s.revoked_fraction,
+            0.25,
+        ));
+        cmp.push(Comparison::near(
+            "Fig 6",
+            format!("{kind} dead-on-arrival share"),
+            paper_doa[kind.index()],
+            s.dead_on_arrival_fraction,
+            0.35,
+        ));
+    }
+    println!();
+}
+
+// ---- Fig 7 ---------------------------------------------------------------
+
+fn fig7(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+    println!("Fig 7: members, online share, growth");
+    let wa_sizes = membership::member_counts(ds, PlatformKind::WhatsApp);
+    let tg_sizes = membership::member_counts(ds, PlatformKind::Telegram);
+    let dc_sizes = membership::member_counts(ds, PlatformKind::Discord);
+    println!(
+        "{}",
+        chatlens::report::plot::plot_cdfs(
+            "  Fig 7a: members per group (CDF, log x)",
+            &[
+                ("WhatsApp", &wa_sizes),
+                ("Telegram", &tg_sizes),
+                ("Discord", &dc_sizes),
+            ],
+            64,
+            12,
+            true,
+        )
+    );
+    let paper_grew = [0.51, 0.53, 0.54];
+    let paper_shrank = [0.38, 0.24, 0.19];
+    for kind in PLATFORMS {
+        let sizes = membership::member_counts(ds, kind);
+        println!("  {}", cdf_summary(pname(kind), &sizes).trim_end());
+        let online = membership::online_fractions(ds, kind);
+        if !online.is_empty() && online.max().unwrap_or(0.0) > 0.0 {
+            println!(
+                "  {:<8} online>50%: {}",
+                "",
+                fmt_pct(online.fraction_above(0.5))
+            );
+        }
+        let g = membership::growth(ds, kind);
+        println!(
+            "  {:<8} grew {} shrank {} flat {}  max |Δ| {:.0}",
+            "",
+            fmt_pct(g.grew),
+            fmt_pct(g.shrank),
+            fmt_pct(g.flat),
+            g.deltas
+                .max()
+                .unwrap_or(0.0)
+                .abs()
+                .max(g.deltas.min().unwrap_or(0.0).abs())
+        );
+        cmp.push(Comparison::near(
+            "Fig 7",
+            format!("{kind} grew share"),
+            paper_grew[kind.index()],
+            g.grew,
+            0.2,
+        ));
+        cmp.push(Comparison::near(
+            "Fig 7",
+            format!("{kind} shrank share"),
+            paper_shrank[kind.index()],
+            g.shrank,
+            0.35,
+        ));
+    }
+    let wa = membership::member_counts(ds, PlatformKind::WhatsApp);
+    cmp.push(Comparison {
+        artifact: "Fig 7".into(),
+        quantity: "WhatsApp max members <= 257".into(),
+        paper: 257.0,
+        measured: wa.max().unwrap_or(0.0),
+        direction: chatlens::report::Direction::AtMost,
+        tolerance: 0.0,
+    });
+    let dc_small = membership::member_counts(ds, PlatformKind::Discord).fraction_at_most(100.0);
+    let tg_small = membership::member_counts(ds, PlatformKind::Telegram).fraction_at_most(100.0);
+    cmp.push(Comparison::near(
+        "Fig 7",
+        "Discord <100 members",
+        0.60,
+        dc_small,
+        0.25,
+    ));
+    cmp.push(Comparison::near(
+        "Fig 7",
+        "Telegram <100 members",
+        0.40,
+        tg_small,
+        0.3,
+    ));
+    println!();
+}
+
+// ---- Fig 8 ---------------------------------------------------------------
+
+fn fig8(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+    let mut t = Table::new("Fig 8: message types").header([
+        "Platform", "text", "image", "video", "audio", "sticker", "doc", "contact", "loc", "other",
+    ]);
+    let paper_text = [0.78, 0.85, 0.96];
+    for kind in PLATFORMS {
+        let shares = messages::kind_shares(ds, kind);
+        let mut row = vec![pname(kind).to_string()];
+        row.extend(shares.iter().map(|(_, s)| fmt_pct(*s)));
+        t.row(row);
+        cmp.push(Comparison::near(
+            "Fig 8",
+            format!("{kind} text share"),
+            paper_text[kind.index()],
+            shares[0].1,
+            0.08,
+        ));
+    }
+    cmp.push(Comparison::near(
+        "Fig 8",
+        "WhatsApp sticker share",
+        0.10,
+        messages::kind_shares(ds, PlatformKind::WhatsApp)
+            .iter()
+            .find(|(k, _)| k.label() == "sticker")
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0),
+        0.35,
+    ));
+    cmp.push(Comparison::near(
+        "Fig 8",
+        "WhatsApp multimedia share",
+        0.21,
+        messages::multimedia_share(ds, PlatformKind::WhatsApp),
+        0.3,
+    ));
+    println!("{}", t.render());
+}
+
+// ---- Fig 9 ---------------------------------------------------------------
+
+fn fig9(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+    println!("Fig 9: message volumes");
+    let wa = messages::msgs_per_group_day(ds, PlatformKind::WhatsApp);
+    let tg = messages::msgs_per_group_day(ds, PlatformKind::Telegram);
+    let dc = messages::msgs_per_group_day(ds, PlatformKind::Discord);
+    println!(
+        "{}",
+        chatlens::report::plot::plot_cdfs(
+            "  Fig 9a: mean messages per group per day (CDF, log x)",
+            &[("WhatsApp", &wa), ("Telegram", &tg), ("Discord", &dc)],
+            64,
+            10,
+            true,
+        )
+    );
+    let paper_busy = [0.60, 0.25, 0.60]; // share of groups >10 msgs/day
+    let paper_low = [0.658, 0.829, 0.701]; // senders with <=10 messages
+    let paper_top1 = [0.31, 0.60, 0.63];
+    for kind in PLATFORMS {
+        let per_day = messages::msgs_per_group_day(ds, kind);
+        let ua = messages::user_activity(ds, kind);
+        println!(
+            "  {:<8} groups>10 msg/day {}  senders {}  <=10 msgs {}  top1% {}",
+            pname(kind),
+            fmt_pct(per_day.fraction_above(10.0)),
+            fmt_count(ua.senders),
+            fmt_pct(ua.low_volume_share),
+            fmt_pct(ua.top1_share),
+        );
+        // Per-group activity is read off a ~50-group join sample at the
+        // default scale; the band is wide accordingly.
+        cmp.push(Comparison::near(
+            "Fig 9",
+            format!("{kind} groups >10 msgs/day"),
+            paper_busy[kind.index()],
+            per_day.fraction_above(10.0),
+            0.5,
+        ));
+        cmp.push(Comparison::near(
+            "Fig 9",
+            format!("{kind} low-volume sender share"),
+            paper_low[kind.index()],
+            ua.low_volume_share,
+            0.25,
+        ));
+        cmp.push(Comparison::near(
+            "Fig 9",
+            format!("{kind} top-1% sender share"),
+            paper_top1[kind.index()],
+            ua.top1_share,
+            0.6,
+        ));
+    }
+    println!();
+}
+
+// ---- Table 4 -------------------------------------------------------------
+
+fn table4(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+    let mut t = Table::new("Table 4: PII exposure").header([
+        "Platform",
+        "users observed",
+        "phones",
+        "phone rate",
+        "linked users",
+        "link rate",
+    ]);
+    for row in pii::exposure_table(ds) {
+        t.row([
+            pname(row.platform).to_string(),
+            fmt_count(row.users_observed),
+            row.phones.map(fmt_count).unwrap_or_else(|| "-".into()),
+            row.phone_rate.map(fmt_pct).unwrap_or_else(|| "-".into()),
+            row.linked_users
+                .map(fmt_count)
+                .unwrap_or_else(|| "-".into()),
+            row.link_rate.map(fmt_pct).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    let [wa, tg, dc] = pii::exposure_table(ds);
+    cmp.push(Comparison::near(
+        "Table 4",
+        "WhatsApp phone rate (all observed users)",
+        1.0,
+        wa.phone_rate.unwrap_or(0.0),
+        0.001,
+    ));
+    cmp.push(Comparison::near(
+        "Table 4",
+        "Telegram phone opt-in rate",
+        0.0068,
+        tg.phone_rate.unwrap_or(0.0),
+        0.8,
+    ));
+    cmp.push(Comparison::near(
+        "Table 4",
+        "Discord linked-account rate",
+        0.30,
+        dc.link_rate.unwrap_or(0.0),
+        0.2,
+    ));
+    println!("{}", t.render());
+}
+
+// ---- Table 5 -------------------------------------------------------------
+
+fn table5(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+    let mut t = Table::new("Table 5: Discord linked platforms").header([
+        "Platform",
+        "#Users",
+        "share of observed",
+    ]);
+    let rows = pii::linked_accounts_table(ds);
+    for (label, n, share) in &rows {
+        t.row([label.clone(), fmt_count(*n), fmt_pct(*share)]);
+    }
+    println!("{}", t.render());
+    let paper: [(&str, f64); 5] = [
+        ("Twitch", 0.204),
+        ("Steam", 0.122),
+        ("Twitter", 0.089),
+        ("Spotify", 0.080),
+        ("Facebook", 0.005),
+    ];
+    for (label, rate) in paper {
+        let measured = rows
+            .iter()
+            .find(|(l, _, _)| l == label)
+            .map(|(_, _, s)| *s)
+            .unwrap_or(0.0);
+        cmp.push(Comparison::near(
+            "Table 5",
+            format!("Discord {label} link rate"),
+            rate,
+            measured,
+            0.45,
+        ));
+    }
+}
+
+// ---- §5 extras -----------------------------------------------------------
+
+fn extras(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+    println!("§5 extras: creators, countries, active members");
+    for kind in PLATFORMS {
+        let c = membership::creators(ds, kind);
+        println!(
+            "  {:<8} creators {:<7} groups {:<7} single-group {}  max {}",
+            pname(kind),
+            fmt_count(c.creators),
+            fmt_count(c.groups),
+            fmt_pct(c.single_group_share),
+            c.max_groups
+        );
+    }
+    let wa = membership::creators(ds, PlatformKind::WhatsApp);
+    cmp.push(Comparison::near(
+        "§5",
+        "WhatsApp single-group creator share",
+        0.927,
+        wa.single_group_share,
+        0.05,
+    ));
+    cmp.push(Comparison::near(
+        "§5",
+        "WhatsApp groups per creator",
+        45_718.0 / 34_078.0,
+        wa.groups as f64 / wa.creators.max(1) as f64,
+        0.15,
+    ));
+    let countries = membership::whatsapp_countries(ds);
+    let top: Vec<String> = countries
+        .iter()
+        .take(7)
+        .map(|(c, n)| format!("{c} {}", fmt_count(*n)))
+        .collect();
+    println!("  WhatsApp creator countries: {}", top.join(", "));
+    cmp.push(Comparison {
+        artifact: "§5".into(),
+        quantity: "Brazil leads WhatsApp creator countries".into(),
+        paper: 1.0,
+        measured: f64::from(countries.first().map(|(c, _)| c == "BR").unwrap_or(false)),
+        direction: chatlens::report::Direction::AtLeast,
+        tolerance: 0.0,
+    });
+    // Active-member shares are dominated by whether the join sample
+    // caught one of the giant rooms, so the robust check is the paper's
+    // qualitative finding: Telegram's share is far below the others.
+    let shares: Vec<f64> = PLATFORMS
+        .iter()
+        .map(|&k| messages::active_member_share(ds, k))
+        .collect();
+    for (kind, share) in PLATFORMS.iter().zip(&shares) {
+        println!(
+            "  {:<8} active members (senders/members): {}",
+            pname(*kind),
+            fmt_pct(*share)
+        );
+    }
+    cmp.push(Comparison {
+        artifact: "§5".into(),
+        quantity: "Telegram has the lowest active-member share".into(),
+        paper: shares[1],
+        measured: shares[0].min(shares[2]),
+        direction: chatlens::report::Direction::AtLeast,
+        tolerance: 0.0,
+    });
+    cmp.push(Comparison {
+        artifact: "§5".into(),
+        quantity: "Telegram active-member share below 45%".into(),
+        paper: 0.45,
+        measured: shares[1],
+        direction: chatlens::report::Direction::AtMost,
+        tolerance: 0.0,
+    });
+    println!(
+        "  accounts used: WA {}, TG {}, DC {}; Discord bot-join rejected: {}",
+        ds.accounts_used[0], ds.accounts_used[1], ds.accounts_used[2], ds.bot_join_rejected
+    );
+    println!(
+        "  extraction: {} URLs seen, {} invites, {} rejected; {} failed requests",
+        fmt_count(ds.extraction.urls_seen),
+        fmt_count(ds.extraction.invites),
+        fmt_count(ds.extraction.rejected),
+        ds.failed_requests
+    );
+    println!();
+}

@@ -1,0 +1,97 @@
+//! The ethics protocol (§3.4), enforced structurally: no raw phone number
+//! survives anywhere in a collected dataset.
+
+use chatlens::{run_study, Dataset, ScenarioConfig};
+use std::sync::OnceLock;
+
+fn dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| run_study(ScenarioConfig::at_scale(0.005)))
+}
+
+fn is_sha256_hex(s: &str) -> bool {
+    s.len() == 64 && s.chars().all(|c| c.is_ascii_hexdigit())
+}
+
+/// Sniff for E.164-looking strings (`+` followed by 8+ digits).
+fn looks_like_phone(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix('+') else {
+        return false;
+    };
+    rest.len() >= 8 && rest.bytes().all(|b| b.is_ascii_digit())
+}
+
+#[test]
+fn pii_store_holds_only_hashes() {
+    let ds = dataset();
+    for h in ds
+        .pii
+        .wa_creator_hashes
+        .iter()
+        .chain(&ds.pii.wa_member_hashes)
+        .chain(&ds.pii.tg_phone_hashes)
+    {
+        assert!(is_sha256_hex(h), "non-hash in PII store: {h:?}");
+        assert!(!looks_like_phone(h));
+    }
+    assert!(!ds.pii.wa_creator_hashes.is_empty());
+}
+
+#[test]
+fn member_records_hold_only_hashes() {
+    let ds = dataset();
+    let mut checked = 0;
+    for jg in &ds.joined {
+        for m in &jg.members {
+            if let Some(h) = &m.phone_hash {
+                assert!(is_sha256_hex(h));
+                checked += 1;
+            }
+            // Country codes are two letters, never numbers.
+            if let Some(c) = &m.country {
+                assert_eq!(c.len(), 2, "country {c:?}");
+                assert!(c.chars().all(|ch| ch.is_ascii_uppercase()));
+            }
+        }
+    }
+    assert!(checked > 50, "checked only {checked} phone records");
+}
+
+#[test]
+fn no_phone_shaped_strings_anywhere() {
+    // Scan every string the dataset retains.
+    let ds = dataset();
+    for tl in ds.timelines.values() {
+        if let Some(t) = &tl.title {
+            assert!(!looks_like_phone(t));
+        }
+        if let Some(h) = &tl.wa_creator_hash {
+            assert!(is_sha256_hex(h));
+        }
+        if let Some(cc) = &tl.wa_creator_cc {
+            assert!(!looks_like_phone(cc));
+        }
+    }
+    for g in &ds.groups {
+        assert!(!looks_like_phone(&g.invite.code));
+    }
+}
+
+#[test]
+fn hashes_are_consistent_across_sources() {
+    // A member who is also a creator hashes to the same value from both
+    // collection paths (landing page vs member list): the union count is
+    // at most the sum.
+    let ds = dataset();
+    let creators = ds.pii.wa_creator_hashes.len();
+    let members = ds.pii.wa_member_hashes.len();
+    let union = ds.pii.wa_total_phones();
+    assert!(union <= creators + members);
+    assert!(union >= creators.max(members));
+    // Overlap exists: the creator of a joined group appears in its member
+    // list and on its landing page.
+    assert!(
+        union < creators + members,
+        "expected at least one creator to appear among joined members"
+    );
+}

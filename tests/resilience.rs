@@ -1,0 +1,109 @@
+//! Fault-injection resilience: the campaign must degrade gracefully, not
+//! collapse, under an unreliable network — the smoltcp-style "adverse
+//! conditions" discipline of the networking guides applied to the whole
+//! pipeline.
+
+use chatlens::platforms::id::PlatformKind;
+use chatlens::simnet::fault::FaultInjector;
+use chatlens::{run_study_with, CampaignConfig, ScenarioConfig};
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig::at_scale(0.005)
+}
+
+#[test]
+fn campaign_survives_heavy_faults() {
+    // 15% drops + 10% server errors — the guides' "good starting value"
+    // for fault injection. Retries absorb most of it.
+    let ds = run_study_with(
+        scenario(),
+        CampaignConfig {
+            faults: FaultInjector::new(0.15, 0.10),
+            ..CampaignConfig::default()
+        },
+    );
+    for kind in PlatformKind::ALL {
+        let s = ds.summary(kind);
+        assert!(s.group_urls > 0, "{kind}: discovery must survive");
+        assert!(s.joined_groups > 0, "{kind}: joining must survive");
+    }
+    assert!(!ds.control.is_empty());
+}
+
+#[test]
+fn faults_only_shrink_coverage_never_corrupt() {
+    let clean = run_study_with(
+        scenario(),
+        CampaignConfig {
+            faults: FaultInjector::none(),
+            ..CampaignConfig::default()
+        },
+    );
+    let faulty = run_study_with(
+        scenario(),
+        CampaignConfig {
+            faults: FaultInjector::new(0.20, 0.10),
+            ..CampaignConfig::default()
+        },
+    );
+    // Coverage shrinks...
+    assert!(faulty.failed_requests > 0, "faults must actually bite");
+    assert!(
+        faulty.tweets.len() <= clean.tweets.len(),
+        "faults cannot create data"
+    );
+    // ...but everything collected is a real tweet from the same world.
+    let clean_ids: std::collections::HashSet<u64> =
+        clean.tweets.iter().map(|t| t.tweet.id.0).collect();
+    let missing = faulty
+        .tweets
+        .iter()
+        .filter(|t| !clean_ids.contains(&t.tweet.id.0))
+        .count();
+    assert_eq!(
+        missing, 0,
+        "faulty run produced tweets the clean run never saw"
+    );
+    // Discovered groups are a subset too.
+    let clean_groups: std::collections::HashSet<String> =
+        clean.groups.iter().map(|g| g.invite.dedup_key()).collect();
+    assert!(faulty
+        .groups
+        .iter()
+        .all(|g| clean_groups.contains(&g.invite.dedup_key())));
+}
+
+#[test]
+fn degraded_campaign_still_reproduces_the_shape() {
+    // Even at 15% drops the headline orderings of the paper hold.
+    let ds = run_study_with(
+        scenario(),
+        CampaignConfig {
+            faults: FaultInjector::new(0.15, 0.05),
+            ..CampaignConfig::default()
+        },
+    );
+    use chatlens::analysis::lifecycle::revocation_stats;
+    let wa = revocation_stats(&ds, PlatformKind::WhatsApp);
+    let tg = revocation_stats(&ds, PlatformKind::Telegram);
+    let dc = revocation_stats(&ds, PlatformKind::Discord);
+    assert!(dc.revoked_fraction > wa.revoked_fraction);
+    assert!(wa.revoked_fraction > tg.revoked_fraction);
+    // Failed fetches show up as Failed observations, not phantom
+    // revocations: revoked share under faults stays in the clean band.
+    assert!(dc.revoked_fraction > 0.5 && dc.revoked_fraction < 0.85);
+}
+
+#[test]
+fn campaign_metrics_account_for_the_work() {
+    let ds = run_study_with(scenario(), CampaignConfig::default());
+    let m = &ds.metrics;
+    assert_eq!(m.get("campaign.search_rounds"), 38 * 24);
+    assert_eq!(m.get("campaign.monitor_rounds"), 38);
+    assert_eq!(m.get("campaign.sample_drains"), 38);
+    assert!(m.get("transport.attempts") > m.get("discovery.tweets_collected"));
+    assert_eq!(m.get("join.joined_groups"), ds.joined.len() as u64);
+    let h = m.histogram("discovery.groups_known").expect("histogram");
+    assert_eq!(h.count(), 38 * 24);
+    assert!(h.max().unwrap() >= h.min().unwrap());
+}
