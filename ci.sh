@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, and the full test suite under both the
+# serial and the 8-thread parallel runtime. The parallel runtime is
+# deterministic by construction (see DESIGN.md "Parallelism &
+# determinism"), so every exact-value assertion in the suite must pass
+# identically at any thread count.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (threads=1)"
+CHATLENS_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test (threads=8)"
+CHATLENS_THREADS=8 cargo test -q --workspace
+
+echo "==> bench timing record (BENCH_par.json)"
+cargo bench -p chatlens-bench --bench par
+
+echo "CI green."

@@ -1,8 +1,10 @@
 //! Tweet content features: Fig 3 (hashtags, mentions, retweets) and Fig 4
 //! (languages).
 
+use crate::fanout::per_platform;
 use chatlens_core::Dataset;
 use chatlens_platforms::id::PlatformKind;
+use chatlens_simnet::par::Pool;
 use chatlens_twitter::Lang;
 
 /// Fig 3 rates for one tweet population.
@@ -87,6 +89,17 @@ pub fn language_share(ds: &Dataset, kind: PlatformKind, lang: Lang) -> f64 {
         .find(|(l, _)| *l == lang)
         .map(|(_, s)| s)
         .unwrap_or(0.0)
+}
+
+/// Fig 3 for all three platforms, fanned out across the pool; element `i`
+/// equals `platform_features(ds, PlatformKind::ALL[i])` at any thread count.
+pub fn platform_features_all(ds: &Dataset, pool: &Pool) -> [ContentFeatures; 3] {
+    per_platform(pool, |kind| platform_features(ds, kind))
+}
+
+/// Fig 4 for all three platforms, fanned out across the pool.
+pub fn language_shares_all(ds: &Dataset, pool: &Pool) -> [Vec<(Lang, f64)>; 3] {
+    per_platform(pool, |kind| language_shares(ds, kind))
 }
 
 #[cfg(test)]
@@ -222,6 +235,20 @@ mod tests {
             assert!(f.with_multi_hashtag <= f.with_hashtag);
             assert!(f.with_multi_mention <= f.with_mention);
             assert!(f.n > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_fanout_matches_serial() {
+        let ds = dataset();
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let features = platform_features_all(ds, &pool);
+            let langs = language_shares_all(ds, &pool);
+            for (i, kind) in PlatformKind::ALL.into_iter().enumerate() {
+                assert_eq!(features[i], platform_features(ds, kind), "{kind}");
+                assert_eq!(langs[i], language_shares(ds, kind), "{kind}");
+            }
         }
     }
 }

@@ -1,14 +1,16 @@
 //! Group-sharing dynamics: Fig 1 (URLs discovered per day) and Fig 2
 //! (tweets per group URL).
 
+use crate::fanout::per_platform;
 use crate::stats::Ecdf;
 use chatlens_core::Dataset;
 use chatlens_platforms::id::PlatformKind;
 use chatlens_platforms::invite::parse_invite_url;
+use chatlens_simnet::par::Pool;
 use std::collections::{HashMap, HashSet};
 
 /// Fig 1 for one platform: per study-day URL counts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DailyDiscovery {
     /// Panel (a): every URL occurrence collected that day (duplicates
     /// included — each tweet's each invite URL counts).
@@ -108,6 +110,17 @@ pub fn tweets_per_url(ds: &Dataset, kind: PlatformKind) -> Ecdf {
 pub fn share_once_fraction(ds: &Dataset, kind: PlatformKind) -> f64 {
     let e = tweets_per_url(ds, kind);
     e.fraction_at_most(1.0)
+}
+
+/// Fig 1 for all three platforms, fanned out across the pool; element `i`
+/// equals `daily_discovery(ds, PlatformKind::ALL[i])` at any thread count.
+pub fn daily_discovery_all(ds: &Dataset, pool: &Pool) -> [DailyDiscovery; 3] {
+    per_platform(pool, |kind| daily_discovery(ds, kind))
+}
+
+/// Fig 2 for all three platforms, fanned out across the pool.
+pub fn tweets_per_url_all(ds: &Dataset, pool: &Pool) -> [Ecdf; 3] {
+    per_platform(pool, |kind| tweets_per_url(ds, kind))
 }
 
 /// Tweets carrying invites of more than one platform — the reason
@@ -213,5 +226,19 @@ mod tests {
         assert!((tg - 0.50).abs() < 0.08, "TG {tg}");
         assert!((dc - 0.62).abs() < 0.08, "DC {dc}");
         assert!(dc > wa && dc > tg, "Discord has the most share-once URLs");
+    }
+
+    #[test]
+    fn parallel_fanout_matches_serial() {
+        let ds = dataset();
+        for threads in [1, 2, 8] {
+            let pool = chatlens_simnet::par::Pool::new(threads);
+            let daily = daily_discovery_all(ds, &pool);
+            let per_url = tweets_per_url_all(ds, &pool);
+            for (i, kind) in PlatformKind::ALL.into_iter().enumerate() {
+                assert_eq!(daily[i], daily_discovery(ds, kind), "{kind}");
+                assert_eq!(per_url[i], tweets_per_url(ds, kind), "{kind}");
+            }
+        }
     }
 }

@@ -1,0 +1,42 @@
+//! Per-platform parallel fan-out.
+//!
+//! Most of the paper's artifacts are "the same computation, once per
+//! platform" — independent by construction, so they parallelize without
+//! any determinism risk: each platform's analysis reads the shared
+//! dataset immutably and the results land in `PlatformKind::ALL` order
+//! regardless of which worker ran what. The `*_all` functions in the
+//! sibling modules are built on [`per_platform`].
+
+use chatlens_platforms::id::PlatformKind;
+use chatlens_simnet::par::Pool;
+
+/// Runs `f` once per platform on the pool, returning results in
+/// [`PlatformKind::ALL`] order (WhatsApp, Telegram, Discord) — the same
+/// order a serial loop over `ALL` would produce, at any thread count.
+pub fn per_platform<R, F>(pool: &Pool, f: F) -> [R; 3]
+where
+    R: Send,
+    F: Fn(PlatformKind) -> R + Sync,
+{
+    let mut results = pool
+        .par_map_chunked(1, &PlatformKind::ALL, |&kind| f(kind))
+        .into_iter();
+    match (results.next(), results.next(), results.next()) {
+        (Some(a), Some(b), Some(c)) => [a, b, c],
+        _ => unreachable!("PlatformKind::ALL has exactly three entries"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_follow_platform_order_at_any_thread_count() {
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let names = per_platform(&pool, |kind| format!("{kind:?}"));
+            assert_eq!(names, ["WhatsApp", "Telegram", "Discord"]);
+        }
+    }
+}

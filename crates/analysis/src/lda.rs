@@ -11,8 +11,25 @@
 //!
 //! Deterministic under the config seed — the analysis pipeline's outputs
 //! are as reproducible as the simulation's.
+//!
+//! ## Parallel sweeps
+//!
+//! Sweeps run as *approximate distributed* LDA (Newman et al. 2009):
+//! documents are split into fixed chunks of [`GIBBS_CHUNK_DOCS`], each
+//! chunk samples against a frozen start-of-sweep snapshot of the global
+//! word–topic counts (its own updates applied locally, exactly), and the
+//! per-chunk count deltas are re-merged in chunk order after every sweep.
+//! Chunk boundaries and the per-`(sweep, chunk)` RNG forks depend only on
+//! the corpus and `cfg.seed` — never on `cfg.threads` — so the fitted
+//! model is bit-identical at any thread count. A corpus that fits in one
+//! chunk degenerates to the exact serial collapsed Gibbs sampler.
 
+use chatlens_simnet::par::Pool;
 use chatlens_simnet::rng::Rng;
+
+/// Documents per Gibbs chunk. A pure constant: chunk boundaries must be a
+/// function of the corpus alone so thread count can't affect results.
+pub const GIBBS_CHUNK_DOCS: usize = 256;
 
 /// Sampler configuration.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +44,9 @@ pub struct LdaConfig {
     pub iterations: usize,
     /// Seed for the sampler's own randomness.
     pub seed: u64,
+    /// Worker threads for chunked sweeps (1 = inline). Never affects the
+    /// fitted model, only wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for LdaConfig {
@@ -37,6 +57,7 @@ impl Default for LdaConfig {
             beta: 0.01,
             iterations: 60,
             seed: 42,
+            threads: 1,
         }
     }
 }
@@ -63,69 +84,158 @@ impl LdaModel {
     /// `vocab_size` words). Empty documents are allowed and simply carry
     /// no assignments.
     ///
+    /// Sweeps are chunked (see the module docs): `cfg.threads` controls
+    /// only scheduling, never the result.
+    ///
     /// # Panics
     /// Panics if `cfg.k == 0`, `vocab_size == 0`, or any token id is out
     /// of range.
     pub fn fit(docs: &[Vec<u16>], vocab_size: usize, cfg: LdaConfig) -> LdaModel {
         assert!(cfg.k > 0, "need at least one topic");
         assert!(vocab_size > 0, "empty vocabulary");
+        assert!(cfg.k <= 256, "u8 topic assignments cap K at 256");
         let k = cfg.k;
         let v = vocab_size;
-        let mut rng = Rng::new(cfg.seed);
-        let mut n_kw = vec![0u32; k * v];
-        let mut n_k = vec![0u32; k];
-        let mut n_dk = vec![0u32; docs.len() * k];
-        let mut doc_len = vec![0u32; docs.len()];
-        // Flattened assignments, one per token, plus per-doc offsets.
-        let total: usize = docs.iter().map(Vec::len).sum();
-        let mut z = vec![0u8; total];
-        let mut offsets = Vec::with_capacity(docs.len());
-        assert!(k <= 256, "u8 topic assignments cap K at 256");
-        // Random initialization.
-        let mut pos = 0usize;
-        for (d, doc) in docs.iter().enumerate() {
-            offsets.push(pos);
-            doc_len[d] = doc.len() as u32;
+        for doc in docs {
             for &w in doc {
                 let w = usize::from(w);
                 assert!(w < v, "token id {w} out of vocabulary ({v})");
-                let topic = rng.index(k);
-                z[pos] = topic as u8;
-                n_kw[topic * v + w] += 1;
-                n_k[topic] += 1;
-                n_dk[d * k + topic] += 1;
-                pos += 1;
             }
         }
-        // Gibbs sweeps.
-        let vbeta = v as f64 * cfg.beta;
-        let mut probs = vec![0.0f64; k];
-        for _sweep in 0..cfg.iterations {
-            for (d, doc) in docs.iter().enumerate() {
-                let base = offsets[d];
-                for (j, &w) in doc.iter().enumerate() {
+        let total: usize = docs.iter().map(Vec::len).sum();
+        let pool = Pool::new(cfg.threads);
+
+        // Chunk-local sampler state: assignments and doc–topic counts for
+        // a fixed range of documents. Boundaries depend only on the
+        // corpus, so every thread count sees identical chunks.
+        struct DocChunk {
+            /// Global index of the chunk's first document.
+            d0: usize,
+            /// Chunk-local offsets of each doc's tokens into `z`.
+            offsets: Vec<usize>,
+            /// Topic assignment per token in the chunk.
+            z: Vec<u8>,
+            /// `n_dk[local_d * K + k]` for the chunk's documents.
+            n_dk: Vec<u32>,
+        }
+
+        let mut chunks: Vec<DocChunk> = docs
+            .chunks(GIBBS_CHUNK_DOCS)
+            .enumerate()
+            .map(|(c, chunk_docs)| {
+                let mut offsets = Vec::with_capacity(chunk_docs.len());
+                let mut tokens = 0usize;
+                for doc in chunk_docs {
+                    offsets.push(tokens);
+                    tokens += doc.len();
+                }
+                DocChunk {
+                    d0: c * GIBBS_CHUNK_DOCS,
+                    offsets,
+                    z: vec![0u8; tokens],
+                    n_dk: vec![0u32; chunk_docs.len() * k],
+                }
+            })
+            .collect();
+
+        // Random initialization: per-chunk forks of the config seed keep
+        // assignment streams independent of execution order.
+        let mut n_kw = vec![0u32; k * v];
+        let mut n_k = vec![0u32; k];
+        let init_counts = pool.par_chunks_mut(1, &mut chunks, |c, slice| {
+            let chunk = &mut slice[0];
+            let mut rng = Rng::new(cfg.seed).fork(&format!("lda/init/{c}"));
+            let mut kw = vec![0u32; k * v];
+            let mut nk = vec![0u32; k];
+            let chunk_docs = &docs[chunk.d0..chunk.d0 + chunk.offsets.len()];
+            let mut pos = 0usize;
+            for (dl, doc) in chunk_docs.iter().enumerate() {
+                for &w in doc {
                     let w = usize::from(w);
-                    let old = usize::from(z[base + j]);
-                    n_kw[old * v + w] -= 1;
-                    n_k[old] -= 1;
-                    n_dk[d * k + old] -= 1;
-                    let mut acc = 0.0;
-                    for (t, p) in probs.iter_mut().enumerate() {
-                        let term = (f64::from(n_dk[d * k + t]) + cfg.alpha)
-                            * (f64::from(n_kw[t * v + w]) + cfg.beta)
-                            / (f64::from(n_k[t]) + vbeta);
-                        acc += term;
-                        *p = acc;
-                    }
-                    let u = rng.f64() * acc;
-                    let new = probs.partition_point(|&c| c < u).min(k - 1);
-                    z[base + j] = new as u8;
-                    n_kw[new * v + w] += 1;
-                    n_k[new] += 1;
-                    n_dk[d * k + new] += 1;
+                    let topic = rng.index(k);
+                    chunk.z[pos] = topic as u8;
+                    kw[topic * v + w] += 1;
+                    nk[topic] += 1;
+                    chunk.n_dk[dl * k + topic] += 1;
+                    pos += 1;
                 }
             }
+            (kw, nk)
+        });
+        for (kw, nk) in init_counts {
+            for (global, local) in n_kw.iter_mut().zip(&kw) {
+                *global += local;
+            }
+            for (global, local) in n_k.iter_mut().zip(&nk) {
+                *global += local;
+            }
         }
+
+        // Gibbs sweeps: each chunk samples against the start-of-sweep
+        // snapshot (plus its own in-chunk updates, which stay exact), then
+        // the per-chunk deltas are reduced back in chunk order.
+        let vbeta = v as f64 * cfg.beta;
+        for sweep in 0..cfg.iterations {
+            let kw_snap = n_kw.clone();
+            let nk_snap = n_k.clone();
+            let locals = pool.par_chunks_mut(1, &mut chunks, |c, slice| {
+                let chunk = &mut slice[0];
+                let mut rng = Rng::new(cfg.seed).fork(&format!("lda/sweep/{sweep}/{c}"));
+                let mut kw = kw_snap.clone();
+                let mut nk = nk_snap.clone();
+                let mut probs = vec![0.0f64; k];
+                let chunk_docs = &docs[chunk.d0..chunk.d0 + chunk.offsets.len()];
+                for (dl, doc) in chunk_docs.iter().enumerate() {
+                    let base = chunk.offsets[dl];
+                    for (j, &w) in doc.iter().enumerate() {
+                        let w = usize::from(w);
+                        let old = usize::from(chunk.z[base + j]);
+                        kw[old * v + w] -= 1;
+                        nk[old] -= 1;
+                        chunk.n_dk[dl * k + old] -= 1;
+                        let mut acc = 0.0;
+                        for (t, p) in probs.iter_mut().enumerate() {
+                            let term = (f64::from(chunk.n_dk[dl * k + t]) + cfg.alpha)
+                                * (f64::from(kw[t * v + w]) + cfg.beta)
+                                / (f64::from(nk[t]) + vbeta);
+                            acc += term;
+                            *p = acc;
+                        }
+                        let u = rng.f64() * acc;
+                        let new = probs.partition_point(|&cum| cum < u).min(k - 1);
+                        chunk.z[base + j] = new as u8;
+                        kw[new * v + w] += 1;
+                        nk[new] += 1;
+                        chunk.n_dk[dl * k + new] += 1;
+                    }
+                }
+                (kw, nk)
+            });
+            let mut acc_kw: Vec<i64> = kw_snap.iter().map(|&x| i64::from(x)).collect();
+            let mut acc_k: Vec<i64> = nk_snap.iter().map(|&x| i64::from(x)).collect();
+            for (kw_local, nk_local) in locals {
+                for (acc, (&local, &snap)) in acc_kw.iter_mut().zip(kw_local.iter().zip(&kw_snap)) {
+                    *acc += i64::from(local) - i64::from(snap);
+                }
+                for (acc, (&local, &snap)) in acc_k.iter_mut().zip(nk_local.iter().zip(&nk_snap)) {
+                    *acc += i64::from(local) - i64::from(snap);
+                }
+            }
+            for (global, acc) in n_kw.iter_mut().zip(&acc_kw) {
+                *global = u32::try_from(*acc).expect("token counts stay non-negative");
+            }
+            for (global, acc) in n_k.iter_mut().zip(&acc_k) {
+                *global = u32::try_from(*acc).expect("token counts stay non-negative");
+            }
+        }
+
+        // Reassemble the global doc–topic matrix in chunk (= document)
+        // order.
+        let mut n_dk = Vec::with_capacity(docs.len() * k);
+        for chunk in &chunks {
+            n_dk.extend_from_slice(&chunk.n_dk);
+        }
+        let doc_len: Vec<u32> = docs.iter().map(|d| d.len() as u32).collect();
         LdaModel {
             k,
             vocab_size: v,
@@ -325,6 +435,48 @@ mod tests {
         let b = LdaModel::fit(&docs, 10, cfg);
         assert_eq!(a.n_kw, b.n_kw);
         assert_eq!(a.topic_token_shares(), b.topic_token_shares());
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_model() {
+        // 600 docs span three Gibbs chunks, so the parallel snapshot/merge
+        // path genuinely executes; the fitted counts must be bit-identical
+        // at every thread count.
+        let mut rng = Rng::new(6);
+        let docs = synthetic_corpus(300, &mut rng);
+        assert!(docs.len() > 2 * GIBBS_CHUNK_DOCS);
+        let cfg = LdaConfig {
+            k: 2,
+            iterations: 15,
+            ..LdaConfig::default()
+        };
+        let base = LdaModel::fit(&docs, 10, LdaConfig { threads: 1, ..cfg });
+        for threads in [2, 8] {
+            let m = LdaModel::fit(&docs, 10, LdaConfig { threads, ..cfg });
+            assert_eq!(m.n_kw, base.n_kw, "{threads} threads: n_kw diverged");
+            assert_eq!(m.n_k, base.n_k, "{threads} threads: n_k diverged");
+            assert_eq!(m.n_dk, base.n_dk, "{threads} threads: n_dk diverged");
+        }
+    }
+
+    #[test]
+    fn chunked_sweeps_still_recover_topics_on_large_corpora() {
+        // Multi-chunk corpora use stale-count (approximate) sweeps; the
+        // planted structure must still be recovered.
+        let mut rng = Rng::new(7);
+        let docs = synthetic_corpus(200, &mut rng); // 400 docs, 2 chunks
+        let model = LdaModel::fit(
+            &docs,
+            10,
+            LdaConfig {
+                k: 2,
+                iterations: 60,
+                ..LdaConfig::default()
+            },
+        );
+        let t0: Vec<u16> = model.top_words(0, 5).into_iter().map(|(w, _)| w).collect();
+        let t1: Vec<u16> = model.top_words(1, 5).into_iter().map(|(w, _)| w).collect();
+        assert_ne!(t0[0] < 5, t1[0] < 5, "topics collapsed together");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 pub mod content;
 pub mod discovery;
+pub mod fanout;
 pub mod lda;
 pub mod lifecycle;
 pub mod membership;

@@ -1,10 +1,12 @@
 //! Group lifecycle: Fig 5 (staleness — group age when shared on Twitter)
 //! and Fig 6 (URL lifetime and revocation).
 
+use crate::fanout::per_platform;
 use crate::stats::Ecdf;
 use chatlens_core::monitor::ObservedStatus;
 use chatlens_core::Dataset;
 use chatlens_platforms::id::PlatformKind;
+use chatlens_simnet::par::Pool;
 
 /// Fig 5: group ages (in days) at the moment their URL was first tweeted.
 ///
@@ -43,7 +45,7 @@ pub fn staleness_days(ds: &Dataset, kind: PlatformKind) -> Ecdf {
 }
 
 /// Fig 6 roll-up for one platform.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RevocationStats {
     /// Groups with at least one observation.
     pub observed: u64,
@@ -114,6 +116,17 @@ pub fn ever_alive_fraction(ds: &Dataset, kind: PlatformKind) -> f64 {
         }
     }
     alive as f64 / observed.max(1) as f64
+}
+
+/// Fig 5 for all three platforms, fanned out across the pool; element `i`
+/// equals `staleness_days(ds, PlatformKind::ALL[i])` at any thread count.
+pub fn staleness_days_all(ds: &Dataset, pool: &Pool) -> [Ecdf; 3] {
+    per_platform(pool, |kind| staleness_days(ds, kind))
+}
+
+/// Fig 6 for all three platforms, fanned out across the pool.
+pub fn revocation_stats_all(ds: &Dataset, pool: &Pool) -> [RevocationStats; 3] {
+    per_platform(pool, |kind| revocation_stats(ds, kind))
 }
 
 #[cfg(test)]
@@ -218,5 +231,19 @@ mod tests {
         assert!(f > 0.85, "WA ever-alive {f}");
         let f_dc = ever_alive_fraction(ds, PlatformKind::Discord);
         assert!(f_dc < 0.5, "DC ever-alive {f_dc}");
+    }
+
+    #[test]
+    fn parallel_fanout_matches_serial() {
+        let ds = dataset();
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let stale = staleness_days_all(ds, &pool);
+            let revoked = revocation_stats_all(ds, &pool);
+            for (i, kind) in PlatformKind::ALL.into_iter().enumerate() {
+                assert_eq!(stale[i], staleness_days(ds, kind), "{kind}");
+                assert_eq!(revoked[i], revocation_stats(ds, kind), "{kind}");
+            }
+        }
     }
 }

@@ -1,10 +1,12 @@
 //! Group composition: Fig 7 (member counts, online share, growth) and
 //! §5's "Group Creators" analysis.
 
+use crate::fanout::per_platform;
 use crate::stats::Ecdf;
 use chatlens_core::monitor::ObservedStatus;
 use chatlens_core::Dataset;
 use chatlens_platforms::id::PlatformKind;
+use chatlens_simnet::par::Pool;
 use std::collections::HashMap;
 
 /// Fig 7a: member counts at each group's first alive observation.
@@ -41,7 +43,7 @@ pub fn online_fractions(ds: &Dataset, kind: PlatformKind) -> Ecdf {
 }
 
 /// Fig 7c roll-up: growth between first and last observation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GrowthStats {
     /// Signed member-count deltas (last − first observation).
     pub deltas: Ecdf,
@@ -89,7 +91,7 @@ pub fn growth(ds: &Dataset, kind: PlatformKind) -> GrowthStats {
 }
 
 /// §5 "Group Creators" roll-up.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CreatorStats {
     /// Distinct creators identified.
     pub creators: u64,
@@ -153,6 +155,23 @@ pub fn whatsapp_countries(ds: &Dataset) -> Vec<(String, u64)> {
         .collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     v
+}
+
+/// Fig 7a for all three platforms, fanned out across the pool; element
+/// `i` equals `member_counts(ds, PlatformKind::ALL[i])` at any thread
+/// count.
+pub fn member_counts_all(ds: &Dataset, pool: &Pool) -> [Ecdf; 3] {
+    per_platform(pool, |kind| member_counts(ds, kind))
+}
+
+/// Fig 7b for all three platforms, fanned out across the pool.
+pub fn online_fractions_all(ds: &Dataset, pool: &Pool) -> [Ecdf; 3] {
+    per_platform(pool, |kind| online_fractions(ds, kind))
+}
+
+/// Fig 7c for all three platforms, fanned out across the pool.
+pub fn growth_all(ds: &Dataset, pool: &Pool) -> [GrowthStats; 3] {
+    per_platform(pool, |kind| growth(ds, kind))
 }
 
 #[cfg(test)]
@@ -248,5 +267,21 @@ mod tests {
         let countries = whatsapp_countries(ds);
         assert!(!countries.is_empty());
         assert_eq!(countries[0].0, "BR", "countries: {countries:?}");
+    }
+
+    #[test]
+    fn parallel_fanout_matches_serial() {
+        let ds = dataset();
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let counts = member_counts_all(ds, &pool);
+            let online = online_fractions_all(ds, &pool);
+            let grown = growth_all(ds, &pool);
+            for (i, kind) in PlatformKind::ALL.into_iter().enumerate() {
+                assert_eq!(counts[i], member_counts(ds, kind), "{kind}");
+                assert_eq!(online[i], online_fractions(ds, kind), "{kind}");
+                assert_eq!(grown[i], growth(ds, kind), "{kind}");
+            }
+        }
     }
 }

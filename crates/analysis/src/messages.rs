@@ -1,10 +1,12 @@
 //! In-group activity: Fig 8 (message types) and Fig 9 (volumes per group
 //! and per user), plus §5's active-member shares.
 
+use crate::fanout::per_platform;
 use crate::stats::{top_share, Ecdf};
 use chatlens_core::Dataset;
 use chatlens_platforms::id::PlatformKind;
 use chatlens_platforms::message::MessageKind;
+use chatlens_simnet::par::Pool;
 use std::collections::HashMap;
 
 /// Fig 8: share of messages per [`MessageKind`], in `MessageKind::ALL`
@@ -65,7 +67,7 @@ pub fn msgs_per_user(ds: &Dataset, kind: PlatformKind) -> Vec<u64> {
 }
 
 /// Fig 9b roll-up.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UserActivity {
     /// Distinct message senders.
     pub senders: u64,
@@ -99,6 +101,22 @@ pub fn active_member_share(ds: &Dataset, kind: PlatformKind) -> f64 {
     } else {
         senders / members
     }
+}
+
+/// Fig 8 for all three platforms, fanned out across the pool; element `i`
+/// equals `kind_shares(ds, PlatformKind::ALL[i])` at any thread count.
+pub fn kind_shares_all(ds: &Dataset, pool: &Pool) -> [Vec<(MessageKind, f64)>; 3] {
+    per_platform(pool, |kind| kind_shares(ds, kind))
+}
+
+/// Fig 9a for all three platforms, fanned out across the pool.
+pub fn msgs_per_group_day_all(ds: &Dataset, pool: &Pool) -> [Ecdf; 3] {
+    per_platform(pool, |kind| msgs_per_group_day(ds, kind))
+}
+
+/// Fig 9b for all three platforms, fanned out across the pool.
+pub fn user_activity_all(ds: &Dataset, pool: &Pool) -> [UserActivity; 3] {
+    per_platform(pool, |kind| user_activity(ds, kind))
 }
 
 #[cfg(test)]
@@ -208,5 +226,21 @@ mod tests {
         // (channels mute almost everyone).
         assert!(tg < wa && tg < dc, "TG {tg} vs WA {wa}, DC {dc}");
         assert!(tg < 0.45, "TG active share {tg}");
+    }
+
+    #[test]
+    fn parallel_fanout_matches_serial() {
+        let ds = dataset();
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let kinds = kind_shares_all(ds, &pool);
+            let volumes = msgs_per_group_day_all(ds, &pool);
+            let activity = user_activity_all(ds, &pool);
+            for (i, kind) in PlatformKind::ALL.into_iter().enumerate() {
+                assert_eq!(kinds[i], kind_shares(ds, kind), "{kind}");
+                assert_eq!(volumes[i], msgs_per_group_day(ds, kind), "{kind}");
+                assert_eq!(activity[i], user_activity(ds, kind), "{kind}");
+            }
+        }
     }
 }

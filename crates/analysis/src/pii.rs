@@ -22,39 +22,52 @@ pub struct ExposureRow {
     pub link_rate: Option<f64>,
 }
 
+/// One row of Table 4 for a single platform.
+pub fn exposure_row(ds: &Dataset, kind: PlatformKind) -> ExposureRow {
+    match kind {
+        // WhatsApp: every member of joined groups plus every creator of an
+        // accessible group exposes a phone number (100% by construction of
+        // the platform — the paper's headline).
+        PlatformKind::WhatsApp => {
+            let wa_members: u64 = ds.pii.wa_member_hashes.len() as u64;
+            let wa_creators: u64 = ds.pii.wa_creator_hashes.len() as u64;
+            ExposureRow {
+                platform: PlatformKind::WhatsApp,
+                users_observed: wa_members + wa_creators,
+                phones: Some(ds.pii.wa_total_phones() as u64),
+                phone_rate: Some(1.0),
+                linked_users: None,
+                link_rate: None,
+            }
+        }
+        PlatformKind::Telegram => ExposureRow {
+            platform: PlatformKind::Telegram,
+            users_observed: ds.pii.tg_users_observed.len() as u64,
+            phones: Some(ds.pii.tg_phone_hashes.len() as u64),
+            phone_rate: Some(ds.pii.tg_phone_rate()),
+            linked_users: None,
+            link_rate: None,
+        },
+        PlatformKind::Discord => ExposureRow {
+            platform: PlatformKind::Discord,
+            users_observed: ds.pii.dc_users_observed.len() as u64,
+            phones: None,
+            phone_rate: None,
+            linked_users: Some(ds.pii.dc_users_with_link.len() as u64),
+            link_rate: Some(ds.pii.dc_link_rate()),
+        },
+    }
+}
+
 /// Compute Table 4.
 pub fn exposure_table(ds: &Dataset) -> [ExposureRow; 3] {
-    // WhatsApp: every member of joined groups plus every creator of an
-    // accessible group exposes a phone number (100% by construction of the
-    // platform — the paper's headline).
-    let wa_members: u64 = ds.pii.wa_member_hashes.len() as u64;
-    let wa_creators: u64 = ds.pii.wa_creator_hashes.len() as u64;
-    let wa_total = ds.pii.wa_total_phones() as u64;
-    let wa = ExposureRow {
-        platform: PlatformKind::WhatsApp,
-        users_observed: wa_members + wa_creators,
-        phones: Some(wa_total),
-        phone_rate: Some(1.0),
-        linked_users: None,
-        link_rate: None,
-    };
-    let tg = ExposureRow {
-        platform: PlatformKind::Telegram,
-        users_observed: ds.pii.tg_users_observed.len() as u64,
-        phones: Some(ds.pii.tg_phone_hashes.len() as u64),
-        phone_rate: Some(ds.pii.tg_phone_rate()),
-        linked_users: None,
-        link_rate: None,
-    };
-    let dc = ExposureRow {
-        platform: PlatformKind::Discord,
-        users_observed: ds.pii.dc_users_observed.len() as u64,
-        phones: None,
-        phone_rate: None,
-        linked_users: Some(ds.pii.dc_users_with_link.len() as u64),
-        link_rate: Some(ds.pii.dc_link_rate()),
-    };
-    [wa, tg, dc]
+    PlatformKind::ALL.map(|kind| exposure_row(ds, kind))
+}
+
+/// Compute Table 4 with rows fanned out across the pool; identical to
+/// [`exposure_table`] at any thread count.
+pub fn exposure_table_par(ds: &Dataset, pool: &chatlens_simnet::par::Pool) -> [ExposureRow; 3] {
+    crate::fanout::per_platform(pool, |kind| exposure_row(ds, kind))
 }
 
 /// Table 5: Discord users per linked platform, descending, with shares of
@@ -122,6 +135,15 @@ mod tests {
         // Facebook/Skype are near the bottom when present.
         if let Some(fb) = rows.iter().find(|r| r.0 == "Facebook") {
             assert!(fb.2 < 0.05, "Facebook share {}", fb.2);
+        }
+    }
+
+    #[test]
+    fn parallel_table4_matches_serial() {
+        let serial = exposure_table(dataset());
+        for threads in [1, 2, 8] {
+            let pool = chatlens_simnet::par::Pool::new(threads);
+            assert_eq!(exposure_table_par(dataset(), &pool), serial);
         }
     }
 

@@ -1,7 +1,7 @@
 //! Statistical primitives: empirical CDFs, quantiles, concentration.
 
 /// An empirical cumulative distribution function over `f64` samples.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }

@@ -12,6 +12,7 @@ use crate::net::Net;
 use crate::pii::PiiStore;
 use chatlens_platforms::id::PlatformKind;
 use chatlens_platforms::wire::WireDoc;
+use chatlens_simnet::par::Pool;
 use chatlens_simnet::time::SimTime;
 use chatlens_simnet::transport::{Request, Status};
 use chatlens_workload::Ecosystem;
@@ -43,7 +44,7 @@ pub struct Observation {
 }
 
 /// Everything the monitor learned about one group over the campaign.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroupTimeline {
     /// Daily observations, in day order (stops after `Revoked`).
     pub observations: Vec<Observation>,
@@ -119,6 +120,19 @@ impl GroupTimeline {
     }
 }
 
+/// One group's fetch outcome for the day, carried from the serial
+/// transport phase into the parse/apply phases.
+enum Fetch {
+    /// Transport failed after retries, or the server answered with a
+    /// non-terminal error status.
+    Failed,
+    /// The URL is revoked/expired (410).
+    Gone,
+    /// Landing page served: the raw body, and which wire document kind it
+    /// must decode as.
+    Body(String, &'static str),
+}
+
 /// The monitoring component.
 #[derive(Default)]
 pub struct Monitor {
@@ -126,12 +140,23 @@ pub struct Monitor {
     pub timelines: HashMap<String, GroupTimeline>,
     /// Keys that reached a terminal state (revoked) — no longer polled.
     terminal: std::collections::HashSet<String>,
+    /// Pool used to decode landing pages in parallel.
+    pool: Pool,
 }
 
 impl Monitor {
-    /// A fresh monitor.
+    /// A fresh monitor (single-threaded parsing).
     pub fn new() -> Monitor {
         Monitor::default()
+    }
+
+    /// A monitor that decodes landing pages on `pool`. The thread count
+    /// never changes what the monitor records — see [`Monitor::run_day`].
+    pub fn with_pool(pool: Pool) -> Monitor {
+        Monitor {
+            pool,
+            ..Monitor::default()
+        }
     }
 
     /// Run one daily round over every discovered, not-yet-revoked group.
@@ -139,6 +164,14 @@ impl Monitor {
     /// WhatsApp creator phone numbers coming off the landing pages are
     /// hashed into it (the landing page is the only pre-join source of
     /// creator phones, §6).
+    ///
+    /// The round runs in three phases so the pool can help without
+    /// touching determinism: a **serial fetch** in discovery order (every
+    /// transport call advances the shared network/ecosystem RNG and
+    /// rate-limiter state, so its order is fixed), a **parallel parse**
+    /// of the fetched bodies (pure, and merged back in input order by the
+    /// pool's contract), and a **serial apply** of the parsed documents to
+    /// the timelines, again in discovery order.
     pub fn run_day(
         &mut self,
         net: &mut Net,
@@ -148,11 +181,14 @@ impl Monitor {
         day: u32,
         mut pii: Option<&mut PiiStore>,
     ) -> Result<(), CoreError> {
-        // Iterate over a snapshot of keys: discovery keeps growing, but
-        // today's round covers what is known right now.
-        for rec in &discovery.groups {
-            let key = rec.invite.dedup_key();
-            if self.terminal.contains(&key) {
+        // Phase 1 — serial fetch. Iterate over a snapshot of keys:
+        // discovery keeps growing, but today's round covers what is known
+        // right now. Group keys are unique within `discovery.groups`, so
+        // deferring the terminal-set update to the apply phase cannot
+        // change which groups get fetched today.
+        let mut fetched: Vec<(usize, Fetch)> = Vec::new();
+        for (i, rec) in discovery.groups.iter().enumerate() {
+            if self.terminal.contains(&rec.invite.dedup_key()) {
                 continue;
             }
             let (endpoint, doc_kind) = match rec.platform {
@@ -161,24 +197,46 @@ impl Monitor {
                 PlatformKind::Discord => ("discord/api/invite", "dc-invite"),
             };
             let req = Request::new(endpoint).with("code", rec.invite.code.clone());
-            let resp = match net.platform(eco, rec.platform, now, &req) {
-                Ok(r) => r,
-                Err(_) => {
-                    self.timelines
-                        .entry(key)
-                        .or_default()
-                        .observations
-                        .push(Observation {
-                            day,
-                            status: ObservedStatus::Failed,
-                        });
-                    continue;
-                }
+            let outcome = match net.platform(eco, rec.platform, now, &req) {
+                Err(_) => Fetch::Failed,
+                Ok(resp) => match resp.status {
+                    Status::Ok => Fetch::Body(resp.body, doc_kind),
+                    Status::Gone => Fetch::Gone,
+                    _ => Fetch::Failed,
+                },
             };
+            fetched.push((i, outcome));
+        }
+
+        // Phase 2 — parallel parse: decoding a wire document depends only
+        // on its body, so bodies parse concurrently on the pool.
+        let parsed: Vec<Option<Result<WireDoc, _>>> =
+            self.pool.par_map(&fetched, |(_, outcome)| match outcome {
+                Fetch::Body(body, doc_kind) => Some(WireDoc::parse_as(body, doc_kind)),
+                Fetch::Failed | Fetch::Gone => None,
+            });
+
+        // Phase 3 — serial apply, in the same discovery order as phase 1.
+        for ((i, outcome), doc) in fetched.iter().zip(parsed) {
+            let rec = &discovery.groups[*i];
+            let key = rec.invite.dedup_key();
             let timeline = self.timelines.entry(key.clone()).or_default();
-            match resp.status {
-                Status::Ok => {
-                    let doc = WireDoc::parse_as(&resp.body, doc_kind)?;
+            match outcome {
+                Fetch::Failed => {
+                    timeline.observations.push(Observation {
+                        day,
+                        status: ObservedStatus::Failed,
+                    });
+                }
+                Fetch::Gone => {
+                    timeline.observations.push(Observation {
+                        day,
+                        status: ObservedStatus::Revoked,
+                    });
+                    self.terminal.insert(key);
+                }
+                Fetch::Body(..) => {
+                    let doc = doc.expect("body outcomes were parsed in phase 2")?;
                     let size = doc.req_u64("size")? as u32;
                     let online = doc.opt_u64("online")?.unwrap_or(0) as u32;
                     if timeline.title.is_none() {
@@ -216,19 +274,6 @@ impl Monitor {
                             }
                         }
                     }
-                }
-                Status::Gone => {
-                    timeline.observations.push(Observation {
-                        day,
-                        status: ObservedStatus::Revoked,
-                    });
-                    self.terminal.insert(key);
-                }
-                _ => {
-                    timeline.observations.push(Observation {
-                        day,
-                        status: ObservedStatus::Failed,
-                    });
                 }
             }
         }
@@ -369,6 +414,30 @@ mod tests {
             "at most one hash per alive group (creators may repeat)"
         );
         assert!(!pii.wa_creator_countries.is_empty());
+    }
+
+    #[test]
+    fn parse_pool_never_changes_observations() {
+        let run = |threads: usize| {
+            let (mut eco, mut net, mut disco, _) = setup();
+            let mut monitor = Monitor::with_pool(Pool::new(threads));
+            let t0 = eco.window.start_time() + SimDuration::hours(1);
+            disco.run_search(&mut net, &mut eco, t0).unwrap();
+            for day in 0..3u32 {
+                let t = eco.window.start_time()
+                    + SimDuration::days(u64::from(day))
+                    + SimDuration::hours(23);
+                monitor
+                    .run_day(&mut net, &mut eco, &disco, t, day, None)
+                    .unwrap();
+            }
+            monitor.timelines
+        };
+        let serial = run(1);
+        assert!(!serial.is_empty());
+        for threads in [2, 8] {
+            assert_eq!(run(threads), serial, "{threads} threads");
+        }
     }
 
     #[test]

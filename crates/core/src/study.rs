@@ -21,6 +21,7 @@ use crate::pii::PiiStore;
 use chatlens_platforms::id::PlatformKind;
 use chatlens_simnet::fault::FaultInjector;
 use chatlens_simnet::metrics::Metrics;
+use chatlens_simnet::par::Pool;
 use chatlens_simnet::rng::Rng;
 use chatlens_simnet::time::SimDuration;
 use chatlens_simnet::Engine;
@@ -49,6 +50,10 @@ pub struct CampaignConfig {
     /// separate from the world seed so the same world can be re-collected
     /// differently.
     pub seed: u64,
+    /// Worker threads for the deterministic parallel runtime
+    /// ([`chatlens_simnet::par::Pool`]). Only wall-clock time depends on
+    /// this; the dataset is bit-identical at any value.
+    pub threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -62,8 +67,21 @@ impl Default for CampaignConfig {
             join_strategy: crate::joiner::JoinStrategy::default(),
             faults: FaultInjector::new(0.01, 0.005),
             seed: 0xC011_EC70,
+            threads: default_threads(),
         }
     }
+}
+
+/// Default worker-thread count: 1, unless overridden by the
+/// `CHATLENS_THREADS` environment variable. Because the parallel runtime
+/// is deterministic, CI runs the whole test suite under
+/// `CHATLENS_THREADS=8` and every exact-value assertion must still hold.
+fn default_threads() -> usize {
+    std::env::var("CHATLENS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 /// Campaign events on the virtual timeline.
@@ -101,7 +119,8 @@ pub fn run_study_on(eco: &mut Ecosystem, campaign: CampaignConfig) -> Dataset {
     let mut net = Net::new(campaign.seed, start, campaign.faults);
     let mut rng = Rng::new(campaign.seed ^ 0x9E37_79B9);
     let mut discovery = Discovery::new(start);
-    let mut monitor = Monitor::new();
+    let pool = Pool::new(campaign.threads);
+    let mut monitor = Monitor::with_pool(pool);
     let mut joiner = Joiner::new();
     let mut pii = PiiStore::new();
     let mut metrics = Metrics::new();
@@ -146,9 +165,11 @@ pub fn run_study_on(eco: &mut Ecosystem, campaign: CampaignConfig) -> Dataset {
         match ev {
             Ev::Search => {
                 metrics.incr("campaign.search_rounds");
-                discovery
-                    .run_search(&mut net, eco, now)
-                    .expect("search round");
+                metrics.time_stage("search", || {
+                    discovery
+                        .run_search(&mut net, eco, now)
+                        .expect("search round")
+                });
                 metrics.observe(
                     "discovery.groups_known",
                     discovery.group_count() as f64,
@@ -157,50 +178,60 @@ pub fn run_study_on(eco: &mut Ecosystem, campaign: CampaignConfig) -> Dataset {
             }
             Ev::StreamDrain => {
                 metrics.incr("campaign.stream_drains");
-                discovery
-                    .drain_stream(&mut net, eco, now)
-                    .expect("stream drain");
+                metrics.time_stage("stream", || {
+                    discovery
+                        .drain_stream(&mut net, eco, now)
+                        .expect("stream drain")
+                });
             }
             Ev::SampleDrain => {
                 metrics.incr("campaign.sample_drains");
-                discovery
-                    .drain_sample(&mut net, eco, now)
-                    .expect("sample drain");
+                metrics.time_stage("sample", || {
+                    discovery
+                        .drain_sample(&mut net, eco, now)
+                        .expect("sample drain")
+                });
             }
             Ev::Monitor { day } => {
                 metrics.incr("campaign.monitor_rounds");
-                monitor
-                    .run_day(&mut net, eco, &discovery, now, day, Some(&mut pii))
-                    .expect("monitor round");
+                metrics.time_stage("monitor", || {
+                    monitor
+                        .run_day(&mut net, eco, &discovery, now, day, Some(&mut pii))
+                        .expect("monitor round")
+                });
             }
             Ev::Join => {
-                for kind in PlatformKind::ALL {
-                    let budget = eco.config.join_budget_scaled(kind);
-                    let timelines = &monitor.timelines;
-                    joiner
-                        .join_phase_with(
-                            &mut net,
-                            eco,
-                            &discovery,
-                            kind,
-                            budget,
-                            now,
-                            &mut rng,
-                            campaign.join_strategy,
-                            &|key| {
-                                timelines
-                                    .get(key)
-                                    .and_then(|t| t.size_span())
-                                    .map(|(_, last)| last)
-                            },
-                        )
-                        .expect("join phase");
-                }
+                metrics.time_stage("join", || {
+                    for kind in PlatformKind::ALL {
+                        let budget = eco.config.join_budget_scaled(kind);
+                        let timelines = &monitor.timelines;
+                        joiner
+                            .join_phase_with(
+                                &mut net,
+                                eco,
+                                &discovery,
+                                kind,
+                                budget,
+                                now,
+                                &mut rng,
+                                campaign.join_strategy,
+                                &|key| {
+                                    timelines
+                                        .get(key)
+                                        .and_then(|t| t.size_span())
+                                        .map(|(_, last)| last)
+                                },
+                            )
+                            .expect("join phase");
+                    }
+                });
             }
             Ev::Collect => {
-                joiner
-                    .collect_phase(&mut net, eco, now, &mut pii)
-                    .expect("collect phase");
+                metrics.time_stage("collect", || {
+                    joiner
+                        .collect_phase(&mut net, eco, now, &mut pii)
+                        .expect("collect phase")
+                });
             }
         }
     });
@@ -274,6 +305,35 @@ mod tests {
         assert_eq!(a.joined.len(), b.joined.len());
         assert_eq!(a.pii.wa_total_phones(), b.pii.wa_total_phones());
         assert_eq!(a.totals(), b.totals());
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_dataset() {
+        let run = |threads: usize| {
+            run_study_with(
+                ScenarioConfig::at_scale(0.003),
+                CampaignConfig {
+                    threads,
+                    ..CampaignConfig::default()
+                },
+            )
+        };
+        let serial = run(1);
+        // Stage timings were recorded (values are wall-clock and therefore
+        // uncomparable, but the counters must exist).
+        assert!(serial.metrics.get("stage.search.runs") > 0);
+        assert!(serial.metrics.get("stage.monitor.runs") > 0);
+        for threads in [2, 8] {
+            let par = run(threads);
+            assert_eq!(par.totals(), serial.totals(), "{threads} threads");
+            assert_eq!(par.tweets.len(), serial.tweets.len());
+            assert_eq!(par.timelines, serial.timelines, "{threads} threads");
+            assert_eq!(
+                par.pii.wa_total_phones(),
+                serial.pii.wa_total_phones(),
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Vendored offline shim of the `criterion` benchmarking API.
+//!
+//! Implements just the surface this workspace's benches use: benchmark
+//! groups, `sample_size`, `throughput`, `bench_function`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros. Instead of
+//! criterion's full statistical machinery it times a calibrated batch and
+//! reports median-of-samples ns/iter (plus throughput when configured) to
+//! stdout — enough for coarse regression eyeballing in an offline CI.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (elements or bytes per iter).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver; hand one to each `criterion_group!` target.
+pub struct Criterion {
+    /// Default number of timed samples per benchmark.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` (which drives a [`Bencher`]) and prints one result line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id.into());
+        match self.throughput {
+            Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+                let per_sec = n as f64 * 1e9 / b.ns_per_iter;
+                println!(
+                    "{label:<48} {:>12.1} ns/iter {per_sec:>14.0} elem/s",
+                    b.ns_per_iter
+                );
+            }
+            Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+                let mb_per_sec = n as f64 * 1e9 / b.ns_per_iter / (1024.0 * 1024.0);
+                println!(
+                    "{label:<48} {:>12.1} ns/iter {mb_per_sec:>12.1} MiB/s",
+                    b.ns_per_iter
+                );
+            }
+            _ => println!("{label:<48} {:>12.1} ns/iter", b.ns_per_iter),
+        }
+        self
+    }
+
+    /// Ends the group (separator line, mirroring criterion's summary break).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    sample_size: usize,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count that takes ~1ms per sample,
+        // so cheap closures aren't dominated by clock reads.
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Declares a function that runs each named benchmark with a fresh
+/// [`Criterion`], mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; a test harness may pass filter
+            // args. This shim runs everything regardless.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_prints() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1));
+        let mut x = 0u64;
+        g.bench_function("add", |b| b.iter(|| x = x.wrapping_add(1)));
+        g.finish();
+        assert!(x > 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Vendored offline shim exposing the subset of the `crossbeam` API this
+//! workspace uses — `crossbeam::scope` with spawn closures that receive the
+//! scope handle — implemented over `std::thread::scope`.
+
+use std::any::Any;
+
+/// Error type carried by a panicked scope (mirrors crossbeam's boxed payload).
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A handle to a thread scope; passed to `scope` closures and to each
+/// spawned thread's closure (crossbeam convention: `|scope|`, `|_|`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle so it
+    /// can spawn further threads, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Creates a scope in which threads can borrow from the enclosing stack
+/// frame; joins all spawned threads before returning. Unlike crossbeam's
+/// original (which collects child panics), a child panic propagates after
+/// the join — so the `Err` arm is never constructed, but the `Result`
+/// return type preserves call-site compatibility (`.expect(..)`).
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let total = AtomicU64::new(0);
+        super::scope(|scope| {
+            for i in 0..4u64 {
+                let total = &total;
+                scope.spawn(move |_| {
+                    total.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(total.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn join_handles_return_values() {
+        let out = super::scope(|scope| {
+            let h = scope.spawn(|_| 41 + 1);
+            h.join().expect("join")
+        })
+        .expect("scope");
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,456 @@
+//! Vendored offline shim of the `proptest` property-testing API.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with
+//! `name in strategy` bindings, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`/`prop_assume!`, `any::<T>()`, integer/float range
+//! strategies, regex-subset string strategies, `collection::{vec,
+//! btree_set}`, `option::of`, and tuple strategies.
+//!
+//! Differences from real proptest: generation is driven by a fixed-seed
+//! SplitMix64 stream (fully deterministic run-to-run, no `proptest-regressions`
+//! files), and failing cases are reported without shrinking. Case count
+//! defaults to 64 and honours `PROPTEST_CASES`.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::Range;
+
+pub mod string;
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// The case was filtered out by `prop_assume!`; try another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failing-case error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejected-case (assume failed) error.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic generation stream handed to strategies (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives the stream for one named test's nth attempt.
+    pub fn for_case(name: &str, attempt: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            state: h ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant for test-case generation.
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform length in `[range.start, range.end)`.
+    pub fn len_in(&mut self, range: &Range<usize>) -> usize {
+        let span = range.end.saturating_sub(range.start).max(1);
+        range.start + self.below(span as u64) as usize
+    }
+}
+
+/// A generator of values of one type. (Shim: no shrinking, `generate`
+/// replaces proptest's `new_tree`/`ValueTree` machinery.)
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+    /// Draws one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// ---- primitive strategies -------------------------------------------------
+
+macro_rules! unsigned_range_strategy {
+    ($($ty:ty),+) => {
+        $(impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let span = (self.end as u64).wrapping_sub(self.start as u64).max(1);
+                self.start.wrapping_add(rng.below(span) as $ty)
+            }
+        })+
+    };
+}
+
+macro_rules! signed_range_strategy {
+    ($($ty:ty as $uty:ty),+) => {
+        $(impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let span = (self.end as $uty).wrapping_sub(self.start as $uty) as u64;
+                self.start.wrapping_add(rng.below(span.max(1)) as $ty)
+            }
+        })+
+    };
+}
+
+unsigned_range_strategy!(u8, u16, u32, u64, usize);
+signed_range_strategy!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Strategy for "any value of `T`" — see [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Returns the full-range strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! any_int_strategy {
+    ($($ty:ty),+) => {
+        $(impl Strategy for Any<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        })+
+    };
+}
+
+any_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// `&str` literals act as regex-subset string strategies, as in proptest.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate_matching(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {
+        $(impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        })+
+    };
+}
+
+tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+// ---- combinators ----------------------------------------------------------
+
+/// Collection strategies (`proptest::collection::{vec, btree_set}`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy producing `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.len_in(&self.size);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet<S::Value>` with size drawn from a range.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::btree_set`: ordered sets of `element` values.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.len_in(&self.size);
+            let mut set = BTreeSet::new();
+            // Duplicates shrink the set; bounded retries keep it deterministic.
+            for _ in 0..target.saturating_mul(4).max(8) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::*;
+
+    /// Strategy producing `Option<S::Value>`, `None` about 25% of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of`: wraps a strategy's values in `Some`/`None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+        TestCaseError,
+    };
+}
+
+// ---- runner ---------------------------------------------------------------
+
+/// Drives one property over many generated cases. Called by the code the
+/// `proptest!` macro expands to; not part of the public proptest API.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let mut passed = 0u64;
+    let mut attempt = 0u64;
+    while passed < cases {
+        attempt += 1;
+        if attempt > cases.saturating_mul(20) {
+            panic!(
+                "proptest '{name}': too many rejected cases \
+                 ({passed}/{cases} passed after {attempt} attempts)"
+            );
+        }
+        let mut rng = TestRng::for_case(name, attempt);
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed (attempt {attempt}):\n  {msg}\n  inputs: {inputs}")
+            }
+        }
+    }
+}
+
+/// Declares property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                        let __inputs = format!(
+                            concat!($(stringify!($arg), " = {:?}; "),+),
+                            $(&$arg),+
+                        );
+                        let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                            (move || {
+                                $body
+                                ::std::result::Result::Ok(())
+                            })();
+                        (__inputs, __outcome)
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case, with
+/// inputs reported, instead of panicking outright).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left == right`\n  left: `{:?}`\n  right: `{:?}`",
+                        __l, __r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{}\n  left: `{:?}`\n  right: `{:?}`",
+                        format!($($fmt)+),
+                        __l,
+                        __r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left != right`\n  both: `{:?}`",
+                        __l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Filters out cases that don't satisfy a precondition (rejected, retried).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in -5i64..5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(0u8..10, 2..5),
+            s in crate::collection::btree_set(0u32..1000, 1..8),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(!s.is_empty() && s.len() < 8);
+        }
+
+        #[test]
+        fn string_patterns_match_shape(code in "[A-Za-z0-9]{1,32}", free in "\\PC*") {
+            prop_assert!(!code.is_empty() && code.len() <= 32);
+            prop_assert!(code.chars().all(|c| c.is_ascii_alphanumeric()));
+            prop_assert!(free.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = super::TestRng::for_case("x", 1);
+        let mut b = super::TestRng::for_case("x", 1);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

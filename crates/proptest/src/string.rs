@@ -1,0 +1,228 @@
+//! Tiny regex-subset generator behind `&str` strategies.
+//!
+//! Supports the pattern features the workspace's tests use: literals,
+//! escapes (`\n`, `\r`, `\t`, `\\`, `\d`), the "printable" class `\PC`,
+//! character classes `[...]` with ranges and negation, and the
+//! quantifiers `*`, `+`, `?`, `{n}`, `{m,n}`. Unbounded quantifiers are
+//! capped at 16 repetitions.
+
+use crate::TestRng;
+
+const UNBOUNDED_CAP: usize = 16;
+
+enum CharClass {
+    Lit(char),
+    Set(Vec<char>),
+    NegSet(Vec<char>),
+    Printable,
+}
+
+struct Atom {
+    class: CharClass,
+    min: usize,
+    max: usize,
+}
+
+/// Printable sample pool for `\PC` and negated classes: ASCII printables
+/// plus a few multi-byte characters so UTF-8 handling gets exercised.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..=0x7e).map(char::from).collect();
+    pool.extend(['\u{e9}', '\u{df}', '\u{3a9}', '\u{4e2d}', '\u{1f980}']);
+    pool
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') | Some('p') => {
+                        // `\PC` — "not a control character".
+                        i += 1;
+                        CharClass::Printable
+                    }
+                    Some('n') => CharClass::Lit('\n'),
+                    Some('r') => CharClass::Lit('\r'),
+                    Some('t') => CharClass::Lit('\t'),
+                    Some('d') => CharClass::Set(('0'..='9').collect()),
+                    Some(&c) => CharClass::Lit(c),
+                    None => break,
+                }
+            }
+            '[' => {
+                i += 1;
+                let negated = chars.get(i) == Some(&'^');
+                if negated {
+                    i += 1;
+                }
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        match chars.get(i) {
+                            Some('n') => '\n',
+                            Some('r') => '\r',
+                            Some('t') => '\t',
+                            Some(&c) => c,
+                            None => break,
+                        }
+                    } else {
+                        chars[i]
+                    };
+                    // Range `a-z` (a `-` not at the end of the class).
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2) != Some(&']') {
+                        if let Some(&hi) = chars.get(i + 2) {
+                            for v in c..=hi {
+                                set.push(v);
+                            }
+                            i += 3;
+                            continue;
+                        }
+                    }
+                    set.push(c);
+                    i += 1;
+                }
+                if negated {
+                    CharClass::NegSet(set)
+                } else {
+                    CharClass::Set(set)
+                }
+            }
+            c => CharClass::Lit(c),
+        };
+        i += 1;
+        // Quantifier?
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                i += 1;
+                let mut lo = 0usize;
+                while let Some(d) = chars.get(i).and_then(|c| c.to_digit(10)) {
+                    lo = lo * 10 + d as usize;
+                    i += 1;
+                }
+                let hi = if chars.get(i) == Some(&',') {
+                    i += 1;
+                    let mut h = 0usize;
+                    let mut saw = false;
+                    while let Some(d) = chars.get(i).and_then(|c| c.to_digit(10)) {
+                        h = h * 10 + d as usize;
+                        i += 1;
+                        saw = true;
+                    }
+                    if saw {
+                        h
+                    } else {
+                        lo + UNBOUNDED_CAP
+                    }
+                } else {
+                    lo
+                };
+                if chars.get(i) == Some(&'}') {
+                    i += 1;
+                }
+                (lo, hi)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { class, min, max });
+    }
+    atoms
+}
+
+/// Generates one string matching `pattern` (within the supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let pool = printable_pool();
+    let mut out = String::new();
+    for atom in &atoms {
+        let reps = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+        for _ in 0..reps {
+            match &atom.class {
+                CharClass::Lit(c) => out.push(*c),
+                CharClass::Set(set) if !set.is_empty() => {
+                    out.push(set[rng.below(set.len() as u64) as usize]);
+                }
+                CharClass::Set(_) => {}
+                CharClass::NegSet(excluded) => {
+                    // Bounded rejection over the printable pool.
+                    for _ in 0..32 {
+                        let c = pool[rng.below(pool.len() as u64) as usize];
+                        if !excluded.contains(&c) {
+                            out.push(c);
+                            break;
+                        }
+                    }
+                }
+                CharClass::Printable => {
+                    out.push(pool[rng.below(pool.len() as u64) as usize]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string-tests", 7)
+    }
+
+    #[test]
+    fn bounded_repeat_class() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching("[A-Za-z0-9]{1,32}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 32, "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn anchored_prefix_and_tail() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching("[a-z][a-z-]{0,15}", &mut r);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn negated_class_excludes_newlines() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching("[^\n\r]{0,40}", &mut r);
+            assert!(!s.contains('\n') && !s.contains('\r'));
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn printable_star_yields_no_controls() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching("\\PC*", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

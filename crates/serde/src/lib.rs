@@ -1,0 +1,21 @@
+//! Vendored offline shim of the `serde` serialization data model.
+//!
+//! Only the `ser` half is implemented — the workspace's hand-written JSON
+//! writer (`chatlens-workload::config_io`) drives `Serialize` impls through
+//! the standard `Serializer` trait surface, and the `derive` feature wires
+//! up the companion `serde_derive` proc-macro for plain named-field
+//! structs. Deserialization is declared (so `#[derive(Deserialize)]`
+//! compiles) but intentionally generates nothing: no code in this
+//! workspace deserializes.
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring serde's `Deserialize`. The derive expands to an
+/// empty impl set, so this trait exists purely so `use serde::Deserialize`
+/// resolves in both the type and macro namespaces, as with real serde.
+pub trait Deserialize<'de>: Sized {}

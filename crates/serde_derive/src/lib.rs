@@ -1,0 +1,221 @@
+//! Vendored offline shim of serde's derive macros.
+//!
+//! Parses the token stream by hand (no `syn`/`quote` available offline),
+//! supporting exactly what this workspace derives on: non-generic structs
+//! with named fields, tuple fields, or no fields. `#[derive(Serialize)]`
+//! emits a field-by-field `serialize_struct` impl; `#[derive(Deserialize)]`
+//! expands to nothing (the workspace never deserializes — the trait import
+//! still resolves against the shim `serde` crate's marker trait).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a plain struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_struct(input) {
+        Ok(parsed) => render_impl(&parsed).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error tokens"),
+    }
+}
+
+/// Derives `serde::Deserialize`: intentionally a no-op (see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Parsed {
+    name: String,
+    fields: Fields,
+}
+
+fn parse_struct(input: TokenStream) -> Result<Parsed, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility (`pub`, `pub(...)`).
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => {
+            return Err("serde shim derive supports structs only, not enums".into());
+        }
+        other => return Err(format!("expected `struct`, found {other:?}")),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err("serde shim derive supports non-generic structs only".into())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Parsed {
+            name,
+            fields: Fields::Named(parse_named_fields(g.stream())?),
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Parsed {
+            name,
+            fields: Fields::Tuple(count_tuple_fields(g.stream())),
+        }),
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Parsed {
+            name,
+            fields: Fields::Unit,
+        }),
+        None => Ok(Parsed {
+            name,
+            fields: Fields::Unit,
+        }),
+        other => Err(format!("unexpected token after struct name: {other:?}")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            iter.next();
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tt in body {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // `(A, B)` has one top-level comma for two fields; a trailing comma
+    // over-counts but `(A, B,)` is unidiomatic in this codebase.
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn render_impl(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let mut out = String::new();
+    out.push_str("#[automatically_derived]\n");
+    out.push_str(&format!("impl ::serde::Serialize for {name} {{\n"));
+    out.push_str(
+        "    fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n        \
+         -> ::core::result::Result<__S::Ok, __S::Error> {\n",
+    );
+    match &parsed.fields {
+        Fields::Named(fields) => {
+            out.push_str(&format!(
+                "        let mut __state = ::serde::Serializer::serialize_struct(\
+                 __serializer, {name:?}, {})?;\n",
+                fields.len()
+            ));
+            for f in fields {
+                out.push_str(&format!(
+                    "        ::serde::ser::SerializeStruct::serialize_field(\
+                     &mut __state, {f:?}, &self.{f})?;\n"
+                ));
+            }
+            out.push_str("        ::serde::ser::SerializeStruct::end(__state)\n");
+        }
+        Fields::Tuple(n) if *n == 1 => {
+            out.push_str(&format!(
+                "        ::serde::Serializer::serialize_newtype_struct(\
+                 __serializer, {name:?}, &self.0)\n"
+            ));
+        }
+        Fields::Tuple(n) => {
+            out.push_str(&format!(
+                "        let mut __state = ::serde::Serializer::serialize_tuple_struct(\
+                 __serializer, {name:?}, {n})?;\n"
+            ));
+            for i in 0..*n {
+                out.push_str(&format!(
+                    "        ::serde::ser::SerializeTupleStruct::serialize_field(\
+                     &mut __state, &self.{i})?;\n"
+                ));
+            }
+            out.push_str("        ::serde::ser::SerializeTupleStruct::end(__state)\n");
+        }
+        Fields::Unit => {
+            out.push_str(&format!(
+                "        ::serde::Serializer::serialize_unit_struct(__serializer, {name:?})\n"
+            ));
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}

@@ -24,7 +24,10 @@
 //!   analogue for the simulated transport).
 //! * [`hash`] — a from-scratch FIPS 180-4 SHA-256 used to one-way-hash phone
 //!   numbers, mirroring the paper's ethics protocol (§3.4).
-//! * [`metrics`] — lightweight counters and fixed-bucket histograms.
+//! * [`metrics`] — lightweight counters, fixed-bucket histograms and
+//!   per-stage wall-clock timings.
+//! * [`par`] — a deterministic scoped worker pool (`par_map` /
+//!   `par_fold`) whose outputs are bit-identical at any thread count.
 //!
 //! Nothing in this crate knows about Twitter or messaging platforms; it is a
 //! general deterministic-simulation kit.
@@ -38,11 +41,13 @@ pub mod event;
 pub mod fault;
 pub mod hash;
 pub mod metrics;
+pub mod par;
 pub mod rng;
 pub mod time;
 pub mod trace;
 pub mod transport;
 
 pub use engine::Engine;
+pub use par::Pool;
 pub use rng::Rng;
 pub use time::{Date, SimDuration, SimTime};

@@ -142,6 +142,35 @@ impl Metrics {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Runs `f` and records its wall-clock duration under the counters
+    /// `stage.<name>.micros` (accumulating) and `stage.<name>.runs`.
+    ///
+    /// Timings are real elapsed time and therefore *not* deterministic —
+    /// they exist for throughput tracking (BENCH records, `repro`
+    /// `--timings`) and must never feed back into simulation state.
+    pub fn time_stage<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.add(
+            &format!("stage.{name}.micros"),
+            start.elapsed().as_micros() as u64,
+        );
+        self.incr(&format!("stage.{name}.runs"));
+        out
+    }
+
+    /// Total microseconds recorded for a stage by [`Metrics::time_stage`].
+    pub fn stage_micros(&self, name: &str) -> u64 {
+        self.get(&format!("stage.{name}.micros"))
+    }
+
+    /// Counters under the `stage.` prefix, in name order — the per-stage
+    /// timing table recorded during a run.
+    pub fn stages(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters()
+            .filter(|(name, _)| name.starts_with("stage."))
+    }
+
     /// Merge another registry into this one (counters add; histograms must
     /// not collide — campaign subsystems use disjoint name prefixes).
     ///
@@ -249,6 +278,22 @@ mod tests {
         assert_eq!(a.get("x"), 3);
         assert_eq!(a.get("y"), 3);
         assert!(a.histogram("h").is_some());
+    }
+
+    #[test]
+    fn time_stage_records_duration_and_runs() {
+        let mut m = Metrics::new();
+        let out = m.time_stage("lda", || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            7u32
+        });
+        assert_eq!(out, 7);
+        m.time_stage("lda", || ());
+        assert_eq!(m.get("stage.lda.runs"), 2);
+        assert!(m.stage_micros("lda") >= 2000);
+        assert_eq!(m.stage_micros("missing"), 0);
+        let stages: Vec<&str> = m.stages().map(|(n, _)| n).collect();
+        assert_eq!(stages, ["stage.lda.micros", "stage.lda.runs"]);
     }
 
     #[test]

@@ -1,17 +1,17 @@
 //! Seed-robustness sweep: run the full campaign under several world seeds
-//! in parallel (crossbeam scoped threads) and report how stable each
-//! headline quantity is — the reproducibility check behind
-//! EXPERIMENTS.md's "seed robustness" section.
+//! in parallel (the `simnet::par` deterministic worker pool) and report
+//! how stable each headline quantity is — the reproducibility check
+//! behind EXPERIMENTS.md's "seed robustness" section.
 //!
 //! ```sh
-//! cargo run --release --example seed_sweep [n_seeds] [scale]
+//! cargo run --release --example seed_sweep [n_seeds] [scale] [threads]
 //! ```
 
 use chatlens::analysis::lifecycle::revocation_stats;
 use chatlens::analysis::{content, discovery};
 use chatlens::platforms::id::PlatformKind;
+use chatlens::simnet::par::Pool;
 use chatlens::{run_study, ScenarioConfig};
-use parking_lot::Mutex;
 
 /// One run's headline quantities.
 #[derive(Debug, Clone, Copy)]
@@ -32,37 +32,34 @@ fn main() {
         .nth(2)
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.01);
-    println!("sweeping {n_seeds} seeds at scale {scale} in parallel...\n");
+    let threads: usize = std::env::args()
+        .nth(3)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    println!("sweeping {n_seeds} seeds at scale {scale} on {threads} thread(s)...\n");
 
-    let results: Mutex<Vec<Headline>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
-        for i in 0..n_seeds {
-            let results = &results;
-            scope.spawn(move |_| {
-                let seed = 1000 + i * 7919;
-                let mut config = ScenarioConfig::at_scale(scale);
-                config.seed = seed;
-                let ds = run_study(config);
-                let headline = Headline {
-                    seed,
-                    discord_revoked: revocation_stats(&ds, PlatformKind::Discord)
-                        .revoked_fraction,
-                    telegram_retweets: content::platform_features(&ds, PlatformKind::Telegram)
-                        .retweets,
-                    whatsapp_share_once: discovery::share_once_fraction(
-                        &ds,
-                        PlatformKind::WhatsApp,
-                    ),
-                    group_urls: ds.totals().group_urls,
-                };
-                results.lock().push(headline);
-            });
+    // One campaign per chunk: the pool keeps results in seed order, so no
+    // mutex + sort dance is needed — and the output is identical at any
+    // thread count.
+    let pool = Pool::new(threads);
+    let seeds: Vec<u64> = (0..n_seeds).map(|i| 1000 + i * 7919).collect();
+    let rows: Vec<Headline> = pool.par_map_chunked(1, &seeds, |&seed| {
+        let mut config = ScenarioConfig::at_scale(scale);
+        config.seed = seed;
+        let ds = run_study(config);
+        Headline {
+            seed,
+            discord_revoked: revocation_stats(&ds, PlatformKind::Discord).revoked_fraction,
+            telegram_retweets: content::platform_features(&ds, PlatformKind::Telegram).retweets,
+            whatsapp_share_once: discovery::share_once_fraction(&ds, PlatformKind::WhatsApp),
+            group_urls: ds.totals().group_urls,
         }
-    })
-    .expect("sweep threads");
+    });
 
-    let mut rows = results.into_inner();
-    rows.sort_by_key(|h| h.seed);
     println!("seed     DC revoked  TG retweets  WA share-once  group URLs");
     for h in &rows {
         println!(

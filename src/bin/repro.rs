@@ -2,30 +2,64 @@
 //! paper-vs-measured comparisons.
 //!
 //! ```text
-//! repro [--scale 0.1] [--seed 20200408] [artifact]
+//! repro [--scale 0.1] [--seed 20200408] [--threads 1] [--timings] [artifact]
 //! ```
 //!
 //! `artifact` is one of `table1 table2 table3 table4 table5 fig1 fig2 fig3
 //! fig4 fig5 fig6 fig7 fig8 fig9 extras all` (default `all`). At the end a
 //! markdown comparison table (the EXPERIMENTS.md body) is printed.
+//!
+//! `--threads N` sizes the deterministic parallel runtime
+//! ([`chatlens::simnet::par::Pool`]): every table and figure — and the
+//! campaign dataset itself — is bit-identical at any thread count; only
+//! wall-clock time changes. `--timings` prints the per-stage wall-clock
+//! table recorded in [`chatlens::simnet::metrics::Metrics`].
 
 use chatlens::analysis::LdaConfig;
 use chatlens::analysis::{content, discovery, lifecycle, membership, messages, pii, topics};
+use chatlens::core::CampaignConfig;
 use chatlens::perspective::score_dataset;
 use chatlens::platforms::id::PlatformKind;
 use chatlens::platforms::spec::PlatformSpec;
 use chatlens::report::compare::{holding, markdown_table, Comparison};
 use chatlens::report::series::{cdf_summary, days_csv, sparkline, to_csv};
 use chatlens::report::table::{fmt_count, fmt_pct, Table};
+use chatlens::simnet::metrics::Metrics;
+use chatlens::simnet::par::Pool;
 use chatlens::twitter::Lang;
 use chatlens::workload::Vocabulary;
-use chatlens::{run_study, Dataset, ScenarioConfig};
+use chatlens::{run_study_with, Dataset, ScenarioConfig};
 
 const PLATFORMS: [PlatformKind; 3] = PlatformKind::ALL;
+
+const HELP: &str = "\
+repro — regenerate the paper's tables and figures from a simulated campaign
+
+USAGE:
+    repro [OPTIONS] [ARTIFACT]
+
+ARTIFACT:
+    one of: table1 table2 table3 table4 table5 fig1..fig9 extras
+    extensions dump-config all        (default: all)
+
+OPTIONS:
+    --scale <f64>    world scale relative to the paper (default 0.1)
+    --seed <u64>     world seed (default 20200408)
+    --threads <n>    worker threads for the deterministic parallel runtime
+                     (default 1). Output is bit-identical for a given seed
+                     at ANY thread count — parallelism only changes
+                     wall-clock time, never a table, figure, or the
+                     collected dataset.
+    --timings        print per-stage wall-clock timings (campaign stages
+                     and per-artifact analysis stages) to stderr
+    --csv <dir>      export figure series as CSV files into <dir>
+    -h, --help       show this help";
 
 fn main() {
     let mut scale = 0.1f64;
     let mut seed = 20_200_408u64;
+    let mut threads = 1usize;
+    let mut timings = false;
     let mut artifact = "all".to_string();
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -43,12 +77,24 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed <u64>");
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads <usize>");
+            }
+            "--timings" => timings = true,
             "--csv" => {
                 csv_dir = Some(std::path::PathBuf::from(args.next().expect("--csv <dir>")));
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return;
             }
             other => artifact = other.to_string(),
         }
     }
+    let pool = Pool::new(threads);
     let mut config = ScenarioConfig::at_scale(scale);
     config.seed = seed;
     if artifact == "dump-config" {
@@ -58,65 +104,84 @@ fn main() {
         );
         return;
     }
-    eprintln!("# chatlens repro — scale {scale}, seed {seed}");
+    eprintln!("# chatlens repro — scale {scale}, seed {seed}, threads {threads}");
     eprintln!("# building ecosystem and running the 38-day campaign...");
     let t0 = std::time::Instant::now();
-    let ds = run_study(config);
+    let ds = run_study_with(
+        config,
+        CampaignConfig {
+            threads,
+            ..CampaignConfig::default()
+        },
+    );
     eprintln!("# campaign done in {:.1?}\n", t0.elapsed());
 
     let mut cmp: Vec<Comparison> = Vec::new();
+    // Analysis-side stage timings, reported next to the campaign's
+    // (`stage.*` counters inside `ds.metrics`) under `--timings`.
+    let mut stages = Metrics::new();
     let all = artifact == "all";
     if all || artifact == "table1" {
         table1();
     }
     if all || artifact == "table2" {
-        table2(&ds, scale, &mut cmp);
+        stages.time_stage("table2", || table2(&ds, scale, &mut cmp));
     }
     if all || artifact == "fig1" {
-        fig1(&ds, scale, &mut cmp);
+        stages.time_stage("fig1", || fig1(&ds, &pool, scale, &mut cmp));
     }
     if all || artifact == "fig2" {
-        fig2(&ds, &mut cmp);
+        stages.time_stage("fig2", || fig2(&ds, &pool, &mut cmp));
     }
     if all || artifact == "fig3" {
-        fig3(&ds, &mut cmp);
+        stages.time_stage("fig3", || fig3(&ds, &mut cmp));
     }
     if all || artifact == "fig4" {
-        fig4(&ds, &mut cmp);
+        stages.time_stage("fig4", || fig4(&ds, &mut cmp));
     }
     if all || artifact == "table3" {
-        table3(&ds, &mut cmp);
+        stages.time_stage("lda", || table3(&ds, threads, &mut cmp));
     }
     if all || artifact == "fig5" {
-        fig5(&ds, &mut cmp);
+        stages.time_stage("fig5", || fig5(&ds, &pool, &mut cmp));
     }
     if all || artifact == "fig6" {
-        fig6(&ds, &mut cmp);
+        stages.time_stage("fig6", || fig6(&ds, &pool, &mut cmp));
     }
     if all || artifact == "fig7" {
-        fig7(&ds, &mut cmp);
+        stages.time_stage("fig7", || fig7(&ds, &mut cmp));
     }
     if all || artifact == "fig8" {
-        fig8(&ds, &mut cmp);
+        stages.time_stage("fig8", || fig8(&ds, &mut cmp));
     }
     if all || artifact == "fig9" {
-        fig9(&ds, &mut cmp);
+        stages.time_stage("fig9", || fig9(&ds, &pool, &mut cmp));
     }
     if all || artifact == "table4" {
-        table4(&ds, &mut cmp);
+        stages.time_stage("table4", || table4(&ds, &pool, &mut cmp));
     }
     if all || artifact == "table5" {
-        table5(&ds, &mut cmp);
+        stages.time_stage("table5", || table5(&ds, &mut cmp));
     }
     if all || artifact == "extras" {
-        extras(&ds, &mut cmp);
+        stages.time_stage("extras", || extras(&ds, &mut cmp));
     }
     if all || artifact == "extensions" {
-        extensions(&ds, &mut cmp);
+        stages.time_stage("extensions", || extensions(&ds, threads, &mut cmp));
     }
     if let Some(dir) = &csv_dir {
-        export_csv(&ds, dir).expect("CSV export");
+        export_csv(&ds, &pool, dir).expect("CSV export");
         eprintln!("# figure series written to {}", dir.display());
+    }
+    if timings {
+        eprintln!("# campaign stage timings (wall-clock, nondeterministic):");
+        for (name, v) in ds.metrics.stages() {
+            eprintln!("#   {name} = {v}");
+        }
+        eprintln!("# analysis stage timings:");
+        for (name, v) in stages.stages() {
+            eprintln!("#   {name} = {v}");
+        }
     }
     if !cmp.is_empty() {
         println!("\n## Paper vs measured (scale {scale}, seed {seed})\n");
@@ -134,32 +199,30 @@ fn pname(k: PlatformKind) -> &'static str {
 }
 
 /// Write every figure's plottable series as CSV files into `dir`.
-fn export_csv(ds: &Dataset, dir: &std::path::Path) -> std::io::Result<()> {
+fn export_csv(ds: &Dataset, pool: &Pool, dir: &std::path::Path) -> std::io::Result<()> {
     use std::fs;
     fs::create_dir_all(dir)?;
     let write = |name: String, body: String| fs::write(dir.join(name), body);
+    let daily = discovery::daily_discovery_all(ds, pool);
+    let per_url = discovery::tweets_per_url_all(ds, pool);
+    let staleness = lifecycle::staleness_days_all(ds, pool);
+    let revocations = lifecycle::revocation_stats_all(ds, pool);
     for kind in PLATFORMS {
         let tag = pname(kind).to_lowercase();
-        let d = discovery::daily_discovery(ds, kind);
+        let d = daily[kind.index()].clone();
         write(
             format!("fig1_{tag}.csv"),
             days_csv(&["all", "unique", "new"], &[d.all, d.unique, d.new]),
         )?;
         write(
             format!("fig2_tweets_per_url_{tag}.csv"),
-            to_csv(
-                ("tweets_per_url", "cdf"),
-                &discovery::tweets_per_url(ds, kind).series(),
-            ),
+            to_csv(("tweets_per_url", "cdf"), &per_url[kind.index()].series()),
         )?;
         write(
             format!("fig5_staleness_{tag}.csv"),
-            to_csv(
-                ("age_days", "cdf"),
-                &lifecycle::staleness_days(ds, kind).series(),
-            ),
+            to_csv(("age_days", "cdf"), &staleness[kind.index()].series()),
         )?;
-        let r = lifecycle::revocation_stats(ds, kind);
+        let r = &revocations[kind.index()];
         write(
             format!("fig6_lifetime_{tag}.csv"),
             to_csv(("days_accessible", "cdf"), &r.lifetime_days.series()),
@@ -216,7 +279,7 @@ fn export_csv(ds: &Dataset, dir: &std::path::Path) -> std::io::Result<()> {
 
 // ---- Extensions: §4 multilingual topics, §8 toxicity, Table 2 overlap ----
 
-fn extensions(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+fn extensions(ds: &Dataset, threads: usize, cmp: &mut Vec<Comparison>) {
     println!("Extensions (paper's omitted-for-space / future-work analyses)");
     // Cross-platform co-shares: the Table 2 rows-vs-total gap.
     let cross = discovery::cross_platform_tweets(ds);
@@ -253,6 +316,7 @@ fn extensions(ds: &Dataset, cmp: &mut Vec<Comparison>) {
                 k: 8,
                 iterations: 60,
                 seed: 13,
+                threads,
                 ..chatlens::analysis::LdaConfig::default()
             },
         ) else {
@@ -454,13 +518,14 @@ fn table2(ds: &Dataset, scale: f64, cmp: &mut Vec<Comparison>) {
 
 // ---- Fig 1 ---------------------------------------------------------------
 
-fn fig1(ds: &Dataset, scale: f64, cmp: &mut Vec<Comparison>) {
+fn fig1(ds: &Dataset, pool: &Pool, scale: f64, cmp: &mut Vec<Comparison>) {
     println!("Fig 1: group URLs discovered per day (collection-day axis)");
     // Paper medians: all (TG 33,864 / DC 19,970), unique (DC 8,090 /
     // TG 4,661), new (WA 1,111 / TG 1,817 / DC 5,664).
     let paper_new = [1_111.0, 1_817.0, 5_664.0];
+    let daily = discovery::daily_discovery_all(ds, pool);
     for kind in PLATFORMS {
-        let d = discovery::daily_discovery(ds, kind);
+        let d = &daily[kind.index()];
         println!(
             "  {:<8} all/day    {}",
             pname(kind),
@@ -491,9 +556,7 @@ fn fig1(ds: &Dataset, scale: f64, cmp: &mut Vec<Comparison>) {
             0.35,
         ));
     }
-    let tg = discovery::daily_discovery(ds, PlatformKind::Telegram);
-    let dc = discovery::daily_discovery(ds, PlatformKind::Discord);
-    let wa = discovery::daily_discovery(ds, PlatformKind::WhatsApp);
+    let [wa, tg, dc] = &daily;
     cmp.push(Comparison {
         artifact: "Fig 1".into(),
         quantity: "Telegram has most URL mentions/day".into(),
@@ -515,16 +578,15 @@ fn fig1(ds: &Dataset, scale: f64, cmp: &mut Vec<Comparison>) {
 
 // ---- Fig 2 ---------------------------------------------------------------
 
-fn fig2(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+fn fig2(ds: &Dataset, pool: &Pool, cmp: &mut Vec<Comparison>) {
     println!("Fig 2: tweets per group URL");
-    let wa = discovery::tweets_per_url(ds, PlatformKind::WhatsApp);
-    let tg = discovery::tweets_per_url(ds, PlatformKind::Telegram);
-    let dc = discovery::tweets_per_url(ds, PlatformKind::Discord);
+    let per_url = discovery::tweets_per_url_all(ds, pool);
+    let [wa, tg, dc] = &per_url;
     println!(
         "{}",
         chatlens::report::plot::plot_cdfs(
             "  Fig 2: tweets per URL (CDF, log x)",
-            &[("WhatsApp", &wa), ("Telegram", &tg), ("Discord", &dc)],
+            &[("WhatsApp", wa), ("Telegram", tg), ("Discord", dc)],
             64,
             10,
             true,
@@ -532,9 +594,9 @@ fn fig2(ds: &Dataset, cmp: &mut Vec<Comparison>) {
     );
     let paper_once = [0.50, 0.50, 0.62];
     for kind in PLATFORMS {
-        let e = discovery::tweets_per_url(ds, kind);
-        println!("  {}", cdf_summary(pname(kind), &e).trim_end());
-        let once = discovery::share_once_fraction(ds, kind);
+        let e = &per_url[kind.index()];
+        println!("  {}", cdf_summary(pname(kind), e).trim_end());
+        let once = e.fraction_at_most(1.0);
         println!("  {:<8} shared once: {}", "", fmt_pct(once));
         cmp.push(Comparison::near(
             "Fig 2",
@@ -670,7 +732,7 @@ fn fig4(ds: &Dataset, cmp: &mut Vec<Comparison>) {
 
 // ---- Table 3 -------------------------------------------------------------
 
-fn table3(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+fn table3(ds: &Dataset, threads: usize, cmp: &mut Vec<Comparison>) {
     println!("Table 3: LDA topics over English tweets (10 per platform)");
     let vocab = Vocabulary::build();
     for kind in PLATFORMS {
@@ -682,6 +744,7 @@ fn table3(ds: &Dataset, cmp: &mut Vec<Comparison>) {
                 k: 10,
                 iterations: 60,
                 seed: 3,
+                threads,
                 ..LdaConfig::default()
             },
         );
@@ -748,6 +811,7 @@ fn table3(ds: &Dataset, cmp: &mut Vec<Comparison>) {
             k: 10,
             iterations: 60,
             seed: 3,
+            threads,
             ..LdaConfig::default()
         },
     );
@@ -769,16 +833,15 @@ fn table3(ds: &Dataset, cmp: &mut Vec<Comparison>) {
 
 // ---- Fig 5 ---------------------------------------------------------------
 
-fn fig5(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+fn fig5(ds: &Dataset, pool: &Pool, cmp: &mut Vec<Comparison>) {
     println!("Fig 5: staleness (group age in days at first share)");
-    let wa = lifecycle::staleness_days(ds, PlatformKind::WhatsApp);
-    let tg = lifecycle::staleness_days(ds, PlatformKind::Telegram);
-    let dc = lifecycle::staleness_days(ds, PlatformKind::Discord);
+    let staleness = lifecycle::staleness_days_all(ds, pool);
+    let [wa, tg, dc] = &staleness;
     println!(
         "{}",
         chatlens::report::plot::plot_cdfs(
             "  Fig 5: group age at first share, days (CDF, log x)",
-            &[("WhatsApp", &wa), ("Telegram", &tg), ("Discord", &dc)],
+            &[("WhatsApp", wa), ("Telegram", tg), ("Discord", dc)],
             64,
             10,
             true,
@@ -787,7 +850,7 @@ fn fig5(ds: &Dataset, cmp: &mut Vec<Comparison>) {
     let paper_same_day = [0.76, 0.28, 0.27];
     let paper_over_year = [0.10, 0.29, 0.256];
     for kind in PLATFORMS {
-        let e = lifecycle::staleness_days(ds, kind);
+        let e = &staleness[kind.index()];
         let same_day = e.fraction_at_most(0.0);
         let over_year = e.fraction_above(365.0);
         println!(
@@ -825,12 +888,13 @@ fn fig5(ds: &Dataset, cmp: &mut Vec<Comparison>) {
 
 // ---- Fig 6 ---------------------------------------------------------------
 
-fn fig6(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+fn fig6(ds: &Dataset, pool: &Pool, cmp: &mut Vec<Comparison>) {
     println!("Fig 6: URL lifetime and revocation");
     let paper_revoked = [0.273, 0.204, 0.684];
     let paper_doa = [0.064, 0.163, 0.674];
+    let revocations = lifecycle::revocation_stats_all(ds, pool);
     for kind in PLATFORMS {
-        let s = lifecycle::revocation_stats(ds, kind);
+        let s = &revocations[kind.index()];
         println!(
             "  {:<8} observed {:<6} revoked {}  dead-on-arrival {}",
             pname(kind),
@@ -994,16 +1058,16 @@ fn fig8(ds: &Dataset, cmp: &mut Vec<Comparison>) {
 
 // ---- Fig 9 ---------------------------------------------------------------
 
-fn fig9(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+fn fig9(ds: &Dataset, pool: &Pool, cmp: &mut Vec<Comparison>) {
     println!("Fig 9: message volumes");
-    let wa = messages::msgs_per_group_day(ds, PlatformKind::WhatsApp);
-    let tg = messages::msgs_per_group_day(ds, PlatformKind::Telegram);
-    let dc = messages::msgs_per_group_day(ds, PlatformKind::Discord);
+    let per_group_day = messages::msgs_per_group_day_all(ds, pool);
+    let activity = messages::user_activity_all(ds, pool);
+    let [wa, tg, dc] = &per_group_day;
     println!(
         "{}",
         chatlens::report::plot::plot_cdfs(
             "  Fig 9a: mean messages per group per day (CDF, log x)",
-            &[("WhatsApp", &wa), ("Telegram", &tg), ("Discord", &dc)],
+            &[("WhatsApp", wa), ("Telegram", tg), ("Discord", dc)],
             64,
             10,
             true,
@@ -1013,8 +1077,8 @@ fn fig9(ds: &Dataset, cmp: &mut Vec<Comparison>) {
     let paper_low = [0.658, 0.829, 0.701]; // senders with <=10 messages
     let paper_top1 = [0.31, 0.60, 0.63];
     for kind in PLATFORMS {
-        let per_day = messages::msgs_per_group_day(ds, kind);
-        let ua = messages::user_activity(ds, kind);
+        let per_day = &per_group_day[kind.index()];
+        let ua = &activity[kind.index()];
         println!(
             "  {:<8} groups>10 msg/day {}  senders {}  <=10 msgs {}  top1% {}",
             pname(kind),
@@ -1052,7 +1116,7 @@ fn fig9(ds: &Dataset, cmp: &mut Vec<Comparison>) {
 
 // ---- Table 4 -------------------------------------------------------------
 
-fn table4(ds: &Dataset, cmp: &mut Vec<Comparison>) {
+fn table4(ds: &Dataset, pool: &Pool, cmp: &mut Vec<Comparison>) {
     let mut t = Table::new("Table 4: PII exposure").header([
         "Platform",
         "users observed",
@@ -1061,7 +1125,8 @@ fn table4(ds: &Dataset, cmp: &mut Vec<Comparison>) {
         "linked users",
         "link rate",
     ]);
-    for row in pii::exposure_table(ds) {
+    let rows = pii::exposure_table_par(ds, pool);
+    for row in &rows {
         t.row([
             pname(row.platform).to_string(),
             fmt_count(row.users_observed),
@@ -1073,7 +1138,7 @@ fn table4(ds: &Dataset, cmp: &mut Vec<Comparison>) {
             row.link_rate.map(fmt_pct).unwrap_or_else(|| "-".into()),
         ]);
     }
-    let [wa, tg, dc] = pii::exposure_table(ds);
+    let [wa, tg, dc] = &rows;
     cmp.push(Comparison::near(
         "Table 4",
         "WhatsApp phone rate (all observed users)",

@@ -399,4 +399,66 @@ proptest! {
             prop_assert!((share_sum - 1.0).abs() < 1e-9);
         }
     }
+
+    // ---- simnet::par: the parallel runtime IS the serial computation ----
+
+    #[test]
+    fn par_map_equals_serial_map(
+        items in proptest::collection::vec(any::<u64>(), 0..200),
+        chunk in 1usize..40,
+        threads in 1usize..9,
+    ) {
+        use chatlens::simnet::par::Pool;
+        let f = |x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let serial: Vec<u64> = items.iter().map(f).collect();
+        let pool = Pool::new(threads);
+        prop_assert_eq!(pool.par_map_chunked(chunk, &items, f), serial.clone());
+        // The default chunking must agree too.
+        prop_assert_eq!(pool.par_map(&items, f), serial);
+    }
+
+    #[test]
+    fn par_fold_equals_serial_fold_bitwise(
+        items in proptest::collection::vec(0u32..1_000_000, 0..300),
+        threads in 1usize..9,
+    ) {
+        use chatlens::simnet::par::Pool;
+        // Floating-point accumulation: only an ordered merge makes the
+        // result bit-identical at every thread count.
+        let items: Vec<f64> = items.iter().map(|&x| 1.0 / f64::from(x + 1)).collect();
+        let serial = Pool::new(1).par_fold(&items, || 0.0f64, |a, _, x| a + x, |a, b| a + b);
+        let par = Pool::new(threads).par_fold(&items, || 0.0f64, |a, _, x| a + x, |a, b| a + b);
+        prop_assert_eq!(par.to_bits(), serial.to_bits());
+    }
+
+    // ---- platforms::invite: URL render/parse round-trips ----
+
+    #[test]
+    fn parse_is_scheme_and_noise_insensitive(
+        code in "[A-Za-z0-9]{1,22}",
+        scheme in 0u8..3,
+        query in proptest::option::of("[a-z]{1,8}"),
+    ) {
+        for host_path in [
+            format!("chat.whatsapp.com/{code}"),
+            format!("t.me/{code}"),
+            format!("discord.gg/{code}"),
+            format!("discord.com/invite/{code}"),
+        ] {
+            let mut url = match scheme {
+                0 => format!("https://{host_path}"),
+                1 => format!("http://{host_path}"),
+                _ => host_path.clone(),
+            };
+            if let Some(q) = &query {
+                url.push_str(&format!("?utm={q}"));
+            }
+            let parsed = parse_invite_url(&url);
+            prop_assert!(parsed.is_some(), "failed to parse {url}");
+            let invite = parsed.unwrap();
+            prop_assert_eq!(&invite.code, &code, "code mangled in {url}");
+            // Round-trip: rendering and reparsing is a fixed point.
+            prop_assert_eq!(parse_invite_url(&invite.url()).as_ref(), Some(&invite));
+        }
+    }
 }

@@ -94,6 +94,83 @@ fn degraded_campaign_still_reproduces_the_shape() {
     assert!(dc.revoked_fraction > 0.5 && dc.revoked_fraction < 0.85);
 }
 
+/// A compact, fully deterministic digest of everything in the dataset
+/// that counts as "data" — deliberately excluding `metrics`, which holds
+/// wall-clock stage timings and may differ between runs.
+fn dataset_fingerprint(ds: &chatlens::Dataset) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("failed_requests={}\n", ds.failed_requests));
+    out.push_str(&format!("accounts={:?}\n", ds.accounts_used));
+    out.push_str(&format!("extraction={:?}\n", ds.extraction));
+    for t in &ds.tweets {
+        out.push_str(&format!("tweet={}\n", t.tweet.id.0));
+    }
+    for g in &ds.groups {
+        out.push_str(&format!("group={}\n", g.invite.dedup_key()));
+    }
+    let mut keys: Vec<&String> = ds.timelines.keys().collect();
+    keys.sort();
+    for k in keys {
+        out.push_str(&format!("timeline {k}: {:?}\n", ds.timelines[k]));
+    }
+    for j in &ds.joined {
+        out.push_str(&format!(
+            "joined={} members={} msgs={}\n",
+            j.key,
+            j.members.len(),
+            j.messages.len()
+        ));
+    }
+    out
+}
+
+#[test]
+fn fault_sweep_never_breaks_dataset_determinism() {
+    // Sweep transport drop-chance from 0% to 20%. At every level the
+    // dataset must be a pure function of (seed, fault level): repeated
+    // runs — and runs at different thread counts — are identical. Only
+    // the retry counters in `simnet::metrics` move as faults bite.
+    let mut attempts_by_level = Vec::new();
+    for drop_chance in [0.0, 0.05, 0.10, 0.20] {
+        let run = |threads: usize| {
+            run_study_with(
+                scenario(),
+                CampaignConfig {
+                    faults: FaultInjector::new(drop_chance, 0.0),
+                    threads,
+                    ..CampaignConfig::default()
+                },
+            )
+        };
+        let first = run(1);
+        let fingerprint = dataset_fingerprint(&first);
+        for (label, ds) in [("repeat", run(1)), ("8 threads", run(8))] {
+            assert_eq!(
+                dataset_fingerprint(&ds),
+                fingerprint,
+                "{label} run diverged at drop chance {drop_chance}"
+            );
+            // The retry accounting is deterministic too, for a fixed
+            // fault level — it varies only *across* levels.
+            assert_eq!(
+                ds.metrics.get("transport.attempts"),
+                first.metrics.get("transport.attempts"),
+                "attempts diverged at drop chance {drop_chance}"
+            );
+        }
+        attempts_by_level.push((drop_chance, first.metrics.get("transport.attempts")));
+    }
+    // More drops => more retries. The clean run must be the floor, and
+    // the heaviest fault level must visibly cost extra attempts.
+    let clean = attempts_by_level[0].1;
+    for &(p, attempts) in &attempts_by_level[1..] {
+        assert!(
+            attempts > clean,
+            "drop chance {p} should force retries ({attempts} vs {clean} clean)"
+        );
+    }
+}
+
 #[test]
 fn campaign_metrics_account_for_the_work() {
     let ds = run_study_with(scenario(), CampaignConfig::default());
