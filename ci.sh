@@ -13,6 +13,13 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Hard gate: the determinism & concurrency static-analysis pass must be
+# clean before the test matrix runs (rule catalog in DESIGN.md
+# "Determinism lint"; exits nonzero on any finding).
+echo "==> chatlens-lint (repro lint)"
+cargo test -q -p chatlens-lint
+cargo run -q --bin repro -- lint
+
 echo "==> cargo test (threads=1)"
 CHATLENS_THREADS=1 cargo test -q --workspace
 

@@ -7,7 +7,7 @@ use chatlens_core::Dataset;
 use chatlens_platforms::id::PlatformKind;
 use chatlens_platforms::invite::parse_invite_url;
 use chatlens_simnet::par::Pool;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Fig 1 for one platform: per study-day URL counts.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,8 +51,10 @@ impl DailyDiscovery {
 pub fn daily_discovery(ds: &Dataset, kind: PlatformKind) -> DailyDiscovery {
     let days = ds.window.num_days() as usize;
     let mut all = vec![0u64; days];
-    let mut unique_sets: Vec<HashSet<String>> = vec![HashSet::new(); days];
-    let mut ever_seen: HashSet<String> = HashSet::new();
+    // BTreeSets so the day-order "new" sweep below visits keys in a
+    // dataset-determined order, never hasher order (lint rule D2).
+    let mut unique_sets: Vec<BTreeSet<String>> = vec![BTreeSet::new(); days];
+    let mut ever_seen: BTreeSet<String> = BTreeSet::new();
     let mut new = vec![0u64; days];
     for ct in &ds.tweets {
         let Some(day) = ds.window.day_index(ct.seen_at) else {
@@ -88,10 +90,10 @@ pub fn daily_discovery(ds: &Dataset, kind: PlatformKind) -> DailyDiscovery {
 
 /// Fig 2: the distribution of tweets per group URL for one platform.
 pub fn tweets_per_url(ds: &Dataset, kind: PlatformKind) -> Ecdf {
-    let mut counts: HashMap<String, u64> = HashMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
     for ct in &ds.tweets {
         // Count each URL once per tweet even if repeated in the text.
-        let mut seen_in_tweet: HashSet<String> = HashSet::new();
+        let mut seen_in_tweet: BTreeSet<String> = BTreeSet::new();
         for url in &ct.tweet.urls {
             if let Some(invite) = parse_invite_url(url) {
                 if invite.platform() == kind {

@@ -7,7 +7,7 @@ use chatlens_core::monitor::ObservedStatus;
 use chatlens_core::Dataset;
 use chatlens_platforms::id::PlatformKind;
 use chatlens_simnet::par::Pool;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Fig 7a: member counts at each group's first alive observation.
 pub fn member_counts(ds: &Dataset, kind: PlatformKind) -> Ecdf {
@@ -109,7 +109,9 @@ pub struct CreatorStats {
 /// (each had a distinct creator in the paper — and here, by
 /// construction of the generator).
 pub fn creators(ds: &Dataset, kind: PlatformKind) -> CreatorStats {
-    let mut per_creator: HashMap<String, u64> = HashMap::new();
+    // BTreeMap so the creator aggregates iterate in key order — a pure
+    // function of the dataset, never of hasher state (lint rule D2).
+    let mut per_creator: BTreeMap<String, u64> = BTreeMap::new();
     match kind {
         PlatformKind::WhatsApp => {
             for rec in ds.groups.iter().filter(|g| g.platform == kind) {

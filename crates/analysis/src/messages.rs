@@ -7,7 +7,7 @@ use chatlens_core::Dataset;
 use chatlens_platforms::id::PlatformKind;
 use chatlens_platforms::message::MessageKind;
 use chatlens_simnet::par::Pool;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Fig 8: share of messages per [`MessageKind`], in `MessageKind::ALL`
 /// order.
@@ -57,7 +57,9 @@ pub fn msgs_per_group_day(ds: &Dataset, kind: PlatformKind) -> Ecdf {
 /// Fig 9b data: per-user message counts across all joined groups of one
 /// platform.
 pub fn msgs_per_user(ds: &Dataset, kind: PlatformKind) -> Vec<u64> {
-    let mut per_user: HashMap<u32, u64> = HashMap::new();
+    // BTreeMap: the returned Vec is ordered by sender id, so Fig 9b's
+    // series is identical run-to-run (lint rule D2).
+    let mut per_user: BTreeMap<u32, u64> = BTreeMap::new();
     for jg in ds.joined_of(kind) {
         for m in &jg.messages {
             *per_user.entry(m.sender.0).or_insert(0) += 1;

@@ -7,7 +7,7 @@ use crate::pii::PiiStore;
 use chatlens_platforms::id::PlatformKind;
 use chatlens_simnet::time::StudyWindow;
 use chatlens_twitter::Tweet;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-platform roll-up of Table 2.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,8 +38,10 @@ pub struct Dataset {
     pub control: Vec<Tweet>,
     /// Discovered groups in discovery order.
     pub groups: Vec<DiscoveryRecord>,
-    /// Monitor timelines keyed by dedup key.
-    pub timelines: HashMap<String, GroupTimeline>,
+    /// Monitor timelines keyed by dedup key. A `BTreeMap` so any
+    /// future iteration over it is dataset-ordered, never hasher-ordered
+    /// (lint rule D2).
+    pub timelines: BTreeMap<String, GroupTimeline>,
     /// Joined groups with members and messages.
     pub joined: Vec<JoinedGroup>,
     /// PII exposure accounting.
@@ -62,7 +64,7 @@ impl Dataset {
     pub(crate) fn assemble(
         window: StudyWindow,
         discovery: Discovery,
-        timelines: HashMap<String, GroupTimeline>,
+        timelines: BTreeMap<String, GroupTimeline>,
         joiner: crate::joiner::Joiner,
         pii: PiiStore,
     ) -> Dataset {

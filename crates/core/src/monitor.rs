@@ -16,7 +16,7 @@ use chatlens_simnet::par::Pool;
 use chatlens_simnet::time::SimTime;
 use chatlens_simnet::transport::{Request, Status};
 use chatlens_workload::Ecosystem;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What the monitor saw for one group on one day.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,8 +136,9 @@ enum Fetch {
 /// The monitoring component.
 #[derive(Default)]
 pub struct Monitor {
-    /// Timelines keyed by the group's dedup key.
-    pub timelines: HashMap<String, GroupTimeline>,
+    /// Timelines keyed by the group's dedup key (`BTreeMap` so every
+    /// traversal is discovery-key-ordered — lint rule D2).
+    pub timelines: BTreeMap<String, GroupTimeline>,
     /// Keys that reached a terminal state (revoked) — no longer polled.
     terminal: std::collections::HashSet<String>,
     /// Pool used to decode landing pages in parallel.

@@ -1,0 +1,742 @@
+//! `chatlens-lint`: the determinism & concurrency static-analysis pass.
+//!
+//! Every table and figure this workspace reproduces is contractually a
+//! pure function of `(seed, config)` — bit-identical at any thread count
+//! (DESIGN.md §3, §7). This crate machine-checks that contract instead of
+//! trusting comments: a dependency-free token scanner ([`scan`]) walks
+//! every workspace source file and enforces deny-by-default rules with
+//! `file:line:col` diagnostics.
+//!
+//! ## Rule catalog
+//!
+//! | id | rule |
+//! |----|------|
+//! | D1 | banned wall-clock / scheduler APIs: `SystemTime::now`, `thread::current` anywhere; `Instant::now` outside `simnet::metrics`; `std::time` in analysis/report crates |
+//! | D2 | `HashMap`/`HashSet` iteration on result paths (analysis, report, core, workload, perspective) unless the site collects into a sorted/`BTreeMap` form or only takes a cardinality |
+//! | D3 | ambient entropy: `thread_rng`, `from_entropy`, `OsRng`, `getrandom`, `RandomState` — every RNG must derive from the seeded root via `Rng::fork` |
+//! | D4 | `par_map`/`par_fold`/`par_chunks_mut`/`run_tasks` closures must not touch locks or shared atomics (ordered merge is the only legal reduction; the `Fn` bound already forbids `&mut` capture at compile time) |
+//! | D5 | no `unwrap()`/`expect()` on lock acquisition in library crates (the `parking_lot` shim never poisons; a `Result`-shaped lock call is a sign std locks leaked in) |
+//!
+//! A site is suppressed by `// lint:allow(<rule>)` on the same line or the
+//! line directly above; pragmas must carry a one-line justification.
+//! `#[cfg(test)] mod` blocks are exempt wholesale — the contract protects
+//! the artifact pipeline, not the assertions about it.
+
+pub mod scan;
+
+use scan::{scan, test_mod_spans, Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Banned nondeterminism APIs (wall-clock, current-thread identity).
+    D1,
+    /// Unordered-map iteration on result paths.
+    D2,
+    /// Ambient entropy instead of the seeded RNG tree.
+    D3,
+    /// Locks / shared atomics inside deterministic-parallel closures.
+    D4,
+    /// `unwrap`/`expect` on lock acquisition in library crates.
+    D5,
+}
+
+impl Rule {
+    /// All rules, in catalog order.
+    pub const ALL: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5];
+
+    /// The short id used in diagnostics and `lint:allow(...)` pragmas.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::D5 => "D5",
+        }
+    }
+
+    /// One-line description for `--stats` output and docs.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::D1 => {
+                "wall-clock / scheduler API (SystemTime::now, Instant::now, thread::current)"
+            }
+            Rule::D2 => "HashMap/HashSet iteration on a result path",
+            Rule::D3 => "ambient entropy (thread_rng, OsRng, from_entropy, ...)",
+            Rule::D4 => "lock or shared atomic inside a par_* closure",
+            Rule::D5 => "unwrap()/expect() on lock acquisition in a library crate",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Where a file sits in the workspace — decides which rules apply.
+#[derive(Debug, Clone, Copy, Default)]
+struct Scope {
+    /// Feeds tables/figures: analysis, report, core, workload, perspective.
+    result_path: bool,
+    /// `simnet::metrics` — the one sanctioned wall-clock user.
+    metrics_exempt: bool,
+    /// Under `crates/` (vs. the binary in `src/`).
+    library: bool,
+    /// analysis or report crate (strictest `std::time` ban).
+    analysis_or_report: bool,
+}
+
+fn scope_of(path: &str) -> Scope {
+    let p = path.replace('\\', "/");
+    let in_crate = |name: &str| p.contains(&format!("crates/{name}/src"));
+    Scope {
+        result_path: ["analysis", "report", "core", "workload", "perspective"]
+            .iter()
+            .any(|c| in_crate(c)),
+        metrics_exempt: p.ends_with("simnet/src/metrics.rs"),
+        library: p.contains("crates/"),
+        analysis_or_report: in_crate("analysis") || in_crate("report"),
+    }
+}
+
+/// Methods whose call on an unordered map/set observes iteration order.
+const ITER_METHODS: [&str; 13] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+    "union",
+    "intersection",
+    "difference",
+];
+
+/// Tokens that excuse a D2 site: the statement lands in a sorted
+/// container, or only a cardinality leaves the iteration.
+const D2_EXCUSES: [&str; 10] = [
+    "BTreeMap",
+    "BTreeSet",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "from_ints", // Ecdf::from_ints sorts on construction
+    "count",
+];
+
+/// Ambient entropy constructors (D3).
+const ENTROPY_APIS: [&str; 5] = [
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "RandomState",
+];
+
+/// Deterministic-parallel entry points whose closures D4 inspects.
+const PAR_CALLS: [&str; 5] = [
+    "par_map",
+    "par_map_chunked",
+    "par_chunks_mut",
+    "par_fold",
+    "run_tasks",
+];
+
+/// Shared-mutability methods banned inside par closures (D4).
+const PAR_BANNED_METHODS: [&str; 10] = [
+    "lock",
+    "try_lock",
+    "borrow_mut",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Shared-mutability types banned inside par closures (D4).
+const PAR_BANNED_TYPES: [&str; 3] = ["Mutex", "RwLock", "RefCell"];
+
+/// Lock-acquisition methods D5 watches for `unwrap`/`expect` chains.
+const LOCK_METHODS: [&str; 4] = ["lock", "try_lock", "read", "write"];
+
+/// Lint one source file. `path` is the workspace-relative path (used for
+/// rule scoping and diagnostics); returns surviving findings plus the
+/// number suppressed by `lint:allow` pragmas.
+pub fn check_source_counting(path: &str, source: &str) -> (Vec<Finding>, usize) {
+    let scope = scope_of(path);
+    let s = scan(source);
+    let toks = &s.tokens;
+    let tests = test_mod_spans(toks);
+    let in_test = |i: usize| tests.iter().any(|&(lo, hi)| i >= lo && i <= hi);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut push = |rule: Rule, tok: &Tok, message: String| {
+        raw.push(Finding {
+            rule,
+            path: path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
+    };
+
+    let path_sep =
+        |i: usize| toks[i].is_punct(':') && toks.get(i + 1).is_some_and(|t| t.is_punct(':'));
+    // `A :: b` at i → (i, i+3).
+    let assoc = |i: usize, a: &str, b: &str| {
+        toks[i].is_ident(a) && path_sep(i + 1) && toks.get(i + 3).is_some_and(|t| t.is_ident(b))
+    };
+
+    for i in 0..toks.len() {
+        if in_test(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // ---- D1: wall-clock & scheduler identity --------------------------
+        if i + 3 < toks.len() {
+            if assoc(i, "SystemTime", "now") {
+                push(
+                    Rule::D1,
+                    &toks[i],
+                    "SystemTime::now() breaks replay determinism; derive times from SimTime".into(),
+                );
+            }
+            if assoc(i, "Instant", "now") && !scope.metrics_exempt {
+                push(Rule::D1, &toks[i], "Instant::now() outside simnet::metrics; route timings through Metrics::time_stage".into());
+            }
+            if assoc(i, "thread", "current") {
+                push(Rule::D1, &toks[i], "thread::current() makes behaviour depend on scheduling; key work by chunk index instead".into());
+            }
+            if scope.analysis_or_report && assoc(i, "std", "time") {
+                push(Rule::D1, &toks[i], "std::time in an analysis/report crate; artifacts must be pure functions of (seed, config)".into());
+            }
+        }
+        // ---- D3: ambient entropy -----------------------------------------
+        if ENTROPY_APIS.contains(&toks[i].text.as_str()) {
+            push(
+                Rule::D3,
+                &toks[i],
+                format!(
+                    "`{}` draws ambient entropy; every generator must fork from the seeded root (Rng::fork)",
+                    toks[i].text
+                ),
+            );
+        }
+        // ---- D4: par closures touching shared mutability -----------------
+        if PAR_CALLS.contains(&toks[i].text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            let end = balance(toks, i + 1, '(', ')');
+            for j in i + 2..end {
+                let bad_method = toks[j].is_punct('.')
+                    && toks
+                        .get(j + 1)
+                        .is_some_and(|t| PAR_BANNED_METHODS.contains(&t.text.as_str()));
+                let bad_type = PAR_BANNED_TYPES.contains(&toks[j].text.as_str());
+                if bad_method || bad_type {
+                    let at = if bad_method { &toks[j + 1] } else { &toks[j] };
+                    push(
+                        Rule::D4,
+                        at,
+                        format!(
+                            "`{}` inside a `{}` closure: chunk results must merge in chunk order, never through shared state",
+                            at.text, toks[i].text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // D5 needs a punct-anchored pass: `. lock ( ) . unwrap`.
+    if scope.library {
+        for i in 0..toks.len() {
+            if in_test(i) || !toks[i].is_punct('.') {
+                continue;
+            }
+            let m = match toks.get(i + 1) {
+                Some(t) if LOCK_METHODS.contains(&t.text.as_str()) => t,
+                _ => continue,
+            };
+            if toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+                && toks.get(i + 4).is_some_and(|t| t.is_punct('.'))
+                && toks
+                    .get(i + 5)
+                    .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+            {
+                raw.push(Finding {
+                    rule: Rule::D5,
+                    path: path.to_string(),
+                    line: m.line,
+                    col: m.col,
+                    message: format!(
+                        "`.{}().{}` — the parking_lot shim never poisons; a Result-shaped lock call means std locks leaked into a library crate",
+                        m.text, toks[i + 5].text
+                    ),
+                });
+            }
+        }
+    }
+
+    // ---- D2: unordered-map iteration on result paths ---------------------
+    if scope.result_path {
+        let tracked = tracked_unordered_idents(toks);
+        for i in 0..toks.len() {
+            if in_test(i) || toks[i].kind != TokKind::Ident || !tracked.contains(&toks[i].text) {
+                continue;
+            }
+            // `name.iter_method(...)`
+            if toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|t| ITER_METHODS.contains(&t.text.as_str()))
+            {
+                let (lo, hi) = statement_window(toks, i);
+                if !has_excuse(&toks[lo..hi]) {
+                    raw.push(Finding {
+                        rule: Rule::D2,
+                        path: path.to_string(),
+                        line: toks[i + 2].line,
+                        col: toks[i + 2].col,
+                        message: format!(
+                            "iteration over unordered `{}` (`.{}`) feeds a result path; use BTreeMap/BTreeSet or sort before emitting",
+                            toks[i].text, toks[i + 2].text
+                        ),
+                    });
+                }
+            }
+        }
+        // `for x in [&]name {` — direct loop over the container.
+        for i in 0..toks.len() {
+            if in_test(i) || !toks[i].is_ident("for") {
+                continue;
+            }
+            // find `in`, then the loop body brace.
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_ident("in") && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            if j >= toks.len() || !toks[j].is_ident("in") {
+                continue;
+            }
+            let mut k = j + 1;
+            while k < toks.len() && !toks[k].is_punct('{') {
+                k += 1;
+            }
+            let header = &toks[j + 1..k.min(toks.len())];
+            if has_excuse(header) {
+                continue;
+            }
+            for (off, t) in header.iter().enumerate() {
+                if t.kind == TokKind::Ident && tracked.contains(t.text.as_str()) {
+                    // Any dotted form is either a lookup (`map.get(..)`) or
+                    // an explicit iterator call already reported by the
+                    // method pass; the for-pass only flags the bare
+                    // container (`for k in map` / `for k in &map`).
+                    let dotted = header.get(off + 1).is_some_and(|n| n.is_punct('.'));
+                    if !dotted {
+                        raw.push(Finding {
+                            rule: Rule::D2,
+                            path: path.to_string(),
+                            line: t.line,
+                            col: t.col,
+                            message: format!(
+                                "`for .. in {}` iterates an unordered container on a result path; use BTreeMap/BTreeSet or sort first",
+                                t.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Dedupe (a site can be reached by both the method and the for pass).
+    raw.sort_by_key(|a| (a.line, a.col, a.rule));
+    raw.dedup_by(|a, b| a.line == b.line && a.col == b.col && a.rule == b.rule);
+
+    // Apply suppression pragmas: same line or the line directly above.
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        let allowed = [f.line, f.line.saturating_sub(1)].iter().any(|l| {
+            s.allows
+                .get(l)
+                .is_some_and(|rules| rules.contains(f.rule.id()))
+        });
+        if allowed {
+            suppressed += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+    (kept, suppressed)
+}
+
+/// [`check_source_counting`] without the suppression count.
+pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
+    check_source_counting(path, source).0
+}
+
+/// Find the matching close delimiter for the open one at `open_idx`.
+fn balance(toks: &[Tok], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// The statement containing token `i`: from the previous `;`/`{`/`}` to
+/// the next `;`/`{` (loop bodies and blocks end a statement for our
+/// purposes — the excuse must sit on the same line of reasoning).
+fn statement_window(toks: &[Tok], i: usize) -> (usize, usize) {
+    let mut lo = i;
+    while lo > 0 {
+        let t = &toks[lo - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        lo -= 1;
+    }
+    let mut hi = i;
+    while hi < toks.len() {
+        let t = &toks[hi];
+        if t.is_punct(';') || t.is_punct('{') {
+            break;
+        }
+        hi += 1;
+    }
+    (lo, hi)
+}
+
+/// Whether a token window contains a D2 excuse (sorted collection or
+/// cardinality-only use).
+fn has_excuse(window: &[Tok]) -> bool {
+    window
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && D2_EXCUSES.contains(&t.text.as_str()))
+}
+
+/// Identifiers declared (let-bound, field, or parameter) with a
+/// `HashMap`/`HashSet` type or initializer in this file.
+fn tracked_unordered_idents(toks: &[Tok]) -> BTreeSet<String> {
+    let mut tracked = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back to the start of the declaration.
+        let mut lo = i;
+        while lo > 0 {
+            let t = &toks[lo - 1];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') || t.is_punct(',') {
+                break;
+            }
+            lo -= 1;
+        }
+        let window = &toks[lo..i];
+        // `name : ... HashMap` (let-with-type, struct field, fn param) —
+        // take the ident before the last single `:` (not a `::`).
+        let mut name: Option<&str> = None;
+        for j in (1..window.len()).rev() {
+            if window[j].is_punct(':')
+                && !window.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                && (j == 0 || !window[j - 1].is_punct(':'))
+            {
+                if window[j - 1].kind == TokKind::Ident {
+                    name = Some(&window[j - 1].text);
+                }
+                break;
+            }
+        }
+        // `let name = HashMap::new()` — the ident before `=`.
+        if name.is_none() {
+            for j in (1..window.len()).rev() {
+                if window[j].is_punct('=') && window[j - 1].kind == TokKind::Ident {
+                    name = Some(&window[j - 1].text);
+                    break;
+                }
+            }
+        }
+        if let Some(n) = name {
+            if !matches!(n, "let" | "mut" | "pub") {
+                tracked.insert(n.to_string());
+            }
+        }
+    }
+    tracked
+}
+
+/// Aggregated result of a workspace walk.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived suppression, in path order.
+    pub findings: Vec<Finding>,
+    /// Count of findings silenced by `lint:allow` pragmas.
+    pub suppressed: usize,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings per rule (fired, i.e. surviving suppression).
+    pub fn per_rule(&self) -> BTreeMap<Rule, usize> {
+        let mut m: BTreeMap<Rule, usize> = Rule::ALL.iter().map(|&r| (r, 0)).collect();
+        for f in &self.findings {
+            *m.entry(f.rule).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// A `--stats` summary table (markdown).
+    pub fn stats_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| rule | findings | description |\n|------|----------|-------------|\n");
+        for (rule, n) in self.per_rule() {
+            out.push_str(&format!(
+                "| {} | {} | {} |\n",
+                rule.id(),
+                n,
+                rule.describe()
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} file(s) scanned, {} finding(s), {} suppressed by lint:allow pragmas\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressed
+        ));
+        out
+    }
+}
+
+/// Walk `root`'s `src/` and every `crates/*/src/` tree and lint each
+/// `.rs` file. Paths in findings are workspace-relative; file order is
+/// deterministic (sorted).
+pub fn check_workspace(root: impl AsRef<Path>) -> std::io::Result<Report> {
+    let root = root.as_ref();
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = Report::default();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file)?;
+        let (findings, suppressed) = check_source_counting(&rel, &source);
+        report.findings.extend(findings);
+        report.suppressed += suppressed;
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(path: &str, src: &str) -> Vec<Rule> {
+        check_source(path, src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn d1_fires_on_wall_clock() {
+        let src = "fn f() { let t = SystemTime::now(); }";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![Rule::D1]);
+    }
+
+    #[test]
+    fn d1_instant_exempt_in_metrics() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(rules_of("crates/simnet/src/metrics.rs", src), vec![]);
+        assert_eq!(rules_of("crates/simnet/src/engine.rs", src), vec![Rule::D1]);
+    }
+
+    #[test]
+    fn d1_std_time_only_in_analysis_report() {
+        let src = "use std::time::Duration;";
+        assert_eq!(rules_of("crates/analysis/src/x.rs", src), vec![Rule::D1]);
+        assert_eq!(rules_of("crates/simnet/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d2_fires_on_hashmap_iteration_in_result_crate() {
+        let src =
+            "fn f(per_user: &HashMap<u32, u64>) { for v in per_user.values() { use_it(v); } }";
+        assert_eq!(rules_of("crates/analysis/src/x.rs", src), vec![Rule::D2]);
+        // Same code outside a result path is fine.
+        assert_eq!(rules_of("crates/simnet/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d2_lookups_are_fine() {
+        let src = "fn f(m: &HashMap<u32, u64>) -> Option<&u64> { m.get(&1) }";
+        assert_eq!(rules_of("crates/analysis/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d2_sorted_collect_excuses() {
+        let src =
+            "fn f(m: HashMap<u32, u64>) { let b: BTreeMap<u32, u64> = m.into_iter().collect(); }";
+        assert_eq!(rules_of("crates/analysis/src/x.rs", src), vec![]);
+        let src2 = "fn f(s: &HashSet<String>) -> usize { s.union(other).count() }";
+        assert_eq!(rules_of("crates/core/src/x.rs", src2), vec![]);
+    }
+
+    #[test]
+    fn d2_skips_cfg_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f(m: HashMap<u32, u64>) { for v in m.values() { x(v); } }\n}";
+        assert_eq!(rules_of("crates/analysis/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d3_fires_on_ambient_entropy() {
+        let src = "fn f() { let mut rng = thread_rng(); }";
+        assert_eq!(rules_of("crates/workload/src/x.rs", src), vec![Rule::D3]);
+    }
+
+    #[test]
+    fn d4_fires_on_lock_in_par_closure() {
+        let src = "fn f(pool: &Pool) { pool.par_map(&xs, |x| { acc.lock().push(*x); 0 }); }";
+        assert_eq!(rules_of("crates/analysis/src/x.rs", src), vec![Rule::D4]);
+    }
+
+    #[test]
+    fn d4_clean_closure_passes() {
+        let src = "fn f(pool: &Pool) { pool.par_map(&xs, |x| x * 2); }";
+        assert_eq!(rules_of("crates/analysis/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d5_fires_on_lock_unwrap_in_library() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) { *m.lock().unwrap() += 1; }";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![Rule::D5]);
+        // The binary crate may unwrap (it is allowed to crash loudly).
+        assert_eq!(rules_of("src/bin/repro.rs", src), vec![]);
+    }
+
+    #[test]
+    fn allow_pragma_suppresses_and_counts() {
+        let src = "// lint:allow(D1) startup banner timestamp, not an artifact\nfn f() { let t = SystemTime::now(); }";
+        let (findings, suppressed) = check_source_counting("crates/core/src/x.rs", src);
+        assert!(findings.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn allow_pragma_is_rule_specific() {
+        let src = "// lint:allow(D2) wrong rule\nfn f() { let t = SystemTime::now(); }";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![Rule::D1]);
+    }
+
+    #[test]
+    fn commented_out_violations_do_not_fire() {
+        let src = "// let t = SystemTime::now();\n/* thread_rng() */ fn f() {}";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn string_embedded_violations_do_not_fire() {
+        let src = r#"const MSG: &str = "never call SystemTime::now() here";"#;
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn stats_table_lists_every_rule() {
+        let report = Report::default();
+        let t = report.stats_table();
+        for r in Rule::ALL {
+            assert!(t.contains(r.id()), "{t}");
+        }
+    }
+}

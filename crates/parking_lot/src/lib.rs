@@ -2,21 +2,196 @@
 //! workspace uses, implemented over `std::sync`. The signature difference
 //! that matters is that locks never poison: `lock()` returns a guard
 //! directly instead of a `Result`.
+//!
+//! # Debug-mode lock-order (deadlock) detection
+//!
+//! Under `cfg(debug_assertions)` every `Mutex`/`RwLock` carries a unique
+//! id and each acquisition is run through a lockdep-style order graph:
+//!
+//! * a **per-thread held-lock stack** records which locks this thread
+//!   currently holds and where (`#[track_caller]` acquisition sites);
+//! * a **global edge set** records every observed ordering "B acquired
+//!   while A held" together with both acquisition sites;
+//! * before a thread blocks on a lock, a **cycle check** asks whether the
+//!   new edges would close a directed cycle — if so it panics immediately
+//!   (instead of deadlocking) with a diagnostic naming the current
+//!   acquisition site and the previously recorded opposite-order site.
+//!
+//! `cargo test` therefore doubles as a deadlock detector: any two code
+//! paths that ever acquire the same pair of locks in opposite orders will
+//! panic the first time both orders have been seen, even if the unlucky
+//! interleaving never fires. Release builds compile all of this out —
+//! the structs lose the id field and the guards are plain wrappers.
 
+use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
+
+#[cfg(debug_assertions)]
+mod order {
+    //! The lock-order graph. Only compiled in debug builds.
+
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// A `#[track_caller]` acquisition site.
+    pub type Site = &'static Location<'static>;
+
+    /// An observed ordering fact: lock pair `(a, b)` plus both sites.
+    type Edge = ((u64, u64), (Site, Site));
+
+    /// The full ordering graph: `(a, b) -> (site_a, site_b)`.
+    type EdgeMap = BTreeMap<(u64, u64), (Site, Site)>;
+
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// A fresh id for a newly constructed lock.
+    pub fn next_id() -> u64 {
+        NEXT_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Directed ordering facts: `(a, b) -> (site_a, site_b)` means lock
+    /// `b` was acquired at `site_b` while `a` (acquired at `site_a`) was
+    /// held. Guarded by a std mutex — never by one of our own locks.
+    fn edges() -> &'static Mutex<EdgeMap> {
+        static EDGES: OnceLock<Mutex<EdgeMap>> = OnceLock::new();
+        EDGES.get_or_init(|| Mutex::new(BTreeMap::new()))
+    }
+
+    thread_local! {
+        /// Locks this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<(u64, Site)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Is `to` reachable from `from` in the edge graph? Returns the first
+    /// edge of a witnessing path (whose sites name a previously seen
+    /// acquisition in the opposite order).
+    fn reach(g: &EdgeMap, from: u64, to: u64) -> Option<Edge> {
+        if let Some(&sites) = g.get(&(from, to)) {
+            return Some(((from, to), sites));
+        }
+        let mut stack = vec![from];
+        let mut seen = vec![from];
+        let mut first_hop: BTreeMap<u64, Edge> = BTreeMap::new();
+        while let Some(node) = stack.pop() {
+            for (&(a, b), &sites) in g.range((node, 0)..=(node, u64::MAX)) {
+                let hop = *first_hop.get(&node).unwrap_or(&((a, b), sites));
+                if b == to {
+                    return Some(hop);
+                }
+                if !seen.contains(&b) {
+                    seen.push(b);
+                    first_hop.insert(b, hop);
+                    stack.push(b);
+                }
+            }
+        }
+        None
+    }
+
+    /// Run the cycle check and record ordering edges for acquiring `id`
+    /// at `site`, **before** blocking on the lock itself — a potential
+    /// deadlock becomes an immediate panic, never a hang.
+    pub fn before_acquire(id: u64, site: Site) {
+        HELD.with(|h| {
+            let held = h.borrow();
+            if held.is_empty() {
+                return;
+            }
+            let mut g = edges().lock().unwrap_or_else(PoisonErrorExt::recover);
+            for &(held_id, held_site) in held.iter() {
+                if held_id == id {
+                    continue;
+                }
+                // Adding edge held_id -> id closes a cycle iff held_id is
+                // already reachable from id.
+                if let Some((_, (prev_a, prev_b))) = reach(&g, id, held_id) {
+                    drop(g);
+                    panic!(
+                        "lock-order cycle detected: acquiring lock #{id} at {site} while \
+                         holding lock #{held_id} (acquired at {held_site}), but the \
+                         opposite order was previously seen (lock held at {prev_a}, \
+                         then acquired at {prev_b})"
+                    );
+                }
+                g.entry((held_id, id)).or_insert((held_site, site));
+            }
+        });
+    }
+
+    /// Record that this thread now holds `id` (acquired at `site`).
+    pub fn acquired(id: u64, site: Site) {
+        HELD.with(|h| h.borrow_mut().push((id, site)));
+    }
+
+    /// Record that this thread released `id` (guards may drop in any
+    /// order, so remove the most recent matching entry).
+    pub fn released(id: u64) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&(i, _)| i == id) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// `unwrap_or_else(PoisonError::into_inner)` for the edge-graph map:
+    /// a detector panic mid-check poisons the std mutex; later checks
+    /// must keep working.
+    trait PoisonErrorExt<G> {
+        fn recover(self) -> G;
+    }
+
+    impl<G> PoisonErrorExt<G> for std::sync::PoisonError<G> {
+        fn recover(self) -> G {
+            self.into_inner()
+        }
+    }
+}
 
 /// A mutual-exclusion primitive with parking_lot's non-poisoning `lock()`.
 pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    id: u64,
     inner: std::sync::Mutex<T>,
 }
 
-/// Guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// Guard returned by [`Mutex::lock`]. In debug builds, dropping it pops
+/// the lock from the thread's held stack.
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    id: u64,
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        order::released(self.id);
+    }
+}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex wrapping `value`.
     pub fn new(value: T) -> Self {
         Self {
+            #[cfg(debug_assertions)]
+            id: order::next_id(),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -31,18 +206,42 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available. Never poisons:
-    /// if a previous holder panicked the data is returned as-is.
+    /// if a previous holder panicked the data is returned as-is. In debug
+    /// builds a lock-order cycle panics *before* blocking.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(debug_assertions)]
+        let site = std::panic::Location::caller();
+        #[cfg(debug_assertions)]
+        order::before_acquire(self.id, site);
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        #[cfg(debug_assertions)]
+        order::acquired(self.id, site);
+        MutexGuard {
+            #[cfg(debug_assertions)]
+            id: self.id,
+            inner,
+        }
     }
 
-    /// Attempts to acquire the lock without blocking.
+    /// Attempts to acquire the lock without blocking. No cycle check —
+    /// a non-blocking attempt cannot deadlock — but a successful guard
+    /// still joins the held stack so locks taken while it is held get
+    /// ordering edges.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(debug_assertions)]
+        order::acquired(self.id, std::panic::Location::caller());
+        Some(MutexGuard {
+            #[cfg(debug_assertions)]
+            id: self.id,
+            inner,
+        })
     }
 
     /// Returns a mutable reference to the underlying data (no locking
@@ -66,18 +265,65 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
 
 /// A reader-writer lock with parking_lot's non-poisoning API.
 pub struct RwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    id: u64,
     inner: std::sync::RwLock<T>,
 }
 
 /// Guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    id: u64,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
 /// Guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    id: u64,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        order::released(self.id);
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        order::released(self.id);
+    }
+}
 
 impl<T> RwLock<T> {
     /// Creates a new reader-writer lock wrapping `value`.
     pub fn new(value: T) -> Self {
         Self {
+            #[cfg(debug_assertions)]
+            id: order::next_id(),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -91,14 +337,42 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
-    /// Acquires a shared read lock.
+    /// Acquires a shared read lock. Participates in debug lock-order
+    /// checking like [`Mutex::lock`] (reader/reader ordering is checked
+    /// conservatively: opposite-order read pairs can still deadlock with
+    /// a queued writer in between).
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(debug_assertions)]
+        let site = std::panic::Location::caller();
+        #[cfg(debug_assertions)]
+        order::before_acquire(self.id, site);
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        #[cfg(debug_assertions)]
+        order::acquired(self.id, site);
+        RwLockReadGuard {
+            #[cfg(debug_assertions)]
+            id: self.id,
+            inner,
+        }
     }
 
-    /// Acquires an exclusive write lock.
+    /// Acquires an exclusive write lock, with the same debug lock-order
+    /// checking as [`Mutex::lock`].
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(debug_assertions)]
+        let site = std::panic::Location::caller();
+        #[cfg(debug_assertions)]
+        order::before_acquire(self.id, site);
+        let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        #[cfg(debug_assertions)]
+        order::acquired(self.id, site);
+        RwLockWriteGuard {
+            #[cfg(debug_assertions)]
+            id: self.id,
+            inner,
+        }
     }
 }
 
@@ -120,5 +394,152 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() += 1;
         assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = Mutex::new(0u8);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    // ---- lock-order detector regression tests (debug builds only) ------
+
+    /// Runs `f` on a fresh thread and returns its panic message, if any.
+    #[cfg(debug_assertions)]
+    fn panic_message_of(f: impl FnOnce() + Send + 'static) -> Option<String> {
+        let err = std::thread::Builder::new()
+            .spawn(f)
+            .expect("spawn")
+            .join()
+            .err()?;
+        Some(match err.downcast::<String>() {
+            Ok(s) => *s,
+            Err(err) => err
+                .downcast::<&'static str>()
+                .map(|s| s.to_string())
+                .unwrap_or_else(|_| "<non-string panic>".to_string()),
+        })
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn opposite_order_acquisition_panics_naming_both_sites() {
+        use std::sync::Arc;
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        // First thread: a then b — records the edge a -> b.
+        {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            std::thread::spawn(move || {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            })
+            .join()
+            .expect("forward order is fine");
+        }
+        // Second thread: b then a — must panic *before* blocking on `a`
+        // (there is no contention here; only the order graph can object).
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        let msg = panic_message_of(move || {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        })
+        .expect("reverse order must panic");
+        assert!(msg.contains("lock-order cycle"), "{msg}");
+        // The diagnostic names both acquisition sites (this file).
+        assert!(msg.matches(file!()).count() >= 2, "{msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn same_order_acquisition_passes() {
+        use std::sync::Arc;
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        for _ in 0..2 {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            std::thread::spawn(move || {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            })
+            .join()
+            .expect("consistent order never panics");
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn transitive_cycle_is_detected() {
+        use std::sync::Arc;
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let c = Arc::new(Mutex::new(()));
+        // a -> b, then b -> c; acquiring a while holding c closes the
+        // 3-cycle even though (c, a) was never directly seen.
+        {
+            let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+            std::thread::spawn(move || {
+                let _g = a1.lock();
+                let _h = b1.lock();
+            })
+            .join()
+            .unwrap();
+            let (b2, c2) = (Arc::clone(&b), Arc::clone(&c));
+            std::thread::spawn(move || {
+                let _g = b2.lock();
+                let _h = c2.lock();
+            })
+            .join()
+            .unwrap();
+        }
+        let (a, c) = (Arc::clone(&a), Arc::clone(&c));
+        let msg = panic_message_of(move || {
+            let _g = c.lock();
+            let _h = a.lock();
+        })
+        .expect("transitive reverse order must panic");
+        assert!(msg.contains("lock-order cycle"), "{msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn rwlock_participates_in_order_checking() {
+        use std::sync::Arc;
+        let m = Arc::new(Mutex::new(0u32));
+        let l = Arc::new(RwLock::new(0u32));
+        {
+            let (m, l) = (Arc::clone(&m), Arc::clone(&l));
+            std::thread::spawn(move || {
+                let _g = m.lock();
+                let _h = l.read();
+            })
+            .join()
+            .unwrap();
+        }
+        let (m, l) = (Arc::clone(&m), Arc::clone(&l));
+        let msg = panic_message_of(move || {
+            let _h = l.write();
+            let _g = m.lock();
+        })
+        .expect("reverse mutex/rwlock order must panic");
+        assert!(msg.contains("lock-order cycle"), "{msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn guards_dropped_out_of_order_unwind_cleanly() {
+        let a = Mutex::new(1u32);
+        let b = Mutex::new(2u32);
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // release in non-stack order
+        drop(gb);
+        // Held stack must be empty again: a fresh nested acquisition in
+        // the recorded order works.
+        let _ga = a.lock();
+        let _gb = b.lock();
     }
 }

@@ -42,6 +42,13 @@ ARTIFACT:
     one of: table1 table2 table3 table4 table5 fig1..fig9 extras
     extensions dump-config all        (default: all)
 
+SUBCOMMANDS:
+    lint [--stats]   run the determinism & concurrency static-analysis
+                     pass (chatlens-lint) over the workspace sources and
+                     exit nonzero on any finding; --stats prints the
+                     per-rule summary table (see DESIGN.md §Determinism
+                     lint for the rule catalog D1..D5)
+
 OPTIONS:
     --scale <f64>    world scale relative to the paper (default 0.1)
     --seed <u64>     world seed (default 20200408)
@@ -60,6 +67,7 @@ fn main() {
     let mut seed = 20_200_408u64;
     let mut threads = 1usize;
     let mut timings = false;
+    let mut stats = false;
     let mut artifact = "all".to_string();
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -84,6 +92,7 @@ fn main() {
                     .expect("--threads <usize>");
             }
             "--timings" => timings = true,
+            "--stats" => stats = true,
             "--csv" => {
                 csv_dir = Some(std::path::PathBuf::from(args.next().expect("--csv <dir>")));
             }
@@ -93,6 +102,10 @@ fn main() {
             }
             other => artifact = other.to_string(),
         }
+    }
+    if artifact == "lint" {
+        run_lint(stats);
+        return;
     }
     let pool = Pool::new(threads);
     let mut config = ScenarioConfig::at_scale(scale);
@@ -106,6 +119,7 @@ fn main() {
     }
     eprintln!("# chatlens repro — scale {scale}, seed {seed}, threads {threads}");
     eprintln!("# building ecosystem and running the 38-day campaign...");
+    // lint:allow(D1) stderr progress timing for the operator; no artifact reads it
     let t0 = std::time::Instant::now();
     let ds = run_study_with(
         config,
@@ -196,6 +210,37 @@ fn main() {
 
 fn pname(k: PlatformKind) -> &'static str {
     k.name()
+}
+
+/// `repro lint [--stats]`: run the determinism & concurrency
+/// static-analysis pass over the workspace and exit nonzero on findings.
+fn run_lint(stats: bool) {
+    // Prefer the invocation directory when it looks like the workspace
+    // root (so the binary works from a checkout), falling back to the
+    // compile-time manifest dir for `cargo run` from a subdirectory.
+    let cwd = std::path::PathBuf::from(".");
+    let root = if cwd.join("crates").is_dir() {
+        cwd
+    } else {
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+    };
+    let report = chatlens_lint::check_workspace(&root).expect("workspace sources readable");
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if stats {
+        println!("\n## chatlens-lint --stats\n\n{}", report.stats_table());
+    } else {
+        eprintln!(
+            "# chatlens-lint: {} file(s), {} finding(s), {} suppressed",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressed
+        );
+    }
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
 }
 
 /// Write every figure's plottable series as CSV files into `dir`.
