@@ -13,6 +13,11 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Documentation is part of the contract: every public item documented
+# (deny(missing_docs) in the crates) and every intra-doc link resolving.
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 # Hard gate: the determinism & concurrency static-analysis pass must be
 # clean before the test matrix runs (rule catalog in DESIGN.md
 # "Determinism lint"; exits nonzero on any finding).

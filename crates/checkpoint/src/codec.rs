@@ -1,0 +1,443 @@
+//! The byte codec: [`Writer`], bounds-checked [`Reader`], and the
+//! [`Persist`] trait with impls for the primitive and standard types
+//! snapshots are built from.
+//!
+//! Design rules:
+//!
+//! * Fixed-width little-endian integers; `f64` as its IEEE-754 bit
+//!   pattern (`to_bits`/`from_bits`), so floating state round-trips
+//!   exactly.
+//! * Length prefixes are `u64` and are validated against the remaining
+//!   input *before* any allocation — a corrupt length cannot trigger a
+//!   huge `Vec::with_capacity`.
+//! * Enums encode as a `u8` index into a stable variant order; unknown
+//!   tags decode to [`CheckpointError::Malformed`].
+//! * Decoding never panics on bad input; every failure is a
+//!   [`CheckpointError`].
+
+use crate::error::CheckpointError;
+use std::collections::BTreeMap;
+
+/// Append-only byte sink for encoding.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked cursor over encoded bytes.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consume exactly `n` bytes, or fail with `Truncated`.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if n > self.remaining() {
+            return Err(CheckpointError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consume one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consume a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Consume a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Consume a `u64` length prefix and validate it against the remaining
+    /// input (each encoded element occupies at least one byte, so a length
+    /// exceeding `remaining` can never be satisfied). This is the
+    /// allocation guard: call it before any `with_capacity`.
+    pub fn get_len(&mut self) -> Result<usize, CheckpointError> {
+        let len = self.get_u64()?;
+        let len = usize::try_from(len)
+            .map_err(|_| CheckpointError::Malformed("length prefix overflows usize".into()))?;
+        if len > self.remaining() {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(len)
+    }
+}
+
+/// A type that can write itself to a [`Writer`] and read itself back from
+/// a [`Reader`]. The contract: `load(save(x)) == x` exactly, and `load` on
+/// arbitrary bytes returns an error rather than panicking.
+pub trait Persist: Sized {
+    /// Append this value's encoding.
+    fn save(&self, w: &mut Writer);
+    /// Decode one value, consuming exactly what `save` wrote.
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError>;
+}
+
+/// Implement [`Persist`] for a struct with all-public fields by encoding
+/// each named field in declaration order. The field list *is* the wire
+/// format — reordering it is a format change and needs a
+/// [`FORMAT_VERSION`](crate::FORMAT_VERSION) bump.
+#[macro_export]
+macro_rules! persist_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::Persist for $ty {
+            fn save(&self, w: &mut $crate::Writer) {
+                $($crate::Persist::save(&self.$field, w);)+
+            }
+            fn load(
+                r: &mut $crate::Reader<'_>,
+            ) -> Result<Self, $crate::CheckpointError> {
+                Ok(Self { $($field: $crate::Persist::load(r)?),+ })
+            }
+        }
+    };
+}
+
+macro_rules! persist_le_int {
+    ($($ty:ty),+) => {
+        $(impl Persist for $ty {
+            fn save(&self, w: &mut Writer) {
+                w.put_bytes(&self.to_le_bytes());
+            }
+            fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+                let b = r.take(std::mem::size_of::<$ty>())?;
+                Ok(<$ty>::from_le_bytes(b.try_into().expect("sized slice")))
+            }
+        })+
+    };
+}
+
+persist_le_int!(u8, u16, u32, u64, i32, i64);
+
+impl Persist for usize {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(*self as u64);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        usize::try_from(r.get_u64()?)
+            .map_err(|_| CheckpointError::Malformed("usize value overflows this platform".into()))
+    }
+}
+
+impl Persist for bool {
+    fn save(&self, w: &mut Writer) {
+        w.put_u8(u8::from(*self));
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            n => Err(CheckpointError::Malformed(format!("bool byte {n}"))),
+        }
+    }
+}
+
+impl Persist for f64 {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.to_bits());
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(f64::from_bits(r.get_u64()?))
+    }
+}
+
+impl Persist for String {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        w.put_bytes(self.as_bytes());
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let len = r.get_len()?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CheckpointError::Malformed("string is not valid UTF-8".into()))
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.save(w);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::load(r)?)),
+            n => Err(CheckpointError::Malformed(format!("Option tag {n}"))),
+        }
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        for item in self {
+            item.save(w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let len = r.get_len()?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Persist, const N: usize> Persist for [T; N] {
+    fn save(&self, w: &mut Writer) {
+        for item in self {
+            item.save(w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::load(r)?);
+        }
+        out.try_into()
+            .map_err(|_| CheckpointError::Malformed("array length".into()))
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn save(&self, w: &mut Writer) {
+        self.0.save(w);
+        self.1.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok((A::load(r)?, B::load(r)?))
+    }
+}
+
+impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
+    fn save(&self, w: &mut Writer) {
+        self.0.save(w);
+        self.1.save(w);
+        self.2.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok((A::load(r)?, B::load(r)?, C::load(r)?))
+    }
+}
+
+impl<K: Persist + Ord, V: Persist> Persist for BTreeMap<K, V> {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        for (k, v) in self {
+            k.save(w);
+            v.save(w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let len = r.get_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::load(r)?;
+            let v = V::load(r)?;
+            // Keys must arrive in strictly ascending order: the encoding of
+            // a map is canonical, so equal maps always yield equal bytes.
+            match out.last_key_value() {
+                Some((last, _)) if *last >= k => {
+                    return Err(CheckpointError::Malformed(
+                        "map keys out of order or duplicated".into(),
+                    ))
+                }
+                _ => {}
+            }
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Persist + PartialEq + std::fmt::Debug>(value: T) {
+        let mut w = Writer::new();
+        value.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(T::load(&mut r).unwrap(), value);
+        assert!(r.is_empty(), "decoder left trailing bytes");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u8::MAX);
+        round_trip(u16::MAX);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(i64::MIN);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(false);
+        round_trip(1.5f64);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(String::from("héllo"));
+        round_trip(String::new());
+    }
+
+    #[test]
+    fn nan_round_trips_bit_exact() {
+        let nan = f64::from_bits(0x7ff8_0000_0000_1234);
+        let mut w = Writer::new();
+        nan.save(&mut w);
+        let bytes = w.into_bytes();
+        let back = f64::load(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<String>::new());
+        round_trip(Some(7u64));
+        round_trip(Option::<u64>::None);
+        round_trip([1u8, 2, 3]);
+        round_trip((1u32, String::from("x")));
+        round_trip((1u32, 2u64, false));
+        let mut m = BTreeMap::new();
+        m.insert(String::from("a"), 1u64);
+        m.insert(String::from("b"), 2u64);
+        round_trip(m);
+    }
+
+    #[test]
+    fn truncation_errors_never_panic() {
+        let mut w = Writer::new();
+        vec![String::from("abc"), String::from("defg")].save(&mut w);
+        let bytes = w.into_bytes();
+        for len in 0..bytes.len() {
+            let err = Vec::<String>::load(&mut Reader::new(&bytes[..len]));
+            assert!(err.is_err(), "prefix of {len} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocation() {
+        // A Vec claiming u64::MAX elements with a 9-byte body.
+        let mut bytes = u64::MAX.to_le_bytes().to_vec();
+        bytes.push(0);
+        assert_eq!(
+            Vec::<u8>::load(&mut Reader::new(&bytes)),
+            Err(CheckpointError::Truncated)
+        );
+    }
+
+    #[test]
+    fn bad_enum_tags_are_malformed() {
+        assert!(matches!(
+            bool::load(&mut Reader::new(&[9])),
+            Err(CheckpointError::Malformed(_))
+        ));
+        assert!(matches!(
+            Option::<u8>::load(&mut Reader::new(&[7])),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_order_map_keys_are_malformed() {
+        let mut w = Writer::new();
+        w.put_u64(2);
+        String::from("b").save(&mut w);
+        1u64.save(&mut w);
+        String::from("a").save(&mut w);
+        2u64.save(&mut w);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            BTreeMap::<String, u64>::load(&mut Reader::new(&bytes)),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_malformed() {
+        let mut w = Writer::new();
+        w.put_u64(2);
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            String::load(&mut Reader::new(&bytes)),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+}

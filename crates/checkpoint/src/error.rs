@@ -1,0 +1,54 @@
+//! The checkpoint error type: every way a snapshot can be unusable.
+
+use std::fmt;
+
+/// Why a snapshot could not be decoded (or written). Corrupt input is a
+/// *diagnosable condition*, never a panic: each variant names what was
+/// wrong so an operator can tell a stale file from a damaged one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The file does not start with the snapshot magic — not a checkpoint
+    /// at all (or mangled by text-mode transfer).
+    BadMagic,
+    /// The snapshot was written by a different format generation.
+    VersionMismatch {
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The payload's SHA-256 does not match: the file was corrupted after
+    /// it was written.
+    ChecksumMismatch,
+    /// The input ended before the structure it promised was complete.
+    Truncated,
+    /// The bytes decoded structurally but described an impossible value
+    /// (bad enum tag, invalid UTF-8, inconsistent lengths, ...).
+    Malformed(String),
+    /// An underlying filesystem operation failed.
+    Io(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => {
+                write!(f, "not a chatlens checkpoint (bad magic bytes)")
+            }
+            CheckpointError::VersionMismatch { found, expected } => write!(
+                f,
+                "snapshot format version {found} is not readable by this build (expected {expected})"
+            ),
+            CheckpointError::ChecksumMismatch => {
+                write!(f, "snapshot checksum mismatch: the file is corrupted")
+            }
+            CheckpointError::Truncated => {
+                write!(f, "snapshot is truncated: input ended mid-structure")
+            }
+            CheckpointError::Malformed(what) => write!(f, "snapshot is malformed: {what}"),
+            CheckpointError::Io(what) => write!(f, "checkpoint i/o failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}

@@ -1,0 +1,70 @@
+//! # chatlens-checkpoint — crash-safe campaign snapshots
+//!
+//! The collection campaign is a pure function of `(seed, config)`, but a
+//! 38-day run interrupted on day 23 used to mean starting over. This crate
+//! defines the snapshot format and machinery that make a campaign
+//! *resumable*: everything the orchestrator mutates — RNG stream
+//! positions, the virtual clock, the pending event queue, token-bucket
+//! fill levels, the discovery/monitor/join ledgers, metrics — is captured
+//! into a versioned, self-describing, checksummed byte format, and a
+//! resumed run is **bit-identical** to an uninterrupted one (the
+//! `tests/checkpoint.rs` suite kills a campaign at every day boundary and
+//! proves it, at 1, 2 and 8 worker threads).
+//!
+//! ## Format
+//!
+//! A snapshot file is a fixed envelope around a [`Persist`]-encoded
+//! payload:
+//!
+//! ```text
+//! +---------------------+----------------+---------------------+---------+----------------+
+//! | magic (8 bytes)     | version (u32)  | payload length (u64)| payload | SHA-256 (32 B) |
+//! +---------------------+----------------+---------------------+---------+----------------+
+//! ```
+//!
+//! * The magic ([`MAGIC`]) includes a `0x1A` byte so text-mode mangling is
+//!   caught immediately, PNG-style.
+//! * The version ([`FORMAT_VERSION`]) is checked *before* the checksum, so
+//!   a snapshot from a different format generation fails with
+//!   [`CheckpointError::VersionMismatch`] rather than a checksum error.
+//! * The checksum covers everything before it; any bit flip yields
+//!   [`CheckpointError::ChecksumMismatch`]. Corrupt or truncated input
+//!   always produces an error — never a panic, never a partial load.
+//!
+//! ## Encoding
+//!
+//! [`Persist`] is a deliberately boring, hand-written binary codec:
+//! little-endian fixed-width integers, `f64` via its IEEE-754 bit pattern
+//! (exact round-trip — bucket fill levels and histogram sums must survive
+//! to the bit), length-prefixed strings and sequences, index-tagged enums.
+//! Containers with nondeterministic iteration order (`HashSet`) are
+//! serialized sorted by the state-capture layer, so the same logical state
+//! always encodes to the same bytes — which is what lets the resume tests
+//! compare snapshots with `==` on `Vec<u8>`.
+//!
+//! The decoder is bounds-checked end to end: every length prefix is
+//! validated against the remaining input before any allocation, so a
+//! hostile or damaged file cannot request absurd allocations.
+//!
+//! ## Who writes files
+//!
+//! This crate is one of the two sanctioned filesystem writers in the
+//! workspace (the other is `chatlens-report`); lint rule D6 enforces that.
+//! [`save_to_file`] writes atomically — temp file in the target directory,
+//! then rename — so a crash mid-save never leaves a half-written snapshot
+//! where a resume would find it.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+mod error;
+mod impls;
+mod snapshot;
+
+pub use codec::{Persist, Reader, Writer};
+pub use error::CheckpointError;
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, load_from_file, save_to_file, snapshot_version,
+    FORMAT_VERSION, MAGIC,
+};

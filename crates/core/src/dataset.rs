@@ -28,7 +28,12 @@ pub struct PlatformSummary {
     pub platform_users: u64,
 }
 
-/// The full campaign output.
+/// The full campaign output. `PartialEq` compares every collected record
+/// — it exists for the resume-equivalence tests, which assert a resumed
+/// campaign's dataset equals an uninterrupted run's (after normalizing
+/// wall-clock timings with
+/// [`Metrics::strip_wall_clock`](chatlens_simnet::metrics::Metrics::strip_wall_clock)).
+#[derive(Debug, PartialEq)]
 pub struct Dataset {
     /// The collection window.
     pub window: StudyWindow,

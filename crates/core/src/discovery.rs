@@ -22,7 +22,7 @@ use chatlens_workload::Ecosystem;
 use std::collections::HashMap;
 
 /// First sighting of a group URL.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiscoveryRecord {
     /// The validated invite.
     pub invite: InviteCode,
@@ -35,7 +35,7 @@ pub struct DiscoveryRecord {
 }
 
 /// A collected tweet with provenance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CollectedTweet {
     /// The tweet as decoded off the wire.
     pub tweet: Tweet,
@@ -80,6 +80,54 @@ impl Discovery {
             last_stream_drain: start,
             last_sample_drain: start,
             failed_requests: 0,
+        }
+    }
+
+    /// Export the private feed cursors for a checkpoint: per-host
+    /// `since_id` watermarks and the last stream/sample drain instants.
+    pub fn cursors(&self) -> ([Option<u64>; 6], SimTime, SimTime) {
+        (
+            self.since_id,
+            self.last_stream_drain,
+            self.last_sample_drain,
+        )
+    }
+
+    /// Rebuild a `Discovery` from checkpointed parts. The two lookup
+    /// indexes (tweet id → slot, group key → slot) are derived data and
+    /// are reconstructed here instead of being serialized.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        since_id: [Option<u64>; 6],
+        tweets: Vec<CollectedTweet>,
+        control: Vec<Tweet>,
+        groups: Vec<DiscoveryRecord>,
+        stats: ExtractionStats,
+        last_stream_drain: SimTime,
+        last_sample_drain: SimTime,
+        failed_requests: u64,
+    ) -> Discovery {
+        let tweet_index = tweets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.tweet.id.0, i))
+            .collect();
+        let group_index = groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.invite.dedup_key(), i))
+            .collect();
+        Discovery {
+            since_id,
+            tweet_index,
+            tweets,
+            control,
+            group_index,
+            groups,
+            stats,
+            last_stream_drain,
+            last_sample_drain,
+            failed_requests,
         }
     }
 

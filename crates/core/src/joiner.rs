@@ -43,7 +43,7 @@ use chatlens_workload::Ecosystem;
 
 /// A member as the collector recorded it (already ethics-scrubbed: phones
 /// are hashes).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemberRecord {
     /// Platform-local user id, when the platform exposes one (Telegram,
     /// Discord); WhatsApp identifies members only by phone.
@@ -57,7 +57,7 @@ pub struct MemberRecord {
 }
 
 /// One joined group and everything collected from inside it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinedGroup {
     /// The platform.
     pub platform: PlatformKind,

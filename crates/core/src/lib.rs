@@ -28,6 +28,11 @@
 //! [`chatlens_simnet::Engine`] and runs the full 38-day campaign,
 //! returning the [`dataset::Dataset`] every analysis in
 //! `chatlens-analysis` consumes.
+//!
+//! Long campaigns are crash-safe: [`study::run_study_checkpointed`]
+//! snapshots the full campaign state ([`state::CampaignState`]) at day
+//! boundaries via `chatlens-checkpoint`, and [`study::resume_study`]
+//! continues from a snapshot to a byte-identical dataset.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -40,8 +45,13 @@ pub mod monitor;
 pub mod net;
 pub mod patterns;
 pub mod pii;
+pub mod state;
 pub mod study;
 
 pub use dataset::Dataset;
 pub use error::CoreError;
-pub use study::{run_study, run_study_with, CampaignConfig};
+pub use state::{CampaignState, SnapshotSummary};
+pub use study::{
+    resume_study, resume_study_checkpointed, resume_study_days, run_study, run_study_checkpointed,
+    run_study_with, CampaignConfig, CampaignEvent, CheckpointPolicy,
+};

@@ -160,6 +160,29 @@ impl Monitor {
         }
     }
 
+    /// Export the terminal (no-longer-polled) keys in sorted order for a
+    /// checkpoint.
+    pub fn terminal_keys(&self) -> Vec<String> {
+        let sorted: std::collections::BTreeSet<String> = self.terminal.iter().cloned().collect();
+        sorted.into_iter().collect()
+    }
+
+    /// Rebuild a monitor from checkpointed parts: the timelines, the
+    /// terminal keys (as exported by [`Monitor::terminal_keys`]), and the
+    /// parse pool to resume with.
+    pub fn from_parts(
+        timelines: BTreeMap<String, GroupTimeline>,
+        terminal: Vec<String>,
+        pool: Pool,
+    ) -> Monitor {
+        Monitor {
+            timelines,
+            // lint:allow(D2) `terminal` is the sorted Vec parameter here, not the set field
+            terminal: terminal.into_iter().collect(),
+            pool,
+        }
+    }
+
     /// Run one daily round over every discovered, not-yet-revoked group.
     /// `day` is the zero-based study-day index. When `pii` is given,
     /// WhatsApp creator phone numbers coming off the landing pages are

@@ -11,7 +11,7 @@ use chatlens_platforms::id::PlatformKind;
 use chatlens_simnet::fault::FaultInjector;
 use chatlens_simnet::rng::Rng;
 use chatlens_simnet::time::SimTime;
-use chatlens_simnet::transport::{Client, ClientConfig, Request, Response, Router};
+use chatlens_simnet::transport::{Client, ClientConfig, ClientState, Request, Response, Router};
 use chatlens_workload::Ecosystem;
 
 /// The four clients of the campaign.
@@ -81,6 +81,28 @@ impl Net {
         };
         router.mount(mount, &mut eco.platforms[i]);
         Ok(self.platforms[i].call(&mut router, now, req)?)
+    }
+
+    /// Export all four clients' mutable state for a checkpoint, in the
+    /// fixed order Twitter, WhatsApp, Telegram, Discord.
+    pub fn export_state(&self) -> [ClientState; 4] {
+        [
+            self.twitter.state(),
+            self.platforms[0].state(),
+            self.platforms[1].state(),
+            self.platforms[2].state(),
+        ]
+    }
+
+    /// Restore all four clients from a checkpoint export. The `Net` must
+    /// have been rebuilt with [`Net::new`] under the same seed and fault
+    /// model so each client's configuration matches its saved state.
+    pub fn restore_state(&mut self, states: [ClientState; 4]) {
+        let [tw, wa, tg, dc] = states;
+        self.twitter.restore_state(tw);
+        self.platforms[0].restore_state(wa);
+        self.platforms[1].restore_state(tg);
+        self.platforms[2].restore_state(dc);
     }
 
     /// Total transport attempts across all clients (campaign health).

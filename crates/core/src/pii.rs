@@ -15,7 +15,7 @@ pub fn hash_phone(e164: &str) -> String {
 }
 
 /// Accumulated PII observations.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct PiiStore {
     /// WhatsApp group-creator phone hashes, harvested from landing pages
     /// *without joining* — §6's headline finding.

@@ -1,0 +1,628 @@
+//! Checkpointable campaign state: the [`CampaignState`] snapshot payload
+//! and its conversions to/from the live pipeline components.
+//!
+//! A snapshot captures exactly what the campaign *mutates*; everything
+//! derivable from `(seed, config)` — the world population, the tweet
+//! store, lookup indexes — is rebuilt on resume instead of being stored.
+//! The split per component:
+//!
+//! | component | stored | rebuilt |
+//! |-----------|--------|---------|
+//! | engine    | clock, event count, pending events | — |
+//! | transport | 4 × bucket fill / RNG position / trace | client configs |
+//! | discovery | tweets, groups, cursors, stats | tweet/group indexes |
+//! | monitor   | timelines, terminal keys | parse pool |
+//! | joiner    | joined groups, account counters | — |
+//! | pii       | hashes and counts (sorted) | `HashSet` form |
+//! | ecosystem | [`EcosystemDelta`] | the whole world |
+//!
+//! Unordered sets are exported in sorted order, so the same logical state
+//! always encodes to the same bytes — snapshot files of equal states are
+//! byte-equal, which the determinism suite exploits directly.
+
+use crate::discovery::{CollectedTweet, Discovery, DiscoveryRecord};
+use crate::joiner::{JoinStrategy, JoinedGroup, Joiner, MemberRecord};
+use crate::monitor::{GroupTimeline, Monitor, Observation, ObservedStatus};
+use crate::patterns::ExtractionStats;
+use crate::pii::PiiStore;
+use crate::study::{CampaignConfig, CampaignEvent};
+use chatlens_checkpoint::{persist_struct, CheckpointError, Persist, Reader, Writer};
+use chatlens_simnet::metrics::Metrics;
+use chatlens_simnet::par::Pool;
+use chatlens_simnet::time::SimTime;
+use chatlens_simnet::transport::ClientState;
+use chatlens_simnet::Engine;
+use chatlens_twitter::Tweet;
+use chatlens_workload::ecosystem::EcosystemDelta;
+use chatlens_workload::ScenarioConfig;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The virtual clock and pending event queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineState {
+    /// Clock position (the day-boundary instant at a scheduled save).
+    pub now: SimTime,
+    /// Lifetime count of processed events.
+    pub processed: u64,
+    /// Pending events in delivery order, as exported by
+    /// [`Engine::pending_events`].
+    pub pending: Vec<(SimTime, CampaignEvent)>,
+}
+
+impl EngineState {
+    /// Capture an engine's restorable state.
+    pub fn capture(engine: &Engine<CampaignEvent>) -> EngineState {
+        EngineState {
+            now: engine.now(),
+            processed: engine.processed(),
+            pending: engine.pending_events(),
+        }
+    }
+
+    /// Rebuild the engine. Pending events are re-scheduled in order, so
+    /// fresh sequence numbers reproduce the original pop order.
+    pub fn restore(&self) -> Engine<CampaignEvent> {
+        Engine::restore(self.now, self.processed, self.pending.clone())
+    }
+}
+
+// A custom impl rather than `persist_struct!`: the pending queue must be
+// validated against `now` on load, because `Engine::restore` treats a
+// past-dated event as a logic bug and panics — a malformed snapshot has
+// to fail before reaching it.
+impl Persist for EngineState {
+    fn save(&self, w: &mut Writer) {
+        self.now.save(w);
+        self.processed.save(w);
+        self.pending.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let now = SimTime::load(r)?;
+        let processed = u64::load(r)?;
+        let pending = Vec::<(SimTime, CampaignEvent)>::load(r)?;
+        if pending.iter().any(|&(at, _)| at < now) {
+            return Err(CheckpointError::Malformed(
+                "pending event scheduled before the snapshot clock".into(),
+            ));
+        }
+        if pending.windows(2).any(|w| w[0].0 > w[1].0) {
+            return Err(CheckpointError::Malformed(
+                "pending events out of delivery order".into(),
+            ));
+        }
+        Ok(EngineState {
+            now,
+            processed,
+            pending,
+        })
+    }
+}
+
+/// The discovery component's accumulated data and feed cursors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveryState {
+    /// Per-host Search API `since_id` watermarks.
+    pub since_id: [Option<u64>; 6],
+    /// Collected pattern-matched tweets, in arrival order.
+    pub tweets: Vec<CollectedTweet>,
+    /// Control-sample tweets.
+    pub control: Vec<Tweet>,
+    /// Discovered groups in discovery order.
+    pub groups: Vec<DiscoveryRecord>,
+    /// URL extraction totals.
+    pub stats: ExtractionStats,
+    /// Last Streaming API drain instant.
+    pub last_stream_drain: SimTime,
+    /// Last 1%-sample drain instant.
+    pub last_sample_drain: SimTime,
+    /// Transport failures that cost data.
+    pub failed_requests: u64,
+}
+
+persist_struct!(DiscoveryState {
+    since_id,
+    tweets,
+    control,
+    groups,
+    stats,
+    last_stream_drain,
+    last_sample_drain,
+    failed_requests
+});
+
+impl DiscoveryState {
+    /// Capture a discovery component.
+    pub fn capture(d: &Discovery) -> DiscoveryState {
+        let (since_id, last_stream_drain, last_sample_drain) = d.cursors();
+        DiscoveryState {
+            since_id,
+            tweets: d.tweets.clone(),
+            control: d.control.clone(),
+            groups: d.groups.clone(),
+            stats: d.stats,
+            last_stream_drain,
+            last_sample_drain,
+            failed_requests: d.failed_requests,
+        }
+    }
+
+    /// Rebuild the component (lookup indexes are derived on the way in).
+    pub fn restore(&self) -> Discovery {
+        Discovery::from_parts(
+            self.since_id,
+            self.tweets.clone(),
+            self.control.clone(),
+            self.groups.clone(),
+            self.stats,
+            self.last_stream_drain,
+            self.last_sample_drain,
+            self.failed_requests,
+        )
+    }
+}
+
+/// The monitor's per-group timelines and terminal set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorState {
+    /// Timelines keyed by group dedup key.
+    pub timelines: BTreeMap<String, GroupTimeline>,
+    /// Keys no longer polled (observed revoked), sorted.
+    pub terminal: Vec<String>,
+}
+
+persist_struct!(MonitorState {
+    timelines,
+    terminal
+});
+
+impl MonitorState {
+    /// Capture a monitor.
+    pub fn capture(m: &Monitor) -> MonitorState {
+        MonitorState {
+            timelines: m.timelines.clone(),
+            terminal: m.terminal_keys(),
+        }
+    }
+
+    /// Rebuild the monitor around `pool` (thread count is a run-time
+    /// choice, not state — any value yields the same observations).
+    pub fn restore(&self, pool: Pool) -> Monitor {
+        Monitor::from_parts(self.timelines.clone(), self.terminal.clone(), pool)
+    }
+}
+
+/// The joiner's ledger of joined groups and account bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinerState {
+    /// Joined groups with their collected contents.
+    pub joined: Vec<JoinedGroup>,
+    /// Accounts opened per platform.
+    pub accounts_used: [u16; 3],
+    /// Join attempts refused because the URL was dead.
+    pub dead_at_join: u64,
+    /// Whether the Discord bot-join probe was rejected.
+    pub bot_join_rejected: bool,
+    /// Collection fetches lost to transport failures.
+    pub failed_fetches: u64,
+}
+
+persist_struct!(JoinerState {
+    joined,
+    accounts_used,
+    dead_at_join,
+    bot_join_rejected,
+    failed_fetches
+});
+
+impl JoinerState {
+    /// Capture a joiner.
+    pub fn capture(j: &Joiner) -> JoinerState {
+        JoinerState {
+            joined: j.joined.clone(),
+            accounts_used: j.accounts_used,
+            dead_at_join: j.dead_at_join,
+            bot_join_rejected: j.bot_join_rejected,
+            failed_fetches: j.failed_fetches,
+        }
+    }
+
+    /// Rebuild the joiner.
+    pub fn restore(&self) -> Joiner {
+        Joiner {
+            joined: self.joined.clone(),
+            accounts_used: self.accounts_used,
+            dead_at_join: self.dead_at_join,
+            bot_join_rejected: self.bot_join_rejected,
+            failed_fetches: self.failed_fetches,
+        }
+    }
+}
+
+/// The PII store with every unordered set flattened to a sorted `Vec`, so
+/// the encoding is canonical (equal stores → equal bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PiiState {
+    /// WhatsApp creator phone hashes, sorted.
+    pub wa_creator_hashes: Vec<String>,
+    /// WhatsApp creator country-code counts.
+    pub wa_creator_countries: BTreeMap<String, u64>,
+    /// WhatsApp member phone hashes, sorted.
+    pub wa_member_hashes: Vec<String>,
+    /// Telegram user ids observed, sorted.
+    pub tg_users_observed: Vec<u32>,
+    /// Telegram phone hashes, sorted.
+    pub tg_phone_hashes: Vec<String>,
+    /// Discord user ids observed, sorted.
+    pub dc_users_observed: Vec<u32>,
+    /// Discord users with a connected account, sorted.
+    pub dc_users_with_link: Vec<u32>,
+    /// Connected-account counts per external platform.
+    pub dc_linked_counts: BTreeMap<String, u64>,
+}
+
+persist_struct!(PiiState {
+    wa_creator_hashes,
+    wa_creator_countries,
+    wa_member_hashes,
+    tg_users_observed,
+    tg_phone_hashes,
+    dc_users_observed,
+    dc_users_with_link,
+    dc_linked_counts
+});
+
+impl PiiState {
+    /// Capture a PII store, sorting every set.
+    pub fn capture(p: &PiiStore) -> PiiState {
+        PiiState {
+            wa_creator_hashes: sorted_strings(p.wa_creator_hashes.iter()),
+            wa_creator_countries: p.wa_creator_countries.clone(),
+            wa_member_hashes: sorted_strings(p.wa_member_hashes.iter()),
+            tg_users_observed: sorted_ids(p.tg_users_observed.iter()),
+            tg_phone_hashes: sorted_strings(p.tg_phone_hashes.iter()),
+            dc_users_observed: sorted_ids(p.dc_users_observed.iter()),
+            dc_users_with_link: sorted_ids(p.dc_users_with_link.iter()),
+            dc_linked_counts: p.dc_linked_counts.clone(),
+        }
+    }
+
+    /// Rebuild the store (`Vec`s fold back into hash sets).
+    pub fn restore(&self) -> PiiStore {
+        PiiStore {
+            wa_creator_hashes: self.wa_creator_hashes.iter().cloned().collect(),
+            wa_creator_countries: self.wa_creator_countries.clone(),
+            wa_member_hashes: self.wa_member_hashes.iter().cloned().collect(),
+            tg_users_observed: self.tg_users_observed.iter().copied().collect(),
+            tg_phone_hashes: self.tg_phone_hashes.iter().cloned().collect(),
+            dc_users_observed: self.dc_users_observed.iter().copied().collect(),
+            dc_users_with_link: self.dc_users_with_link.iter().copied().collect(),
+            dc_linked_counts: self.dc_linked_counts.clone(),
+        }
+    }
+}
+
+/// Sort a set of strings into a canonical `Vec` (via `BTreeSet`, lint D2).
+fn sorted_strings<'a>(it: impl Iterator<Item = &'a String>) -> Vec<String> {
+    it.cloned()
+        .collect::<BTreeSet<String>>()
+        .into_iter()
+        .collect()
+}
+
+/// Sort a set of ids into a canonical `Vec` (via `BTreeSet`, lint D2).
+fn sorted_ids<'a>(it: impl Iterator<Item = &'a u32>) -> Vec<u32> {
+    it.copied().collect::<BTreeSet<u32>>().into_iter().collect()
+}
+
+// Core enums and records referenced by the states above.
+
+impl Persist for CampaignEvent {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            CampaignEvent::Search => w.put_u8(0),
+            CampaignEvent::StreamDrain => w.put_u8(1),
+            CampaignEvent::SampleDrain => w.put_u8(2),
+            CampaignEvent::Monitor { day } => {
+                w.put_u8(3);
+                day.save(w);
+            }
+            CampaignEvent::Join => w.put_u8(4),
+            CampaignEvent::Collect => w.put_u8(5),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(CampaignEvent::Search),
+            1 => Ok(CampaignEvent::StreamDrain),
+            2 => Ok(CampaignEvent::SampleDrain),
+            3 => Ok(CampaignEvent::Monitor { day: u32::load(r)? }),
+            4 => Ok(CampaignEvent::Join),
+            5 => Ok(CampaignEvent::Collect),
+            n => Err(CheckpointError::Malformed(format!("CampaignEvent tag {n}"))),
+        }
+    }
+}
+
+impl Persist for JoinStrategy {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            JoinStrategy::Uniform => w.put_u8(0),
+            JoinStrategy::SizeBiased => w.put_u8(1),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(JoinStrategy::Uniform),
+            1 => Ok(JoinStrategy::SizeBiased),
+            n => Err(CheckpointError::Malformed(format!("JoinStrategy tag {n}"))),
+        }
+    }
+}
+
+impl Persist for ObservedStatus {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            ObservedStatus::Alive { size, online } => {
+                w.put_u8(0);
+                size.save(w);
+                online.save(w);
+            }
+            ObservedStatus::Revoked => w.put_u8(1),
+            ObservedStatus::Failed => w.put_u8(2),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(ObservedStatus::Alive {
+                size: u32::load(r)?,
+                online: u32::load(r)?,
+            }),
+            1 => Ok(ObservedStatus::Revoked),
+            2 => Ok(ObservedStatus::Failed),
+            n => Err(CheckpointError::Malformed(format!(
+                "ObservedStatus tag {n}"
+            ))),
+        }
+    }
+}
+
+persist_struct!(Observation { day, status });
+persist_struct!(GroupTimeline {
+    observations,
+    title,
+    tg_kind,
+    dc_created_day,
+    dc_creator,
+    wa_creator_cc,
+    wa_creator_hash
+});
+persist_struct!(DiscoveryRecord {
+    invite,
+    platform,
+    discovered_at,
+    first_tweet_at
+});
+persist_struct!(CollectedTweet {
+    tweet,
+    seen_at,
+    via_search,
+    via_stream
+});
+persist_struct!(ExtractionStats {
+    urls_seen,
+    invites,
+    rejected
+});
+persist_struct!(MemberRecord {
+    user_id,
+    phone_hash,
+    country,
+    linked
+});
+persist_struct!(JoinedGroup {
+    platform,
+    key,
+    group_id,
+    joined_at,
+    created_day,
+    members,
+    member_list_available,
+    messages
+});
+persist_struct!(CampaignConfig {
+    join_day,
+    search_interval_hours,
+    monitor_interval_days,
+    use_search,
+    use_stream,
+    join_strategy,
+    faults,
+    seed,
+    threads
+});
+
+/// Everything needed to resume a campaign mid-flight: the scenario (to
+/// rebuild the world), the campaign knobs, and the mutated state of every
+/// pipeline component at a day boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignState {
+    /// World scenario — resume rebuilds the ecosystem from this.
+    pub scenario: ScenarioConfig,
+    /// Campaign knobs. `threads` may be changed before resuming; the
+    /// dataset is bit-identical at any value.
+    pub campaign: CampaignConfig,
+    /// Number of completed study days (also the next day index to run).
+    pub day: u32,
+    /// Clock and pending events.
+    pub engine: EngineState,
+    /// Campaign RNG stream position (join sampling).
+    pub rng: [u64; 4],
+    /// Transport clients: Twitter, WhatsApp, Telegram, Discord.
+    pub clients: [ClientState; 4],
+    /// Discovery ledger and cursors.
+    pub discovery: DiscoveryState,
+    /// Monitor timelines and terminal set.
+    pub monitor: MonitorState,
+    /// Join ledger.
+    pub joiner: JoinerState,
+    /// PII accounting (sorted canonical form).
+    pub pii: PiiState,
+    /// Metrics registry. Counters ending `.micros` are wall-clock and
+    /// differ across runs; [`Metrics::strip_wall_clock`] normalizes.
+    pub metrics: Metrics,
+    /// Campaign-mutated slice of the ecosystem.
+    pub delta: EcosystemDelta,
+}
+
+persist_struct!(CampaignState {
+    scenario,
+    campaign,
+    day,
+    engine,
+    rng,
+    clients,
+    discovery,
+    monitor,
+    joiner,
+    pii,
+    metrics,
+    delta
+});
+
+/// Human-readable digest of a snapshot for `repro checkpoint inspect`,
+/// rendered as JSON via the workspace serializer (the `counters` map is
+/// the workspace's one serialized map — `config_io` grew map support for
+/// it).
+#[derive(Debug, Serialize)]
+pub struct SnapshotSummary {
+    /// Completed study days.
+    pub day: u32,
+    /// Virtual clock, seconds since the simulation epoch.
+    pub sim_now_secs: u64,
+    /// Events processed so far.
+    pub events_processed: u64,
+    /// Events still pending.
+    pub events_pending: usize,
+    /// Pattern-matched tweets collected.
+    pub tweets_collected: usize,
+    /// Control-sample tweets collected.
+    pub control_tweets: usize,
+    /// Groups discovered.
+    pub groups_discovered: usize,
+    /// Groups with at least one monitor observation.
+    pub groups_monitored: usize,
+    /// Groups joined.
+    pub groups_joined: usize,
+    /// World seed of the scenario.
+    pub world_seed: u64,
+    /// Campaign seed.
+    pub campaign_seed: u64,
+    /// Worker threads the saved run used.
+    pub threads: usize,
+    /// Deterministic metric counters (wall-clock timings excluded).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl CampaignState {
+    /// Build the inspect digest for this snapshot.
+    pub fn summary(&self) -> SnapshotSummary {
+        SnapshotSummary {
+            day: self.day,
+            sim_now_secs: self.engine.now.0,
+            events_processed: self.engine.processed,
+            events_pending: self.engine.pending.len(),
+            tweets_collected: self.discovery.tweets.len(),
+            control_tweets: self.discovery.control.len(),
+            groups_discovered: self.discovery.groups.len(),
+            groups_monitored: self.monitor.timelines.len(),
+            groups_joined: self.joiner.joined.len(),
+            world_seed: self.scenario.seed,
+            campaign_seed: self.campaign.seed,
+            threads: self.campaign.threads,
+            counters: self
+                .metrics
+                .counters()
+                .filter(|(name, _)| !name.ends_with(".micros"))
+                .map(|(name, v)| (name.to_string(), v))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatlens_checkpoint::{decode_snapshot, encode_snapshot};
+
+    #[test]
+    fn pii_state_round_trips_and_is_sorted() {
+        let mut store = PiiStore::new();
+        store.record_wa_creator("+5511999990000", "BR");
+        store.record_wa_creator("+4915112345678", "DE");
+        store.record_wa_member("+5511999990001");
+        store.record_tg_user(9, Some("+34600000000"));
+        store.record_tg_user(3, None);
+        store.record_dc_user(7, &["steam".to_string(), "twitch".to_string()]);
+        store.record_dc_user(2, &[]);
+        let state = PiiState::capture(&store);
+        assert!(state.tg_users_observed.windows(2).all(|w| w[0] < w[1]));
+        assert!(state.wa_creator_hashes.windows(2).all(|w| w[0] < w[1]));
+        let back: PiiState = decode_snapshot(&encode_snapshot(&state)).unwrap();
+        assert_eq!(back, state);
+        let restored = state.restore();
+        assert_eq!(PiiState::capture(&restored), state);
+    }
+
+    #[test]
+    fn engine_state_rejects_impossible_queues() {
+        // An event before the clock.
+        let mut w = chatlens_checkpoint::Writer::new();
+        SimTime(100).save(&mut w);
+        5u64.save(&mut w);
+        vec![(SimTime(50), CampaignEvent::Join)].save(&mut w);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            EngineState::load(&mut chatlens_checkpoint::Reader::new(&bytes)),
+            Err(CheckpointError::Malformed(_))
+        ));
+        // Events out of delivery order.
+        let mut w = chatlens_checkpoint::Writer::new();
+        SimTime(10).save(&mut w);
+        0u64.save(&mut w);
+        vec![
+            (SimTime(30), CampaignEvent::Search),
+            (SimTime(20), CampaignEvent::Collect),
+        ]
+        .save(&mut w);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            EngineState::load(&mut chatlens_checkpoint::Reader::new(&bytes)),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn campaign_events_round_trip() {
+        let events = vec![
+            CampaignEvent::Search,
+            CampaignEvent::StreamDrain,
+            CampaignEvent::SampleDrain,
+            CampaignEvent::Monitor { day: 17 },
+            CampaignEvent::Join,
+            CampaignEvent::Collect,
+        ];
+        let back: Vec<CampaignEvent> = decode_snapshot(&encode_snapshot(&events)).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn campaign_config_round_trips() {
+        let config = CampaignConfig::default();
+        let back: CampaignConfig = decode_snapshot(&encode_snapshot(&config)).unwrap();
+        assert_eq!(back.join_day, config.join_day);
+        assert_eq!(back.seed, config.seed);
+        assert_eq!(back.threads, config.threads);
+        assert_eq!(back.faults, config.faults);
+    }
+}

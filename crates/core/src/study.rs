@@ -11,6 +11,18 @@
 //! * once, on `join_day` at 12:00 — join the sampled groups;
 //! * once, at the end of the final day — collect member lists, profiles
 //!   and message histories from every joined group.
+//!
+//! # Checkpointing
+//!
+//! The campaign advances one study day at a time (an internal `Runner`
+//! owns the event loop), and a day boundary is a *quiescent point*: no
+//! event is ever scheduled in the final second of a day, so the whole
+//! mutable state of the campaign is capturable there as a
+//! [`CampaignState`]. [`run_study_checkpointed`] saves one snapshot per
+//! [`CheckpointPolicy`] interval (and on unwind, if configured);
+//! [`resume_study`] rebuilds the world from the scenario, replays the
+//! delta, and continues — producing a dataset byte-identical to an
+//! uninterrupted run.
 
 use crate::dataset::Dataset;
 use crate::discovery::Discovery;
@@ -18,18 +30,23 @@ use crate::joiner::Joiner;
 use crate::monitor::Monitor;
 use crate::net::Net;
 use crate::pii::PiiStore;
+use crate::state::{
+    CampaignState, DiscoveryState, EngineState, JoinerState, MonitorState, PiiState,
+};
+use chatlens_checkpoint::{save_to_file, CheckpointError};
 use chatlens_platforms::id::PlatformKind;
 use chatlens_simnet::fault::FaultInjector;
 use chatlens_simnet::metrics::Metrics;
 use chatlens_simnet::par::Pool;
 use chatlens_simnet::rng::Rng;
-use chatlens_simnet::time::SimDuration;
+use chatlens_simnet::time::{SimDuration, SimTime, StudyWindow};
 use chatlens_simnet::Engine;
 use chatlens_workload::{Ecosystem, ScenarioConfig};
+use std::path::PathBuf;
 
 /// Knobs of the collection campaign itself (as opposed to the world it
 /// observes). Defaults follow the paper.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CampaignConfig {
     /// Zero-based study day on which groups are joined.
     pub join_day: u32,
@@ -84,15 +101,54 @@ fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Campaign events on the virtual timeline.
+/// Campaign events on the virtual timeline. Public because snapshots
+/// persist the pending event queue (see [`crate::state`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ev {
+pub enum CampaignEvent {
+    /// Hourly Search API round over the six query hosts.
     Search,
+    /// Half-hourly Streaming API drain.
     StreamDrain,
+    /// Daily 1%-sample drain into the control dataset.
     SampleDrain,
-    Monitor { day: u32 },
+    /// Daily monitor round; carries the zero-based study day.
+    Monitor {
+        /// Zero-based study day of this round.
+        day: u32,
+    },
+    /// The one-time join phase on `join_day`.
     Join,
+    /// The end-of-study collection pass over joined groups.
     Collect,
+}
+
+/// When and where to write snapshots during a checkpointed run.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory snapshots are written into (created on first save).
+    pub dir: PathBuf,
+    /// Save every N completed study days; `0` disables interval saves.
+    pub every_days: u32,
+    /// Also save (best-effort) if the campaign unwinds mid-run — a panic
+    /// in a handler, for instance — so the run is resumable from the last
+    /// completed day rather than its last interval snapshot.
+    pub on_drop: bool,
+}
+
+impl CheckpointPolicy {
+    /// Save into `dir` after every completed day, and on unwind.
+    pub fn daily(dir: impl Into<PathBuf>) -> CheckpointPolicy {
+        CheckpointPolicy {
+            dir: dir.into(),
+            every_days: 1,
+            on_drop: true,
+        }
+    }
+
+    /// Path of the snapshot written after `day` completed days.
+    pub fn snapshot_path(&self, day: u32) -> PathBuf {
+        self.dir.join(format!("day{day:03}.ckpt"))
+    }
 }
 
 /// Run the full study over a freshly built ecosystem with default
@@ -113,140 +169,430 @@ pub fn run_study_with(scenario: ScenarioConfig, campaign: CampaignConfig) -> Dat
 /// ecosystem's materialized histories are deterministic per group, so
 /// re-use is safe).
 pub fn run_study_on(eco: &mut Ecosystem, campaign: CampaignConfig) -> Dataset {
-    let window = eco.window;
-    let start = window.start_time();
-    let end = window.end_time();
-    let mut net = Net::new(campaign.seed, start, campaign.faults);
-    let mut rng = Rng::new(campaign.seed ^ 0x9E37_79B9);
-    let mut discovery = Discovery::new(start);
-    let pool = Pool::new(campaign.threads);
-    let mut monitor = Monitor::with_pool(pool);
-    let mut joiner = Joiner::new();
-    let mut pii = PiiStore::new();
-    let mut metrics = Metrics::new();
-    let mut engine: Engine<Ev> = Engine::new(start);
+    let mut runner = Runner::new(eco.window, campaign);
+    let days = eco.window.num_days() as u32;
+    while runner.day < days {
+        runner.step_day(eco);
+    }
+    runner.finish(eco)
+}
 
-    // Schedule the whole campaign up front (the event mix is static).
-    let total_hours = window.num_days() * 24;
-    for h in 0..total_hours {
-        if campaign.use_search && h % u64::from(campaign.search_interval_hours.max(1)) == 0 {
-            engine.schedule_at(start + SimDuration::hours(h), Ev::Search);
+/// Run the full study, saving a [`CampaignState`] snapshot per the
+/// policy. The result is identical to [`run_study_with`]; only the
+/// snapshot side effects differ. Fails only on snapshot I/O.
+pub fn run_study_checkpointed(
+    scenario: ScenarioConfig,
+    campaign: CampaignConfig,
+    policy: &CheckpointPolicy,
+) -> Result<Dataset, CheckpointError> {
+    let eco = Ecosystem::build(scenario);
+    let runner = Runner::new(eco.window, campaign);
+    run_guarded(runner, eco, policy)
+}
+
+/// Resume a snapshotted campaign and run it to completion. The returned
+/// dataset is byte-identical to the uninterrupted run's (modulo the
+/// wall-clock `.micros` metrics, which [`Metrics::strip_wall_clock`]
+/// normalizes).
+pub fn resume_study(state: &CampaignState) -> Dataset {
+    let (mut eco, mut runner) = rebuild(state);
+    let days = runner.window.num_days() as u32;
+    while runner.day < days {
+        runner.step_day(&mut eco);
+    }
+    runner.finish(&mut eco)
+}
+
+/// Resume a snapshotted campaign, advance at most `days` study days, and
+/// return the new snapshot state. Building block for the equivalence
+/// tests (resume day N, run one day, compare against the day-N+1
+/// snapshot of an uninterrupted run).
+pub fn resume_study_days(state: &CampaignState, days: u32) -> CampaignState {
+    let (mut eco, mut runner) = rebuild(state);
+    let total = runner.window.num_days() as u32;
+    let target = runner.day.saturating_add(days).min(total);
+    while runner.day < target {
+        runner.step_day(&mut eco);
+    }
+    runner.state(&eco)
+}
+
+/// Resume a snapshotted campaign and run it to completion with snapshot
+/// saves per the policy (i.e. a resumed run is itself resumable).
+pub fn resume_study_checkpointed(
+    state: &CampaignState,
+    policy: &CheckpointPolicy,
+) -> Result<Dataset, CheckpointError> {
+    let (eco, runner) = rebuild(state);
+    run_guarded(runner, eco, policy)
+}
+
+/// Rebuild the world and the runner from a snapshot: the ecosystem is
+/// re-derived from the scenario (deterministic), the campaign's mutations
+/// are replayed from the delta, and every pipeline component is restored.
+fn rebuild(state: &CampaignState) -> (Ecosystem, Runner) {
+    let mut eco = Ecosystem::build(state.scenario.clone());
+    eco.apply_delta(&state.delta);
+    let runner = Runner::from_state(state, eco.window);
+    (eco, runner)
+}
+
+/// Drive a runner to completion under a checkpoint policy.
+fn run_guarded(
+    runner: Runner,
+    eco: Ecosystem,
+    policy: &CheckpointPolicy,
+) -> Result<Dataset, CheckpointError> {
+    let days = runner.window.num_days() as u32;
+    let mut guard = RunGuard {
+        runner: Some(runner),
+        eco: Some(eco),
+        policy,
+    };
+    loop {
+        let runner = guard.runner.as_mut().expect("runner present until taken");
+        let eco = guard.eco.as_mut().expect("eco present until taken");
+        if runner.day >= days {
+            break;
         }
-        if campaign.use_stream {
-            engine.schedule_at(
-                start + SimDuration::hours(h) + SimDuration::minutes(30),
-                Ev::StreamDrain,
-            );
+        runner.step_day(eco);
+        if policy.every_days > 0 && runner.day.is_multiple_of(policy.every_days) {
+            let state = runner.state(eco);
+            save_to_file(&policy.snapshot_path(runner.day), &state)?;
         }
     }
-    for d in 0..window.num_days() {
-        engine.schedule_at(
-            start + SimDuration::days(d) + SimDuration::hours(22) + SimDuration::minutes(40),
-            Ev::SampleDrain,
-        );
-        if d % u64::from(campaign.monitor_interval_days.max(1)) == 0 {
-            engine.schedule_at(
-                start + SimDuration::days(d) + SimDuration::hours(23) + SimDuration::minutes(10),
-                Ev::Monitor { day: d as u32 },
-            );
+    // Disarm the drop guard before the (non-resumable) final assembly.
+    let runner = guard.runner.take().expect("runner");
+    let mut eco = guard.eco.take().expect("eco");
+    drop(guard);
+    Ok(runner.finish(&mut eco))
+}
+
+/// Owns the runner across the checkpointed loop so an unwind (a panic in
+/// an event handler) still leaves a snapshot of the last completed day on
+/// disk. Disarmed by `take`-ing the fields before final assembly.
+struct RunGuard<'p> {
+    runner: Option<Runner>,
+    eco: Option<Ecosystem>,
+    policy: &'p CheckpointPolicy,
+}
+
+impl Drop for RunGuard<'_> {
+    fn drop(&mut self) {
+        if !self.policy.on_drop {
+            return;
+        }
+        if let (Some(runner), Some(eco)) = (self.runner.as_ref(), self.eco.as_ref()) {
+            // Best-effort: never panic (or surface I/O errors) mid-unwind.
+            let state = runner.state(eco);
+            let _ = save_to_file(&self.policy.snapshot_path(runner.day), &state);
         }
     }
-    engine.schedule_at(
-        start + SimDuration::days(u64::from(campaign.join_day)) + SimDuration::hours(12),
-        Ev::Join,
-    );
-    engine.schedule_at(
-        end.checked_sub(SimDuration::minutes(20)).expect("window"),
-        Ev::Collect,
-    );
+}
 
-    engine.run_until(end, |eng, ev| {
-        let now = eng.now();
-        match ev {
-            Ev::Search => {
-                metrics.incr("campaign.search_rounds");
-                metrics.time_stage("search", || {
-                    discovery
-                        .run_search(&mut net, eco, now)
-                        .expect("search round")
-                });
-                metrics.observe(
-                    "discovery.groups_known",
-                    discovery.group_count() as f64,
-                    &[1e2, 1e3, 1e4, 1e5, 1e6],
+/// The live campaign: every mutable component plus the event timeline,
+/// advanced one study day at a time so day boundaries are capturable.
+struct Runner {
+    window: StudyWindow,
+    campaign: CampaignConfig,
+    /// Completed study days (== the next day index to execute).
+    day: u32,
+    engine: Engine<CampaignEvent>,
+    net: Net,
+    rng: Rng,
+    discovery: Discovery,
+    monitor: Monitor,
+    joiner: Joiner,
+    pii: PiiStore,
+    metrics: Metrics,
+}
+
+impl Runner {
+    /// A fresh campaign over `window` with the whole event mix scheduled
+    /// up front (it is static — nothing schedules during the run).
+    fn new(window: StudyWindow, campaign: CampaignConfig) -> Runner {
+        let start = window.start_time();
+        let end = window.end_time();
+        let mut engine: Engine<CampaignEvent> = Engine::new(start);
+
+        let total_hours = window.num_days() * 24;
+        for h in 0..total_hours {
+            if campaign.use_search && h % u64::from(campaign.search_interval_hours.max(1)) == 0 {
+                engine.schedule_at(start + SimDuration::hours(h), CampaignEvent::Search);
+            }
+            if campaign.use_stream {
+                engine.schedule_at(
+                    start + SimDuration::hours(h) + SimDuration::minutes(30),
+                    CampaignEvent::StreamDrain,
                 );
             }
-            Ev::StreamDrain => {
-                metrics.incr("campaign.stream_drains");
-                metrics.time_stage("stream", || {
-                    discovery
-                        .drain_stream(&mut net, eco, now)
-                        .expect("stream drain")
-                });
-            }
-            Ev::SampleDrain => {
-                metrics.incr("campaign.sample_drains");
-                metrics.time_stage("sample", || {
-                    discovery
-                        .drain_sample(&mut net, eco, now)
-                        .expect("sample drain")
-                });
-            }
-            Ev::Monitor { day } => {
-                metrics.incr("campaign.monitor_rounds");
-                metrics.time_stage("monitor", || {
-                    monitor
-                        .run_day(&mut net, eco, &discovery, now, day, Some(&mut pii))
-                        .expect("monitor round")
-                });
-            }
-            Ev::Join => {
-                metrics.time_stage("join", || {
-                    for kind in PlatformKind::ALL {
-                        let budget = eco.config.join_budget_scaled(kind);
-                        let timelines = &monitor.timelines;
-                        joiner
-                            .join_phase_with(
-                                &mut net,
-                                eco,
-                                &discovery,
-                                kind,
-                                budget,
-                                now,
-                                &mut rng,
-                                campaign.join_strategy,
-                                &|key| {
-                                    timelines
-                                        .get(key)
-                                        .and_then(|t| t.size_span())
-                                        .map(|(_, last)| last)
-                                },
-                            )
-                            .expect("join phase");
-                    }
-                });
-            }
-            Ev::Collect => {
-                metrics.time_stage("collect", || {
-                    joiner
-                        .collect_phase(&mut net, eco, now, &mut pii)
-                        .expect("collect phase")
-                });
+        }
+        for d in 0..window.num_days() {
+            engine.schedule_at(
+                start + SimDuration::days(d) + SimDuration::hours(22) + SimDuration::minutes(40),
+                CampaignEvent::SampleDrain,
+            );
+            if d % u64::from(campaign.monitor_interval_days.max(1)) == 0 {
+                engine.schedule_at(
+                    start
+                        + SimDuration::days(d)
+                        + SimDuration::hours(23)
+                        + SimDuration::minutes(10),
+                    CampaignEvent::Monitor { day: d as u32 },
+                );
             }
         }
-    });
+        engine.schedule_at(
+            start + SimDuration::days(u64::from(campaign.join_day)) + SimDuration::hours(12),
+            CampaignEvent::Join,
+        );
+        engine.schedule_at(
+            end.checked_sub(SimDuration::minutes(20)).expect("window"),
+            CampaignEvent::Collect,
+        );
 
-    metrics.add("transport.attempts", net.total_attempts());
-    metrics.add("discovery.tweets_collected", discovery.tweets.len() as u64);
-    metrics.add("discovery.groups_discovered", discovery.groups.len() as u64);
-    metrics.add("discovery.failed_requests", discovery.failed_requests);
-    metrics.add("join.dead_at_join", joiner.dead_at_join);
-    metrics.add("join.joined_groups", joiner.joined.len() as u64);
-    metrics.add("join.failed_fetches", joiner.failed_fetches);
+        Runner {
+            window,
+            campaign,
+            day: 0,
+            engine,
+            net: Net::new(campaign.seed, start, campaign.faults),
+            rng: Rng::new(campaign.seed ^ 0x9E37_79B9),
+            discovery: Discovery::new(start),
+            monitor: Monitor::with_pool(Pool::new(campaign.threads)),
+            joiner: Joiner::new(),
+            pii: PiiStore::new(),
+            metrics: Metrics::new(),
+        }
+    }
 
-    let mut ds = Dataset::assemble(window, discovery, monitor.timelines, joiner, pii);
-    ds.metrics = metrics;
-    ds
+    /// Execute every event of the next study day. The day's deadline is
+    /// its final second (23:59:59) — no campaign event is ever scheduled
+    /// there, so running to it is equivalent to running through the day
+    /// as part of one uninterrupted `run_until`.
+    fn step_day(&mut self, eco: &mut Ecosystem) {
+        let deadline = (self.window.start_time() + SimDuration::days(u64::from(self.day) + 1))
+            .checked_sub(SimDuration::secs(1))
+            .expect("window");
+        let Runner {
+            engine,
+            campaign,
+            net,
+            rng,
+            discovery,
+            monitor,
+            joiner,
+            pii,
+            metrics,
+            ..
+        } = self;
+        engine.run_until(deadline, |eng, ev| {
+            handle_event(
+                ev,
+                eng.now(),
+                eco,
+                campaign,
+                net,
+                rng,
+                discovery,
+                monitor,
+                joiner,
+                pii,
+                metrics,
+            );
+        });
+        self.day += 1;
+    }
+
+    /// Run any remaining events (the final day's tail past 23:59:59 holds
+    /// none, but resumed runners may still be mid-campaign), record the
+    /// end-of-run metrics, and assemble the dataset.
+    fn finish(mut self, eco: &mut Ecosystem) -> Dataset {
+        let end = self.window.end_time();
+        {
+            let Runner {
+                engine,
+                campaign,
+                net,
+                rng,
+                discovery,
+                monitor,
+                joiner,
+                pii,
+                metrics,
+                ..
+            } = &mut self;
+            engine.run_until(end, |eng, ev| {
+                handle_event(
+                    ev,
+                    eng.now(),
+                    eco,
+                    campaign,
+                    net,
+                    rng,
+                    discovery,
+                    monitor,
+                    joiner,
+                    pii,
+                    metrics,
+                );
+            });
+        }
+
+        self.metrics
+            .add("transport.attempts", self.net.total_attempts());
+        self.metrics.add(
+            "discovery.tweets_collected",
+            self.discovery.tweets.len() as u64,
+        );
+        self.metrics.add(
+            "discovery.groups_discovered",
+            self.discovery.groups.len() as u64,
+        );
+        self.metrics
+            .add("discovery.failed_requests", self.discovery.failed_requests);
+        self.metrics
+            .add("join.dead_at_join", self.joiner.dead_at_join);
+        self.metrics
+            .add("join.joined_groups", self.joiner.joined.len() as u64);
+        self.metrics
+            .add("join.failed_fetches", self.joiner.failed_fetches);
+
+        let mut ds = Dataset::assemble(
+            self.window,
+            self.discovery,
+            self.monitor.timelines,
+            self.joiner,
+            self.pii,
+        );
+        ds.metrics = self.metrics;
+        ds
+    }
+
+    /// Capture the full campaign state (valid at a day boundary).
+    fn state(&self, eco: &Ecosystem) -> CampaignState {
+        CampaignState {
+            scenario: eco.config.clone(),
+            campaign: self.campaign,
+            day: self.day,
+            engine: EngineState::capture(&self.engine),
+            rng: self.rng.state(),
+            clients: self.net.export_state(),
+            discovery: DiscoveryState::capture(&self.discovery),
+            monitor: MonitorState::capture(&self.monitor),
+            joiner: JoinerState::capture(&self.joiner),
+            pii: PiiState::capture(&self.pii),
+            metrics: self.metrics.clone(),
+            delta: eco.export_delta(),
+        }
+    }
+
+    /// Restore a runner from a snapshot. `window` comes from the rebuilt
+    /// ecosystem; the transport clients are rebuilt with their original
+    /// configuration and then overwritten with the snapshotted state.
+    fn from_state(state: &CampaignState, window: StudyWindow) -> Runner {
+        let campaign = state.campaign;
+        let mut net = Net::new(campaign.seed, window.start_time(), campaign.faults);
+        net.restore_state(state.clients.clone());
+        Runner {
+            window,
+            campaign,
+            day: state.day,
+            engine: state.engine.restore(),
+            net,
+            rng: Rng::from_state(state.rng),
+            discovery: state.discovery.restore(),
+            monitor: state.monitor.restore(Pool::new(campaign.threads)),
+            joiner: state.joiner.restore(),
+            pii: state.pii.restore(),
+            metrics: state.metrics.clone(),
+        }
+    }
+}
+
+/// One campaign event, dispatched against the pipeline components. Free
+/// function (rather than a `Runner` method) so `step_day` can lend the
+/// engine to `run_until` while the handler mutates the other fields.
+#[allow(clippy::too_many_arguments)]
+fn handle_event(
+    ev: CampaignEvent,
+    now: SimTime,
+    eco: &mut Ecosystem,
+    campaign: &CampaignConfig,
+    net: &mut Net,
+    rng: &mut Rng,
+    discovery: &mut Discovery,
+    monitor: &mut Monitor,
+    joiner: &mut Joiner,
+    pii: &mut PiiStore,
+    metrics: &mut Metrics,
+) {
+    match ev {
+        CampaignEvent::Search => {
+            metrics.incr("campaign.search_rounds");
+            metrics.time_stage("search", || {
+                discovery.run_search(net, eco, now).expect("search round")
+            });
+            metrics.observe(
+                "discovery.groups_known",
+                discovery.group_count() as f64,
+                &[1e2, 1e3, 1e4, 1e5, 1e6],
+            );
+        }
+        CampaignEvent::StreamDrain => {
+            metrics.incr("campaign.stream_drains");
+            metrics.time_stage("stream", || {
+                discovery.drain_stream(net, eco, now).expect("stream drain")
+            });
+        }
+        CampaignEvent::SampleDrain => {
+            metrics.incr("campaign.sample_drains");
+            metrics.time_stage("sample", || {
+                discovery.drain_sample(net, eco, now).expect("sample drain")
+            });
+        }
+        CampaignEvent::Monitor { day } => {
+            metrics.incr("campaign.monitor_rounds");
+            metrics.time_stage("monitor", || {
+                monitor
+                    .run_day(net, eco, discovery, now, day, Some(pii))
+                    .expect("monitor round")
+            });
+        }
+        CampaignEvent::Join => {
+            metrics.time_stage("join", || {
+                for kind in PlatformKind::ALL {
+                    let budget = eco.config.join_budget_scaled(kind);
+                    let timelines = &monitor.timelines;
+                    joiner
+                        .join_phase_with(
+                            net,
+                            eco,
+                            discovery,
+                            kind,
+                            budget,
+                            now,
+                            rng,
+                            campaign.join_strategy,
+                            &|key| {
+                                timelines
+                                    .get(key)
+                                    .and_then(|t| t.size_span())
+                                    .map(|(_, last)| last)
+                            },
+                        )
+                        .expect("join phase");
+                }
+            });
+        }
+        CampaignEvent::Collect => {
+            metrics.time_stage("collect", || {
+                joiner
+                    .collect_phase(net, eco, now, pii)
+                    .expect("collect phase")
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -364,5 +710,27 @@ mod tests {
             dead_on_arrival > 0.4,
             "Discord dead-on-arrival share {dead_on_arrival}"
         );
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted() {
+        // Capture mid-campaign, rebuild the world from scratch, and run
+        // the rest: the dataset must match an uninterrupted run exactly
+        // (wall-clock stage timings aside).
+        let scenario = ScenarioConfig::at_scale(0.003);
+        let mut full = run_study(scenario.clone());
+
+        let mut eco = Ecosystem::build(scenario);
+        let mut runner = Runner::new(eco.window, CampaignConfig::default());
+        for _ in 0..3 {
+            runner.step_day(&mut eco);
+        }
+        let state = runner.state(&eco);
+        drop((runner, eco));
+        let mut resumed = resume_study(&state);
+
+        full.metrics.strip_wall_clock();
+        resumed.metrics.strip_wall_clock();
+        assert_eq!(full, resumed);
     }
 }

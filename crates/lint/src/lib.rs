@@ -3,7 +3,7 @@
 //! Every table and figure this workspace reproduces is contractually a
 //! pure function of `(seed, config)` — bit-identical at any thread count
 //! (DESIGN.md §3, §7). This crate machine-checks that contract instead of
-//! trusting comments: a dependency-free token scanner ([`scan`]) walks
+//! trusting comments: a dependency-free token scanner ([`scan`](mod@scan)) walks
 //! every workspace source file and enforces deny-by-default rules with
 //! `file:line:col` diagnostics.
 //!
@@ -16,6 +16,7 @@
 //! | D3 | ambient entropy: `thread_rng`, `from_entropy`, `OsRng`, `getrandom`, `RandomState` — every RNG must derive from the seeded root via `Rng::fork` |
 //! | D4 | `par_map`/`par_fold`/`par_chunks_mut`/`run_tasks` closures must not touch locks or shared atomics (ordered merge is the only legal reduction; the `Fn` bound already forbids `&mut` capture at compile time) |
 //! | D5 | no `unwrap()`/`expect()` on lock acquisition in library crates (the `parking_lot` shim never poisons; a `Result`-shaped lock call is a sign std locks leaked in) |
+//! | D6 | direct `std::fs` writes (`fs::write`, `File::create`, `OpenOptions`, ...) outside the checkpoint and report crates — all artifact and snapshot output must flow through the sanctioned writers so runs stay reproducible and atomic |
 //!
 //! A site is suppressed by `// lint:allow(<rule>)` on the same line or the
 //! line directly above; pragmas must carry a one-line justification.
@@ -42,11 +43,13 @@ pub enum Rule {
     D4,
     /// `unwrap`/`expect` on lock acquisition in library crates.
     D5,
+    /// Direct filesystem writes outside the checkpoint/report crates.
+    D6,
 }
 
 impl Rule {
     /// All rules, in catalog order.
-    pub const ALL: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5];
+    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6];
 
     /// The short id used in diagnostics and `lint:allow(...)` pragmas.
     pub fn id(self) -> &'static str {
@@ -56,6 +59,7 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::D5 => "D5",
+            Rule::D6 => "D6",
         }
     }
 
@@ -69,6 +73,7 @@ impl Rule {
             Rule::D3 => "ambient entropy (thread_rng, OsRng, from_entropy, ...)",
             Rule::D4 => "lock or shared atomic inside a par_* closure",
             Rule::D5 => "unwrap()/expect() on lock acquisition in a library crate",
+            Rule::D6 => "direct std::fs write outside the checkpoint/report crates",
         }
     }
 }
@@ -115,6 +120,8 @@ struct Scope {
     library: bool,
     /// analysis or report crate (strictest `std::time` ban).
     analysis_or_report: bool,
+    /// checkpoint or report crate — the two sanctioned file writers (D6).
+    fs_writer: bool,
 }
 
 fn scope_of(path: &str) -> Scope {
@@ -127,8 +134,20 @@ fn scope_of(path: &str) -> Scope {
         metrics_exempt: p.ends_with("simnet/src/metrics.rs"),
         library: p.contains("crates/"),
         analysis_or_report: in_crate("analysis") || in_crate("report"),
+        fs_writer: in_crate("checkpoint") || in_crate("report"),
     }
 }
+
+/// `std::fs` free functions that mutate the filesystem (D6).
+const FS_WRITE_FNS: [&str; 7] = [
+    "write",
+    "create_dir",
+    "create_dir_all",
+    "rename",
+    "remove_file",
+    "remove_dir_all",
+    "copy",
+];
 
 /// Methods whose call on an unordered map/set observes iteration order.
 const ITER_METHODS: [&str; 13] = [
@@ -249,6 +268,34 @@ pub fn check_source_counting(path: &str, source: &str) -> (Vec<Finding>, usize) 
             }
             if scope.analysis_or_report && assoc(i, "std", "time") {
                 push(Rule::D1, &toks[i], "std::time in an analysis/report crate; artifacts must be pure functions of (seed, config)".into());
+            }
+        }
+        // ---- D6: direct filesystem writes --------------------------------
+        if !scope.fs_writer {
+            if i + 3 < toks.len() {
+                if let Some(f) = FS_WRITE_FNS.iter().find(|f| assoc(i, "fs", f)) {
+                    push(
+                        Rule::D6,
+                        &toks[i + 3],
+                        format!(
+                            "`fs::{f}` outside the checkpoint/report crates; route output through the sanctioned writers (report exporters, checkpoint::save_to_file)"
+                        ),
+                    );
+                }
+                if assoc(i, "File", "create") {
+                    push(
+                        Rule::D6,
+                        &toks[i],
+                        "`File::create` outside the checkpoint/report crates; route output through the sanctioned writers".into(),
+                    );
+                }
+            }
+            if toks[i].is_ident("OpenOptions") {
+                push(
+                    Rule::D6,
+                    &toks[i],
+                    "`OpenOptions` outside the checkpoint/report crates; route output through the sanctioned writers".into(),
+                );
             }
         }
         // ---- D3: ambient entropy -----------------------------------------
@@ -703,6 +750,38 @@ mod tests {
         assert_eq!(rules_of("crates/core/src/x.rs", src), vec![Rule::D5]);
         // The binary crate may unwrap (it is allowed to crash loudly).
         assert_eq!(rules_of("src/bin/repro.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d6_fires_on_fs_writes_outside_writers() {
+        let src = "fn f() { std::fs::write(\"out.csv\", b\"x\").unwrap(); }";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![Rule::D6]);
+        assert_eq!(rules_of("src/bin/repro.rs", src), vec![Rule::D6]);
+        // The sanctioned writer crates are exempt.
+        assert_eq!(rules_of("crates/checkpoint/src/snapshot.rs", src), vec![]);
+        assert_eq!(rules_of("crates/report/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d6_covers_file_create_and_openoptions() {
+        let src = "fn f() { let f = File::create(\"x\").unwrap(); }";
+        assert_eq!(rules_of("crates/analysis/src/x.rs", src), vec![Rule::D6]);
+        let src2 = "fn f() { OpenOptions::new().append(true).open(\"x\").unwrap(); }";
+        assert_eq!(rules_of("crates/workload/src/x.rs", src2), vec![Rule::D6]);
+    }
+
+    #[test]
+    fn d6_reads_are_fine() {
+        let src = "fn f() -> String { std::fs::read_to_string(\"in.json\").unwrap() }";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d6_pragma_suppresses() {
+        let src = "// lint:allow(D6) CSV export is this binary's whole job\nfn f() { std::fs::write(\"t.csv\", b\"x\").unwrap(); }";
+        let (findings, suppressed) = check_source_counting("src/bin/repro.rs", src);
+        assert!(findings.is_empty());
+        assert_eq!(suppressed, 1);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::group::{Group, GroupHistory};
 use crate::id::{AccountId, GroupId, PlatformKind, UserId};
 use crate::spec::PlatformSpec;
 use crate::user::User;
-use chatlens_simnet::fault::TokenBucket;
+use chatlens_simnet::fault::{TokenBucket, TokenBucketState};
 use chatlens_simnet::time::SimTime;
 use std::collections::HashMap;
 use std::fmt;
@@ -45,7 +45,7 @@ impl fmt::Display for JoinError {
 impl std::error::Error for JoinError {}
 
 /// A collector-side account's standing on the platform.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AccountState {
     /// Groups joined, with join instants (WhatsApp reveals messages only
     /// from the join date onward, so the instant matters).
@@ -81,6 +81,11 @@ pub struct Platform {
     /// bucket gating `api/*` endpoints. `None` on platforms whose APIs the
     /// collector is not flood-limited on in the paper.
     pub(crate) api_bucket: Option<TokenBucket>,
+    /// Groups whose history was installed, in installation order. History
+    /// materialization allocates fresh user ids from the platform-wide
+    /// counter, so a checkpoint restore must replay installs in this exact
+    /// order to reproduce the same id assignment.
+    materialized: Vec<GroupId>,
 }
 
 impl Platform {
@@ -99,6 +104,7 @@ impl Platform {
             invite_index: HashMap::new(),
             accounts: Vec::new(),
             api_bucket,
+            materialized: Vec::new(),
         }
     }
 
@@ -221,7 +227,46 @@ impl Platform {
     /// Install a materialized history (members + messages) for a joined
     /// group; the service endpoints serve from it.
     pub fn install_history(&mut self, id: GroupId, history: GroupHistory) {
+        if self.groups[id.0 as usize].history.is_none() {
+            self.materialized.push(id);
+        }
         self.groups[id.0 as usize].history = Some(history);
+    }
+
+    /// Export the collector-account states (checkpointing). The world
+    /// population itself is rebuilt deterministically from the scenario
+    /// seed, so accounts — mutated by the campaign's joins — are the only
+    /// per-account state a snapshot needs.
+    pub fn export_accounts(&self) -> Vec<AccountState> {
+        self.accounts.clone()
+    }
+
+    /// Overwrite the collector-account states from a checkpoint export.
+    pub fn restore_accounts(&mut self, accounts: Vec<AccountState>) {
+        self.accounts = accounts;
+    }
+
+    /// Export the server-side API flood-control bucket state, if this
+    /// platform has one (checkpointing).
+    pub fn api_bucket_state(&self) -> Option<TokenBucketState> {
+        self.api_bucket.as_ref().map(TokenBucket::state)
+    }
+
+    /// Restore the API flood-control bucket from a checkpoint export.
+    /// `None` clears the bucket only on platforms that never had one.
+    pub fn restore_api_bucket(&mut self, state: Option<TokenBucketState>) {
+        if let Some(s) = state {
+            self.api_bucket = Some(TokenBucket::from_state(s));
+        }
+    }
+
+    /// Ids of groups with a materialized history installed, in
+    /// *installation order* (checkpointing: histories are re-materialized
+    /// deterministically on restore rather than serialized, and because
+    /// materialization allocates platform user ids, the replay must follow
+    /// the original order exactly for the id assignment to match).
+    pub fn materialized_groups(&self) -> Vec<GroupId> {
+        self.materialized.clone()
     }
 }
 

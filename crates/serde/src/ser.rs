@@ -378,6 +378,17 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (key, value) in self {
+            map.serialize_key(key)?;
+            map.serialize_value(value)?;
+        }
+        map.end()
+    }
+}
+
 macro_rules! serialize_tuple_impl {
     ($len:expr => $(($idx:tt $name:ident)),+) => {
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {

@@ -30,6 +30,28 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Rebuild an engine from checkpointed state: the clock position, the
+    /// lifetime event count, and the pending events in `(time, sequence)`
+    /// order (as exported by [`Engine::pending_events`]).
+    ///
+    /// Events are re-scheduled in the given order, so fresh sequence
+    /// numbers reproduce the original pop order exactly.
+    ///
+    /// # Panics
+    /// Panics if any event lies before `now` (a snapshot can only hold
+    /// future events).
+    pub fn restore(now: SimTime, processed: u64, events: Vec<(SimTime, E)>) -> Self {
+        let mut engine = Engine {
+            now,
+            queue: EventQueue::new(),
+            processed,
+        };
+        for (at, ev) in events {
+            engine.schedule_at(at, ev);
+        }
+        engine
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -43,6 +65,15 @@ impl<E> Engine<E> {
     /// Number of pending events (including lazily-cancelled entries).
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Snapshot the pending (non-cancelled) events in delivery order —
+    /// the checkpoint export matching [`Engine::restore`].
+    pub fn pending_events(&self) -> Vec<(SimTime, E)>
+    where
+        E: Clone,
+    {
+        self.queue.pending_sorted()
     }
 
     /// Schedule an event at absolute time `at`.

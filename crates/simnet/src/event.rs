@@ -118,6 +118,27 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
+    /// Snapshot the still-pending (non-cancelled) events as
+    /// `(time, payload)` pairs, sorted by `(time, sequence)` — i.e. in the
+    /// exact order [`EventQueue::pop`] would deliver them.
+    ///
+    /// Re-scheduling the returned events into a fresh queue (in order)
+    /// reproduces the original pop order, because fresh sequence numbers
+    /// are assigned monotonically. This is the checkpoint export path.
+    pub fn pending_sorted(&self) -> Vec<(SimTime, E)>
+    where
+        E: Clone,
+    {
+        let mut pending: Vec<(SimTime, u64, E)> = self
+            .heap
+            .iter()
+            .filter(|e| !self.cancelled.contains(&e.id))
+            .map(|e| (e.at, e.seq, e.payload.clone()))
+            .collect();
+        pending.sort_by_key(|&(at, seq, _)| (at, seq));
+        pending.into_iter().map(|(at, _, p)| (at, p)).collect()
+    }
+
     fn skim_cancelled(&mut self) {
         while let Some(top) = self.heap.peek() {
             if self.cancelled.remove(&top.id) {

@@ -10,7 +10,7 @@ use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
 
 /// Per-attempt fault model: independent drop and server-error probabilities.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultInjector {
     /// Probability the request is silently dropped in transit.
     pub drop_chance: f64,
@@ -54,6 +54,20 @@ pub struct TokenBucket {
     last: SimTime,
 }
 
+/// The full mutable state of a [`TokenBucket`], exported for checkpointing
+/// and restored with [`TokenBucket::from_state`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenBucketState {
+    /// Maximum tokens the bucket holds (the burst size).
+    pub capacity: f64,
+    /// Tokens available as of `last`.
+    pub tokens: f64,
+    /// Refill rate in tokens per virtual second.
+    pub rate: f64,
+    /// Virtual time of the last refill.
+    pub last: SimTime,
+}
+
 impl TokenBucket {
     /// A bucket that starts full.
     ///
@@ -68,6 +82,31 @@ impl TokenBucket {
             tokens: capacity,
             rate,
             last: start,
+        }
+    }
+
+    /// Export the bucket's mutable state (fill level, refill cursor) for a
+    /// checkpoint.
+    pub fn state(&self) -> TokenBucketState {
+        TokenBucketState {
+            capacity: self.capacity,
+            tokens: self.tokens,
+            rate: self.rate,
+            last: self.last,
+        }
+    }
+
+    /// Rebuild a bucket from an exported [`TokenBucketState`]. Unlike
+    /// [`TokenBucket::new`], the bucket does *not* start full: the
+    /// checkpointed fill level is preserved exactly. Callers are trusted to
+    /// pass state that came from [`TokenBucket::state`] (snapshots are
+    /// checksummed upstream).
+    pub fn from_state(s: TokenBucketState) -> TokenBucket {
+        TokenBucket {
+            capacity: s.capacity,
+            tokens: s.tokens,
+            rate: s.rate,
+            last: s.last,
         }
     }
 

@@ -9,7 +9,7 @@ use std::fmt;
 
 /// A histogram over fixed, caller-supplied bucket upper bounds, plus an
 /// overflow bucket. Also tracks exact count/sum/min/max.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bounds: Vec<f64>,
     counts: Vec<u64>,
@@ -92,11 +92,51 @@ impl Histogram {
             .chain(std::iter::once(f64::INFINITY))
             .zip(self.counts.iter().copied())
     }
+
+    /// The configured bucket upper bounds (checkpoint export).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Raw per-bucket counts, overflow bucket last (checkpoint export).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Exact sum of all observations (checkpoint export).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Rebuild a histogram from exported parts (the restore half of
+    /// checkpointing). `min`/`max` use the [`Histogram::min`] /
+    /// [`Histogram::max`] convention: `None` for an empty histogram.
+    ///
+    /// # Panics
+    /// Panics if `counts` does not have exactly `bounds.len() + 1` slots or
+    /// the bounds are invalid (same contract as [`Histogram::new`]).
+    pub fn from_parts(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        count: u64,
+        sum: f64,
+        min: Option<f64>,
+        max: Option<f64>,
+    ) -> Histogram {
+        let mut h = Histogram::new(&bounds);
+        assert_eq!(counts.len(), bounds.len() + 1, "bucket count mismatch");
+        h.counts = counts;
+        h.count = count;
+        h.sum = sum;
+        h.min = min.unwrap_or(f64::INFINITY);
+        h.max = max.unwrap_or(f64::NEG_INFINITY);
+        h
+    }
 }
 
 /// A registry of named counters and histograms with deterministic
 /// (sorted) iteration order.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
@@ -140,6 +180,32 @@ impl Metrics {
     /// Iterate counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterate histograms in name order (checkpoint export).
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Rebuild a registry from exported parts (the restore half of
+    /// checkpointing).
+    pub fn from_parts(
+        counters: BTreeMap<String, u64>,
+        histograms: BTreeMap<String, Histogram>,
+    ) -> Metrics {
+        Metrics {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Remove every wall-clock timing counter (names ending `.micros`, as
+    /// written by [`Metrics::time_stage`]). Timings are real elapsed time
+    /// and therefore differ between otherwise bit-identical runs; equality
+    /// comparisons across runs — e.g. the checkpoint/resume determinism
+    /// suite — must normalize with this before comparing.
+    pub fn strip_wall_clock(&mut self) {
+        self.counters.retain(|name, _| !name.ends_with(".micros"));
     }
 
     /// Runs `f` and records its wall-clock duration under the counters

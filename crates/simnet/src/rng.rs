@@ -59,6 +59,27 @@ impl Rng {
         Rng { s }
     }
 
+    /// Export the full 256-bit generator state (checkpointing).
+    ///
+    /// Restoring the returned words with [`Rng::from_state`] resumes the
+    /// stream at exactly this position — the property crash-safe campaign
+    /// snapshots rely on.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a previously exported [`Rng::state`].
+    ///
+    /// The all-zero state (invalid for Xoshiro) is mapped to the same
+    /// non-zero fallback that [`Rng::new`] uses, so a round-trip through a
+    /// snapshot can never produce a stuck generator.
+    pub fn from_state(mut s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng { s }
+    }
+
     /// Derive an independent generator for the subsystem named `label`.
     ///
     /// Forking hashes the label (FNV-1a) together with fresh output from

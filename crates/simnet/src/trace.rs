@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 /// One recorded transport attempt. `status: None` means the attempt was
 /// dropped in transit (no response observed).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Virtual time of the attempt.
     pub at: SimTime,
@@ -35,6 +35,24 @@ pub struct TraceRecorder {
     dropped_attempts: u64,
     by_status: BTreeMap<String, u64>,
     by_endpoint: BTreeMap<String, u64>,
+}
+
+/// The full state of a [`TraceRecorder`], exported for checkpointing and
+/// restored with [`TraceRecorder::from_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceState {
+    /// Ring capacity the recorder was created with.
+    pub capacity: usize,
+    /// Total attempts ever recorded.
+    pub total: u64,
+    /// Attempts dropped in transit.
+    pub dropped_attempts: u64,
+    /// Exact attempt counts per status string.
+    pub by_status: BTreeMap<String, u64>,
+    /// Exact attempt counts per endpoint.
+    pub by_endpoint: BTreeMap<String, u64>,
+    /// Retained (most recent) entries, oldest first.
+    pub entries: Vec<TraceEntry>,
 }
 
 impl TraceRecorder {
@@ -95,6 +113,34 @@ impl TraceRecorder {
     /// The retained (most recent) entries, oldest first.
     pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
         self.ring.iter()
+    }
+
+    /// Export the recorder's full state (ring contents and exact
+    /// aggregates) for a checkpoint.
+    pub fn state(&self) -> TraceState {
+        TraceState {
+            capacity: self.capacity,
+            total: self.total,
+            dropped_attempts: self.dropped_attempts,
+            by_status: self.by_status.clone(),
+            by_endpoint: self.by_endpoint.clone(),
+            entries: self.ring.iter().cloned().collect(),
+        }
+    }
+
+    /// Rebuild a recorder from an exported [`TraceState`]. Entries beyond
+    /// the stated capacity are discarded oldest-first, mirroring what
+    /// [`TraceRecorder::record`] would have retained.
+    pub fn from_state(s: TraceState) -> TraceRecorder {
+        let keep = s.entries.len().saturating_sub(s.capacity);
+        TraceRecorder {
+            ring: s.entries.into_iter().skip(keep).collect(),
+            capacity: s.capacity,
+            total: s.total,
+            dropped_attempts: s.dropped_attempts,
+            by_status: s.by_status,
+            by_endpoint: s.by_endpoint,
+        }
     }
 
     /// Render a compact text summary, one line per status and endpoint.
@@ -170,5 +216,70 @@ mod tests {
         let t = TraceRecorder::new(4);
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn ring_eviction_keeps_aggregates_exact() {
+        // Drive a small ring far past capacity with a mixed status/endpoint
+        // stream and check the aggregate invariants hold at every step:
+        //   sum(by_status) + dropped == total == sum(by_endpoint)
+        // and the ring always holds exactly the last min(total, capacity)
+        // entries in arrival order.
+        let capacity = 3;
+        let mut t = TraceRecorder::new(capacity);
+        let statuses = [
+            Some(Status::Ok),
+            None,
+            Some(Status::Gone),
+            Some(Status::RateLimited(5)),
+            Some(Status::ServerError),
+        ];
+        let endpoints = ["a", "b", "c"];
+        let mut all: Vec<TraceEntry> = Vec::new();
+        for i in 0..50u64 {
+            let e = TraceEntry {
+                at: SimTime(i),
+                endpoint: endpoints[(i % 3) as usize].to_string(),
+                status: statuses[(i % 5) as usize],
+                latency: SimDuration::secs(i % 7),
+                attempt: (i % 4) as u32 + 1,
+            };
+            all.push(e.clone());
+            t.record(e);
+
+            let total = t.len();
+            let by_status_sum: u64 = t.by_status().values().sum();
+            let by_endpoint_sum: u64 = t.by_endpoint().values().sum();
+            assert_eq!(by_status_sum + t.dropped(), total, "at step {i}");
+            assert_eq!(by_endpoint_sum, total, "at step {i}");
+
+            let expect = total.min(capacity as u64) as usize;
+            let ring: Vec<&TraceEntry> = t.entries().collect();
+            assert_eq!(ring.len(), expect, "at step {i}");
+            let tail = &all[all.len() - expect..];
+            assert!(
+                ring.iter().zip(tail.iter()).all(|(r, e)| *r == e),
+                "ring should hold the most recent entries in order (step {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn state_round_trip_preserves_everything() {
+        let mut t = TraceRecorder::new(2);
+        for i in 0..5u64 {
+            t.record(entry(if i % 2 == 0 { "a" } else { "b" }, Some(Status::Ok)));
+        }
+        t.record(entry("c", None));
+        let restored = TraceRecorder::from_state(t.state());
+        assert_eq!(restored.len(), t.len());
+        assert_eq!(restored.dropped(), t.dropped());
+        assert_eq!(restored.by_status(), t.by_status());
+        assert_eq!(restored.by_endpoint(), t.by_endpoint());
+        assert_eq!(
+            restored.entries().cloned().collect::<Vec<_>>(),
+            t.entries().cloned().collect::<Vec<_>>()
+        );
+        assert_eq!(restored.state(), t.state());
     }
 }

@@ -17,10 +17,10 @@
 //! hour/day granularity, so per-request latencies only need to be realistic
 //! in aggregate, not to reorder events.
 
-use crate::fault::{Backoff, FaultInjector, TokenBucket};
+use crate::fault::{Backoff, FaultInjector, TokenBucket, TokenBucketState};
 use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{TraceEntry, TraceRecorder};
+use crate::trace::{TraceEntry, TraceRecorder, TraceState};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -246,6 +246,21 @@ impl Default for ClientConfig {
     }
 }
 
+/// The mutable state of a [`Client`], exported by [`Client::state`] and
+/// restored with [`Client::restore_state`]. Everything a resumed campaign
+/// needs to continue the client's RNG/rate/trace streams bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientState {
+    /// Token-bucket fill level and refill cursor.
+    pub bucket: TokenBucketState,
+    /// RNG stream position (latency sampling, fault rolls, backoff jitter).
+    pub rng: [u64; 4],
+    /// Accumulated virtual wait time.
+    pub waited: SimDuration,
+    /// Trace ring and exact aggregate counters.
+    pub trace: TraceState,
+}
+
 /// The caller side of the transport: rate limiting, fault injection,
 /// retries with backoff, and tracing. One `Client` per logical account or
 /// API credential, mirroring how the paper's collectors held one credential
@@ -289,6 +304,29 @@ impl Client {
     /// Access the recorded trace.
     pub fn trace(&self) -> &TraceRecorder {
         &self.trace
+    }
+
+    /// Export the client's mutable state for a checkpoint: token-bucket
+    /// fill, RNG position, accumulated wait, and trace aggregates. The
+    /// configuration and fault model are *not* included — they are
+    /// re-derived deterministically by the caller on restore.
+    pub fn state(&self) -> ClientState {
+        ClientState {
+            bucket: self.bucket.state(),
+            rng: self.rng.state(),
+            waited: self.waited,
+            trace: self.trace.state(),
+        }
+    }
+
+    /// Overwrite the client's mutable state from an exported
+    /// [`ClientState`] (the restore half of checkpointing). The client must
+    /// have been rebuilt with the same configuration it was created with.
+    pub fn restore_state(&mut self, s: ClientState) {
+        self.bucket = TokenBucket::from_state(s.bucket);
+        self.rng = Rng::from_state(s.rng);
+        self.waited = s.waited;
+        self.trace = TraceRecorder::from_state(s.trace);
     }
 
     /// Issue `req` against `router` at virtual time `now`, with retries.

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Tweet-feature probabilities for one tweet population (Fig 3).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TweetFeatureParams {
     /// P(tweet contains >= 1 hashtag).
     pub p_hashtag: f64,
@@ -26,7 +26,7 @@ pub struct TweetFeatureParams {
 /// Heavy-tailed "how many tweets share this URL" model (Fig 2): with
 /// probability `p_once` exactly one tweet; otherwise `1 + floor(Pareto)`
 /// capped at `cap`.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ShareCountParams {
     /// Fraction of URLs shared exactly once.
     pub p_once: f64,
@@ -40,7 +40,7 @@ pub struct ShareCountParams {
 
 /// Group-age ("staleness", Fig 5) model: a same-day spike plus a log-normal
 /// tail, capped by the platform's own age.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StalenessParams {
     /// Fraction of groups created the same day they are first shared.
     pub p_same_day: f64,
@@ -53,7 +53,7 @@ pub struct StalenessParams {
 /// Invite-death model (Fig 6): an optional default TTL (Discord), an
 /// "instant" component for URLs that die right after being shared, and a
 /// slow manual-revocation hazard.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RevocationParams {
     /// Probability the invite carries the platform's default TTL.
     pub p_ttl: f64,
@@ -71,7 +71,7 @@ pub struct RevocationParams {
 }
 
 /// Initial-size and growth model (Fig 7).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SizeParams {
     /// Median initial member count (log-normal).
     pub median: f64,
@@ -95,7 +95,7 @@ pub struct SizeParams {
 }
 
 /// In-group activity model (Fig 8–9).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ActivityParams {
     /// Median messages/day per group (log-normal).
     pub msgs_per_day_median: f64,
@@ -129,7 +129,7 @@ pub struct ActivityParams {
 }
 
 /// Everything that varies per messaging platform.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlatformParams {
     /// Number of distinct group URLs discovered over the window, at scale
     /// 1.0 (Table 2).
@@ -171,7 +171,7 @@ pub struct PlatformParams {
 }
 
 /// The control (1% sample) tweet population.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ControlParams {
     /// Number of control tweets at scale 1.0 (§3.1: 1,797,914).
     pub n_tweets: u64,
@@ -182,7 +182,7 @@ pub struct ControlParams {
 }
 
 /// The top-level scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioConfig {
     /// Root seed; every random decision in the scenario derives from it.
     pub seed: u64,

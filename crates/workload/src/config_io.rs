@@ -3,10 +3,11 @@
 //!
 //! The offline crate set includes `serde` but no format crate, so the
 //! writer lives here. It covers the subset of the serde data model the
-//! scenario types use (structs, arrays, tuples, primitives, strings) and
-//! rejects anything else loudly — this is a config exporter, not a general
-//! JSON library. Output is deterministic (field order = declaration
-//! order), so exported scenarios diff cleanly.
+//! scenario types use (structs, arrays, tuples, primitives, strings, and
+//! maps — checkpoint summaries carry a counters map) and rejects anything
+//! else loudly — this is a config exporter, not a general JSON library.
+//! Output is deterministic (field order = declaration order; map order =
+//! the source `BTreeMap`'s key order), so exported scenarios diff cleanly.
 
 use serde::ser::{self, Serialize};
 use std::fmt;
@@ -89,7 +90,7 @@ impl<'a> ser::Serializer for Json<'a> {
     type SerializeTuple = Body<'a>;
     type SerializeTupleStruct = Body<'a>;
     type SerializeTupleVariant = ser::Impossible<(), JsonError>;
-    type SerializeMap = ser::Impossible<(), JsonError>;
+    type SerializeMap = MapBody<'a>;
     type SerializeStruct = Body<'a>;
     type SerializeStructVariant = ser::Impossible<(), JsonError>;
 
@@ -207,7 +208,11 @@ impl<'a> ser::Serializer for Json<'a> {
     }
 
     fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, JsonError> {
-        Err(JsonError("maps unsupported (configs use structs)".into()))
+        self.out.push('{');
+        Ok(MapBody {
+            out: self.out,
+            first: true,
+        })
     }
 
     fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Body<'a>, JsonError> {
@@ -227,6 +232,45 @@ impl<'a> ser::Serializer for Json<'a> {
         _len: usize,
     ) -> Result<Self::SerializeStructVariant, JsonError> {
         Err(JsonError("struct variants unsupported".into()))
+    }
+}
+
+/// Map body writer. Keys are rendered to a scratch buffer first so
+/// non-string keys (integers, say) can be quoted — JSON object keys must
+/// be strings.
+struct MapBody<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl ser::SerializeMap for MapBody<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), JsonError> {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+        let mut scratch = String::new();
+        key.serialize(Json { out: &mut scratch })?;
+        if scratch.starts_with('"') {
+            self.out.push_str(&scratch);
+        } else {
+            push_json_string(self.out, &scratch);
+        }
+        self.out.push(':');
+        Ok(())
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        value.serialize(Json { out: self.out })
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push('}');
+        Ok(())
     }
 }
 
@@ -355,6 +399,29 @@ mod tests {
         }
         assert!(to_json(&S { x: f64::NAN }).is_err());
         assert!(to_json(&S { x: f64::INFINITY }).is_err());
+    }
+
+    #[test]
+    fn maps_serialize_with_string_keys() {
+        use std::collections::BTreeMap;
+        #[derive(Serialize)]
+        struct S {
+            by_name: BTreeMap<String, u64>,
+            by_id: BTreeMap<u32, bool>,
+        }
+        let json = to_json(&S {
+            by_name: BTreeMap::from([("b".to_string(), 2), ("a".to_string(), 1)]),
+            by_id: BTreeMap::from([(7, true)]),
+        })
+        .unwrap();
+        // BTreeMap order, integer keys quoted.
+        assert_eq!(json, r#"{"by_name":{"a":1,"b":2},"by_id":{"7":true}}"#);
+    }
+
+    #[test]
+    fn empty_map_serializes() {
+        let json = to_json(&std::collections::BTreeMap::<String, u8>::new()).unwrap();
+        assert_eq!(json, "{}");
     }
 
     #[test]

@@ -5,7 +5,8 @@ use crate::groups::{generate_groups, GroupMeta};
 use crate::sharing::{generate_control_drafts, generate_share_drafts, Draft, DraftKind};
 use crate::topics::Vocabulary;
 use chatlens_platforms::id::{GroupId, PlatformKind};
-use chatlens_platforms::platform::Platform;
+use chatlens_platforms::platform::{AccountState, Platform};
+use chatlens_simnet::fault::TokenBucketState;
 use chatlens_simnet::rng::Rng;
 use chatlens_simnet::time::StudyWindow;
 use chatlens_twitter::TweetStore;
@@ -31,6 +32,23 @@ pub struct Ecosystem {
     pub metas: [Vec<GroupMeta>; 3],
     /// The tweet store (mount as `twitter` on the transport).
     pub twitter: TweetStore,
+}
+
+/// The campaign-mutated slice of an [`Ecosystem`], exported for
+/// checkpointing. The world population is rebuilt deterministically from
+/// the scenario seed on restore ([`Ecosystem::build`]), so a snapshot only
+/// carries what the campaign changed: collector accounts, server-side
+/// flood-control buckets, and which groups had histories materialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcosystemDelta {
+    /// Collector-account states per platform (WhatsApp, Telegram, Discord).
+    pub accounts: [Vec<AccountState>; 3],
+    /// API flood-control bucket state per platform (`None` where absent).
+    pub api_buckets: [Option<TokenBucketState>; 3],
+    /// Groups with a materialized history, per platform, in the order the
+    /// histories were installed (materialization allocates platform user
+    /// ids, so restore must replay installs in this order).
+    pub materialized: [Vec<GroupId>; 3],
 }
 
 impl Ecosystem {
@@ -168,6 +186,45 @@ impl Ecosystem {
     /// Ground-truth metadata of one group.
     pub fn meta(&self, kind: PlatformKind, id: GroupId) -> &GroupMeta {
         &self.metas[kind.index()][id.0 as usize]
+    }
+
+    /// Export the campaign-mutated slice of this world for a checkpoint.
+    pub fn export_delta(&self) -> EcosystemDelta {
+        let [wa, tg, dc] = &self.platforms;
+        EcosystemDelta {
+            accounts: [
+                wa.export_accounts(),
+                tg.export_accounts(),
+                dc.export_accounts(),
+            ],
+            api_buckets: [
+                wa.api_bucket_state(),
+                tg.api_bucket_state(),
+                dc.api_bucket_state(),
+            ],
+            materialized: [
+                wa.materialized_groups(),
+                tg.materialized_groups(),
+                dc.materialized_groups(),
+            ],
+        }
+    }
+
+    /// Re-apply a checkpointed [`EcosystemDelta`] to a freshly built world:
+    /// restores accounts and flood-control buckets, and re-materializes
+    /// exactly the groups the original run had materialized, in the
+    /// original installation order (each group's content is a pure
+    /// function of its own seed, but the platform user ids its members
+    /// receive come from a shared counter, so the order matters).
+    pub fn apply_delta(&mut self, delta: &EcosystemDelta) {
+        for kind in PlatformKind::ALL {
+            let i = kind.index();
+            self.platforms[i].restore_accounts(delta.accounts[i].clone());
+            self.platforms[i].restore_api_bucket(delta.api_buckets[i]);
+            for &gid in &delta.materialized[i] {
+                self.materialize_group(kind, gid);
+            }
+        }
     }
 
     /// Materialize a joined group's members and messages (idempotent).

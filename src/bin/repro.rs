@@ -17,7 +17,11 @@
 
 use chatlens::analysis::LdaConfig;
 use chatlens::analysis::{content, discovery, lifecycle, membership, messages, pii, topics};
-use chatlens::core::CampaignConfig;
+use chatlens::checkpoint::load_from_file;
+use chatlens::core::{
+    resume_study, resume_study_checkpointed, run_study_checkpointed, CampaignConfig, CampaignState,
+    CheckpointPolicy,
+};
 use chatlens::perspective::score_dataset;
 use chatlens::platforms::id::PlatformKind;
 use chatlens::platforms::spec::PlatformSpec;
@@ -40,14 +44,21 @@ USAGE:
 
 ARTIFACT:
     one of: table1 table2 table3 table4 table5 fig1..fig9 extras
-    extensions dump-config all        (default: all)
+    extensions dump-config run all    (default: all)
+    `run` executes the campaign and prints the dataset totals without
+    regenerating the analyses — pair it with the checkpoint options
 
 SUBCOMMANDS:
     lint [--stats]   run the determinism & concurrency static-analysis
                      pass (chatlens-lint) over the workspace sources and
                      exit nonzero on any finding; --stats prints the
                      per-rule summary table (see DESIGN.md §Determinism
-                     lint for the rule catalog D1..D5)
+                     lint for the rule catalog D1..D6)
+    checkpoint inspect <file>
+                     decode a campaign snapshot and print its summary as
+                     JSON (day, clock, collection counts, deterministic
+                     metric counters); exits 2 with a diagnostic on
+                     corrupt, truncated, or version-skewed files
 
 OPTIONS:
     --scale <f64>    world scale relative to the paper (default 0.1)
@@ -57,6 +68,16 @@ OPTIONS:
                      at ANY thread count — parallelism only changes
                      wall-clock time, never a table, figure, or the
                      collected dataset.
+    --checkpoint-dir <dir>
+                     save a campaign snapshot (day<NNN>.ckpt) into <dir>
+                     at day boundaries during the run
+    --checkpoint-every <n>
+                     snapshot interval in study days (default 1; needs
+                     --checkpoint-dir)
+    --resume <file>  resume the campaign from a snapshot instead of
+                     starting fresh (--scale/--seed are then taken from
+                     the snapshot, not the command line); the finished
+                     dataset is bit-identical to an uninterrupted run
     --timings        print per-stage wall-clock timings (campaign stages
                      and per-artifact analysis stages) to stderr
     --csv <dir>      export figure series as CSV files into <dir>
@@ -70,9 +91,30 @@ fn main() {
     let mut stats = false;
     let mut artifact = "all".to_string();
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut ckpt_dir: Option<std::path::PathBuf> = None;
+    let mut ckpt_every = 1u32;
+    let mut resume: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "checkpoint" => {
+                match args.next().as_deref() {
+                    Some("inspect") => {}
+                    other => {
+                        eprintln!(
+                            "error: unknown checkpoint subcommand {:?} (expected `inspect`)",
+                            other.unwrap_or("")
+                        );
+                        std::process::exit(2);
+                    }
+                }
+                let file = args.next().unwrap_or_else(|| {
+                    eprintln!("error: checkpoint inspect needs a snapshot file");
+                    std::process::exit(2);
+                });
+                checkpoint_inspect(std::path::Path::new(&file));
+                return;
+            }
             "--scale" => {
                 scale = args
                     .next()
@@ -96,6 +138,22 @@ fn main() {
             "--csv" => {
                 csv_dir = Some(std::path::PathBuf::from(args.next().expect("--csv <dir>")));
             }
+            "--checkpoint-dir" => {
+                ckpt_dir = Some(std::path::PathBuf::from(
+                    args.next().expect("--checkpoint-dir <dir>"),
+                ));
+            }
+            "--checkpoint-every" => {
+                ckpt_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--checkpoint-every <days>");
+            }
+            "--resume" => {
+                resume = Some(std::path::PathBuf::from(
+                    args.next().expect("--resume <file>"),
+                ));
+            }
             "--help" | "-h" => {
                 println!("{HELP}");
                 return;
@@ -118,17 +176,61 @@ fn main() {
         return;
     }
     eprintln!("# chatlens repro — scale {scale}, seed {seed}, threads {threads}");
-    eprintln!("# building ecosystem and running the 38-day campaign...");
     // lint:allow(D1) stderr progress timing for the operator; no artifact reads it
     let t0 = std::time::Instant::now();
-    let ds = run_study_with(
-        config,
-        CampaignConfig {
-            threads,
-            ..CampaignConfig::default()
-        },
-    );
+    let campaign = CampaignConfig {
+        threads,
+        ..CampaignConfig::default()
+    };
+    let policy = ckpt_dir.as_ref().map(|dir| CheckpointPolicy {
+        dir: dir.clone(),
+        every_days: ckpt_every.max(1),
+        on_drop: true,
+    });
+    let ds = if let Some(path) = &resume {
+        let state: CampaignState = load_from_file(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot resume from {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        eprintln!(
+            "# resuming campaign from {} (day {}, threads {threads})",
+            path.display(),
+            state.day,
+        );
+        let mut state = state;
+        state.campaign.threads = threads;
+        match &policy {
+            Some(p) => resume_study_checkpointed(&state, p).unwrap_or_else(|e| {
+                eprintln!("error: snapshot save failed: {e}");
+                std::process::exit(2);
+            }),
+            None => resume_study(&state),
+        }
+    } else {
+        eprintln!("# building ecosystem and running the 38-day campaign...");
+        match &policy {
+            Some(p) => run_study_checkpointed(config, campaign, p).unwrap_or_else(|e| {
+                eprintln!("error: snapshot save failed: {e}");
+                std::process::exit(2);
+            }),
+            None => run_study_with(config, campaign),
+        }
+    };
     eprintln!("# campaign done in {:.1?}\n", t0.elapsed());
+    if let Some(p) = &policy {
+        eprintln!("# snapshots in {}", p.dir.display());
+    }
+    if artifact == "run" {
+        let tot = ds.totals();
+        println!(
+            "campaign complete: {} tweets, {} group URLs, {} joined groups, {} messages",
+            fmt_count(tot.tweets),
+            fmt_count(tot.group_urls),
+            fmt_count(tot.joined_groups),
+            fmt_count(tot.messages)
+        );
+        return;
+    }
 
     let mut cmp: Vec<Comparison> = Vec::new();
     // Analysis-side stage timings, reported next to the campaign's
@@ -243,10 +345,28 @@ fn run_lint(stats: bool) {
     }
 }
 
+/// `repro checkpoint inspect <file>`: decode a snapshot and print its
+/// summary as JSON, or exit 2 with a diagnostic if the file is corrupt,
+/// truncated, or written by a different format version.
+fn checkpoint_inspect(path: &std::path::Path) {
+    match load_from_file::<CampaignState>(path) {
+        Ok(state) => println!(
+            "{}",
+            chatlens::workload::config_io::to_json(&state.summary()).expect("summary serializes")
+        ),
+        Err(e) => {
+            eprintln!("error: {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Write every figure's plottable series as CSV files into `dir`.
 fn export_csv(ds: &Dataset, pool: &Pool, dir: &std::path::Path) -> std::io::Result<()> {
     use std::fs;
+    // lint:allow(D6) CSV export is an operator-requested artifact sink (--csv)
     fs::create_dir_all(dir)?;
+    // lint:allow(D6) same artifact sink: every write lands under --csv <dir>
     let write = |name: String, body: String| fs::write(dir.join(name), body);
     let daily = discovery::daily_discovery_all(ds, pool);
     let per_url = discovery::tweets_per_url_all(ds, pool);

@@ -23,6 +23,8 @@
 //!   APIs with realistic incompleteness (§3.1).
 //! * [`workload`] — generative models calibrated to the paper's published
 //!   distributions; [`workload::Ecosystem`] builds the whole world.
+//! * [`checkpoint`] — versioned, checksummed campaign snapshots for
+//!   crash-safe long runs with bit-identical resume.
 //! * [`core`] — the paper's measurement pipeline: discovery, daily
 //!   monitoring, join-budgeted collection, PII accounting (§3).
 //! * [`analysis`] — one module per results section: Figs 1–9,
@@ -37,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub use chatlens_analysis as analysis;
+pub use chatlens_checkpoint as checkpoint;
 pub use chatlens_core as core;
 pub use chatlens_perspective as perspective;
 pub use chatlens_platforms as platforms;
