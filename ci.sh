@@ -25,6 +25,12 @@ echo "==> chatlens-lint (repro lint)"
 cargo test -q -p chatlens-lint
 cargo run -q --bin repro -- lint
 
+# Resilience smoke: a whole campaign under the bursty (Gilbert–Elliott)
+# fault profile must complete and report its totals — the storm may cost
+# coverage (recorded in the gap ledger), never the run.
+echo "==> bursty fault-profile smoke (repro run)"
+cargo run -q --bin repro -- --scale 0.005 --fault-profile bursty run
+
 echo "==> cargo test (threads=1)"
 CHATLENS_THREADS=1 cargo test -q --workspace
 

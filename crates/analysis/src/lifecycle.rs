@@ -55,8 +55,14 @@ pub struct RevocationStats {
     /// "revoked before our first observation" bucket).
     pub dead_on_arrival_fraction: f64,
     /// Fig 6a: accessible lifetime (days from first observation to the
-    /// observed revocation) over revoked URLs.
+    /// observed revocation) over revoked URLs. Revocations whose
+    /// preceding day sits in the dataset's gap ledger are *censored* out
+    /// of this ECDF: the group may have died unobserved inside the gap,
+    /// so its lifetime is only known up to the gap length and would bias
+    /// the distribution upward.
     pub lifetime_days: Ecdf,
+    /// Revocations censored out of `lifetime_days` by the gap ledger.
+    pub censored: u64,
     /// Fig 6b: share of the platform's groups revoked on each study day.
     pub revoked_per_day: Vec<f64>,
 }
@@ -67,6 +73,7 @@ pub fn revocation_stats(ds: &Dataset, kind: PlatformKind) -> RevocationStats {
     let mut observed = 0u64;
     let mut revoked = 0u64;
     let mut doa = 0u64;
+    let mut censored = 0u64;
     let mut lifetimes: Vec<f64> = Vec::new();
     let mut per_day = vec![0u64; days];
     for rec in ds.groups.iter().filter(|g| g.platform == kind) {
@@ -83,7 +90,21 @@ pub fn revocation_stats(ds: &Dataset, kind: PlatformKind) -> RevocationStats {
         if let Some(rd) = tl.revoked_day() {
             revoked += 1;
             per_day[rd as usize] += 1;
-            lifetimes.push(f64::from(rd - first.day));
+            // A revocation first seen right after a censored day may have
+            // happened any time inside the gap — the exact lifetime is
+            // unknowable, so it is excluded from the ECDF instead of
+            // being fabricated. With an empty gap ledger this branch
+            // never fires and the statistics are unchanged.
+            let gap_before = rd > 0
+                && ds
+                    .gaps
+                    .get(&rec.invite.dedup_key())
+                    .is_some_and(|g| g.contains(&(rd - 1)));
+            if gap_before {
+                censored += 1;
+            } else {
+                lifetimes.push(f64::from(rd - first.day));
+            }
         }
     }
     let denom = observed.max(1) as f64;
@@ -92,6 +113,7 @@ pub fn revocation_stats(ds: &Dataset, kind: PlatformKind) -> RevocationStats {
         revoked_fraction: revoked as f64 / denom,
         dead_on_arrival_fraction: doa as f64 / denom,
         lifetime_days: Ecdf::new(lifetimes),
+        censored,
         revoked_per_day: per_day.into_iter().map(|c| c as f64 / denom).collect(),
     }
 }

@@ -15,11 +15,11 @@ use chatlens_platforms::id::{GroupId, PlatformKind, UserId};
 use chatlens_platforms::invite::{InviteCode, UrlPattern};
 use chatlens_platforms::message::{Message, MessageKind};
 use chatlens_platforms::platform::AccountState;
-use chatlens_simnet::fault::{FaultInjector, TokenBucketState};
+use chatlens_simnet::fault::{FaultInjector, FaultProfile, OutageSpec, TokenBucketState};
 use chatlens_simnet::metrics::{Histogram, Metrics};
 use chatlens_simnet::time::{SimDuration, SimTime};
-use chatlens_simnet::trace::{TraceEntry, TraceState};
-use chatlens_simnet::transport::{ClientState, Status};
+use chatlens_simnet::trace::{BreakerPhase, BreakerTransition, TraceEntry, TraceState};
+use chatlens_simnet::transport::{BreakerState, ClientState, Status};
 use chatlens_twitter::Tweet;
 use chatlens_workload::config::{
     ActivityParams, ControlParams, PlatformParams, RevocationParams, ScenarioConfig,
@@ -62,6 +62,85 @@ persist_struct!(FaultInjector {
     error_chance
 });
 
+impl Persist for FaultProfile {
+    fn save(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            FaultProfile::Calm => 0,
+            FaultProfile::Bursty => 1,
+            FaultProfile::Outage => 2,
+        });
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(FaultProfile::Calm),
+            1 => Ok(FaultProfile::Bursty),
+            2 => Ok(FaultProfile::Outage),
+            n => Err(CheckpointError::Malformed(format!("FaultProfile tag {n}"))),
+        }
+    }
+}
+
+persist_struct!(OutageSpec {
+    start_day,
+    days,
+    ban
+});
+
+impl Persist for BreakerPhase {
+    fn save(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            BreakerPhase::Closed => 0,
+            BreakerPhase::Open => 1,
+            BreakerPhase::HalfOpen => 2,
+        });
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(BreakerPhase::Closed),
+            1 => Ok(BreakerPhase::Open),
+            2 => Ok(BreakerPhase::HalfOpen),
+            n => Err(CheckpointError::Malformed(format!("BreakerPhase tag {n}"))),
+        }
+    }
+}
+
+persist_struct!(BreakerTransition {
+    at,
+    prefix,
+    from,
+    to
+});
+
+impl Persist for BreakerState {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                w.put_u8(0);
+                consecutive_failures.save(w);
+            }
+            BreakerState::Open { until } => {
+                w.put_u8(1);
+                until.save(w);
+            }
+            BreakerState::HalfOpen => w.put_u8(2),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(BreakerState::Closed {
+                consecutive_failures: u32::load(r)?,
+            }),
+            1 => Ok(BreakerState::Open {
+                until: SimTime::load(r)?,
+            }),
+            2 => Ok(BreakerState::HalfOpen),
+            n => Err(CheckpointError::Malformed(format!("BreakerState tag {n}"))),
+        }
+    }
+}
+
 impl Persist for Status {
     fn save(&self, w: &mut Writer) {
         match self {
@@ -103,14 +182,20 @@ persist_struct!(TraceState {
     dropped_attempts,
     by_status,
     by_endpoint,
-    entries
+    entries,
+    transitions,
+    breaker_fast_fails
 });
 
 persist_struct!(ClientState {
     bucket,
     rng,
     waited,
-    trace
+    trace,
+    rate_clock,
+    burst_rng,
+    burst_bad,
+    breakers
 });
 
 // ---- simnet: metrics ------------------------------------------------------
@@ -417,9 +502,65 @@ mod tests {
                     latency: SimDuration(2),
                     attempt: 3,
                 }],
+                transitions: vec![BreakerTransition {
+                    at: SimTime(6),
+                    prefix: "twitter".into(),
+                    from: BreakerPhase::Closed,
+                    to: BreakerPhase::Open,
+                }],
+                breaker_fast_fails: 2,
             },
+            rate_clock: SimTime(9),
+            burst_rng: [5, 6, 7, 8],
+            burst_bad: true,
+            breakers: [
+                (
+                    "twitter".to_string(),
+                    BreakerState::Open { until: SimTime(99) },
+                ),
+                (
+                    "whatsapp".to_string(),
+                    BreakerState::Closed {
+                        consecutive_failures: 3,
+                    },
+                ),
+            ]
+            .into_iter()
+            .collect(),
         };
         round_trip(state);
+    }
+
+    #[test]
+    fn resilience_types_round_trip() {
+        for p in [
+            FaultProfile::Calm,
+            FaultProfile::Bursty,
+            FaultProfile::Outage,
+        ] {
+            round_trip(p);
+        }
+        round_trip(Some(OutageSpec {
+            start_day: 5,
+            days: 3,
+            ban: true,
+        }));
+        round_trip(BreakerState::HalfOpen);
+        for phase in [
+            BreakerPhase::Closed,
+            BreakerPhase::Open,
+            BreakerPhase::HalfOpen,
+        ] {
+            round_trip(phase);
+        }
+        assert!(matches!(
+            BreakerState::load(&mut Reader::new(&[7])),
+            Err(CheckpointError::Malformed(_))
+        ));
+        assert!(matches!(
+            FaultProfile::load(&mut Reader::new(&[3])),
+            Err(CheckpointError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -14,7 +14,14 @@ pub const MAGIC: [u8; 8] = *b"CLCKPT\x1a\x01";
 
 /// The snapshot format generation this build reads and writes. Any change
 /// to the encoded layout of the campaign state must bump this.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// * v1 — initial format.
+/// * v2 — correlated-failure resilience: client state grew the breaker
+///   map, burst-chain phase/RNG and rate clock; traces carry breaker
+///   transitions; discovery and monitor state carry the backfill queues
+///   and the per-group gap ledger; the campaign config gained the fault
+///   profile and per-service outage specs.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Envelope overhead before the payload: magic + version + payload length.
 const HEADER_LEN: usize = 8 + 4 + 8;

@@ -47,6 +47,12 @@ pub struct Dataset {
     /// future iteration over it is dataset-ordered, never hasher-ordered
     /// (lint rule D2).
     pub timelines: BTreeMap<String, GroupTimeline>,
+    /// The gap ledger: study days on which a group could not be observed
+    /// even after backfill (outages, persistent transport failure), keyed
+    /// by dedup key with days ascending. Lifetime/staleness analyses
+    /// treat these as censored — an unobserved day is never an
+    /// observation.
+    pub gaps: BTreeMap<String, Vec<u32>>,
     /// Joined groups with members and messages.
     pub joined: Vec<JoinedGroup>,
     /// PII exposure accounting.
@@ -70,6 +76,7 @@ impl Dataset {
         window: StudyWindow,
         discovery: Discovery,
         timelines: BTreeMap<String, GroupTimeline>,
+        gaps: BTreeMap<String, Vec<u32>>,
         joiner: crate::joiner::Joiner,
         pii: PiiStore,
     ) -> Dataset {
@@ -81,6 +88,7 @@ impl Dataset {
             control: discovery.control,
             groups: discovery.groups,
             timelines,
+            gaps,
             accounts_used: joiner.accounts_used,
             bot_join_rejected: joiner.bot_join_rejected,
             joined: joiner.joined,

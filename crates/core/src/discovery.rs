@@ -19,7 +19,7 @@ use chatlens_simnet::transport::Request;
 use chatlens_twitter::store::TRACK_HOSTS;
 use chatlens_twitter::Tweet;
 use chatlens_workload::Ecosystem;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// First sighting of a group URL.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +64,13 @@ pub struct Discovery {
     last_sample_drain: SimTime,
     /// Transport-level failures that cost data (after retries).
     pub failed_requests: u64,
+    /// Stream windows `(from, to)` whose drain failed mid-flight; retried
+    /// at the next day boundary by [`Discovery::backfill`]. The Search
+    /// feed needs no queue: its `since_id` watermark only advances past
+    /// delivered tweets, so the next hourly round re-covers what was lost.
+    pub pending_stream: Vec<(SimTime, SimTime)>,
+    /// Sample windows awaiting backfill, like `pending_stream`.
+    pub pending_sample: Vec<(SimTime, SimTime)>,
 }
 
 impl Discovery {
@@ -80,6 +87,8 @@ impl Discovery {
             last_stream_drain: start,
             last_sample_drain: start,
             failed_requests: 0,
+            pending_stream: Vec::new(),
+            pending_sample: Vec::new(),
         }
     }
 
@@ -106,6 +115,8 @@ impl Discovery {
         last_stream_drain: SimTime,
         last_sample_drain: SimTime,
         failed_requests: u64,
+        pending_stream: Vec<(SimTime, SimTime)>,
+        pending_sample: Vec<(SimTime, SimTime)>,
     ) -> Discovery {
         let tweet_index = tweets
             .iter()
@@ -128,6 +139,8 @@ impl Discovery {
             last_stream_drain,
             last_sample_drain,
             failed_requests,
+            pending_stream,
+            pending_sample,
         }
     }
 
@@ -184,6 +197,11 @@ impl Discovery {
         });
     }
 
+    /// Pull every page of one feed request. Returns the highest tweet id
+    /// delivered and whether the drain ran to completion — a transport
+    /// failure mid-pagination loses the remaining pages, and the caller
+    /// decides whether the window is recoverable (queued for backfill) or
+    /// self-healing (search's `since_id`).
     #[allow(clippy::too_many_arguments)]
     fn drain_pages(
         &mut self,
@@ -194,16 +212,21 @@ impl Discovery {
         doc_kind: &'static str,
         via_search: bool,
         into_control: bool,
-    ) -> Result<Option<u64>, CoreError> {
+    ) -> Result<(Option<u64>, bool), CoreError> {
         let mut page = 0u64;
         let mut max_id: Option<u64> = None;
+        // Backfill re-fetches a window whose early pages may already have
+        // landed, so the control feed dedups by id (`ingest` already does
+        // for the discovery feeds). Built lazily: disjoint first-pass
+        // windows make it a no-op.
+        let mut control_ids: Option<HashSet<u64>> = None;
         loop {
             let req = base.clone().with("page", page.to_string());
             let resp = match net.twitter(eco, now, &req) {
                 Ok(r) => r,
                 Err(_) => {
                     self.failed_requests += 1;
-                    return Ok(max_id); // lose the page, keep the campaign going
+                    return Ok((max_id, false)); // lose the page, keep the campaign going
                 }
             };
             let doc = WireDoc::parse_as(&resp.body, doc_kind)?;
@@ -215,15 +238,19 @@ impl Discovery {
                 };
                 max_id = Some(max_id.map_or(tweet.id.0, |m| m.max(tweet.id.0)));
                 if into_control {
-                    tweet.is_control = true;
-                    self.control.push(tweet);
+                    let ids = control_ids
+                        .get_or_insert_with(|| self.control.iter().map(|t| t.id.0).collect());
+                    if ids.insert(tweet.id.0) {
+                        tweet.is_control = true;
+                        self.control.push(tweet);
+                    }
                 } else {
                     self.ingest(tweet, now, via_search);
                 }
             }
             match doc.opt_u64("next_page")? {
                 Some(next) => page = next,
-                None => return Ok(max_id),
+                None => return Ok((max_id, true)),
             }
         }
     }
@@ -241,7 +268,7 @@ impl Discovery {
             if let Some(since) = self.since_id[hi] {
                 req = req.with("since_id", since.to_string());
             }
-            let max_id = self.drain_pages(net, eco, now, req, "tw-search", true, false)?;
+            let (max_id, _) = self.drain_pages(net, eco, now, req, "tw-search", true, false)?;
             // Advance the host's high-water mark only past tweets *this
             // host's search* actually delivered — anything older is
             // invisible to search forever, anything newer must still be
@@ -262,11 +289,7 @@ impl Discovery {
     ) -> Result<(), CoreError> {
         let from = self.last_stream_drain;
         self.last_stream_drain = now;
-        let req = Request::new("twitter/stream")
-            .with("from", from.as_secs().to_string())
-            .with("to", now.as_secs().to_string());
-        self.drain_pages(net, eco, now, req, "tw-stream", false, false)
-            .map(|_| ())
+        self.fetch_stream_window(net, eco, now, (from, now))
     }
 
     /// Drain the 1% sample stream into the control dataset.
@@ -278,11 +301,69 @@ impl Discovery {
     ) -> Result<(), CoreError> {
         let from = self.last_sample_drain;
         self.last_sample_drain = now;
+        self.fetch_sample_window(net, eco, now, (from, now))
+    }
+
+    /// Fetch one stream window, queueing it for backfill if incomplete.
+    fn fetch_stream_window(
+        &mut self,
+        net: &mut Net,
+        eco: &mut Ecosystem,
+        now: SimTime,
+        window: (SimTime, SimTime),
+    ) -> Result<(), CoreError> {
+        let req = Request::new("twitter/stream")
+            .with("from", window.0.as_secs().to_string())
+            .with("to", window.1.as_secs().to_string());
+        let (_, complete) = self.drain_pages(net, eco, now, req, "tw-stream", false, false)?;
+        if !complete {
+            self.pending_stream.push(window);
+        }
+        Ok(())
+    }
+
+    /// Fetch one sample window, queueing it for backfill if incomplete.
+    fn fetch_sample_window(
+        &mut self,
+        net: &mut Net,
+        eco: &mut Ecosystem,
+        now: SimTime,
+        window: (SimTime, SimTime),
+    ) -> Result<(), CoreError> {
         let req = Request::new("twitter/sample")
-            .with("from", from.as_secs().to_string())
-            .with("to", now.as_secs().to_string());
-        self.drain_pages(net, eco, now, req, "tw-sample", false, true)
-            .map(|_| ())
+            .with("from", window.0.as_secs().to_string())
+            .with("to", window.1.as_secs().to_string());
+        let (_, complete) = self.drain_pages(net, eco, now, req, "tw-sample", false, true)?;
+        if !complete {
+            self.pending_sample.push(window);
+        }
+        Ok(())
+    }
+
+    /// Retry every queued stream/sample window. Called once per day
+    /// boundary; windows that fail again simply re-queue, so nothing is
+    /// lost while an outage lasts and everything recoverable lands at the
+    /// first healthy boundary. Re-fetching is safe: both feeds dedup by
+    /// tweet id, and collection timestamps honestly record the backfill
+    /// instant rather than pretending the window was seen on time.
+    pub fn backfill(
+        &mut self,
+        net: &mut Net,
+        eco: &mut Ecosystem,
+        now: SimTime,
+    ) -> Result<(), CoreError> {
+        for window in std::mem::take(&mut self.pending_stream) {
+            self.fetch_stream_window(net, eco, now, window)?;
+        }
+        for window in std::mem::take(&mut self.pending_sample) {
+            self.fetch_sample_window(net, eco, now, window)?;
+        }
+        Ok(())
+    }
+
+    /// Windows still awaiting backfill (campaign health metric).
+    pub fn pending_windows(&self) -> usize {
+        self.pending_stream.len() + self.pending_sample.len()
     }
 }
 

@@ -141,6 +141,12 @@ pub struct Monitor {
     pub timelines: BTreeMap<String, GroupTimeline>,
     /// Keys that reached a terminal state (revoked) — no longer polled.
     terminal: std::collections::HashSet<String>,
+    /// The gap ledger: study days on which a group could not be observed
+    /// even after the same-day backfill retry (keyed by dedup key, days
+    /// ascending). Lifetime analyses treat these days as *censored* —
+    /// "we could not look" is recorded as exactly that, never as an
+    /// observation.
+    pub gaps: BTreeMap<String, Vec<u32>>,
     /// Pool used to decode landing pages in parallel.
     pool: Pool,
 }
@@ -173,14 +179,21 @@ impl Monitor {
     pub fn from_parts(
         timelines: BTreeMap<String, GroupTimeline>,
         terminal: Vec<String>,
+        gaps: BTreeMap<String, Vec<u32>>,
         pool: Pool,
     ) -> Monitor {
         Monitor {
             timelines,
             // lint:allow(D2) `terminal` is the sorted Vec parameter here, not the set field
             terminal: terminal.into_iter().collect(),
+            gaps,
             pool,
         }
+    }
+
+    /// Total censored group-days in the gap ledger.
+    pub fn gap_days(&self) -> u64 {
+        self.gaps.values().map(|v| v.len() as u64).sum()
     }
 
     /// Run one daily round over every discovered, not-yet-revoked group.
@@ -261,43 +274,78 @@ impl Monitor {
                 }
                 Fetch::Body(..) => {
                     let doc = doc.expect("body outcomes were parsed in phase 2")?;
-                    let size = doc.req_u64("size")? as u32;
-                    let online = doc.opt_u64("online")?.unwrap_or(0) as u32;
-                    if timeline.title.is_none() {
-                        timeline.title = doc.get("title").map(str::to_string);
-                    }
-                    timeline.observations.push(Observation {
-                        day,
-                        status: ObservedStatus::Alive { size, online },
-                    });
-                    match rec.platform {
-                        PlatformKind::WhatsApp => {
-                            if timeline.wa_creator_cc.is_none() {
-                                timeline.wa_creator_cc = doc.get("creator_cc").map(str::to_string);
-                            }
-                            if timeline.wa_creator_hash.is_none() {
-                                timeline.wa_creator_hash =
-                                    Some(crate::pii::hash_phone(doc.req("creator_phone")?));
-                            }
-                            if let Some(pii) = pii.as_deref_mut() {
-                                pii.record_wa_creator(
-                                    doc.req("creator_phone")?,
-                                    doc.req("creator_cc")?,
-                                );
-                            }
-                        }
-                        PlatformKind::Telegram => {
-                            if timeline.tg_kind.is_none() {
-                                timeline.tg_kind = doc.get("kind").map(str::to_string);
-                            }
-                        }
-                        PlatformKind::Discord => {
-                            if timeline.dc_created_day.is_none() {
-                                timeline.dc_created_day = Some(doc.req_i64("created_day")?);
-                                timeline.dc_creator = Some(doc.req_u64("creator")? as u32);
-                            }
-                        }
-                    }
+                    let status = apply_doc(timeline, rec.platform, &doc, &mut pii)?;
+                    timeline.observations.push(Observation { day, status });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Same-day retry of every group whose monitor fetch failed today.
+    /// A success *replaces* the day's `Failed` observation in place (days
+    /// stay strictly increasing); a revocation does the same and marks the
+    /// group terminal; a repeated failure appends the day to the group's
+    /// gap ledger — the day is censored, never fabricated.
+    pub fn backfill_day(
+        &mut self,
+        net: &mut Net,
+        eco: &mut Ecosystem,
+        discovery: &Discovery,
+        now: SimTime,
+        day: u32,
+        mut pii: Option<&mut PiiStore>,
+    ) -> Result<(), CoreError> {
+        // Discovery order, like `run_day`, so the transport call sequence
+        // is a deterministic function of the campaign state.
+        for rec in discovery.groups.iter() {
+            let key = rec.invite.dedup_key();
+            if self.terminal.contains(&key) {
+                continue;
+            }
+            let needs_retry = self.timelines.get(&key).is_some_and(|tl| {
+                tl.observations
+                    .last()
+                    .is_some_and(|o| o.day == day && o.status == ObservedStatus::Failed)
+            });
+            if !needs_retry {
+                continue;
+            }
+            let (endpoint, doc_kind) = match rec.platform {
+                PlatformKind::WhatsApp => ("whatsapp/landing", "wa-landing"),
+                PlatformKind::Telegram => ("telegram/web", "tg-web"),
+                PlatformKind::Discord => ("discord/api/invite", "dc-invite"),
+            };
+            let req = Request::new(endpoint).with("code", rec.invite.code.clone());
+            let outcome = match net.platform(eco, rec.platform, now, &req) {
+                Err(_) => Fetch::Failed,
+                Ok(resp) => match resp.status {
+                    Status::Ok => Fetch::Body(resp.body, doc_kind),
+                    Status::Gone => Fetch::Gone,
+                    _ => Fetch::Failed,
+                },
+            };
+            let timeline = self.timelines.get_mut(&key).expect("checked above");
+            let today = timeline
+                .observations
+                .last_mut()
+                .expect("needs_retry saw an observation");
+            match outcome {
+                Fetch::Failed => {
+                    self.gaps.entry(key).or_default().push(day);
+                }
+                Fetch::Gone => {
+                    today.status = ObservedStatus::Revoked;
+                    self.terminal.insert(key);
+                }
+                Fetch::Body(body, doc_kind) => {
+                    let doc = WireDoc::parse_as(&body, doc_kind)?;
+                    let status = apply_doc(timeline, rec.platform, &doc, &mut pii)?;
+                    timeline
+                        .observations
+                        .last_mut()
+                        .expect("needs_retry saw an observation")
+                        .status = status;
                 }
             }
         }
@@ -308,6 +356,48 @@ impl Monitor {
     pub fn timeline(&self, key: &str) -> Option<&GroupTimeline> {
         self.timelines.get(key)
     }
+}
+
+/// Apply one successfully fetched landing-page document to a timeline:
+/// first-seen metadata, platform specifics, PII accounting. Returns the
+/// day's observed status. Shared by the daily round and the backfill
+/// retry so both record exactly the same facts.
+fn apply_doc(
+    timeline: &mut GroupTimeline,
+    platform: PlatformKind,
+    doc: &WireDoc,
+    pii: &mut Option<&mut PiiStore>,
+) -> Result<ObservedStatus, CoreError> {
+    let size = doc.req_u64("size")? as u32;
+    let online = doc.opt_u64("online")?.unwrap_or(0) as u32;
+    if timeline.title.is_none() {
+        timeline.title = doc.get("title").map(str::to_string);
+    }
+    match platform {
+        PlatformKind::WhatsApp => {
+            if timeline.wa_creator_cc.is_none() {
+                timeline.wa_creator_cc = doc.get("creator_cc").map(str::to_string);
+            }
+            if timeline.wa_creator_hash.is_none() {
+                timeline.wa_creator_hash = Some(crate::pii::hash_phone(doc.req("creator_phone")?));
+            }
+            if let Some(pii) = pii.as_deref_mut() {
+                pii.record_wa_creator(doc.req("creator_phone")?, doc.req("creator_cc")?);
+            }
+        }
+        PlatformKind::Telegram => {
+            if timeline.tg_kind.is_none() {
+                timeline.tg_kind = doc.get("kind").map(str::to_string);
+            }
+        }
+        PlatformKind::Discord => {
+            if timeline.dc_created_day.is_none() {
+                timeline.dc_created_day = Some(doc.req_i64("created_day")?);
+                timeline.dc_creator = Some(doc.req_u64("creator")? as u32);
+            }
+        }
+    }
+    Ok(ObservedStatus::Alive { size, online })
 }
 
 #[cfg(test)]

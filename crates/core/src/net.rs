@@ -8,9 +8,9 @@
 
 use crate::error::CoreError;
 use chatlens_platforms::id::PlatformKind;
-use chatlens_simnet::fault::FaultInjector;
+use chatlens_simnet::fault::{FaultInjector, FaultSchedule};
 use chatlens_simnet::rng::Rng;
-use chatlens_simnet::time::SimTime;
+use chatlens_simnet::time::{SimDuration, SimTime};
 use chatlens_simnet::transport::{Client, ClientConfig, ClientState, Request, Response, Router};
 use chatlens_workload::Ecosystem;
 
@@ -20,29 +20,52 @@ pub struct Net {
     platforms: [Client; 3],
 }
 
+/// Index of each service in a `[T; 4]` schedule/state array: Twitter,
+/// WhatsApp, Telegram, Discord. The platform entries line up with
+/// [`PlatformKind::index`] shifted by one.
+pub const SERVICE_NAMES: [&str; 4] = ["twitter", "whatsapp", "telegram", "discord"];
+
 impl Net {
     /// Build the client set. `faults` applies to every client (the same
     /// backbone); `seed` decorrelates their latency/backoff streams.
     pub fn new(seed: u64, start: SimTime, faults: FaultInjector) -> Net {
+        let calm = FaultSchedule::calm(faults);
+        Net::with_schedules(
+            seed,
+            start,
+            [calm.clone(), calm.clone(), calm.clone(), calm],
+        )
+    }
+
+    /// Build the client set with one full [`FaultSchedule`] per service, in
+    /// [`SERVICE_NAMES`] order. This is how a campaign expresses correlated
+    /// failures: bursts and outages are per-credential, so a WhatsApp
+    /// blackout cannot perturb the Telegram client's streams.
+    pub fn with_schedules(seed: u64, start: SimTime, schedules: [FaultSchedule; 4]) -> Net {
         let mut rng = Rng::new(seed);
         let scraper = ClientConfig {
             max_attempts: 4,
             rate_per_sec: 400.0,
             burst: 2_000.0,
+            breaker_threshold: 5,
+            breaker_cooldown: SimDuration::secs(1_800),
             ..ClientConfig::default()
         };
         let api = ClientConfig {
             max_attempts: 6, // rate-limit retries need headroom
             rate_per_sec: 50.0,
             burst: 200.0,
+            breaker_threshold: 5,
+            breaker_cooldown: SimDuration::secs(1_800),
             ..ClientConfig::default()
         };
+        let [tw, wa, tg, dc] = schedules;
         Net {
-            twitter: Client::new(api.clone(), faults, rng.fork("twitter"), start),
+            twitter: Client::with_schedule(api.clone(), tw, rng.fork("twitter"), start),
             platforms: [
-                Client::new(scraper.clone(), faults, rng.fork("whatsapp"), start),
-                Client::new(api, faults, rng.fork("telegram"), start),
-                Client::new(scraper, faults, rng.fork("discord"), start),
+                Client::with_schedule(scraper.clone(), wa, rng.fork("whatsapp"), start),
+                Client::with_schedule(api, tg, rng.fork("telegram"), start),
+                Client::with_schedule(scraper, dc, rng.fork("discord"), start),
             ],
         }
     }
@@ -108,6 +131,18 @@ impl Net {
     /// Total transport attempts across all clients (campaign health).
     pub fn total_attempts(&self) -> u64 {
         self.twitter.trace().len() + self.platforms.iter().map(|c| c.trace().len()).sum::<u64>()
+    }
+
+    /// Total circuit-breaker openings and fast-failed calls across all
+    /// clients, for the campaign metrics.
+    pub fn breaker_totals(&self) -> (u64, u64) {
+        let mut opened = self.twitter.trace().breaker_opened();
+        let mut fast = self.twitter.trace().breaker_fast_fails();
+        for c in &self.platforms {
+            opened += c.trace().breaker_opened();
+            fast += c.trace().breaker_fast_fails();
+        }
+        (opened, fast)
     }
 
     /// Borrow a platform client's trace (diagnostics).

@@ -118,6 +118,10 @@ pub struct DiscoveryState {
     pub last_sample_drain: SimTime,
     /// Transport failures that cost data.
     pub failed_requests: u64,
+    /// Stream windows queued for backfill.
+    pub pending_stream: Vec<(SimTime, SimTime)>,
+    /// Sample windows queued for backfill.
+    pub pending_sample: Vec<(SimTime, SimTime)>,
 }
 
 persist_struct!(DiscoveryState {
@@ -128,7 +132,9 @@ persist_struct!(DiscoveryState {
     stats,
     last_stream_drain,
     last_sample_drain,
-    failed_requests
+    failed_requests,
+    pending_stream,
+    pending_sample
 });
 
 impl DiscoveryState {
@@ -144,6 +150,8 @@ impl DiscoveryState {
             last_stream_drain,
             last_sample_drain,
             failed_requests: d.failed_requests,
+            pending_stream: d.pending_stream.clone(),
+            pending_sample: d.pending_sample.clone(),
         }
     }
 
@@ -158,6 +166,8 @@ impl DiscoveryState {
             self.last_stream_drain,
             self.last_sample_drain,
             self.failed_requests,
+            self.pending_stream.clone(),
+            self.pending_sample.clone(),
         )
     }
 }
@@ -169,11 +179,14 @@ pub struct MonitorState {
     pub timelines: BTreeMap<String, GroupTimeline>,
     /// Keys no longer polled (observed revoked), sorted.
     pub terminal: Vec<String>,
+    /// The censored-day gap ledger, keyed by dedup key.
+    pub gaps: BTreeMap<String, Vec<u32>>,
 }
 
 persist_struct!(MonitorState {
     timelines,
-    terminal
+    terminal,
+    gaps
 });
 
 impl MonitorState {
@@ -182,13 +195,19 @@ impl MonitorState {
         MonitorState {
             timelines: m.timelines.clone(),
             terminal: m.terminal_keys(),
+            gaps: m.gaps.clone(),
         }
     }
 
     /// Rebuild the monitor around `pool` (thread count is a run-time
     /// choice, not state — any value yields the same observations).
     pub fn restore(&self, pool: Pool) -> Monitor {
-        Monitor::from_parts(self.timelines.clone(), self.terminal.clone(), pool)
+        Monitor::from_parts(
+            self.timelines.clone(),
+            self.terminal.clone(),
+            self.gaps.clone(),
+            pool,
+        )
     }
 }
 
@@ -329,6 +348,10 @@ impl Persist for CampaignEvent {
             }
             CampaignEvent::Join => w.put_u8(4),
             CampaignEvent::Collect => w.put_u8(5),
+            CampaignEvent::Backfill { day } => {
+                w.put_u8(6);
+                day.save(w);
+            }
         }
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
@@ -339,6 +362,7 @@ impl Persist for CampaignEvent {
             3 => Ok(CampaignEvent::Monitor { day: u32::load(r)? }),
             4 => Ok(CampaignEvent::Join),
             5 => Ok(CampaignEvent::Collect),
+            6 => Ok(CampaignEvent::Backfill { day: u32::load(r)? }),
             n => Err(CheckpointError::Malformed(format!("CampaignEvent tag {n}"))),
         }
     }
@@ -438,6 +462,8 @@ persist_struct!(CampaignConfig {
     use_stream,
     join_strategy,
     faults,
+    profile,
+    outages,
     seed,
     threads
 });

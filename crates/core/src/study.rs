@@ -35,7 +35,7 @@ use crate::state::{
 };
 use chatlens_checkpoint::{save_to_file, CheckpointError};
 use chatlens_platforms::id::PlatformKind;
-use chatlens_simnet::fault::FaultInjector;
+use chatlens_simnet::fault::{FaultInjector, FaultProfile, FaultSchedule, OutageSpec};
 use chatlens_simnet::metrics::Metrics;
 use chatlens_simnet::par::Pool;
 use chatlens_simnet::rng::Rng;
@@ -63,6 +63,18 @@ pub struct CampaignConfig {
     pub join_strategy: crate::joiner::JoinStrategy,
     /// Transport fault model for every client.
     pub faults: FaultInjector,
+    /// Correlated-failure profile layered over `faults`: `Calm` is the
+    /// plain i.i.d. model (bit-identical to the pre-profile behavior),
+    /// `Bursty` adds a Gilbert–Elliott bad-state chain, `Outage` also
+    /// schedules service blackouts (explicit via `outages`, or the stock
+    /// storm when none are given).
+    pub profile: FaultProfile,
+    /// Explicit per-service outage windows, in [`SERVICE_NAMES`] order
+    /// (Twitter, WhatsApp, Telegram, Discord). `None` = no scheduled
+    /// outage for that service.
+    ///
+    /// [`SERVICE_NAMES`]: crate::net::SERVICE_NAMES
+    pub outages: [Option<OutageSpec>; 4],
     /// Seed for campaign-side randomness (join sampling, client jitter) —
     /// separate from the world seed so the same world can be re-collected
     /// differently.
@@ -83,10 +95,41 @@ impl Default for CampaignConfig {
             use_stream: true,
             join_strategy: crate::joiner::JoinStrategy::default(),
             faults: FaultInjector::new(0.01, 0.005),
+            profile: FaultProfile::Calm,
+            outages: [None; 4],
             seed: 0xC011_EC70,
             threads: default_threads(),
         }
     }
+}
+
+/// Derive the four per-service [`FaultSchedule`]s from the campaign
+/// knobs. Used by both the fresh and the restored [`Runner`] paths, so a
+/// resumed campaign rebuilds exactly the schedules the snapshot ran
+/// under (the schedules themselves are pure config, not state).
+///
+/// Under [`FaultProfile::Outage`] with no explicit `outages` specs, the
+/// stock storm applies: a 3-day WhatsApp blackout starting day 12 and a
+/// 2-day Discord credential ban starting day 20.
+fn fault_schedules(campaign: &CampaignConfig, start: SimTime) -> [FaultSchedule; 4] {
+    let mut specs = campaign.outages;
+    if campaign.profile == FaultProfile::Outage && specs.iter().all(Option::is_none) {
+        specs[1] = Some(OutageSpec {
+            start_day: 12,
+            days: 3,
+            ban: false,
+        });
+        specs[3] = Some(OutageSpec {
+            start_day: 20,
+            days: 2,
+            ban: true,
+        });
+    }
+    specs.map(|spec| FaultSchedule {
+        base: campaign.faults,
+        burst: campaign.profile.burst(),
+        outages: spec.iter().map(|s| s.window(start)).collect(),
+    })
 }
 
 /// Default worker-thread count: 1, unless overridden by the
@@ -120,6 +163,12 @@ pub enum CampaignEvent {
     Join,
     /// The end-of-study collection pass over joined groups.
     Collect,
+    /// Daily gap-aware backfill: retry queued stream/sample windows and
+    /// the day's failed monitor fetches; carries the zero-based study day.
+    Backfill {
+        /// Zero-based study day of this round.
+        day: u32,
+    },
 }
 
 /// When and where to write snapshots during a checkpointed run.
@@ -341,6 +390,12 @@ impl Runner {
                     CampaignEvent::Monitor { day: d as u32 },
                 );
             }
+            // Backfill after the day's monitor round and last stream
+            // drain, still inside the day (quiescent boundary intact).
+            engine.schedule_at(
+                start + SimDuration::days(d) + SimDuration::hours(23) + SimDuration::minutes(40),
+                CampaignEvent::Backfill { day: d as u32 },
+            );
         }
         engine.schedule_at(
             start + SimDuration::days(u64::from(campaign.join_day)) + SimDuration::hours(12),
@@ -356,7 +411,7 @@ impl Runner {
             campaign,
             day: 0,
             engine,
-            net: Net::new(campaign.seed, start, campaign.faults),
+            net: Net::with_schedules(campaign.seed, start, fault_schedules(&campaign, start)),
             rng: Rng::new(campaign.seed ^ 0x9E37_79B9),
             discovery: Discovery::new(start),
             monitor: Monitor::with_pool(Pool::new(campaign.threads)),
@@ -441,6 +496,15 @@ impl Runner {
 
         self.metrics
             .add("transport.attempts", self.net.total_attempts());
+        let (opened, fast_fails) = self.net.breaker_totals();
+        self.metrics.add("transport.breaker_opened", opened);
+        self.metrics.add("transport.breaker_fast_fails", fast_fails);
+        self.metrics
+            .add("monitor.gap_days", self.monitor.gap_days());
+        self.metrics.add(
+            "discovery.unrecovered_windows",
+            self.discovery.pending_windows() as u64,
+        );
         self.metrics.add(
             "discovery.tweets_collected",
             self.discovery.tweets.len() as u64,
@@ -462,6 +526,7 @@ impl Runner {
             self.window,
             self.discovery,
             self.monitor.timelines,
+            self.monitor.gaps,
             self.joiner,
             self.pii,
         );
@@ -492,7 +557,8 @@ impl Runner {
     /// configuration and then overwritten with the snapshotted state.
     fn from_state(state: &CampaignState, window: StudyWindow) -> Runner {
         let campaign = state.campaign;
-        let mut net = Net::new(campaign.seed, window.start_time(), campaign.faults);
+        let start = window.start_time();
+        let mut net = Net::with_schedules(campaign.seed, start, fault_schedules(&campaign, start));
         net.restore_state(state.clients.clone());
         Runner {
             window,
@@ -590,6 +656,15 @@ fn handle_event(
                 joiner
                     .collect_phase(net, eco, now, pii)
                     .expect("collect phase")
+            });
+        }
+        CampaignEvent::Backfill { day } => {
+            metrics.incr("campaign.backfill_rounds");
+            metrics.time_stage("backfill", || {
+                discovery.backfill(net, eco, now).expect("stream backfill");
+                monitor
+                    .backfill_day(net, eco, discovery, now, day, Some(pii))
+                    .expect("monitor backfill");
             });
         }
     }

@@ -17,6 +17,7 @@
 //! | D4 | `par_map`/`par_fold`/`par_chunks_mut`/`run_tasks` closures must not touch locks or shared atomics (ordered merge is the only legal reduction; the `Fn` bound already forbids `&mut` capture at compile time) |
 //! | D5 | no `unwrap()`/`expect()` on lock acquisition in library crates (the `parking_lot` shim never poisons; a `Result`-shaped lock call is a sign std locks leaked in) |
 //! | D6 | direct `std::fs` writes (`fs::write`, `File::create`, `OpenOptions`, ...) outside the checkpoint and report crates — all artifact and snapshot output must flow through the sanctioned writers so runs stay reproducible and atomic |
+//! | D7 | discarded transport results: a `.twitter(...)` / `.platform(...)` call in the core crate or the binary whose `Result` is dropped (`let _ = ...;` or a bare expression statement) — transport failures must be handled (retried, queued for backfill, or counted), never silently swallowed |
 //!
 //! A site is suppressed by `// lint:allow(<rule>)` on the same line or the
 //! line directly above; pragmas must carry a one-line justification.
@@ -45,11 +46,21 @@ pub enum Rule {
     D5,
     /// Direct filesystem writes outside the checkpoint/report crates.
     D6,
+    /// Discarded `Net::twitter` / `Net::platform` results.
+    D7,
 }
 
 impl Rule {
     /// All rules, in catalog order.
-    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6];
+    pub const ALL: [Rule; 7] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::D4,
+        Rule::D5,
+        Rule::D6,
+        Rule::D7,
+    ];
 
     /// The short id used in diagnostics and `lint:allow(...)` pragmas.
     pub fn id(self) -> &'static str {
@@ -60,6 +71,7 @@ impl Rule {
             Rule::D4 => "D4",
             Rule::D5 => "D5",
             Rule::D6 => "D6",
+            Rule::D7 => "D7",
         }
     }
 
@@ -74,6 +86,7 @@ impl Rule {
             Rule::D4 => "lock or shared atomic inside a par_* closure",
             Rule::D5 => "unwrap()/expect() on lock acquisition in a library crate",
             Rule::D6 => "direct std::fs write outside the checkpoint/report crates",
+            Rule::D7 => "discarded Net::twitter/Net::platform Result (let _ = / bare statement)",
         }
     }
 }
@@ -122,6 +135,8 @@ struct Scope {
     analysis_or_report: bool,
     /// checkpoint or report crate — the two sanctioned file writers (D6).
     fs_writer: bool,
+    /// Where `Net` lives and is called: the core crate and the binary (D7).
+    net_caller: bool,
 }
 
 fn scope_of(path: &str) -> Scope {
@@ -135,8 +150,12 @@ fn scope_of(path: &str) -> Scope {
         library: p.contains("crates/"),
         analysis_or_report: in_crate("analysis") || in_crate("report"),
         fs_writer: in_crate("checkpoint") || in_crate("report"),
+        net_caller: in_crate("core") || !p.contains("crates/"),
     }
 }
+
+/// `Net` methods whose `Result` D7 refuses to see discarded.
+const NET_CALL_METHODS: [&str; 2] = ["twitter", "platform"];
 
 /// `std::fs` free functions that mutate the filesystem (D6).
 const FS_WRITE_FNS: [&str; 7] = [
@@ -360,6 +379,52 @@ pub fn check_source_counting(path: &str, source: &str) -> (Vec<Finding>, usize) 
                     message: format!(
                         "`.{}().{}` — the parking_lot shim never poisons; a Result-shaped lock call means std locks leaked into a library crate",
                         m.text, toks[i + 5].text
+                    ),
+                });
+            }
+        }
+    }
+
+    // ---- D7: discarded Net call results -----------------------------------
+    // `.twitter(...)` / `.platform(...)` whose `Result` never reaches a
+    // consumer: either bound to `_` or left as a bare expression
+    // statement. Shape-matched (a `.` before, arguments after, a `;`
+    // right after the closing paren) so value accessors like
+    // `cfg.platform(kind).n_group_urls` or `invite.platform()` in
+    // expression position never trip it.
+    if scope.net_caller {
+        for i in 0..toks.len() {
+            if in_test(i) || !toks[i].is_punct('.') {
+                continue;
+            }
+            let m = match toks.get(i + 1) {
+                Some(t) if NET_CALL_METHODS.contains(&t.text.as_str()) => t,
+                _ => continue,
+            };
+            if !toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            let end = balance(toks, i + 2, '(', ')');
+            if !toks.get(end + 1).is_some_and(|t| t.is_punct(';')) {
+                continue; // chained (`?`, `.unwrap()`, match scrutinee, ...)
+            }
+            let (lo, _) = statement_window(toks, i);
+            let prefix = &toks[lo..i];
+            let underscore_bound = prefix
+                .windows(3)
+                .any(|w| w[0].is_ident("let") && w[1].is_ident("_") && w[2].is_punct('='));
+            let consumed = prefix
+                .iter()
+                .any(|t| t.is_punct('=') || t.is_ident("return") || t.is_ident("match"));
+            if underscore_bound || !consumed {
+                raw.push(Finding {
+                    rule: Rule::D7,
+                    path: path.to_string(),
+                    line: m.line,
+                    col: m.col,
+                    message: format!(
+                        "`.{}(...)` Result discarded; transport failures must be handled (retried, queued for backfill, or counted), never dropped",
+                        m.text
                     ),
                 });
             }
@@ -808,6 +873,34 @@ mod tests {
     fn string_embedded_violations_do_not_fire() {
         let src = r#"const MSG: &str = "never call SystemTime::now() here";"#;
         assert_eq!(rules_of("crates/core/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d7_fires_on_discarded_net_results() {
+        let bare = "fn f(net: &mut Net) { net.twitter(eco, now, &req); }";
+        assert_eq!(rules_of("crates/core/src/x.rs", bare), vec![Rule::D7]);
+        let underscore = "fn f(net: &mut Net) { let _ = net.platform(eco, kind, now, &req); }";
+        assert_eq!(rules_of("src/bin/repro.rs", underscore), vec![Rule::D7]);
+        // Outside the core crate / binary the rule does not apply.
+        assert_eq!(rules_of("crates/simnet/src/x.rs", bare), vec![]);
+    }
+
+    #[test]
+    fn d7_consumed_results_pass() {
+        for src in [
+            "fn f() -> Result<Response, CoreError> { net.twitter(eco, now, &req) }",
+            "fn f() { let resp = net.twitter(eco, now, &req); use_it(resp); }",
+            "fn f() { match net.platform(eco, kind, now, &req) { Ok(r) => x(r), Err(_) => y() } }",
+            "fn f() { if let Ok(r) = net.twitter(eco, now, &req) { x(r); } }",
+            "fn g() -> Result<(), E> { net.twitter(eco, now, &req)?; Ok(()) }",
+            "fn h() { let Ok(resp) = net.platform(eco, kind, now, &req) else { return; }; }",
+        ] {
+            assert_eq!(rules_of("crates/core/src/x.rs", src), vec![], "{src}");
+        }
+        // Value accessors sharing the method names never trip the rule.
+        let accessors =
+            "fn f() { let n = cfg.platform(kind).n_group_urls; let p = invite.platform(); }";
+        assert_eq!(rules_of("crates/core/src/x.rs", accessors), vec![]);
     }
 
     #[test]

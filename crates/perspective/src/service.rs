@@ -32,6 +32,10 @@ impl PerspectiveService {
     }
 
     fn analyze(&mut self, now: SimTime, req: &Request) -> Response {
+        // Dispatch times can regress across calls; the quota bucket never
+        // imposes waits, so clamping to its refill cursor upholds the
+        // bucket's monotonicity contract with identical refill math.
+        let now = now.max(self.bucket.refilled_to());
         if self.bucket.available(now) < 1.0 {
             return Response::status(
                 Status::RateLimited(1),

@@ -137,6 +137,12 @@ impl Platform {
     /// caller how long to wait (FLOOD_WAIT).
     fn flood_gate(&mut self, now: SimTime) -> Option<Response> {
         let bucket = self.api_bucket.as_mut()?;
+        // Dispatch times are not monotone across calls (a retried call's
+        // virtual time can overtake the next call's start). This bucket
+        // never imposes waits, so its refill cursor is exactly the latest
+        // dispatch time seen; clamping against it upholds the bucket's
+        // monotonicity contract with identical refill math.
+        let now = now.max(bucket.refilled_to());
         if bucket.available(now) >= 1.0 {
             bucket.acquire(now);
             None

@@ -5,6 +5,21 @@
 //! attempt whether the wire eats the request or the far end errors, a
 //! [`TokenBucket`] enforces a sustained request rate with bursts, and
 //! [`Backoff`] produces exponentially growing, fully jittered retry delays.
+//!
+//! Failures in the wild are *correlated*, not i.i.d. coin flips, so the
+//! i.i.d. [`FaultInjector`] is only the bottom layer of a [`FaultSchedule`]:
+//!
+//! * **i.i.d. base** — independent per-attempt drop/error probabilities.
+//! * **bursty** — a Gilbert–Elliott two-state chain ([`BurstParams`])
+//!   switches between the base model and an elevated "bad" model, producing
+//!   clustered loss the way congested links and flaky scraper sessions do.
+//! * **outage** — scheduled [`OutageWindow`]s take a whole service down:
+//!   [`OutageMode::Blackout`] eats every attempt on the wire,
+//!   [`OutageMode::Ban`] fails fast with a 403 (a suspended credential:
+//!   WhatsApp banning a scraper account, Discord expiring a token).
+//!
+//! The layers are strictly additive: a schedule with no burst parameters
+//! and no windows behaves bit-for-bit like its base injector.
 
 use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
@@ -46,12 +61,28 @@ impl FaultInjector {
 /// A token bucket: capacity `burst`, refilled at `rate` tokens/second of
 /// virtual time. `acquire` reports how long the caller must (virtually)
 /// wait for the next token instead of blocking.
+///
+/// # Monotonicity contract
+///
+/// Callers must present *non-decreasing* values of `now` to
+/// [`TokenBucket::acquire`]. The bucket's internal refill cursor (`last`)
+/// deliberately runs **ahead** of the caller's clock: when `acquire`
+/// imposes a wait it pre-charges the refill for that wait and spends the
+/// token at `now + wait`, so the fill level always reflects waits the
+/// caller has promised to serve. That forward cursor is correct only if
+/// the caller's clock never rewinds — a regressed `now` would be silently
+/// refilled "from the future" (the refill no-ops and the caller sees the
+/// post-wait fill level). A debug assertion enforces the contract.
 #[derive(Debug, Clone)]
 pub struct TokenBucket {
     capacity: f64,
     tokens: f64,
     rate: f64,
     last: SimTime,
+    /// Highest `now` any caller has passed to `acquire`; guards the
+    /// monotonicity contract above. Not part of the checkpointed state —
+    /// the guard re-arms from zero after a restore.
+    watermark: SimTime,
 }
 
 /// The full mutable state of a [`TokenBucket`], exported for checkpointing
@@ -82,6 +113,7 @@ impl TokenBucket {
             tokens: capacity,
             rate,
             last: start,
+            watermark: start,
         }
     }
 
@@ -107,6 +139,7 @@ impl TokenBucket {
             tokens: s.tokens,
             rate: s.rate,
             last: s.last,
+            watermark: SimTime(0),
         }
     }
 
@@ -115,7 +148,16 @@ impl TokenBucket {
     /// the caller must wait `wait` for the bucket to refill. Returns `None`
     /// only if the wait would exceed an hour — treated as a configuration
     /// error by callers.
+    ///
+    /// `now` must be non-decreasing across calls (see the type-level
+    /// monotonicity contract); a regressed clock trips a debug assertion.
     pub fn acquire(&mut self, now: SimTime) -> Option<SimDuration> {
+        debug_assert!(
+            now >= self.watermark,
+            "TokenBucket::acquire clock went backwards: {now} < watermark {}",
+            self.watermark
+        );
+        self.watermark = now;
         self.refill(now);
         if self.tokens >= 1.0 {
             self.tokens -= 1.0;
@@ -131,6 +173,20 @@ impl TokenBucket {
         self.refill(now + wait);
         self.tokens = (self.tokens - 1.0).max(0.0);
         Some(wait)
+    }
+
+    /// The refill cursor — the virtual time the bucket has refilled to.
+    /// Callers whose clock is not naturally monotone (service handlers:
+    /// a retried call's virtual dispatch time can overtake the next
+    /// call's start) clamp `now` against this before [`acquire`], which
+    /// upholds the monotonicity contract without changing the refill
+    /// math *provided the bucket never imposes waits* (otherwise the
+    /// cursor runs ahead of real dispatch time — transport clients keep
+    /// their own monotone clock instead).
+    ///
+    /// [`acquire`]: TokenBucket::acquire
+    pub fn refilled_to(&self) -> SimTime {
+        self.last
     }
 
     /// Tokens currently available (after refilling to `now`).
@@ -188,6 +244,181 @@ impl Backoff {
     /// Reset to the first attempt (e.g. after a success).
     pub fn reset(&mut self) {
         self.attempt = 0;
+    }
+}
+
+/// Gilbert–Elliott burst parameters: a two-state Markov chain advanced one
+/// step per attempt. In the *good* state the base [`FaultInjector`]
+/// applies; in the *bad* state the elevated `bad` injector does. Loss
+/// therefore arrives in clusters whose mean length is `1 / p_exit`
+/// attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstParams {
+    /// Per-attempt probability of entering the bad state from the good one.
+    pub p_enter: f64,
+    /// Per-attempt probability of leaving the bad state.
+    pub p_exit: f64,
+    /// Fault model while the chain is in the bad state.
+    pub bad: FaultInjector,
+}
+
+impl BurstParams {
+    /// The stock storm used by the `bursty` fault profile: bursts start on
+    /// ~2% of attempts, last 4 attempts on average, and inside a burst
+    /// nearly half the attempts are eaten by the wire.
+    pub fn storm() -> BurstParams {
+        BurstParams {
+            p_enter: 0.02,
+            p_exit: 0.25,
+            bad: FaultInjector::new(0.45, 0.20),
+        }
+    }
+}
+
+/// How a scheduled outage manifests on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutageMode {
+    /// The service is unreachable: every attempt is dropped in transit, so
+    /// the caller burns its retries and reports the call dropped.
+    Blackout,
+    /// The credential is suspended (a scraper ban, an expired token): the
+    /// service answers instantly with 403, so the caller fails fast
+    /// without retrying.
+    Ban,
+}
+
+/// One scheduled outage: a half-open window `[from, until)` of virtual
+/// time during which `mode` applies to every call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageWindow {
+    /// First instant of the outage.
+    pub from: SimTime,
+    /// First instant *after* the outage (exclusive bound).
+    pub until: SimTime,
+    /// What the outage looks like to the caller.
+    pub mode: OutageMode,
+}
+
+impl OutageWindow {
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: SimTime) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+/// One scheduled outage for one service in campaign-relative days, as the
+/// CLI `--outage`/`--ban` flags express it. Materialized into an
+/// [`OutageWindow`] once the campaign start time is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageSpec {
+    /// First affected campaign day (0-based).
+    pub start_day: u32,
+    /// Number of consecutive affected days.
+    pub days: u32,
+    /// `true` for a credential ban (fail-fast 403), `false` for a blackout.
+    pub ban: bool,
+}
+
+impl OutageSpec {
+    /// The concrete window this spec covers for a campaign starting at
+    /// `start`.
+    pub fn window(&self, start: SimTime) -> OutageWindow {
+        OutageWindow {
+            from: start + SimDuration::days(u64::from(self.start_day)),
+            until: start + SimDuration::days(u64::from(self.start_day + self.days)),
+            mode: if self.ban {
+                OutageMode::Ban
+            } else {
+                OutageMode::Blackout
+            },
+        }
+    }
+}
+
+/// The full deterministic fault schedule for one client: an i.i.d. base,
+/// an optional Gilbert–Elliott burst layer, and zero or more scheduled
+/// outage windows. See the module docs for the taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Fault model while the burst chain is in the good state (and the
+    /// only model when `burst` is `None`).
+    pub base: FaultInjector,
+    /// Burst layer; `None` means the base model applies unconditionally.
+    pub burst: Option<BurstParams>,
+    /// Scheduled outages, checked per call.
+    pub outages: Vec<OutageWindow>,
+}
+
+impl FaultSchedule {
+    /// A schedule that is exactly the i.i.d. `base` model: no bursts, no
+    /// outages.
+    pub fn calm(base: FaultInjector) -> FaultSchedule {
+        FaultSchedule {
+            base,
+            burst: None,
+            outages: Vec::new(),
+        }
+    }
+
+    /// The outage mode in force at `now`, if any. Overlapping windows
+    /// resolve to the earliest-listed match (callers build disjoint
+    /// windows in practice).
+    pub fn active_outage(&self, now: SimTime) -> Option<OutageMode> {
+        self.outages
+            .iter()
+            .find(|w| w.contains(now))
+            .map(|w| w.mode)
+    }
+}
+
+impl From<FaultInjector> for FaultSchedule {
+    fn from(base: FaultInjector) -> FaultSchedule {
+        FaultSchedule::calm(base)
+    }
+}
+
+/// Which fault regime a campaign runs under (`repro run --fault-profile`).
+/// The profile decides whether the burst layer and the stock outage
+/// windows are applied on top of the campaign's base [`FaultInjector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultProfile {
+    /// i.i.d. faults only — the historical model.
+    #[default]
+    Calm,
+    /// [`BurstParams::storm`] layered over the base model.
+    Bursty,
+    /// The burst layer plus representative scheduled outages (a WhatsApp
+    /// scraper blackout, a Discord token ban) unless the operator supplies
+    /// explicit per-service windows.
+    Outage,
+}
+
+impl FaultProfile {
+    /// Parse a CLI spelling (`calm` / `bursty` / `outage`).
+    pub fn parse(s: &str) -> Option<FaultProfile> {
+        match s {
+            "calm" => Some(FaultProfile::Calm),
+            "bursty" => Some(FaultProfile::Bursty),
+            "outage" => Some(FaultProfile::Outage),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this profile.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultProfile::Calm => "calm",
+            FaultProfile::Bursty => "bursty",
+            FaultProfile::Outage => "outage",
+        }
+    }
+
+    /// The burst layer this profile adds, if any.
+    pub fn burst(self) -> Option<BurstParams> {
+        match self {
+            FaultProfile::Calm => None,
+            FaultProfile::Bursty | FaultProfile::Outage => Some(BurstParams::storm()),
+        }
     }
 }
 
@@ -292,5 +523,64 @@ mod tests {
         let delays: std::collections::HashSet<u64> =
             (0..50).map(|_| b.next_delay(&mut rng).as_secs()).collect();
         assert!(delays.len() > 10, "jitter should spread delays");
+    }
+
+    #[test]
+    #[should_panic(expected = "clock went backwards")]
+    #[cfg(debug_assertions)]
+    fn bucket_rejects_regressed_clock() {
+        let mut b = TokenBucket::new(3.0, 1.0, SimTime(0));
+        b.acquire(SimTime(10)).unwrap();
+        let _ = b.acquire(SimTime(5));
+    }
+
+    #[test]
+    fn outage_window_bounds_are_half_open() {
+        let w = OutageWindow {
+            from: SimTime(100),
+            until: SimTime(200),
+            mode: OutageMode::Blackout,
+        };
+        assert!(!w.contains(SimTime(99)));
+        assert!(w.contains(SimTime(100)));
+        assert!(w.contains(SimTime(199)));
+        assert!(!w.contains(SimTime(200)));
+    }
+
+    #[test]
+    fn calm_schedule_is_exactly_the_base_model() {
+        let base = FaultInjector::new(0.1, 0.2);
+        let s = FaultSchedule::from(base);
+        assert_eq!(s.base, base);
+        assert!(s.burst.is_none());
+        assert!(s.active_outage(SimTime(0)).is_none());
+    }
+
+    #[test]
+    fn schedule_reports_the_active_outage_mode() {
+        let mut s = FaultSchedule::calm(FaultInjector::none());
+        s.outages.push(OutageWindow {
+            from: SimTime(10),
+            until: SimTime(20),
+            mode: OutageMode::Ban,
+        });
+        assert_eq!(s.active_outage(SimTime(9)), None);
+        assert_eq!(s.active_outage(SimTime(10)), Some(OutageMode::Ban));
+        assert_eq!(s.active_outage(SimTime(20)), None);
+    }
+
+    #[test]
+    fn fault_profile_cli_spellings_round_trip() {
+        for p in [
+            FaultProfile::Calm,
+            FaultProfile::Bursty,
+            FaultProfile::Outage,
+        ] {
+            assert_eq!(FaultProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(FaultProfile::parse("stormy"), None);
+        assert!(FaultProfile::Calm.burst().is_none());
+        assert!(FaultProfile::Bursty.burst().is_some());
+        assert!(FaultProfile::Outage.burst().is_some());
     }
 }

@@ -26,6 +26,42 @@ pub struct TraceEntry {
     pub attempt: u32,
 }
 
+/// A circuit-breaker phase, recorded when a breaker changes state. The
+/// breaker itself lives in `transport`; the trace only logs transitions so
+/// a campaign can answer "when did the WhatsApp breaker open?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerPhase {
+    /// Calls flow normally; consecutive failures are being counted.
+    Closed,
+    /// Calls fail fast until the cooldown elapses.
+    Open,
+    /// The cooldown elapsed; one probe call is in flight.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerPhase::Closed => "closed",
+            BreakerPhase::Open => "open",
+            BreakerPhase::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// One circuit-breaker state transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// Virtual time of the transition.
+    pub at: SimTime,
+    /// Endpoint prefix the breaker guards (e.g. `"whatsapp"`).
+    pub prefix: String,
+    /// Phase the breaker left.
+    pub from: BreakerPhase,
+    /// Phase the breaker entered.
+    pub to: BreakerPhase,
+}
+
 /// A bounded ring of [`TraceEntry`] plus exact aggregate counters.
 #[derive(Debug)]
 pub struct TraceRecorder {
@@ -35,6 +71,8 @@ pub struct TraceRecorder {
     dropped_attempts: u64,
     by_status: BTreeMap<String, u64>,
     by_endpoint: BTreeMap<String, u64>,
+    transitions: Vec<BreakerTransition>,
+    breaker_fast_fails: u64,
 }
 
 /// The full state of a [`TraceRecorder`], exported for checkpointing and
@@ -53,6 +91,10 @@ pub struct TraceState {
     pub by_endpoint: BTreeMap<String, u64>,
     /// Retained (most recent) entries, oldest first.
     pub entries: Vec<TraceEntry>,
+    /// Every circuit-breaker state transition, in order.
+    pub transitions: Vec<BreakerTransition>,
+    /// Calls rejected without an attempt because a breaker was open.
+    pub breaker_fast_fails: u64,
 }
 
 impl TraceRecorder {
@@ -65,6 +107,8 @@ impl TraceRecorder {
             dropped_attempts: 0,
             by_status: BTreeMap::new(),
             by_endpoint: BTreeMap::new(),
+            transitions: Vec::new(),
+            breaker_fast_fails: 0,
         }
     }
 
@@ -115,6 +159,34 @@ impl TraceRecorder {
         self.ring.iter()
     }
 
+    /// Record a circuit-breaker state transition.
+    pub fn record_transition(&mut self, t: BreakerTransition) {
+        self.transitions.push(t);
+    }
+
+    /// Record a call rejected fast because a breaker was open.
+    pub fn record_fast_fail(&mut self) {
+        self.breaker_fast_fails += 1;
+    }
+
+    /// Every breaker transition recorded so far, in order.
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
+    }
+
+    /// Calls rejected without an attempt because a breaker was open.
+    pub fn breaker_fast_fails(&self) -> u64 {
+        self.breaker_fast_fails
+    }
+
+    /// How many times any breaker entered [`BreakerPhase::Open`].
+    pub fn breaker_opened(&self) -> u64 {
+        self.transitions
+            .iter()
+            .filter(|t| t.to == BreakerPhase::Open)
+            .count() as u64
+    }
+
     /// Export the recorder's full state (ring contents and exact
     /// aggregates) for a checkpoint.
     pub fn state(&self) -> TraceState {
@@ -125,6 +197,8 @@ impl TraceRecorder {
             by_status: self.by_status.clone(),
             by_endpoint: self.by_endpoint.clone(),
             entries: self.ring.iter().cloned().collect(),
+            transitions: self.transitions.clone(),
+            breaker_fast_fails: self.breaker_fast_fails,
         }
     }
 
@@ -140,6 +214,8 @@ impl TraceRecorder {
             dropped_attempts: s.dropped_attempts,
             by_status: s.by_status,
             by_endpoint: s.by_endpoint,
+            transitions: s.transitions,
+            breaker_fast_fails: s.breaker_fast_fails,
         }
     }
 
@@ -155,6 +231,13 @@ impl TraceRecorder {
         }
         for (ep, n) in &self.by_endpoint {
             out.push_str(&format!("  endpoint {ep}: {n}\n"));
+        }
+        if !self.transitions.is_empty() || self.breaker_fast_fails > 0 {
+            out.push_str(&format!(
+                "  breaker: {} opened, {} fast-failed calls\n",
+                self.breaker_opened(),
+                self.breaker_fast_fails
+            ));
         }
         out
     }
@@ -262,6 +345,32 @@ mod tests {
                 "ring should hold the most recent entries in order (step {i})"
             );
         }
+    }
+
+    #[test]
+    fn breaker_transitions_survive_state_round_trip() {
+        let mut t = TraceRecorder::new(4);
+        t.record_transition(BreakerTransition {
+            at: SimTime(7),
+            prefix: "whatsapp".to_string(),
+            from: BreakerPhase::Closed,
+            to: BreakerPhase::Open,
+        });
+        t.record_transition(BreakerTransition {
+            at: SimTime(99),
+            prefix: "whatsapp".to_string(),
+            from: BreakerPhase::Open,
+            to: BreakerPhase::HalfOpen,
+        });
+        t.record_fast_fail();
+        t.record_fast_fail();
+        assert_eq!(t.breaker_opened(), 1);
+        assert_eq!(t.breaker_fast_fails(), 2);
+        let restored = TraceRecorder::from_state(t.state());
+        assert_eq!(restored.transitions(), t.transitions());
+        assert_eq!(restored.breaker_fast_fails(), 2);
+        let s = t.summary();
+        assert!(s.contains("breaker: 1 opened, 2 fast-failed"), "{s}");
     }
 
     #[test]

@@ -17,10 +17,12 @@
 //! hour/day granularity, so per-request latencies only need to be realistic
 //! in aggregate, not to reorder events.
 
-use crate::fault::{Backoff, FaultInjector, TokenBucket, TokenBucketState};
+use crate::fault::{
+    Backoff, FaultInjector, FaultSchedule, OutageMode, TokenBucket, TokenBucketState,
+};
 use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{TraceEntry, TraceRecorder, TraceState};
+use crate::trace::{BreakerPhase, BreakerTransition, TraceEntry, TraceRecorder, TraceState};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -197,6 +199,12 @@ pub enum TransportError {
     /// The local rate limiter refused to release a token within the
     /// client's patience window.
     RateBudgetExhausted,
+    /// The circuit breaker for this endpoint prefix is open: the call was
+    /// rejected locally without touching the wire.
+    BreakerOpen {
+        /// Virtual time at which the breaker will admit a half-open probe.
+        until: SimTime,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -209,6 +217,9 @@ impl fmt::Display for TransportError {
                 write!(f, "request failed with {status} after {attempts} attempts")
             }
             TransportError::RateBudgetExhausted => write!(f, "local rate budget exhausted"),
+            TransportError::BreakerOpen { until } => {
+                write!(f, "circuit breaker open until t={until}")
+            }
         }
     }
 }
@@ -231,6 +242,16 @@ pub struct ClientConfig {
     /// Mean simulated latency per exchange, in milliseconds (sampled
     /// exponentially; accounted, not scheduled).
     pub mean_latency_ms: f64,
+    /// Consecutive *call-level* failures on one endpoint prefix before the
+    /// circuit breaker opens. `0` disables the breaker entirely.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects calls before admitting a single
+    /// half-open probe.
+    pub breaker_cooldown: SimDuration,
+    /// Per-call deadline budget: once a call's accumulated virtual waiting
+    /// would push past this horizon, the client stops retrying and reports
+    /// the failure instead of burning more rate budget.
+    pub deadline: SimDuration,
 }
 
 impl Default for ClientConfig {
@@ -242,6 +263,43 @@ impl Default for ClientConfig {
             rate_per_sec: 10.0,
             burst: 20.0,
             mean_latency_ms: 120.0,
+            breaker_threshold: 0,
+            breaker_cooldown: SimDuration::secs(600),
+            deadline: SimDuration::secs(3_600),
+        }
+    }
+}
+
+/// Per-endpoint-prefix circuit breaker state: closed (counting consecutive
+/// failed calls) → open (failing fast until a deterministic cooldown
+/// elapses) → a single half-open probe that either re-closes or re-opens
+/// the breaker. Between calls the state is always `Closed` or `Open`;
+/// `HalfOpen` exists only while the probe call is in flight, but is
+/// persisted for totality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; `consecutive_failures` exhausted-retry calls in a row
+    /// have been observed (reset on any success).
+    Closed {
+        /// Consecutive failed calls so far.
+        consecutive_failures: u32,
+    },
+    /// Calls are rejected locally until `until`.
+    Open {
+        /// When the next call is admitted as a half-open probe.
+        until: SimTime,
+    },
+    /// The cooldown elapsed and the probe call is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The coarse phase of this state, for trace transitions.
+    pub fn phase(&self) -> BreakerPhase {
+        match self {
+            BreakerState::Closed { .. } => BreakerPhase::Closed,
+            BreakerState::Open { .. } => BreakerPhase::Open,
+            BreakerState::HalfOpen => BreakerPhase::HalfOpen,
         }
     }
 }
@@ -259,6 +317,15 @@ pub struct ClientState {
     pub waited: SimDuration,
     /// Trace ring and exact aggregate counters.
     pub trace: TraceState,
+    /// Monotone clock fed to the token bucket (never regresses even when a
+    /// retried call's virtual time overtakes the next call's start).
+    pub rate_clock: SimTime,
+    /// Dedicated RNG stream for Gilbert–Elliott phase transitions.
+    pub burst_rng: [u64; 4],
+    /// Whether the burst chain is currently in the bad state.
+    pub burst_bad: bool,
+    /// Circuit-breaker state per endpoint prefix.
+    pub breakers: BTreeMap<String, BreakerState>,
 }
 
 /// The caller side of the transport: rate limiting, fault injection,
@@ -268,8 +335,15 @@ pub struct ClientState {
 pub struct Client {
     config: ClientConfig,
     bucket: TokenBucket,
-    faults: FaultInjector,
+    plan: FaultSchedule,
     rng: Rng,
+    /// Dedicated stream for Gilbert–Elliott phase rolls, forked from the
+    /// main RNG only when a burst layer is configured so a calm schedule
+    /// consumes no extra draws per attempt.
+    burst_rng: Rng,
+    burst_bad: bool,
+    breakers: BTreeMap<String, BreakerState>,
+    rate_clock: SimTime,
     trace: TraceRecorder,
     /// Virtual time spent waiting (backoff + rate limiting), accumulated so
     /// the campaign can account for collection slowness.
@@ -278,14 +352,35 @@ pub struct Client {
 
 impl Client {
     /// Build a client. `rng` drives latency sampling, fault injection and
-    /// backoff jitter; `faults` configures drop/error probabilities.
+    /// backoff jitter; `faults` configures i.i.d. drop/error probabilities.
     pub fn new(config: ClientConfig, faults: FaultInjector, rng: Rng, start: SimTime) -> Self {
+        Client::with_schedule(config, FaultSchedule::from(faults), rng, start)
+    }
+
+    /// Build a client against a full [`FaultSchedule`] (i.i.d. base, burst
+    /// layer, scheduled outages). A schedule with no burst layer and no
+    /// outages behaves bit-for-bit like [`Client::new`].
+    pub fn with_schedule(
+        config: ClientConfig,
+        plan: FaultSchedule,
+        mut rng: Rng,
+        start: SimTime,
+    ) -> Self {
         let bucket = TokenBucket::new(config.burst, config.rate_per_sec, start);
+        let burst_rng = if plan.burst.is_some() {
+            rng.fork("burst")
+        } else {
+            Rng::new(0)
+        };
         Client {
             config,
             bucket,
-            faults,
+            plan,
             rng,
+            burst_rng,
+            burst_bad: false,
+            breakers: BTreeMap::new(),
+            rate_clock: start,
             trace: TraceRecorder::new(4096),
             waited: SimDuration::ZERO,
         }
@@ -316,47 +411,144 @@ impl Client {
             rng: self.rng.state(),
             waited: self.waited,
             trace: self.trace.state(),
+            rate_clock: self.rate_clock,
+            burst_rng: self.burst_rng.state(),
+            burst_bad: self.burst_bad,
+            breakers: self.breakers.clone(),
         }
     }
 
     /// Overwrite the client's mutable state from an exported
     /// [`ClientState`] (the restore half of checkpointing). The client must
-    /// have been rebuilt with the same configuration it was created with.
+    /// have been rebuilt with the same configuration and fault schedule it
+    /// was created with.
     pub fn restore_state(&mut self, s: ClientState) {
         self.bucket = TokenBucket::from_state(s.bucket);
         self.rng = Rng::from_state(s.rng);
         self.waited = s.waited;
         self.trace = TraceRecorder::from_state(s.trace);
+        self.rate_clock = s.rate_clock;
+        self.burst_rng = Rng::from_state(s.burst_rng);
+        self.burst_bad = s.burst_bad;
+        self.breakers = s.breakers;
+    }
+
+    /// Current circuit-breaker state for an endpoint prefix, if the
+    /// breaker has ever counted anything there.
+    pub fn breaker(&self, prefix: &str) -> Option<BreakerState> {
+        self.breakers.get(prefix).copied()
     }
 
     /// Issue `req` against `router` at virtual time `now`, with retries.
     ///
     /// On success returns the response. The client's `waited` counter
-    /// accumulates all simulated waiting (rate limiting and backoff).
+    /// accumulates all simulated waiting (rate limiting and backoff) that
+    /// actually precedes a retry — a wait that would never be served
+    /// (because the attempt budget or the deadline is exhausted) is not
+    /// charged.
+    ///
+    /// The per-prefix circuit breaker is consulted first: an open breaker
+    /// rejects the call locally ([`TransportError::BreakerOpen`]) without
+    /// touching the wire, the rate bucket, or any RNG stream.
     pub fn call(
         &mut self,
         router: &mut Router<'_>,
         now: SimTime,
         req: &Request,
     ) -> Result<Response, TransportError> {
+        let prefix = req.endpoint.split('/').next().unwrap_or("").to_string();
+        let mut probing = false;
+        if self.config.breaker_threshold > 0 {
+            match self.breakers.get(&prefix) {
+                Some(BreakerState::Open { until }) if now < *until => {
+                    let until = *until;
+                    self.trace.record_fast_fail();
+                    return Err(TransportError::BreakerOpen { until });
+                }
+                Some(BreakerState::Open { .. }) => {
+                    // Cooldown elapsed: admit this call as the half-open
+                    // probe.
+                    self.transition(&prefix, now, BreakerState::HalfOpen);
+                    probing = true;
+                }
+                _ => {}
+            }
+        }
+        let result = self.call_inner(router, now, req);
+        if self.config.breaker_threshold > 0 {
+            self.settle_breaker(&prefix, now, probing, &result);
+        }
+        result
+    }
+
+    /// The retry loop, without breaker bookkeeping.
+    fn call_inner(
+        &mut self,
+        router: &mut Router<'_>,
+        now: SimTime,
+        req: &Request,
+    ) -> Result<Response, TransportError> {
+        // A suspended credential (ban window) answers instantly with 403;
+        // retrying cannot help, so fail fast after a single attempt.
+        if self.plan.active_outage(now) == Some(OutageMode::Ban) {
+            self.trace.record(TraceEntry {
+                at: now,
+                endpoint: req.endpoint.clone(),
+                status: Some(Status::Forbidden),
+                latency: SimDuration::ZERO,
+                attempt: 1,
+            });
+            return Err(TransportError::Failed {
+                status: Status::Forbidden,
+                attempts: 1,
+            });
+        }
         let mut backoff = Backoff::new(self.config.backoff_base, 2.0, self.config.backoff_max);
         let mut virtual_now = now;
+        let deadline = now + self.config.deadline;
         let mut attempts = 0u32;
         let mut last_status: Option<Status> = None;
         while attempts < self.config.max_attempts {
             attempts += 1;
-            // Local rate limiting: wait (virtually) for a token.
-            match self.bucket.acquire(virtual_now) {
+            // Local rate limiting: wait (virtually) for a token. The bucket
+            // requires a monotone clock, but a retried call's virtual time
+            // can overtake the next call's start time, so feed it the
+            // running maximum.
+            self.rate_clock = self.rate_clock.max(virtual_now);
+            match self.bucket.acquire(self.rate_clock) {
                 Some(wait) => {
                     virtual_now += wait;
                     self.waited = self.waited + wait;
                 }
                 None => return Err(TransportError::RateBudgetExhausted),
             }
-            let latency =
-                SimDuration::secs((self.sample_latency_ms() / 1000.0).ceil().max(0.0) as u64);
+            // A blackout outage eats every attempt on the wire without
+            // consuming any RNG draws.
+            let blackout = self.plan.active_outage(virtual_now) == Some(OutageMode::Blackout);
+            // Advance the Gilbert–Elliott chain one step per attempt on its
+            // dedicated stream, then pick the fault model for this attempt.
+            let injector = match self.plan.burst {
+                Some(b) => {
+                    self.burst_bad = if self.burst_bad {
+                        !self.burst_rng.chance(b.p_exit)
+                    } else {
+                        self.burst_rng.chance(b.p_enter)
+                    };
+                    if self.burst_bad {
+                        b.bad
+                    } else {
+                        self.plan.base
+                    }
+                }
+                None => self.plan.base,
+            };
+            let latency = if blackout {
+                SimDuration::ZERO
+            } else {
+                SimDuration::secs((self.sample_latency_ms() / 1000.0).ceil().max(0.0) as u64)
+            };
             // Fault injection: dropped on the wire?
-            if self.faults.drop_now(&mut self.rng) {
+            if blackout || injector.drop_now(&mut self.rng) {
                 self.trace.record(TraceEntry {
                     at: virtual_now,
                     endpoint: req.endpoint.clone(),
@@ -364,13 +556,18 @@ impl Client {
                     latency,
                     attempt: attempts,
                 });
-                let wait = backoff.next_delay(&mut self.rng);
-                virtual_now += wait;
-                self.waited = self.waited + wait;
+                if attempts < self.config.max_attempts {
+                    let wait = backoff.next_delay(&mut self.rng);
+                    if virtual_now + wait > deadline {
+                        break;
+                    }
+                    virtual_now += wait;
+                    self.waited = self.waited + wait;
+                }
                 continue;
             }
             // Injected server-side error?
-            let mut resp = if self.faults.error_now(&mut self.rng) {
+            let mut resp = if injector.error_now(&mut self.rng) {
                 Response::status(Status::ServerError, "injected fault")
             } else {
                 router.dispatch(virtual_now, req)
@@ -387,24 +584,129 @@ impl Client {
                 Status::Ok | Status::NotFound | Status::Gone | Status::Forbidden => {
                     return Ok(resp);
                 }
+                // A retryable status on the final allowed attempt accrues
+                // no wait: there is no retry left for the wait to precede.
                 Status::RateLimited(retry_after) => {
                     last_status = Some(resp.status);
-                    let wait = SimDuration::secs(u64::from(retry_after))
-                        + backoff.next_delay(&mut self.rng);
-                    virtual_now += wait;
-                    self.waited = self.waited + wait;
+                    if attempts < self.config.max_attempts {
+                        let wait = SimDuration::secs(u64::from(retry_after))
+                            + backoff.next_delay(&mut self.rng);
+                        if virtual_now + wait > deadline {
+                            break;
+                        }
+                        virtual_now += wait;
+                        self.waited = self.waited + wait;
+                    }
                 }
                 Status::ServerError => {
                     last_status = Some(resp.status);
-                    let wait = backoff.next_delay(&mut self.rng);
-                    virtual_now += wait;
-                    self.waited = self.waited + wait;
+                    if attempts < self.config.max_attempts {
+                        let wait = backoff.next_delay(&mut self.rng);
+                        if virtual_now + wait > deadline {
+                            break;
+                        }
+                        virtual_now += wait;
+                        self.waited = self.waited + wait;
+                    }
                 }
             }
         }
         match last_status {
             Some(status) => Err(TransportError::Failed { status, attempts }),
             None => Err(TransportError::Dropped { attempts }),
+        }
+    }
+
+    /// Record a breaker transition in the trace and store the new state.
+    fn transition(&mut self, prefix: &str, at: SimTime, to: BreakerState) {
+        let from = self
+            .breakers
+            .get(prefix)
+            .copied()
+            .unwrap_or(BreakerState::Closed {
+                consecutive_failures: 0,
+            });
+        self.trace.record_transition(BreakerTransition {
+            at,
+            prefix: prefix.to_string(),
+            from: from.phase(),
+            to: to.phase(),
+        });
+        self.breakers.insert(prefix.to_string(), to);
+    }
+
+    /// Update the breaker after a call resolved. Only service failures
+    /// (exhausted retries, fail-fast bans) count toward opening; a local
+    /// rate-budget error says nothing about the far end.
+    fn settle_breaker(
+        &mut self,
+        prefix: &str,
+        now: SimTime,
+        probing: bool,
+        result: &Result<Response, TransportError>,
+    ) {
+        let failed = matches!(
+            result,
+            Err(TransportError::Dropped { .. }) | Err(TransportError::Failed { .. })
+        );
+        if failed {
+            let reopen = BreakerState::Open {
+                until: now + self.config.breaker_cooldown,
+            };
+            if probing {
+                // The half-open probe failed: back to open for another
+                // cooldown.
+                self.transition(prefix, now, reopen);
+                return;
+            }
+            let count = match self.breakers.get(prefix) {
+                Some(BreakerState::Closed {
+                    consecutive_failures,
+                }) => consecutive_failures + 1,
+                _ => 1,
+            };
+            if count >= self.config.breaker_threshold {
+                self.transition(prefix, now, reopen);
+            } else {
+                self.breakers.insert(
+                    prefix.to_string(),
+                    BreakerState::Closed {
+                        consecutive_failures: count,
+                    },
+                );
+            }
+        } else if result.is_ok() {
+            if probing {
+                self.transition(
+                    prefix,
+                    now,
+                    BreakerState::Closed {
+                        consecutive_failures: 0,
+                    },
+                );
+            } else if !matches!(
+                self.breakers.get(prefix),
+                None | Some(BreakerState::Closed {
+                    consecutive_failures: 0
+                })
+            ) {
+                self.breakers.insert(
+                    prefix.to_string(),
+                    BreakerState::Closed {
+                        consecutive_failures: 0,
+                    },
+                );
+            }
+        } else if probing {
+            // The probe never reached the wire (local rate budget): re-arm
+            // the cooldown instead of leaving the breaker half-open.
+            self.transition(
+                prefix,
+                now,
+                BreakerState::Open {
+                    until: now + self.config.breaker_cooldown,
+                },
+            );
         }
     }
 
@@ -567,6 +869,220 @@ mod tests {
         assert_eq!(req.param("a"), Some("1"));
         assert_eq!(req.param("b"), Some("2"));
         assert_eq!(req.param("c"), None);
+    }
+
+    #[test]
+    fn final_attempt_accrues_no_wait() {
+        // A retryable status on the last allowed attempt must not charge a
+        // wait that never precedes a retry: with RateLimited(1000) on all 4
+        // attempts only 3 retry waits accrue (plus their jitter, capped by
+        // the backoff ceilings 1 + 2 + 4).
+        let mut svc = |_: SimTime, _: &Request| Response::status(Status::RateLimited(1000), "");
+        let mut router = Router::new();
+        router.mount("svc", &mut svc);
+        let mut client = Client::plain(8, SimTime(0));
+        let err = client
+            .call(&mut router, SimTime(0), &Request::new("svc"))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Failed { attempts: 4, .. }));
+        assert!(
+            client.waited >= SimDuration::secs(3_000),
+            "{}",
+            client.waited
+        );
+        assert!(
+            client.waited <= SimDuration::secs(3_007),
+            "waited {} charged a wait on the final attempt",
+            client.waited
+        );
+    }
+
+    #[test]
+    fn breaker_opens_fails_fast_and_recovers_via_probe() {
+        use std::cell::Cell;
+        let hits = Cell::new(0u32);
+        let healthy = Cell::new(false);
+        let mut svc = |_: SimTime, _: &Request| {
+            hits.set(hits.get() + 1);
+            if healthy.get() {
+                Response::ok("fine")
+            } else {
+                Response::status(Status::ServerError, "down")
+            }
+        };
+        let mut router = Router::new();
+        router.mount("svc", &mut svc);
+        let config = ClientConfig {
+            max_attempts: 2,
+            breaker_threshold: 2,
+            breaker_cooldown: SimDuration::secs(100),
+            ..ClientConfig::default()
+        };
+        let mut client = Client::new(config, FaultInjector::none(), Rng::new(9), SimTime(0));
+        let req = Request::new("svc/op");
+
+        // Two exhausted calls open the breaker.
+        for _ in 0..2 {
+            let err = client.call(&mut router, SimTime(0), &req).unwrap_err();
+            assert!(matches!(err, TransportError::Failed { .. }));
+        }
+        assert!(matches!(
+            client.breaker("svc"),
+            Some(BreakerState::Open { .. })
+        ));
+        let wire_hits = hits.get();
+
+        // While open, calls fail fast without touching the wire.
+        let err = client.call(&mut router, SimTime(10), &req).unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::BreakerOpen {
+                until: SimTime(100)
+            }
+        );
+        assert_eq!(hits.get(), wire_hits, "open breaker must not hit the wire");
+        assert_eq!(client.trace().breaker_fast_fails(), 1);
+
+        // A failed half-open probe re-opens for another cooldown.
+        let err = client.call(&mut router, SimTime(120), &req).unwrap_err();
+        assert!(matches!(err, TransportError::Failed { .. }));
+        assert_eq!(
+            client.breaker("svc"),
+            Some(BreakerState::Open {
+                until: SimTime(220)
+            })
+        );
+
+        // After the service heals, the next probe re-closes the breaker and
+        // traffic flows again: no stuck-open state.
+        healthy.set(true);
+        let resp = client.call(&mut router, SimTime(250), &req).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(
+            client.breaker("svc"),
+            Some(BreakerState::Closed {
+                consecutive_failures: 0
+            })
+        );
+        let phases: Vec<(BreakerPhase, BreakerPhase)> = client
+            .trace()
+            .transitions()
+            .iter()
+            .map(|t| (t.from, t.to))
+            .collect();
+        assert_eq!(
+            phases,
+            vec![
+                (BreakerPhase::Closed, BreakerPhase::Open),
+                (BreakerPhase::Open, BreakerPhase::HalfOpen),
+                (BreakerPhase::HalfOpen, BreakerPhase::Open),
+                (BreakerPhase::Open, BreakerPhase::HalfOpen),
+                (BreakerPhase::HalfOpen, BreakerPhase::Closed),
+            ]
+        );
+    }
+
+    #[test]
+    fn ban_window_fails_fast_with_forbidden() {
+        let mut svc = ok_service();
+        let mut router = Router::new();
+        router.mount("svc", &mut svc);
+        let mut plan = FaultSchedule::calm(FaultInjector::none());
+        plan.outages.push(crate::fault::OutageWindow {
+            from: SimTime(0),
+            until: SimTime(100),
+            mode: OutageMode::Ban,
+        });
+        let mut client =
+            Client::with_schedule(ClientConfig::default(), plan, Rng::new(10), SimTime(0));
+        let err = client
+            .call(&mut router, SimTime(5), &Request::new("svc"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::Failed {
+                status: Status::Forbidden,
+                attempts: 1
+            }
+        );
+        assert_eq!(client.trace().len(), 1, "a ban must not retry");
+        // Outside the window the credential works again.
+        let resp = client
+            .call(&mut router, SimTime(100), &Request::new("svc"))
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn blackout_window_drops_every_attempt() {
+        let mut svc = ok_service();
+        let mut router = Router::new();
+        router.mount("svc", &mut svc);
+        let mut plan = FaultSchedule::calm(FaultInjector::none());
+        plan.outages.push(crate::fault::OutageWindow {
+            from: SimTime(0),
+            until: SimTime(1_000),
+            mode: OutageMode::Blackout,
+        });
+        let mut client =
+            Client::with_schedule(ClientConfig::default(), plan, Rng::new(11), SimTime(0));
+        let err = client
+            .call(&mut router, SimTime(0), &Request::new("svc"))
+            .unwrap_err();
+        assert_eq!(err, TransportError::Dropped { attempts: 4 });
+        let resp = client
+            .call(&mut router, SimTime(2_000), &Request::new("svc"))
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok, "service reachable after outage");
+    }
+
+    #[test]
+    fn deadline_budget_stops_retrying_early() {
+        let mut svc = |_: SimTime, _: &Request| Response::status(Status::RateLimited(100), "");
+        let mut router = Router::new();
+        router.mount("svc", &mut svc);
+        let config = ClientConfig {
+            deadline: SimDuration::secs(5),
+            ..ClientConfig::default()
+        };
+        let mut client = Client::new(config, FaultInjector::none(), Rng::new(12), SimTime(0));
+        let err = client
+            .call(&mut router, SimTime(0), &Request::new("svc"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::Failed {
+                status: Status::RateLimited(100),
+                attempts: 1
+            }
+        );
+        assert_eq!(
+            client.waited,
+            SimDuration::ZERO,
+            "a wait the caller never serves must not be charged"
+        );
+    }
+
+    #[test]
+    fn calm_schedule_is_bit_identical_to_plain_injector() {
+        let faults = FaultInjector::new(0.2, 0.1);
+        let mut a = Client::new(ClientConfig::default(), faults, Rng::new(13), SimTime(0));
+        let mut b = Client::with_schedule(
+            ClientConfig::default(),
+            FaultSchedule::calm(faults),
+            Rng::new(13),
+            SimTime(0),
+        );
+        for (i, client) in [&mut a, &mut b].into_iter().enumerate() {
+            let mut svc = ok_service();
+            let mut router = Router::new();
+            router.mount("svc", &mut svc);
+            for k in 0..30u64 {
+                let _ok = client.call(&mut router, SimTime(k * 60), &Request::new("svc/x"));
+            }
+            assert!(client.trace().len() >= 30, "client {i}");
+        }
+        assert_eq!(a.state(), b.state(), "calm schedule must not perturb");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use chatlens::analysis::LdaConfig;
 use chatlens::analysis::{content, discovery, lifecycle, membership, messages, pii, topics};
 use chatlens::checkpoint::load_from_file;
+use chatlens::core::net::SERVICE_NAMES;
 use chatlens::core::{
     resume_study, resume_study_checkpointed, run_study_checkpointed, CampaignConfig, CampaignState,
     CheckpointPolicy,
@@ -28,6 +29,7 @@ use chatlens::platforms::spec::PlatformSpec;
 use chatlens::report::compare::{holding, markdown_table, Comparison};
 use chatlens::report::series::{cdf_summary, days_csv, sparkline, to_csv};
 use chatlens::report::table::{fmt_count, fmt_pct, Table};
+use chatlens::simnet::fault::{FaultProfile, OutageSpec};
 use chatlens::simnet::metrics::Metrics;
 use chatlens::simnet::par::Pool;
 use chatlens::twitter::Lang;
@@ -53,7 +55,7 @@ SUBCOMMANDS:
                      pass (chatlens-lint) over the workspace sources and
                      exit nonzero on any finding; --stats prints the
                      per-rule summary table (see DESIGN.md §Determinism
-                     lint for the rule catalog D1..D6)
+                     lint for the rule catalog D1..D7)
     checkpoint inspect <file>
                      decode a campaign snapshot and print its summary as
                      JSON (day, clock, collection counts, deterministic
@@ -78,6 +80,22 @@ OPTIONS:
                      starting fresh (--scale/--seed are then taken from
                      the snapshot, not the command line); the finished
                      dataset is bit-identical to an uninterrupted run
+    --fault-profile <calm|bursty|outage>
+                     fault regime for the campaign's transport clients
+                     (default calm). `bursty` layers a Gilbert-Elliott
+                     burst chain over the i.i.d. faults; `outage` adds
+                     scheduled service blackouts/bans (the built-in storm
+                     unless --outage/--ban override it). Deterministic:
+                     same profile + seed => byte-identical dataset.
+    --outage <svc:start:days>
+                     schedule a full blackout of one service, e.g.
+                     `--outage whatsapp:12:3` (svc one of twitter,
+                     whatsapp, telegram, discord; start is a 0-based
+                     study day). Repeatable, one window per service.
+    --ban <svc:start:days>
+                     like --outage but the service answers instantly
+                     with 403 Forbidden (credential suspension) instead
+                     of dropping requests
     --timings        print per-stage wall-clock timings (campaign stages
                      and per-artifact analysis stages) to stderr
     --csv <dir>      export figure series as CSV files into <dir>
@@ -94,6 +112,8 @@ fn main() {
     let mut ckpt_dir: Option<std::path::PathBuf> = None;
     let mut ckpt_every = 1u32;
     let mut resume: Option<std::path::PathBuf> = None;
+    let mut profile = FaultProfile::Calm;
+    let mut outages: [Option<OutageSpec>; 4] = [None; 4];
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -154,6 +174,20 @@ fn main() {
                     args.next().expect("--resume <file>"),
                 ));
             }
+            "--fault-profile" => {
+                let v = args.next().expect("--fault-profile <calm|bursty|outage>");
+                profile = FaultProfile::parse(&v).unwrap_or_else(|| {
+                    eprintln!(
+                        "error: unknown fault profile {v:?} (expected calm, bursty, or outage)"
+                    );
+                    std::process::exit(2);
+                });
+            }
+            "--outage" | "--ban" => {
+                let spec = args.next().expect("--outage/--ban <svc:start_day:days>");
+                let (idx, spec) = parse_outage(&spec, a == "--ban");
+                outages[idx] = Some(spec);
+            }
             "--help" | "-h" => {
                 println!("{HELP}");
                 return;
@@ -176,10 +210,26 @@ fn main() {
         return;
     }
     eprintln!("# chatlens repro — scale {scale}, seed {seed}, threads {threads}");
+    if profile != FaultProfile::Calm || outages.iter().any(Option::is_some) {
+        eprintln!("# fault profile: {}", profile.name());
+        for (name, spec) in SERVICE_NAMES.iter().zip(&outages) {
+            if let Some(s) = spec {
+                eprintln!(
+                    "#   {} {} days {}..{}",
+                    name,
+                    if s.ban { "banned" } else { "down" },
+                    s.start_day,
+                    s.start_day + s.days
+                );
+            }
+        }
+    }
     // lint:allow(D1) stderr progress timing for the operator; no artifact reads it
     let t0 = std::time::Instant::now();
     let campaign = CampaignConfig {
         threads,
+        profile,
+        outages,
         ..CampaignConfig::default()
     };
     let policy = ckpt_dir.as_ref().map(|dir| CheckpointPolicy {
@@ -229,6 +279,14 @@ fn main() {
             fmt_count(tot.joined_groups),
             fmt_count(tot.messages)
         );
+        if !ds.gaps.is_empty() {
+            let days: usize = ds.gaps.values().map(Vec::len).sum();
+            println!(
+                "gap ledger: {} group(s) with {} censored observation day(s)",
+                fmt_count(ds.gaps.len() as u64),
+                fmt_count(days as u64)
+            );
+        }
         return;
     }
 
@@ -312,6 +370,38 @@ fn main() {
 
 fn pname(k: PlatformKind) -> &'static str {
     k.name()
+}
+
+/// Parse an `--outage`/`--ban` operand of the form `svc:start_day:days`
+/// into the service's [`SERVICE_NAMES`] index and its [`OutageSpec`].
+fn parse_outage(arg: &str, ban: bool) -> (usize, OutageSpec) {
+    let bail = |what: &str| -> ! {
+        eprintln!("error: bad outage spec {arg:?}: {what} (expected <svc:start_day:days>)");
+        std::process::exit(2);
+    };
+    let mut parts = arg.split(':');
+    let (Some(svc), Some(start), Some(days), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        bail("need exactly three `:`-separated fields")
+    };
+    let Some(idx) = SERVICE_NAMES.iter().position(|&n| n == svc) else {
+        bail("unknown service (expected twitter, whatsapp, telegram, or discord)")
+    };
+    let (Ok(start_day), Ok(days)) = (start.parse::<u32>(), days.parse::<u32>()) else {
+        bail("start day and length must be unsigned integers")
+    };
+    if days == 0 {
+        bail("outage length must be at least one day")
+    }
+    (
+        idx,
+        OutageSpec {
+            start_day,
+            days,
+            ban,
+        },
+    )
 }
 
 /// `repro lint [--stats]`: run the determinism & concurrency

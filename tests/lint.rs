@@ -51,6 +51,12 @@ fn fixtures() -> Vec<(Rule, &'static str, &'static str, &'static str)> {
             "fn f() { std::fs::write(\"out.txt\", \"data\").unwrap(); }",
             "// lint:allow(D6) fixture: operator-requested export path\nfn f() { std::fs::write(\"out.txt\", \"data\").unwrap(); }",
         ),
+        (
+            Rule::D7,
+            "crates/core/src/fixture.rs",
+            "fn f(net: &mut Net) { let _ = net.twitter(eco, now, &req); }",
+            "fn f(net: &mut Net) {\n // lint:allow(D7) fixture: warm-up call, outcome intentionally unused\n let _ = net.twitter(eco, now, &req);\n}",
+        ),
     ]
 }
 

@@ -228,13 +228,44 @@ proptest! {
 use chatlens::platforms::group::SizeTimeline;
 use chatlens::platforms::message::MessageKind;
 use chatlens::platforms::service::{encode_message, parse_message};
-use chatlens::simnet::fault::{Backoff, TokenBucket};
+use chatlens::simnet::fault::{Backoff, FaultInjector, TokenBucket};
 use chatlens::simnet::metrics::Histogram;
 use chatlens::simnet::time::SimDuration;
+use chatlens::simnet::transport::{
+    Client, ClientConfig, Request, Response, Router, Service, Status, TransportError,
+};
 use chatlens::workload::config::{RevocationParams, ShareCountParams, StalenessParams};
 use chatlens::workload::groups::{
     sample_revocation_offset, sample_share_count, sample_staleness_days,
 };
+
+/// A service that walks a scripted response list, one entry per dispatch.
+struct ScriptedService {
+    script: Vec<u8>,
+    cursor: usize,
+}
+
+impl Service for ScriptedService {
+    fn handle(&mut self, _now: SimTime, _req: &Request) -> Response {
+        let k = self.script[self.cursor % self.script.len()];
+        self.cursor += 1;
+        match k % 5 {
+            0 | 1 => Response::ok("ok"),
+            2 => Response::status(Status::RateLimited(u32::from(k % 7) + 1), "slow down"),
+            3 => Response::status(Status::ServerError, "injected"),
+            _ => Response::status(Status::NotFound, "no such thing"),
+        }
+    }
+}
+
+/// A service that always answers 429 with a fixed retry-after.
+struct AlwaysLimited(u32);
+
+impl Service for AlwaysLimited {
+    fn handle(&mut self, _now: SimTime, _req: &Request) -> Response {
+        Response::status(Status::RateLimited(self.0), "busy")
+    }
+}
 
 proptest! {
     #[test]
@@ -432,6 +463,103 @@ proptest! {
     }
 
     // ---- platforms::invite: URL render/parse round-trips ----
+
+    #[test]
+    fn client_call_never_exceeds_attempt_budget_and_accounts_every_wait(
+        seed in any::<u64>(),
+        max_attempts in 1u32..7,
+        drop_p in 0.0f64..0.5,
+        error_p in 0.0f64..0.4,
+        breaker_threshold in 0u32..4,
+        script in proptest::collection::vec(any::<u8>(), 1..40),
+        calls in 1usize..25,
+    ) {
+        let mut svc = ScriptedService { script, cursor: 0 };
+        let config = ClientConfig {
+            max_attempts,
+            breaker_threshold,
+            ..ClientConfig::default()
+        };
+        let mut client = Client::new(
+            config,
+            FaultInjector::new(drop_p, error_p),
+            Rng::new(seed),
+            SimTime::EPOCH,
+        );
+        for i in 0..calls {
+            let mut router = Router::new();
+            router.mount("svc", &mut svc);
+            let now = SimTime::EPOCH + SimDuration::secs(i as u64 * 900);
+            let entries_before = client.trace().len();
+            let waited_before = client.waited.as_secs();
+            let result = client.call(&mut router, now, &Request::new("svc/op"));
+            let new_entries = client.trace().len() - entries_before;
+            let waited_delta = client.waited.as_secs() - waited_before;
+            // A call never records more than `max_attempts` trace entries,
+            // and the error-side attempt counts agree with the trace.
+            prop_assert!(new_entries <= u64::from(max_attempts));
+            match &result {
+                Err(TransportError::Failed { attempts, .. })
+                | Err(TransportError::Dropped { attempts }) => {
+                    prop_assert!(*attempts <= max_attempts);
+                    prop_assert_eq!(u64::from(*attempts), new_entries);
+                }
+                Ok(_) => prop_assert!(new_entries >= 1),
+                Err(TransportError::BreakerOpen { .. }) => {
+                    prop_assert_eq!(new_entries, 0);
+                }
+                Err(TransportError::RateBudgetExhausted) => {}
+            }
+            // `waited` accounts exactly the imposed waits: every charged
+            // wait precedes a recorded attempt, so the delta equals the
+            // gap between the call's start and its last attempt. (The old
+            // over-counting bug charged the final retryable attempt's
+            // retry-after even though no retry followed.)
+            match &result {
+                Err(TransportError::RateBudgetExhausted) => {}
+                Err(TransportError::BreakerOpen { .. }) => prop_assert_eq!(waited_delta, 0),
+                _ => {
+                    let last_at = client.trace().entries().last().expect("attempted").at;
+                    prop_assert_eq!(waited_delta, (last_at - now).as_secs());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn final_retryable_attempt_is_not_charged_as_wait(
+        seed in any::<u64>(),
+        max_attempts in 1u32..6,
+        retry_after in 100u32..500,
+    ) {
+        let mut svc = AlwaysLimited(retry_after);
+        let mut router = Router::new();
+        router.mount("svc", &mut svc);
+        let mut client = Client::new(
+            ClientConfig { max_attempts, ..ClientConfig::default() },
+            FaultInjector::none(),
+            Rng::new(seed),
+            SimTime::EPOCH,
+        );
+        let result = client.call(&mut router, SimTime::EPOCH, &Request::new("svc/op"));
+        prop_assert!(matches!(
+            result,
+            Err(TransportError::Failed { status: Status::RateLimited(_), attempts })
+                if attempts == max_attempts
+        ));
+        prop_assert_eq!(client.trace().len(), u64::from(max_attempts));
+        let n = u64::from(max_attempts);
+        let ra = u64::from(retry_after);
+        prop_assert!(client.waited.as_secs() >= (n - 1) * ra);
+        // Each of the n-1 served retries waits retry-after plus at most
+        // the backoff cap; charging the final attempt too would land at
+        // n * retry-after and break this bound.
+        prop_assert!(
+            client.waited.as_secs() <= (n - 1) * (ra + 61),
+            "final retryable attempt charged as wait: {} secs after {n} attempts",
+            client.waited.as_secs()
+        );
+    }
 
     #[test]
     fn parse_is_scheme_and_noise_insensitive(

@@ -3,9 +3,10 @@
 //! conditions" discipline of the networking guides applied to the whole
 //! pipeline.
 
+use chatlens::core::monitor::ObservedStatus;
 use chatlens::platforms::id::PlatformKind;
-use chatlens::simnet::fault::FaultInjector;
-use chatlens::{run_study_with, CampaignConfig, ScenarioConfig};
+use chatlens::simnet::fault::{FaultInjector, FaultProfile, OutageSpec};
+use chatlens::{run_study_with, CampaignConfig, Dataset, ScenarioConfig};
 
 fn scenario() -> ScenarioConfig {
     ScenarioConfig::at_scale(0.005)
@@ -102,6 +103,7 @@ fn dataset_fingerprint(ds: &chatlens::Dataset) -> String {
     out.push_str(&format!("failed_requests={}\n", ds.failed_requests));
     out.push_str(&format!("accounts={:?}\n", ds.accounts_used));
     out.push_str(&format!("extraction={:?}\n", ds.extraction));
+    out.push_str(&format!("gaps={:?}\n", ds.gaps));
     for t in &ds.tweets {
         out.push_str(&format!("tweet={}\n", t.tweet.id.0));
     }
@@ -169,6 +171,197 @@ fn fault_sweep_never_breaks_dataset_determinism() {
             "drop chance {p} should force retries ({attempts} vs {clean} clean)"
         );
     }
+}
+
+// ---- correlated failures: scheduled outages, breakers, gap censoring ----
+
+/// A campaign whose WhatsApp service is fully dark on study days 12..15.
+fn wa_blackout_campaign() -> CampaignConfig {
+    CampaignConfig {
+        outages: [
+            None,
+            Some(OutageSpec {
+                start_day: 12,
+                days: 3,
+                ban: false,
+            }),
+            None,
+            None,
+        ],
+        ..CampaignConfig::default()
+    }
+}
+
+/// Everything the dataset holds about one platform, as a comparable
+/// digest: discovery records, timelines, gap-ledger entries, and joined
+/// groups (members and messages included via `Debug`).
+fn platform_slice(ds: &Dataset, kind: PlatformKind) -> String {
+    let mut out = String::new();
+    for g in ds.groups.iter().filter(|g| g.platform == kind) {
+        let key = g.invite.dedup_key();
+        out.push_str(&format!("group={key}\n"));
+        if let Some(tl) = ds.timelines.get(&key) {
+            out.push_str(&format!("  timeline={tl:?}\n"));
+        }
+        if let Some(gaps) = ds.gaps.get(&key) {
+            out.push_str(&format!("  gaps={gaps:?}\n"));
+        }
+    }
+    for j in ds.joined_of(kind) {
+        out.push_str(&format!("joined={j:?}\n"));
+    }
+    out
+}
+
+#[test]
+fn three_day_blackout_censors_only_the_dark_platform() {
+    let baseline = run_study_with(scenario(), CampaignConfig::default());
+    assert!(
+        baseline.gaps.is_empty(),
+        "a calm campaign must not record censored days"
+    );
+    let outage = run_study_with(scenario(), wa_blackout_campaign());
+
+    // The campaign completes and the outage left a censored record, never
+    // fabricated observations: inside the window every WhatsApp fetch is
+    // Failed, and the unrecoverable days landed in the gap ledger.
+    assert!(!outage.gaps.is_empty(), "the blackout must leave gaps");
+    let wa_keys: std::collections::HashSet<String> = outage
+        .groups
+        .iter()
+        .filter(|g| g.platform == PlatformKind::WhatsApp)
+        .map(|g| g.invite.dedup_key())
+        .collect();
+    for (key, days) in &outage.gaps {
+        assert!(wa_keys.contains(key), "gap ledger leaked to {key}");
+        for d in days {
+            assert!((12..15).contains(d), "gap day {d} outside the outage");
+        }
+    }
+    for g in outage
+        .groups
+        .iter()
+        .filter(|g| g.platform == PlatformKind::WhatsApp)
+    {
+        let Some(tl) = outage.timeline_of(g) else {
+            continue;
+        };
+        for o in tl.observations.iter().filter(|o| (12..15).contains(&o.day)) {
+            assert_eq!(
+                o.status,
+                ObservedStatus::Failed,
+                "{}: day-{} observation fabricated during the blackout",
+                g.invite.dedup_key(),
+                o.day
+            );
+        }
+    }
+
+    // Everything the campaign collected about the *other* platforms — and
+    // the Twitter side — is byte-identical to the no-outage run.
+    for kind in [PlatformKind::Telegram, PlatformKind::Discord] {
+        assert_eq!(
+            platform_slice(&outage, kind),
+            platform_slice(&baseline, kind),
+            "{kind}: outputs perturbed by the WhatsApp outage"
+        );
+    }
+    let tweet_ids = |ds: &Dataset| ds.tweets.iter().map(|t| t.tweet.id.0).collect::<Vec<_>>();
+    assert_eq!(tweet_ids(&outage), tweet_ids(&baseline));
+}
+
+#[test]
+fn service_recovers_to_baseline_after_outage_window() {
+    let baseline = run_study_with(scenario(), CampaignConfig::default());
+    let outage = run_study_with(scenario(), wa_blackout_campaign());
+
+    // The storm was real: breakers opened and failed fast, and days were
+    // censored.
+    assert!(outage.metrics.get("transport.breaker_opened") > 0);
+    assert!(outage.metrics.get("transport.breaker_fast_fails") > 0);
+    assert!(outage.metrics.get("monitor.gap_days") > 0);
+    assert_eq!(baseline.metrics.get("transport.breaker_opened"), 0);
+
+    // After the window closes the breaker must fully recover — monitoring
+    // resumes (not stuck open) and the per-day success profile returns to
+    // the fault-free baseline: under calm faults a Failed observation
+    // after day 15 would mean the breaker was still rejecting calls.
+    let wa_obs = |ds: &Dataset, day: u32| {
+        let mut alive = 0u64;
+        let mut failed = 0u64;
+        for g in ds
+            .groups
+            .iter()
+            .filter(|g| g.platform == PlatformKind::WhatsApp)
+        {
+            let Some(tl) = ds.timeline_of(g) else {
+                continue;
+            };
+            for o in tl.observations.iter().filter(|o| o.day == day) {
+                match o.status {
+                    ObservedStatus::Alive { .. } => alive += 1,
+                    ObservedStatus::Failed => failed += 1,
+                    _ => {}
+                }
+            }
+        }
+        (alive, failed)
+    };
+    let (alive_day15, _) = wa_obs(&outage, 15);
+    assert!(alive_day15 > 0, "monitoring must resume the day after");
+    for day in 15..38 {
+        let (alive, failed) = wa_obs(&outage, day);
+        assert_eq!(failed, 0, "day {day}: breaker still rejecting calls");
+        let (base_alive, _) = wa_obs(&baseline, day);
+        // Same world, same fetch days: once the backlog of revocations
+        // hidden by the gap has been caught up, the per-day alive counts
+        // match the no-outage run exactly.
+        if day >= 16 {
+            assert_eq!(
+                alive, base_alive,
+                "day {day}: success rate did not return to baseline"
+            );
+        }
+    }
+}
+
+#[test]
+fn bursty_checkpoint_resume_is_bit_identical() {
+    use chatlens::checkpoint::load_from_file;
+    use chatlens::core::{resume_study, run_study_checkpointed, CampaignState, CheckpointPolicy};
+    let small = ScenarioConfig::at_scale(0.002);
+    let campaign = CampaignConfig {
+        profile: FaultProfile::Bursty,
+        ..CampaignConfig::default()
+    };
+    let mut uninterrupted = run_study_with(small.clone(), campaign);
+    uninterrupted.metrics.strip_wall_clock();
+
+    let dir = std::env::temp_dir().join(format!("chatlens-bursty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    run_study_checkpointed(small, campaign, &CheckpointPolicy::daily(dir.clone()))
+        .expect("snapshots save");
+    // Kill mid-storm and resume at every thread count: the finished
+    // dataset — burst phases, breaker states, backfill queues, gap ledger
+    // and all — must be byte-identical to the uninterrupted run.
+    let path = dir.join("day019.ckpt");
+    for threads in [1usize, 2, 8] {
+        let mut state: CampaignState = load_from_file(&path).expect("snapshot loads");
+        state.campaign.threads = threads;
+        let mut resumed = resume_study(&state);
+        resumed.metrics.strip_wall_clock();
+        assert_eq!(
+            dataset_fingerprint(&resumed),
+            dataset_fingerprint(&uninterrupted),
+            "bursty resume at {threads} thread(s) diverged"
+        );
+        assert_eq!(
+            resumed, uninterrupted,
+            "bursty resume at {threads} thread(s)"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
