@@ -31,6 +31,20 @@ cargo run -q --bin repro -- lint
 echo "==> bursty fault-profile smoke (repro run)"
 cargo run -q --bin repro -- --scale 0.005 --fault-profile bursty run
 
+# Byzantine smoke: a campaign under hostile wire corruption (20% of
+# bodies mutated in flight) must complete with every rejected body in
+# the quarantine ledger, its checkpoints must carry snapshot format v3,
+# and the dataset invariant auditor must find nothing to report.
+echo "==> hostile corruption smoke (repro run + audit)"
+CKPT_DIR="$(mktemp -d)"
+trap 'rm -rf "$CKPT_DIR"' EXIT
+cargo run -q --bin repro -- --scale 0.005 --corruption hostile \
+    --checkpoint-dir "$CKPT_DIR" run
+LAST_CKPT="$(ls "$CKPT_DIR"/day*.ckpt | sort | tail -1)"
+cargo run -q --bin repro -- checkpoint inspect "$LAST_CKPT" \
+    | grep -q '"format_version":3'
+cargo run -q --bin repro -- audit "$LAST_CKPT"
+
 echo "==> cargo test (threads=1)"
 CHATLENS_THREADS=1 cargo test -q --workspace
 

@@ -15,7 +15,9 @@ use chatlens_platforms::id::{GroupId, PlatformKind, UserId};
 use chatlens_platforms::invite::{InviteCode, UrlPattern};
 use chatlens_platforms::message::{Message, MessageKind};
 use chatlens_platforms::platform::AccountState;
-use chatlens_simnet::fault::{FaultInjector, FaultProfile, OutageSpec, TokenBucketState};
+use chatlens_simnet::fault::{
+    CorruptionProfile, FaultInjector, FaultProfile, OutageSpec, TokenBucketState,
+};
 use chatlens_simnet::metrics::{Histogram, Metrics};
 use chatlens_simnet::time::{SimDuration, SimTime};
 use chatlens_simnet::trace::{BreakerPhase, BreakerTransition, TraceEntry, TraceState};
@@ -76,6 +78,26 @@ impl Persist for FaultProfile {
             1 => Ok(FaultProfile::Bursty),
             2 => Ok(FaultProfile::Outage),
             n => Err(CheckpointError::Malformed(format!("FaultProfile tag {n}"))),
+        }
+    }
+}
+
+impl Persist for CorruptionProfile {
+    fn save(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            CorruptionProfile::Calm => 0,
+            CorruptionProfile::Noisy => 1,
+            CorruptionProfile::Hostile => 2,
+        });
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(CorruptionProfile::Calm),
+            1 => Ok(CorruptionProfile::Noisy),
+            2 => Ok(CorruptionProfile::Hostile),
+            n => Err(CheckpointError::Malformed(format!(
+                "CorruptionProfile tag {n}"
+            ))),
         }
     }
 }
@@ -195,7 +217,10 @@ persist_struct!(ClientState {
     rate_clock,
     burst_rng,
     burst_bad,
-    breakers
+    breakers,
+    corrupt_rng,
+    last_ok_body,
+    corrupted
 });
 
 // ---- simnet: metrics ------------------------------------------------------
@@ -527,6 +552,9 @@ mod tests {
             ]
             .into_iter()
             .collect(),
+            corrupt_rng: [9, 10, 11, 12],
+            last_ok_body: Some("tw-search\nn: 0".into()),
+            corrupted: 4,
         };
         round_trip(state);
     }
@@ -537,6 +565,13 @@ mod tests {
             FaultProfile::Calm,
             FaultProfile::Bursty,
             FaultProfile::Outage,
+        ] {
+            round_trip(p);
+        }
+        for p in [
+            CorruptionProfile::Calm,
+            CorruptionProfile::Noisy,
+            CorruptionProfile::Hostile,
         ] {
             round_trip(p);
         }

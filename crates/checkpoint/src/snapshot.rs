@@ -21,7 +21,12 @@ pub const MAGIC: [u8; 8] = *b"CLCKPT\x1a\x01";
 ///   transitions; discovery and monitor state carry the backfill queues
 ///   and the per-group gap ledger; the campaign config gained the fault
 ///   profile and per-service outage specs.
-pub const FORMAT_VERSION: u32 = 2;
+/// * v3 — Byzantine-payload hardening: client state grew the corruption
+///   RNG position, the last clean body (cross-splice source) and the
+///   corrupted-response counter; discovery, monitor and joiner state
+///   carry their quarantine ledgers; the campaign config gained the
+///   corruption profile.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Envelope overhead before the payload: magic + version + payload length.
 const HEADER_LEN: usize = 8 + 4 + 8;

@@ -1,0 +1,389 @@
+//! The dataset invariant auditor: structural checks that hold for every
+//! campaign, regardless of seed, thread count, fault model, or payload
+//! corruption.
+//!
+//! Byzantine-payload hardening moves failure from "the campaign crashes"
+//! to "the datum is quarantined" — which is only safe if nothing damaged
+//! ever *does* reach the analysis tables. The auditor is the proof
+//! obligation: a suite of cross-component invariants over the assembled
+//! [`Dataset`] (or the live components at a day boundary) whose
+//! violations carry a typed [`AuditCode`] and the offending group key, so
+//! a failure names the broken table row rather than a stack frame.
+//!
+//! The auditor runs in three places:
+//!
+//! 1. **Day boundaries, debug builds** — [`crate::study`]'s runner audits
+//!    the live components after every completed study day
+//!    (`debug_assertions` only; release campaigns pay nothing).
+//! 2. **Resume** — every `resume_study*` entry point audits the restored
+//!    components before continuing, so a snapshot that decodes cleanly
+//!    but violates campaign invariants is caught at the boundary.
+//! 3. **`repro audit <snapshot>`** — the CLI resumes a checkpoint to a
+//!    full dataset and prints every violation (exit code 1 if any).
+
+use crate::dataset::Dataset;
+use crate::discovery::Discovery;
+use crate::joiner::{JoinedGroup, Joiner};
+use crate::monitor::{GroupTimeline, Monitor, ObservedStatus};
+use crate::quarantine::QuarantineEntry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which invariant a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AuditCode {
+    /// A timeline's observation days are not strictly increasing.
+    NonMonotoneTimeline,
+    /// An observation follows a `Revoked` one (revocation is terminal).
+    ObservationAfterRevoked,
+    /// A monitored key that discovery never produced (membership must be
+    /// a subset of the discovered population).
+    TimelineUnknownGroup,
+    /// A joined group whose invite discovery never produced.
+    JoinedUnknownGroup,
+    /// A gap-ledger day with no matching `Failed` observation — the gap
+    /// ledger says a day is censored, the timeline disagrees.
+    GapWithoutFailedObservation,
+    /// A gap ledger that is not strictly ascending (unsorted or
+    /// duplicated days).
+    GapLedgerNotAscending,
+    /// A quarantine entry dated outside the study window.
+    QuarantineDayOutOfWindow,
+    /// A quarantine entry naming a group discovery never produced.
+    QuarantineUnknownGroup,
+    /// A joined group with collected messages but no monitor timeline —
+    /// every joined group was discovered and monitored, so messages
+    /// without observations mean a record went missing.
+    MessagesWithoutTimeline,
+}
+
+impl AuditCode {
+    /// Stable kebab-case label (CLI output, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditCode::NonMonotoneTimeline => "non-monotone-timeline",
+            AuditCode::ObservationAfterRevoked => "observation-after-revoked",
+            AuditCode::TimelineUnknownGroup => "timeline-unknown-group",
+            AuditCode::JoinedUnknownGroup => "joined-unknown-group",
+            AuditCode::GapWithoutFailedObservation => "gap-without-failed-observation",
+            AuditCode::GapLedgerNotAscending => "gap-ledger-not-ascending",
+            AuditCode::QuarantineDayOutOfWindow => "quarantine-day-out-of-window",
+            AuditCode::QuarantineUnknownGroup => "quarantine-unknown-group",
+            AuditCode::MessagesWithoutTimeline => "messages-without-timeline",
+        }
+    }
+}
+
+/// One broken invariant, anchored to the group it concerns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// Which invariant broke.
+    pub code: AuditCode,
+    /// Dedup key of the offending group (empty when the violation is not
+    /// about a single group).
+    pub group: String,
+    /// Human-readable specifics (days, counts, entry positions).
+    pub detail: String,
+}
+
+impl AuditViolation {
+    fn new(code: AuditCode, group: &str, detail: String) -> AuditViolation {
+        AuditViolation {
+            code,
+            group: group.to_string(),
+            detail,
+        }
+    }
+
+    /// Render as `code group: detail` for CLI output.
+    pub fn render(&self) -> String {
+        if self.group.is_empty() {
+            format!("{}: {}", self.code.label(), self.detail)
+        } else {
+            format!("{} [{}]: {}", self.code.label(), self.group, self.detail)
+        }
+    }
+}
+
+/// Audit an assembled dataset. Returns every violation found (empty =
+/// all invariants hold).
+pub fn audit_dataset(ds: &Dataset) -> Vec<AuditViolation> {
+    let discovered: BTreeSet<String> = ds.groups.iter().map(|r| r.invite.dedup_key()).collect();
+    let mut out = Vec::new();
+    check_timelines(&ds.timelines, &discovered, &mut out);
+    check_gaps(&ds.gaps, &ds.timelines, &mut out);
+    check_quarantine(
+        &ds.quarantine,
+        ds.window.num_days() as u32,
+        &discovered,
+        &mut out,
+    );
+    check_joined(&ds.joined, &discovered, &ds.timelines, &mut out);
+    out
+}
+
+/// Audit the live pipeline components (day boundaries, resume). Same
+/// invariants as [`audit_dataset`], evaluated before assembly.
+pub fn audit_components(
+    num_days: u32,
+    discovery: &Discovery,
+    monitor: &Monitor,
+    joiner: &Joiner,
+) -> Vec<AuditViolation> {
+    let discovered: BTreeSet<String> = discovery
+        .groups
+        .iter()
+        .map(|r| r.invite.dedup_key())
+        .collect();
+    let mut out = Vec::new();
+    check_timelines(&monitor.timelines, &discovered, &mut out);
+    check_gaps(&monitor.gaps, &monitor.timelines, &mut out);
+    for ledger in [
+        &discovery.quarantine,
+        &monitor.quarantine,
+        &joiner.quarantine,
+    ] {
+        check_quarantine(ledger, num_days, &discovered, &mut out);
+    }
+    check_joined(&joiner.joined, &discovered, &monitor.timelines, &mut out);
+    out
+}
+
+fn check_timelines(
+    timelines: &BTreeMap<String, GroupTimeline>,
+    discovered: &BTreeSet<String>,
+    out: &mut Vec<AuditViolation>,
+) {
+    for (key, tl) in timelines {
+        if !discovered.contains(key) {
+            out.push(AuditViolation::new(
+                AuditCode::TimelineUnknownGroup,
+                key,
+                "monitored but never discovered".to_string(),
+            ));
+        }
+        for pair in tl.observations.windows(2) {
+            if pair[1].day <= pair[0].day {
+                out.push(AuditViolation::new(
+                    AuditCode::NonMonotoneTimeline,
+                    key,
+                    format!("day {} follows day {}", pair[1].day, pair[0].day),
+                ));
+            }
+        }
+        if let Some(at) = tl
+            .observations
+            .iter()
+            .position(|o| o.status == ObservedStatus::Revoked)
+        {
+            if at + 1 != tl.observations.len() {
+                out.push(AuditViolation::new(
+                    AuditCode::ObservationAfterRevoked,
+                    key,
+                    format!(
+                        "{} observation(s) after revocation on day {}",
+                        tl.observations.len() - at - 1,
+                        tl.observations[at].day
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_gaps(
+    gaps: &BTreeMap<String, Vec<u32>>,
+    timelines: &BTreeMap<String, GroupTimeline>,
+    out: &mut Vec<AuditViolation>,
+) {
+    for (key, days) in gaps {
+        if days.windows(2).any(|w| w[1] <= w[0]) {
+            out.push(AuditViolation::new(
+                AuditCode::GapLedgerNotAscending,
+                key,
+                format!("{days:?}"),
+            ));
+        }
+        let failed_days: BTreeSet<u32> = timelines
+            .get(key)
+            .map(|tl| {
+                tl.observations
+                    .iter()
+                    .filter(|o| o.status == ObservedStatus::Failed)
+                    .map(|o| o.day)
+                    .collect()
+            })
+            .unwrap_or_default();
+        for day in days {
+            if !failed_days.contains(day) {
+                out.push(AuditViolation::new(
+                    AuditCode::GapWithoutFailedObservation,
+                    key,
+                    format!("gap day {day} has no Failed observation"),
+                ));
+            }
+        }
+    }
+}
+
+fn check_quarantine(
+    ledger: &[QuarantineEntry],
+    num_days: u32,
+    discovered: &BTreeSet<String>,
+    out: &mut Vec<AuditViolation>,
+) {
+    for entry in ledger {
+        if entry.day >= num_days {
+            out.push(AuditViolation::new(
+                AuditCode::QuarantineDayOutOfWindow,
+                &entry.group,
+                format!(
+                    "{} entry dated day {} in a {}-day window",
+                    entry.code.label(),
+                    entry.day,
+                    num_days
+                ),
+            ));
+        }
+        if !entry.group.is_empty() && !discovered.contains(&entry.group) {
+            out.push(AuditViolation::new(
+                AuditCode::QuarantineUnknownGroup,
+                &entry.group,
+                format!("{} entry for an undiscovered group", entry.code.label()),
+            ));
+        }
+    }
+}
+
+fn check_joined(
+    joined: &[JoinedGroup],
+    discovered: &BTreeSet<String>,
+    timelines: &BTreeMap<String, GroupTimeline>,
+    out: &mut Vec<AuditViolation>,
+) {
+    for jg in joined {
+        if !discovered.contains(&jg.key) {
+            out.push(AuditViolation::new(
+                AuditCode::JoinedUnknownGroup,
+                &jg.key,
+                "joined but never discovered".to_string(),
+            ));
+        }
+        if !jg.messages.is_empty() && !timelines.contains_key(&jg.key) {
+            out.push(AuditViolation::new(
+                AuditCode::MessagesWithoutTimeline,
+                &jg.key,
+                format!("{} message(s) but no monitor timeline", jg.messages.len()),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::Observation;
+    use crate::study::{run_study_with, CampaignConfig};
+    use chatlens_simnet::fault::CorruptionProfile;
+    use chatlens_workload::ScenarioConfig;
+
+    fn timeline(days: &[(u32, ObservedStatus)]) -> GroupTimeline {
+        GroupTimeline {
+            observations: days
+                .iter()
+                .map(|&(day, status)| Observation { day, status })
+                .collect(),
+            ..GroupTimeline::default()
+        }
+    }
+
+    const ALIVE: ObservedStatus = ObservedStatus::Alive {
+        size: 10,
+        online: 1,
+    };
+
+    #[test]
+    fn monotone_and_terminal_violations_are_detected() {
+        let discovered: BTreeSet<String> = ["g1".to_string()].into();
+        let mut timelines = BTreeMap::new();
+        timelines.insert("g1".to_string(), timeline(&[(3, ALIVE), (3, ALIVE)]));
+        let mut out = Vec::new();
+        check_timelines(&timelines, &discovered, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, AuditCode::NonMonotoneTimeline);
+
+        timelines.insert(
+            "g1".to_string(),
+            timeline(&[(1, ALIVE), (2, ObservedStatus::Revoked), (3, ALIVE)]),
+        );
+        out.clear();
+        check_timelines(&timelines, &discovered, &mut out);
+        assert_eq!(out[0].code, AuditCode::ObservationAfterRevoked);
+        assert_eq!(out[0].group, "g1");
+    }
+
+    #[test]
+    fn membership_must_be_subset_of_population() {
+        let discovered = BTreeSet::new();
+        let mut timelines = BTreeMap::new();
+        timelines.insert("ghost".to_string(), timeline(&[(0, ALIVE)]));
+        let mut out = Vec::new();
+        check_timelines(&timelines, &discovered, &mut out);
+        assert_eq!(out[0].code, AuditCode::TimelineUnknownGroup);
+    }
+
+    #[test]
+    fn gap_days_need_failed_observations() {
+        let mut timelines = BTreeMap::new();
+        timelines.insert(
+            "g".to_string(),
+            timeline(&[(0, ALIVE), (1, ObservedStatus::Failed)]),
+        );
+        let mut gaps = BTreeMap::new();
+        gaps.insert("g".to_string(), vec![1, 2]);
+        let mut out = Vec::new();
+        check_gaps(&gaps, &timelines, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, AuditCode::GapWithoutFailedObservation);
+        assert!(out[0].detail.contains("day 2"));
+
+        gaps.insert("g".to_string(), vec![2, 1]);
+        out.clear();
+        check_gaps(&gaps, &timelines, &mut out);
+        assert!(out
+            .iter()
+            .any(|v| v.code == AuditCode::GapLedgerNotAscending));
+    }
+
+    #[test]
+    fn quarantine_provenance_is_checked() {
+        let entry = QuarantineEntry {
+            service: "whatsapp".to_string(),
+            endpoint: "whatsapp/landing?code=x".to_string(),
+            group: "wa:x".to_string(),
+            day: 40,
+            code: crate::quarantine::QuarantineCode::MissingField,
+            detail: "missing".to_string(),
+            body: String::new(),
+        };
+        let mut out = Vec::new();
+        check_quarantine(&[entry], 38, &BTreeSet::new(), &mut out);
+        let codes: Vec<AuditCode> = out.iter().map(|v| v.code).collect();
+        assert!(codes.contains(&AuditCode::QuarantineDayOutOfWindow));
+        assert!(codes.contains(&AuditCode::QuarantineUnknownGroup));
+    }
+
+    #[test]
+    fn hostile_campaign_passes_the_full_audit() {
+        let campaign = CampaignConfig {
+            corruption: CorruptionProfile::Hostile,
+            ..CampaignConfig::default()
+        };
+        let ds = run_study_with(ScenarioConfig::tiny(), campaign);
+        let violations = audit_dataset(&ds);
+        assert!(violations.is_empty(), "{violations:#?}");
+        assert!(
+            !ds.quarantine.is_empty(),
+            "a hostile run must quarantine something"
+        );
+    }
+}

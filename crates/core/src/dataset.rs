@@ -4,6 +4,7 @@ use crate::discovery::{CollectedTweet, Discovery, DiscoveryRecord};
 use crate::joiner::JoinedGroup;
 use crate::monitor::GroupTimeline;
 use crate::pii::PiiStore;
+use crate::quarantine::QuarantineEntry;
 use chatlens_platforms::id::PlatformKind;
 use chatlens_simnet::time::StudyWindow;
 use chatlens_twitter::Tweet;
@@ -53,6 +54,12 @@ pub struct Dataset {
     /// treat these as censored — an unobserved day is never an
     /// observation.
     pub gaps: BTreeMap<String, Vec<u32>>,
+    /// The quarantine ledger: every wire body the collectors rejected,
+    /// with typed error and provenance, in component order (discovery →
+    /// monitor → joiner). Nothing in it ever reaches the tables above —
+    /// it records *why* data is missing, the gap/failure counters record
+    /// *that* it is missing.
+    pub quarantine: Vec<QuarantineEntry>,
     /// Joined groups with members and messages.
     pub joined: Vec<JoinedGroup>,
     /// PII exposure accounting.
@@ -77,9 +84,13 @@ impl Dataset {
         discovery: Discovery,
         timelines: BTreeMap<String, GroupTimeline>,
         gaps: BTreeMap<String, Vec<u32>>,
+        monitor_quarantine: Vec<QuarantineEntry>,
         joiner: crate::joiner::Joiner,
         pii: PiiStore,
     ) -> Dataset {
+        let mut quarantine = discovery.quarantine;
+        quarantine.extend(monitor_quarantine);
+        quarantine.extend(joiner.quarantine);
         Dataset {
             window,
             extraction: discovery.stats,
@@ -89,6 +100,7 @@ impl Dataset {
             groups: discovery.groups,
             timelines,
             gaps,
+            quarantine,
             accounts_used: joiner.accounts_used,
             bot_join_rejected: joiner.bot_join_rejected,
             joined: joiner.joined,

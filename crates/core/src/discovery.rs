@@ -11,6 +11,7 @@
 use crate::error::CoreError;
 use crate::net::Net;
 use crate::patterns::{extract_invites, ExtractionStats};
+use crate::quarantine::{day_of, verify_echoes, QuarantineEntry};
 use chatlens_platforms::id::PlatformKind;
 use chatlens_platforms::invite::InviteCode;
 use chatlens_platforms::wire::WireDoc;
@@ -49,6 +50,9 @@ pub struct CollectedTweet {
 
 /// The discovery component's accumulated state.
 pub struct Discovery {
+    /// Window start, anchoring study-day provenance for quarantine
+    /// entries (pure config — rebuilt from the window on resume).
+    start: SimTime,
     since_id: [Option<u64>; 6],
     tweet_index: HashMap<u64, usize>,
     /// Collected pattern-matched tweets, in arrival order, deduplicated.
@@ -71,12 +75,18 @@ pub struct Discovery {
     pub pending_stream: Vec<(SimTime, SimTime)>,
     /// Sample windows awaiting backfill, like `pending_stream`.
     pub pending_sample: Vec<(SimTime, SimTime)>,
+    /// Rejected feed pages with provenance (see [`crate::quarantine`]).
+    /// A quarantined page is *lost* like a transport failure — stream and
+    /// sample windows re-queue for backfill, search re-covers via
+    /// `since_id` — so corruption shrinks coverage but never ingests.
+    pub quarantine: Vec<QuarantineEntry>,
 }
 
 impl Discovery {
     /// A fresh component; `start` anchors the stream drains.
     pub fn new(start: SimTime) -> Discovery {
         Discovery {
+            start,
             since_id: [None; 6],
             tweet_index: HashMap::new(),
             tweets: Vec::new(),
@@ -89,6 +99,7 @@ impl Discovery {
             failed_requests: 0,
             pending_stream: Vec::new(),
             pending_sample: Vec::new(),
+            quarantine: Vec::new(),
         }
     }
 
@@ -107,6 +118,7 @@ impl Discovery {
     /// are reconstructed here instead of being serialized.
     #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
+        start: SimTime,
         since_id: [Option<u64>; 6],
         tweets: Vec<CollectedTweet>,
         control: Vec<Tweet>,
@@ -117,6 +129,7 @@ impl Discovery {
         failed_requests: u64,
         pending_stream: Vec<(SimTime, SimTime)>,
         pending_sample: Vec<(SimTime, SimTime)>,
+        quarantine: Vec<QuarantineEntry>,
     ) -> Discovery {
         let tweet_index = tweets
             .iter()
@@ -129,6 +142,7 @@ impl Discovery {
             .map(|(i, g)| (g.invite.dedup_key(), i))
             .collect();
         Discovery {
+            start,
             since_id,
             tweet_index,
             tweets,
@@ -141,6 +155,7 @@ impl Discovery {
             failed_requests,
             pending_stream,
             pending_sample,
+            quarantine,
         }
     }
 
@@ -202,6 +217,12 @@ impl Discovery {
     /// failure mid-pagination loses the remaining pages, and the caller
     /// decides whether the window is recoverable (queued for backfill) or
     /// self-healing (search's `since_id`).
+    ///
+    /// A page whose *body* fails to decode (corruption, splice) is never
+    /// a process error: the body is quarantined with provenance, the page
+    /// is re-fetched once immediately, and if the retry is damaged too
+    /// the page is treated exactly like a transport loss — nothing from
+    /// either hostile body is ingested.
     #[allow(clippy::too_many_arguments)]
     fn drain_pages(
         &mut self,
@@ -229,14 +250,42 @@ impl Discovery {
                     return Ok((max_id, false)); // lose the page, keep the campaign going
                 }
             };
-            let doc = WireDoc::parse_as(&resp.body, doc_kind)?;
-            for encoded in doc.get_all("tweet") {
-                let Some(mut tweet) = Tweet::decode(encoded) else {
-                    return Err(CoreError::Protocol(format!(
-                        "undecodable tweet: {encoded:?}"
-                    )));
-                };
-                max_id = Some(max_id.map_or(tweet.id.0, |m| m.max(tweet.id.0)));
+            // Decode the page fully — envelope, echoes, every tweet —
+            // before ingesting anything, so a body that goes bad halfway
+            // through contributes nothing at all.
+            let decoded = match decode_page(&resp.body, doc_kind, &req) {
+                Ok(p) => p,
+                Err(err) => {
+                    let day = day_of(self.start, now);
+                    self.quarantine.push(QuarantineEntry::new(
+                        "twitter", &req, "", day, &err, &resp.body,
+                    ));
+                    // Bounded same-day re-fetch of the damaged page.
+                    let retried = match net.twitter(eco, now, &req) {
+                        Ok(r2) => match decode_page(&r2.body, doc_kind, &req) {
+                            Ok(p) => Some(p),
+                            Err(err2) => {
+                                self.quarantine.push(QuarantineEntry::new(
+                                    "twitter", &req, "", day, &err2, &r2.body,
+                                ));
+                                None
+                            }
+                        },
+                        Err(_) => None,
+                    };
+                    match retried {
+                        Some(p) => p,
+                        None => {
+                            self.failed_requests += 1;
+                            return Ok((max_id, false)); // page lost, like a transport failure
+                        }
+                    }
+                }
+            };
+            if let Some(m) = decoded.max_id {
+                max_id = Some(max_id.map_or(m, |x| x.max(m)));
+            }
+            for mut tweet in decoded.tweets {
                 if into_control {
                     let ids = control_ids
                         .get_or_insert_with(|| self.control.iter().map(|t| t.id.0).collect());
@@ -248,7 +297,7 @@ impl Discovery {
                     self.ingest(tweet, now, via_search);
                 }
             }
-            match doc.opt_u64("next_page")? {
+            match decoded.next {
                 Some(next) => page = next,
                 None => return Ok((max_id, true)),
             }
@@ -365,6 +414,39 @@ impl Discovery {
     pub fn pending_windows(&self) -> usize {
         self.pending_stream.len() + self.pending_sample.len()
     }
+}
+
+/// One fully validated feed page, ready to ingest.
+struct Page {
+    tweets: Vec<Tweet>,
+    max_id: Option<u64>,
+    next: Option<u64>,
+}
+
+/// Decode one feed page: envelope, identity echoes (`host`, `page`,
+/// `from`/`to` — a mismatch is a cross-document splice), and every
+/// encoded tweet. Pure: nothing is ingested until the whole page has
+/// validated.
+fn decode_page(body: &str, doc_kind: &'static str, req: &Request) -> Result<Page, CoreError> {
+    let doc = WireDoc::parse_as(body, doc_kind)?;
+    verify_echoes(&doc, req)?;
+    let mut tweets = Vec::new();
+    let mut max_id: Option<u64> = None;
+    for encoded in doc.get_all("tweet") {
+        let Some(tweet) = Tweet::decode(encoded) else {
+            return Err(CoreError::Protocol(format!(
+                "undecodable tweet: {encoded:?}"
+            )));
+        };
+        max_id = Some(max_id.map_or(tweet.id.0, |m| m.max(tweet.id.0)));
+        tweets.push(tweet);
+    }
+    let next = doc.opt_u64("next_page")?;
+    Ok(Page {
+        tweets,
+        max_id,
+        next,
+    })
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ use crate::discovery::Discovery;
 use crate::error::CoreError;
 use crate::net::Net;
 use crate::pii::{country_of, hash_phone, PiiStore};
+use crate::quarantine::{day_within, service_name, verify_echoes, QuarantineEntry};
 use chatlens_platforms::id::{GroupId, PlatformKind};
 use chatlens_platforms::message::Message;
 use chatlens_platforms::service::parse_message;
@@ -94,6 +95,10 @@ pub struct Joiner {
     /// Collection fetches lost to transport failures (after retries) —
     /// the campaign skips and carries on, like any crawler.
     pub failed_fetches: u64,
+    /// Rejected join/collection bodies with provenance (see
+    /// [`crate::quarantine`]). A doubly-corrupted fetch is counted in
+    /// `failed_fetches` and skipped, exactly like a transport loss.
+    pub quarantine: Vec<QuarantineEntry>,
 }
 
 impl Joiner {
@@ -171,15 +176,56 @@ impl Joiner {
             };
             match resp.status {
                 Status::Ok => {
-                    let doc = WireDoc::parse_as(&resp.body, join_doc)?;
-                    let gid = GroupId(doc.req_u64("group")? as u32);
+                    let key = rec.invite.dedup_key();
+                    let day = day_within(&eco.window, cursor);
+                    // A corrupted join acknowledgment is quarantined and
+                    // the join retried once — acting on a hostile group
+                    // id would collect some *other* group's contents.
+                    let gid = match decode_join(&resp.body, join_doc, &req) {
+                        Ok(gid) => Some(gid),
+                        Err(err) => {
+                            self.quarantine.push(QuarantineEntry::new(
+                                service_name(platform),
+                                &req,
+                                &key,
+                                day,
+                                &err,
+                                &resp.body,
+                            ));
+                            match net.platform(eco, platform, cursor, &req) {
+                                Ok(r2) if r2.status == Status::Ok => {
+                                    match decode_join(&r2.body, join_doc, &req) {
+                                        Ok(gid) => Some(gid),
+                                        Err(err2) => {
+                                            self.quarantine.push(QuarantineEntry::new(
+                                                service_name(platform),
+                                                &req,
+                                                &key,
+                                                day,
+                                                &err2,
+                                                &r2.body,
+                                            ));
+                                            None
+                                        }
+                                    }
+                                }
+                                _ => None,
+                            }
+                        }
+                    };
+                    let Some(gid) = gid else {
+                        // Candidate lost to corruption; move on like a
+                        // dead URL — the budget goes to the next one.
+                        self.failed_fetches += 1;
+                        continue;
+                    };
                     // The platform granted membership; materialize the
                     // group's world-side history so later collection has
                     // something to return.
                     eco.materialize_group(platform, gid);
                     self.joined.push(JoinedGroup {
                         platform,
-                        key: rec.invite.dedup_key(),
+                        key,
                         group_id: gid,
                         joined_at: cursor,
                         created_day: None,
@@ -203,20 +249,37 @@ impl Joiner {
                         .with("code", rec.invite.code.clone());
                     if let Ok(r2) = net.platform(eco, platform, cursor, &retry) {
                         if r2.status == Status::Ok {
-                            let doc = WireDoc::parse_as(&r2.body, join_doc)?;
-                            let gid = GroupId(doc.req_u64("group")? as u32);
-                            eco.materialize_group(platform, gid);
-                            self.joined.push(JoinedGroup {
-                                platform,
-                                key: rec.invite.dedup_key(),
-                                group_id: gid,
-                                joined_at: cursor,
-                                created_day: None,
-                                members: Vec::new(),
-                                member_list_available: false,
-                                messages: Vec::new(),
-                            });
-                            joined_here += 1;
+                            // Already the retry of a rotated account:
+                            // quarantine a corrupt acknowledgment and move
+                            // on without a further fetch.
+                            match decode_join(&r2.body, join_doc, &retry) {
+                                Ok(gid) => {
+                                    eco.materialize_group(platform, gid);
+                                    self.joined.push(JoinedGroup {
+                                        platform,
+                                        key: rec.invite.dedup_key(),
+                                        group_id: gid,
+                                        joined_at: cursor,
+                                        created_day: None,
+                                        members: Vec::new(),
+                                        member_list_available: false,
+                                        messages: Vec::new(),
+                                    });
+                                    joined_here += 1;
+                                }
+                                Err(err) => {
+                                    let day = day_within(&eco.window, cursor);
+                                    self.quarantine.push(QuarantineEntry::new(
+                                        service_name(platform),
+                                        &retry,
+                                        &rec.invite.dedup_key(),
+                                        day,
+                                        &err,
+                                        &r2.body,
+                                    ));
+                                    self.failed_fetches += 1;
+                                }
+                            }
                         }
                     }
                 }
@@ -284,6 +347,7 @@ impl Joiner {
                         &mut cursor,
                         pii,
                         &mut self.failed_fetches,
+                        &mut self.quarantine,
                     )?;
                 }
                 PlatformKind::Telegram => {
@@ -295,6 +359,7 @@ impl Joiner {
                         &mut cursor,
                         pii,
                         &mut self.failed_fetches,
+                        &mut self.quarantine,
                     )?;
                 }
                 PlatformKind::Discord => {
@@ -306,6 +371,7 @@ impl Joiner {
                         &mut cursor,
                         pii,
                         &mut self.failed_fetches,
+                        &mut self.quarantine,
                     )?;
                 }
             }
@@ -340,6 +406,89 @@ fn parse_messages(doc: &WireDoc) -> Result<Vec<Message>, CoreError> {
     Ok(out)
 }
 
+/// Decode a join acknowledgment: envelope, identity echo (the response
+/// echoes the invite `code` it granted — a spliced acknowledgment would
+/// hand back a *different group's* id), then the group id itself.
+fn decode_join(body: &str, join_doc: &'static str, req: &Request) -> Result<GroupId, CoreError> {
+    let doc = WireDoc::parse_as(body, join_doc)?;
+    verify_echoes(&doc, req)?;
+    Ok(GroupId(doc.req_u64("group")? as u32))
+}
+
+/// Outcome of one quarantine-aware collection fetch.
+enum Fetched<T> {
+    /// Body decoded and validated.
+    Decoded(T),
+    /// The server answered with a non-OK status (hidden list, gone…).
+    Denied,
+    /// Transport failure, or both the fetch and its bounded re-fetch came
+    /// back corrupted. Already counted in `failed`.
+    Lost,
+}
+
+/// Fetch `req` and decode its body with `decode`, quarantining a hostile
+/// body (with provenance) and re-fetching once before giving it up as
+/// [`Fetched::Lost`]. Every attempt ticks the pacing cursor like any
+/// other collection request. `decode` must be pure — nothing is applied
+/// until the whole body has validated.
+#[allow(clippy::too_many_arguments)]
+fn fetch_decoded<T>(
+    net: &mut Net,
+    eco: &mut Ecosystem,
+    platform: PlatformKind,
+    cursor: &mut SimTime,
+    req: &Request,
+    group: &str,
+    quarantine: &mut Vec<QuarantineEntry>,
+    failed: &mut u64,
+    decode: &dyn Fn(&str) -> Result<T, CoreError>,
+) -> Fetched<T> {
+    let Ok(resp) = net.platform(eco, platform, tick(cursor), req) else {
+        *failed += 1;
+        return Fetched::Lost;
+    };
+    if resp.status != Status::Ok {
+        return Fetched::Denied;
+    }
+    let day = day_within(&eco.window, *cursor);
+    match decode(&resp.body) {
+        Ok(v) => Fetched::Decoded(v),
+        Err(err) => {
+            quarantine.push(QuarantineEntry::new(
+                service_name(platform),
+                req,
+                group,
+                day,
+                &err,
+                &resp.body,
+            ));
+            let Ok(r2) = net.platform(eco, platform, tick(cursor), req) else {
+                *failed += 1;
+                return Fetched::Lost;
+            };
+            if r2.status != Status::Ok {
+                return Fetched::Denied;
+            }
+            match decode(&r2.body) {
+                Ok(v) => Fetched::Decoded(v),
+                Err(err2) => {
+                    quarantine.push(QuarantineEntry::new(
+                        service_name(platform),
+                        req,
+                        group,
+                        day,
+                        &err2,
+                        &r2.body,
+                    ));
+                    *failed += 1;
+                    Fetched::Lost
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn collect_whatsapp(
     net: &mut Net,
     eco: &mut Ecosystem,
@@ -348,6 +497,7 @@ fn collect_whatsapp(
     cursor: &mut SimTime,
     pii: &mut PiiStore,
     failed: &mut u64,
+    quarantine: &mut Vec<QuarantineEntry>,
 ) -> Result<(), CoreError> {
     let base = |ep: &str| {
         Request::new(ep)
@@ -355,48 +505,67 @@ fn collect_whatsapp(
             .with("group", jg.group_id.0.to_string())
     };
     // Member phone numbers + creation date (visible only after joining).
-    // Transport failures (after retries) cost this group's data, not the
-    // campaign.
-    let Ok(resp) = net.platform(
+    // Transport failures and doubly-corrupted bodies (after retries) cost
+    // this group's data, not the campaign.
+    let req = base("whatsapp/members");
+    let decode = |body: &str| -> Result<(i64, Vec<String>), CoreError> {
+        let doc = WireDoc::parse_as(body, "wa-members")?;
+        verify_echoes(&doc, &req)?;
+        let created_day = doc.req_i64("created_day")?;
+        let phones = doc.get_all("member").map(str::to_string).collect();
+        Ok((created_day, phones))
+    };
+    match fetch_decoded(
+        net,
         eco,
         PlatformKind::WhatsApp,
-        tick(cursor),
-        &base("whatsapp/members"),
-    ) else {
-        *failed += 1;
-        return Ok(());
-    };
-    if resp.status == Status::Ok {
-        let doc = WireDoc::parse_as(&resp.body, "wa-members")?;
-        jg.created_day = Some(doc.req_i64("created_day")?);
-        jg.member_list_available = true;
-        for phone in doc.get_all("member") {
-            pii.record_wa_member(phone);
-            jg.members.push(MemberRecord {
-                user_id: None,
-                phone_hash: Some(hash_phone(phone)),
-                country: country_of(phone).map(str::to_string),
-                linked: Vec::new(),
-            });
+        cursor,
+        &req,
+        &jg.key,
+        quarantine,
+        failed,
+        &decode,
+    ) {
+        Fetched::Decoded((created_day, phones)) => {
+            jg.created_day = Some(created_day);
+            jg.member_list_available = true;
+            for phone in &phones {
+                pii.record_wa_member(phone);
+                jg.members.push(MemberRecord {
+                    user_id: None,
+                    phone_hash: Some(hash_phone(phone)),
+                    country: country_of(phone).map(str::to_string),
+                    linked: Vec::new(),
+                });
+            }
         }
+        Fetched::Denied => {}
+        Fetched::Lost => return Ok(()),
     }
     // Messages since the join date.
-    let Ok(resp) = net.platform(
+    let req = base("whatsapp/messages");
+    let decode = |body: &str| -> Result<Vec<Message>, CoreError> {
+        let doc = WireDoc::parse_as(body, "wa-messages")?;
+        verify_echoes(&doc, &req)?;
+        parse_messages(&doc)
+    };
+    if let Fetched::Decoded(messages) = fetch_decoded(
+        net,
         eco,
         PlatformKind::WhatsApp,
-        tick(cursor),
-        &base("whatsapp/messages"),
-    ) else {
-        *failed += 1;
-        return Ok(());
-    };
-    if resp.status == Status::Ok {
-        let doc = WireDoc::parse_as(&resp.body, "wa-messages")?;
-        jg.messages = parse_messages(&doc)?;
+        cursor,
+        &req,
+        &jg.key,
+        quarantine,
+        failed,
+        &decode,
+    ) {
+        jg.messages = messages;
     }
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn collect_telegram(
     net: &mut Net,
     eco: &mut Ecosystem,
@@ -405,6 +574,7 @@ fn collect_telegram(
     cursor: &mut SimTime,
     pii: &mut PiiStore,
     failed: &mut u64,
+    quarantine: &mut Vec<QuarantineEntry>,
 ) -> Result<(), CoreError> {
     let base = |ep: &str| {
         Request::new(ep)
@@ -412,61 +582,98 @@ fn collect_telegram(
             .with("group", jg.group_id.0.to_string())
     };
     // Full history since creation.
-    let Ok(resp) = net.platform(
+    let req = base("telegram/api/history");
+    let decode = |body: &str| -> Result<(i64, Vec<Message>), CoreError> {
+        let doc = WireDoc::parse_as(body, "tg-history")?;
+        verify_echoes(&doc, &req)?;
+        let created_day = doc.req_i64("created_day")?;
+        let messages = parse_messages(&doc)?;
+        Ok((created_day, messages))
+    };
+    match fetch_decoded(
+        net,
         eco,
         PlatformKind::Telegram,
-        tick(cursor),
-        &base("telegram/api/history"),
-    ) else {
-        *failed += 1;
-        return Ok(());
-    };
-    if resp.status == Status::Ok {
-        let doc = WireDoc::parse_as(&resp.body, "tg-history")?;
-        jg.created_day = Some(doc.req_i64("created_day")?);
-        jg.messages = parse_messages(&doc)?;
+        cursor,
+        &req,
+        &jg.key,
+        quarantine,
+        failed,
+        &decode,
+    ) {
+        Fetched::Decoded((created_day, messages)) => {
+            jg.created_day = Some(created_day);
+            jg.messages = messages;
+        }
+        Fetched::Denied => {}
+        Fetched::Lost => return Ok(()),
     }
     // Member list, if the admins left it visible.
-    let mut user_ids: Vec<u32> = Vec::new();
-    let Ok(resp) = net.platform(
+    let req = base("telegram/api/members");
+    let decode = |body: &str| -> Result<Vec<u32>, CoreError> {
+        let doc = WireDoc::parse_as(body, "tg-members")?;
+        verify_echoes(&doc, &req)?;
+        let mut ids = Vec::new();
+        for raw in doc.get_all("member") {
+            // A garbled id is corruption, not data: reject the whole
+            // body (silently skipping would undercount members from a
+            // document we know is damaged).
+            let Ok(id) = raw.parse::<u32>() else {
+                return Err(CoreError::Protocol(format!("bad member id: {raw:?}")));
+            };
+            ids.push(id);
+        }
+        Ok(ids)
+    };
+    let user_ids: Vec<u32> = match fetch_decoded(
+        net,
         eco,
         PlatformKind::Telegram,
-        tick(cursor),
-        &base("telegram/api/members"),
-    ) else {
-        *failed += 1;
-        return Ok(());
-    };
-    if resp.status == Status::Ok {
-        let doc = WireDoc::parse_as(&resp.body, "tg-members")?;
-        jg.member_list_available = true;
-        for raw in doc.get_all("member") {
-            if let Ok(id) = raw.parse::<u32>() {
-                user_ids.push(id);
-            }
+        cursor,
+        &req,
+        &jg.key,
+        quarantine,
+        failed,
+        &decode,
+    ) {
+        Fetched::Decoded(ids) => {
+            jg.member_list_available = true;
+            ids
         }
-    } else {
-        // Hidden list (§3.3): fall back to the users who posted at least
-        // one message, exactly as the paper did (§6).
-        let mut senders: Vec<u32> = jg.messages.iter().map(|m| m.sender.0).collect();
-        senders.sort_unstable();
-        senders.dedup();
-        user_ids = senders;
-    }
+        Fetched::Denied => {
+            // Hidden list (§3.3): fall back to the users who posted at
+            // least one message, exactly as the paper did (§6).
+            let mut senders: Vec<u32> = jg.messages.iter().map(|m| m.sender.0).collect();
+            senders.sort_unstable();
+            senders.dedup();
+            senders
+        }
+        Fetched::Lost => return Ok(()),
+    };
     // Profile lookups: phones only for the opt-in sliver.
     for id in user_ids {
         let req = Request::new("telegram/api/user")
             .with("account", account.to_string())
             .with("id", id.to_string());
-        let Ok(resp) = net.platform(eco, PlatformKind::Telegram, tick(cursor), &req) else {
-            *failed += 1;
+        let decode = |body: &str| -> Result<Option<String>, CoreError> {
+            let doc = WireDoc::parse_as(body, "tg-user")?;
+            verify_echoes(&doc, &req)?;
+            Ok(doc.get("phone").map(str::to_string))
+        };
+        let Fetched::Decoded(phone) = fetch_decoded(
+            net,
+            eco,
+            PlatformKind::Telegram,
+            cursor,
+            &req,
+            &jg.key,
+            quarantine,
+            failed,
+            &decode,
+        ) else {
             continue;
         };
-        if resp.status != Status::Ok {
-            continue;
-        }
-        let doc = WireDoc::parse_as(&resp.body, "tg-user")?;
-        let phone = doc.get("phone");
+        let phone = phone.as_deref();
         pii.record_tg_user(id, phone);
         jg.members.push(MemberRecord {
             user_id: Some(id),
@@ -478,6 +685,7 @@ fn collect_telegram(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn collect_discord(
     net: &mut Net,
     eco: &mut Ecosystem,
@@ -486,25 +694,38 @@ fn collect_discord(
     cursor: &mut SimTime,
     pii: &mut PiiStore,
     failed: &mut u64,
+    quarantine: &mut Vec<QuarantineEntry>,
 ) -> Result<(), CoreError> {
     let base = |ep: &str| {
         Request::new(ep)
             .with("account", account.to_string())
             .with("group", jg.group_id.0.to_string())
     };
-    let Ok(resp) = net.platform(
+    let req = base("discord/api/messages");
+    let decode = |body: &str| -> Result<(i64, Vec<Message>), CoreError> {
+        let doc = WireDoc::parse_as(body, "dc-messages")?;
+        verify_echoes(&doc, &req)?;
+        let created_day = doc.req_i64("created_day")?;
+        let messages = parse_messages(&doc)?;
+        Ok((created_day, messages))
+    };
+    match fetch_decoded(
+        net,
         eco,
         PlatformKind::Discord,
-        tick(cursor),
-        &base("discord/api/messages"),
-    ) else {
-        *failed += 1;
-        return Ok(());
-    };
-    if resp.status == Status::Ok {
-        let doc = WireDoc::parse_as(&resp.body, "dc-messages")?;
-        jg.created_day = Some(doc.req_i64("created_day")?);
-        jg.messages = parse_messages(&doc)?;
+        cursor,
+        &req,
+        &jg.key,
+        quarantine,
+        failed,
+        &decode,
+    ) {
+        Fetched::Decoded((created_day, messages)) => {
+            jg.created_day = Some(created_day);
+            jg.messages = messages;
+        }
+        Fetched::Denied => {}
+        Fetched::Lost => return Ok(()),
     }
     // No member list for user-level collectors (§3.3): profiles are
     // fetched for users who posted at least one message.
@@ -513,15 +734,24 @@ fn collect_discord(
     senders.dedup();
     for id in senders {
         let req = Request::new("discord/api/user").with("id", id.to_string());
-        let Ok(resp) = net.platform(eco, PlatformKind::Discord, tick(cursor), &req) else {
-            *failed += 1;
+        let decode = |body: &str| -> Result<Vec<String>, CoreError> {
+            let doc = WireDoc::parse_as(body, "dc-user")?;
+            verify_echoes(&doc, &req)?;
+            Ok(doc.get_all("linked").map(str::to_string).collect())
+        };
+        let Fetched::Decoded(linked) = fetch_decoded(
+            net,
+            eco,
+            PlatformKind::Discord,
+            cursor,
+            &req,
+            &jg.key,
+            quarantine,
+            failed,
+            &decode,
+        ) else {
             continue;
         };
-        if resp.status != Status::Ok {
-            continue;
-        }
-        let doc = WireDoc::parse_as(&resp.body, "dc-user")?;
-        let linked: Vec<String> = doc.get_all("linked").map(str::to_string).collect();
         pii.record_dc_user(id, &linked);
         jg.members.push(MemberRecord {
             user_id: Some(id),

@@ -37,6 +37,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod dataset;
 pub mod discovery;
 pub mod error;
@@ -45,9 +46,11 @@ pub mod monitor;
 pub mod net;
 pub mod patterns;
 pub mod pii;
+pub mod quarantine;
 pub mod state;
 pub mod study;
 
+pub use audit::{audit_dataset, AuditCode, AuditViolation};
 pub use dataset::Dataset;
 pub use error::CoreError;
 pub use state::{CampaignState, SnapshotSummary};

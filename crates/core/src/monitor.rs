@@ -6,10 +6,11 @@
 //! Telegram web page (title, size, online count, group-vs-channel), or
 //! the Discord invite API (title, size, online, creator, creation date).
 
-use crate::discovery::Discovery;
+use crate::discovery::{Discovery, DiscoveryRecord};
 use crate::error::CoreError;
 use crate::net::Net;
 use crate::pii::PiiStore;
+use crate::quarantine::{service_name, verify_echoes, QuarantineEntry};
 use chatlens_platforms::id::PlatformKind;
 use chatlens_platforms::wire::WireDoc;
 use chatlens_simnet::par::Pool;
@@ -147,6 +148,11 @@ pub struct Monitor {
     /// "we could not look" is recorded as exactly that, never as an
     /// observation.
     pub gaps: BTreeMap<String, Vec<u32>>,
+    /// Rejected landing-page bodies with provenance (see
+    /// [`crate::quarantine`]). A quarantined fetch is handled like a
+    /// transport failure: one immediate re-fetch, then the day-end
+    /// backfill retry, then the gap ledger.
+    pub quarantine: Vec<QuarantineEntry>,
     /// Pool used to decode landing pages in parallel.
     pool: Pool,
 }
@@ -180,6 +186,7 @@ impl Monitor {
         timelines: BTreeMap<String, GroupTimeline>,
         terminal: Vec<String>,
         gaps: BTreeMap<String, Vec<u32>>,
+        quarantine: Vec<QuarantineEntry>,
         pool: Pool,
     ) -> Monitor {
         Monitor {
@@ -187,6 +194,7 @@ impl Monitor {
             // lint:allow(D2) `terminal` is the sorted Vec parameter here, not the set field
             terminal: terminal.into_iter().collect(),
             gaps,
+            quarantine,
             pool,
         }
     }
@@ -228,12 +236,7 @@ impl Monitor {
             if self.terminal.contains(&rec.invite.dedup_key()) {
                 continue;
             }
-            let (endpoint, doc_kind) = match rec.platform {
-                PlatformKind::WhatsApp => ("whatsapp/landing", "wa-landing"),
-                PlatformKind::Telegram => ("telegram/web", "tg-web"),
-                PlatformKind::Discord => ("discord/api/invite", "dc-invite"),
-            };
-            let req = Request::new(endpoint).with("code", rec.invite.code.clone());
+            let (doc_kind, req) = probe(rec);
             let outcome = match net.platform(eco, rec.platform, now, &req) {
                 Err(_) => Fetch::Failed,
                 Ok(resp) => match resp.status {
@@ -245,37 +248,132 @@ impl Monitor {
             fetched.push((i, outcome));
         }
 
-        // Phase 2 — parallel parse: decoding a wire document depends only
-        // on its body, so bodies parse concurrently on the pool.
-        let parsed: Vec<Option<Result<WireDoc, _>>> =
-            self.pool.par_map(&fetched, |(_, outcome)| match outcome {
-                Fetch::Body(body, doc_kind) => Some(WireDoc::parse_as(body, doc_kind)),
+        // Phase 2 — parallel decode: decoding a landing page (envelope,
+        // identity echo, field extraction) depends only on the body and
+        // the group's identity, so bodies decode concurrently on the
+        // pool into ready-to-apply `Landing` values. Decoding fully
+        // *before* applying means a body that goes bad halfway through
+        // mutates nothing.
+        let parsed: Vec<Option<Result<Landing, CoreError>>> =
+            self.pool.par_map(&fetched, |(i, outcome)| match outcome {
+                Fetch::Body(body, doc_kind) => {
+                    let rec = &discovery.groups[*i];
+                    let (_, req) = probe(rec);
+                    Some(decode_landing(body, doc_kind, rec.platform, &req))
+                }
                 Fetch::Failed | Fetch::Gone => None,
             });
 
+        // The outcome of the bounded same-day re-fetch of a quarantined
+        // body (phase 3 below).
+        enum Refetch {
+            Alive(Landing),
+            Revoked,
+            Failed,
+        }
+
         // Phase 3 — serial apply, in the same discovery order as phase 1.
-        for ((i, outcome), doc) in fetched.iter().zip(parsed) {
+        for ((i, outcome), decoded) in fetched.iter().zip(parsed) {
             let rec = &discovery.groups[*i];
             let key = rec.invite.dedup_key();
-            let timeline = self.timelines.entry(key.clone()).or_default();
             match outcome {
                 Fetch::Failed => {
-                    timeline.observations.push(Observation {
-                        day,
-                        status: ObservedStatus::Failed,
-                    });
+                    self.timelines
+                        .entry(key)
+                        .or_default()
+                        .observations
+                        .push(Observation {
+                            day,
+                            status: ObservedStatus::Failed,
+                        });
                 }
                 Fetch::Gone => {
-                    timeline.observations.push(Observation {
-                        day,
-                        status: ObservedStatus::Revoked,
-                    });
+                    self.timelines
+                        .entry(key.clone())
+                        .or_default()
+                        .observations
+                        .push(Observation {
+                            day,
+                            status: ObservedStatus::Revoked,
+                        });
                     self.terminal.insert(key);
                 }
-                Fetch::Body(..) => {
-                    let doc = doc.expect("body outcomes were parsed in phase 2")?;
-                    let status = apply_doc(timeline, rec.platform, &doc, &mut pii)?;
-                    timeline.observations.push(Observation { day, status });
+                Fetch::Body(body, doc_kind) => {
+                    match decoded.expect("body outcomes were decoded in phase 2") {
+                        Ok(landing) => {
+                            let timeline = self.timelines.entry(key).or_default();
+                            let status = apply_landing(timeline, rec.platform, &landing, &mut pii);
+                            timeline.observations.push(Observation { day, status });
+                        }
+                        Err(err) => {
+                            // Hostile body: quarantine it with provenance,
+                            // then re-fetch once immediately — corruption
+                            // is usually transient damage, not a dead URL.
+                            let (_, req) = probe(rec);
+                            self.quarantine.push(QuarantineEntry::new(
+                                service_name(rec.platform),
+                                &req,
+                                &key,
+                                day,
+                                &err,
+                                body,
+                            ));
+                            let retried = match net.platform(eco, rec.platform, now, &req) {
+                                Err(_) => Refetch::Failed,
+                                Ok(resp) => match resp.status {
+                                    Status::Gone => Refetch::Revoked,
+                                    Status::Ok => {
+                                        match decode_landing(
+                                            &resp.body,
+                                            doc_kind,
+                                            rec.platform,
+                                            &req,
+                                        ) {
+                                            Ok(l) => Refetch::Alive(l),
+                                            Err(err2) => {
+                                                self.quarantine.push(QuarantineEntry::new(
+                                                    service_name(rec.platform),
+                                                    &req,
+                                                    &key,
+                                                    day,
+                                                    &err2,
+                                                    &resp.body,
+                                                ));
+                                                Refetch::Failed
+                                            }
+                                        }
+                                    }
+                                    _ => Refetch::Failed,
+                                },
+                            };
+                            let timeline = self.timelines.entry(key.clone()).or_default();
+                            match retried {
+                                Refetch::Alive(landing) => {
+                                    let status =
+                                        apply_landing(timeline, rec.platform, &landing, &mut pii);
+                                    timeline.observations.push(Observation { day, status });
+                                }
+                                Refetch::Revoked => {
+                                    timeline.observations.push(Observation {
+                                        day,
+                                        status: ObservedStatus::Revoked,
+                                    });
+                                    self.terminal.insert(key);
+                                }
+                                // Both fetches damaged or lost: record a
+                                // Failed day; the day-end backfill retries
+                                // once more, and a repeated failure lands
+                                // the day in the gap ledger — censored,
+                                // never fabricated.
+                                Refetch::Failed => {
+                                    timeline.observations.push(Observation {
+                                        day,
+                                        status: ObservedStatus::Failed,
+                                    });
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -311,12 +409,7 @@ impl Monitor {
             if !needs_retry {
                 continue;
             }
-            let (endpoint, doc_kind) = match rec.platform {
-                PlatformKind::WhatsApp => ("whatsapp/landing", "wa-landing"),
-                PlatformKind::Telegram => ("telegram/web", "tg-web"),
-                PlatformKind::Discord => ("discord/api/invite", "dc-invite"),
-            };
-            let req = Request::new(endpoint).with("code", rec.invite.code.clone());
+            let (doc_kind, req) = probe(rec);
             let outcome = match net.platform(eco, rec.platform, now, &req) {
                 Err(_) => Fetch::Failed,
                 Ok(resp) => match resp.status {
@@ -325,27 +418,46 @@ impl Monitor {
                     _ => Fetch::Failed,
                 },
             };
-            let timeline = self.timelines.get_mut(&key).expect("checked above");
-            let today = timeline
-                .observations
-                .last_mut()
-                .expect("needs_retry saw an observation");
             match outcome {
                 Fetch::Failed => {
                     self.gaps.entry(key).or_default().push(day);
                 }
                 Fetch::Gone => {
-                    today.status = ObservedStatus::Revoked;
-                    self.terminal.insert(key);
-                }
-                Fetch::Body(body, doc_kind) => {
-                    let doc = WireDoc::parse_as(&body, doc_kind)?;
-                    let status = apply_doc(timeline, rec.platform, &doc, &mut pii)?;
+                    let timeline = self.timelines.get_mut(&key).expect("checked above");
                     timeline
                         .observations
                         .last_mut()
                         .expect("needs_retry saw an observation")
-                        .status = status;
+                        .status = ObservedStatus::Revoked;
+                    self.terminal.insert(key);
+                }
+                Fetch::Body(body, doc_kind) => {
+                    match decode_landing(&body, doc_kind, rec.platform, &req) {
+                        Ok(landing) => {
+                            let timeline = self.timelines.get_mut(&key).expect("checked above");
+                            let status = apply_landing(timeline, rec.platform, &landing, &mut pii);
+                            timeline
+                                .observations
+                                .last_mut()
+                                .expect("needs_retry saw an observation")
+                                .status = status;
+                        }
+                        Err(err) => {
+                            // The backfill fetch came back hostile too:
+                            // quarantine it and censor the day — this was
+                            // the last retry, and the Failed observation
+                            // stays in place.
+                            self.quarantine.push(QuarantineEntry::new(
+                                service_name(rec.platform),
+                                &req,
+                                &key,
+                                day,
+                                &err,
+                                &body,
+                            ));
+                            self.gaps.entry(key).or_default().push(day);
+                        }
+                    }
                 }
             }
         }
@@ -358,46 +470,134 @@ impl Monitor {
     }
 }
 
-/// Apply one successfully fetched landing-page document to a timeline:
-/// first-seen metadata, platform specifics, PII accounting. Returns the
-/// day's observed status. Shared by the daily round and the backfill
-/// retry so both record exactly the same facts.
-fn apply_doc(
-    timeline: &mut GroupTimeline,
+/// Monitor probe for one group: endpoint, expected wire-document kind,
+/// and the request (invite code included — the landing page echoes it, so
+/// a spliced body is detectable). Shared by the daily round, the
+/// same-day re-fetch, and the backfill retry.
+fn probe(rec: &DiscoveryRecord) -> (&'static str, Request) {
+    let (endpoint, doc_kind) = match rec.platform {
+        PlatformKind::WhatsApp => ("whatsapp/landing", "wa-landing"),
+        PlatformKind::Telegram => ("telegram/web", "tg-web"),
+        PlatformKind::Discord => ("discord/api/invite", "dc-invite"),
+    };
+    let req = Request::new(endpoint).with("code", rec.invite.code.clone());
+    (doc_kind, req)
+}
+
+/// A fully decoded, validated landing page — everything `run_day` may
+/// write to a timeline, extracted *before* any mutation so a body that
+/// fails validation halfway through cannot leave a partial write (e.g. a
+/// title from a document whose size field was garbage).
+struct Landing {
+    size: u32,
+    online: u32,
+    title: Option<String>,
+    tg_kind: Option<String>,
+    dc_created_day: Option<i64>,
+    dc_creator: Option<u32>,
+    wa_creator_cc: Option<String>,
+    wa_creator_phone: Option<String>,
+}
+
+/// Decode one landing-page body. Pure: envelope and kind check, identity
+/// echo check (the page echoes the invite `code` it describes — a
+/// mismatch means a cross-document splice), then per-platform field
+/// extraction. Errors carry the exact [`WireError`]/protocol cause for
+/// the quarantine ledger.
+fn decode_landing(
+    body: &str,
+    doc_kind: &str,
     platform: PlatformKind,
-    doc: &WireDoc,
-    pii: &mut Option<&mut PiiStore>,
-) -> Result<ObservedStatus, CoreError> {
+    req: &Request,
+) -> Result<Landing, CoreError> {
+    let doc = WireDoc::parse_as(
+        body,
+        match platform {
+            PlatformKind::WhatsApp => "wa-landing",
+            PlatformKind::Telegram => "tg-web",
+            PlatformKind::Discord => "dc-invite",
+        },
+    )?;
+    debug_assert_eq!(doc.kind, doc_kind);
+    verify_echoes(&doc, req)?;
     let size = doc.req_u64("size")? as u32;
     let online = doc.opt_u64("online")?.unwrap_or(0) as u32;
+    let title = doc.get("title").map(str::to_string);
+    let mut landing = Landing {
+        size,
+        online,
+        title,
+        tg_kind: None,
+        dc_created_day: None,
+        dc_creator: None,
+        wa_creator_cc: None,
+        wa_creator_phone: None,
+    };
+    match platform {
+        PlatformKind::WhatsApp => {
+            landing.wa_creator_cc = Some(doc.req("creator_cc")?.to_string());
+            landing.wa_creator_phone = Some(doc.req("creator_phone")?.to_string());
+        }
+        PlatformKind::Telegram => {
+            landing.tg_kind = doc.get("kind").map(str::to_string);
+        }
+        PlatformKind::Discord => {
+            landing.dc_created_day = Some(doc.req_i64("created_day")?);
+            landing.dc_creator = Some(doc.req_u64("creator")? as u32);
+        }
+    }
+    Ok(landing)
+}
+
+/// Apply one validated landing page to a timeline: first-seen metadata,
+/// platform specifics, PII accounting. Infallible by construction —
+/// validation already happened in [`decode_landing`]. Returns the day's
+/// observed status. Shared by the daily round and the backfill retry so
+/// both record exactly the same facts.
+fn apply_landing(
+    timeline: &mut GroupTimeline,
+    platform: PlatformKind,
+    landing: &Landing,
+    pii: &mut Option<&mut PiiStore>,
+) -> ObservedStatus {
     if timeline.title.is_none() {
-        timeline.title = doc.get("title").map(str::to_string);
+        timeline.title = landing.title.clone();
     }
     match platform {
         PlatformKind::WhatsApp => {
             if timeline.wa_creator_cc.is_none() {
-                timeline.wa_creator_cc = doc.get("creator_cc").map(str::to_string);
+                timeline.wa_creator_cc = landing.wa_creator_cc.clone();
             }
             if timeline.wa_creator_hash.is_none() {
-                timeline.wa_creator_hash = Some(crate::pii::hash_phone(doc.req("creator_phone")?));
+                timeline.wa_creator_hash = landing
+                    .wa_creator_phone
+                    .as_deref()
+                    .map(crate::pii::hash_phone);
             }
-            if let Some(pii) = pii.as_deref_mut() {
-                pii.record_wa_creator(doc.req("creator_phone")?, doc.req("creator_cc")?);
+            if let (Some(pii), Some(phone), Some(cc)) = (
+                pii.as_deref_mut(),
+                landing.wa_creator_phone.as_deref(),
+                landing.wa_creator_cc.as_deref(),
+            ) {
+                pii.record_wa_creator(phone, cc);
             }
         }
         PlatformKind::Telegram => {
             if timeline.tg_kind.is_none() {
-                timeline.tg_kind = doc.get("kind").map(str::to_string);
+                timeline.tg_kind = landing.tg_kind.clone();
             }
         }
         PlatformKind::Discord => {
             if timeline.dc_created_day.is_none() {
-                timeline.dc_created_day = Some(doc.req_i64("created_day")?);
-                timeline.dc_creator = Some(doc.req_u64("creator")? as u32);
+                timeline.dc_created_day = landing.dc_created_day;
+                timeline.dc_creator = landing.dc_creator;
             }
         }
     }
-    Ok(ObservedStatus::Alive { size, online })
+    ObservedStatus::Alive {
+        size: landing.size,
+        online: landing.online,
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 
 use crate::error::CoreError;
 use chatlens_platforms::id::PlatformKind;
-use chatlens_simnet::fault::{FaultInjector, FaultSchedule};
+use chatlens_simnet::fault::{CorruptionSchedule, FaultInjector, FaultSchedule};
 use chatlens_simnet::rng::Rng;
 use chatlens_simnet::time::{SimDuration, SimTime};
 use chatlens_simnet::transport::{Client, ClientConfig, ClientState, Request, Response, Router};
@@ -42,6 +42,21 @@ impl Net {
     /// failures: bursts and outages are per-credential, so a WhatsApp
     /// blackout cannot perturb the Telegram client's streams.
     pub fn with_schedules(seed: u64, start: SimTime, schedules: [FaultSchedule; 4]) -> Net {
+        Net::with_corruption(seed, start, schedules, CorruptionSchedule::none())
+    }
+
+    /// Build the client set with per-service fault schedules *and* a
+    /// payload-corruption schedule applied to every client. The corruption
+    /// stream is per-client (forked from each client's own RNG), so the
+    /// same bodies are mangled regardless of thread count or the other
+    /// services' traffic. A [`CorruptionSchedule::none`] is a strict
+    /// no-op, keeping calm campaigns bit-identical to older builds.
+    pub fn with_corruption(
+        seed: u64,
+        start: SimTime,
+        schedules: [FaultSchedule; 4],
+        corruption: CorruptionSchedule,
+    ) -> Net {
         let mut rng = Rng::new(seed);
         let scraper = ClientConfig {
             max_attempts: 4,
@@ -61,11 +76,15 @@ impl Net {
         };
         let [tw, wa, tg, dc] = schedules;
         Net {
-            twitter: Client::with_schedule(api.clone(), tw, rng.fork("twitter"), start),
+            twitter: Client::with_schedule(api.clone(), tw, rng.fork("twitter"), start)
+                .with_corruption(corruption),
             platforms: [
-                Client::with_schedule(scraper.clone(), wa, rng.fork("whatsapp"), start),
-                Client::with_schedule(api, tg, rng.fork("telegram"), start),
-                Client::with_schedule(scraper, dc, rng.fork("discord"), start),
+                Client::with_schedule(scraper.clone(), wa, rng.fork("whatsapp"), start)
+                    .with_corruption(corruption),
+                Client::with_schedule(api, tg, rng.fork("telegram"), start)
+                    .with_corruption(corruption),
+                Client::with_schedule(scraper, dc, rng.fork("discord"), start)
+                    .with_corruption(corruption),
             ],
         }
     }
@@ -126,6 +145,13 @@ impl Net {
         self.platforms[0].restore_state(wa);
         self.platforms[1].restore_state(tg);
         self.platforms[2].restore_state(dc);
+    }
+
+    /// Total successful responses whose body was corrupted in flight,
+    /// across all clients (campaign health; compare against the
+    /// quarantine ledger sizes).
+    pub fn corrupted_total(&self) -> u64 {
+        self.twitter.corrupted() + self.platforms.iter().map(|c| c.corrupted()).sum::<u64>()
     }
 
     /// Total transport attempts across all clients (campaign health).

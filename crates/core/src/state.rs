@@ -25,6 +25,7 @@ use crate::joiner::{JoinStrategy, JoinedGroup, Joiner, MemberRecord};
 use crate::monitor::{GroupTimeline, Monitor, Observation, ObservedStatus};
 use crate::patterns::ExtractionStats;
 use crate::pii::PiiStore;
+use crate::quarantine::{QuarantineCode, QuarantineEntry};
 use crate::study::{CampaignConfig, CampaignEvent};
 use chatlens_checkpoint::{persist_struct, CheckpointError, Persist, Reader, Writer};
 use chatlens_simnet::metrics::Metrics;
@@ -122,6 +123,8 @@ pub struct DiscoveryState {
     pub pending_stream: Vec<(SimTime, SimTime)>,
     /// Sample windows queued for backfill.
     pub pending_sample: Vec<(SimTime, SimTime)>,
+    /// Rejected feed bodies with provenance.
+    pub quarantine: Vec<QuarantineEntry>,
 }
 
 persist_struct!(DiscoveryState {
@@ -134,7 +137,8 @@ persist_struct!(DiscoveryState {
     last_sample_drain,
     failed_requests,
     pending_stream,
-    pending_sample
+    pending_sample,
+    quarantine
 });
 
 impl DiscoveryState {
@@ -152,12 +156,16 @@ impl DiscoveryState {
             failed_requests: d.failed_requests,
             pending_stream: d.pending_stream.clone(),
             pending_sample: d.pending_sample.clone(),
+            quarantine: d.quarantine.clone(),
         }
     }
 
-    /// Rebuild the component (lookup indexes are derived on the way in).
-    pub fn restore(&self) -> Discovery {
+    /// Rebuild the component (lookup indexes are derived on the way in;
+    /// `start` is the window start, pure config the quarantine ledger
+    /// stamps day provenance against).
+    pub fn restore(&self, start: SimTime) -> Discovery {
         Discovery::from_parts(
+            start,
             self.since_id,
             self.tweets.clone(),
             self.control.clone(),
@@ -168,6 +176,7 @@ impl DiscoveryState {
             self.failed_requests,
             self.pending_stream.clone(),
             self.pending_sample.clone(),
+            self.quarantine.clone(),
         )
     }
 }
@@ -181,12 +190,15 @@ pub struct MonitorState {
     pub terminal: Vec<String>,
     /// The censored-day gap ledger, keyed by dedup key.
     pub gaps: BTreeMap<String, Vec<u32>>,
+    /// Rejected landing/invite bodies with provenance.
+    pub quarantine: Vec<QuarantineEntry>,
 }
 
 persist_struct!(MonitorState {
     timelines,
     terminal,
-    gaps
+    gaps,
+    quarantine
 });
 
 impl MonitorState {
@@ -196,6 +208,7 @@ impl MonitorState {
             timelines: m.timelines.clone(),
             terminal: m.terminal_keys(),
             gaps: m.gaps.clone(),
+            quarantine: m.quarantine.clone(),
         }
     }
 
@@ -206,6 +219,7 @@ impl MonitorState {
             self.timelines.clone(),
             self.terminal.clone(),
             self.gaps.clone(),
+            self.quarantine.clone(),
             pool,
         )
     }
@@ -224,6 +238,8 @@ pub struct JoinerState {
     pub bot_join_rejected: bool,
     /// Collection fetches lost to transport failures.
     pub failed_fetches: u64,
+    /// Rejected join/collection bodies with provenance.
+    pub quarantine: Vec<QuarantineEntry>,
 }
 
 persist_struct!(JoinerState {
@@ -231,7 +247,8 @@ persist_struct!(JoinerState {
     accounts_used,
     dead_at_join,
     bot_join_rejected,
-    failed_fetches
+    failed_fetches,
+    quarantine
 });
 
 impl JoinerState {
@@ -243,6 +260,7 @@ impl JoinerState {
             dead_at_join: j.dead_at_join,
             bot_join_rejected: j.bot_join_rejected,
             failed_fetches: j.failed_fetches,
+            quarantine: j.quarantine.clone(),
         }
     }
 
@@ -254,6 +272,7 @@ impl JoinerState {
             dead_at_join: self.dead_at_join,
             bot_join_rejected: self.bot_join_rejected,
             failed_fetches: self.failed_fetches,
+            quarantine: self.quarantine.clone(),
         }
     }
 }
@@ -411,6 +430,48 @@ impl Persist for ObservedStatus {
     }
 }
 
+impl Persist for QuarantineCode {
+    fn save(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            QuarantineCode::WrongKind => 0,
+            QuarantineCode::MalformedLine => 1,
+            QuarantineCode::MissingField => 2,
+            QuarantineCode::BadNumber => 3,
+            QuarantineCode::TooLarge => 4,
+            QuarantineCode::DuplicateField => 5,
+            QuarantineCode::CountMismatch => 6,
+            QuarantineCode::SpliceMismatch => 7,
+            QuarantineCode::BadPayload => 8,
+        });
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(QuarantineCode::WrongKind),
+            1 => Ok(QuarantineCode::MalformedLine),
+            2 => Ok(QuarantineCode::MissingField),
+            3 => Ok(QuarantineCode::BadNumber),
+            4 => Ok(QuarantineCode::TooLarge),
+            5 => Ok(QuarantineCode::DuplicateField),
+            6 => Ok(QuarantineCode::CountMismatch),
+            7 => Ok(QuarantineCode::SpliceMismatch),
+            8 => Ok(QuarantineCode::BadPayload),
+            n => Err(CheckpointError::Malformed(format!(
+                "QuarantineCode tag {n}"
+            ))),
+        }
+    }
+}
+
+persist_struct!(QuarantineEntry {
+    service,
+    endpoint,
+    group,
+    day,
+    code,
+    detail,
+    body
+});
+
 persist_struct!(Observation { day, status });
 persist_struct!(GroupTimeline {
     observations,
@@ -464,6 +525,7 @@ persist_struct!(CampaignConfig {
     faults,
     profile,
     outages,
+    corruption,
     seed,
     threads
 });
@@ -522,6 +584,9 @@ persist_struct!(CampaignState {
 /// it).
 #[derive(Debug, Serialize)]
 pub struct SnapshotSummary {
+    /// Snapshot format generation
+    /// ([`chatlens_checkpoint::FORMAT_VERSION`]).
+    pub format_version: u32,
     /// Completed study days.
     pub day: u32,
     /// Virtual clock, seconds since the simulation epoch.
@@ -546,6 +611,14 @@ pub struct SnapshotSummary {
     pub campaign_seed: u64,
     /// Worker threads the saved run used.
     pub threads: usize,
+    /// Payload-corruption profile the saved run used.
+    pub corruption: String,
+    /// Quarantined bodies in the discovery ledger.
+    pub quarantined_discovery: usize,
+    /// Quarantined bodies in the monitor ledger.
+    pub quarantined_monitor: usize,
+    /// Quarantined bodies in the joiner ledger.
+    pub quarantined_joiner: usize,
     /// Deterministic metric counters (wall-clock timings excluded).
     pub counters: BTreeMap<String, u64>,
 }
@@ -554,6 +627,7 @@ impl CampaignState {
     /// Build the inspect digest for this snapshot.
     pub fn summary(&self) -> SnapshotSummary {
         SnapshotSummary {
+            format_version: chatlens_checkpoint::FORMAT_VERSION,
             day: self.day,
             sim_now_secs: self.engine.now.0,
             events_processed: self.engine.processed,
@@ -566,6 +640,10 @@ impl CampaignState {
             world_seed: self.scenario.seed,
             campaign_seed: self.campaign.seed,
             threads: self.campaign.threads,
+            corruption: self.campaign.corruption.name().to_string(),
+            quarantined_discovery: self.discovery.quarantine.len(),
+            quarantined_monitor: self.monitor.quarantine.len(),
+            quarantined_joiner: self.joiner.quarantine.len(),
             counters: self
                 .metrics
                 .counters()

@@ -35,7 +35,9 @@ use crate::state::{
 };
 use chatlens_checkpoint::{save_to_file, CheckpointError};
 use chatlens_platforms::id::PlatformKind;
-use chatlens_simnet::fault::{FaultInjector, FaultProfile, FaultSchedule, OutageSpec};
+use chatlens_simnet::fault::{
+    CorruptionProfile, FaultInjector, FaultProfile, FaultSchedule, OutageSpec,
+};
 use chatlens_simnet::metrics::Metrics;
 use chatlens_simnet::par::Pool;
 use chatlens_simnet::rng::Rng;
@@ -75,6 +77,11 @@ pub struct CampaignConfig {
     ///
     /// [`SERVICE_NAMES`]: crate::net::SERVICE_NAMES
     pub outages: [Option<OutageSpec>; 4],
+    /// Payload-corruption regime (`repro run --corruption`), orthogonal
+    /// to `profile`: faults shape whether responses arrive, corruption
+    /// shapes what arrives inside the successful ones. `Calm` draws
+    /// nothing from any RNG, so it is bit-identical to older builds.
+    pub corruption: CorruptionProfile,
     /// Seed for campaign-side randomness (join sampling, client jitter) —
     /// separate from the world seed so the same world can be re-collected
     /// differently.
@@ -97,6 +104,7 @@ impl Default for CampaignConfig {
             faults: FaultInjector::new(0.01, 0.005),
             profile: FaultProfile::Calm,
             outages: [None; 4],
+            corruption: CorruptionProfile::Calm,
             seed: 0xC011_EC70,
             threads: default_threads(),
         }
@@ -283,6 +291,19 @@ fn rebuild(state: &CampaignState) -> (Ecosystem, Runner) {
     let mut eco = Ecosystem::build(state.scenario.clone());
     eco.apply_delta(&state.delta);
     let runner = Runner::from_state(state, eco.window);
+    // A snapshot can decode cleanly (magic, version, checksum all good)
+    // and still describe a state no campaign can reach; audit the
+    // restored components before running a single event on top of them.
+    let violations = crate::audit::audit_components(
+        runner.window.num_days() as u32,
+        &runner.discovery,
+        &runner.monitor,
+        &runner.joiner,
+    );
+    assert!(
+        violations.is_empty(),
+        "restored snapshot violates campaign invariants: {violations:#?}"
+    );
     (eco, runner)
 }
 
@@ -411,7 +432,12 @@ impl Runner {
             campaign,
             day: 0,
             engine,
-            net: Net::with_schedules(campaign.seed, start, fault_schedules(&campaign, start)),
+            net: Net::with_corruption(
+                campaign.seed,
+                start,
+                fault_schedules(&campaign, start),
+                campaign.corruption.schedule(),
+            ),
             rng: Rng::new(campaign.seed ^ 0x9E37_79B9),
             discovery: Discovery::new(start),
             monitor: Monitor::with_pool(Pool::new(campaign.threads)),
@@ -457,6 +483,23 @@ impl Runner {
             );
         });
         self.day += 1;
+        // Day boundaries are quiescent points, so the cross-component
+        // invariants must hold here; debug builds prove it after every
+        // day, release campaigns skip the sweep.
+        #[cfg(debug_assertions)]
+        {
+            let violations = crate::audit::audit_components(
+                self.window.num_days() as u32,
+                &self.discovery,
+                &self.monitor,
+                &self.joiner,
+            );
+            assert!(
+                violations.is_empty(),
+                "invariant audit failed after day {}: {violations:#?}",
+                self.day - 1
+            );
+        }
     }
 
     /// Run any remaining events (the final day's tail past 23:59:59 holds
@@ -521,12 +564,21 @@ impl Runner {
             .add("join.joined_groups", self.joiner.joined.len() as u64);
         self.metrics
             .add("join.failed_fetches", self.joiner.failed_fetches);
+        self.metrics
+            .add("transport.corrupted", self.net.corrupted_total());
+        self.metrics.add(
+            "quarantine.entries",
+            (self.discovery.quarantine.len()
+                + self.monitor.quarantine.len()
+                + self.joiner.quarantine.len()) as u64,
+        );
 
         let mut ds = Dataset::assemble(
             self.window,
             self.discovery,
             self.monitor.timelines,
             self.monitor.gaps,
+            self.monitor.quarantine,
             self.joiner,
             self.pii,
         );
@@ -558,7 +610,12 @@ impl Runner {
     fn from_state(state: &CampaignState, window: StudyWindow) -> Runner {
         let campaign = state.campaign;
         let start = window.start_time();
-        let mut net = Net::with_schedules(campaign.seed, start, fault_schedules(&campaign, start));
+        let mut net = Net::with_corruption(
+            campaign.seed,
+            start,
+            fault_schedules(&campaign, start),
+            campaign.corruption.schedule(),
+        );
         net.restore_state(state.clients.clone());
         Runner {
             window,
@@ -567,7 +624,7 @@ impl Runner {
             engine: state.engine.restore(),
             net,
             rng: Rng::from_state(state.rng),
-            discovery: state.discovery.restore(),
+            discovery: state.discovery.restore(start),
             monitor: state.monitor.restore(Pool::new(campaign.threads)),
             joiner: state.joiner.restore(),
             pii: state.pii.restore(),

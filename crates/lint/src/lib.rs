@@ -18,6 +18,7 @@
 //! | D5 | no `unwrap()`/`expect()` on lock acquisition in library crates (the `parking_lot` shim never poisons; a `Result`-shaped lock call is a sign std locks leaked in) |
 //! | D6 | direct `std::fs` writes (`fs::write`, `File::create`, `OpenOptions`, ...) outside the checkpoint and report crates — all artifact and snapshot output must flow through the sanctioned writers so runs stay reproducible and atomic |
 //! | D7 | discarded transport results: a `.twitter(...)` / `.platform(...)` call in the core crate or the binary whose `Result` is dropped (`let _ = ...;` or a bare expression statement) — transport failures must be handled (retried, queued for backfill, or counted), never silently swallowed |
+//! | D8 | `unwrap()`/`expect()` on a `WireDoc` accessor result (`parse`, `parse_as`, `req`, `req_u64`, `req_i64`, `opt_u64`) outside `#[cfg(test)]` and the quarantine module — wire bodies are hostile input; a failed decode must route into the quarantine ledger, never panic a collector |
 //!
 //! A site is suppressed by `// lint:allow(<rule>)` on the same line or the
 //! line directly above; pragmas must carry a one-line justification.
@@ -48,11 +49,13 @@ pub enum Rule {
     D6,
     /// Discarded `Net::twitter` / `Net::platform` results.
     D7,
+    /// `unwrap`/`expect` on `WireDoc` accessor results outside tests.
+    D8,
 }
 
 impl Rule {
     /// All rules, in catalog order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
@@ -60,6 +63,7 @@ impl Rule {
         Rule::D5,
         Rule::D6,
         Rule::D7,
+        Rule::D8,
     ];
 
     /// The short id used in diagnostics and `lint:allow(...)` pragmas.
@@ -72,6 +76,7 @@ impl Rule {
             Rule::D5 => "D5",
             Rule::D6 => "D6",
             Rule::D7 => "D7",
+            Rule::D8 => "D8",
         }
     }
 
@@ -87,6 +92,7 @@ impl Rule {
             Rule::D5 => "unwrap()/expect() on lock acquisition in a library crate",
             Rule::D6 => "direct std::fs write outside the checkpoint/report crates",
             Rule::D7 => "discarded Net::twitter/Net::platform Result (let _ = / bare statement)",
+            Rule::D8 => "unwrap()/expect() on a WireDoc accessor result outside tests",
         }
     }
 }
@@ -137,6 +143,9 @@ struct Scope {
     fs_writer: bool,
     /// Where `Net` lives and is called: the core crate and the binary (D7).
     net_caller: bool,
+    /// The quarantine module — the one place sanctioned to dissect
+    /// hostile wire bodies, exempt from D8.
+    quarantine_path: bool,
 }
 
 fn scope_of(path: &str) -> Scope {
@@ -151,6 +160,7 @@ fn scope_of(path: &str) -> Scope {
         analysis_or_report: in_crate("analysis") || in_crate("report"),
         fs_writer: in_crate("checkpoint") || in_crate("report"),
         net_caller: in_crate("core") || !p.contains("crates/"),
+        quarantine_path: p.ends_with("core/src/quarantine.rs"),
     }
 }
 
@@ -237,6 +247,10 @@ const PAR_BANNED_TYPES: [&str; 3] = ["Mutex", "RwLock", "RefCell"];
 
 /// Lock-acquisition methods D5 watches for `unwrap`/`expect` chains.
 const LOCK_METHODS: [&str; 4] = ["lock", "try_lock", "read", "write"];
+
+/// `WireDoc` decode/accessor functions whose fallible results D8 refuses
+/// to see unwrapped outside tests — a wire body is hostile input.
+const WIREDOC_ACCESSORS: [&str; 6] = ["parse", "parse_as", "req", "req_u64", "req_i64", "opt_u64"];
 
 /// Lint one source file. `path` is the workspace-relative path (used for
 /// rule scoping and diagnostics); returns surviving findings plus the
@@ -381,6 +395,62 @@ pub fn check_source_counting(path: &str, source: &str) -> (Vec<Finding>, usize) 
                         m.text, toks[i + 5].text
                     ),
                 });
+            }
+        }
+    }
+
+    // ---- D8: unwrapped WireDoc accessor results ---------------------------
+    // Two shapes: method accessors (`doc.req_u64("size")...unwrap()`) and
+    // the associated decoders (`WireDoc::parse_as(body, kind).expect(..)`).
+    // `parse`/`parse_as` are matched only in `WireDoc::` position so
+    // `str::parse` never trips the rule. The quarantine module is exempt:
+    // dissecting hostile bodies is its job.
+    if !scope.quarantine_path {
+        let mut d8 = |name: &Tok, open: usize| {
+            if !toks.get(open).is_some_and(|t| t.is_punct('(')) {
+                return;
+            }
+            let end = balance(toks, open, '(', ')');
+            if toks.get(end + 1).is_some_and(|t| t.is_punct('.'))
+                && toks
+                    .get(end + 2)
+                    .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+            {
+                raw.push(Finding {
+                    rule: Rule::D8,
+                    path: path.to_string(),
+                    line: name.line,
+                    col: name.col,
+                    message: format!(
+                        "`{}(..).{}` — a wire body is hostile input; route the error into the quarantine ledger instead of panicking",
+                        name.text, toks[end + 2].text
+                    ),
+                });
+            }
+        };
+        for i in 0..toks.len() {
+            if in_test(i) {
+                continue;
+            }
+            // `.req_u64(...)` method form (parse/parse_as excluded — see above).
+            if toks[i].is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| {
+                    WIREDOC_ACCESSORS.contains(&t.text.as_str())
+                        && t.text != "parse"
+                        && t.text != "parse_as"
+                })
+            {
+                d8(&toks[i + 1], i + 2);
+            }
+            // `WireDoc::parse(...)` / `WireDoc::parse_as(...)` associated form.
+            if i + 3 < toks.len()
+                && toks[i].is_ident("WireDoc")
+                && path_sep(i + 1)
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|t| t.is_ident("parse") || t.is_ident("parse_as"))
+            {
+                d8(&toks[i + 3], i + 4);
             }
         }
     }
@@ -901,6 +971,49 @@ mod tests {
         let accessors =
             "fn f() { let n = cfg.platform(kind).n_group_urls; let p = invite.platform(); }";
         assert_eq!(rules_of("crates/core/src/x.rs", accessors), vec![]);
+    }
+
+    #[test]
+    fn d8_fires_on_unwrapped_wiredoc_accessors() {
+        let method = "fn f(doc: &WireDoc) { let n = doc.req_u64(\"size\").unwrap(); }";
+        assert_eq!(
+            rules_of("crates/core/src/monitor.rs", method),
+            vec![Rule::D8]
+        );
+        let assoc =
+            "fn f(body: &str) { let doc = WireDoc::parse_as(body, \"tg-web\").expect(\"doc\"); }";
+        assert_eq!(
+            rules_of("crates/core/src/discovery.rs", assoc),
+            vec![Rule::D8]
+        );
+        let opt = "fn f(doc: &WireDoc) { let n = doc.opt_u64(\"online\").unwrap().unwrap_or(0); }";
+        assert_eq!(rules_of("src/bin/repro.rs", opt), vec![Rule::D8]);
+    }
+
+    #[test]
+    fn d8_spares_tests_quarantine_and_std_parse() {
+        let in_test = "#[cfg(test)]\nmod tests {\n fn f(d: &WireDoc) { d.req(\"k\").unwrap(); }\n}";
+        assert_eq!(rules_of("crates/core/src/monitor.rs", in_test), vec![]);
+        let quarantine = "fn f(d: &WireDoc) { d.req(\"k\").unwrap(); }";
+        assert_eq!(
+            rules_of("crates/core/src/quarantine.rs", quarantine),
+            vec![]
+        );
+        // `str::parse` shares a name with `WireDoc::parse`; only the
+        // associated form is matched.
+        let std_parse = "fn f(s: &str) -> u32 { s.parse().unwrap() }";
+        assert_eq!(rules_of("crates/core/src/monitor.rs", std_parse), vec![]);
+        // Propagated errors are the sanctioned shape.
+        let propagated = "fn f(d: &WireDoc) -> Result<u64, WireError> { d.req_u64(\"size\") }";
+        assert_eq!(rules_of("crates/core/src/monitor.rs", propagated), vec![]);
+    }
+
+    #[test]
+    fn d8_pragma_suppresses() {
+        let src = "// lint:allow(D8) fixture body is rendered two lines up, cannot fail\nfn f(b: &str) { WireDoc::parse(b).unwrap(); }";
+        let (findings, suppressed) = check_source_counting("crates/core/src/monitor.rs", src);
+        assert!(findings.is_empty());
+        assert_eq!(suppressed, 1);
     }
 
     #[test]

@@ -165,8 +165,12 @@ impl Platform {
         // of §6 — the creator's phone number, visible to *non-members*.
         let creator = self.user(group.creator);
         let phone = creator.phone.expect("WhatsApp users register by phone");
+        // Every successful document echoes the identity it was resolved
+        // for (here the invite code), so collectors can detect a
+        // cross-document splice: a body served under the wrong URL.
         Response::ok(
             WireDoc::new("wa-landing")
+                .field("code", req.param("code").unwrap_or_default())
                 .field("title", sanitize(&group.title))
                 .field("size", group.size_at(now))
                 .field("creator_cc", phone.iso())
@@ -185,7 +189,12 @@ impl Platform {
             None => return bad_request("missing code"),
         };
         match self.join(account, &code, now, false) {
-            Ok(gid) => Response::ok(WireDoc::new("wa-join").field("group", gid.0).render()),
+            Ok(gid) => Response::ok(
+                WireDoc::new("wa-join")
+                    .field("code", &code)
+                    .field("group", gid.0)
+                    .render(),
+            ),
             Err(e) => join_error_response(e),
         }
     }
@@ -207,8 +216,9 @@ impl Platform {
         };
         // Joining a WhatsApp group reveals every member's phone number and
         // the group's creation date (§3.3).
-        let mut doc =
-            WireDoc::new("wa-members").field("created_day", group.created_at.date().day_number());
+        let mut doc = WireDoc::new("wa-members")
+            .field("group", gid.0)
+            .field("created_day", group.created_at.date().day_number());
         for &m in &history.members {
             let phone = self.user(m).phone.expect("WhatsApp member has phone");
             doc = doc.field("member", phone.e164());
@@ -233,7 +243,7 @@ impl Platform {
             return not_found("history not materialized");
         };
         // WhatsApp only reveals messages sent *after* the join date (§3.3).
-        let mut doc = WireDoc::new("wa-messages");
+        let mut doc = WireDoc::new("wa-messages").field("group", gid.0);
         for m in history.messages.iter().filter(|m| m.at >= joined_at) {
             doc = doc.field("msg", encode_message(m));
         }
@@ -251,6 +261,7 @@ impl Platform {
         // No phone numbers here — Telegram hides them by default (§6).
         Response::ok(
             WireDoc::new("tg-web")
+                .field("code", req.param("code").unwrap_or_default())
                 .field("title", sanitize(&group.title))
                 .field("size", group.size_at(now))
                 .field("online", group.online_at(now))
@@ -272,7 +283,12 @@ impl Platform {
             None => return bad_request("missing code"),
         };
         match self.join(account, &code, now, false) {
-            Ok(gid) => Response::ok(WireDoc::new("tg-join").field("group", gid.0).render()),
+            Ok(gid) => Response::ok(
+                WireDoc::new("tg-join")
+                    .field("code", &code)
+                    .field("group", gid.0)
+                    .render(),
+            ),
             Err(e) => join_error_response(e),
         }
     }
@@ -296,8 +312,9 @@ impl Platform {
             return not_found("history not materialized");
         };
         // Telegram's API returns the full history since creation (§3.3).
-        let mut doc =
-            WireDoc::new("tg-history").field("created_day", group.created_at.date().day_number());
+        let mut doc = WireDoc::new("tg-history")
+            .field("group", gid.0)
+            .field("created_day", group.created_at.date().day_number());
         for m in &history.messages {
             doc = doc.field("msg", encode_message(m));
         }
@@ -327,7 +344,7 @@ impl Platform {
         let Some(history) = group.history.as_ref() else {
             return not_found("history not materialized");
         };
-        let mut doc = WireDoc::new("tg-members");
+        let mut doc = WireDoc::new("tg-members").field("group", gid.0);
         for &m in &history.members {
             doc = doc.field("member", m.0);
         }
@@ -368,6 +385,7 @@ impl Platform {
         // all without joining (§3.2).
         Response::ok(
             WireDoc::new("dc-invite")
+                .field("code", req.param("code").unwrap_or_default())
                 .field("title", sanitize(&group.title))
                 .field("size", group.size_at(now))
                 .field("online", group.online_at(now))
@@ -388,7 +406,12 @@ impl Platform {
         };
         let as_bot = req.param("actor") == Some("bot");
         match self.join(account, &code, now, as_bot) {
-            Ok(gid) => Response::ok(WireDoc::new("dc-join").field("group", gid.0).render()),
+            Ok(gid) => Response::ok(
+                WireDoc::new("dc-join")
+                    .field("code", &code)
+                    .field("group", gid.0)
+                    .render(),
+            ),
             Err(e) => join_error_response(e),
         }
     }
@@ -408,8 +431,9 @@ impl Platform {
         let Some(history) = group.history.as_ref() else {
             return not_found("history not materialized");
         };
-        let mut doc =
-            WireDoc::new("dc-messages").field("created_day", group.created_at.date().day_number());
+        let mut doc = WireDoc::new("dc-messages")
+            .field("group", gid.0)
+            .field("created_day", group.created_at.date().day_number());
         for m in &history.messages {
             doc = doc.field("msg", encode_message(m));
         }

@@ -13,8 +13,38 @@
 //!
 //! The first line is the document type; every following non-empty line is a
 //! `key: value` pair. Values may contain anything except a newline.
+//!
+//! # Hardening
+//!
+//! The wire can hand back *successfully delivered garbage* (see
+//! `simnet::fault::CorruptionSchedule`), so parsing is defensive:
+//!
+//! * **Allocation guards** — bodies with more than [`MAX_LINES`] lines or a
+//!   value longer than [`MAX_VALUE_LEN`] bytes are rejected with
+//!   [`WireError::TooLarge`] before any further work, mirroring the
+//!   checkpoint codec's bounds checks.
+//! * **Self-describing field count** — [`WireDoc::render`] emits a
+//!   `n: <field-count>` header as the first field line and
+//!   [`WireDoc::parse`] transparently verifies and strips it
+//!   ([`WireError::CountMismatch`] on disagreement), so dropped, duplicated
+//!   or truncated lines are structurally detectable. Handcrafted bodies
+//!   without the header still parse (error notices are built with raw
+//!   `format!`), and the key `n` is reserved by [`WireDoc::field`].
+//! * **Duplicate required fields** — the `req*`/`opt*` accessors reject a
+//!   key that appears more than once ([`WireError::DuplicateField`]);
+//!   list-valued keys go through [`WireDoc::get_all`] instead.
 
 use std::fmt;
+
+/// Maximum number of lines [`WireDoc::parse`] accepts before rejecting the
+/// body as hostile. The largest legitimate documents are full message
+/// histories, hard-capped by the workload at 500 000 messages per group
+/// (`max_messages_per_group`), so the guard sits comfortably above that:
+/// it exists to stop unbounded allocation, not to second-guess real data.
+pub const MAX_LINES: usize = 1_048_576;
+
+/// Maximum length in bytes of a single field value.
+pub const MAX_VALUE_LEN: usize = 4_096;
 
 /// Errors produced while parsing or interrogating a wire document.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +64,24 @@ pub enum WireError {
         /// Actual document type found.
         found: String,
     },
+    /// The body exceeded an allocation guard (too many lines, or a value
+    /// too long).
+    TooLarge {
+        /// Which guard tripped (`"lines"` or `"value"`).
+        what: &'static str,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A field that must appear exactly once appeared more than once.
+    DuplicateField(&'static str),
+    /// The declared field count (`n` header) disagrees with the fields
+    /// actually present — lines were dropped, duplicated, or spliced in.
+    CountMismatch {
+        /// Count the header declared.
+        declared: usize,
+        /// Fields actually present.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -45,6 +93,15 @@ impl fmt::Display for WireError {
             WireError::BadNumber(k, v) => write!(f, "field {k:?} is not a number: {v:?}"),
             WireError::WrongType { expected, found } => {
                 write!(f, "expected document type {expected:?}, found {found:?}")
+            }
+            WireError::TooLarge { what, limit } => {
+                write!(f, "document exceeds {what} guard ({limit})")
+            }
+            WireError::DuplicateField(k) => {
+                write!(f, "field {k:?} appears more than once")
+            }
+            WireError::CountMismatch { declared, actual } => {
+                write!(f, "declared {declared} fields, found {actual}")
             }
         }
     }
@@ -73,7 +130,8 @@ impl WireDoc {
     ///
     /// # Panics
     /// Panics if the value contains a newline — the caller must sanitize
-    /// free-form text (group titles) first via [`sanitize`].
+    /// free-form text (group titles) first via [`sanitize`] — or if the
+    /// key is the reserved field-count header `n`.
     pub fn field(mut self, key: impl Into<String>, value: impl fmt::Display) -> WireDoc {
         let key = key.into();
         let value = value.to_string();
@@ -81,14 +139,22 @@ impl WireDoc {
             !value.contains('\n') && !key.contains('\n'),
             "wire fields must be single-line"
         );
+        assert!(
+            key != "n",
+            "field key \"n\" is reserved for the count header"
+        );
         self.fields.push((key, value));
         self
     }
 
-    /// Render to the textual body.
+    /// Render to the textual body. The field count is emitted as a leading
+    /// `n: <count>` header so parsers can detect dropped/duplicated lines;
+    /// [`WireDoc::parse`] strips it back out.
     pub fn render(&self) -> String {
-        let mut out = String::with_capacity(32 + self.fields.len() * 24);
+        let mut out = String::with_capacity(40 + self.fields.len() * 24);
         out.push_str(&self.kind);
+        out.push_str("\nn: ");
+        out.push_str(&self.fields.len().to_string());
         for (k, v) in &self.fields {
             out.push('\n');
             out.push_str(k);
@@ -99,21 +165,52 @@ impl WireDoc {
     }
 
     /// Parse a body back into a document.
+    ///
+    /// Applies the allocation guards, and — when the first field line is a
+    /// `n: <count>` header — verifies the declared field count and strips
+    /// the header. Bodies without the header (handcrafted error notices)
+    /// parse leniently.
     pub fn parse(body: &str) -> Result<WireDoc, WireError> {
         let mut lines = body.lines();
         let kind = lines
             .next()
             .filter(|l| !l.is_empty())
             .ok_or(WireError::Empty)?;
-        let mut fields = Vec::new();
+        let mut fields: Vec<(String, String)> = Vec::new();
+        let mut seen = 0usize;
         for line in lines {
             if line.is_empty() {
                 continue;
             }
+            seen += 1;
+            if seen > MAX_LINES {
+                return Err(WireError::TooLarge {
+                    what: "lines",
+                    limit: MAX_LINES,
+                });
+            }
             let (k, v) = line
                 .split_once(": ")
                 .ok_or_else(|| WireError::MalformedLine(line.to_string()))?;
+            if v.len() > MAX_VALUE_LEN {
+                return Err(WireError::TooLarge {
+                    what: "value",
+                    limit: MAX_VALUE_LEN,
+                });
+            }
             fields.push((k.to_string(), v.to_string()));
+        }
+        if fields.first().is_some_and(|(k, _)| k == "n") {
+            let (_, declared) = fields.remove(0);
+            let declared: usize = declared
+                .parse()
+                .map_err(|_| WireError::BadNumber("n", declared.clone()))?;
+            if fields.len() != declared {
+                return Err(WireError::CountMismatch {
+                    declared,
+                    actual: fields.len(),
+                });
+            }
         }
         Ok(WireDoc {
             kind: kind.to_string(),
@@ -149,9 +246,22 @@ impl WireDoc {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Required string field.
+    /// The single value for `key`, rejecting duplicates. `Ok(None)` when
+    /// absent.
+    fn unique(&self, key: &'static str) -> Result<Option<&str>, WireError> {
+        let mut it = self.get_all(key);
+        let first = it.next();
+        if first.is_some() && it.next().is_some() {
+            return Err(WireError::DuplicateField(key));
+        }
+        Ok(first)
+    }
+
+    /// Required string field. A field that must appear exactly once
+    /// appearing twice is an error — a duplicated line is corruption, not
+    /// a list.
     pub fn req(&self, key: &'static str) -> Result<&str, WireError> {
-        self.get(key).ok_or(WireError::MissingField(key))
+        self.unique(key)?.ok_or(WireError::MissingField(key))
     }
 
     /// Required `u64` field.
@@ -168,9 +278,9 @@ impl WireDoc {
             .map_err(|_| WireError::BadNumber(key, v.to_string()))
     }
 
-    /// Optional `u64` field (error only if present and malformed).
+    /// Optional `u64` field (error if present-and-malformed or duplicated).
     pub fn opt_u64(&self, key: &'static str) -> Result<Option<u64>, WireError> {
-        match self.get(key) {
+        match self.unique(key)? {
             None => Ok(None),
             Some(v) => v
                 .parse()
@@ -244,9 +354,92 @@ mod tests {
             WireDoc::parse("doc\nnocolonhere"),
             Err(WireError::MalformedLine(_))
         ));
-        let doc = WireDoc::parse("doc\nn: abc").unwrap();
-        assert!(matches!(doc.req_u64("n"), Err(WireError::BadNumber(_, _))));
+        // A garbled count header is a parse error, not a field.
+        assert!(matches!(
+            WireDoc::parse("doc\nn: abc"),
+            Err(WireError::BadNumber("n", _))
+        ));
+        let doc = WireDoc::parse("doc\na: 1").unwrap();
         assert!(matches!(doc.req("x"), Err(WireError::MissingField("x"))));
+        assert!(matches!(doc.req_u64("a"), Ok(1)));
+    }
+
+    #[test]
+    fn count_header_is_emitted_verified_and_stripped() {
+        let doc = WireDoc::new("landing")
+            .field("size", 3u32)
+            .field("title", "x");
+        let body = doc.render();
+        assert!(body.starts_with("landing\nn: 2\n"), "{body:?}");
+        let parsed = WireDoc::parse(&body).unwrap();
+        assert_eq!(parsed, doc, "header must be transparent to round-trips");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.get("n"), None);
+    }
+
+    #[test]
+    fn count_mismatch_detected_both_ways() {
+        assert_eq!(
+            WireDoc::parse("doc\nn: 2\na: 1"),
+            Err(WireError::CountMismatch {
+                declared: 2,
+                actual: 1
+            })
+        );
+        assert_eq!(
+            WireDoc::parse("doc\nn: 0\na: 1"),
+            Err(WireError::CountMismatch {
+                declared: 0,
+                actual: 1
+            })
+        );
+        // Bodies without the header parse leniently (handcrafted notices).
+        assert!(WireDoc::parse("not-found\nwhat: nothing here").is_ok());
+    }
+
+    #[test]
+    fn allocation_guards_reject_hostile_sizes() {
+        let mut huge = String::from("doc");
+        for i in 0..(MAX_LINES + 1) {
+            huge.push_str(&format!("\nk{i}: v"));
+        }
+        assert_eq!(
+            WireDoc::parse(&huge),
+            Err(WireError::TooLarge {
+                what: "lines",
+                limit: MAX_LINES
+            })
+        );
+        let long = format!("doc\nk: {}", "x".repeat(MAX_VALUE_LEN + 1));
+        assert_eq!(
+            WireDoc::parse(&long),
+            Err(WireError::TooLarge {
+                what: "value",
+                limit: MAX_VALUE_LEN
+            })
+        );
+        // The largest legitimate documents stay under the guards.
+        let mut big = WireDoc::new("members");
+        for i in 0..1_000 {
+            big = big.field("member", format!("+55{i}"));
+        }
+        assert!(WireDoc::parse(&big.render()).is_ok());
+    }
+
+    #[test]
+    fn duplicated_scalar_fields_are_rejected() {
+        let doc = WireDoc::parse("doc\nsize: 1\nsize: 2\nmember: a\nmember: b").unwrap();
+        assert_eq!(doc.req("size"), Err(WireError::DuplicateField("size")));
+        assert_eq!(doc.req_u64("size"), Err(WireError::DuplicateField("size")));
+        assert_eq!(doc.opt_u64("size"), Err(WireError::DuplicateField("size")));
+        // List-valued keys still flow through get_all.
+        assert_eq!(doc.get_all("member").count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn field_key_n_is_reserved() {
+        let _ = WireDoc::new("doc").field("n", 1u32);
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //!
 //! The layers are strictly additive: a schedule with no burst parameters
 //! and no windows behaves bit-for-bit like its base injector.
+//!
+//! Orthogonal to *connection*-level faults, a [`CorruptionSchedule`] models
+//! *content*-level faults: a successful response whose body was mangled in
+//! flight (a half-written page, a CDN mixing up cached documents, an API
+//! mid-deploy serving a drifted schema). It draws from a dedicated RNG
+//! stream so composing it with any [`FaultSchedule`] never perturbs the
+//! connection-level fault rolls, and a zero-rate schedule consumes no
+//! draws at all.
 
 use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
@@ -422,6 +430,290 @@ impl FaultProfile {
     }
 }
 
+/// The ways a [`CorruptionSchedule`] can mangle a successful wire body.
+///
+/// Every mutation is *constructed to be detectable* by a hardened parser
+/// operating on self-describing documents (a leading `n: <field-count>`
+/// header plus identity-echo fields): truncation leaves a partial line,
+/// splicing displaces the type line, drops/duplications break the declared
+/// field count, numeric garbage breaks numeric conversion, noise inserts a
+/// separator-free line, a cross-document splice changes the document type
+/// or its echoed identity, and schema drift adds an undeclared field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// The tail of the body is cut off mid-line (a half-written page).
+    Truncate,
+    /// Lines are spliced out of order: the type line is displaced.
+    SpliceLines,
+    /// A field line vanishes.
+    DropKey,
+    /// A field line is doubled.
+    DuplicateKey,
+    /// A numeric-looking value is replaced with garbage.
+    GarbleNumber,
+    /// A separator-free mojibake line is inserted (encoding noise).
+    EncodingNoise,
+    /// The whole body is replaced with the previous successful body this
+    /// client saw — group A's document served under group B's URL.
+    CrossSplice,
+    /// A field key is renamed and an undeclared extra field is appended
+    /// (the far end deployed a drifted schema).
+    SchemaDrift,
+}
+
+impl CorruptionKind {
+    /// All mutation kinds, in the order the corruption RNG indexes them.
+    pub const ALL: [CorruptionKind; 8] = [
+        CorruptionKind::Truncate,
+        CorruptionKind::SpliceLines,
+        CorruptionKind::DropKey,
+        CorruptionKind::DuplicateKey,
+        CorruptionKind::GarbleNumber,
+        CorruptionKind::EncodingNoise,
+        CorruptionKind::CrossSplice,
+        CorruptionKind::SchemaDrift,
+    ];
+
+    /// Short label for traces and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            CorruptionKind::Truncate => "truncate",
+            CorruptionKind::SpliceLines => "splice-lines",
+            CorruptionKind::DropKey => "drop-key",
+            CorruptionKind::DuplicateKey => "duplicate-key",
+            CorruptionKind::GarbleNumber => "garble-number",
+            CorruptionKind::EncodingNoise => "encoding-noise",
+            CorruptionKind::CrossSplice => "cross-splice",
+            CorruptionKind::SchemaDrift => "schema-drift",
+        }
+    }
+}
+
+/// Separator-free junk lines used by [`CorruptionKind::EncodingNoise`]
+/// (none contains `": "`, so each is a guaranteed malformed line).
+const NOISE_LINES: [&str; 4] = [
+    "\u{FFFD}\u{FFFD}\u{FFFD}#%^",
+    "Ã©Ã¼â\u{FFFD}™",
+    "<<<binary;gunk;0xdeadbeef>>>",
+    "\u{FFFD}�%PDF-1.4",
+];
+
+/// Replacement values used by [`CorruptionKind::GarbleNumber`] (none
+/// parses as an integer or as a message triple).
+const GARBLE_VALUES: [&str; 4] = ["NaN", "-1.5e99", "0xDEAD", "??"];
+
+/// Deterministic payload-corruption model: with probability `rate`, a
+/// successful response body is mangled by one uniformly chosen
+/// [`CorruptionKind`] before the caller sees it.
+///
+/// The schedule is *content-level only* — it never changes a status code,
+/// so hardened ingestion (not the transport) is responsible for detecting
+/// the damage. A `rate` of zero draws nothing from the RNG, keeping a calm
+/// configuration bit-identical to a corruption-free build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionSchedule {
+    /// Probability that any one successful response is corrupted.
+    pub rate: f64,
+}
+
+impl CorruptionSchedule {
+    /// A schedule corrupting each successful body with probability `rate`
+    /// (clamped to [0, 1]).
+    pub fn new(rate: f64) -> CorruptionSchedule {
+        CorruptionSchedule {
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// A schedule that never corrupts anything (and never draws from the
+    /// RNG).
+    pub fn none() -> CorruptionSchedule {
+        CorruptionSchedule { rate: 0.0 }
+    }
+
+    /// Whether this schedule can ever corrupt a body.
+    pub fn is_active(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// Roll for corruption of the next successful body.
+    pub fn corrupt_now(&self, rng: &mut Rng) -> bool {
+        self.rate > 0.0 && rng.chance(self.rate)
+    }
+
+    /// Mangle `body` with one uniformly chosen mutation, returning the
+    /// corrupted text and the mutation actually applied. `prev_ok` is the
+    /// previous *clean* successful body the same client saw, used by
+    /// [`CorruptionKind::CrossSplice`]; when it is absent or identical to
+    /// `body` the splice degrades to [`CorruptionKind::EncodingNoise`].
+    pub fn corrupt_body(
+        &self,
+        body: &str,
+        prev_ok: Option<&str>,
+        rng: &mut Rng,
+    ) -> (String, CorruptionKind) {
+        let kind = CorruptionKind::ALL[rng.index(CorruptionKind::ALL.len())];
+        let lines: Vec<&str> = body.lines().collect();
+        match kind {
+            CorruptionKind::Truncate => {
+                if lines.len() < 2 {
+                    return (insert_noise(&lines, rng), CorruptionKind::EncodingNoise);
+                }
+                // Keep a prefix and end with the *key* of the first dropped
+                // field line: a fragment with no ": " separator, exactly
+                // what a connection cut mid-write leaves behind.
+                let cut = rng.range(1, lines.len() as u64 - 1) as usize;
+                let fragment = lines[cut].split(':').next().unwrap_or("\u{FFFD}");
+                let mut out: Vec<&str> = lines[..cut].to_vec();
+                let fragment = if fragment.is_empty() {
+                    "\u{FFFD}"
+                } else {
+                    fragment
+                };
+                out.push(fragment);
+                (out.join("\n"), kind)
+            }
+            CorruptionKind::SpliceLines => {
+                if lines.len() < 2 {
+                    // Nothing to splice: double the only line so the second
+                    // copy is a separator-free malformed line.
+                    let only = lines.first().copied().unwrap_or("\u{FFFD}");
+                    return (format!("{only}\n{only}"), kind);
+                }
+                // Swap the type line behind the first field line; the body
+                // now *starts* with a field line, so a type check fails.
+                let mut out: Vec<&str> = Vec::with_capacity(lines.len());
+                out.push(lines[1]);
+                out.push(lines[0]);
+                out.extend_from_slice(&lines[2..]);
+                (out.join("\n"), kind)
+            }
+            CorruptionKind::DropKey => {
+                if lines.len() < 3 {
+                    return (insert_noise(&lines, rng), CorruptionKind::EncodingNoise);
+                }
+                // Drop a field line *after* the count header, so the
+                // declared count no longer matches.
+                let victim = rng.range(2, lines.len() as u64 - 1) as usize;
+                let mut out: Vec<&str> = lines.clone();
+                out.remove(victim);
+                (out.join("\n"), kind)
+            }
+            CorruptionKind::DuplicateKey => {
+                if lines.len() < 2 {
+                    return (insert_noise(&lines, rng), CorruptionKind::EncodingNoise);
+                }
+                let victim = rng.range(1, lines.len() as u64 - 1) as usize;
+                let mut out: Vec<&str> = lines.clone();
+                out.insert(victim + 1, lines[victim]);
+                (out.join("\n"), kind)
+            }
+            CorruptionKind::GarbleNumber => {
+                // Candidates: field lines whose value looks numeric (digits
+                // and spaces). The count header always qualifies, so the
+                // candidate set is never empty for rendered documents.
+                let numeric: Vec<usize> = (1..lines.len())
+                    .filter(|&i| {
+                        lines[i].split_once(": ").is_some_and(|(_, v)| {
+                            !v.is_empty()
+                                && v.chars().all(|c| c.is_ascii_digit() || c == ' ')
+                                && v.chars().any(|c| c.is_ascii_digit())
+                        })
+                    })
+                    .collect();
+                let Some(&victim) = numeric.get(rng.index(numeric.len().max(1))) else {
+                    return (insert_noise(&lines, rng), CorruptionKind::EncodingNoise);
+                };
+                let (key, _) = lines[victim].split_once(": ").expect("filtered above");
+                let junk = GARBLE_VALUES[rng.index(GARBLE_VALUES.len())];
+                let mut out: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+                out[victim] = format!("{key}: {junk}");
+                (out.join("\n"), kind)
+            }
+            CorruptionKind::EncodingNoise => (insert_noise(&lines, rng), kind),
+            CorruptionKind::CrossSplice => match prev_ok {
+                Some(prev) if prev != body => (prev.to_string(), kind),
+                _ => (insert_noise(&lines, rng), CorruptionKind::EncodingNoise),
+            },
+            CorruptionKind::SchemaDrift => {
+                let mut out: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+                // Rename a field key (drifted schema) when one exists...
+                if lines.len() >= 3 {
+                    let victim = rng.range(2, lines.len() as u64 - 1) as usize;
+                    if let Some((key, value)) = lines[victim].split_once(": ") {
+                        out[victim] = format!("x-{key}: {value}");
+                    }
+                }
+                // ...and always append an undeclared extra field, so the
+                // declared count is guaranteed to break.
+                out.push("x-schema-rev: 2".to_string());
+                (out.join("\n"), kind)
+            }
+        }
+    }
+}
+
+/// Insert one separator-free noise line at a uniform position after the
+/// type line.
+fn insert_noise(lines: &[&str], rng: &mut Rng) -> String {
+    let noise = NOISE_LINES[rng.index(NOISE_LINES.len())];
+    if lines.is_empty() {
+        return noise.to_string();
+    }
+    let at = rng.range(1, lines.len() as u64) as usize;
+    let mut out: Vec<&str> = lines.to_vec();
+    out.insert(at, noise);
+    out.join("\n")
+}
+
+/// Which payload-corruption regime a campaign runs under
+/// (`repro run --corruption`). Orthogonal to [`FaultProfile`]: the fault
+/// profile shapes *whether* responses arrive, the corruption profile
+/// shapes *what arrives inside* the successful ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorruptionProfile {
+    /// No payload corruption — the historical model.
+    #[default]
+    Calm,
+    /// Occasional mangled bodies (~2% of successful responses), the
+    /// steady-state drizzle long-running scrapers see.
+    Noisy,
+    /// Heavy corruption (~20% of successful responses): format changes,
+    /// mixed-up caches, and mid-deploy schema drift all at once.
+    Hostile,
+}
+
+impl CorruptionProfile {
+    /// Parse a CLI spelling (`calm` / `noisy` / `hostile`).
+    pub fn parse(s: &str) -> Option<CorruptionProfile> {
+        match s {
+            "calm" => Some(CorruptionProfile::Calm),
+            "noisy" => Some(CorruptionProfile::Noisy),
+            "hostile" => Some(CorruptionProfile::Hostile),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this profile.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptionProfile::Calm => "calm",
+            CorruptionProfile::Noisy => "noisy",
+            CorruptionProfile::Hostile => "hostile",
+        }
+    }
+
+    /// The corruption schedule this profile configures. `Calm` is exactly
+    /// [`CorruptionSchedule::none`], so it draws nothing from any RNG.
+    pub fn schedule(self) -> CorruptionSchedule {
+        match self {
+            CorruptionProfile::Calm => CorruptionSchedule::none(),
+            CorruptionProfile::Noisy => CorruptionSchedule::new(0.02),
+            CorruptionProfile::Hostile => CorruptionSchedule::new(0.20),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,6 +859,86 @@ mod tests {
         assert_eq!(s.active_outage(SimTime(9)), None);
         assert_eq!(s.active_outage(SimTime(10)), Some(OutageMode::Ban));
         assert_eq!(s.active_outage(SimTime(20)), None);
+    }
+
+    #[test]
+    fn corruption_profile_cli_spellings_round_trip() {
+        for p in [
+            CorruptionProfile::Calm,
+            CorruptionProfile::Noisy,
+            CorruptionProfile::Hostile,
+        ] {
+            assert_eq!(CorruptionProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(CorruptionProfile::parse("byzantine"), None);
+        assert!(!CorruptionProfile::Calm.schedule().is_active());
+        assert!(CorruptionProfile::Noisy.schedule().is_active());
+        assert!(
+            CorruptionProfile::Hostile.schedule().rate > CorruptionProfile::Noisy.schedule().rate
+        );
+    }
+
+    #[test]
+    fn zero_rate_corruption_draws_nothing() {
+        let mut rng = Rng::new(5);
+        let before = rng.state();
+        let s = CorruptionSchedule::none();
+        for _ in 0..100 {
+            assert!(!s.corrupt_now(&mut rng));
+        }
+        assert_eq!(rng.state(), before, "calm corruption must not draw");
+    }
+
+    #[test]
+    fn corrupt_body_is_deterministic() {
+        let body = "doc\nn: 2\nsize: 10\ntitle: hello";
+        let s = CorruptionSchedule::new(1.0);
+        let a = s.corrupt_body(body, Some("prev\nn: 0"), &mut Rng::new(42));
+        let b = s.corrupt_body(body, Some("prev\nn: 0"), &mut Rng::new(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupt_body_always_changes_rendered_documents() {
+        // Over many draws every mutation kind fires; none may return the
+        // body unchanged (given a distinct previous body for splices).
+        let body = "doc\nn: 3\nsize: 10\ntitle: hello world\nonline: 4";
+        let prev = "other\nn: 1\nsize: 9";
+        let s = CorruptionSchedule::new(1.0);
+        let mut rng = Rng::new(7);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let (mangled, kind) = s.corrupt_body(body, Some(prev), &mut rng);
+            assert_ne!(mangled, body, "{kind:?} left the body unchanged");
+            seen.insert(kind.label());
+        }
+        assert_eq!(
+            seen.len(),
+            CorruptionKind::ALL.len(),
+            "kinds seen: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn cross_splice_degrades_without_history() {
+        let body = "doc\nn: 1\nsize: 10";
+        let s = CorruptionSchedule::new(1.0);
+        let mut rng = Rng::new(0);
+        for _ in 0..200 {
+            let (mangled, kind) = s.corrupt_body(body, None, &mut rng);
+            assert_ne!(kind, CorruptionKind::CrossSplice);
+            assert_ne!(mangled, body);
+        }
+    }
+
+    #[test]
+    fn noise_lines_never_contain_a_separator() {
+        for l in NOISE_LINES {
+            assert!(!l.contains(": "), "noise line {l:?} would parse as a field");
+        }
+        for v in GARBLE_VALUES {
+            assert!(v.parse::<u64>().is_err() && v.parse::<i64>().is_err());
+        }
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! in aggregate, not to reorder events.
 
 use crate::fault::{
-    Backoff, FaultInjector, FaultSchedule, OutageMode, TokenBucket, TokenBucketState,
+    Backoff, CorruptionSchedule, FaultInjector, FaultSchedule, OutageMode, TokenBucket,
+    TokenBucketState,
 };
 use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
@@ -326,6 +327,13 @@ pub struct ClientState {
     pub burst_bad: bool,
     /// Circuit-breaker state per endpoint prefix.
     pub breakers: BTreeMap<String, BreakerState>,
+    /// Dedicated RNG stream for payload-corruption rolls.
+    pub corrupt_rng: [u64; 4],
+    /// The previous *clean* successful body (cross-splice source). Only
+    /// tracked while a corruption schedule is active.
+    pub last_ok_body: Option<String>,
+    /// Number of successful responses whose body was corrupted in flight.
+    pub corrupted: u64,
 }
 
 /// The caller side of the transport: rate limiting, fault injection,
@@ -344,6 +352,16 @@ pub struct Client {
     burst_bad: bool,
     breakers: BTreeMap<String, BreakerState>,
     rate_clock: SimTime,
+    /// Payload-corruption model applied to successful bodies only.
+    corruption: CorruptionSchedule,
+    /// Dedicated stream for corruption rolls, forked from the main RNG only
+    /// when a corruption schedule is active so a calm configuration
+    /// consumes no extra draws.
+    corrupt_rng: Rng,
+    /// Previous clean successful body, the cross-splice source. Tracked
+    /// only while corruption is active.
+    last_ok_body: Option<String>,
+    corrupted: u64,
     trace: TraceRecorder,
     /// Virtual time spent waiting (backoff + rate limiting), accumulated so
     /// the campaign can account for collection slowness.
@@ -381,9 +399,30 @@ impl Client {
             burst_bad: false,
             breakers: BTreeMap::new(),
             rate_clock: start,
+            corruption: CorruptionSchedule::none(),
+            corrupt_rng: Rng::new(0),
+            last_ok_body: None,
+            corrupted: 0,
             trace: TraceRecorder::new(4096),
             waited: SimDuration::ZERO,
         }
+    }
+
+    /// Layer a payload-corruption schedule onto this client. An inactive
+    /// schedule is a no-op (no RNG fork, no draws), keeping calm
+    /// configurations bit-identical to clients built without this call.
+    pub fn with_corruption(mut self, corruption: CorruptionSchedule) -> Client {
+        if corruption.is_active() {
+            self.corrupt_rng = self.rng.fork("corruption");
+        }
+        self.corruption = corruption;
+        self
+    }
+
+    /// Number of successful responses whose body the corruption schedule
+    /// mangled in flight.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
     }
 
     /// A client with default config, no faults, seeded from `seed`.
@@ -415,6 +454,9 @@ impl Client {
             burst_rng: self.burst_rng.state(),
             burst_bad: self.burst_bad,
             breakers: self.breakers.clone(),
+            corrupt_rng: self.corrupt_rng.state(),
+            last_ok_body: self.last_ok_body.clone(),
+            corrupted: self.corrupted,
         }
     }
 
@@ -431,6 +473,9 @@ impl Client {
         self.burst_rng = Rng::from_state(s.burst_rng);
         self.burst_bad = s.burst_bad;
         self.breakers = s.breakers;
+        self.corrupt_rng = Rng::from_state(s.corrupt_rng);
+        self.last_ok_body = s.last_ok_body;
+        self.corrupted = s.corrupted;
     }
 
     /// Current circuit-breaker state for an endpoint prefix, if the
@@ -581,7 +626,11 @@ impl Client {
                 attempt: attempts,
             });
             match resp.status {
-                Status::Ok | Status::NotFound | Status::Gone | Status::Forbidden => {
+                Status::Ok => {
+                    self.maybe_corrupt(&mut resp);
+                    return Ok(resp);
+                }
+                Status::NotFound | Status::Gone | Status::Forbidden => {
                     return Ok(resp);
                 }
                 // A retryable status on the final allowed attempt accrues
@@ -708,6 +757,27 @@ impl Client {
                 },
             );
         }
+    }
+
+    /// Roll the corruption schedule against a successful response. Status
+    /// codes are never touched — corruption is strictly content-level, so
+    /// only hardened parsing downstream can detect it. The clean body is
+    /// remembered as the next cross-splice source.
+    fn maybe_corrupt(&mut self, resp: &mut Response) {
+        if !self.corruption.is_active() {
+            return;
+        }
+        let clean = resp.body.clone();
+        if self.corruption.corrupt_now(&mut self.corrupt_rng) {
+            let (mangled, _kind) = self.corruption.corrupt_body(
+                &clean,
+                self.last_ok_body.as_deref(),
+                &mut self.corrupt_rng,
+            );
+            resp.body = mangled;
+            self.corrupted += 1;
+        }
+        self.last_ok_body = Some(clean);
     }
 
     fn sample_latency_ms(&mut self) -> f64 {
@@ -1083,6 +1153,66 @@ mod tests {
             assert!(client.trace().len() >= 30, "client {i}");
         }
         assert_eq!(a.state(), b.state(), "calm schedule must not perturb");
+    }
+
+    #[test]
+    fn inactive_corruption_is_bit_identical_to_none_at_all() {
+        use crate::fault::CorruptionSchedule;
+        let mut a = Client::plain(20, SimTime(0));
+        let mut b = Client::plain(20, SimTime(0)).with_corruption(CorruptionSchedule::none());
+        for client in [&mut a, &mut b] {
+            let mut svc = ok_service();
+            let mut router = Router::new();
+            router.mount("svc", &mut svc);
+            for k in 0..20u64 {
+                let _ = client.call(&mut router, SimTime(k * 60), &Request::new("svc/x"));
+            }
+        }
+        assert_eq!(a.state(), b.state(), "inactive corruption must not perturb");
+        assert_eq!(a.corrupted(), 0);
+    }
+
+    #[test]
+    fn corruption_mangles_only_ok_bodies_deterministically() {
+        use crate::fault::CorruptionSchedule;
+        let run = || {
+            let mut gone_next = false;
+            let mut svc = move |_: SimTime, _: &Request| {
+                gone_next = !gone_next;
+                if gone_next {
+                    Response::ok("doc\nn: 2\nsize: 10\ntitle: hello")
+                } else {
+                    Response::status(Status::Gone, "revoked\nn: 0")
+                }
+            };
+            let mut router = Router::new();
+            router.mount("svc", &mut svc);
+            let mut client =
+                Client::plain(21, SimTime(0)).with_corruption(CorruptionSchedule::new(1.0));
+            let mut bodies = Vec::new();
+            for k in 0..10u64 {
+                let resp = client
+                    .call(&mut router, SimTime(k * 60), &Request::new("svc/x"))
+                    .unwrap();
+                bodies.push((resp.status, resp.body));
+            }
+            (bodies, client.corrupted(), client.state())
+        };
+        let (bodies, corrupted, state) = run();
+        for (status, body) in &bodies {
+            match status {
+                Status::Ok => assert_ne!(
+                    body, "doc\nn: 2\nsize: 10\ntitle: hello",
+                    "rate-1.0 corruption must mangle every Ok body"
+                ),
+                _ => assert_eq!(body, "revoked\nn: 0", "non-Ok bodies are never touched"),
+            }
+        }
+        assert_eq!(corrupted, 5, "five Ok responses, all corrupted");
+        let (bodies2, corrupted2, state2) = run();
+        assert_eq!(bodies, bodies2, "corruption must be deterministic");
+        assert_eq!(corrupted, corrupted2);
+        assert_eq!(state, state2);
     }
 
     #[test]

@@ -218,7 +218,11 @@ impl TweetStore {
                         .iter()
                         .any(|u| url_host(u).is_some_and(|h| h.eq_ignore_ascii_case(host))))
         });
-        let mut doc = WireDoc::new("tw-search");
+        // Echo the query identity (host + page) so collectors can detect a
+        // cross-document splice: a cached page served for the wrong query.
+        let mut doc = WireDoc::new("tw-search")
+            .field("host", host)
+            .field("page", page);
         let mut emitted = 0usize;
         let mut skipped = 0usize;
         let mut more = false;
@@ -268,7 +272,11 @@ impl TweetStore {
             .iter()
             .copied()
             .filter(|&i| !check_stream_loss || self.stream_visible(TweetId(u64::from(i))));
-        let mut doc = WireDoc::new(doc_kind);
+        // Echo the window identity so a spliced page is detectable.
+        let mut doc = WireDoc::new(doc_kind)
+            .field("from", from.as_secs())
+            .field("to", to.as_secs())
+            .field("page", page);
         let mut emitted = 0usize;
         let mut skipped = 0usize;
         let mut more = false;

@@ -18,6 +18,7 @@
 use chatlens::analysis::LdaConfig;
 use chatlens::analysis::{content, discovery, lifecycle, membership, messages, pii, topics};
 use chatlens::checkpoint::load_from_file;
+use chatlens::core::audit_dataset;
 use chatlens::core::net::SERVICE_NAMES;
 use chatlens::core::{
     resume_study, resume_study_checkpointed, run_study_checkpointed, CampaignConfig, CampaignState,
@@ -29,7 +30,7 @@ use chatlens::platforms::spec::PlatformSpec;
 use chatlens::report::compare::{holding, markdown_table, Comparison};
 use chatlens::report::series::{cdf_summary, days_csv, sparkline, to_csv};
 use chatlens::report::table::{fmt_count, fmt_pct, Table};
-use chatlens::simnet::fault::{FaultProfile, OutageSpec};
+use chatlens::simnet::fault::{CorruptionProfile, FaultProfile, OutageSpec};
 use chatlens::simnet::metrics::Metrics;
 use chatlens::simnet::par::Pool;
 use chatlens::twitter::Lang;
@@ -55,12 +56,19 @@ SUBCOMMANDS:
                      pass (chatlens-lint) over the workspace sources and
                      exit nonzero on any finding; --stats prints the
                      per-rule summary table (see DESIGN.md §Determinism
-                     lint for the rule catalog D1..D7)
+                     lint for the rule catalog D1..D8)
     checkpoint inspect <file>
                      decode a campaign snapshot and print its summary as
-                     JSON (day, clock, collection counts, deterministic
-                     metric counters); exits 2 with a diagnostic on
-                     corrupt, truncated, or version-skewed files
+                     JSON (format version, day, clock, collection counts,
+                     quarantine ledger sizes, deterministic metric
+                     counters); exits 2 with a diagnostic on corrupt,
+                     truncated, or version-skewed files
+    audit <file>     resume the campaign from a snapshot to a finished
+                     dataset and run the invariant auditor over it
+                     (timeline monotonicity, membership/population
+                     containment, gap- and quarantine-ledger consistency,
+                     terminal revocations, message/timeline coherence);
+                     prints one line per violation and exits 1 on any
 
 OPTIONS:
     --scale <f64>    world scale relative to the paper (default 0.1)
@@ -96,6 +104,15 @@ OPTIONS:
                      like --outage but the service answers instantly
                      with 403 Forbidden (credential suspension) instead
                      of dropping requests
+    --corruption <calm|noisy|hostile>
+                     payload-corruption regime for the campaign's wire
+                     bodies (default calm). Orthogonal to the fault
+                     profile: faults shape whether responses arrive,
+                     corruption mangles what arrives inside successful
+                     ones. Every rejected body lands in the dataset's
+                     quarantine ledger with a typed error and provenance.
+                     Deterministic: same profile + seed => byte-identical
+                     dataset at any thread count.
     --timings        print per-stage wall-clock timings (campaign stages
                      and per-artifact analysis stages) to stderr
     --csv <dir>      export figure series as CSV files into <dir>
@@ -114,6 +131,7 @@ fn main() {
     let mut resume: Option<std::path::PathBuf> = None;
     let mut profile = FaultProfile::Calm;
     let mut outages: [Option<OutageSpec>; 4] = [None; 4];
+    let mut corruption = CorruptionProfile::Calm;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -133,6 +151,14 @@ fn main() {
                     std::process::exit(2);
                 });
                 checkpoint_inspect(std::path::Path::new(&file));
+                return;
+            }
+            "audit" => {
+                let file = args.next().unwrap_or_else(|| {
+                    eprintln!("error: audit needs a snapshot file");
+                    std::process::exit(2);
+                });
+                audit_snapshot(std::path::Path::new(&file));
                 return;
             }
             "--scale" => {
@@ -183,6 +209,15 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--corruption" => {
+                let v = args.next().expect("--corruption <calm|noisy|hostile>");
+                corruption = CorruptionProfile::parse(&v).unwrap_or_else(|| {
+                    eprintln!(
+                        "error: unknown corruption profile {v:?} (expected calm, noisy, or hostile)"
+                    );
+                    std::process::exit(2);
+                });
+            }
             "--outage" | "--ban" => {
                 let spec = args.next().expect("--outage/--ban <svc:start_day:days>");
                 let (idx, spec) = parse_outage(&spec, a == "--ban");
@@ -226,10 +261,14 @@ fn main() {
     }
     // lint:allow(D1) stderr progress timing for the operator; no artifact reads it
     let t0 = std::time::Instant::now();
+    if corruption != CorruptionProfile::Calm {
+        eprintln!("# corruption profile: {}", corruption.name());
+    }
     let campaign = CampaignConfig {
         threads,
         profile,
         outages,
+        corruption,
         ..CampaignConfig::default()
     };
     let policy = ckpt_dir.as_ref().map(|dir| CheckpointPolicy {
@@ -285,6 +324,13 @@ fn main() {
                 "gap ledger: {} group(s) with {} censored observation day(s)",
                 fmt_count(ds.gaps.len() as u64),
                 fmt_count(days as u64)
+            );
+        }
+        if !ds.quarantine.is_empty() {
+            println!(
+                "quarantine ledger: {} rejected bodies ({} corrupted in flight)",
+                fmt_count(ds.quarantine.len() as u64),
+                fmt_count(ds.metrics.get("transport.corrupted"))
             );
         }
         return;
@@ -449,6 +495,38 @@ fn checkpoint_inspect(path: &std::path::Path) {
             std::process::exit(2);
         }
     }
+}
+
+/// `repro audit <file>`: resume a snapshot to a finished dataset and run
+/// the invariant auditor over it. Exit 0 (clean) or 1 (violations);
+/// exit 2 when the snapshot itself cannot be decoded.
+fn audit_snapshot(path: &std::path::Path) {
+    let state: CampaignState = load_from_file(path).unwrap_or_else(|e| {
+        eprintln!("error: {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    eprintln!(
+        "# resuming campaign from {} (day {}) for audit...",
+        path.display(),
+        state.day
+    );
+    let ds = resume_study(&state);
+    let violations = audit_dataset(&ds);
+    println!(
+        "audited {} groups, {} timelines, {} quarantined bodies",
+        fmt_count(ds.groups.len() as u64),
+        fmt_count(ds.timelines.len() as u64),
+        fmt_count(ds.quarantine.len() as u64)
+    );
+    if violations.is_empty() {
+        println!("audit clean: every dataset invariant holds");
+        return;
+    }
+    for v in &violations {
+        println!("violation: {}", v.render());
+    }
+    eprintln!("error: {} invariant violation(s)", violations.len());
+    std::process::exit(1);
 }
 
 /// Write every figure's plottable series as CSV files into `dir`.

@@ -57,6 +57,12 @@ fn fixtures() -> Vec<(Rule, &'static str, &'static str, &'static str)> {
             "fn f(net: &mut Net) { let _ = net.twitter(eco, now, &req); }",
             "fn f(net: &mut Net) {\n // lint:allow(D7) fixture: warm-up call, outcome intentionally unused\n let _ = net.twitter(eco, now, &req);\n}",
         ),
+        (
+            Rule::D8,
+            "crates/core/src/fixture.rs",
+            "fn f(doc: &WireDoc) -> u64 { doc.req_u64(\"size\").unwrap() }",
+            "fn f(doc: &WireDoc) -> u64 {\n // lint:allow(D8) fixture: body rendered two lines up, cannot fail\n doc.req_u64(\"size\").unwrap()\n}",
+        ),
     ]
 }
 

@@ -96,6 +96,26 @@ proptest! {
     }
 
     #[test]
+    fn wire_render_parse_is_exact_identity(
+        // Keys of length >= 2 sidestep the reserved count header `n`.
+        kind in "[a-z][a-z-]{0,15}",
+        fields in proptest::collection::vec(("[a-z_]{2,12}", "[^\\n\\r]{0,40}"), 0..8),
+    ) {
+        let mut doc = WireDoc::new(kind);
+        for (k, v) in &fields {
+            doc = doc.field(k.clone(), sanitize(v));
+        }
+        prop_assert_eq!(WireDoc::parse(&doc.render()), Ok(doc));
+    }
+
+    #[test]
+    fn sanitize_is_idempotent(s in "\\PC*") {
+        let once = sanitize(&s);
+        prop_assert!(!once.contains('\n') && !once.contains('\r'));
+        prop_assert_eq!(sanitize(&once), once.clone());
+    }
+
+    #[test]
     fn tweet_encoding_roundtrips(
         id in any::<u32>(),
         author in any::<u32>(),

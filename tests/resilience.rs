@@ -123,6 +123,15 @@ fn dataset_fingerprint(ds: &chatlens::Dataset) -> String {
             j.messages.len()
         ));
     }
+    for q in &ds.quarantine {
+        out.push_str(&format!(
+            "quarantine={} {} day={} code={}\n",
+            q.service,
+            q.endpoint,
+            q.day,
+            q.code.label()
+        ));
+    }
     out
 }
 
