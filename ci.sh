@@ -33,8 +33,9 @@ cargo run -q --bin repro -- --scale 0.005 --fault-profile bursty run
 
 # Byzantine smoke: a campaign under hostile wire corruption (20% of
 # bodies mutated in flight) must complete with every rejected body in
-# the quarantine ledger, its checkpoints must carry snapshot format v3,
-# and the dataset invariant auditor must find nothing to report.
+# the quarantine ledger, its checkpoints must carry snapshot format v4
+# (interned group ids + columnar timelines), and the dataset invariant
+# auditor must find nothing to report.
 echo "==> hostile corruption smoke (repro run + audit)"
 CKPT_DIR="$(mktemp -d)"
 trap 'rm -rf "$CKPT_DIR"' EXIT
@@ -42,7 +43,7 @@ cargo run -q --bin repro -- --scale 0.005 --corruption hostile \
     --checkpoint-dir "$CKPT_DIR" run
 LAST_CKPT="$(ls "$CKPT_DIR"/day*.ckpt | sort | tail -1)"
 cargo run -q --bin repro -- checkpoint inspect "$LAST_CKPT" \
-    | grep -q '"format_version":3'
+    | grep -q '"format_version":4'
 cargo run -q --bin repro -- audit "$LAST_CKPT"
 
 echo "==> cargo test (threads=1)"
@@ -53,5 +54,14 @@ CHATLENS_THREADS=8 cargo test -q --workspace
 
 echo "==> bench timing record (BENCH_par.json)"
 cargo bench -p chatlens-bench --bench par
+
+# Hot-path regression gate: re-measure the campaign's per-stage
+# wall-clock and fail on any stage >25% slower than the committed
+# BENCH_hotpath.json baseline. After an intentional perf change (or on
+# a machine with a different clock base), refresh with
+#   BENCH_HOTPATH_UPDATE=1 cargo run --release -p chatlens-bench
+# and commit the rewritten baseline.
+echo "==> hot-path regression gate (BENCH_hotpath.json)"
+cargo run --release -p chatlens-bench
 
 echo "CI green."

@@ -21,7 +21,7 @@ pub fn staleness_days(ds: &Dataset, kind: PlatformKind) -> Ecdf {
                 let Some(created_day) = jg.created_day else {
                     continue;
                 };
-                let Some(rec) = ds.groups.iter().find(|g| g.invite.dedup_key() == jg.key) else {
+                let Some(rec) = ds.slot_of_key(&jg.key).and_then(|s| ds.groups.get(s)) else {
                     continue;
                 };
                 let share_day = rec.first_tweet_at.date().day_number();
@@ -76,8 +76,11 @@ pub fn revocation_stats(ds: &Dataset, kind: PlatformKind) -> RevocationStats {
     let mut censored = 0u64;
     let mut lifetimes: Vec<f64> = Vec::new();
     let mut per_day = vec![0u64; days];
-    for rec in ds.groups.iter().filter(|g| g.platform == kind) {
-        let Some(tl) = ds.timeline_of(rec) else {
+    for (slot, rec) in ds.groups.iter().enumerate() {
+        if rec.platform != kind {
+            continue;
+        }
+        let Some(tl) = ds.timeline_at(slot) else {
             continue;
         };
         let Some(first) = tl.first() else {
@@ -95,11 +98,7 @@ pub fn revocation_stats(ds: &Dataset, kind: PlatformKind) -> RevocationStats {
             // unknowable, so it is excluded from the ECDF instead of
             // being fabricated. With an empty gap ledger this branch
             // never fires and the statistics are unchanged.
-            let gap_before = rd > 0
-                && ds
-                    .gaps
-                    .get(&rec.invite.dedup_key())
-                    .is_some_and(|g| g.contains(&(rd - 1)));
+            let gap_before = rd > 0 && ds.gaps.get(slot).is_some_and(|g| g.contains(&(rd - 1)));
             if gap_before {
                 censored += 1;
             } else {
@@ -128,7 +127,6 @@ pub fn ever_alive_fraction(ds: &Dataset, kind: PlatformKind) -> f64 {
             if tl.first().is_some() {
                 observed += 1;
                 if tl
-                    .observations
                     .iter()
                     .any(|o| matches!(o.status, ObservedStatus::Alive { .. }))
                 {

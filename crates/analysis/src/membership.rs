@@ -30,7 +30,7 @@ pub fn online_fractions(ds: &Dataset, kind: PlatformKind) -> Ecdf {
         let Some(tl) = ds.timeline_of(rec) else {
             continue;
         };
-        for o in &tl.observations {
+        for o in tl.iter() {
             if let ObservedStatus::Alive { size, online } = o.status {
                 if size > 0 {
                     fracs.push(f64::from(online) / f64::from(size));

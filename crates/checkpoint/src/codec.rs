@@ -222,6 +222,19 @@ impl Persist for String {
     }
 }
 
+impl Persist for std::borrow::Cow<'static, str> {
+    // Byte-identical to the `String` encoding: the wire format cannot see
+    // whether the live value borrowed a `'static` literal or owned its
+    // bytes, and loading always produces an owned value.
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        w.put_bytes(self.as_bytes());
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(std::borrow::Cow::Owned(String::load(r)?))
+    }
+}
+
 impl<T: Persist> Persist for Option<T> {
     fn save(&self, w: &mut Writer) {
         match self {

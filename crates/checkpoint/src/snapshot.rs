@@ -26,7 +26,12 @@ pub const MAGIC: [u8; 8] = *b"CLCKPT\x1a\x01";
 ///   corrupted-response counter; discovery, monitor and joiner state
 ///   carry their quarantine ledgers; the campaign config gained the
 ///   corruption profile.
-pub const FORMAT_VERSION: u32 = 3;
+/// * v4 — interned group ids and columnar timelines: discovery state
+///   carries the group-key symbol table; monitor timelines, terminal set
+///   and gap ledger are keyed by dense group slot (`u32`) instead of
+///   dedup-key strings, and each timeline encodes as parallel day/status
+///   columns instead of an observation-struct list.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Envelope overhead before the payload: magic + version + payload length.
 const HEADER_LEN: usize = 8 + 4 + 8;

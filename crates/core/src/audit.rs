@@ -24,9 +24,9 @@
 use crate::dataset::Dataset;
 use crate::discovery::Discovery;
 use crate::joiner::{JoinedGroup, Joiner};
-use crate::monitor::{GroupTimeline, Monitor, ObservedStatus};
+use crate::monitor::{GapLedger, Monitor, ObservedStatus, TimelineStore};
 use crate::quarantine::QuarantineEntry;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Which invariant a violation broke.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -43,6 +43,9 @@ pub enum AuditCode {
     /// A gap-ledger day with no matching `Failed` observation — the gap
     /// ledger says a day is censored, the timeline disagrees.
     GapWithoutFailedObservation,
+    /// A gap-ledger slot that does not resolve in the group symbol table
+    /// (the ledger references a group discovery never interned).
+    GapUnknownGroup,
     /// A gap ledger that is not strictly ascending (unsorted or
     /// duplicated days).
     GapLedgerNotAscending,
@@ -65,6 +68,7 @@ impl AuditCode {
             AuditCode::TimelineUnknownGroup => "timeline-unknown-group",
             AuditCode::JoinedUnknownGroup => "joined-unknown-group",
             AuditCode::GapWithoutFailedObservation => "gap-without-failed-observation",
+            AuditCode::GapUnknownGroup => "gap-unknown-group",
             AuditCode::GapLedgerNotAscending => "gap-ledger-not-ascending",
             AuditCode::QuarantineDayOutOfWindow => "quarantine-day-out-of-window",
             AuditCode::QuarantineUnknownGroup => "quarantine-unknown-group",
@@ -107,17 +111,22 @@ impl AuditViolation {
 /// Audit an assembled dataset. Returns every violation found (empty =
 /// all invariants hold).
 pub fn audit_dataset(ds: &Dataset) -> Vec<AuditViolation> {
-    let discovered: BTreeSet<String> = ds.groups.iter().map(|r| r.invite.dedup_key()).collect();
+    let keys = ds.interner.symbols();
     let mut out = Vec::new();
-    check_timelines(&ds.timelines, &discovered, &mut out);
-    check_gaps(&ds.gaps, &ds.timelines, &mut out);
+    check_timelines(&ds.timelines, keys, &mut out);
+    check_gaps(&ds.gaps, &ds.timelines, keys, &mut out);
     check_quarantine(
         &ds.quarantine,
         ds.window.num_days() as u32,
-        &discovered,
+        &|key| ds.slot_of_key(key),
         &mut out,
     );
-    check_joined(&ds.joined, &discovered, &ds.timelines, &mut out);
+    check_joined(
+        &ds.joined,
+        &|key| ds.slot_of_key(key),
+        &ds.timelines,
+        &mut out,
+    );
     out
 }
 
@@ -129,60 +138,67 @@ pub fn audit_components(
     monitor: &Monitor,
     joiner: &Joiner,
 ) -> Vec<AuditViolation> {
-    let discovered: BTreeSet<String> = discovery
-        .groups
-        .iter()
-        .map(|r| r.invite.dedup_key())
-        .collect();
+    let keys = discovery.interner().symbols();
     let mut out = Vec::new();
-    check_timelines(&monitor.timelines, &discovered, &mut out);
-    check_gaps(&monitor.gaps, &monitor.timelines, &mut out);
+    check_timelines(&monitor.timelines, keys, &mut out);
+    check_gaps(&monitor.gaps, &monitor.timelines, keys, &mut out);
     for ledger in [
         &discovery.quarantine,
         &monitor.quarantine,
         &joiner.quarantine,
     ] {
-        check_quarantine(ledger, num_days, &discovered, &mut out);
+        check_quarantine(
+            ledger,
+            num_days,
+            &|key| discovery.slot_of_key(key),
+            &mut out,
+        );
     }
-    check_joined(&joiner.joined, &discovered, &monitor.timelines, &mut out);
+    check_joined(
+        &joiner.joined,
+        &|key| discovery.slot_of_key(key),
+        &monitor.timelines,
+        &mut out,
+    );
     out
 }
 
-fn check_timelines(
-    timelines: &BTreeMap<String, GroupTimeline>,
-    discovered: &BTreeSet<String>,
-    out: &mut Vec<AuditViolation>,
-) {
-    for (key, tl) in timelines {
-        if !discovered.contains(key) {
+/// The dedup key a slot resolves to in the symbol table, or a
+/// `slot N` placeholder for a slot the table does not cover.
+fn slot_label(keys: &[String], slot: usize) -> String {
+    keys.get(slot)
+        .cloned()
+        .unwrap_or_else(|| format!("slot {slot}"))
+}
+
+fn check_timelines(timelines: &TimelineStore, keys: &[String], out: &mut Vec<AuditViolation>) {
+    for (slot, tl) in timelines.iter() {
+        let key = slot_label(keys, slot);
+        if slot >= keys.len() {
             out.push(AuditViolation::new(
                 AuditCode::TimelineUnknownGroup,
-                key,
+                &key,
                 "monitored but never discovered".to_string(),
             ));
         }
-        for pair in tl.observations.windows(2) {
-            if pair[1].day <= pair[0].day {
+        for pair in tl.days().windows(2) {
+            if pair[1] <= pair[0] {
                 out.push(AuditViolation::new(
                     AuditCode::NonMonotoneTimeline,
-                    key,
-                    format!("day {} follows day {}", pair[1].day, pair[0].day),
+                    &key,
+                    format!("day {} follows day {}", pair[1], pair[0]),
                 ));
             }
         }
-        if let Some(at) = tl
-            .observations
-            .iter()
-            .position(|o| o.status == ObservedStatus::Revoked)
-        {
-            if at + 1 != tl.observations.len() {
+        if let Some(at) = tl.iter().position(|o| o.status == ObservedStatus::Revoked) {
+            if at + 1 != tl.len() {
                 out.push(AuditViolation::new(
                     AuditCode::ObservationAfterRevoked,
-                    key,
+                    &key,
                     format!(
                         "{} observation(s) after revocation on day {}",
-                        tl.observations.len() - at - 1,
-                        tl.observations[at].day
+                        tl.len() - at - 1,
+                        tl.days()[at]
                     ),
                 ));
             }
@@ -191,23 +207,31 @@ fn check_timelines(
 }
 
 fn check_gaps(
-    gaps: &BTreeMap<String, Vec<u32>>,
-    timelines: &BTreeMap<String, GroupTimeline>,
+    gaps: &GapLedger,
+    timelines: &TimelineStore,
+    keys: &[String],
     out: &mut Vec<AuditViolation>,
 ) {
-    for (key, days) in gaps {
+    for (slot, days) in gaps.iter() {
+        let key = slot_label(keys, slot);
+        if slot >= keys.len() {
+            out.push(AuditViolation::new(
+                AuditCode::GapUnknownGroup,
+                &key,
+                "gap ledger references a group outside the symbol table".to_string(),
+            ));
+        }
         if days.windows(2).any(|w| w[1] <= w[0]) {
             out.push(AuditViolation::new(
                 AuditCode::GapLedgerNotAscending,
-                key,
+                &key,
                 format!("{days:?}"),
             ));
         }
         let failed_days: BTreeSet<u32> = timelines
-            .get(key)
+            .get(slot)
             .map(|tl| {
-                tl.observations
-                    .iter()
+                tl.iter()
                     .filter(|o| o.status == ObservedStatus::Failed)
                     .map(|o| o.day)
                     .collect()
@@ -217,7 +241,7 @@ fn check_gaps(
             if !failed_days.contains(day) {
                 out.push(AuditViolation::new(
                     AuditCode::GapWithoutFailedObservation,
-                    key,
+                    &key,
                     format!("gap day {day} has no Failed observation"),
                 ));
             }
@@ -228,7 +252,7 @@ fn check_gaps(
 fn check_quarantine(
     ledger: &[QuarantineEntry],
     num_days: u32,
-    discovered: &BTreeSet<String>,
+    slot_of: &dyn Fn(&str) -> Option<usize>,
     out: &mut Vec<AuditViolation>,
 ) {
     for entry in ledger {
@@ -244,7 +268,7 @@ fn check_quarantine(
                 ),
             ));
         }
-        if !entry.group.is_empty() && !discovered.contains(&entry.group) {
+        if !entry.group.is_empty() && slot_of(&entry.group).is_none() {
             out.push(AuditViolation::new(
                 AuditCode::QuarantineUnknownGroup,
                 &entry.group,
@@ -256,19 +280,20 @@ fn check_quarantine(
 
 fn check_joined(
     joined: &[JoinedGroup],
-    discovered: &BTreeSet<String>,
-    timelines: &BTreeMap<String, GroupTimeline>,
+    slot_of: &dyn Fn(&str) -> Option<usize>,
+    timelines: &TimelineStore,
     out: &mut Vec<AuditViolation>,
 ) {
     for jg in joined {
-        if !discovered.contains(&jg.key) {
+        let slot = slot_of(&jg.key);
+        if slot.is_none() {
             out.push(AuditViolation::new(
                 AuditCode::JoinedUnknownGroup,
                 &jg.key,
                 "joined but never discovered".to_string(),
             ));
         }
-        if !jg.messages.is_empty() && !timelines.contains_key(&jg.key) {
+        if !jg.messages.is_empty() && slot.and_then(|s| timelines.get(s)).is_none() {
             out.push(AuditViolation::new(
                 AuditCode::MessagesWithoutTimeline,
                 &jg.key,
@@ -281,19 +306,23 @@ fn check_joined(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::monitor::Observation;
+    use crate::monitor::GroupTimeline;
     use crate::study::{run_study_with, CampaignConfig};
     use chatlens_simnet::fault::CorruptionProfile;
     use chatlens_workload::ScenarioConfig;
 
+    // Built by direct field access: the auditor exists to catch shapes
+    // the public `push` API refuses to construct.
     fn timeline(days: &[(u32, ObservedStatus)]) -> GroupTimeline {
         GroupTimeline {
-            observations: days
-                .iter()
-                .map(|&(day, status)| Observation { day, status })
-                .collect(),
+            days: days.iter().map(|&(d, _)| d).collect(),
+            statuses: days.iter().map(|&(_, s)| s).collect(),
             ..GroupTimeline::default()
         }
+    }
+
+    fn store(slot: u32, tl: GroupTimeline) -> TimelineStore {
+        TimelineStore::from_entries(vec![(slot, tl)])
     }
 
     const ALIVE: ObservedStatus = ObservedStatus::Alive {
@@ -303,55 +332,75 @@ mod tests {
 
     #[test]
     fn monotone_and_terminal_violations_are_detected() {
-        let discovered: BTreeSet<String> = ["g1".to_string()].into();
-        let mut timelines = BTreeMap::new();
-        timelines.insert("g1".to_string(), timeline(&[(3, ALIVE), (3, ALIVE)]));
+        let keys = vec!["g1".to_string()];
         let mut out = Vec::new();
-        check_timelines(&timelines, &discovered, &mut out);
+        check_timelines(
+            &store(0, timeline(&[(3, ALIVE), (3, ALIVE)])),
+            &keys,
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].code, AuditCode::NonMonotoneTimeline);
 
-        timelines.insert(
-            "g1".to_string(),
-            timeline(&[(1, ALIVE), (2, ObservedStatus::Revoked), (3, ALIVE)]),
-        );
         out.clear();
-        check_timelines(&timelines, &discovered, &mut out);
+        check_timelines(
+            &store(
+                0,
+                timeline(&[(1, ALIVE), (2, ObservedStatus::Revoked), (3, ALIVE)]),
+            ),
+            &keys,
+            &mut out,
+        );
         assert_eq!(out[0].code, AuditCode::ObservationAfterRevoked);
         assert_eq!(out[0].group, "g1");
     }
 
     #[test]
     fn membership_must_be_subset_of_population() {
-        let discovered = BTreeSet::new();
-        let mut timelines = BTreeMap::new();
-        timelines.insert("ghost".to_string(), timeline(&[(0, ALIVE)]));
+        // A timeline at a slot the symbol table does not cover.
         let mut out = Vec::new();
-        check_timelines(&timelines, &discovered, &mut out);
+        check_timelines(&store(0, timeline(&[(0, ALIVE)])), &[], &mut out);
         assert_eq!(out[0].code, AuditCode::TimelineUnknownGroup);
+        assert_eq!(out[0].group, "slot 0");
     }
 
     #[test]
     fn gap_days_need_failed_observations() {
-        let mut timelines = BTreeMap::new();
-        timelines.insert(
-            "g".to_string(),
-            timeline(&[(0, ALIVE), (1, ObservedStatus::Failed)]),
-        );
-        let mut gaps = BTreeMap::new();
-        gaps.insert("g".to_string(), vec![1, 2]);
+        let keys = vec!["g".to_string()];
+        let timelines = store(0, timeline(&[(0, ALIVE), (1, ObservedStatus::Failed)]));
+        let mut gaps = GapLedger::new();
+        gaps.push(0, 1);
+        gaps.push(0, 2);
         let mut out = Vec::new();
-        check_gaps(&gaps, &timelines, &mut out);
+        check_gaps(&gaps, &timelines, &keys, &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].code, AuditCode::GapWithoutFailedObservation);
+        assert_eq!(out[0].group, "g");
         assert!(out[0].detail.contains("day 2"));
 
-        gaps.insert("g".to_string(), vec![2, 1]);
+        // An out-of-order ledger, built behind the API's ascending guard.
+        let gaps = GapLedger {
+            slots: vec![vec![2, 1]],
+        };
         out.clear();
-        check_gaps(&gaps, &timelines, &mut out);
+        check_gaps(&gaps, &timelines, &keys, &mut out);
         assert!(out
             .iter()
             .any(|v| v.code == AuditCode::GapLedgerNotAscending));
+    }
+
+    #[test]
+    fn gap_slots_must_resolve_in_the_symbol_table() {
+        // Slot 3 has censored days but the interner only knows one group:
+        // the ledger references a group that was never interned.
+        let keys = vec!["g".to_string()];
+        let mut gaps = GapLedger::new();
+        gaps.push(3, 7);
+        let mut out = Vec::new();
+        check_gaps(&gaps, &TimelineStore::new(), &keys, &mut out);
+        let codes: Vec<AuditCode> = out.iter().map(|v| v.code).collect();
+        assert!(codes.contains(&AuditCode::GapUnknownGroup), "{out:?}");
+        assert!(out.iter().any(|v| v.group == "slot 3"));
     }
 
     #[test]
@@ -366,7 +415,7 @@ mod tests {
             body: String::new(),
         };
         let mut out = Vec::new();
-        check_quarantine(&[entry], 38, &BTreeSet::new(), &mut out);
+        check_quarantine(&[entry], 38, &|_| None, &mut out);
         let codes: Vec<AuditCode> = out.iter().map(|v| v.code).collect();
         assert!(codes.contains(&AuditCode::QuarantineDayOutOfWindow));
         assert!(codes.contains(&AuditCode::QuarantineUnknownGroup));

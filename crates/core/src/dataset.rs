@@ -1,8 +1,9 @@
 //! The assembled campaign output — everything the analyses consume.
 
 use crate::discovery::{CollectedTweet, Discovery, DiscoveryRecord};
+use crate::intern::Interner;
 use crate::joiner::JoinedGroup;
-use crate::monitor::GroupTimeline;
+use crate::monitor::{GapLedger, GroupTimeline, ObservedStatus, TimelineStore};
 use crate::pii::PiiStore;
 use crate::quarantine::QuarantineEntry;
 use chatlens_platforms::id::PlatformKind;
@@ -44,16 +45,19 @@ pub struct Dataset {
     pub control: Vec<Tweet>,
     /// Discovered groups in discovery order.
     pub groups: Vec<DiscoveryRecord>,
-    /// Monitor timelines keyed by dedup key. A `BTreeMap` so any
-    /// future iteration over it is dataset-ordered, never hasher-ordered
-    /// (lint rule D2).
-    pub timelines: BTreeMap<String, GroupTimeline>,
+    /// The group symbol table: dedup keys interned in discovery order,
+    /// so a key's sym index is its slot in `groups` (and in `timelines`
+    /// and `gaps`).
+    pub interner: Interner,
+    /// Monitor timelines, indexed by discovery slot. Iteration is always
+    /// slot- (= discovery-) ordered, never hasher-ordered (lint rule D2).
+    pub timelines: TimelineStore,
     /// The gap ledger: study days on which a group could not be observed
-    /// even after backfill (outages, persistent transport failure), keyed
-    /// by dedup key with days ascending. Lifetime/staleness analyses
-    /// treat these as censored — an unobserved day is never an
+    /// even after backfill (outages, persistent transport failure),
+    /// indexed by discovery slot with days ascending. Lifetime/staleness
+    /// analyses treat these as censored — an unobserved day is never an
     /// observation.
-    pub gaps: BTreeMap<String, Vec<u32>>,
+    pub gaps: GapLedger,
     /// The quarantine ledger: every wire body the collectors rejected,
     /// with typed error and provenance, in component order (discovery →
     /// monitor → joiner). Nothing in it ever reaches the tables above —
@@ -82,8 +86,8 @@ impl Dataset {
     pub(crate) fn assemble(
         window: StudyWindow,
         discovery: Discovery,
-        timelines: BTreeMap<String, GroupTimeline>,
-        gaps: BTreeMap<String, Vec<u32>>,
+        timelines: TimelineStore,
+        gaps: GapLedger,
         monitor_quarantine: Vec<QuarantineEntry>,
         joiner: crate::joiner::Joiner,
         pii: PiiStore,
@@ -98,6 +102,7 @@ impl Dataset {
             tweets: discovery.tweets,
             control: discovery.control,
             groups: discovery.groups,
+            interner: discovery.interner,
             timelines,
             gaps,
             quarantine,
@@ -126,9 +131,20 @@ impl Dataset {
         self.joined.iter().filter(move |j| j.platform == kind)
     }
 
+    /// Slot (= interned sym index) of a group, by dedup key.
+    pub fn slot_of_key(&self, key: &str) -> Option<usize> {
+        self.interner.get(key).map(|s| s.index())
+    }
+
+    /// Monitor timeline of the group at `slot` (its discovery index).
+    pub fn timeline_at(&self, slot: usize) -> Option<&GroupTimeline> {
+        self.timelines.get(slot)
+    }
+
     /// Monitor timeline of a discovered group.
     pub fn timeline_of(&self, rec: &DiscoveryRecord) -> Option<&GroupTimeline> {
-        self.timelines.get(&rec.invite.dedup_key())
+        self.slot_of_key(&rec.invite.dedup_key())
+            .and_then(|slot| self.timelines.get(slot))
     }
 
     /// The Table 2 roll-up for one platform.
@@ -153,8 +169,8 @@ impl Dataset {
                 // the last alive observation (the paper reads totals off
                 // group metadata, not member lists).
                 _ => self
-                    .timelines
-                    .get(&jg.key)
+                    .slot_of_key(&jg.key)
+                    .and_then(|slot| self.timelines.get(slot))
                     .and_then(|t| t.size_span())
                     .map(|(_, last)| u64::from(last))
                     .unwrap_or(0),
@@ -168,6 +184,284 @@ impl Dataset {
             messages,
             platform_users,
         }
+    }
+
+    /// Render the canonical campaign report: a deterministic, versioned
+    /// text rendering of *everything* the campaign collected — totals,
+    /// per-platform roll-ups, and SHA-256 digests over each table's full
+    /// canonical serialization.
+    ///
+    /// This is the byte contract the golden differential suite
+    /// (`tests/golden.rs`) locks: any representation change that alters a
+    /// collected datum, a ledger entry, or an iteration order visible in
+    /// the output changes these bytes. The format is frozen — fixtures
+    /// were recorded before the interned/columnar storage rewrite and the
+    /// optimised pipeline must keep reproducing them exactly.
+    pub fn campaign_report(&self) -> String {
+        use chatlens_simnet::hash::{to_hex, Sha256};
+        use std::fmt::Write as _;
+
+        // Hash a canonical multi-line serialization built by `f`.
+        fn digest(f: impl FnOnce(&mut String)) -> String {
+            let mut buf = String::new();
+            f(&mut buf);
+            let mut h = Sha256::new();
+            h.update(buf.as_bytes());
+            to_hex(&h.finalize())
+        }
+
+        let mut out = String::new();
+        writeln!(out, "chatlens campaign report v1").unwrap();
+        writeln!(out, "window_days: {}", self.window.num_days()).unwrap();
+        let t = self.totals();
+        writeln!(
+            out,
+            "totals: tweets={} users={} group_urls={} joined={} messages={} members={}",
+            t.tweets, t.twitter_users, t.group_urls, t.joined_groups, t.messages, t.platform_users
+        )
+        .unwrap();
+        for kind in PlatformKind::ALL {
+            let s = self.summary(kind);
+            writeln!(
+                out,
+                "platform {}: tweets={} users={} group_urls={} joined={} messages={} members={}",
+                kind.name(),
+                s.tweets,
+                s.twitter_users,
+                s.group_urls,
+                s.joined_groups,
+                s.messages,
+                s.platform_users
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "extraction: urls_seen={} invites={} rejected={}",
+            self.extraction.urls_seen, self.extraction.invites, self.extraction.rejected
+        )
+        .unwrap();
+        writeln!(out, "failed_requests: {}", self.failed_requests).unwrap();
+        writeln!(
+            out,
+            "accounts: wa={} tg={} dc={}",
+            self.accounts_used[0], self.accounts_used[1], self.accounts_used[2]
+        )
+        .unwrap();
+        writeln!(out, "bot_join_rejected: {}", self.bot_join_rejected).unwrap();
+        writeln!(out, "control_tweets: {}", self.control.len()).unwrap();
+
+        // Tweets: wire encoding plus collection provenance, in order.
+        let tweets_sha = digest(|buf| {
+            for ct in &self.tweets {
+                writeln!(
+                    buf,
+                    "{}|seen={}|search={}|stream={}|control={}",
+                    ct.tweet.encode(),
+                    ct.seen_at.as_secs(),
+                    ct.via_search,
+                    ct.via_stream,
+                    ct.tweet.is_control
+                )
+                .unwrap();
+            }
+            for tw in &self.control {
+                writeln!(buf, "ctl {}|control={}", tw.encode(), tw.is_control).unwrap();
+            }
+        });
+        writeln!(out, "tweets_sha256: {tweets_sha}").unwrap();
+
+        // Discovered groups, in discovery order.
+        let groups_sha = digest(|buf| {
+            for rec in &self.groups {
+                writeln!(
+                    buf,
+                    "{}|url={}|at={}|tweet_at={}",
+                    rec.invite.dedup_key(),
+                    rec.invite.url(),
+                    rec.discovered_at.as_secs(),
+                    rec.first_tweet_at.as_secs()
+                )
+                .unwrap();
+            }
+        });
+        writeln!(out, "groups_sha256: {groups_sha}").unwrap();
+
+        // Monitor timelines: every observation and all landing metadata,
+        // walked in discovery order (the canonical group order).
+        let mut obs = 0u64;
+        let mut revoked = 0u64;
+        let mut failed = 0u64;
+        let timelines_sha = digest(|buf| {
+            for (slot, rec) in self.groups.iter().enumerate() {
+                let Some(tl) = self.timelines.get(slot) else {
+                    continue;
+                };
+                write!(buf, "{}", rec.invite.dedup_key()).unwrap();
+                if let Some(v) = &tl.title {
+                    write!(buf, "|title={v}").unwrap();
+                }
+                if let Some(v) = &tl.tg_kind {
+                    write!(buf, "|kind={v}").unwrap();
+                }
+                if let Some(v) = tl.dc_created_day {
+                    write!(buf, "|created={v}").unwrap();
+                }
+                if let Some(v) = tl.dc_creator {
+                    write!(buf, "|creator={v}").unwrap();
+                }
+                if let Some(v) = &tl.wa_creator_cc {
+                    write!(buf, "|cc={v}").unwrap();
+                }
+                if let Some(v) = &tl.wa_creator_hash {
+                    write!(buf, "|creator_hash={v}").unwrap();
+                }
+                buf.push('\n');
+                for o in tl.iter() {
+                    obs += 1;
+                    match o.status {
+                        ObservedStatus::Alive { size, online } => {
+                            writeln!(buf, "  {} alive {size} {online}", o.day).unwrap()
+                        }
+                        ObservedStatus::Revoked => {
+                            revoked += 1;
+                            writeln!(buf, "  {} revoked", o.day).unwrap()
+                        }
+                        ObservedStatus::Failed => {
+                            failed += 1;
+                            writeln!(buf, "  {} failed", o.day).unwrap()
+                        }
+                    }
+                }
+            }
+        });
+        writeln!(
+            out,
+            "timelines: groups={} observations={obs} revoked={revoked} failed={failed}",
+            self.timelines.len()
+        )
+        .unwrap();
+        writeln!(out, "timelines_sha256: {timelines_sha}").unwrap();
+
+        // Gap ledger, walked in discovery order.
+        let mut gap_groups = 0u64;
+        let mut gap_days = 0u64;
+        let gaps_sha = digest(|buf| {
+            for (slot, rec) in self.groups.iter().enumerate() {
+                let Some(days) = self.gaps.get(slot) else {
+                    continue;
+                };
+                let key = rec.invite.dedup_key();
+                gap_groups += 1;
+                gap_days += days.len() as u64;
+                write!(buf, "{key}:").unwrap();
+                for d in days {
+                    write!(buf, " {d}").unwrap();
+                }
+                buf.push('\n');
+            }
+        });
+        writeln!(out, "gaps: groups={gap_groups} days={gap_days}").unwrap();
+        writeln!(out, "gaps_sha256: {gaps_sha}").unwrap();
+
+        // Joined groups: membership and full message logs, in join order.
+        let joined_sha = digest(|buf| {
+            for jg in &self.joined {
+                writeln!(
+                    buf,
+                    "{}|{}|gid={}|at={}|created={:?}|list={}",
+                    jg.key,
+                    jg.platform.name(),
+                    jg.group_id.0,
+                    jg.joined_at.as_secs(),
+                    jg.created_day,
+                    jg.member_list_available
+                )
+                .unwrap();
+                for m in &jg.members {
+                    writeln!(
+                        buf,
+                        "  m {:?} {:?} {:?} {:?}",
+                        m.user_id, m.phone_hash, m.country, m.linked
+                    )
+                    .unwrap();
+                }
+                for msg in &jg.messages {
+                    writeln!(
+                        buf,
+                        "  g {} {} {}",
+                        msg.at.as_secs(),
+                        msg.sender.0,
+                        msg.kind.index()
+                    )
+                    .unwrap();
+                }
+            }
+        });
+        writeln!(out, "joined_sha256: {joined_sha}").unwrap();
+
+        // Quarantine ledger, in ledger (component) order, plus per-code
+        // counts in label order.
+        let mut by_code: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let quarantine_sha = digest(|buf| {
+            for e in &self.quarantine {
+                *by_code.entry(e.code.label()).or_insert(0) += 1;
+                writeln!(
+                    buf,
+                    "{}|{}|{}|day={}|{}|{}|{:?}",
+                    e.service,
+                    e.endpoint,
+                    e.group,
+                    e.day,
+                    e.code.label(),
+                    e.detail,
+                    e.body
+                )
+                .unwrap();
+            }
+        });
+        writeln!(out, "quarantine: entries={}", self.quarantine.len()).unwrap();
+        for (label, n) in &by_code {
+            writeln!(out, "quarantine[{label}]: {n}").unwrap();
+        }
+        writeln!(out, "quarantine_sha256: {quarantine_sha}").unwrap();
+
+        // PII store: unordered sets rendered sorted (canonical form).
+        let pii_sha = digest(|buf| {
+            let mut wa_creators: Vec<&String> = self.pii.wa_creator_hashes.iter().collect();
+            wa_creators.sort(); // lint:allow(D2) sorted before rendering
+            let mut wa_members: Vec<&String> = self.pii.wa_member_hashes.iter().collect();
+            wa_members.sort(); // lint:allow(D2) sorted before rendering
+            let mut tg_users: Vec<&u32> = self.pii.tg_users_observed.iter().collect();
+            tg_users.sort(); // lint:allow(D2) sorted before rendering
+            let mut tg_phones: Vec<&String> = self.pii.tg_phone_hashes.iter().collect();
+            tg_phones.sort(); // lint:allow(D2) sorted before rendering
+            let mut dc_users: Vec<&u32> = self.pii.dc_users_observed.iter().collect();
+            dc_users.sort(); // lint:allow(D2) sorted before rendering
+            let mut dc_linked: Vec<&u32> = self.pii.dc_users_with_link.iter().collect();
+            dc_linked.sort(); // lint:allow(D2) sorted before rendering
+            writeln!(buf, "wa_creators {wa_creators:?}").unwrap();
+            writeln!(buf, "wa_countries {:?}", self.pii.wa_creator_countries).unwrap();
+            writeln!(buf, "wa_members {wa_members:?}").unwrap();
+            writeln!(buf, "tg_users {tg_users:?}").unwrap();
+            writeln!(buf, "tg_phones {tg_phones:?}").unwrap();
+            writeln!(buf, "dc_users {dc_users:?}").unwrap();
+            writeln!(buf, "dc_linked {dc_linked:?}").unwrap();
+            writeln!(buf, "dc_counts {:?}", self.pii.dc_linked_counts).unwrap();
+        });
+        writeln!(out, "pii_sha256: {pii_sha}").unwrap();
+
+        // Deterministic counters (wall-clock timings excluded by name).
+        let counters_sha = digest(|buf| {
+            for (name, v) in self.metrics.counters() {
+                if name.ends_with(".micros") {
+                    continue;
+                }
+                writeln!(buf, "{name}={v}").unwrap();
+            }
+        });
+        writeln!(out, "counters_sha256: {counters_sha}").unwrap();
+        out
     }
 
     /// Totals across platforms plus the distinct-author union (Table 2's

@@ -9,6 +9,7 @@
 //! daily into the control dataset.
 
 use crate::error::CoreError;
+use crate::intern::Interner;
 use crate::net::Net;
 use crate::patterns::{extract_invites, ExtractionStats};
 use crate::quarantine::{day_of, verify_echoes, QuarantineEntry};
@@ -59,7 +60,18 @@ pub struct Discovery {
     pub tweets: Vec<CollectedTweet>,
     /// Control-sample tweets.
     pub control: Vec<Tweet>,
-    group_index: HashMap<String, usize>,
+    /// Ids present in `control` (derived; rebuilt on resume). Backfill
+    /// re-fetches sample windows whose early pages already landed, so
+    /// control ingestion dedups by id — against this persistent set, not
+    /// a per-window rebuild over the whole control corpus.
+    control_ids: HashSet<u64>,
+    /// Group dedup keys interned in discovery order: a group's [`Sym`]
+    /// index equals its slot in `groups`, so every slot-indexed table in
+    /// the pipeline (timelines, terminal set, gap ledger) shares this one
+    /// identity space.
+    ///
+    /// [`Sym`]: crate::intern::Sym
+    pub(crate) interner: Interner,
     /// Discovered groups in discovery order.
     pub groups: Vec<DiscoveryRecord>,
     /// URL extraction totals.
@@ -91,7 +103,8 @@ impl Discovery {
             tweet_index: HashMap::new(),
             tweets: Vec::new(),
             control: Vec::new(),
-            group_index: HashMap::new(),
+            control_ids: HashSet::new(),
+            interner: Interner::new(),
             groups: Vec::new(),
             stats: ExtractionStats::default(),
             last_stream_drain: start,
@@ -113,9 +126,11 @@ impl Discovery {
         )
     }
 
-    /// Rebuild a `Discovery` from checkpointed parts. The two lookup
-    /// indexes (tweet id → slot, group key → slot) are derived data and
-    /// are reconstructed here instead of being serialized.
+    /// Rebuild a `Discovery` from checkpointed parts. The tweet-id index
+    /// is derived data and is reconstructed here; the group symbol table
+    /// is re-interned from the group records in discovery order, which
+    /// reproduces the saved table id-for-id (the snapshot also carries
+    /// the table explicitly and the loader verifies the two agree).
     #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
         start: SimTime,
@@ -136,18 +151,20 @@ impl Discovery {
             .enumerate()
             .map(|(i, t)| (t.tweet.id.0, i))
             .collect();
-        let group_index = groups
-            .iter()
-            .enumerate()
-            .map(|(i, g)| (g.invite.dedup_key(), i))
-            .collect();
+        let control_ids = control.iter().map(|t| t.id.0).collect();
+        let mut interner = Interner::new();
+        for (i, g) in groups.iter().enumerate() {
+            let sym = interner.intern(&g.invite.dedup_key());
+            debug_assert_eq!(sym.index(), i, "group keys must be distinct");
+        }
         Discovery {
             start,
             since_id,
             tweet_index,
             tweets,
             control,
-            group_index,
+            control_ids,
+            interner,
             groups,
             stats,
             last_stream_drain,
@@ -171,7 +188,18 @@ impl Discovery {
 
     /// Look up a discovered group by its dedup key.
     pub fn group_by_key(&self, key: &str) -> Option<&DiscoveryRecord> {
-        self.group_index.get(key).map(|&i| &self.groups[i])
+        self.slot_of_key(key).map(|i| &self.groups[i])
+    }
+
+    /// Slot (= interned sym index) of a discovered group, by dedup key.
+    pub fn slot_of_key(&self, key: &str) -> Option<usize> {
+        self.interner.get(key).map(|s| s.index())
+    }
+
+    /// The group symbol table: dedup keys in discovery order, where a
+    /// key's [`Sym`](crate::intern::Sym) index is its `groups` slot.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
     fn ingest(&mut self, tweet: Tweet, now: SimTime, via_search: bool) {
@@ -184,23 +212,22 @@ impl Discovery {
             return;
         }
         for invite in extract_invites(&tweet, &mut self.stats) {
-            let key = invite.dedup_key();
-            match self.group_index.get(&key) {
-                Some(&gi) => {
-                    let g = &mut self.groups[gi];
-                    if tweet.at < g.first_tweet_at {
-                        g.first_tweet_at = tweet.at;
-                    }
+            let sym = self.interner.intern(&invite.dedup_key());
+            if let Some(g) = self.groups.get_mut(sym.index()) {
+                // Seen before: the interner handed back the group's slot.
+                if tweet.at < g.first_tweet_at {
+                    g.first_tweet_at = tweet.at;
                 }
-                None => {
-                    self.group_index.insert(key, self.groups.len());
-                    self.groups.push(DiscoveryRecord {
-                        platform: invite.platform(),
-                        invite,
-                        discovered_at: now,
-                        first_tweet_at: tweet.at,
-                    });
-                }
+            } else {
+                // First sighting: the interner assigned the next dense id,
+                // which is exactly this record's slot in `groups`.
+                debug_assert_eq!(sym.index(), self.groups.len());
+                self.groups.push(DiscoveryRecord {
+                    platform: invite.platform(),
+                    invite,
+                    discovered_at: now,
+                    first_tweet_at: tweet.at,
+                });
             }
         }
         self.tweet_index.insert(tweet.id.0, self.tweets.len());
@@ -236,11 +263,6 @@ impl Discovery {
     ) -> Result<(Option<u64>, bool), CoreError> {
         let mut page = 0u64;
         let mut max_id: Option<u64> = None;
-        // Backfill re-fetches a window whose early pages may already have
-        // landed, so the control feed dedups by id (`ingest` already does
-        // for the discovery feeds). Built lazily: disjoint first-pass
-        // windows make it a no-op.
-        let mut control_ids: Option<HashSet<u64>> = None;
         loop {
             let req = base.clone().with("page", page.to_string());
             let resp = match net.twitter(eco, now, &req) {
@@ -287,9 +309,9 @@ impl Discovery {
             }
             for mut tweet in decoded.tweets {
                 if into_control {
-                    let ids = control_ids
-                        .get_or_insert_with(|| self.control.iter().map(|t| t.id.0).collect());
-                    if ids.insert(tweet.id.0) {
+                    // Dedup against the persistent id set (`ingest`
+                    // already dedups the discovery feeds).
+                    if self.control_ids.insert(tweet.id.0) {
                         tweet.is_control = true;
                         self.control.push(tweet);
                     }

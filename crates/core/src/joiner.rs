@@ -395,7 +395,7 @@ fn tick(cursor: &mut SimTime) -> SimTime {
     *cursor
 }
 
-fn parse_messages(doc: &WireDoc) -> Result<Vec<Message>, CoreError> {
+fn parse_messages(doc: &chatlens_platforms::wire::WireView<'_>) -> Result<Vec<Message>, CoreError> {
     let mut out = Vec::new();
     for raw in doc.get_all("msg") {
         let Some(m) = parse_message(raw) else {
@@ -499,7 +499,7 @@ fn collect_whatsapp(
     failed: &mut u64,
     quarantine: &mut Vec<QuarantineEntry>,
 ) -> Result<(), CoreError> {
-    let base = |ep: &str| {
+    let base = |ep: &'static str| {
         Request::new(ep)
             .with("account", account.to_string())
             .with("group", jg.group_id.0.to_string())
@@ -576,7 +576,7 @@ fn collect_telegram(
     failed: &mut u64,
     quarantine: &mut Vec<QuarantineEntry>,
 ) -> Result<(), CoreError> {
-    let base = |ep: &str| {
+    let base = |ep: &'static str| {
         Request::new(ep)
             .with("account", account.to_string())
             .with("group", jg.group_id.0.to_string())
@@ -696,7 +696,7 @@ fn collect_discord(
     failed: &mut u64,
     quarantine: &mut Vec<QuarantineEntry>,
 ) -> Result<(), CoreError> {
-    let base = |ep: &str| {
+    let base = |ep: &'static str| {
         Request::new(ep)
             .with("account", account.to_string())
             .with("group", jg.group_id.0.to_string())

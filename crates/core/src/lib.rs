@@ -41,6 +41,7 @@ pub mod audit;
 pub mod dataset;
 pub mod discovery;
 pub mod error;
+pub mod intern;
 pub mod joiner;
 pub mod monitor;
 pub mod net;
@@ -53,6 +54,7 @@ pub mod study;
 pub use audit::{audit_dataset, AuditCode, AuditViolation};
 pub use dataset::Dataset;
 pub use error::CoreError;
+pub use intern::{Interner, Sym};
 pub use state::{CampaignState, SnapshotSummary};
 pub use study::{
     resume_study, resume_study_checkpointed, resume_study_days, run_study, run_study_checkpointed,

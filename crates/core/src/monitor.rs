@@ -5,6 +5,19 @@
 //! page (title, size, creator country + phone — hashed on arrival), the
 //! Telegram web page (title, size, online count, group-vs-channel), or
 //! the Discord invite API (title, size, online, creator, creation date).
+//!
+//! # Data layout
+//!
+//! The monitor is the campaign's hottest loop: every discovered group is
+//! touched every remaining day. Storage is therefore *dense and
+//! slot-indexed*: a group's identity inside the monitor is its discovery
+//! slot (its index in `discovery.groups`, which equals its interned
+//! [`Sym`](crate::intern::Sym)), never its dedup-key string. Timelines,
+//! the terminal set, and the gap ledger are all `Vec`s indexed by slot,
+//! so a steady-state day performs no string hashing, no tree walks, and
+//! no per-group key allocation — the dedup key is only materialized on
+//! the cold quarantine path, where an entry needs human-readable
+//! provenance.
 
 use crate::discovery::{Discovery, DiscoveryRecord};
 use crate::error::CoreError;
@@ -17,7 +30,6 @@ use chatlens_simnet::par::Pool;
 use chatlens_simnet::time::SimTime;
 use chatlens_simnet::transport::{Request, Status};
 use chatlens_workload::Ecosystem;
-use std::collections::BTreeMap;
 
 /// What the monitor saw for one group on one day.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,10 +57,18 @@ pub struct Observation {
 }
 
 /// Everything the monitor learned about one group over the campaign.
+///
+/// Observations are stored *columnar*: a sorted day column and a parallel
+/// status column. Days are strictly increasing by construction (one
+/// observation per study day, appended in day order), so point lookups
+/// are a binary search and day-range slices are two `partition_point`s —
+/// no per-observation struct walk.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroupTimeline {
-    /// Daily observations, in day order (stops after `Revoked`).
-    pub observations: Vec<Observation>,
+    /// Observation days, strictly increasing.
+    pub(crate) days: Vec<u32>,
+    /// Status observed on each day in `days` (parallel column).
+    pub(crate) statuses: Vec<ObservedStatus>,
     /// Title from the first successful fetch.
     pub title: Option<String>,
     /// Telegram: `"group"` or `"channel"`.
@@ -65,40 +85,102 @@ pub struct GroupTimeline {
 }
 
 impl GroupTimeline {
+    /// Append one day's observation. Days must arrive strictly
+    /// increasing (the monitor visits each group once per study day).
+    pub fn push(&mut self, day: u32, status: ObservedStatus) {
+        debug_assert!(
+            self.days.last().is_none_or(|&d| d < day),
+            "observations must be appended in day order"
+        );
+        self.days.push(day);
+        self.statuses.push(status);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Whether no day was ever observed.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// The sorted day column.
+    pub fn days(&self) -> &[u32] {
+        &self.days
+    }
+
+    /// Walk the observations in day order.
+    pub fn iter(&self) -> impl Iterator<Item = Observation> + '_ {
+        self.days
+            .iter()
+            .zip(&self.statuses)
+            .map(|(&day, &status)| Observation { day, status })
+    }
+
     /// First observation, if any.
-    pub fn first(&self) -> Option<&Observation> {
-        self.observations.first()
+    pub fn first(&self) -> Option<Observation> {
+        Some(Observation {
+            day: *self.days.first()?,
+            status: *self.statuses.first()?,
+        })
+    }
+
+    /// Last observation, if any.
+    pub fn last(&self) -> Option<Observation> {
+        Some(Observation {
+            day: *self.days.last()?,
+            status: *self.statuses.last()?,
+        })
+    }
+
+    /// Rewrite the status of the most recent observation (the backfill
+    /// retry replaces a `Failed` day in place; days stay strictly
+    /// increasing because no day is appended).
+    pub(crate) fn set_last_status(&mut self, status: ObservedStatus) {
+        let last = self
+            .statuses
+            .last_mut()
+            .expect("set_last_status on an empty timeline");
+        *last = status;
+    }
+
+    /// Point lookup: what was observed on `day`, if the group was
+    /// observed that day at all. Binary search over the day column.
+    pub fn status_on(&self, day: u32) -> Option<ObservedStatus> {
+        let i = self.days.binary_search(&day).ok()?;
+        Some(self.statuses[i])
+    }
+
+    /// Observations with `day <= last_day`, as a pair of column slices —
+    /// a binary-search cut, not a scan.
+    pub fn through(&self, last_day: u32) -> (&[u32], &[ObservedStatus]) {
+        let end = self.days.partition_point(|&d| d <= last_day);
+        (&self.days[..end], &self.statuses[..end])
     }
 
     /// Whether the group was ever observed revoked.
     pub fn saw_revoked(&self) -> bool {
-        self.observations
-            .iter()
-            .any(|o| o.status == ObservedStatus::Revoked)
+        self.statuses.contains(&ObservedStatus::Revoked)
     }
 
     /// Whether the *first* observation was already a revocation — the
     /// "revoked before our first observation" bucket of Fig 6.
     pub fn dead_on_arrival(&self) -> bool {
-        matches!(
-            self.first(),
-            Some(Observation {
-                status: ObservedStatus::Revoked,
-                ..
-            })
-        )
+        self.statuses.first() == Some(&ObservedStatus::Revoked)
     }
 
     /// `(first, last)` sizes over the alive observations (Fig 7).
     pub fn size_span(&self) -> Option<(u32, u32)> {
         let mut first = None;
         let mut last = None;
-        for o in &self.observations {
-            if let ObservedStatus::Alive { size, .. } = o.status {
+        for s in &self.statuses {
+            if let ObservedStatus::Alive { size, .. } = s {
                 if first.is_none() {
-                    first = Some(size);
+                    first = Some(*size);
                 }
-                last = Some(size);
+                last = Some(*size);
             }
         }
         Some((first?, last?))
@@ -106,18 +188,177 @@ impl GroupTimeline {
 
     /// Day index of the observed revocation, if any.
     pub fn revoked_day(&self) -> Option<u32> {
-        self.observations
+        let i = self
+            .statuses
             .iter()
-            .find(|o| o.status == ObservedStatus::Revoked)
-            .map(|o| o.day)
+            .position(|s| *s == ObservedStatus::Revoked)?;
+        Some(self.days[i])
     }
 
     /// Number of days the group was observed alive.
     pub fn alive_days(&self) -> u32 {
-        self.observations
+        self.statuses
             .iter()
-            .filter(|o| matches!(o.status, ObservedStatus::Alive { .. }))
+            .filter(|s| matches!(s, ObservedStatus::Alive { .. }))
             .count() as u32
+    }
+}
+
+/// Dense timeline storage, indexed by discovery slot (= interned group
+/// sym). A slot is `Some` exactly when the group has at least one
+/// observation, which preserves the semantics of the old
+/// `BTreeMap<String, GroupTimeline>`: "present" means "monitored at
+/// least once". Equality ignores trailing never-observed slots, so a
+/// store that merely reserved more capacity compares equal.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineStore {
+    slots: Vec<Option<GroupTimeline>>,
+}
+
+impl TimelineStore {
+    /// An empty store.
+    pub fn new() -> TimelineStore {
+        TimelineStore::default()
+    }
+
+    /// The timeline at `slot`, if the group was ever observed.
+    pub fn get(&self, slot: usize) -> Option<&GroupTimeline> {
+        self.slots.get(slot).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable timeline at `slot`, if the group was ever observed.
+    pub fn get_mut(&mut self, slot: usize) -> Option<&mut GroupTimeline> {
+        self.slots.get_mut(slot).and_then(|s| s.as_mut())
+    }
+
+    /// The timeline at `slot`, created empty if absent (grows the store).
+    pub fn ensure(&mut self, slot: usize) -> &mut GroupTimeline {
+        if slot >= self.slots.len() {
+            self.slots.resize_with(slot + 1, || None);
+        }
+        self.slots[slot].get_or_insert_with(GroupTimeline::default)
+    }
+
+    /// Number of groups with at least one observation.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no group was ever observed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Walk `(slot, timeline)` in slot (= discovery) order, observed
+    /// groups only.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &GroupTimeline)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|tl| (i, tl)))
+    }
+
+    /// Export `(slot, timeline)` pairs, slot ascending, for a checkpoint.
+    pub fn entries(&self) -> Vec<(u32, GroupTimeline)> {
+        self.iter().map(|(i, tl)| (i as u32, tl.clone())).collect()
+    }
+
+    /// Rebuild from checkpointed `(slot, timeline)` pairs.
+    pub fn from_entries(entries: Vec<(u32, GroupTimeline)>) -> TimelineStore {
+        let mut store = TimelineStore::new();
+        for (slot, tl) in entries {
+            *store.ensure(slot as usize) = tl;
+        }
+        store
+    }
+}
+
+impl PartialEq for TimelineStore {
+    fn eq(&self, other: &TimelineStore) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+/// Dense gap ledger, indexed by discovery slot: for each group, the study
+/// days on which it could not be observed even after the backfill retry
+/// (days ascending). A group "has gaps" exactly when its day list is
+/// non-empty — empty lists are representation padding, invisible to
+/// equality, counting, and iteration.
+#[derive(Debug, Clone, Default)]
+pub struct GapLedger {
+    /// Censored days per slot; empty lists are padding. Crate-visible so
+    /// the auditor's tests can construct the corrupt shapes the public
+    /// API forbids.
+    pub(crate) slots: Vec<Vec<u32>>,
+}
+
+impl GapLedger {
+    /// An empty ledger.
+    pub fn new() -> GapLedger {
+        GapLedger::default()
+    }
+
+    /// The censored days of the group at `slot`, if it has any.
+    pub fn get(&self, slot: usize) -> Option<&[u32]> {
+        match self.slots.get(slot) {
+            Some(days) if !days.is_empty() => Some(days),
+            _ => None,
+        }
+    }
+
+    /// Append a censored day for `slot` (grows the ledger).
+    pub fn push(&mut self, slot: usize, day: u32) {
+        if slot >= self.slots.len() {
+            self.slots.resize_with(slot + 1, Vec::new);
+        }
+        debug_assert!(self.slots[slot].last().is_none_or(|&d| d < day));
+        self.slots[slot].push(day);
+    }
+
+    /// Number of groups with at least one censored day.
+    pub fn group_count(&self) -> usize {
+        self.slots.iter().filter(|d| !d.is_empty()).count()
+    }
+
+    /// Total censored group-days.
+    pub fn total_days(&self) -> u64 {
+        self.slots.iter().map(|d| d.len() as u64).sum()
+    }
+
+    /// Whether the ledger records no censored day at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|d| d.is_empty())
+    }
+
+    /// Walk `(slot, days)` in slot order, gapped groups only.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[u32])> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(i, d)| (i, d.as_slice()))
+    }
+
+    /// Export `(slot, days)` pairs, slot ascending, for a checkpoint.
+    pub fn entries(&self) -> Vec<(u32, Vec<u32>)> {
+        self.iter().map(|(i, d)| (i as u32, d.to_vec())).collect()
+    }
+
+    /// Rebuild from checkpointed `(slot, days)` pairs.
+    pub fn from_entries(entries: Vec<(u32, Vec<u32>)>) -> GapLedger {
+        let mut ledger = GapLedger::new();
+        for (slot, days) in entries {
+            for day in days {
+                ledger.push(slot as usize, day);
+            }
+        }
+        ledger
+    }
+}
+
+impl PartialEq for GapLedger {
+    fn eq(&self, other: &GapLedger) -> bool {
+        self.iter().eq(other.iter())
     }
 }
 
@@ -129,25 +370,34 @@ enum Fetch {
     Failed,
     /// The URL is revoked/expired (410).
     Gone,
-    /// Landing page served: the raw body, and which wire document kind it
-    /// must decode as.
-    Body(String, &'static str),
+    /// Landing page served: the probe request (kept for the echo check
+    /// and a possible re-fetch, so it is built once per group-day), the
+    /// raw body, and which wire document kind it must decode as.
+    Body(Request, String, &'static str),
+}
+
+/// Reusable per-day scratch: the fetch-outcome buffer backing the three
+/// phases of [`Monitor::run_day`]. Cleared and refilled each day, so the
+/// steady state re-uses one allocation per campaign instead of one per
+/// day.
+#[derive(Default)]
+struct DayScratch {
+    fetched: Vec<(usize, Fetch)>,
 }
 
 /// The monitoring component.
 #[derive(Default)]
 pub struct Monitor {
-    /// Timelines keyed by the group's dedup key (`BTreeMap` so every
-    /// traversal is discovery-key-ordered — lint rule D2).
-    pub timelines: BTreeMap<String, GroupTimeline>,
-    /// Keys that reached a terminal state (revoked) — no longer polled.
-    terminal: std::collections::HashSet<String>,
+    /// Per-group timelines, indexed by discovery slot.
+    pub timelines: TimelineStore,
+    /// Per-slot terminal flags (observed revoked — no longer polled).
+    terminal: Vec<bool>,
     /// The gap ledger: study days on which a group could not be observed
-    /// even after the same-day backfill retry (keyed by dedup key, days
-    /// ascending). Lifetime analyses treat these days as *censored* —
+    /// even after the same-day backfill retry, indexed by discovery slot,
+    /// days ascending. Lifetime analyses treat these days as *censored* —
     /// "we could not look" is recorded as exactly that, never as an
     /// observation.
-    pub gaps: BTreeMap<String, Vec<u32>>,
+    pub gaps: GapLedger,
     /// Rejected landing-page bodies with provenance (see
     /// [`crate::quarantine`]). A quarantined fetch is handled like a
     /// transport failure: one immediate re-fetch, then the day-end
@@ -155,6 +405,8 @@ pub struct Monitor {
     pub quarantine: Vec<QuarantineEntry>,
     /// Pool used to decode landing pages in parallel.
     pool: Pool,
+    /// Per-day scratch buffers (see [`DayScratch`]).
+    scratch: DayScratch,
 }
 
 impl Monitor {
@@ -172,36 +424,56 @@ impl Monitor {
         }
     }
 
-    /// Export the terminal (no-longer-polled) keys in sorted order for a
+    /// Export the terminal (no-longer-polled) slots, ascending, for a
     /// checkpoint.
-    pub fn terminal_keys(&self) -> Vec<String> {
-        let sorted: std::collections::BTreeSet<String> = self.terminal.iter().cloned().collect();
-        sorted.into_iter().collect()
+    pub fn terminal_slots(&self) -> Vec<u32> {
+        self.terminal
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Whether the group at `slot` reached a terminal state.
+    pub fn is_terminal(&self, slot: usize) -> bool {
+        self.terminal.get(slot).copied().unwrap_or(false)
+    }
+
+    fn mark_terminal(&mut self, slot: usize) {
+        if slot >= self.terminal.len() {
+            self.terminal.resize(slot + 1, false);
+        }
+        self.terminal[slot] = true;
     }
 
     /// Rebuild a monitor from checkpointed parts: the timelines, the
-    /// terminal keys (as exported by [`Monitor::terminal_keys`]), and the
-    /// parse pool to resume with.
+    /// terminal slots (as exported by [`Monitor::terminal_slots`]), and
+    /// the parse pool to resume with.
     pub fn from_parts(
-        timelines: BTreeMap<String, GroupTimeline>,
-        terminal: Vec<String>,
-        gaps: BTreeMap<String, Vec<u32>>,
+        timelines: TimelineStore,
+        terminal: Vec<u32>,
+        gaps: GapLedger,
         quarantine: Vec<QuarantineEntry>,
         pool: Pool,
     ) -> Monitor {
-        Monitor {
+        let mut monitor = Monitor {
             timelines,
-            // lint:allow(D2) `terminal` is the sorted Vec parameter here, not the set field
-            terminal: terminal.into_iter().collect(),
+            terminal: Vec::new(),
             gaps,
             quarantine,
             pool,
+            scratch: DayScratch::default(),
+        };
+        for slot in terminal {
+            monitor.mark_terminal(slot as usize);
         }
+        monitor
     }
 
     /// Total censored group-days in the gap ledger.
     pub fn gap_days(&self) -> u64 {
-        self.gaps.values().map(|v| v.len() as u64).sum()
+        self.gaps.total_days()
     }
 
     /// Run one daily round over every discovered, not-yet-revoked group.
@@ -226,21 +498,22 @@ impl Monitor {
         day: u32,
         mut pii: Option<&mut PiiStore>,
     ) -> Result<(), CoreError> {
-        // Phase 1 — serial fetch. Iterate over a snapshot of keys:
+        // Phase 1 — serial fetch. Iterate over a snapshot of slots:
         // discovery keeps growing, but today's round covers what is known
-        // right now. Group keys are unique within `discovery.groups`, so
+        // right now. Slots are unique within `discovery.groups`, so
         // deferring the terminal-set update to the apply phase cannot
         // change which groups get fetched today.
-        let mut fetched: Vec<(usize, Fetch)> = Vec::new();
+        let mut fetched = std::mem::take(&mut self.scratch.fetched);
+        fetched.clear();
         for (i, rec) in discovery.groups.iter().enumerate() {
-            if self.terminal.contains(&rec.invite.dedup_key()) {
+            if self.is_terminal(i) {
                 continue;
             }
             let (doc_kind, req) = probe(rec);
             let outcome = match net.platform(eco, rec.platform, now, &req) {
                 Err(_) => Fetch::Failed,
                 Ok(resp) => match resp.status {
-                    Status::Ok => Fetch::Body(resp.body, doc_kind),
+                    Status::Ok => Fetch::Body(req, resp.body, doc_kind),
                     Status::Gone => Fetch::Gone,
                     _ => Fetch::Failed,
                 },
@@ -256,88 +529,80 @@ impl Monitor {
         // mutates nothing.
         let parsed: Vec<Option<Result<Landing, CoreError>>> =
             self.pool.par_map(&fetched, |(i, outcome)| match outcome {
-                Fetch::Body(body, doc_kind) => {
+                Fetch::Body(req, body, doc_kind) => {
                     let rec = &discovery.groups[*i];
-                    let (_, req) = probe(rec);
-                    Some(decode_landing(body, doc_kind, rec.platform, &req))
+                    Some(decode_landing(body, doc_kind, rec.platform, req))
                 }
                 Fetch::Failed | Fetch::Gone => None,
             });
 
         // The outcome of the bounded same-day re-fetch of a quarantined
         // body (phase 3 below).
-        enum Refetch {
-            Alive(Landing),
+        enum Refetch<'b> {
+            Alive(Landing<'b>),
             Revoked,
             Failed,
         }
 
         // Phase 3 — serial apply, in the same discovery order as phase 1.
+        // The group's slot is its identity: no key is materialized except
+        // on the cold quarantine path below.
         for ((i, outcome), decoded) in fetched.iter().zip(parsed) {
-            let rec = &discovery.groups[*i];
-            let key = rec.invite.dedup_key();
+            let i = *i;
             match outcome {
                 Fetch::Failed => {
-                    self.timelines
-                        .entry(key)
-                        .or_default()
-                        .observations
-                        .push(Observation {
-                            day,
-                            status: ObservedStatus::Failed,
-                        });
+                    self.timelines.ensure(i).push(day, ObservedStatus::Failed);
                 }
                 Fetch::Gone => {
-                    self.timelines
-                        .entry(key.clone())
-                        .or_default()
-                        .observations
-                        .push(Observation {
-                            day,
-                            status: ObservedStatus::Revoked,
-                        });
-                    self.terminal.insert(key);
+                    self.timelines.ensure(i).push(day, ObservedStatus::Revoked);
+                    self.mark_terminal(i);
                 }
-                Fetch::Body(body, doc_kind) => {
+                Fetch::Body(req, body, doc_kind) => {
+                    let rec = &discovery.groups[i];
                     match decoded.expect("body outcomes were decoded in phase 2") {
                         Ok(landing) => {
-                            let timeline = self.timelines.entry(key).or_default();
+                            let timeline = self.timelines.ensure(i);
                             let status = apply_landing(timeline, rec.platform, &landing, &mut pii);
-                            timeline.observations.push(Observation { day, status });
+                            timeline.push(day, status);
                         }
                         Err(err) => {
                             // Hostile body: quarantine it with provenance,
                             // then re-fetch once immediately — corruption
                             // is usually transient damage, not a dead URL.
-                            let (_, req) = probe(rec);
+                            let key = rec.invite.dedup_key();
                             self.quarantine.push(QuarantineEntry::new(
                                 service_name(rec.platform),
-                                &req,
+                                req,
                                 &key,
                                 day,
                                 &err,
                                 body,
                             ));
-                            let retried = match net.platform(eco, rec.platform, now, &req) {
+                            // The re-fetched body lives in this outer slot
+                            // so a `Refetch::Alive` landing (which borrows
+                            // it) survives to the apply below.
+                            let retry_body;
+                            let retried = match net.platform(eco, rec.platform, now, req) {
                                 Err(_) => Refetch::Failed,
                                 Ok(resp) => match resp.status {
                                     Status::Gone => Refetch::Revoked,
                                     Status::Ok => {
+                                        retry_body = resp.body;
                                         match decode_landing(
-                                            &resp.body,
+                                            &retry_body,
                                             doc_kind,
                                             rec.platform,
-                                            &req,
+                                            req,
                                         ) {
                                             Ok(l) => Refetch::Alive(l),
                                             Err(err2) => {
                                                 self.quarantine.push(QuarantineEntry::new(
                                                     service_name(rec.platform),
-                                                    &req,
+                                                    req,
                                                     &key,
                                                     day,
                                                     &err2,
-                                                    &resp.body,
+                                                    &retry_body,
                                                 ));
                                                 Refetch::Failed
                                             }
@@ -346,19 +611,16 @@ impl Monitor {
                                     _ => Refetch::Failed,
                                 },
                             };
-                            let timeline = self.timelines.entry(key.clone()).or_default();
                             match retried {
                                 Refetch::Alive(landing) => {
+                                    let timeline = self.timelines.ensure(i);
                                     let status =
                                         apply_landing(timeline, rec.platform, &landing, &mut pii);
-                                    timeline.observations.push(Observation { day, status });
+                                    timeline.push(day, status);
                                 }
                                 Refetch::Revoked => {
-                                    timeline.observations.push(Observation {
-                                        day,
-                                        status: ObservedStatus::Revoked,
-                                    });
-                                    self.terminal.insert(key);
+                                    self.timelines.ensure(i).push(day, ObservedStatus::Revoked);
+                                    self.mark_terminal(i);
                                 }
                                 // Both fetches damaged or lost: record a
                                 // Failed day; the day-end backfill retries
@@ -366,10 +628,7 @@ impl Monitor {
                                 // the day in the gap ledger — censored,
                                 // never fabricated.
                                 Refetch::Failed => {
-                                    timeline.observations.push(Observation {
-                                        day,
-                                        status: ObservedStatus::Failed,
-                                    });
+                                    self.timelines.ensure(i).push(day, ObservedStatus::Failed);
                                 }
                             }
                         }
@@ -377,6 +636,8 @@ impl Monitor {
                 }
             }
         }
+        self.scratch.fetched = fetched;
+        self.scratch.fetched.clear();
         Ok(())
     }
 
@@ -396,14 +657,12 @@ impl Monitor {
     ) -> Result<(), CoreError> {
         // Discovery order, like `run_day`, so the transport call sequence
         // is a deterministic function of the campaign state.
-        for rec in discovery.groups.iter() {
-            let key = rec.invite.dedup_key();
-            if self.terminal.contains(&key) {
+        for (i, rec) in discovery.groups.iter().enumerate() {
+            if self.is_terminal(i) {
                 continue;
             }
-            let needs_retry = self.timelines.get(&key).is_some_and(|tl| {
-                tl.observations
-                    .last()
+            let needs_retry = self.timelines.get(i).is_some_and(|tl| {
+                tl.last()
                     .is_some_and(|o| o.day == day && o.status == ObservedStatus::Failed)
             });
             if !needs_retry {
@@ -413,34 +672,28 @@ impl Monitor {
             let outcome = match net.platform(eco, rec.platform, now, &req) {
                 Err(_) => Fetch::Failed,
                 Ok(resp) => match resp.status {
-                    Status::Ok => Fetch::Body(resp.body, doc_kind),
+                    Status::Ok => Fetch::Body(req, resp.body, doc_kind),
                     Status::Gone => Fetch::Gone,
                     _ => Fetch::Failed,
                 },
             };
             match outcome {
                 Fetch::Failed => {
-                    self.gaps.entry(key).or_default().push(day);
+                    self.gaps.push(i, day);
                 }
                 Fetch::Gone => {
-                    let timeline = self.timelines.get_mut(&key).expect("checked above");
-                    timeline
-                        .observations
-                        .last_mut()
-                        .expect("needs_retry saw an observation")
-                        .status = ObservedStatus::Revoked;
-                    self.terminal.insert(key);
+                    self.timelines
+                        .get_mut(i)
+                        .expect("checked above")
+                        .set_last_status(ObservedStatus::Revoked);
+                    self.mark_terminal(i);
                 }
-                Fetch::Body(body, doc_kind) => {
+                Fetch::Body(req, body, doc_kind) => {
                     match decode_landing(&body, doc_kind, rec.platform, &req) {
                         Ok(landing) => {
-                            let timeline = self.timelines.get_mut(&key).expect("checked above");
+                            let timeline = self.timelines.get_mut(i).expect("checked above");
                             let status = apply_landing(timeline, rec.platform, &landing, &mut pii);
-                            timeline
-                                .observations
-                                .last_mut()
-                                .expect("needs_retry saw an observation")
-                                .status = status;
+                            timeline.set_last_status(status);
                         }
                         Err(err) => {
                             // The backfill fetch came back hostile too:
@@ -450,12 +703,12 @@ impl Monitor {
                             self.quarantine.push(QuarantineEntry::new(
                                 service_name(rec.platform),
                                 &req,
-                                &key,
+                                &rec.invite.dedup_key(),
                                 day,
                                 &err,
                                 &body,
                             ));
-                            self.gaps.entry(key).or_default().push(day);
+                            self.gaps.push(i, day);
                         }
                     }
                 }
@@ -464,16 +717,18 @@ impl Monitor {
         Ok(())
     }
 
-    /// Borrow a group's timeline by dedup key.
-    pub fn timeline(&self, key: &str) -> Option<&GroupTimeline> {
-        self.timelines.get(key)
+    /// Borrow the timeline of the group at `slot` (its discovery index /
+    /// interned sym).
+    pub fn timeline_at(&self, slot: usize) -> Option<&GroupTimeline> {
+        self.timelines.get(slot)
     }
 }
 
 /// Monitor probe for one group: endpoint, expected wire-document kind,
 /// and the request (invite code included — the landing page echoes it, so
 /// a spliced body is detectable). Shared by the daily round, the
-/// same-day re-fetch, and the backfill retry.
+/// same-day re-fetch, and the backfill retry; built **once** per
+/// group-day and threaded through all three uses.
 fn probe(rec: &DiscoveryRecord) -> (&'static str, Request) {
     let (endpoint, doc_kind) = match rec.platform {
         PlatformKind::WhatsApp => ("whatsapp/landing", "wa-landing"),
@@ -488,15 +743,18 @@ fn probe(rec: &DiscoveryRecord) -> (&'static str, Request) {
 /// write to a timeline, extracted *before* any mutation so a body that
 /// fails validation halfway through cannot leave a partial write (e.g. a
 /// title from a document whose size field was garbage).
-struct Landing {
+/// String fields borrow the fetched body (alive for the whole round), so
+/// the steady-state daily probe of an already-known group allocates
+/// nothing for them; timelines copy only on first observation.
+struct Landing<'a> {
     size: u32,
     online: u32,
-    title: Option<String>,
-    tg_kind: Option<String>,
+    title: Option<&'a str>,
+    tg_kind: Option<&'a str>,
     dc_created_day: Option<i64>,
     dc_creator: Option<u32>,
-    wa_creator_cc: Option<String>,
-    wa_creator_phone: Option<String>,
+    wa_creator_cc: Option<&'a str>,
+    wa_creator_phone: Option<&'a str>,
 }
 
 /// Decode one landing-page body. Pure: envelope and kind check, identity
@@ -504,12 +762,12 @@ struct Landing {
 /// mismatch means a cross-document splice), then per-platform field
 /// extraction. Errors carry the exact [`WireError`]/protocol cause for
 /// the quarantine ledger.
-fn decode_landing(
-    body: &str,
+fn decode_landing<'a>(
+    body: &'a str,
     doc_kind: &str,
     platform: PlatformKind,
     req: &Request,
-) -> Result<Landing, CoreError> {
+) -> Result<Landing<'a>, CoreError> {
     let doc = WireDoc::parse_as(
         body,
         match platform {
@@ -522,7 +780,7 @@ fn decode_landing(
     verify_echoes(&doc, req)?;
     let size = doc.req_u64("size")? as u32;
     let online = doc.opt_u64("online")?.unwrap_or(0) as u32;
-    let title = doc.get("title").map(str::to_string);
+    let title = doc.get_in_body("title");
     let mut landing = Landing {
         size,
         online,
@@ -535,11 +793,11 @@ fn decode_landing(
     };
     match platform {
         PlatformKind::WhatsApp => {
-            landing.wa_creator_cc = Some(doc.req("creator_cc")?.to_string());
-            landing.wa_creator_phone = Some(doc.req("creator_phone")?.to_string());
+            landing.wa_creator_cc = Some(doc.req_in_body("creator_cc")?);
+            landing.wa_creator_phone = Some(doc.req_in_body("creator_phone")?);
         }
         PlatformKind::Telegram => {
-            landing.tg_kind = doc.get("kind").map(str::to_string);
+            landing.tg_kind = doc.get_in_body("kind");
         }
         PlatformKind::Discord => {
             landing.dc_created_day = Some(doc.req_i64("created_day")?);
@@ -557,34 +815,31 @@ fn decode_landing(
 fn apply_landing(
     timeline: &mut GroupTimeline,
     platform: PlatformKind,
-    landing: &Landing,
+    landing: &Landing<'_>,
     pii: &mut Option<&mut PiiStore>,
 ) -> ObservedStatus {
     if timeline.title.is_none() {
-        timeline.title = landing.title.clone();
+        timeline.title = landing.title.map(str::to_string);
     }
     match platform {
         PlatformKind::WhatsApp => {
             if timeline.wa_creator_cc.is_none() {
-                timeline.wa_creator_cc = landing.wa_creator_cc.clone();
+                timeline.wa_creator_cc = landing.wa_creator_cc.map(str::to_string);
             }
             if timeline.wa_creator_hash.is_none() {
-                timeline.wa_creator_hash = landing
-                    .wa_creator_phone
-                    .as_deref()
-                    .map(crate::pii::hash_phone);
+                timeline.wa_creator_hash = landing.wa_creator_phone.map(crate::pii::hash_phone);
             }
             if let (Some(pii), Some(phone), Some(cc)) = (
                 pii.as_deref_mut(),
-                landing.wa_creator_phone.as_deref(),
-                landing.wa_creator_cc.as_deref(),
+                landing.wa_creator_phone,
+                landing.wa_creator_cc,
             ) {
                 pii.record_wa_creator(phone, cc);
             }
         }
         PlatformKind::Telegram => {
             if timeline.tg_kind.is_none() {
-                timeline.tg_kind = landing.tg_kind.clone();
+                timeline.tg_kind = landing.tg_kind.map(str::to_string);
             }
         }
         PlatformKind::Discord => {
@@ -632,14 +887,14 @@ mod tests {
         assert_eq!(monitor.timelines.len(), n_groups);
         // Groups observed alive on day 0 have three observations; revoked
         // ones stop early.
-        for tl in monitor.timelines.values() {
-            assert!(!tl.observations.is_empty());
-            assert!(tl.observations.len() <= 3);
-            if tl.observations.len() < 3 {
+        for (_, tl) in monitor.timelines.iter() {
+            assert!(!tl.is_empty());
+            assert!(tl.len() <= 3);
+            if tl.len() < 3 {
                 assert!(tl.saw_revoked() || tl.first().is_none());
             }
             // Days are strictly increasing.
-            assert!(tl.observations.windows(2).all(|w| w[0].day < w[1].day));
+            assert!(tl.days().windows(2).all(|w| w[0] < w[1]));
         }
     }
 
@@ -656,10 +911,10 @@ mod tests {
                 .run_day(&mut net, &mut eco, &disco, t, day, None)
                 .unwrap();
         }
-        for tl in monitor.timelines.values() {
+        for (_, tl) in monitor.timelines.iter() {
             if let Some(rd) = tl.revoked_day() {
                 assert_eq!(
-                    tl.observations.last().unwrap().day,
+                    tl.last().unwrap().day,
                     rd,
                     "no observations after revocation"
                 );
@@ -683,8 +938,11 @@ mod tests {
             )
             .unwrap();
         let mut dc_alive = 0;
-        for rec in disco.groups_of(PlatformKind::Discord) {
-            let tl = monitor.timeline(&rec.invite.dedup_key()).unwrap();
+        for (slot, rec) in disco.groups.iter().enumerate() {
+            if rec.platform != PlatformKind::Discord {
+                continue;
+            }
+            let tl = monitor.timeline_at(slot).unwrap();
             if matches!(
                 tl.first().map(|o| o.status),
                 Some(ObservedStatus::Alive { .. })
@@ -714,10 +972,13 @@ mod tests {
             )
             .unwrap();
         let wa_alive = disco
-            .groups_of(PlatformKind::WhatsApp)
-            .filter(|r| {
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.platform == PlatformKind::WhatsApp)
+            .filter(|(slot, _)| {
                 monitor
-                    .timeline(&r.invite.dedup_key())
+                    .timeline_at(*slot)
                     .is_some_and(|t| !t.dead_on_arrival())
             })
             .count();
@@ -757,24 +1018,21 @@ mod tests {
     #[test]
     fn size_span_tracks_growth() {
         let mut tl = GroupTimeline::default();
-        tl.observations.push(Observation {
-            day: 0,
-            status: ObservedStatus::Alive {
+        tl.push(
+            0,
+            ObservedStatus::Alive {
                 size: 10,
                 online: 0,
             },
-        });
-        tl.observations.push(Observation {
-            day: 1,
-            status: ObservedStatus::Failed,
-        });
-        tl.observations.push(Observation {
-            day: 2,
-            status: ObservedStatus::Alive {
+        );
+        tl.push(1, ObservedStatus::Failed);
+        tl.push(
+            2,
+            ObservedStatus::Alive {
                 size: 25,
                 online: 3,
             },
-        });
+        );
         assert_eq!(tl.size_span(), Some((10, 25)));
         assert_eq!(tl.alive_days(), 2);
         assert!(!tl.dead_on_arrival());
@@ -788,5 +1046,66 @@ mod tests {
         assert_eq!(tl.size_span(), None);
         assert_eq!(tl.revoked_day(), None);
         assert!(!tl.dead_on_arrival());
+    }
+
+    #[test]
+    fn columnar_lookups_binary_search_the_day_column() {
+        let mut tl = GroupTimeline::default();
+        for day in [2u32, 5, 9, 11] {
+            tl.push(
+                day,
+                ObservedStatus::Alive {
+                    size: day * 10,
+                    online: 0,
+                },
+            );
+        }
+        assert_eq!(
+            tl.status_on(5),
+            Some(ObservedStatus::Alive {
+                size: 50,
+                online: 0
+            })
+        );
+        assert_eq!(tl.status_on(6), None);
+        let (days, statuses) = tl.through(9);
+        assert_eq!(days, &[2, 5, 9]);
+        assert_eq!(statuses.len(), 3);
+        let all: Vec<Observation> = tl.iter().collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3].day, 11);
+    }
+
+    #[test]
+    fn dense_stores_ignore_padding_in_equality() {
+        // `from_entries` with a sparse slot leaves earlier slots as
+        // never-observed padding; a store that reached the same state
+        // through `ensure` growth compares equal and round-trips.
+        let mut tl = GroupTimeline::default();
+        tl.push(0, ObservedStatus::Failed);
+        let sparse = TimelineStore::from_entries(vec![(5, tl.clone())]);
+        let mut grown = TimelineStore::new();
+        *grown.ensure(5) = tl;
+        assert_eq!(sparse, grown);
+        assert_eq!(sparse.len(), 1);
+        assert!(sparse.get(0).is_none());
+        assert_eq!(
+            TimelineStore::from_entries(sparse.entries()),
+            sparse,
+            "entries round-trip"
+        );
+
+        let mut g = GapLedger::new();
+        let mut h = GapLedger::new();
+        g.push(3, 7);
+        h.push(3, 7);
+        h.push(9, 1);
+        assert_ne!(g, h);
+        let h2 = GapLedger::from_entries(g.entries());
+        assert_eq!(g, h2);
+        assert_eq!(g.group_count(), 1);
+        assert_eq!(g.total_days(), 1);
+        assert_eq!(g.get(3), Some(&[7u32][..]));
+        assert_eq!(g.get(4), None);
     }
 }

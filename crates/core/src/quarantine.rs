@@ -15,7 +15,7 @@
 //! quarantine records *why* data is missing, the loss ledgers record
 //! *that* it is missing.
 //!
-//! The ledger persists through checkpoints (snapshot format v3) and is
+//! The ledger persists through checkpoints (since snapshot format v3) and is
 //! merged into [`Dataset::quarantine`](crate::dataset::Dataset) in
 //! component order (discovery → monitor → joiner), so a resumed campaign
 //! reproduces it bit-identically.
@@ -136,10 +136,10 @@ impl QuarantineEntry {
     }
 }
 
-/// Render a request as `endpoint?k=v&k=v` (params are a `BTreeMap`, so
+/// Render a request as `endpoint?k=v&k=v` (params are sorted by key, so
 /// the rendering is canonical).
 fn render_request(req: &Request) -> String {
-    let mut out = req.endpoint.clone();
+    let mut out = req.endpoint.clone().into_owned();
     for (i, (k, v)) in req.params.iter().enumerate() {
         out.push(if i == 0 { '?' } else { '&' });
         out.push_str(k);
@@ -194,7 +194,7 @@ pub fn day_within(window: &chatlens_simnet::time::StudyWindow, now: SimTime) -> 
 /// well-formed it is. Parameters the document does not echo (credentials
 /// like `account`, cursors like `since_id`) are not checked.
 pub fn verify_echoes(
-    doc: &chatlens_platforms::wire::WireDoc,
+    doc: &chatlens_platforms::wire::WireView<'_>,
     req: &Request,
 ) -> Result<(), CoreError> {
     for (key, want) in &req.params {
@@ -258,8 +258,8 @@ mod tests {
 
     #[test]
     fn unechoed_params_are_not_checked() {
-        let doc = WireDoc::new("tg-history").field("group", 7u64);
-        let parsed = WireDoc::parse_as(&doc.render(), "tg-history").unwrap();
+        let body = WireDoc::new("tg-history").field("group", 7u64).render();
+        let parsed = WireDoc::parse_as(&body, "tg-history").unwrap();
         let req = Request::new("telegram/api/history")
             .with("group", "7")
             .with("account", "3"); // credentials are never echoed

@@ -10,8 +10,8 @@
 //! |-----------|--------|---------|
 //! | engine    | clock, event count, pending events | — |
 //! | transport | 4 × bucket fill / RNG position / trace | client configs |
-//! | discovery | tweets, groups, cursors, stats | tweet/group indexes |
-//! | monitor   | timelines, terminal keys | parse pool |
+//! | discovery | tweets, groups, symbol table, cursors, stats | tweet index, key→sym map |
+//! | monitor   | timelines, terminal slots, gap ledger | parse pool |
 //! | joiner    | joined groups, account counters | — |
 //! | pii       | hashes and counts (sorted) | `HashSet` form |
 //! | ecosystem | [`EcosystemDelta`] | the whole world |
@@ -22,7 +22,7 @@
 
 use crate::discovery::{CollectedTweet, Discovery, DiscoveryRecord};
 use crate::joiner::{JoinStrategy, JoinedGroup, Joiner, MemberRecord};
-use crate::monitor::{GroupTimeline, Monitor, Observation, ObservedStatus};
+use crate::monitor::{GapLedger, GroupTimeline, Monitor, ObservedStatus, TimelineStore};
 use crate::patterns::ExtractionStats;
 use crate::pii::PiiStore;
 use crate::quarantine::{QuarantineCode, QuarantineEntry};
@@ -125,21 +125,76 @@ pub struct DiscoveryState {
     pub pending_sample: Vec<(SimTime, SimTime)>,
     /// Rejected feed bodies with provenance.
     pub quarantine: Vec<QuarantineEntry>,
+    /// The group-key symbol table in interning order. Symbol `i` is the
+    /// dedup key of `groups[i]` — the snapshot carries it explicitly so a
+    /// loader can verify the dense-id invariant instead of assuming it.
+    pub symbols: Vec<String>,
 }
 
-persist_struct!(DiscoveryState {
-    since_id,
-    tweets,
-    control,
-    groups,
-    stats,
-    last_stream_drain,
-    last_sample_drain,
-    failed_requests,
-    pending_stream,
-    pending_sample,
-    quarantine
-});
+// A custom impl rather than `persist_struct!`: group slots double as
+// interned symbol ids everywhere downstream (timelines, gap ledger), so
+// a snapshot whose symbol table disagrees with its group list would
+// silently attach observations to the wrong groups. Validate the
+// correspondence at load, before any component is rebuilt on top of it.
+impl Persist for DiscoveryState {
+    fn save(&self, w: &mut Writer) {
+        self.since_id.save(w);
+        self.tweets.save(w);
+        self.control.save(w);
+        self.groups.save(w);
+        self.stats.save(w);
+        self.last_stream_drain.save(w);
+        self.last_sample_drain.save(w);
+        self.failed_requests.save(w);
+        self.pending_stream.save(w);
+        self.pending_sample.save(w);
+        self.quarantine.save(w);
+        self.symbols.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let since_id = <[Option<u64>; 6]>::load(r)?;
+        let tweets = Vec::<CollectedTweet>::load(r)?;
+        let control = Vec::<Tweet>::load(r)?;
+        let groups = Vec::<DiscoveryRecord>::load(r)?;
+        let stats = ExtractionStats::load(r)?;
+        let last_stream_drain = SimTime::load(r)?;
+        let last_sample_drain = SimTime::load(r)?;
+        let failed_requests = u64::load(r)?;
+        let pending_stream = Vec::<(SimTime, SimTime)>::load(r)?;
+        let pending_sample = Vec::<(SimTime, SimTime)>::load(r)?;
+        let quarantine = Vec::<QuarantineEntry>::load(r)?;
+        let symbols = Vec::<String>::load(r)?;
+        if symbols.len() != groups.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "symbol table has {} entries for {} groups",
+                symbols.len(),
+                groups.len()
+            )));
+        }
+        for (i, (sym, g)) in symbols.iter().zip(&groups).enumerate() {
+            if *sym != g.invite.dedup_key() {
+                return Err(CheckpointError::Malformed(format!(
+                    "symbol {i} is {sym:?} but group {i} has key {:?}",
+                    g.invite.dedup_key()
+                )));
+            }
+        }
+        Ok(DiscoveryState {
+            since_id,
+            tweets,
+            control,
+            groups,
+            stats,
+            last_stream_drain,
+            last_sample_drain,
+            failed_requests,
+            pending_stream,
+            pending_sample,
+            quarantine,
+            symbols,
+        })
+    }
+}
 
 impl DiscoveryState {
     /// Capture a discovery component.
@@ -157,6 +212,7 @@ impl DiscoveryState {
             pending_stream: d.pending_stream.clone(),
             pending_sample: d.pending_sample.clone(),
             quarantine: d.quarantine.clone(),
+            symbols: d.interner().symbols().to_vec(),
         }
     }
 
@@ -182,14 +238,21 @@ impl DiscoveryState {
 }
 
 /// The monitor's per-group timelines and terminal set.
+///
+/// Keys are *group slots* (discovery-order indexes, equal to the interned
+/// symbol ids carried by [`DiscoveryState::symbols`]), not dedup-key
+/// strings. Only populated slots are written, in ascending slot order, so
+/// padding `None` slots never affect the encoding.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MonitorState {
-    /// Timelines keyed by group dedup key.
-    pub timelines: BTreeMap<String, GroupTimeline>,
-    /// Keys no longer polled (observed revoked), sorted.
-    pub terminal: Vec<String>,
-    /// The censored-day gap ledger, keyed by dedup key.
-    pub gaps: BTreeMap<String, Vec<u32>>,
+    /// `(slot, timeline)` pairs for groups with at least one observation,
+    /// ascending by slot.
+    pub timelines: Vec<(u32, GroupTimeline)>,
+    /// Slots no longer polled (observed revoked), ascending.
+    pub terminal: Vec<u32>,
+    /// `(slot, censored days)` pairs for groups with at least one gap,
+    /// ascending by slot.
+    pub gaps: Vec<(u32, Vec<u32>)>,
     /// Rejected landing/invite bodies with provenance.
     pub quarantine: Vec<QuarantineEntry>,
 }
@@ -205,9 +268,9 @@ impl MonitorState {
     /// Capture a monitor.
     pub fn capture(m: &Monitor) -> MonitorState {
         MonitorState {
-            timelines: m.timelines.clone(),
-            terminal: m.terminal_keys(),
-            gaps: m.gaps.clone(),
+            timelines: m.timelines.entries(),
+            terminal: m.terminal_slots(),
+            gaps: m.gaps.entries(),
             quarantine: m.quarantine.clone(),
         }
     }
@@ -216,9 +279,9 @@ impl MonitorState {
     /// choice, not state — any value yields the same observations).
     pub fn restore(&self, pool: Pool) -> Monitor {
         Monitor::from_parts(
-            self.timelines.clone(),
+            TimelineStore::from_entries(self.timelines.clone()),
             self.terminal.clone(),
-            self.gaps.clone(),
+            GapLedger::from_entries(self.gaps.clone()),
             self.quarantine.clone(),
             pool,
         )
@@ -472,16 +535,48 @@ persist_struct!(QuarantineEntry {
     body
 });
 
-persist_struct!(Observation { day, status });
-persist_struct!(GroupTimeline {
-    observations,
-    title,
-    tg_kind,
-    dc_created_day,
-    dc_creator,
-    wa_creator_cc,
-    wa_creator_hash
-});
+// A custom impl rather than `persist_struct!`: the timeline's day and
+// status columns are parallel arrays with a strictly-increasing day
+// invariant that every binary-search lookup relies on. A snapshot that
+// breaks either property must fail at load, not at first query.
+impl Persist for GroupTimeline {
+    fn save(&self, w: &mut Writer) {
+        self.days.save(w);
+        self.statuses.save(w);
+        self.title.save(w);
+        self.tg_kind.save(w);
+        self.dc_created_day.save(w);
+        self.dc_creator.save(w);
+        self.wa_creator_cc.save(w);
+        self.wa_creator_hash.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let days = Vec::<u32>::load(r)?;
+        let statuses = Vec::<ObservedStatus>::load(r)?;
+        if days.len() != statuses.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "timeline has {} days but {} statuses",
+                days.len(),
+                statuses.len()
+            )));
+        }
+        if days.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CheckpointError::Malformed(
+                "timeline day column not strictly increasing".into(),
+            ));
+        }
+        Ok(GroupTimeline {
+            days,
+            statuses,
+            title: Option::<String>::load(r)?,
+            tg_kind: Option::<String>::load(r)?,
+            dc_created_day: Option::<i64>::load(r)?,
+            dc_creator: Option::<u32>::load(r)?,
+            wa_creator_cc: Option::<String>::load(r)?,
+            wa_creator_hash: Option::<String>::load(r)?,
+        })
+    }
+}
 persist_struct!(DiscoveryRecord {
     invite,
     platform,
@@ -728,5 +823,129 @@ mod tests {
         assert_eq!(back.seed, config.seed);
         assert_eq!(back.threads, config.threads);
         assert_eq!(back.faults, config.faults);
+    }
+
+    #[test]
+    fn monitor_state_round_trips_sparse_slots() {
+        let mut tl = GroupTimeline::default();
+        tl.push(
+            3,
+            ObservedStatus::Alive {
+                size: 10,
+                online: 2,
+            },
+        );
+        tl.push(5, ObservedStatus::Revoked);
+        let state = MonitorState {
+            timelines: vec![(4, tl)],
+            terminal: vec![4],
+            gaps: vec![(4, vec![1, 2])],
+            quarantine: Vec::new(),
+        };
+        let back: MonitorState = decode_snapshot(&encode_snapshot(&state)).unwrap();
+        assert_eq!(back, state);
+        // restore → capture drops nothing and re-sorts nothing: slots 0-3
+        // are padding in the store, absent from the re-captured entries.
+        let restored = state.restore(Pool::new(1));
+        assert_eq!(MonitorState::capture(&restored), state);
+    }
+
+    #[test]
+    fn timeline_snapshots_reject_broken_columns() {
+        // Day and status columns of different lengths.
+        let mut w = chatlens_checkpoint::Writer::new();
+        vec![1u32, 2].save(&mut w);
+        vec![ObservedStatus::Revoked].save(&mut w);
+        for _ in 0..6 {
+            Option::<String>::None.save(&mut w);
+        }
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            GroupTimeline::load(&mut chatlens_checkpoint::Reader::new(&bytes)),
+            Err(CheckpointError::Malformed(_))
+        ));
+        // A day column that is not strictly increasing.
+        let mut w = chatlens_checkpoint::Writer::new();
+        vec![2u32, 2].save(&mut w);
+        vec![ObservedStatus::Revoked, ObservedStatus::Revoked].save(&mut w);
+        for _ in 0..6 {
+            Option::<String>::None.save(&mut w);
+        }
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            GroupTimeline::load(&mut chatlens_checkpoint::Reader::new(&bytes)),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn discovery_snapshots_reject_symbol_drift() {
+        let invite =
+            chatlens_platforms::invite::parse_invite_url("https://discord.com/invite/abc123XY")
+                .unwrap();
+        let rec = DiscoveryRecord {
+            platform: invite.platform(),
+            invite,
+            discovered_at: SimTime(0),
+            first_tweet_at: SimTime(0),
+        };
+        let good_key = rec.invite.dedup_key();
+        let mut state = DiscoveryState {
+            since_id: [None; 6],
+            tweets: Vec::new(),
+            control: Vec::new(),
+            groups: vec![rec],
+            stats: ExtractionStats::default(),
+            last_stream_drain: SimTime(0),
+            last_sample_drain: SimTime(0),
+            failed_requests: 0,
+            pending_stream: Vec::new(),
+            pending_sample: Vec::new(),
+            quarantine: Vec::new(),
+            symbols: vec![good_key.clone()],
+        };
+        let back: DiscoveryState = decode_snapshot(&encode_snapshot(&state)).unwrap();
+        assert_eq!(back, state);
+        // A symbol that disagrees with its group's dedup key.
+        state.symbols = vec!["0:WRONG".to_string()];
+        assert!(matches!(
+            decode_snapshot::<DiscoveryState>(&encode_snapshot(&state)),
+            Err(CheckpointError::Malformed(_))
+        ));
+        // A symbol table of the wrong length.
+        state.symbols = vec![good_key, "1:EXTRA".to_string()];
+        assert!(matches!(
+            decode_snapshot::<DiscoveryState>(&encode_snapshot(&state)),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    mod properties {
+        use crate::intern::Interner;
+        use chatlens_checkpoint::{decode_snapshot, encode_snapshot};
+        use proptest::{collection::vec, prop_assert_eq, proptest};
+
+        proptest! {
+            /// The interner survives the real snapshot codec: persist the
+            /// symbol column, decode it, rebuild with `from_symbols`, and
+            /// every id/string mapping is intact.
+            #[test]
+            fn interner_round_trips_through_snapshot_codec(
+                words in vec("[a-z0-9:]{1,12}", 0..48),
+            ) {
+                let mut t = Interner::new();
+                for w in &words {
+                    t.intern(w);
+                }
+                let bytes = encode_snapshot(&t.symbols().to_vec());
+                let back: Vec<String> = decode_snapshot(&bytes).unwrap();
+                prop_assert_eq!(back.as_slice(), t.symbols());
+                let rebuilt = Interner::from_symbols(back);
+                prop_assert_eq!(&rebuilt, &t);
+                for w in &words {
+                    prop_assert_eq!(rebuilt.get(w), t.get(w));
+                }
+            }
+        }
     }
 }

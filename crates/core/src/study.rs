@@ -686,20 +686,22 @@ fn handle_event(
             metrics.time_stage("join", || {
                 for kind in PlatformKind::ALL {
                     let budget = eco.config.join_budget_scaled(kind);
+                    let disco: &Discovery = discovery;
                     let timelines = &monitor.timelines;
                     joiner
                         .join_phase_with(
                             net,
                             eco,
-                            discovery,
+                            disco,
                             kind,
                             budget,
                             now,
                             rng,
                             campaign.join_strategy,
                             &|key| {
-                                timelines
-                                    .get(key)
+                                disco
+                                    .slot_of_key(key)
+                                    .and_then(|slot| timelines.get(slot))
                                     .and_then(|t| t.size_span())
                                     .map(|(_, last)| last)
                             },

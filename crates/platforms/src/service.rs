@@ -171,10 +171,10 @@ impl Platform {
         Response::ok(
             WireDoc::new("wa-landing")
                 .field("code", req.param("code").unwrap_or_default())
-                .field("title", sanitize(&group.title))
+                .field_string("title", sanitize(&group.title))
                 .field("size", group.size_at(now))
                 .field("creator_cc", phone.iso())
-                .field("creator_phone", phone.e164())
+                .field_string("creator_phone", phone.e164())
                 .render(),
         )
     }
@@ -221,7 +221,7 @@ impl Platform {
             .field("created_day", group.created_at.date().day_number());
         for &m in &history.members {
             let phone = self.user(m).phone.expect("WhatsApp member has phone");
-            doc = doc.field("member", phone.e164());
+            doc = doc.field_string("member", phone.e164());
         }
         Response::ok(doc.render())
     }
@@ -245,7 +245,7 @@ impl Platform {
         // WhatsApp only reveals messages sent *after* the join date (§3.3).
         let mut doc = WireDoc::new("wa-messages").field("group", gid.0);
         for m in history.messages.iter().filter(|m| m.at >= joined_at) {
-            doc = doc.field("msg", encode_message(m));
+            doc = doc.field_string("msg", encode_message(m));
         }
         Response::ok(doc.render())
     }
@@ -262,7 +262,7 @@ impl Platform {
         Response::ok(
             WireDoc::new("tg-web")
                 .field("code", req.param("code").unwrap_or_default())
-                .field("title", sanitize(&group.title))
+                .field_string("title", sanitize(&group.title))
                 .field("size", group.size_at(now))
                 .field("online", group.online_at(now))
                 .field("kind", group.chat_kind.label())
@@ -316,7 +316,7 @@ impl Platform {
             .field("group", gid.0)
             .field("created_day", group.created_at.date().day_number());
         for m in &history.messages {
-            doc = doc.field("msg", encode_message(m));
+            doc = doc.field_string("msg", encode_message(m));
         }
         Response::ok(doc.render())
     }
@@ -369,7 +369,7 @@ impl Platform {
         // The profile carries a phone number only for the 0.68% who opted
         // in to showing it (§6).
         if let Some(phone) = user.exposed_phone() {
-            doc = doc.field("phone", phone.e164());
+            doc = doc.field_string("phone", phone.e164());
         }
         Response::ok(doc.render())
     }
@@ -386,7 +386,7 @@ impl Platform {
         Response::ok(
             WireDoc::new("dc-invite")
                 .field("code", req.param("code").unwrap_or_default())
-                .field("title", sanitize(&group.title))
+                .field_string("title", sanitize(&group.title))
                 .field("size", group.size_at(now))
                 .field("online", group.online_at(now))
                 .field("creator", group.creator.0)
@@ -435,7 +435,7 @@ impl Platform {
             .field("group", gid.0)
             .field("created_day", group.created_at.date().day_number());
         for m in &history.messages {
-            doc = doc.field("msg", encode_message(m));
+            doc = doc.field_string("msg", encode_message(m));
         }
         Response::ok(doc.render())
     }
@@ -568,7 +568,7 @@ mod tests {
         (p, gid, code)
     }
 
-    fn req(ep: &str) -> Request {
+    fn req(ep: &'static str) -> Request {
         Request::new(ep)
     }
 

@@ -34,7 +34,9 @@
 //!   key that appears more than once ([`WireError::DuplicateField`]);
 //!   list-valued keys go through [`WireDoc::get_all`] instead.
 
+use std::borrow::Cow;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// Maximum number of lines [`WireDoc::parse`] accepts before rejecting the
 /// body as hostile. The largest legitimate documents are full message
@@ -109,74 +111,116 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Generates the field accessors shared by [`WireDoc`] (owned fields) and
+/// [`WireView`] (fields borrowed from the body buffer). Both types expose
+/// the exact same read API, so decode code is agnostic to which one it
+/// holds.
+macro_rules! wire_accessors {
+    () => {
+        /// First value for `key`, if present.
+        pub fn get(&self, key: &str) -> Option<&str> {
+            self.fields_iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+        }
+
+        /// All values for `key`, in order.
+        pub fn get_all<'k>(&'k self, key: &'k str) -> impl Iterator<Item = &'k str> + 'k {
+            self.fields_iter()
+                .filter(move |(k, _)| *k == key)
+                .map(|(_, v)| v)
+        }
+
+        /// The single value for `key`, rejecting duplicates. `Ok(None)`
+        /// when absent.
+        fn unique(&self, key: &'static str) -> Result<Option<&str>, WireError> {
+            let mut it = self.get_all(key);
+            let first = it.next();
+            if first.is_some() && it.next().is_some() {
+                return Err(WireError::DuplicateField(key));
+            }
+            Ok(first)
+        }
+
+        /// Required string field. A field that must appear exactly once
+        /// appearing twice is an error — a duplicated line is corruption,
+        /// not a list.
+        pub fn req(&self, key: &'static str) -> Result<&str, WireError> {
+            self.unique(key)?.ok_or(WireError::MissingField(key))
+        }
+
+        /// Required `u64` field.
+        pub fn req_u64(&self, key: &'static str) -> Result<u64, WireError> {
+            let v = self.req(key)?;
+            v.parse()
+                .map_err(|_| WireError::BadNumber(key, v.to_string()))
+        }
+
+        /// Required `i64` field.
+        pub fn req_i64(&self, key: &'static str) -> Result<i64, WireError> {
+            let v = self.req(key)?;
+            v.parse()
+                .map_err(|_| WireError::BadNumber(key, v.to_string()))
+        }
+
+        /// Optional `u64` field (error if present-and-malformed or
+        /// duplicated).
+        pub fn opt_u64(&self, key: &'static str) -> Result<Option<u64>, WireError> {
+            match self.unique(key)? {
+                None => Ok(None),
+                Some(v) => v
+                    .parse()
+                    .map(Some)
+                    .map_err(|_| WireError::BadNumber(key, v.to_string())),
+            }
+        }
+
+        /// Number of fields.
+        pub fn len(&self) -> usize {
+            self.fields.len()
+        }
+
+        /// Whether the document has no fields.
+        pub fn is_empty(&self) -> bool {
+            self.fields.is_empty()
+        }
+    };
+}
+
 /// A parsed (or under-construction) wire document.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireDoc {
-    /// Document type (the first line).
-    pub kind: String,
-    fields: Vec<(String, String)>,
+    /// Document type (the first line). Borrowed for the static kind
+    /// literals every service uses; owned only when copied out of a
+    /// parsed body ([`WireView::to_doc`]).
+    pub kind: Cow<'static, str>,
+    fields: Vec<(Cow<'static, str>, String)>,
 }
 
-impl WireDoc {
-    /// Start building a document of type `kind`.
-    pub fn new(kind: impl Into<String>) -> WireDoc {
-        WireDoc {
-            kind: kind.into(),
-            fields: Vec::new(),
-        }
-    }
+/// A zero-copy parsed wire document: the kind line and every key/value
+/// slice borrow straight from the body buffer, so parsing performs one
+/// allocation (the field vector) instead of two per line.
+///
+/// Produced by [`WireDoc::parse`] / [`WireDoc::parse_as`]. Anything that
+/// must outlive the body — a quarantine excerpt, a retained document —
+/// copies explicitly ([`WireView::to_doc`], or the `&str` accessors
+/// feeding owned stores as before).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireView<'a> {
+    /// Document type (the first line), borrowed from the body.
+    pub kind: &'a str,
+    fields: Vec<(&'a str, &'a str)>,
+}
 
-    /// Append a field (keys may repeat).
-    ///
-    /// # Panics
-    /// Panics if the value contains a newline — the caller must sanitize
-    /// free-form text (group titles) first via [`sanitize`] — or if the
-    /// key is the reserved field-count header `n`.
-    pub fn field(mut self, key: impl Into<String>, value: impl fmt::Display) -> WireDoc {
-        let key = key.into();
-        let value = value.to_string();
-        assert!(
-            !value.contains('\n') && !key.contains('\n'),
-            "wire fields must be single-line"
-        );
-        assert!(
-            key != "n",
-            "field key \"n\" is reserved for the count header"
-        );
-        self.fields.push((key, value));
-        self
-    }
-
-    /// Render to the textual body. The field count is emitted as a leading
-    /// `n: <count>` header so parsers can detect dropped/duplicated lines;
-    /// [`WireDoc::parse`] strips it back out.
-    pub fn render(&self) -> String {
-        let mut out = String::with_capacity(40 + self.fields.len() * 24);
-        out.push_str(&self.kind);
-        out.push_str("\nn: ");
-        out.push_str(&self.fields.len().to_string());
-        for (k, v) in &self.fields {
-            out.push('\n');
-            out.push_str(k);
-            out.push_str(": ");
-            out.push_str(v);
-        }
-        out
-    }
-
-    /// Parse a body back into a document.
-    ///
-    /// Applies the allocation guards, and — when the first field line is a
-    /// `n: <count>` header — verifies the declared field count and strips
-    /// the header. Bodies without the header (handcrafted error notices)
-    /// parse leniently.
-    pub fn parse(body: &str) -> Result<WireDoc, WireError> {
+impl<'a> WireView<'a> {
+    /// Parse a body without copying any of it. Semantics are identical to
+    /// the historical owning parser: same guards, same `n` count-header
+    /// verification and stripping, same errors.
+    pub fn parse(body: &'a str) -> Result<WireView<'a>, WireError> {
         let mut lines = body.lines();
         let kind = lines
             .next()
             .filter(|l| !l.is_empty())
             .ok_or(WireError::Empty)?;
-        let mut fields: Vec<(String, String)> = Vec::new();
+        let mut fields: Vec<(&str, &str)> = Vec::new();
         let mut seen = 0usize;
         for line in lines {
             if line.is_empty() {
@@ -198,13 +242,13 @@ impl WireDoc {
                     limit: MAX_VALUE_LEN,
                 });
             }
-            fields.push((k.to_string(), v.to_string()));
+            fields.push((k, v));
         }
-        if fields.first().is_some_and(|(k, _)| k == "n") {
+        if fields.first().is_some_and(|&(k, _)| k == "n") {
             let (_, declared) = fields.remove(0);
             let declared: usize = declared
                 .parse()
-                .map_err(|_| WireError::BadNumber("n", declared.clone()))?;
+                .map_err(|_| WireError::BadNumber("n", declared.to_string()))?;
             if fields.len() != declared {
                 return Err(WireError::CountMismatch {
                     declared,
@@ -212,92 +256,162 @@ impl WireDoc {
                 });
             }
         }
-        Ok(WireDoc {
-            kind: kind.to_string(),
-            fields,
-        })
+        Ok(WireView { kind, fields })
     }
 
     /// Parse and verify the document type in one step.
-    pub fn parse_as(body: &str, expected: &'static str) -> Result<WireDoc, WireError> {
-        let doc = WireDoc::parse(body)?;
+    pub fn parse_as(body: &'a str, expected: &'static str) -> Result<WireView<'a>, WireError> {
+        let doc = WireView::parse(body)?;
         if doc.kind != expected {
             return Err(WireError::WrongType {
                 expected,
-                found: doc.kind,
+                found: doc.kind.to_string(),
             });
         }
         Ok(doc)
     }
 
-    /// First value for `key`, if present.
-    pub fn get(&self, key: &str) -> Option<&str> {
-        self.fields
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+    /// Copy into an owning [`WireDoc`] (for retention past the body's
+    /// lifetime).
+    pub fn to_doc(&self) -> WireDoc {
+        WireDoc {
+            kind: Cow::Owned(self.kind.to_string()),
+            fields: self
+                .fields
+                .iter()
+                .map(|&(k, v)| (Cow::Owned(k.to_string()), v.to_string()))
+                .collect(),
+        }
     }
 
-    /// All values for `key`, in order.
-    pub fn get_all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
-        self.fields
-            .iter()
-            .filter(move |(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+    /// [`WireView::get`], but the returned slice borrows the *body*, not
+    /// the view — callers can retain it after the view is dropped (e.g. a
+    /// decoded record built from a body that outlives the parse).
+    pub fn get_in_body(&self, key: &str) -> Option<&'a str> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
     }
 
-    /// The single value for `key`, rejecting duplicates. `Ok(None)` when
-    /// absent.
-    fn unique(&self, key: &'static str) -> Result<Option<&str>, WireError> {
-        let mut it = self.get_all(key);
+    /// [`WireView::req`] with the body lifetime: required, rejects
+    /// duplicates, and the slice outlives the view.
+    pub fn req_in_body(&self, key: &'static str) -> Result<&'a str, WireError> {
+        let mut it = self.fields.iter().filter(|(k, _)| *k == key);
         let first = it.next();
         if first.is_some() && it.next().is_some() {
             return Err(WireError::DuplicateField(key));
         }
-        Ok(first)
+        first.map(|&(_, v)| v).ok_or(WireError::MissingField(key))
     }
 
-    /// Required string field. A field that must appear exactly once
-    /// appearing twice is an error — a duplicated line is corruption, not
-    /// a list.
-    pub fn req(&self, key: &'static str) -> Result<&str, WireError> {
-        self.unique(key)?.ok_or(WireError::MissingField(key))
+    fn fields_iter(&self) -> impl Iterator<Item = (&'a str, &'a str)> + '_ {
+        self.fields.iter().copied()
     }
 
-    /// Required `u64` field.
-    pub fn req_u64(&self, key: &'static str) -> Result<u64, WireError> {
-        let v = self.req(key)?;
-        v.parse()
-            .map_err(|_| WireError::BadNumber(key, v.to_string()))
-    }
+    wire_accessors!();
+}
 
-    /// Required `i64` field.
-    pub fn req_i64(&self, key: &'static str) -> Result<i64, WireError> {
-        let v = self.req(key)?;
-        v.parse()
-            .map_err(|_| WireError::BadNumber(key, v.to_string()))
+impl PartialEq<WireDoc> for WireView<'_> {
+    fn eq(&self, other: &WireDoc) -> bool {
+        self.kind == other.kind
+            && self.fields.len() == other.fields.len()
+            && self
+                .fields_iter()
+                .zip(other.fields_iter())
+                .all(|(a, b)| a == b)
     }
+}
 
-    /// Optional `u64` field (error if present-and-malformed or duplicated).
-    pub fn opt_u64(&self, key: &'static str) -> Result<Option<u64>, WireError> {
-        match self.unique(key)? {
-            None => Ok(None),
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|_| WireError::BadNumber(key, v.to_string())),
+impl PartialEq<WireView<'_>> for WireDoc {
+    fn eq(&self, other: &WireView<'_>) -> bool {
+        other == self
+    }
+}
+
+impl WireDoc {
+    /// Start building a document of type `kind`.
+    pub fn new(kind: impl Into<Cow<'static, str>>) -> WireDoc {
+        WireDoc {
+            kind: kind.into(),
+            fields: Vec::new(),
         }
     }
 
-    /// Number of fields.
-    pub fn len(&self) -> usize {
-        self.fields.len()
+    /// Append a field (keys may repeat).
+    ///
+    /// # Panics
+    /// Panics if the value contains a newline — the caller must sanitize
+    /// free-form text (group titles) first via [`sanitize`] — or if the
+    /// key is the reserved field-count header `n`.
+    pub fn field(self, key: impl Into<Cow<'static, str>>, value: impl fmt::Display) -> WireDoc {
+        self.field_string(key, value.to_string())
     }
 
-    /// Whether the document has no fields.
-    pub fn is_empty(&self) -> bool {
-        self.fields.is_empty()
+    /// [`WireDoc::field`] for a value that is already an owned `String`:
+    /// moves it into the document instead of taking the extra copy the
+    /// `Display` path would (the feeds attach millions of pre-encoded
+    /// tweet/message payloads per campaign).
+    ///
+    /// # Panics
+    /// Same contract as [`WireDoc::field`].
+    pub fn field_string(mut self, key: impl Into<Cow<'static, str>>, value: String) -> WireDoc {
+        let key = key.into();
+        assert!(
+            !value.contains('\n') && !key.contains('\n'),
+            "wire fields must be single-line"
+        );
+        assert!(
+            key != "n",
+            "field key \"n\" is reserved for the count header"
+        );
+        self.fields.push((key, value));
+        self
     }
+
+    /// Render to the textual body. The field count is emitted as a leading
+    /// `n: <count>` header so parsers can detect dropped/duplicated lines;
+    /// [`WireDoc::parse`] strips it back out.
+    pub fn render(&self) -> String {
+        // Exact size up front (plus the count header's few digits): large
+        // pages carry hundreds of encoded payload lines, and growth
+        // re-copies would double the memory traffic of rendering.
+        let body: usize = self.fields.iter().map(|(k, v)| k.len() + v.len() + 3).sum();
+        let mut out = String::with_capacity(self.kind.len() + 8 + body);
+        out.push_str(&self.kind);
+        let _ = write!(out, "\nn: {}", self.fields.len());
+        for (k, v) in &self.fields {
+            out.push('\n');
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(v);
+        }
+        out
+    }
+
+    /// Parse a body into a zero-copy [`WireView`] borrowing from it.
+    ///
+    /// Applies the allocation guards, and — when the first field line is a
+    /// `n: <count>` header — verifies the declared field count and strips
+    /// the header. Bodies without the header (handcrafted error notices)
+    /// parse leniently.
+    pub fn parse(body: &str) -> Result<WireView<'_>, WireError> {
+        WireView::parse(body)
+    }
+
+    /// Parse and verify the document type in one step.
+    pub fn parse_as<'a>(body: &'a str, expected: &'static str) -> Result<WireView<'a>, WireError> {
+        WireView::parse_as(body, expected)
+    }
+
+    /// Parse into an owning document (copies every field; reach for
+    /// [`WireDoc::parse`] on any hot path).
+    pub fn parse_owned(body: &str) -> Result<WireDoc, WireError> {
+        WireDoc::parse(body).map(|v| v.to_doc())
+    }
+
+    fn fields_iter(&self) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.fields.iter().map(|(k, v)| (k.as_ref(), v.as_str()))
+    }
+
+    wire_accessors!();
 }
 
 /// Replace newlines in free-form text (group titles come from user input)
@@ -315,7 +429,8 @@ mod tests {
         let doc = WireDoc::new("landing")
             .field("title", "Crypto Signals")
             .field("size", 42u32);
-        let parsed = WireDoc::parse(&doc.render()).unwrap();
+        let body = doc.render();
+        let parsed = WireDoc::parse(&body).unwrap();
         assert_eq!(parsed.kind, "landing");
         assert_eq!(parsed.get("title"), Some("Crypto Signals"));
         assert_eq!(parsed.req_u64("size").unwrap(), 42);
@@ -327,7 +442,8 @@ mod tests {
             .field("member", "+551100")
             .field("member", "+551101")
             .field("member", "+551102");
-        let parsed = WireDoc::parse(&doc.render()).unwrap();
+        let body = doc.render();
+        let parsed = WireDoc::parse(&body).unwrap();
         let all: Vec<_> = parsed.get_all("member").collect();
         assert_eq!(all, vec!["+551100", "+551101", "+551102"]);
         assert_eq!(parsed.len(), 3);
@@ -445,7 +561,8 @@ mod tests {
     #[test]
     fn values_may_contain_colons_and_unicode() {
         let doc = WireDoc::new("t").field("title", "Grupo: Vagas 🚀 SP: zona sul");
-        let parsed = WireDoc::parse(&doc.render()).unwrap();
+        let body = doc.render();
+        let parsed = WireDoc::parse(&body).unwrap();
         assert_eq!(parsed.get("title"), Some("Grupo: Vagas 🚀 SP: zona sul"));
     }
 
@@ -472,7 +589,8 @@ mod tests {
     #[test]
     fn negative_numbers() {
         let doc = WireDoc::new("t").field("delta", -42i64);
-        let parsed = WireDoc::parse(&doc.render()).unwrap();
+        let body = doc.render();
+        let parsed = WireDoc::parse(&body).unwrap();
         assert_eq!(parsed.req_i64("delta").unwrap(), -42);
     }
 }

@@ -95,22 +95,25 @@ impl Pool {
 
     /// Maps `f` over `items` in parallel; equivalent to
     /// `items.iter().map(f).collect()` bit-for-bit, at any thread count.
-    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    ///
+    /// The item lifetime `'i` is explicit so results may borrow from the
+    /// input slice (the workers run under a scope that `items` outlives).
+    pub fn par_map<'i, T, U, F>(&self, items: &'i [T], f: F) -> Vec<U>
     where
         T: Sync,
         U: Send,
-        F: Fn(&T) -> U + Sync,
+        F: Fn(&'i T) -> U + Sync,
     {
         self.par_map_chunked(default_chunk_size(items.len()), items, f)
     }
 
     /// [`Pool::par_map`] with an explicit chunk size (must be nonzero).
     /// Chunk `c` covers items `[c*chunk_size, (c+1)*chunk_size)`.
-    pub fn par_map_chunked<T, U, F>(&self, chunk_size: usize, items: &[T], f: F) -> Vec<U>
+    pub fn par_map_chunked<'i, T, U, F>(&self, chunk_size: usize, items: &'i [T], f: F) -> Vec<U>
     where
         T: Sync,
         U: Send,
-        F: Fn(&T) -> U + Sync,
+        F: Fn(&'i T) -> U + Sync,
     {
         assert!(chunk_size > 0, "chunk_size must be nonzero");
         let n_chunks = items.len().div_ceil(chunk_size);

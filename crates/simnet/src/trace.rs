@@ -8,6 +8,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use crate::transport::Status;
+use std::borrow::Cow;
 use std::collections::{BTreeMap, VecDeque};
 
 /// One recorded transport attempt. `status: None` means the attempt was
@@ -16,8 +17,10 @@ use std::collections::{BTreeMap, VecDeque};
 pub struct TraceEntry {
     /// Virtual time of the attempt.
     pub at: SimTime,
-    /// Endpoint the request targeted.
-    pub endpoint: String,
+    /// Endpoint the request targeted. Borrowed for the `'static` endpoint
+    /// literals the collectors use (recording an attempt must not
+    /// allocate); owned when restored from a checkpoint.
+    pub endpoint: Cow<'static, str>,
     /// Response status, or `None` for an in-transit drop.
     pub status: Option<Status>,
     /// Sampled latency of the exchange.
@@ -112,14 +115,40 @@ impl TraceRecorder {
         }
     }
 
-    /// Record one attempt.
+    /// Record one attempt. Steady-state this allocates nothing: status
+    /// and endpoint counters are bumped through borrowed-key lookups and
+    /// only the *first* occurrence of a key inserts an owned string.
     pub fn record(&mut self, entry: TraceEntry) {
         self.total += 1;
         match entry.status {
-            Some(s) => *self.by_status.entry(s.to_string()).or_insert(0) += 1,
+            Some(s) => {
+                let label: Cow<'static, str> = match s {
+                    // Static labels, kept textually identical to the
+                    // `Display` impl (asserted by a test below) so the
+                    // persisted `by_status` keys never drift.
+                    Status::Ok => Cow::Borrowed("200 OK"),
+                    Status::NotFound => Cow::Borrowed("404 Not Found"),
+                    Status::Gone => Cow::Borrowed("410 Gone"),
+                    Status::Forbidden => Cow::Borrowed("403 Forbidden"),
+                    Status::ServerError => Cow::Borrowed("500 Server Error"),
+                    Status::RateLimited(_) => Cow::Owned(s.to_string()),
+                };
+                match self.by_status.get_mut(label.as_ref()) {
+                    Some(n) => *n += 1,
+                    None => {
+                        self.by_status.insert(label.into_owned(), 1);
+                    }
+                }
+            }
             None => self.dropped_attempts += 1,
         }
-        *self.by_endpoint.entry(entry.endpoint.clone()).or_insert(0) += 1;
+        match self.by_endpoint.get_mut(entry.endpoint.as_ref()) {
+            Some(n) => *n += 1,
+            None => {
+                self.by_endpoint
+                    .insert(entry.endpoint.clone().into_owned(), 1);
+            }
+        }
         if self.capacity == 0 {
             return;
         }
@@ -250,10 +279,29 @@ mod tests {
     fn entry(ep: &str, status: Option<Status>) -> TraceEntry {
         TraceEntry {
             at: SimTime(0),
-            endpoint: ep.to_string(),
+            endpoint: Cow::Owned(ep.to_string()),
             status,
             latency: SimDuration::ZERO,
             attempt: 1,
+        }
+    }
+
+    #[test]
+    fn static_status_labels_match_display() {
+        // `record` bumps `by_status` through borrowed static labels; if
+        // they ever drift from the `Display` impl, persisted checkpoint
+        // keys would change meaning.
+        for s in [
+            Status::Ok,
+            Status::NotFound,
+            Status::Gone,
+            Status::Forbidden,
+            Status::ServerError,
+            Status::RateLimited(30),
+        ] {
+            let mut t = TraceRecorder::new(1);
+            t.record(entry("x", Some(s)));
+            assert_eq!(t.by_status().get(&s.to_string()), Some(&1), "{s}");
         }
     }
 
@@ -322,7 +370,7 @@ mod tests {
         for i in 0..50u64 {
             let e = TraceEntry {
                 at: SimTime(i),
-                endpoint: endpoints[(i % 3) as usize].to_string(),
+                endpoint: Cow::Owned(endpoints[(i % 3) as usize].to_string()),
                 status: statuses[(i % 5) as usize],
                 latency: SimDuration::secs(i % 7),
                 attempt: (i % 4) as u32 + 1,

@@ -24,6 +24,7 @@ use crate::fault::{
 use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{BreakerPhase, BreakerTransition, TraceEntry, TraceRecorder, TraceState};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -68,32 +69,51 @@ impl fmt::Display for Status {
 }
 
 /// A request to a named endpoint with string parameters.
+///
+/// Built on the campaign hot path millions of times per run, so the
+/// representation is allocation-shy: endpoint and parameter keys are
+/// almost always `'static` literals and borrow them (`Cow`), and the
+/// parameter list is a small sorted vector rather than a tree — same
+/// deterministic key order, no per-node allocation.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Endpoint path, e.g. `"whatsapp/landing"` or `"twitter/search"`.
-    pub endpoint: String,
-    /// Key/value parameters (ordered, for deterministic tracing).
-    pub params: BTreeMap<String, String>,
+    pub endpoint: Cow<'static, str>,
+    /// Key/value parameters, sorted by key (deterministic tracing); at
+    /// most one entry per key.
+    pub params: Vec<(Cow<'static, str>, String)>,
 }
 
 impl Request {
     /// A request with no parameters.
-    pub fn new(endpoint: impl Into<String>) -> Request {
+    pub fn new(endpoint: impl Into<Cow<'static, str>>) -> Request {
         Request {
             endpoint: endpoint.into(),
-            params: BTreeMap::new(),
+            params: Vec::new(),
         }
     }
 
-    /// Builder-style parameter attachment.
-    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Request {
-        self.params.insert(key.into(), value.into());
+    /// Builder-style parameter attachment. Re-attaching a key replaces
+    /// its value, like the map this vector used to be.
+    pub fn with(mut self, key: impl Into<Cow<'static, str>>, value: impl Into<String>) -> Request {
+        let key = key.into();
+        let value = value.into();
+        match self
+            .params
+            .binary_search_by(|(k, _)| k.as_ref().cmp(key.as_ref()))
+        {
+            Ok(i) => self.params[i].1 = value,
+            Err(i) => self.params.insert(i, (key, value)),
+        }
         self
     }
 
     /// Fetch a parameter by key.
     pub fn param(&self, key: &str) -> Option<&str> {
-        self.params.get(key).map(String::as_str)
+        self.params
+            .binary_search_by(|(k, _)| k.as_ref().cmp(key))
+            .ok()
+            .map(|i| self.params[i].1.as_str())
     }
 }
 
@@ -501,10 +521,10 @@ impl Client {
         now: SimTime,
         req: &Request,
     ) -> Result<Response, TransportError> {
-        let prefix = req.endpoint.split('/').next().unwrap_or("").to_string();
+        let prefix = req.endpoint.split('/').next().unwrap_or("");
         let mut probing = false;
         if self.config.breaker_threshold > 0 {
-            match self.breakers.get(&prefix) {
+            match self.breakers.get(prefix) {
                 Some(BreakerState::Open { until }) if now < *until => {
                     let until = *until;
                     self.trace.record_fast_fail();
@@ -513,7 +533,7 @@ impl Client {
                 Some(BreakerState::Open { .. }) => {
                     // Cooldown elapsed: admit this call as the half-open
                     // probe.
-                    self.transition(&prefix, now, BreakerState::HalfOpen);
+                    self.transition(prefix, now, BreakerState::HalfOpen);
                     probing = true;
                 }
                 _ => {}
@@ -521,7 +541,7 @@ impl Client {
         }
         let result = self.call_inner(router, now, req);
         if self.config.breaker_threshold > 0 {
-            self.settle_breaker(&prefix, now, probing, &result);
+            self.settle_breaker(prefix, now, probing, &result);
         }
         result
     }

@@ -83,6 +83,11 @@ pub struct StoreStats {
 /// push order, so id order == time order, as on real Twitter snowflakes.
 pub struct TweetStore {
     tweets: Vec<Tweet>,
+    /// Per-tweet bitmask over [`TRACK_HOSTS`]: bit `i` is set iff some
+    /// URL's host equals `TRACK_HOSTS[i]` (case-insensitive). Computed
+    /// once at push; the search filter runs hundreds of millions of
+    /// host-match tests per campaign and must not re-parse URLs for each.
+    host_bits: Vec<u8>,
     /// Indices of tweets with >= 1 tracked URL, in id order.
     matching: Vec<u32>,
     /// Indices of control tweets, in id order.
@@ -100,6 +105,7 @@ impl TweetStore {
     pub fn new(search_miss: f64, stream_miss: f64, salt: u64) -> TweetStore {
         TweetStore {
             tweets: Vec::new(),
+            host_bits: Vec::new(),
             matching: Vec::new(),
             control: Vec::new(),
             search_miss: search_miss.clamp(0.0, 1.0),
@@ -128,12 +134,23 @@ impl TweetStore {
         }
         let idx = self.tweets.len() as u32;
         tweet.id = TweetId(u64::from(idx));
+        let mut bits = 0u8;
+        for url in &tweet.urls {
+            if let Some(h) = url_host(url) {
+                for (b, host) in TRACK_HOSTS.iter().enumerate() {
+                    if h.eq_ignore_ascii_case(host) {
+                        bits |= 1 << b;
+                    }
+                }
+            }
+        }
         if tweet.is_control {
             self.control.push(idx);
-        } else if tweet.urls.iter().any(|u| matches_track(u).is_some()) {
+        } else if bits != 0 {
             self.matching.push(idx);
         }
         self.tweets.push(tweet);
+        self.host_bits.push(bits);
         TweetId(u64::from(idx))
     }
 
@@ -209,14 +226,24 @@ impl TweetStore {
         let hi = self
             .matching
             .partition_point(|&i| self.tweets[i as usize].at <= now);
+        // Host match via the precomputed per-tweet bitmask: a stalled
+        // `since_id` (a host with no recent deliveries) re-scans up to a
+        // full 7-day window of candidates every hour, so the per-candidate
+        // test must be flat. Hosts outside the tracked set (tests, hostile
+        // queries) keep the exact URL-parsing semantics on the slow path.
+        let host_bit = TRACK_HOSTS
+            .iter()
+            .position(|h| h.eq_ignore_ascii_case(host));
         let mut hits = self.matching[lo..hi.max(lo)].iter().copied().filter(|&i| {
-            let tw = &self.tweets[i as usize];
-            self.search_visible(TweetId(u64::from(i)))
-                && (host == "any"
-                    || tw
+            let by_host = host == "any"
+                || match host_bit {
+                    Some(b) => self.host_bits[i as usize] & (1 << b) != 0,
+                    None => self.tweets[i as usize]
                         .urls
                         .iter()
-                        .any(|u| url_host(u).is_some_and(|h| h.eq_ignore_ascii_case(host))))
+                        .any(|u| url_host(u).is_some_and(|h| h.eq_ignore_ascii_case(host))),
+                };
+            by_host && self.search_visible(TweetId(u64::from(i)))
         });
         // Echo the query identity (host + page) so collectors can detect a
         // cross-document splice: a cached page served for the wrong query.
@@ -235,7 +262,7 @@ impl TweetStore {
                 more = true;
                 break;
             }
-            doc = doc.field("tweet", self.tweets[i as usize].encode());
+            doc = doc.field_string("tweet", self.tweets[i as usize].encode());
             emitted += 1;
         }
         if more {
@@ -289,7 +316,7 @@ impl TweetStore {
                 more = true;
                 break;
             }
-            doc = doc.field("tweet", self.tweets[i as usize].encode());
+            doc = doc.field_string("tweet", self.tweets[i as usize].encode());
             emitted += 1;
         }
         if more {

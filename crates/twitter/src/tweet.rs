@@ -151,23 +151,42 @@ impl Tweet {
     /// Encode to the wire-field value used by the `twitter/*` endpoints:
     /// `<id>|<author>|<secs>|<lang>|<hashtags>|<mentions>|<rt|->|<url,url>|<tok tok>`.
     pub fn encode(&self) -> String {
-        let rt = match self.retweet_of {
-            Some(TweetId(id)) => id.to_string(),
-            None => "-".to_string(),
-        };
-        let toks: Vec<String> = self.tokens.iter().map(u16::to_string).collect();
-        format!(
-            "{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        use std::fmt::Write as _;
+        // Single output buffer: the feeds encode millions of tweets per
+        // campaign, so no per-token/per-url intermediate strings.
+        let urls_len: usize = self.urls.iter().map(|u| u.len() + 1).sum();
+        let mut out = String::with_capacity(48 + urls_len + self.tokens.len() * 6);
+        let _ = write!(
+            out,
+            "{}|{}|{}|{}|{}|{}|",
             self.id.0,
             self.author.0,
             self.at.as_secs(),
             self.lang.code(),
             self.hashtags,
             self.mentions,
-            rt,
-            self.urls.join(","),
-            toks.join(" ")
-        )
+        );
+        match self.retweet_of {
+            Some(TweetId(id)) => {
+                let _ = write!(out, "{id}");
+            }
+            None => out.push('-'),
+        }
+        out.push('|');
+        for (i, u) in self.urls.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(u);
+        }
+        out.push('|');
+        for (i, t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{t}");
+        }
+        out
     }
 
     /// Decode a value produced by [`Tweet::encode`]. `is_control` is not on

@@ -319,11 +319,10 @@ fn main() {
             fmt_count(tot.messages)
         );
         if !ds.gaps.is_empty() {
-            let days: usize = ds.gaps.values().map(Vec::len).sum();
             println!(
                 "gap ledger: {} group(s) with {} censored observation day(s)",
-                fmt_count(ds.gaps.len() as u64),
-                fmt_count(days as u64)
+                fmt_count(ds.gaps.group_count() as u64),
+                fmt_count(ds.gaps.total_days())
             );
         }
         if !ds.quarantine.is_empty() {

@@ -93,6 +93,45 @@ fn ten_thousand_corrupted_bodies_never_panic() {
     assert!(survived > 0, "no corrupted body survived parsing");
 }
 
+/// The zero-copy borrowing parser and the owning parser agree on every
+/// one of the 10 000 corrupted bodies: same accept/reject decision, the
+/// exact same typed error (hence the same quarantine code), and
+/// field-for-field identical content on acceptance. Borrowed slices are
+/// exercised *after* further corruption-RNG work touches other buffers,
+/// so a dangling-slice bug would surface as garbage content here.
+#[test]
+fn borrowing_parser_matches_owning_parser_on_corrupted_bodies() {
+    let schedule = CorruptionSchedule::new(1.0);
+    let mut rng = Rng::new(0x00B1_2A27_2026);
+    let mut prev_ok: Option<String> = None;
+    let mut agreed_ok = 0u32;
+    for _ in 0..10_000u32 {
+        let clean = realistic_body(&mut rng);
+        let (body, _kind) = schedule.corrupt_body(&clean, prev_ok.as_deref(), &mut rng);
+        match (WireDoc::parse(&body), WireDoc::parse_owned(&body)) {
+            (Ok(view), Ok(doc)) => {
+                assert!(view == doc, "borrowed and owned parses disagree");
+                assert_eq!(view.kind, doc.kind);
+                assert_eq!(view.len(), doc.len());
+                agreed_ok += 1;
+            }
+            (Err(a), Err(b)) => {
+                let (code_a, code_b) = (
+                    QuarantineCode::of(&CoreError::Wire(a.clone())),
+                    QuarantineCode::of(&CoreError::Wire(b.clone())),
+                );
+                assert_eq!(a, b, "borrowed and owned parse errors disagree");
+                assert_eq!(code_a, code_b, "quarantine codes disagree");
+            }
+            (view, owned) => {
+                panic!("parsers disagree on accept/reject: borrowed={view:?} owned={owned:?}")
+            }
+        }
+        prev_ok = Some(clean);
+    }
+    assert!(agreed_ok > 0, "no body parsed under both parsers");
+}
+
 fn hostile_campaign() -> CampaignConfig {
     CampaignConfig {
         corruption: CorruptionProfile::Hostile,

@@ -61,7 +61,7 @@ fn member_records_hold_only_hashes() {
 fn no_phone_shaped_strings_anywhere() {
     // Scan every string the dataset retains.
     let ds = dataset();
-    for tl in ds.timelines.values() {
+    for (_, tl) in ds.timelines.iter() {
         if let Some(t) = &tl.title {
             assert!(!looks_like_phone(t));
         }

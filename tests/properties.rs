@@ -76,8 +76,9 @@ proptest! {
         for (k, v) in &fields {
             doc = doc.field(k.clone(), sanitize(v));
         }
-        let parsed = WireDoc::parse(&doc.render()).unwrap();
-        prop_assert_eq!(&parsed.kind, &kind);
+        let body = doc.render();
+        let parsed = WireDoc::parse(&body).unwrap();
+        prop_assert_eq!(&parsed.kind.to_string(), &kind);
         prop_assert_eq!(parsed.len(), fields.len());
         for (k, _) in &fields {
             // First value for each key matches the first inserted value.
@@ -105,7 +106,25 @@ proptest! {
         for (k, v) in &fields {
             doc = doc.field(k.clone(), sanitize(v));
         }
-        prop_assert_eq!(WireDoc::parse(&doc.render()), Ok(doc));
+        prop_assert_eq!(WireDoc::parse_owned(&doc.render()), Ok(doc));
+    }
+
+    #[test]
+    fn wire_parse_then_render_equals_sanitize_then_render(
+        kind in "[a-z][a-z-]{0,15}",
+        fields in proptest::collection::vec(("[a-z_]{2,12}", "[^\\r]{0,40}"), 0..8),
+    ) {
+        // Raw values may contain newlines; the builder requires them
+        // sanitized first. Rendering the sanitized doc, parsing it with
+        // the zero-copy parser, and re-rendering the owned copy must
+        // reproduce the sanitized rendering byte-for-byte.
+        let mut doc = WireDoc::new(kind);
+        for (k, v) in &fields {
+            doc = doc.field(k.clone(), sanitize(v));
+        }
+        let rendered = doc.render();
+        let reparsed = WireDoc::parse(&rendered).unwrap().to_doc();
+        prop_assert_eq!(reparsed.render(), rendered);
     }
 
     #[test]

@@ -110,10 +110,8 @@ fn dataset_fingerprint(ds: &chatlens::Dataset) -> String {
     for g in &ds.groups {
         out.push_str(&format!("group={}\n", g.invite.dedup_key()));
     }
-    let mut keys: Vec<&String> = ds.timelines.keys().collect();
-    keys.sort();
-    for k in keys {
-        out.push_str(&format!("timeline {k}: {:?}\n", ds.timelines[k]));
+    for (slot, tl) in ds.timelines.iter() {
+        out.push_str(&format!("timeline {slot}: {tl:?}\n"));
     }
     for j in &ds.joined {
         out.push_str(&format!(
@@ -206,13 +204,16 @@ fn wa_blackout_campaign() -> CampaignConfig {
 /// groups (members and messages included via `Debug`).
 fn platform_slice(ds: &Dataset, kind: PlatformKind) -> String {
     let mut out = String::new();
-    for g in ds.groups.iter().filter(|g| g.platform == kind) {
+    for (slot, g) in ds.groups.iter().enumerate() {
+        if g.platform != kind {
+            continue;
+        }
         let key = g.invite.dedup_key();
         out.push_str(&format!("group={key}\n"));
-        if let Some(tl) = ds.timelines.get(&key) {
+        if let Some(tl) = ds.timelines.get(slot) {
             out.push_str(&format!("  timeline={tl:?}\n"));
         }
-        if let Some(gaps) = ds.gaps.get(&key) {
+        if let Some(gaps) = ds.gaps.get(slot) {
             out.push_str(&format!("  gaps={gaps:?}\n"));
         }
     }
@@ -241,8 +242,9 @@ fn three_day_blackout_censors_only_the_dark_platform() {
         .filter(|g| g.platform == PlatformKind::WhatsApp)
         .map(|g| g.invite.dedup_key())
         .collect();
-    for (key, days) in &outage.gaps {
-        assert!(wa_keys.contains(key), "gap ledger leaked to {key}");
+    for (slot, days) in outage.gaps.iter() {
+        let key = outage.groups[slot].invite.dedup_key();
+        assert!(wa_keys.contains(&key), "gap ledger leaked to {key}");
         for d in days {
             assert!((12..15).contains(d), "gap day {d} outside the outage");
         }
@@ -255,7 +257,7 @@ fn three_day_blackout_censors_only_the_dark_platform() {
         let Some(tl) = outage.timeline_of(g) else {
             continue;
         };
-        for o in tl.observations.iter().filter(|o| (12..15).contains(&o.day)) {
+        for o in tl.iter().filter(|o| (12..15).contains(&o.day)) {
             assert_eq!(
                 o.status,
                 ObservedStatus::Failed,
@@ -306,7 +308,7 @@ fn service_recovers_to_baseline_after_outage_window() {
             let Some(tl) = ds.timeline_of(g) else {
                 continue;
             };
-            for o in tl.observations.iter().filter(|o| o.day == day) {
+            for o in tl.iter().filter(|o| o.day == day) {
                 match o.status {
                     ObservedStatus::Alive { .. } => alive += 1,
                     ObservedStatus::Failed => failed += 1,
