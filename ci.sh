@@ -20,10 +20,27 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 # Hard gate: the determinism & concurrency static-analysis pass must be
 # clean before the test matrix runs (rule catalog in DESIGN.md
-# "Determinism lint"; exits nonzero on any finding).
+# "Determinism lint"; exits nonzero on any finding). The pass also has
+# a perf budget — a full workspace scan must finish inside 5 seconds —
+# and its machine-readable report (target/lint.json, schema
+# chatlens-lint/v1) must validate and be byte-stable across runs.
 echo "==> chatlens-lint (repro lint)"
 cargo test -q -p chatlens-lint
-cargo run -q --bin repro -- lint
+cargo build -q --bin repro
+LINT_T0=$(date +%s%N)
+cargo run -q --bin repro -- lint --out target/lint.json
+LINT_T1=$(date +%s%N)
+LINT_MS=$(( (LINT_T1 - LINT_T0) / 1000000 ))
+echo "    lint pass: ${LINT_MS}ms"
+if [ "$LINT_MS" -gt 5000 ]; then
+    echo "FAIL: lint pass took ${LINT_MS}ms (budget 5000ms)" >&2
+    exit 1
+fi
+cargo run -q --bin repro -- lint --validate target/lint.json
+cargo run -q --bin repro -- lint --out target/lint2.json
+cmp target/lint.json target/lint2.json \
+    || { echo "FAIL: lint.json not byte-stable across runs" >&2; exit 1; }
+rm -f target/lint2.json
 
 # Resilience smoke: a whole campaign under the bursty (Gilbert–Elliott)
 # fault profile must complete and report its totals — the storm may cost

@@ -144,6 +144,7 @@ impl LdaModel {
         let mut n_k = vec![0u32; k];
         let init_counts = pool.par_chunks_mut(1, &mut chunks, |c, slice| {
             let chunk = &mut slice[0];
+            // lint:allow(D11) per-chunk label family: the chunk index is part of the stream identity
             let mut rng = Rng::new(cfg.seed).fork(&format!("lda/init/{c}"));
             let mut kw = vec![0u32; k * v];
             let mut nk = vec![0u32; k];
@@ -180,6 +181,7 @@ impl LdaModel {
             let nk_snap = n_k.clone();
             let locals = pool.par_chunks_mut(1, &mut chunks, |c, slice| {
                 let chunk = &mut slice[0];
+                // lint:allow(D11) per-sweep/per-chunk label family: indices are part of the stream identity
                 let mut rng = Rng::new(cfg.seed).fork(&format!("lda/sweep/{sweep}/{c}"));
                 let mut kw = kw_snap.clone();
                 let mut nk = nk_snap.clone();

@@ -28,7 +28,7 @@
 //! the campaign scale (default [`HOTPATH_SCALE`]).
 
 use chatlens_core::run_study;
-use chatlens_simnet::metrics::Metrics;
+use chatlens_simnet::metrics::{keys, Metrics};
 use chatlens_workload::ScenarioConfig;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -50,7 +50,7 @@ const RUNS: usize = 3;
 fn measure(scale: f64) -> BTreeMap<String, u64> {
     let ds = run_study(ScenarioConfig::at_scale(scale));
     let mut report_clock = Metrics::new();
-    report_clock.time_stage("report", || ds.campaign_report());
+    report_clock.time_stage(keys::STAGE_REPORT, || ds.campaign_report());
 
     let mut out = BTreeMap::new();
     for (name, micros) in ds.metrics.stages().chain(report_clock.stages()) {

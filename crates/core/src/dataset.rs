@@ -429,17 +429,17 @@ impl Dataset {
         // PII store: unordered sets rendered sorted (canonical form).
         let pii_sha = digest(|buf| {
             let mut wa_creators: Vec<&String> = self.pii.wa_creator_hashes.iter().collect();
-            wa_creators.sort(); // lint:allow(D2) sorted before rendering
+            wa_creators.sort();
             let mut wa_members: Vec<&String> = self.pii.wa_member_hashes.iter().collect();
-            wa_members.sort(); // lint:allow(D2) sorted before rendering
+            wa_members.sort();
             let mut tg_users: Vec<&u32> = self.pii.tg_users_observed.iter().collect();
-            tg_users.sort(); // lint:allow(D2) sorted before rendering
+            tg_users.sort();
             let mut tg_phones: Vec<&String> = self.pii.tg_phone_hashes.iter().collect();
-            tg_phones.sort(); // lint:allow(D2) sorted before rendering
+            tg_phones.sort();
             let mut dc_users: Vec<&u32> = self.pii.dc_users_observed.iter().collect();
-            dc_users.sort(); // lint:allow(D2) sorted before rendering
+            dc_users.sort();
             let mut dc_linked: Vec<&u32> = self.pii.dc_users_with_link.iter().collect();
-            dc_linked.sort(); // lint:allow(D2) sorted before rendering
+            dc_linked.sort();
             writeln!(buf, "wa_creators {wa_creators:?}").unwrap();
             writeln!(buf, "wa_countries {:?}", self.pii.wa_creator_countries).unwrap();
             writeln!(buf, "wa_members {wa_members:?}").unwrap();

@@ -260,6 +260,7 @@ impl TimelineStore {
 
     /// Export `(slot, timeline)` pairs, slot ascending, for a checkpoint.
     pub fn entries(&self) -> Vec<(u32, GroupTimeline)> {
+        // lint:allow(D10) checkpoint export runs once per snapshot, not per request; the copy is the snapshot
         self.iter().map(|(i, tl)| (i as u32, tl.clone())).collect()
     }
 
@@ -735,6 +736,7 @@ fn probe(rec: &DiscoveryRecord) -> (&'static str, Request) {
         PlatformKind::Telegram => ("telegram/web", "tg-web"),
         PlatformKind::Discord => ("discord/api/invite", "dc-invite"),
     };
+    // lint:allow(D10) Request::with takes ownership of the wire value; one short invite code per probe
     let req = Request::new(endpoint).with("code", rec.invite.code.clone());
     (doc_kind, req)
 }

@@ -38,7 +38,7 @@ use chatlens_platforms::id::PlatformKind;
 use chatlens_simnet::fault::{
     CorruptionProfile, FaultInjector, FaultProfile, FaultSchedule, OutageSpec,
 };
-use chatlens_simnet::metrics::Metrics;
+use chatlens_simnet::metrics::{keys, Metrics};
 use chatlens_simnet::par::Pool;
 use chatlens_simnet::rng::Rng;
 use chatlens_simnet::time::{SimDuration, SimTime, StudyWindow};
@@ -538,36 +538,39 @@ impl Runner {
         }
 
         self.metrics
-            .add("transport.attempts", self.net.total_attempts());
+            .add(keys::TRANSPORT_ATTEMPTS, self.net.total_attempts());
         let (opened, fast_fails) = self.net.breaker_totals();
-        self.metrics.add("transport.breaker_opened", opened);
-        self.metrics.add("transport.breaker_fast_fails", fast_fails);
+        self.metrics.add(keys::TRANSPORT_BREAKER_OPENED, opened);
         self.metrics
-            .add("monitor.gap_days", self.monitor.gap_days());
+            .add(keys::TRANSPORT_BREAKER_FAST_FAILS, fast_fails);
+        self.metrics
+            .add(keys::MONITOR_GAP_DAYS, self.monitor.gap_days());
         self.metrics.add(
-            "discovery.unrecovered_windows",
+            keys::DISCOVERY_UNRECOVERED_WINDOWS,
             self.discovery.pending_windows() as u64,
         );
         self.metrics.add(
-            "discovery.tweets_collected",
+            keys::DISCOVERY_TWEETS_COLLECTED,
             self.discovery.tweets.len() as u64,
         );
         self.metrics.add(
-            "discovery.groups_discovered",
+            keys::DISCOVERY_GROUPS_DISCOVERED,
             self.discovery.groups.len() as u64,
         );
-        self.metrics
-            .add("discovery.failed_requests", self.discovery.failed_requests);
-        self.metrics
-            .add("join.dead_at_join", self.joiner.dead_at_join);
-        self.metrics
-            .add("join.joined_groups", self.joiner.joined.len() as u64);
-        self.metrics
-            .add("join.failed_fetches", self.joiner.failed_fetches);
-        self.metrics
-            .add("transport.corrupted", self.net.corrupted_total());
         self.metrics.add(
-            "quarantine.entries",
+            keys::DISCOVERY_FAILED_REQUESTS,
+            self.discovery.failed_requests,
+        );
+        self.metrics
+            .add(keys::JOIN_DEAD_AT_JOIN, self.joiner.dead_at_join);
+        self.metrics
+            .add(keys::JOIN_JOINED_GROUPS, self.joiner.joined.len() as u64);
+        self.metrics
+            .add(keys::JOIN_FAILED_FETCHES, self.joiner.failed_fetches);
+        self.metrics
+            .add(keys::TRANSPORT_CORRUPTED, self.net.corrupted_total());
+        self.metrics.add(
+            keys::QUARANTINE_ENTRIES,
             (self.discovery.quarantine.len()
                 + self.monitor.quarantine.len()
                 + self.joiner.quarantine.len()) as u64,
@@ -652,38 +655,38 @@ fn handle_event(
 ) {
     match ev {
         CampaignEvent::Search => {
-            metrics.incr("campaign.search_rounds");
-            metrics.time_stage("search", || {
+            metrics.incr(keys::CAMPAIGN_SEARCH_ROUNDS);
+            metrics.time_stage(keys::STAGE_SEARCH, || {
                 discovery.run_search(net, eco, now).expect("search round")
             });
             metrics.observe(
-                "discovery.groups_known",
+                keys::DISCOVERY_GROUPS_KNOWN,
                 discovery.group_count() as f64,
                 &[1e2, 1e3, 1e4, 1e5, 1e6],
             );
         }
         CampaignEvent::StreamDrain => {
-            metrics.incr("campaign.stream_drains");
-            metrics.time_stage("stream", || {
+            metrics.incr(keys::CAMPAIGN_STREAM_DRAINS);
+            metrics.time_stage(keys::STAGE_STREAM, || {
                 discovery.drain_stream(net, eco, now).expect("stream drain")
             });
         }
         CampaignEvent::SampleDrain => {
-            metrics.incr("campaign.sample_drains");
-            metrics.time_stage("sample", || {
+            metrics.incr(keys::CAMPAIGN_SAMPLE_DRAINS);
+            metrics.time_stage(keys::STAGE_SAMPLE, || {
                 discovery.drain_sample(net, eco, now).expect("sample drain")
             });
         }
         CampaignEvent::Monitor { day } => {
-            metrics.incr("campaign.monitor_rounds");
-            metrics.time_stage("monitor", || {
+            metrics.incr(keys::CAMPAIGN_MONITOR_ROUNDS);
+            metrics.time_stage(keys::STAGE_MONITOR, || {
                 monitor
                     .run_day(net, eco, discovery, now, day, Some(pii))
                     .expect("monitor round")
             });
         }
         CampaignEvent::Join => {
-            metrics.time_stage("join", || {
+            metrics.time_stage(keys::STAGE_JOIN, || {
                 for kind in PlatformKind::ALL {
                     let budget = eco.config.join_budget_scaled(kind);
                     let disco: &Discovery = discovery;
@@ -711,15 +714,15 @@ fn handle_event(
             });
         }
         CampaignEvent::Collect => {
-            metrics.time_stage("collect", || {
+            metrics.time_stage(keys::STAGE_COLLECT, || {
                 joiner
                     .collect_phase(net, eco, now, pii)
                     .expect("collect phase")
             });
         }
         CampaignEvent::Backfill { day } => {
-            metrics.incr("campaign.backfill_rounds");
-            metrics.time_stage("backfill", || {
+            metrics.incr(keys::CAMPAIGN_BACKFILL_ROUNDS);
+            metrics.time_stage(keys::STAGE_BACKFILL, || {
                 discovery.backfill(net, eco, now).expect("stream backfill");
                 monitor
                     .backfill_day(net, eco, discovery, now, day, Some(pii))

@@ -1,0 +1,2 @@
+//@ path: crates/core/src/fixture.rs
+fn f() -> u64 { SystemTime::now().elapsed().as_secs() } //~ ERROR D1

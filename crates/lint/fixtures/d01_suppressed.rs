@@ -1,0 +1,3 @@
+//@ path: crates/core/src/fixture.rs
+// lint:allow(D1) fixture: operator-facing timestamp, not an artifact
+fn f() -> u64 { SystemTime::now().elapsed().as_secs() } //~ SUPPRESSED D1

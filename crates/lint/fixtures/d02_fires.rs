@@ -1,0 +1,8 @@
+//@ path: crates/analysis/src/fixture.rs
+fn f(m: &HashMap<u32, u64>) -> u64 {
+    let mut s = 0;
+    for v in m.values() { //~ ERROR D2
+        s += v;
+    }
+    s
+}

@@ -1,0 +1,9 @@
+//@ path: crates/analysis/src/fixture.rs
+fn f(m: &HashMap<u32, u64>) -> u64 {
+    let mut s = 0;
+    // lint:allow(D2) fixture: sum is order-insensitive
+    for v in m.values() { //~ SUPPRESSED D2
+        s += v;
+    }
+    s
+}

@@ -1,0 +1,2 @@
+//@ path: crates/workload/src/fixture.rs
+fn f() -> u64 { thread_rng().next() } //~ ERROR D3

@@ -1,0 +1,3 @@
+//@ path: crates/workload/src/fixture.rs
+// lint:allow(D3) fixture: entropy is fine in this fixture
+fn f() -> u64 { thread_rng().next() } //~ SUPPRESSED D3

@@ -1,0 +1,4 @@
+//@ path: crates/analysis/src/fixture.rs
+fn f(pool: &Pool) {
+    pool.par_map(&xs, |x| { shared.lock().push(*x); 0 }); //~ ERROR D4
+}

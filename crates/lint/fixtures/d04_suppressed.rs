@@ -1,0 +1,5 @@
+//@ path: crates/analysis/src/fixture.rs
+fn f(pool: &Pool) {
+    // lint:allow(D4) fixture: lock is chunk-local here
+    pool.par_map(&xs, |x| { shared.lock().push(*x); 0 }); //~ SUPPRESSED D4
+}

@@ -1,0 +1,2 @@
+//@ path: crates/simnet/src/fixture.rs
+fn f(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().unwrap() } //~ ERROR D5

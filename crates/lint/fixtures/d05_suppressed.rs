@@ -1,0 +1,5 @@
+//@ path: crates/simnet/src/fixture.rs
+fn f(m: &std::sync::Mutex<u32>) -> u32 {
+    // lint:allow(D5) fixture: std mutex on purpose
+    *m.lock().unwrap() //~ SUPPRESSED D5
+}

@@ -1,0 +1,2 @@
+//@ path: crates/core/src/fixture.rs
+fn f() { std::fs::write("out.txt", "data").unwrap(); } //~ ERROR D6

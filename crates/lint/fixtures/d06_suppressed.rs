@@ -1,0 +1,3 @@
+//@ path: crates/core/src/fixture.rs
+// lint:allow(D6) fixture: operator-requested export path
+fn f() { std::fs::write("out.txt", "data").unwrap(); } //~ SUPPRESSED D6

@@ -1,0 +1,2 @@
+//@ path: crates/core/src/fixture.rs
+fn f(net: &mut Net) { let _ = net.twitter(eco, now, &req); } //~ ERROR D7

@@ -1,0 +1,5 @@
+//@ path: crates/core/src/fixture.rs
+fn f(net: &mut Net) {
+    // lint:allow(D7) fixture: warm-up call, outcome intentionally unused
+    let _ = net.twitter(eco, now, &req); //~ SUPPRESSED D7
+}

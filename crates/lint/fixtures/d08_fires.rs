@@ -1,0 +1,2 @@
+//@ path: crates/core/src/fixture.rs
+fn f(doc: &WireDoc) -> u64 { doc.req_u64("size").unwrap() } //~ ERROR D8

@@ -1,0 +1,5 @@
+//@ path: crates/core/src/fixture.rs
+fn f(doc: &WireDoc) -> u64 {
+    // lint:allow(D8) fixture: body rendered two lines up, cannot fail
+    doc.req_u64("size").unwrap() //~ SUPPRESSED D8
+}

@@ -1,0 +1,6 @@
+//@ path: crates/checkpoint/src/fixture.rs
+struct Snap { a: u32, b: u32 }
+impl Persist for Snap { //~ ERROR D9
+    fn save(&self, w: &mut Writer) { w.put_u64(self.a as u64); }
+    fn load(r: &mut Reader) -> Snap { Snap { a: r.u64() as u32, b: 0 } }
+}

@@ -1,0 +1,7 @@
+//@ path: crates/checkpoint/src/fixture.rs
+struct Snap { a: u32, b: u32 }
+// lint:allow(D9) fixture: `b` is derived at load time, never persisted
+impl Persist for Snap { //~ SUPPRESSED D9
+    fn save(&self, w: &mut Writer) { w.put_u64(self.a as u64); }
+    fn load(r: &mut Reader) -> Snap { Snap { a: r.u64() as u32, b: 0 } }
+}

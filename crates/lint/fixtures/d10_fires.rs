@@ -1,0 +1,2 @@
+//@ path: crates/core/src/dataset.rs
+fn f(x: u32) -> String { x.to_string() } //~ ERROR D10

@@ -1,0 +1,5 @@
+//@ path: crates/core/src/dataset.rs
+fn f(x: u32) -> String {
+    // lint:allow(D10) fixture: cold path, runs once per report
+    x.to_string() //~ SUPPRESSED D10
+}

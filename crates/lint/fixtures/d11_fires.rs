@@ -1,0 +1,2 @@
+//@ path: crates/simnet/src/fixture.rs
+fn f(rng: &mut Rng) -> Rng { rng.fork("unregistered-stream") } //~ ERROR D11

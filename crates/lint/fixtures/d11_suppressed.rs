@@ -1,0 +1,5 @@
+//@ path: crates/simnet/src/fixture.rs
+fn f(rng: &mut Rng) -> Rng {
+    // lint:allow(D11) fixture: scratch stream local to this fixture
+    rng.fork("unregistered-stream") //~ SUPPRESSED D11
+}

@@ -1,0 +1,2 @@
+//@ path: crates/core/src/fixture.rs
+fn f(m: &Metrics) { m.incr("ad_hoc_key", 1); } //~ ERROR D12

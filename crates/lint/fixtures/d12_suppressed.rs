@@ -1,0 +1,5 @@
+//@ path: crates/core/src/fixture.rs
+fn f(m: &Metrics) {
+    // lint:allow(D12) fixture: one-off probe counter, not part of the schema
+    m.incr("ad_hoc_key", 1); //~ SUPPRESSED D12
+}

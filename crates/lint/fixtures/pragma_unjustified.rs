@@ -1,0 +1,5 @@
+//@ path: crates/core/src/fixture.rs
+// lint:allow(D1)
+fn f() -> u64 { SystemTime::now().elapsed().as_secs() }
+//~^^ ERROR D1
+//~^^ SUPPRESSED D1

@@ -1,0 +1,4 @@
+//@ path: crates/core/src/fixture.rs
+// lint:allow(D3) wrong rule on purpose, stays stale
+//~^ ERROR D3
+fn f() -> u64 { SystemTime::now().elapsed().as_secs() } //~ ERROR D1

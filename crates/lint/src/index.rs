@@ -1,0 +1,212 @@
+//! Cross-file workspace symbol index.
+//!
+//! The structure-aware rules need facts that live in *other* files than
+//! the one being linted: D9 pairs `impl Persist` blocks (often in
+//! `crates/checkpoint/src/impls.rs`) with struct definitions from the
+//! owning crate; D11 checks `Rng::fork` labels against the
+//! `STREAM_REGISTRY` constant in `simnet::rng`; D12 checks metric-key
+//! constants declared in a `mod keys`. This module folds every file's
+//! parsed items into one deterministic (BTreeMap-backed) index built once
+//! per [`check_sources`](crate::check_sources) call.
+
+use crate::items::{Item, ItemKind};
+use crate::scan::Tok;
+use std::collections::BTreeMap;
+
+/// A struct definition's named fields, with provenance.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Named-field names in declaration order (empty for tuple/unit).
+    pub fields: Vec<String>,
+}
+
+/// An enum definition's variants, with provenance.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+}
+
+/// One declared metric-key constant (a `const` inside a `mod keys`).
+#[derive(Debug, Clone)]
+pub struct KeyConst {
+    /// The key string value.
+    pub value: String,
+    /// Workspace-relative path of the declaring file.
+    pub path: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+}
+
+/// The cross-file symbol index.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    /// Struct name → every definition of that name (usually one).
+    pub structs: BTreeMap<String, Vec<StructDef>>,
+    /// Enum name → every definition of that name.
+    pub enums: BTreeMap<String, Vec<EnumDef>>,
+    /// `(subsystem, label)` pairs from the `STREAM_REGISTRY` constant,
+    /// in declaration order.
+    pub stream_registry: Vec<(String, String)>,
+    /// Where `STREAM_REGISTRY` is declared, if anywhere.
+    pub registry_site: Option<(String, u32)>,
+    /// Metric-key constants by const name (`mod keys` members).
+    pub metric_keys: BTreeMap<String, KeyConst>,
+}
+
+impl WorkspaceIndex {
+    /// The unique definition of struct `name`, preferring one in
+    /// `prefer_path`; `None` when undefined or ambiguous across files.
+    pub fn resolve_struct(&self, name: &str, prefer_path: &str) -> Option<&StructDef> {
+        let defs = self.structs.get(name)?;
+        defs.iter()
+            .find(|d| d.path == prefer_path)
+            .or(if defs.len() == 1 { defs.first() } else { None })
+    }
+
+    /// The unique definition of enum `name`, preferring one in
+    /// `prefer_path`; `None` when undefined or ambiguous across files.
+    pub fn resolve_enum(&self, name: &str, prefer_path: &str) -> Option<&EnumDef> {
+        let defs = self.enums.get(name)?;
+        defs.iter()
+            .find(|d| d.path == prefer_path)
+            .or(if defs.len() == 1 { defs.first() } else { None })
+    }
+
+    /// Whether some `mod keys` constant declares exactly this value.
+    pub fn has_metric_key(&self, value: &str) -> bool {
+        self.metric_keys.values().any(|k| k.value == value)
+    }
+}
+
+/// String-literal values inside a token span, in source order.
+pub fn str_values_in_span(toks: &[Tok], span: (usize, usize)) -> Vec<String> {
+    toks.iter()
+        .take((span.1 + 1).min(toks.len()))
+        .skip(span.0)
+        .filter_map(|t| t.str_contents().map(str::to_string))
+        .collect()
+}
+
+/// Build the index from every file's path, tokens, and parsed items.
+pub fn build(files: &[(&str, &[Tok], &[Item])]) -> WorkspaceIndex {
+    let mut idx = WorkspaceIndex::default();
+    for &(path, toks, items) in files {
+        for item in items {
+            match item.kind {
+                ItemKind::Struct => {
+                    idx.structs
+                        .entry(item.name.clone())
+                        .or_default()
+                        .push(StructDef {
+                            path: path.to_string(),
+                            line: item.line,
+                            fields: item.fields.iter().map(|f| f.name.clone()).collect(),
+                        })
+                }
+                ItemKind::Enum => idx
+                    .enums
+                    .entry(item.name.clone())
+                    .or_default()
+                    .push(EnumDef {
+                        path: path.to_string(),
+                        line: item.line,
+                        variants: item.variants.clone(),
+                    }),
+                ItemKind::Const if item.name == "STREAM_REGISTRY" => {
+                    // `&[("subsystem", "label"), ...]` — pair up the string
+                    // literals in declaration order.
+                    let strs = str_values_in_span(toks, item.span);
+                    for pair in strs.chunks(2) {
+                        if let [sub, label] = pair {
+                            idx.stream_registry.push((sub.clone(), label.clone()));
+                        }
+                    }
+                    idx.registry_site = Some((path.to_string(), item.line));
+                }
+                ItemKind::Const if item.module.last().is_some_and(|m| m == "keys") => {
+                    let strs = str_values_in_span(toks, item.span);
+                    if let [value] = strs.as_slice() {
+                        idx.metric_keys.insert(
+                            item.name.clone(),
+                            KeyConst {
+                                value: value.clone(),
+                                path: path.to_string(),
+                                line: item.line,
+                            },
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+    use crate::scan::scan;
+
+    fn build_one(path: &str, src: &str) -> WorkspaceIndex {
+        let s = scan(src);
+        let items = parse_items(&s.tokens);
+        build(&[(path, &s.tokens, &items)])
+    }
+
+    #[test]
+    fn stream_registry_pairs_are_extracted() {
+        let src = r#"pub const STREAM_REGISTRY: &[(&str, &str)] = &[
+            ("simnet", "burst"),
+            ("core", "twitter"),
+        ];"#;
+        let idx = build_one("crates/simnet/src/rng.rs", src);
+        assert_eq!(
+            idx.stream_registry,
+            vec![
+                ("simnet".to_string(), "burst".to_string()),
+                ("core".to_string(), "twitter".to_string()),
+            ]
+        );
+        assert_eq!(idx.registry_site.unwrap().0, "crates/simnet/src/rng.rs");
+    }
+
+    #[test]
+    fn metric_key_consts_are_indexed() {
+        let src = r#"pub mod keys {
+            pub const TRANSPORT_ATTEMPTS: &str = "transport.attempts";
+            pub const GAP_DAYS: &str = "monitor.gap_days";
+        }
+        pub const OUTSIDE: &str = "not.a.key";"#;
+        let idx = build_one("crates/simnet/src/metrics.rs", src);
+        assert!(idx.has_metric_key("transport.attempts"));
+        assert!(idx.has_metric_key("monitor.gap_days"));
+        assert!(!idx.has_metric_key("not.a.key"));
+        assert_eq!(idx.metric_keys.len(), 2);
+    }
+
+    #[test]
+    fn struct_resolution_prefers_same_file_then_unique() {
+        let a = scan("pub struct Foo { a: u32 }");
+        let ai = parse_items(&a.tokens);
+        let b = scan("pub struct Foo { b: u32 }\npub struct Bar { c: u32 }");
+        let bi = parse_items(&b.tokens);
+        let idx = build(&[("x/a.rs", &a.tokens, &ai), ("x/b.rs", &b.tokens, &bi)]);
+        // Same-file wins for the duplicated name.
+        assert_eq!(idx.resolve_struct("Foo", "x/b.rs").unwrap().fields, ["b"]);
+        // Ambiguous from a third file: refuse to guess.
+        assert!(idx.resolve_struct("Foo", "x/c.rs").is_none());
+        // Unique names resolve from anywhere.
+        assert_eq!(idx.resolve_struct("Bar", "x/c.rs").unwrap().fields, ["c"]);
+    }
+}

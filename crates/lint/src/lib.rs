@@ -19,15 +19,29 @@
 //! | D6 | direct `std::fs` writes (`fs::write`, `File::create`, `OpenOptions`, ...) outside the checkpoint and report crates — all artifact and snapshot output must flow through the sanctioned writers so runs stay reproducible and atomic |
 //! | D7 | discarded transport results: a `.twitter(...)` / `.platform(...)` call in the core crate or the binary whose `Result` is dropped (`let _ = ...;` or a bare expression statement) — transport failures must be handled (retried, queued for backfill, or counted), never silently swallowed |
 //! | D8 | `unwrap()`/`expect()` on a `WireDoc` accessor result (`parse`, `parse_as`, `req`, `req_u64`, `req_i64`, `opt_u64`) outside `#[cfg(test)]` and the quarantine module — wire bodies are hostile input; a failed decode must route into the quarantine ledger, never panic a collector |
+//! | D9 | Persist-coverage: every named field of a type with an `impl Persist` (or a `persist_struct!` field list) must be referenced in both the save and load bodies; every variant of a persisted enum must round-trip unless the impl is table-driven (`ALL`) — checkpoint drift caught at lint time, not at resume time |
+//! | D10 | hot-path allocation: `format!`, `.to_string()`, `.to_owned()`, `String::from`, `.clone()` in the designated hot modules (`core::dataset`, `core::monitor`, wire parsing, `TweetStore`) — protects the zero-copy/`Cow` layout |
+//! | D11 | RNG-stream discipline: every `Rng::fork` label must be a string literal declared in `simnet::rng::STREAM_REGISTRY`, globally unique per subsystem — shared streams are a silent determinism hazard |
+//! | D12 | metrics/trace-key registry: metric keys must be the declared constants in `simnet::metrics::keys`, never ad-hoc string literals — key families must not fork via typo |
+//!
+//! Rules D9–D12 are *structure-aware*: they run on an item-level parse
+//! ([`items`]) and a cross-file symbol index ([`index`]) layered on the
+//! same token stream.
 //!
 //! A site is suppressed by `// lint:allow(<rule>)` on the same line or the
-//! line directly above; pragmas must carry a one-line justification.
-//! `#[cfg(test)] mod` blocks are exempt wholesale — the contract protects
-//! the artifact pipeline, not the assertions about it.
+//! line directly above; a pragma must carry a trailing justification
+//! (missing one is an error) and must actually suppress something (a
+//! stale pragma is an error too). `#[cfg(test)] mod` blocks are exempt
+//! wholesale — the contract protects the artifact pipeline, not the
+//! assertions about it.
 
+pub mod index;
+pub mod items;
+pub mod json;
 pub mod scan;
+mod structural;
 
-use scan::{scan, test_mod_spans, Tok, TokKind};
+use scan::{scan, test_mod_spans, Scan, Tok, TokKind};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -51,11 +65,19 @@ pub enum Rule {
     D7,
     /// `unwrap`/`expect` on `WireDoc` accessor results outside tests.
     D8,
+    /// Persist-coverage: checkpoint field/variant drift.
+    D9,
+    /// Allocation idioms in designated hot modules.
+    D10,
+    /// `Rng::fork` labels outside the declared stream registry.
+    D11,
+    /// Ad-hoc metric-key literals instead of registry constants.
+    D12,
 }
 
 impl Rule {
     /// All rules, in catalog order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 12] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
@@ -64,6 +86,10 @@ impl Rule {
         Rule::D6,
         Rule::D7,
         Rule::D8,
+        Rule::D9,
+        Rule::D10,
+        Rule::D11,
+        Rule::D12,
     ];
 
     /// The short id used in diagnostics and `lint:allow(...)` pragmas.
@@ -77,7 +103,16 @@ impl Rule {
             Rule::D6 => "D6",
             Rule::D7 => "D7",
             Rule::D8 => "D8",
+            Rule::D9 => "D9",
+            Rule::D10 => "D10",
+            Rule::D11 => "D11",
+            Rule::D12 => "D12",
         }
+    }
+
+    /// Parse a rule id as written in pragmas (`"D9"` → `Rule::D9`).
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == id)
     }
 
     /// One-line description for `--stats` output and docs.
@@ -93,6 +128,14 @@ impl Rule {
             Rule::D6 => "direct std::fs write outside the checkpoint/report crates",
             Rule::D7 => "discarded Net::twitter/Net::platform Result (let _ = / bare statement)",
             Rule::D8 => "unwrap()/expect() on a WireDoc accessor result outside tests",
+            Rule::D9 => {
+                "Persist field/variant not covered by both save and load (checkpoint drift)"
+            }
+            Rule::D10 => {
+                "allocation (format!, to_string, to_owned, clone, String::from) in a hot module"
+            }
+            Rule::D11 => "Rng::fork label not a literal from the declared STREAM_REGISTRY",
+            Rule::D12 => "metric key passed as ad-hoc literal instead of a metrics::keys constant",
         }
     }
 }
@@ -146,7 +189,19 @@ struct Scope {
     /// The quarantine module — the one place sanctioned to dissect
     /// hostile wire bodies, exempt from D8.
     quarantine_path: bool,
+    /// Designated hot modules where D10 bans allocation idioms: the
+    /// dataset/monitor per-request paths, wire parsing, and the tweet
+    /// store (the PR 6 zero-copy surface).
+    hot_path: bool,
 }
+
+/// The four files whose per-request loops D10 guards.
+const HOT_MODULES: [&str; 4] = [
+    "core/src/dataset.rs",
+    "core/src/monitor.rs",
+    "platforms/src/wire.rs",
+    "twitter/src/store.rs",
+];
 
 fn scope_of(path: &str) -> Scope {
     let p = path.replace('\\', "/");
@@ -161,7 +216,24 @@ fn scope_of(path: &str) -> Scope {
         fs_writer: in_crate("checkpoint") || in_crate("report"),
         net_caller: in_crate("core") || !p.contains("crates/"),
         quarantine_path: p.ends_with("core/src/quarantine.rs"),
+        hot_path: HOT_MODULES.iter().any(|m| p.ends_with(m)),
     }
+}
+
+/// The RNG subsystem a file belongs to for D11: the crate directory name
+/// under `crates/`, or `bin` for the workspace binary.
+fn subsystem_of(path: &str) -> String {
+    let p = path.replace('\\', "/");
+    p.split("crates/")
+        .nth(1)
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("bin")
+        .to_string()
+}
+
+/// The crate a finding path belongs to, for per-crate stats.
+fn crate_of(path: &str) -> String {
+    subsystem_of(path)
 }
 
 /// `Net` methods whose `Result` D7 refuses to see discarded.
@@ -252,14 +324,14 @@ const LOCK_METHODS: [&str; 4] = ["lock", "try_lock", "read", "write"];
 /// to see unwrapped outside tests — a wire body is hostile input.
 const WIREDOC_ACCESSORS: [&str; 6] = ["parse", "parse_as", "req", "req_u64", "req_i64", "opt_u64"];
 
-/// Lint one source file. `path` is the workspace-relative path (used for
-/// rule scoping and diagnostics); returns surviving findings plus the
-/// number suppressed by `lint:allow` pragmas.
-pub fn check_source_counting(path: &str, source: &str) -> (Vec<Finding>, usize) {
-    let scope = scope_of(path);
-    let s = scan(source);
-    let toks = &s.tokens;
-    let tests = test_mod_spans(toks);
+/// The token-shaped rules (D1–D8) over one file's token stream. Returns
+/// raw findings, before suppression.
+fn token_findings(
+    path: &str,
+    scope: Scope,
+    toks: &[Tok],
+    tests: &[(usize, usize)],
+) -> Vec<Finding> {
     let in_test = |i: usize| tests.iter().any(|&(lo, hi)| i >= lo && i <= hi);
 
     let mut raw: Vec<Finding> = Vec::new();
@@ -349,10 +421,11 @@ pub fn check_source_counting(path: &str, source: &str) -> (Vec<Finding>, usize) 
             let end = balance(toks, i + 1, '(', ')');
             for j in i + 2..end {
                 let bad_method = toks[j].is_punct('.')
-                    && toks
-                        .get(j + 1)
-                        .is_some_and(|t| PAR_BANNED_METHODS.contains(&t.text.as_str()));
-                let bad_type = PAR_BANNED_TYPES.contains(&toks[j].text.as_str());
+                    && toks.get(j + 1).is_some_and(|t| {
+                        t.kind == TokKind::Ident && PAR_BANNED_METHODS.contains(&t.text.as_str())
+                    });
+                let bad_type = toks[j].kind == TokKind::Ident
+                    && PAR_BANNED_TYPES.contains(&toks[j].text.as_str());
                 if bad_method || bad_type {
                     let at = if bad_method { &toks[j + 1] } else { &toks[j] };
                     push(
@@ -375,7 +448,7 @@ pub fn check_source_counting(path: &str, source: &str) -> (Vec<Finding>, usize) 
                 continue;
             }
             let m = match toks.get(i + 1) {
-                Some(t) if LOCK_METHODS.contains(&t.text.as_str()) => t,
+                Some(t) if t.kind == TokKind::Ident && LOCK_METHODS.contains(&t.text.as_str()) => t,
                 _ => continue,
             };
             if toks.get(i + 2).is_some_and(|t| t.is_punct('('))
@@ -435,7 +508,8 @@ pub fn check_source_counting(path: &str, source: &str) -> (Vec<Finding>, usize) 
             // `.req_u64(...)` method form (parse/parse_as excluded — see above).
             if toks[i].is_punct('.')
                 && toks.get(i + 1).is_some_and(|t| {
-                    WIREDOC_ACCESSORS.contains(&t.text.as_str())
+                    t.kind == TokKind::Ident
+                        && WIREDOC_ACCESSORS.contains(&t.text.as_str())
                         && t.text != "parse"
                         && t.text != "parse_as"
                 })
@@ -468,7 +542,11 @@ pub fn check_source_counting(path: &str, source: &str) -> (Vec<Finding>, usize) 
                 continue;
             }
             let m = match toks.get(i + 1) {
-                Some(t) if NET_CALL_METHODS.contains(&t.text.as_str()) => t,
+                Some(t)
+                    if t.kind == TokKind::Ident && NET_CALL_METHODS.contains(&t.text.as_str()) =>
+                {
+                    t
+                }
                 _ => continue,
             };
             if !toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
@@ -574,26 +652,160 @@ pub fn check_source_counting(path: &str, source: &str) -> (Vec<Finding>, usize) 
         }
     }
 
-    // Dedupe (a site can be reached by both the method and the for pass).
-    raw.sort_by_key(|a| (a.line, a.col, a.rule));
-    raw.dedup_by(|a, b| a.line == b.line && a.col == b.col && a.rule == b.rule);
+    raw
+}
 
-    // Apply suppression pragmas: same line or the line directly above.
-    let mut kept = Vec::new();
-    let mut suppressed = 0usize;
-    for f in raw {
-        let allowed = [f.line, f.line.saturating_sub(1)].iter().any(|l| {
-            s.allows
-                .get(l)
-                .is_some_and(|rules| rules.contains(f.rule.id()))
-        });
-        if allowed {
-            suppressed += 1;
-        } else {
-            kept.push(f);
-        }
+/// Lint a set of source files as one unit: tokenize and item-parse each,
+/// build the cross-file symbol index, run the token rules (D1–D8) and the
+/// structure-aware rules (D9–D12), apply suppression pragmas, and audit
+/// the pragmas themselves (unused or unjustified pragmas are findings
+/// attributed to the rule they name). Findings come back in input file
+/// order, sorted by `(line, col, rule)` within each file.
+pub fn check_sources(files: &[(String, String)]) -> Report {
+    struct Unit {
+        scan: Scan,
+        items: Vec<items::Item>,
+        tests: Vec<(usize, usize)>,
     }
-    (kept, suppressed)
+    let units: Vec<Unit> = files
+        .iter()
+        .map(|(_, source)| {
+            let s = scan(source);
+            let items = items::parse_items(&s.tokens);
+            let tests = test_mod_spans(&s.tokens);
+            Unit {
+                scan: s,
+                items,
+                tests,
+            }
+        })
+        .collect();
+    let idx = {
+        let views: Vec<(&str, &[Tok], &[items::Item])> = files
+            .iter()
+            .zip(&units)
+            .map(|((path, _), u)| (path.as_str(), u.scan.tokens.as_slice(), u.items.as_slice()))
+            .collect();
+        index::build(&views)
+    };
+    // Registry self-checks fire once, attributed to the declaration site.
+    let mut registry_findings = Vec::new();
+    structural::check_stream_registry(&idx, &mut registry_findings);
+    structural::check_metric_registry(&idx, &mut registry_findings);
+
+    let mut report = Report::default();
+    for ((path, _), unit) in files.iter().zip(&units) {
+        let scope = scope_of(path);
+        let toks = unit.scan.tokens.as_slice();
+        let ctx = structural::FileCtx {
+            path,
+            toks,
+            items: &unit.items,
+            tests: &unit.tests,
+        };
+        let mut raw = token_findings(path, scope, toks, &unit.tests);
+        structural::check_d9(&ctx, &idx, &mut raw);
+        if scope.hot_path {
+            structural::check_d10(&ctx, &mut raw);
+        }
+        structural::check_d11(&ctx, &idx, &subsystem_of(path), &mut raw);
+        structural::check_d12(&ctx, &mut raw);
+        raw.extend(
+            registry_findings
+                .iter()
+                .filter(|f| f.path == *path)
+                .cloned(),
+        );
+
+        // Dedupe (a site can be reached by more than one pass). The
+        // message participates: distinct D9 findings share an impl-line
+        // anchor and must all survive.
+        raw.sort_by(|a, b| {
+            (a.line, a.col, a.rule, &a.message).cmp(&(b.line, b.col, b.rule, &b.message))
+        });
+        raw.dedup_by(|a, b| {
+            a.line == b.line && a.col == b.col && a.rule == b.rule && a.message == b.message
+        });
+
+        // Apply suppression pragmas (same line or the line directly
+        // above), tracking which pragmas earned their keep.
+        let pragmas = &unit.scan.pragmas;
+        let mut used = vec![false; pragmas.len()];
+        let mut kept = Vec::new();
+        for f in raw {
+            let mut suppressed = false;
+            for (pi, pragma) in pragmas.iter().enumerate() {
+                if (pragma.line == f.line || pragma.line + 1 == f.line)
+                    && pragma.rules.contains(f.rule.id())
+                {
+                    used[pi] = true;
+                    suppressed = true;
+                }
+            }
+            if suppressed {
+                report.suppressed += 1;
+            } else {
+                kept.push(f);
+            }
+        }
+
+        // Pragma audit: a pragma that suppresses nothing is stale; a
+        // pragma that works but carries no justification is unreviewable.
+        // Both are findings against the rule the pragma names, and are
+        // not themselves suppressible. Pragmas inside test mods are
+        // exempt like everything else there.
+        let test_lines: Vec<(u32, u32)> = unit
+            .tests
+            .iter()
+            .filter_map(|&(lo, hi)| Some((toks.get(lo)?.line, toks.get(hi)?.line)))
+            .collect();
+        for (pi, pragma) in pragmas.iter().enumerate() {
+            if test_lines
+                .iter()
+                .any(|&(lo, hi)| pragma.line >= lo && pragma.line <= hi)
+            {
+                continue;
+            }
+            let Some(rule) = pragma.rules.iter().find_map(|r| Rule::from_id(r)) else {
+                continue;
+            };
+            let named = pragma.rules.iter().cloned().collect::<Vec<_>>().join(", ");
+            if !used[pi] {
+                kept.push(Finding {
+                    rule,
+                    path: path.clone(),
+                    line: pragma.line,
+                    col: pragma.col,
+                    message: format!(
+                        "`lint:allow({named})` suppresses nothing; remove the stale pragma"
+                    ),
+                });
+            } else if !pragma.justified {
+                kept.push(Finding {
+                    rule,
+                    path: path.clone(),
+                    line: pragma.line,
+                    col: pragma.col,
+                    message: format!(
+                        "`lint:allow({named})` has no justification; add a one-line reason after the rule list"
+                    ),
+                });
+            }
+        }
+        kept.sort_by_key(|a| (a.line, a.col, a.rule));
+        report.findings.extend(kept);
+        report.files_scanned += 1;
+    }
+    report
+}
+
+/// Lint one source file. `path` is the workspace-relative path (used for
+/// rule scoping and diagnostics); returns surviving findings plus the
+/// number suppressed by `lint:allow` pragmas. Cross-file symbol
+/// resolution sees only this file.
+pub fn check_source_counting(path: &str, source: &str) -> (Vec<Finding>, usize) {
+    let report = check_sources(&[(path.to_string(), source.to_string())]);
+    (report.findings, report.suppressed)
 }
 
 /// [`check_source_counting`] without the suppression count.
@@ -719,12 +931,24 @@ impl Report {
         m
     }
 
+    /// Findings per crate (`bin` for the workspace binary), sorted by
+    /// crate name. Crates with zero findings are omitted — the per-rule
+    /// table already proves the zeros.
+    pub fn per_crate(&self) -> BTreeMap<String, usize> {
+        let mut m: BTreeMap<String, usize> = BTreeMap::new();
+        for f in &self.findings {
+            *m.entry(crate_of(&f.path)).or_insert(0) += 1;
+        }
+        m
+    }
+
     /// Whether the tree is clean.
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
 
-    /// A `--stats` summary table (markdown).
+    /// A `--stats` summary table (markdown): per-rule counts (every rule,
+    /// catalog order) then per-crate counts (sorted, non-zero only).
     pub fn stats_table(&self) -> String {
         let mut out = String::new();
         out.push_str("| rule | findings | description |\n|------|----------|-------------|\n");
@@ -735,6 +959,13 @@ impl Report {
                 n,
                 rule.describe()
             ));
+        }
+        let per_crate = self.per_crate();
+        if !per_crate.is_empty() {
+            out.push_str("\n| crate | findings |\n|-------|----------|\n");
+            for (krate, n) in per_crate {
+                out.push_str(&format!("| {krate} | {n} |\n"));
+            }
         }
         out.push_str(&format!(
             "\n{} file(s) scanned, {} finding(s), {} suppressed by lint:allow pragmas\n",
@@ -765,20 +996,16 @@ pub fn check_workspace(root: impl AsRef<Path>) -> std::io::Result<Report> {
         }
     }
     files.sort();
-    let mut report = Report::default();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for file in files {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        let source = std::fs::read_to_string(&file)?;
-        let (findings, suppressed) = check_source_counting(&rel, &source);
-        report.findings.extend(findings);
-        report.suppressed += suppressed;
-        report.files_scanned += 1;
+        sources.push((rel, std::fs::read_to_string(&file)?));
     }
-    Ok(report)
+    Ok(check_sources(&sources))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -929,8 +1156,199 @@ mod tests {
 
     #[test]
     fn allow_pragma_is_rule_specific() {
+        // The D2 pragma does not silence the D1 finding — and since it
+        // suppresses nothing, the pragma audit flags it as stale too.
         let src = "// lint:allow(D2) wrong rule\nfn f() { let t = SystemTime::now(); }";
-        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![Rule::D1]);
+        assert_eq!(
+            rules_of("crates/core/src/x.rs", src),
+            vec![Rule::D2, Rule::D1]
+        );
+    }
+
+    #[test]
+    fn unjustified_pragma_is_a_finding() {
+        let bare = "// lint:allow(D1)\nfn f() { let t = SystemTime::now(); }";
+        let (findings, suppressed) = check_source_counting("crates/core/src/x.rs", bare);
+        assert_eq!(suppressed, 1); // the D1 site itself is silenced...
+        assert_eq!(findings.len(), 1); // ...but the bare pragma is flagged
+        assert!(findings[0].message.contains("no justification"));
+        // One trailing word is a label, not a justification.
+        let one_word = "// lint:allow(D1) startup\nfn f() { let t = SystemTime::now(); }";
+        let (findings, _) = check_source_counting("crates/core/src/x.rs", one_word);
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn unused_pragma_is_a_finding() {
+        let src = "// lint:allow(D6) nothing to suppress here at all\nfn f() {}";
+        let findings = check_source("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::D6);
+        assert!(findings[0].message.contains("suppresses nothing"));
+        // Inside a test mod, stale pragmas are exempt like everything else.
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n // lint:allow(D6) stale but in tests\n fn t() {}\n}";
+        assert_eq!(rules_of("crates/core/src/x.rs", in_test), vec![]);
+    }
+
+    #[test]
+    fn d9_fires_on_missing_field_in_save_or_load() {
+        let src = "pub struct Snap { a: u32, b: u64 }\n\
+                   impl Persist for Snap {\n\
+                     fn save(&self, w: &mut Writer) { w.u32(self.a); }\n\
+                     fn load(r: &mut Reader<'_>) -> Result<Self, E> { Ok(Snap { a: r.u32()?, b: 0 }) }\n\
+                   }";
+        let findings = check_source("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::D9);
+        assert!(findings[0].message.contains("`b`"));
+        assert!(findings[0].message.contains("save"));
+    }
+
+    #[test]
+    fn d9_full_coverage_passes() {
+        let src = "pub struct Snap { a: u32, b: u64 }\n\
+                   impl Persist for Snap {\n\
+                     fn save(&self, w: &mut Writer) { w.u32(self.a); w.u64(self.b); }\n\
+                     fn load(r: &mut Reader<'_>) -> Result<Self, E> { Ok(Snap { a: r.u32()?, b: r.u64()? }) }\n\
+                   }";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d9_covers_persist_struct_macro_lists() {
+        let src = "pub struct Snap { a: u32, b: u64 }\npersist_struct!(Snap { a });";
+        let findings = check_source("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::D9);
+        assert!(findings[0].message.contains("`b`"));
+        let full = "pub struct Snap { a: u32, b: u64 }\npersist_struct!(Snap { a, b });";
+        assert_eq!(rules_of("crates/core/src/x.rs", full), vec![]);
+    }
+
+    #[test]
+    fn d9_enum_variants_must_round_trip_unless_table_driven() {
+        let partial = "pub enum E { A, B }\n\
+                       impl Persist for E {\n\
+                         fn save(&self, w: &mut Writer) { match self { E::A => w.u8(0), E::B => w.u8(1) } }\n\
+                         fn load(r: &mut Reader<'_>) -> Result<Self, X> { Ok(match r.u8()? { 0 => E::A, _ => E::A }) }\n\
+                       }";
+        let findings = check_source("crates/core/src/x.rs", partial);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`B`"));
+        // Table-driven encodings (load via ALL) are exempt.
+        let table = "pub enum E { A, B }\n\
+                     impl Persist for E {\n\
+                       fn save(&self, w: &mut Writer) { w.u32(self.index()) }\n\
+                       fn load(r: &mut Reader<'_>) -> Result<Self, X> { Ok(Self::ALL[r.u32()? as usize]) }\n\
+                     }";
+        assert_eq!(rules_of("crates/core/src/x.rs", table), vec![]);
+    }
+
+    #[test]
+    fn d10_fires_only_in_hot_modules() {
+        let src = "fn f(s: &str) -> String { format!(\"x-{s}\") }";
+        assert_eq!(rules_of("crates/core/src/monitor.rs", src), vec![Rule::D10]);
+        assert_eq!(rules_of("crates/core/src/study.rs", src), vec![]);
+        let clone = "fn f(v: &Vec<u32>) -> Vec<u32> { v.clone() }";
+        assert_eq!(
+            rules_of("crates/platforms/src/wire.rs", clone),
+            vec![Rule::D10]
+        );
+        let owned = "fn f(s: &str) -> String { s.to_owned() }";
+        assert_eq!(
+            rules_of("crates/twitter/src/store.rs", owned),
+            vec![Rule::D10]
+        );
+        let from = "fn f() -> String { String::from(\"x\") }";
+        assert_eq!(
+            rules_of("crates/core/src/dataset.rs", from),
+            vec![Rule::D10]
+        );
+    }
+
+    #[test]
+    fn d11_checks_fork_labels_against_the_registry() {
+        let registry = "pub const STREAM_REGISTRY: &[(&str, &str)] = &[(\"core\", \"twitter\")];\n";
+        let good = format!("{registry}fn f(rng: &Rng) {{ let r = rng.fork(\"twitter\"); }}");
+        assert_eq!(rules_of("crates/core/src/net.rs", &good), vec![]);
+        let unregistered =
+            format!("{registry}fn f(rng: &Rng) {{ let r = rng.fork(\"mystery\"); }}");
+        assert_eq!(
+            rules_of("crates/core/src/net.rs", &unregistered),
+            vec![Rule::D11]
+        );
+        // A label owned by another subsystem is a stream collision.
+        let foreign = format!("{registry}fn f(rng: &Rng) {{ let r = rng.fork(\"twitter\"); }}");
+        let findings = check_source("crates/workload/src/x.rs", &foreign);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0]
+            .message
+            .contains("registered to subsystem `core`"));
+    }
+
+    #[test]
+    fn d11_computed_labels_are_flagged() {
+        let src = "fn f(rng: &Rng, kind: Kind) { let r = rng.fork(kind.name()); }";
+        let findings = check_source("crates/workload/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::D11);
+        assert!(findings[0].message.contains("string literal"));
+    }
+
+    #[test]
+    fn d12_flags_ad_hoc_metric_key_literals() {
+        let src = "fn f(m: &mut Metrics) { m.incr(\"transport.attempts\"); }";
+        assert_eq!(rules_of("crates/core/src/study.rs", src), vec![Rule::D12]);
+        // Passing the declared constant is the sanctioned shape.
+        let through_const = "fn f(m: &mut Metrics) { m.incr(keys::TRANSPORT_ATTEMPTS); }";
+        assert_eq!(rules_of("crates/core/src/study.rs", through_const), vec![]);
+    }
+
+    #[test]
+    fn d12_registry_duplicates_are_flagged() {
+        let src = "pub mod keys {\n\
+                     pub const A: &str = \"transport.attempts\";\n\
+                     pub const B: &str = \"transport.attempts\";\n\
+                   }";
+        let findings = check_source("crates/simnet/src/metrics.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::D12);
+        assert!(findings[0].message.contains("both declare"));
+    }
+
+    #[test]
+    fn d9_resolves_structs_across_files() {
+        let files = vec![
+            (
+                "crates/core/src/state.rs".to_string(),
+                "pub struct Snap { a: u32, b: u64 }".to_string(),
+            ),
+            (
+                "crates/checkpoint/src/impls.rs".to_string(),
+                "impl Persist for Snap {\n\
+                   fn save(&self, w: &mut Writer) { w.u32(self.a); w.u64(self.b); }\n\
+                   fn load(r: &mut Reader<'_>) -> Result<Self, E> { Ok(Snap { a: r.u32()?, b: r.u64()? }) }\n\
+                 }"
+                .to_string(),
+            ),
+        ];
+        assert!(check_sources(&files).is_clean());
+        let drifted = vec![
+            files[0].clone(),
+            (
+                "crates/checkpoint/src/impls.rs".to_string(),
+                "impl Persist for Snap {\n\
+                   fn save(&self, w: &mut Writer) { w.u32(self.a); }\n\
+                   fn load(r: &mut Reader<'_>) -> Result<Self, E> { Ok(Snap { a: r.u32()?, b: 0 }) }\n\
+                 }"
+                .to_string(),
+            ),
+        ];
+        let report = check_sources(&drifted);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::D9);
+        assert_eq!(report.findings[0].path, "crates/checkpoint/src/impls.rs");
     }
 
     #[test]

@@ -9,8 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-/// What a token is. Literal contents are deliberately not retained — the
-/// rules only ever match identifier/punctuation shapes.
+/// What a token is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokKind {
     /// An identifier or keyword (`for`, `let`, `HashMap`, ...).
@@ -19,6 +18,10 @@ pub enum TokKind {
     Punct,
     /// A string, raw-string, byte-string, char, or numeric literal.
     Literal,
+    /// A `"..."` or raw-string literal whose *contents* are retained in
+    /// `text` — the D11/D12 registry rules match stream labels and metric
+    /// keys against them. Escape sequences are kept verbatim.
+    Str,
     /// A lifetime (`'a`) — kept distinct so `'a` never parses as a char.
     Lifetime,
 }
@@ -28,7 +31,8 @@ pub enum TokKind {
 pub struct Tok {
     /// Token kind.
     pub kind: TokKind,
-    /// Identifier text, single punctuation char, or `""` for literals.
+    /// Identifier text, single punctuation char, string-literal contents
+    /// for [`TokKind::Str`], or `""` for other literals.
     pub text: String,
     /// 1-based source line.
     pub line: u32,
@@ -46,6 +50,27 @@ impl Tok {
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
     }
+
+    /// The string-literal contents, if this token is a [`TokKind::Str`].
+    pub fn str_contents(&self) -> Option<&str> {
+        (self.kind == TokKind::Str).then_some(self.text.as_str())
+    }
+}
+
+/// One `// lint:allow(...)` suppression pragma with its provenance and
+/// whether a justification follows the rule list — a bare pragma with no
+/// trailing rationale is itself a lint error (the pragma audit).
+#[derive(Debug, Clone)]
+pub struct AllowPragma {
+    /// 1-based line the pragma comment starts on.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+    /// Rule ids named inside the parentheses.
+    pub rules: BTreeSet<String>,
+    /// Whether explanatory text follows the closing paren (at least two
+    /// words — "sorted" alone is a label, not a justification).
+    pub justified: bool,
 }
 
 /// Tokenizer output: the token stream plus the suppression pragmas found
@@ -56,6 +81,10 @@ pub struct Scan {
     pub tokens: Vec<Tok>,
     /// `lint:allow(...)` pragmas: line → rule ids named on that line.
     pub allows: BTreeMap<u32, BTreeSet<String>>,
+    /// Every pragma with provenance and justification status, in source
+    /// order — the raw material for the unused-pragma and
+    /// missing-justification audits.
+    pub pragmas: Vec<AllowPragma>,
 }
 
 struct Cursor<'a> {
@@ -91,9 +120,12 @@ fn is_ident_continue(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
 }
 
-/// Parse the rule list of a `lint:allow(D1, D2)` pragma out of a comment
-/// body, if present.
-fn parse_allow(comment: &str) -> Option<BTreeSet<String>> {
+/// Parse a suppression pragma out of a comment body, if present. The
+/// shape is `lint:allow` followed by a parenthesized rule list and a
+/// trailing justification; returns the named rules plus whether a
+/// justification (at least two words of trailing text) follows the
+/// closing paren.
+fn parse_allow(comment: &str) -> Option<(BTreeSet<String>, bool)> {
     let at = comment.find("lint:allow(")?;
     let rest = &comment[at + "lint:allow(".len()..];
     let close = rest.find(')')?;
@@ -102,7 +134,9 @@ fn parse_allow(comment: &str) -> Option<BTreeSet<String>> {
         .map(|r| r.trim().to_string())
         .filter(|r| !r.is_empty())
         .collect();
-    (!rules.is_empty()).then_some(rules)
+    let tail = rest[close + 1..].trim_matches(|c: char| c.is_whitespace() || "—–-:;,.".contains(c));
+    let justified = tail.split_whitespace().count() >= 2;
+    (!rules.is_empty()).then_some((rules, justified))
 }
 
 /// Tokenize `source`, recording pragmas along the way.
@@ -128,8 +162,14 @@ pub fn scan(source: &str) -> Scan {
                     cur.bump();
                 }
                 let body = &source[start..cur.pos];
-                if let Some(rules) = parse_allow(body) {
-                    out.allows.entry(line).or_default().extend(rules);
+                if let Some((rules, justified)) = parse_allow(body) {
+                    out.allows.entry(line).or_default().extend(rules.clone());
+                    out.pragmas.push(AllowPragma {
+                        line,
+                        col,
+                        rules,
+                        justified,
+                    });
                 }
             }
             // Block comment, with nesting.
@@ -156,12 +196,21 @@ pub fn scan(source: &str) -> Scan {
                     }
                 }
             }
-            // Plain string literal.
+            // Plain string literal — contents retained for the registry
+            // rules (D11 stream labels, D12 metric keys).
             b'"' => {
+                let start = cur.pos;
                 consume_string(&mut cur);
+                // Strip the closing quote if the literal terminated (an
+                // unterminated literal at EOF keeps its tail verbatim).
+                let end = if cur.pos > start + 1 && source.as_bytes()[cur.pos - 1] == b'"' {
+                    cur.pos - 1
+                } else {
+                    cur.pos
+                };
                 out.tokens.push(Tok {
-                    kind: TokKind::Literal,
-                    text: String::new(),
+                    kind: TokKind::Str,
+                    text: source.get(start + 1..end).unwrap_or("").to_string(),
                     line,
                     col,
                 });
@@ -240,10 +289,18 @@ pub fn scan(source: &str) -> Scan {
                         j += 1;
                     }
                     if cur.peek(j) == Some(b'"') {
-                        consume_raw_string(&mut cur);
+                        let (lo, hi) = consume_raw_string(&mut cur);
                         out.tokens.push(Tok {
-                            kind: TokKind::Literal,
-                            text: String::new(),
+                            kind: if text == "r" {
+                                TokKind::Str
+                            } else {
+                                TokKind::Literal
+                            },
+                            text: if text == "r" {
+                                source.get(lo..hi).unwrap_or("").to_string()
+                            } else {
+                                String::new()
+                            },
                             line,
                             col,
                         });
@@ -265,14 +322,20 @@ pub fn scan(source: &str) -> Scan {
                         continue;
                     }
                 } else if str_capable && next == Some(b'"') {
-                    if text == "b" {
+                    let (kind, content) = if text == "b" {
                         consume_string(&mut cur);
+                        (TokKind::Literal, String::new())
                     } else {
-                        consume_raw_string(&mut cur);
-                    }
+                        let (lo, hi) = consume_raw_string(&mut cur);
+                        if text == "r" {
+                            (TokKind::Str, source.get(lo..hi).unwrap_or("").to_string())
+                        } else {
+                            (TokKind::Literal, String::new())
+                        }
+                    };
                     out.tokens.push(Tok {
-                        kind: TokKind::Literal,
-                        text: String::new(),
+                        kind,
+                        text: content,
                         line,
                         col,
                     });
@@ -367,17 +430,20 @@ fn consume_string(cur: &mut Cursor) {
 
 /// Consume a raw string starting at the `#`s or quote after the `r`/`br`
 /// prefix: `#*"` ... `"#*` with a matching number of hashes, no escapes.
-fn consume_raw_string(cur: &mut Cursor) {
+/// Returns the byte range of the string's contents.
+fn consume_raw_string(cur: &mut Cursor) -> (usize, usize) {
     let mut hashes = 0usize;
     while cur.peek(0) == Some(b'#') {
         cur.bump();
         hashes += 1;
     }
     cur.bump(); // opening "
+    let lo = cur.pos;
     loop {
         match cur.peek(0) {
-            None => return,
+            None => return (lo, cur.pos),
             Some(b'"') => {
+                let quote_at = cur.pos;
                 cur.bump();
                 let mut seen = 0usize;
                 while seen < hashes && cur.peek(0) == Some(b'#') {
@@ -385,7 +451,7 @@ fn consume_raw_string(cur: &mut Cursor) {
                     seen += 1;
                 }
                 if seen == hashes {
-                    return;
+                    return (lo, quote_at);
                 }
             }
             Some(_) => {

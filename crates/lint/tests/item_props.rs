@@ -1,0 +1,88 @@
+//! Property tests for the item-level parser: arbitrary compositions of
+//! item fragments — including truncations that cut an item in half and
+//! a fragment of pure unbalanced punctuation — must never panic, and
+//! every span the parser reports (item spans and method body spans)
+//! must stay inside the token slice it was parsed from.
+
+use chatlens_lint::items::parse_items;
+use chatlens_lint::scan::scan;
+use proptest::prelude::*;
+
+/// Building blocks covering every item kind the parser understands,
+/// plus adversarial shapes: generics with const parameters, nested
+/// angle brackets, an impl with a `for` keyword, and raw punctuation.
+const FRAGMENTS: &[&str] = &[
+    "struct S { a: u32, b: Vec<u8>, c: BTreeMap<String, (u32, u64)> }\n",
+    "pub enum E { A, B(u32), C { x: u8, y: u8 } }\n",
+    "impl Persist for S { fn save(&self, w: &mut W) { w.put(self.a); } fn load(r: &mut R) -> S { S } }\n",
+    "fn free(x: u32) -> u32 { if x > 1 { x } else { 1 } }\n",
+    "const K: &[(&str, &str)] = &[(\"a\", \"b\"), (\"c\", \"d\")];\n",
+    "persist_struct!(S { a, b, c });\n",
+    "impl<T: Ord> Wrapper<T> { fn get(&self) -> &T { &self.0 } }\n",
+    "#[derive(Debug)] struct Weird<const N: usize> { arr: [u8; N] }\n",
+    "mod inner { struct Hidden { z: u64 } }\n",
+    "{ } } { ) ( < > , ; : -> => #\n",
+];
+
+proptest! {
+    #[test]
+    fn parser_never_panics_and_spans_stay_in_bounds(
+        choices in proptest::collection::vec(0usize..10, 0..16),
+        cut in proptest::option::of(0usize..600),
+    ) {
+        let mut src: String = choices
+            .iter()
+            .map(|&c| FRAGMENTS[c % FRAGMENTS.len()])
+            .collect();
+        if let Some(cut) = cut {
+            // Truncate at an arbitrary char boundary: the parser must
+            // survive mid-item cuts without panicking or reporting
+            // out-of-range spans.
+            let mut cut = cut.min(src.len());
+            while !src.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            src.truncate(cut);
+        }
+        let s = scan(&src);
+        let n = s.tokens.len();
+        let items = parse_items(&s.tokens);
+        for it in &items {
+            prop_assert!(
+                it.span.0 <= it.span.1 && it.span.1 <= n,
+                "item `{}` span {:?} out of bounds (n={}) in:\n{}",
+                it.name, it.span, n, src
+            );
+            for m in &it.methods {
+                prop_assert!(
+                    m.body.0 <= m.body.1 && m.body.1 <= n,
+                    "method `{}::{}` body {:?} out of bounds (n={}) in:\n{}",
+                    it.name, m.name, m.body, n, src
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unfragmented_corpus_parses_every_named_item(
+        reps in 1usize..4,
+    ) {
+        // The well-formed fragments (everything except the punctuation
+        // soup) must each yield their named item, however many times the
+        // corpus is repeated — parsing is stateless across items.
+        let src: String = FRAGMENTS[..9].concat().repeat(reps);
+        let s = scan(&src);
+        let items = parse_items(&s.tokens);
+        for name in ["S", "E", "free", "K", "Wrapper", "Weird", "Hidden"] {
+            let count = items.iter().filter(|i| i.name == name).count()
+                + items
+                    .iter()
+                    .filter(|i| i.target.as_deref() == Some(name))
+                    .count();
+            prop_assert!(
+                count >= reps,
+                "expected `{name}` at least {reps} time(s), saw {count}"
+            );
+        }
+    }
+}

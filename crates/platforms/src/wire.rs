@@ -151,6 +151,7 @@ macro_rules! wire_accessors {
         pub fn req_u64(&self, key: &'static str) -> Result<u64, WireError> {
             let v = self.req(key)?;
             v.parse()
+                // lint:allow(D10) error-path only: the copy prices a malformed body, not the per-request loop
                 .map_err(|_| WireError::BadNumber(key, v.to_string()))
         }
 
@@ -158,6 +159,7 @@ macro_rules! wire_accessors {
         pub fn req_i64(&self, key: &'static str) -> Result<i64, WireError> {
             let v = self.req(key)?;
             v.parse()
+                // lint:allow(D10) error-path only: the copy prices a malformed body, not the per-request loop
                 .map_err(|_| WireError::BadNumber(key, v.to_string()))
         }
 
@@ -169,6 +171,7 @@ macro_rules! wire_accessors {
                 Some(v) => v
                     .parse()
                     .map(Some)
+                    // lint:allow(D10) error-path only: the copy prices a malformed body, not the per-request loop
                     .map_err(|_| WireError::BadNumber(key, v.to_string())),
             }
         }
@@ -235,6 +238,7 @@ impl<'a> WireView<'a> {
             }
             let (k, v) = line
                 .split_once(": ")
+                // lint:allow(D10) error-path only: a malformed line aborts the parse, so the copy is never hot
                 .ok_or_else(|| WireError::MalformedLine(line.to_string()))?;
             if v.len() > MAX_VALUE_LEN {
                 return Err(WireError::TooLarge {
@@ -248,6 +252,7 @@ impl<'a> WireView<'a> {
             let (_, declared) = fields.remove(0);
             let declared: usize = declared
                 .parse()
+                // lint:allow(D10) error-path only: a bad count header aborts the parse
                 .map_err(|_| WireError::BadNumber("n", declared.to_string()))?;
             if fields.len() != declared {
                 return Err(WireError::CountMismatch {
@@ -265,6 +270,7 @@ impl<'a> WireView<'a> {
         if doc.kind != expected {
             return Err(WireError::WrongType {
                 expected,
+                // lint:allow(D10) error-path only: a type mismatch aborts the parse
                 found: doc.kind.to_string(),
             });
         }
@@ -275,10 +281,12 @@ impl<'a> WireView<'a> {
     /// lifetime).
     pub fn to_doc(&self) -> WireDoc {
         WireDoc {
+            // lint:allow(D10) to_doc IS the sanctioned copy: callers opt into retention past the borrowed body
             kind: Cow::Owned(self.kind.to_string()),
             fields: self
                 .fields
                 .iter()
+                // lint:allow(D10) to_doc IS the sanctioned copy: callers opt into retention past the borrowed body
                 .map(|&(k, v)| (Cow::Owned(k.to_string()), v.to_string()))
                 .collect(),
         }
@@ -342,6 +350,7 @@ impl WireDoc {
     /// free-form text (group titles) first via [`sanitize`] — or if the
     /// key is the reserved field-count header `n`.
     pub fn field(self, key: impl Into<Cow<'static, str>>, value: impl fmt::Display) -> WireDoc {
+        // lint:allow(D10) Display rendering must own; hot callers use field_string to move instead
         self.field_string(key, value.to_string())
     }
 

@@ -134,6 +134,68 @@ impl Histogram {
     }
 }
 
+/// The declared metric- and trace-key registry.
+///
+/// Every counter, histogram, and stage-timer key used on the artifact
+/// path is a named constant here; the lint's D12 rule rejects ad-hoc
+/// string literals at `Metrics` call sites so a key family can't fork
+/// via typo (`transport.breaker_opend`). The *values* are part of the
+/// golden output — renaming one changes report bytes — so add, don't
+/// edit. The lint also rejects two constants declaring the same value.
+pub mod keys {
+    // Name tables document themselves: each constant name mirrors its
+    // key string, and the module doc above carries the contract.
+    #![allow(missing_docs)]
+
+    // Transport-layer counters.
+    pub const TRANSPORT_ATTEMPTS: &str = "transport.attempts";
+    pub const TRANSPORT_BREAKER_OPENED: &str = "transport.breaker_opened";
+    pub const TRANSPORT_BREAKER_FAST_FAILS: &str = "transport.breaker_fast_fails";
+    pub const TRANSPORT_CORRUPTED: &str = "transport.corrupted";
+    // Discovery / monitoring / joining counters.
+    pub const DISCOVERY_UNRECOVERED_WINDOWS: &str = "discovery.unrecovered_windows";
+    pub const DISCOVERY_TWEETS_COLLECTED: &str = "discovery.tweets_collected";
+    pub const DISCOVERY_GROUPS_DISCOVERED: &str = "discovery.groups_discovered";
+    pub const DISCOVERY_FAILED_REQUESTS: &str = "discovery.failed_requests";
+    pub const DISCOVERY_GROUPS_KNOWN: &str = "discovery.groups_known";
+    pub const MONITOR_GAP_DAYS: &str = "monitor.gap_days";
+    pub const JOIN_DEAD_AT_JOIN: &str = "join.dead_at_join";
+    pub const JOIN_JOINED_GROUPS: &str = "join.joined_groups";
+    pub const JOIN_FAILED_FETCHES: &str = "join.failed_fetches";
+    pub const QUARANTINE_ENTRIES: &str = "quarantine.entries";
+    // Campaign round counters.
+    pub const CAMPAIGN_SEARCH_ROUNDS: &str = "campaign.search_rounds";
+    pub const CAMPAIGN_STREAM_DRAINS: &str = "campaign.stream_drains";
+    pub const CAMPAIGN_SAMPLE_DRAINS: &str = "campaign.sample_drains";
+    pub const CAMPAIGN_MONITOR_ROUNDS: &str = "campaign.monitor_rounds";
+    pub const CAMPAIGN_BACKFILL_ROUNDS: &str = "campaign.backfill_rounds";
+    // Campaign stage timers (`Metrics::time_stage`).
+    pub const STAGE_SEARCH: &str = "search";
+    pub const STAGE_STREAM: &str = "stream";
+    pub const STAGE_SAMPLE: &str = "sample";
+    pub const STAGE_MONITOR: &str = "monitor";
+    pub const STAGE_JOIN: &str = "join";
+    pub const STAGE_COLLECT: &str = "collect";
+    pub const STAGE_BACKFILL: &str = "backfill";
+    // Artifact-generation stage timers (the repro binary and bench).
+    pub const STAGE_TABLE2: &str = "table2";
+    pub const STAGE_TABLE4: &str = "table4";
+    pub const STAGE_TABLE5: &str = "table5";
+    pub const STAGE_FIG1: &str = "fig1";
+    pub const STAGE_FIG2: &str = "fig2";
+    pub const STAGE_FIG3: &str = "fig3";
+    pub const STAGE_FIG4: &str = "fig4";
+    pub const STAGE_FIG5: &str = "fig5";
+    pub const STAGE_FIG6: &str = "fig6";
+    pub const STAGE_FIG7: &str = "fig7";
+    pub const STAGE_FIG8: &str = "fig8";
+    pub const STAGE_FIG9: &str = "fig9";
+    pub const STAGE_LDA: &str = "lda";
+    pub const STAGE_EXTRAS: &str = "extras";
+    pub const STAGE_EXTENSIONS: &str = "extensions";
+    pub const STAGE_REPORT: &str = "report";
+}
+
 /// A registry of named counters and histograms with deterministic
 /// (sorted) iteration order.
 #[derive(Debug, Default, Clone, PartialEq)]

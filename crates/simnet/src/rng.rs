@@ -43,6 +43,30 @@ pub struct Rng {
     s: [u64; 4],
 }
 
+/// The declared RNG stream registry: every static `Rng::fork` label in
+/// the workspace, paired with the subsystem (crate) that owns it.
+///
+/// The lint's D11 rule enforces that a fork label is a string literal
+/// drawn from this table and that no label is claimed by two subsystems —
+/// two call sites sharing a stream is a silent determinism hazard the
+/// moment call order changes. Dynamic label *families* (per-platform
+/// transport streams, per-topic LDA sweeps) are audited at their call
+/// sites with justified pragmas instead.
+///
+/// Entries are `(subsystem, label)`; the label strings feed the FNV hash
+/// in [`Rng::fork`], so renaming one changes every downstream draw — the
+/// golden-output suite pins them.
+pub const STREAM_REGISTRY: &[(&str, &str)] = &[
+    ("simnet", "burst"),
+    ("simnet", "corruption"),
+    ("core", "twitter"),
+    ("core", "whatsapp"),
+    ("core", "telegram"),
+    ("core", "discord"),
+    ("workload", "control"),
+    ("workload", "cross-platform"),
+];
+
 impl Rng {
     /// Construct from a 64-bit seed.
     pub fn new(seed: u64) -> Self {

@@ -327,6 +327,7 @@ impl TweetStore {
 }
 
 fn bad(what: &str) -> Response {
+    // lint:allow(D10) error-path only: a rejected request leaves the hot search loop entirely
     Response::status(Status::NotFound, format!("bad-request\nwhat: {what}"))
 }
 

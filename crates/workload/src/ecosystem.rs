@@ -68,6 +68,7 @@ impl Ecosystem {
         for kind in PlatformKind::ALL {
             let i = kind.index();
             let params = &config.platforms[i];
+            // lint:allow(D11) per-platform label family: kind.name() ranges over the fixed PlatformKind table
             let mut rng = root.fork(kind.name());
             let n_groups = config.scaled(params.n_group_urls);
             metas[i] = generate_groups(&mut platforms[i], params, &window, n_groups, &mut rng);

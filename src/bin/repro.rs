@@ -31,7 +31,7 @@ use chatlens::report::compare::{holding, markdown_table, Comparison};
 use chatlens::report::series::{cdf_summary, days_csv, sparkline, to_csv};
 use chatlens::report::table::{fmt_count, fmt_pct, Table};
 use chatlens::simnet::fault::{CorruptionProfile, FaultProfile, OutageSpec};
-use chatlens::simnet::metrics::Metrics;
+use chatlens::simnet::metrics::{keys, Metrics};
 use chatlens::simnet::par::Pool;
 use chatlens::twitter::Lang;
 use chatlens::workload::Vocabulary;
@@ -52,11 +52,18 @@ ARTIFACT:
     regenerating the analyses — pair it with the checkpoint options
 
 SUBCOMMANDS:
-    lint [--stats]   run the determinism & concurrency static-analysis
+    lint [--stats] [--format <text|json>] [--out <path>]
+                     run the determinism & concurrency static-analysis
                      pass (chatlens-lint) over the workspace sources and
                      exit nonzero on any finding; --stats prints the
-                     per-rule summary table (see DESIGN.md §Determinism
-                     lint for the rule catalog D1..D8)
+                     per-rule and per-crate summary tables (see DESIGN.md
+                     §Determinism lint for the rule catalog D1..D12);
+                     --format json prints the machine-readable
+                     chatlens-lint/v1 report instead of diagnostics and
+                     --out <path> writes that report to a file as well
+    lint --validate <file>
+                     check a previously emitted JSON report against the
+                     chatlens-lint/v1 schema; exits 1 if it is malformed
     checkpoint inspect <file>
                      decode a campaign snapshot and print its summary as
                      JSON (format version, day, clock, collection counts,
@@ -124,6 +131,8 @@ fn main() {
     let mut threads = 1usize;
     let mut timings = false;
     let mut stats = false;
+    let mut lint_json = false;
+    let mut lint_out: Option<std::path::PathBuf> = None;
     let mut artifact = "all".to_string();
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut ckpt_dir: Option<std::path::PathBuf> = None;
@@ -181,6 +190,25 @@ fn main() {
             }
             "--timings" => timings = true,
             "--stats" => stats = true,
+            "--format" => {
+                let v = args.next().expect("--format <text|json>");
+                match v.as_str() {
+                    "json" => lint_json = true,
+                    "text" => lint_json = false,
+                    other => {
+                        eprintln!("error: unknown format {other:?} (expected text or json)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => {
+                lint_out = Some(std::path::PathBuf::from(args.next().expect("--out <path>")));
+            }
+            "--validate" => {
+                let file = args.next().expect("--validate <file>");
+                validate_lint_json(std::path::Path::new(&file));
+                return;
+            }
             "--csv" => {
                 csv_dir = Some(std::path::PathBuf::from(args.next().expect("--csv <dir>")));
             }
@@ -231,7 +259,7 @@ fn main() {
         }
     }
     if artifact == "lint" {
-        run_lint(stats);
+        run_lint(stats, lint_json, lint_out.as_deref());
         return;
     }
     let pool = Pool::new(threads);
@@ -344,49 +372,51 @@ fn main() {
         table1();
     }
     if all || artifact == "table2" {
-        stages.time_stage("table2", || table2(&ds, scale, &mut cmp));
+        stages.time_stage(keys::STAGE_TABLE2, || table2(&ds, scale, &mut cmp));
     }
     if all || artifact == "fig1" {
-        stages.time_stage("fig1", || fig1(&ds, &pool, scale, &mut cmp));
+        stages.time_stage(keys::STAGE_FIG1, || fig1(&ds, &pool, scale, &mut cmp));
     }
     if all || artifact == "fig2" {
-        stages.time_stage("fig2", || fig2(&ds, &pool, &mut cmp));
+        stages.time_stage(keys::STAGE_FIG2, || fig2(&ds, &pool, &mut cmp));
     }
     if all || artifact == "fig3" {
-        stages.time_stage("fig3", || fig3(&ds, &mut cmp));
+        stages.time_stage(keys::STAGE_FIG3, || fig3(&ds, &mut cmp));
     }
     if all || artifact == "fig4" {
-        stages.time_stage("fig4", || fig4(&ds, &mut cmp));
+        stages.time_stage(keys::STAGE_FIG4, || fig4(&ds, &mut cmp));
     }
     if all || artifact == "table3" {
-        stages.time_stage("lda", || table3(&ds, threads, &mut cmp));
+        stages.time_stage(keys::STAGE_LDA, || table3(&ds, threads, &mut cmp));
     }
     if all || artifact == "fig5" {
-        stages.time_stage("fig5", || fig5(&ds, &pool, &mut cmp));
+        stages.time_stage(keys::STAGE_FIG5, || fig5(&ds, &pool, &mut cmp));
     }
     if all || artifact == "fig6" {
-        stages.time_stage("fig6", || fig6(&ds, &pool, &mut cmp));
+        stages.time_stage(keys::STAGE_FIG6, || fig6(&ds, &pool, &mut cmp));
     }
     if all || artifact == "fig7" {
-        stages.time_stage("fig7", || fig7(&ds, &mut cmp));
+        stages.time_stage(keys::STAGE_FIG7, || fig7(&ds, &mut cmp));
     }
     if all || artifact == "fig8" {
-        stages.time_stage("fig8", || fig8(&ds, &mut cmp));
+        stages.time_stage(keys::STAGE_FIG8, || fig8(&ds, &mut cmp));
     }
     if all || artifact == "fig9" {
-        stages.time_stage("fig9", || fig9(&ds, &pool, &mut cmp));
+        stages.time_stage(keys::STAGE_FIG9, || fig9(&ds, &pool, &mut cmp));
     }
     if all || artifact == "table4" {
-        stages.time_stage("table4", || table4(&ds, &pool, &mut cmp));
+        stages.time_stage(keys::STAGE_TABLE4, || table4(&ds, &pool, &mut cmp));
     }
     if all || artifact == "table5" {
-        stages.time_stage("table5", || table5(&ds, &mut cmp));
+        stages.time_stage(keys::STAGE_TABLE5, || table5(&ds, &mut cmp));
     }
     if all || artifact == "extras" {
-        stages.time_stage("extras", || extras(&ds, &mut cmp));
+        stages.time_stage(keys::STAGE_EXTRAS, || extras(&ds, &mut cmp));
     }
     if all || artifact == "extensions" {
-        stages.time_stage("extensions", || extensions(&ds, threads, &mut cmp));
+        stages.time_stage(keys::STAGE_EXTENSIONS, || {
+            extensions(&ds, threads, &mut cmp)
+        });
     }
     if let Some(dir) = &csv_dir {
         export_csv(&ds, &pool, dir).expect("CSV export");
@@ -449,9 +479,30 @@ fn parse_outage(arg: &str, ban: bool) -> (usize, OutageSpec) {
     )
 }
 
-/// `repro lint [--stats]`: run the determinism & concurrency
-/// static-analysis pass over the workspace and exit nonzero on findings.
-fn run_lint(stats: bool) {
+/// `repro lint --validate <file>`: parse a previously emitted lint
+/// report and check it against the `chatlens-lint/v1` JSON schema.
+/// Exits 0 when the document is well-formed and schema-valid.
+fn validate_lint_json(path: &std::path::Path) {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    match chatlens_lint::json::validate(&body) {
+        Ok(()) => eprintln!("# chatlens-lint: {} is schema-valid", path.display()),
+        Err(e) => {
+            eprintln!("error: {} fails schema validation: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro lint [--stats] [--format json] [--out <path>]`: run the
+/// determinism & concurrency static-analysis pass over the workspace
+/// and exit nonzero on findings. `--format json` prints the machine
+/// readable `chatlens-lint/v1` report instead of diagnostics; `--out`
+/// additionally writes that report to a file (useful in CI, where the
+/// human diagnostics still go to stdout).
+fn run_lint(stats: bool, json: bool, out: Option<&std::path::Path>) {
     // Prefer the invocation directory when it looks like the workspace
     // root (so the binary works from a checkout), falling back to the
     // compile-time manifest dir for `cargo run` from a subdirectory.
@@ -462,12 +513,28 @@ fn run_lint(stats: bool) {
         std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
     };
     let report = chatlens_lint::check_workspace(&root).expect("workspace sources readable");
-    for f in &report.findings {
-        println!("{f}");
+    if json || out.is_some() {
+        let body = chatlens_lint::json::report_json(&report);
+        debug_assert!(chatlens_lint::json::validate(&body).is_ok());
+        if let Some(path) = out {
+            // lint:allow(D6) operator-requested report sink (--out <path>)
+            std::fs::write(path, &body).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            });
+        }
+        if json {
+            println!("{body}");
+        }
+    }
+    if !json {
+        for f in &report.findings {
+            println!("{f}");
+        }
     }
     if stats {
         println!("\n## chatlens-lint --stats\n\n{}", report.stats_table());
-    } else {
+    } else if !json {
         eprintln!(
             "# chatlens-lint: {} file(s), {} finding(s), {} suppressed",
             report.files_scanned,
