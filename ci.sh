@@ -50,8 +50,8 @@ cargo run -q --bin repro -- --scale 0.005 --fault-profile bursty run
 
 # Byzantine smoke: a campaign under hostile wire corruption (20% of
 # bodies mutated in flight) must complete with every rejected body in
-# the quarantine ledger, its checkpoints must carry snapshot format v4
-# (interned group ids + columnar timelines), and the dataset invariant
+# the quarantine ledger, its checkpoints must carry snapshot format v5
+# (canonical varints + fold ledger), and the dataset invariant
 # auditor must find nothing to report.
 echo "==> hostile corruption smoke (repro run + audit)"
 CKPT_DIR="$(mktemp -d)"
@@ -60,8 +60,32 @@ cargo run -q --bin repro -- --scale 0.005 --corruption hostile \
     --checkpoint-dir "$CKPT_DIR" run
 LAST_CKPT="$(ls "$CKPT_DIR"/day*.ckpt | sort | tail -1)"
 cargo run -q --bin repro -- checkpoint inspect "$LAST_CKPT" \
-    | grep -q '"format_version":4'
+    | grep -q '"format_version":5'
 cargo run -q --bin repro -- audit "$LAST_CKPT"
+
+# Incremental-parity smoke: the folded analysis pipeline must complete a
+# checkpointed campaign, its snapshots must carry all 8 fold ledgers,
+# and resuming from a mid-campaign snapshot must reproduce the same
+# fragment digests as the uninterrupted run (the full byte-level parity
+# matrix lives in tests/fold_parity.rs).
+echo "==> incremental analysis smoke (repro run --analysis incremental)"
+INC_DIR="$(mktemp -d)"
+trap 'rm -rf "$CKPT_DIR" "$INC_DIR"' EXIT
+cargo run -q --bin repro -- --scale 0.005 --analysis incremental \
+    --checkpoint-dir "$INC_DIR" run | tee "$INC_DIR/first.out"
+MID_CKPT="$INC_DIR/day020.ckpt"
+cargo run -q --bin repro -- checkpoint inspect "$MID_CKPT" \
+    | grep -q '"folds":8'
+cargo run -q --bin repro -- --analysis incremental --resume "$MID_CKPT" run \
+    | tee "$INC_DIR/resumed.out"
+fold_digests() {
+    # Fold-summary rows: "<name>  <state>  <fold µs>  <finish µs>  <digest>".
+    # Timing columns are wall-clock; only name + digest must reproduce.
+    grep -E '^(discovery|content|membership|lifecycle|messages|pii|topics|stats) ' "$1" \
+        | awk '{print $1, $NF}'
+}
+diff <(fold_digests "$INC_DIR/first.out") <(fold_digests "$INC_DIR/resumed.out") \
+    || { echo "FAIL: resumed fold fragment digests diverge" >&2; exit 1; }
 
 echo "==> cargo test (threads=1)"
 CHATLENS_THREADS=1 cargo test -q --workspace
@@ -80,5 +104,12 @@ cargo bench -p chatlens-bench --bench par
 # and commit the rewritten baseline.
 echo "==> hot-path regression gate (BENCH_hotpath.json)"
 cargo run --release -p chatlens-bench
+
+# Fold regression gate: report-stage latency (batch render vs folded
+# finish), per-day fold cost, and peak encoded fold-state bytes against
+# the committed BENCH_fold.json baseline. Refresh intentional changes
+# with BENCH_FOLD_UPDATE=1 (same contract as the hotpath knob).
+echo "==> fold regression gate (BENCH_fold.json)"
+cargo run --release -p chatlens-bench --bin fold
 
 echo "CI green."

@@ -2,10 +2,13 @@
 //! (languages).
 
 use crate::fanout::per_platform;
-use chatlens_core::Dataset;
+use chatlens_checkpoint::{persist_struct, CheckpointError, Persist, Reader, Writer};
+use chatlens_core::{Dataset, DayFold, DaySlice};
 use chatlens_platforms::id::PlatformKind;
+use chatlens_platforms::invite::parse_invite_url;
 use chatlens_simnet::par::Pool;
-use chatlens_twitter::Lang;
+use chatlens_twitter::{Lang, Tweet};
+use std::fmt::Write as _;
 
 /// Fig 3 rates for one tweet population.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,36 +27,67 @@ pub struct ContentFeatures {
     pub retweets: f64,
 }
 
-fn features<'a>(tweets: impl Iterator<Item = &'a chatlens_twitter::Tweet>) -> ContentFeatures {
-    let mut n = 0u64;
-    let (mut h1, mut h2, mut m1, mut m2, mut rt) = (0u64, 0u64, 0u64, 0u64, 0u64);
-    for t in tweets {
-        n += 1;
+/// Raw Fig 3 tallies — the foldable core both the batch [`features`]
+/// sweep and [`ContentFold`] accumulate, converted to rates by
+/// [`FeatureCounts::rates`] so the two paths share every division.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct FeatureCounts {
+    n: u64,
+    h1: u64,
+    h2: u64,
+    m1: u64,
+    m2: u64,
+    rt: u64,
+}
+
+persist_struct!(FeatureCounts {
+    n,
+    h1,
+    h2,
+    m1,
+    m2,
+    rt
+});
+
+impl FeatureCounts {
+    fn add(&mut self, t: &Tweet) {
+        self.n += 1;
         if t.hashtags >= 1 {
-            h1 += 1;
+            self.h1 += 1;
         }
         if t.hashtags >= 2 {
-            h2 += 1;
+            self.h2 += 1;
         }
         if t.mentions >= 1 {
-            m1 += 1;
+            self.m1 += 1;
         }
         if t.mentions >= 2 {
-            m2 += 1;
+            self.m2 += 1;
         }
         if t.is_retweet() {
-            rt += 1;
+            self.rt += 1;
         }
     }
-    let d = n.max(1) as f64;
-    ContentFeatures {
-        n,
-        with_hashtag: h1 as f64 / d,
-        with_multi_hashtag: h2 as f64 / d,
-        with_mention: m1 as f64 / d,
-        with_multi_mention: m2 as f64 / d,
-        retweets: rt as f64 / d,
+
+    fn rates(&self) -> ContentFeatures {
+        let d = self.n.max(1) as f64;
+        ContentFeatures {
+            n: self.n,
+            with_hashtag: self.h1 as f64 / d,
+            with_multi_hashtag: self.h2 as f64 / d,
+            with_mention: self.m1 as f64 / d,
+            with_multi_mention: self.m2 as f64 / d,
+            retweets: self.rt as f64 / d,
+        }
     }
+}
+
+fn features<'a>(tweets: impl Iterator<Item = &'a Tweet>) -> ContentFeatures {
+    let mut counts = FeatureCounts::default();
+    for t in tweets {
+        counts.add(t);
+    }
+    counts.rates()
 }
 
 /// Fig 3 rates over the tweets sharing `kind`'s group URLs.
@@ -100,6 +134,119 @@ pub fn platform_features_all(ds: &Dataset, pool: &Pool) -> [ContentFeatures; 3] 
 /// Fig 4 for all three platforms, fanned out across the pool.
 pub fn language_shares_all(ds: &Dataset, pool: &Pool) -> [Vec<(Lang, f64)>; 3] {
     per_platform(pool, |kind| language_shares(ds, kind))
+}
+
+fn render_features(out: &mut String, label: &str, f: &ContentFeatures) {
+    writeln!(
+        out,
+        "{label}.features: n={} hashtag={:?} multi_hashtag={:?} mention={:?} multi_mention={:?} retweets={:?}",
+        f.n, f.with_hashtag, f.with_multi_hashtag, f.with_mention, f.with_multi_mention, f.retweets
+    )
+    .unwrap();
+}
+
+/// The batch content fragment: Fig 3 rates per platform and for the
+/// control sample, plus Fig 4 language shares, rendered canonically from
+/// the final dataset. [`ContentFold`] reproduces these bytes
+/// incrementally.
+pub fn fragment(ds: &Dataset, pool: &Pool) -> String {
+    let feats = platform_features_all(ds, pool);
+    let langs = language_shares_all(ds, pool);
+    let mut out = String::from("content v1\n");
+    for (i, kind) in PlatformKind::ALL.into_iter().enumerate() {
+        render_features(&mut out, kind.name(), &feats[i]);
+        writeln!(out, "{}.languages: {:?}", kind.name(), langs[i]).unwrap();
+    }
+    render_features(&mut out, "control", &control_features(ds));
+    out
+}
+
+/// One platform's folded content state: feature tallies plus language
+/// counts in [`Lang::ALL`] order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct PlatContent {
+    feats: FeatureCounts,
+    langs: Vec<u64>,
+}
+
+persist_struct!(PlatContent { feats, langs });
+
+/// Incremental twin of [`fragment`]: constant-size counters per platform
+/// (plus the control sample), folded from each day's collected tweets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContentFold {
+    plats: [PlatContent; 3],
+    control: FeatureCounts,
+}
+
+impl ContentFold {
+    /// An empty fold.
+    pub fn new() -> ContentFold {
+        ContentFold::default()
+    }
+}
+
+impl DayFold for ContentFold {
+    fn name(&self) -> &'static str {
+        "content"
+    }
+
+    fn fold_day(&mut self, slice: &DaySlice<'_>) {
+        for p in &mut self.plats {
+            if p.langs.len() < Lang::ALL.len() {
+                p.langs.resize(Lang::ALL.len(), 0);
+            }
+        }
+        for ct in slice.tweets_today() {
+            let mut on = [false; 3];
+            for url in &ct.tweet.urls {
+                if let Some(inv) = parse_invite_url(url) {
+                    on[inv.platform().index()] = true;
+                }
+            }
+            for (i, hit) in on.into_iter().enumerate() {
+                if hit {
+                    self.plats[i].feats.add(&ct.tweet);
+                    self.plats[i].langs[ct.tweet.lang.index()] += 1;
+                }
+            }
+        }
+        for t in slice.control_today() {
+            self.control.add(t);
+        }
+    }
+
+    fn finish(&self, pool: &Pool) -> String {
+        let sections = per_platform(pool, |kind| {
+            let p = &self.plats[kind.index()];
+            let shares: Vec<(Lang, f64)> = Lang::ALL
+                .into_iter()
+                .zip(p.langs.iter())
+                .map(|(l, &c)| (l, c as f64 / p.feats.n.max(1) as f64))
+                .collect();
+            let mut out = String::new();
+            render_features(&mut out, kind.name(), &p.feats.rates());
+            writeln!(out, "{}.languages: {shares:?}", kind.name()).unwrap();
+            out
+        });
+        let mut out = String::from("content v1\n");
+        for s in sections {
+            out.push_str(&s);
+        }
+        render_features(&mut out, "control", &self.control.rates());
+        out
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.plats.save(w);
+        self.control.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.plats = Persist::load(r)?;
+        self.control = Persist::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -2,12 +2,15 @@
 //! (tweets per group URL).
 
 use crate::fanout::per_platform;
+use crate::pipeline::ecdf_stats;
 use crate::stats::Ecdf;
-use chatlens_core::Dataset;
+use chatlens_checkpoint::{CheckpointError, Persist, Reader, Writer};
+use chatlens_core::{Dataset, DayFold, DaySlice};
 use chatlens_platforms::id::PlatformKind;
 use chatlens_platforms::invite::parse_invite_url;
 use chatlens_simnet::par::Pool;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
 
 /// Fig 1 for one platform: per study-day URL counts.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +143,174 @@ pub fn cross_platform_tweets(ds: &Dataset) -> u64 {
             seen.iter().filter(|&&b| b).count() > 1
         })
         .count() as u64
+}
+
+/// One platform's section of the discovery report fragment.
+fn render_platform(out: &mut String, kind: PlatformKind, daily: &DailyDiscovery, per_url: &Ecdf) {
+    let name = kind.name();
+    writeln!(out, "{name}.daily_all: {:?}", daily.all).unwrap();
+    writeln!(out, "{name}.daily_unique: {:?}", daily.unique).unwrap();
+    writeln!(out, "{name}.daily_new: {:?}", daily.new).unwrap();
+    writeln!(out, "{name}.median_all: {:?}", daily.median_all()).unwrap();
+    writeln!(out, "{name}.median_unique: {:?}", daily.median_unique()).unwrap();
+    writeln!(out, "{name}.median_new: {:?}", daily.median_new()).unwrap();
+    writeln!(out, "{name}.tweets_per_url: {}", ecdf_stats(per_url)).unwrap();
+    writeln!(
+        out,
+        "{name}.share_once: {:?}",
+        per_url.fraction_at_most(1.0)
+    )
+    .unwrap();
+}
+
+/// The batch discovery fragment: Fig 1 and Fig 2 for every platform plus
+/// the cross-platform tweet count, rendered canonically from the final
+/// dataset. [`DiscoveryFold`] reproduces these bytes incrementally.
+pub fn fragment(ds: &Dataset, pool: &Pool) -> String {
+    let daily = daily_discovery_all(ds, pool);
+    let per_url = tweets_per_url_all(ds, pool);
+    let mut out = String::from("discovery v1\n");
+    for (i, kind) in PlatformKind::ALL.into_iter().enumerate() {
+        render_platform(&mut out, kind, &daily[i], &per_url[i]);
+    }
+    writeln!(out, "cross_platform_tweets: {}", cross_platform_tweets(ds)).unwrap();
+    out
+}
+
+/// One platform's folded discovery state.
+#[derive(Debug, Clone, Default)]
+struct PlatDiscovery {
+    /// Fig 1a: URL occurrences per collection day.
+    all: Vec<u64>,
+    /// Distinct URLs per collection day (Fig 1b counts, Fig 1c input).
+    unique: Vec<BTreeSet<String>>,
+    /// Tweets per URL (each URL counted once per tweet), Fig 2.
+    counts: BTreeMap<String, u64>,
+}
+
+impl PlatDiscovery {
+    /// Reconstruct Fig 1's three panels (the "new" panel needs the
+    /// day-order sweep, identical to the batch computation's).
+    fn daily(&self) -> DailyDiscovery {
+        let mut ever_seen: BTreeSet<String> = BTreeSet::new();
+        let mut new = vec![0u64; self.unique.len()];
+        for (day, set) in self.unique.iter().enumerate() {
+            for key in set {
+                if ever_seen.insert(key.clone()) {
+                    new[day] += 1;
+                }
+            }
+        }
+        DailyDiscovery {
+            all: self.all.clone(),
+            unique: self.unique.iter().map(|s| s.len() as u64).collect(),
+            new,
+        }
+    }
+}
+
+/// Incremental twin of [`fragment`]: folds each day's collected tweets
+/// into per-day URL tallies, per-URL tweet counts and the cross-platform
+/// counter. State grows with the number of *distinct* URLs, not with the
+/// tweet volume.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryFold {
+    plats: [PlatDiscovery; 3],
+    cross: u64,
+}
+
+impl DiscoveryFold {
+    /// An empty fold.
+    pub fn new() -> DiscoveryFold {
+        DiscoveryFold::default()
+    }
+}
+
+impl DayFold for DiscoveryFold {
+    fn name(&self) -> &'static str {
+        "discovery"
+    }
+
+    fn fold_day(&mut self, slice: &DaySlice<'_>) {
+        let days = slice.days_total as usize;
+        for p in &mut self.plats {
+            if p.all.len() < days {
+                p.all.resize(days, 0);
+                p.unique.resize(days, BTreeSet::new());
+            }
+        }
+        for ct in slice.tweets_today() {
+            // Bucketing follows the tweet's collection timestamp, exactly
+            // like the batch sweep — not the fold day it arrived in.
+            let day = slice.window.day_index(ct.seen_at).map(|d| d as usize);
+            let mut in_tweet: [BTreeSet<String>; 3] = Default::default();
+            for url in &ct.tweet.urls {
+                let Some(invite) = parse_invite_url(url) else {
+                    continue;
+                };
+                let i = invite.platform().index();
+                let key = invite.dedup_key();
+                if let Some(day) = day {
+                    self.plats[i].all[day] += 1;
+                    self.plats[i].unique[day].insert(key.clone());
+                }
+                in_tweet[i].insert(key);
+            }
+            if in_tweet.iter().filter(|s| !s.is_empty()).count() > 1 {
+                self.cross += 1;
+            }
+            for (i, set) in in_tweet.into_iter().enumerate() {
+                for key in set {
+                    *self.plats[i].counts.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(&self, pool: &Pool) -> String {
+        let sections = per_platform(pool, |kind| {
+            let p = &self.plats[kind.index()];
+            let daily = p.daily();
+            let per_url = Ecdf::from_ints(p.counts.values().copied());
+            let mut out = String::new();
+            render_platform(&mut out, kind, &daily, &per_url);
+            out
+        });
+        let mut out = String::from("discovery v1\n");
+        for s in sections {
+            out.push_str(&s);
+        }
+        writeln!(out, "cross_platform_tweets: {}", self.cross).unwrap();
+        out
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        for p in &self.plats {
+            p.all.save(w);
+            let unique: Vec<Vec<String>> = p
+                .unique
+                .iter()
+                .map(|s| s.iter().cloned().collect())
+                .collect();
+            unique.save(w);
+            p.counts.save(w);
+        }
+        self.cross.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        for p in &mut self.plats {
+            p.all = Persist::load(r)?;
+            let unique: Vec<Vec<String>> = Persist::load(r)?;
+            p.unique = unique
+                .into_iter()
+                .map(|v| v.into_iter().collect())
+                .collect();
+            p.counts = Persist::load(r)?;
+        }
+        self.cross = Persist::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

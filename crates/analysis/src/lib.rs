@@ -18,7 +18,13 @@
 //! [`lda`] (collapsed-Gibbs Latent Dirichlet Allocation, from scratch),
 //! and [`stats`] (ECDFs, quantiles, concentration shares).
 //!
+//! Every module above also ships an incremental [`DayFold`] twin of its
+//! batch computation; [`pipeline`] registers the full fold set and the
+//! matching batch fragments, locked byte-for-byte against each other by
+//! `tests/fold_parity.rs`.
+//!
 //! [`Dataset`]: chatlens_core::Dataset
+//! [`DayFold`]: chatlens_core::DayFold
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,9 +37,11 @@ pub mod lifecycle;
 pub mod membership;
 pub mod messages;
 pub mod pii;
+pub mod pipeline;
 pub mod stats;
 pub mod text;
 pub mod topics;
 
 pub use lda::{LdaConfig, LdaModel};
+pub use pipeline::{batch_fragments, standard_folds};
 pub use stats::Ecdf;

@@ -2,11 +2,17 @@
 //! and Fig 6 (URL lifetime and revocation).
 
 use crate::fanout::per_platform;
+use crate::pipeline::ecdf_stats;
 use crate::stats::Ecdf;
-use chatlens_core::monitor::ObservedStatus;
-use chatlens_core::Dataset;
+use chatlens_checkpoint::{persist_struct, CheckpointError, Persist, Reader, Writer};
+use chatlens_core::discovery::DiscoveryRecord;
+use chatlens_core::intern::Interner;
+use chatlens_core::joiner::JoinedGroup;
+use chatlens_core::monitor::{ObservedStatus, TimelineStore};
+use chatlens_core::{Dataset, DayFold, DaySlice};
 use chatlens_platforms::id::PlatformKind;
 use chatlens_simnet::par::Pool;
+use std::fmt::Write as _;
 
 /// Fig 5: group ages (in days) at the moment their URL was first tweeted.
 ///
@@ -14,14 +20,33 @@ use chatlens_simnet::par::Pool;
 /// dates are only known for *joined* groups; Discord's come from the
 /// invite API for every monitored group.
 pub fn staleness_days(ds: &Dataset, kind: PlatformKind) -> Ecdf {
+    Ecdf::new(staleness_from(
+        &ds.joined,
+        &ds.groups,
+        &ds.interner,
+        &ds.timelines,
+        kind,
+    ))
+}
+
+/// Raw Fig 5 ages from the campaign's constituent stores; shared by the
+/// batch path ([`staleness_days`]) and [`LifecycleFold`]'s final-day
+/// capture so both run the identical arithmetic.
+pub(crate) fn staleness_from(
+    joined: &[JoinedGroup],
+    groups: &[DiscoveryRecord],
+    interner: &Interner,
+    timelines: &TimelineStore,
+    kind: PlatformKind,
+) -> Vec<f64> {
     let mut ages: Vec<f64> = Vec::new();
     match kind {
         PlatformKind::WhatsApp | PlatformKind::Telegram => {
-            for jg in ds.joined_of(kind) {
+            for jg in joined.iter().filter(|j| j.platform == kind) {
                 let Some(created_day) = jg.created_day else {
                     continue;
                 };
-                let Some(rec) = ds.slot_of_key(&jg.key).and_then(|s| ds.groups.get(s)) else {
+                let Some(rec) = interner.get(&jg.key).and_then(|s| groups.get(s.index())) else {
                     continue;
                 };
                 let share_day = rec.first_tweet_at.date().day_number();
@@ -29,8 +54,11 @@ pub fn staleness_days(ds: &Dataset, kind: PlatformKind) -> Ecdf {
             }
         }
         PlatformKind::Discord => {
-            for rec in ds.groups.iter().filter(|g| g.platform == kind) {
-                let Some(tl) = ds.timeline_of(rec) else {
+            for (slot, rec) in groups.iter().enumerate() {
+                if rec.platform != kind {
+                    continue;
+                }
+                let Some(tl) = timelines.get(slot) else {
                     continue;
                 };
                 let Some(created_day) = tl.dc_created_day else {
@@ -41,7 +69,7 @@ pub fn staleness_days(ds: &Dataset, kind: PlatformKind) -> Ecdf {
             }
         }
     }
-    Ecdf::new(ages)
+    ages
 }
 
 /// Fig 6 roll-up for one platform.
@@ -147,6 +175,219 @@ pub fn staleness_days_all(ds: &Dataset, pool: &Pool) -> [Ecdf; 3] {
 /// Fig 6 for all three platforms, fanned out across the pool.
 pub fn revocation_stats_all(ds: &Dataset, pool: &Pool) -> [RevocationStats; 3] {
     per_platform(pool, |kind| revocation_stats(ds, kind))
+}
+
+fn render_platform(
+    out: &mut String,
+    kind: PlatformKind,
+    stale: &Ecdf,
+    rev: &RevocationStats,
+    ever_alive: f64,
+) {
+    let name = kind.name();
+    writeln!(out, "{name}.staleness: {}", ecdf_stats(stale)).unwrap();
+    writeln!(
+        out,
+        "{name}.revocation: observed={} revoked_fraction={:?} dead_on_arrival={:?} censored={}",
+        rev.observed, rev.revoked_fraction, rev.dead_on_arrival_fraction, rev.censored
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{name}.lifetime_days: {}",
+        ecdf_stats(&rev.lifetime_days)
+    )
+    .unwrap();
+    writeln!(out, "{name}.revoked_per_day: {:?}", rev.revoked_per_day).unwrap();
+    writeln!(out, "{name}.ever_alive_fraction: {ever_alive:?}").unwrap();
+}
+
+/// The batch lifecycle fragment: Fig 5 staleness, Fig 6 revocation, and
+/// the ever-alive sanity view, rendered canonically from the final
+/// dataset. [`LifecycleFold`] reproduces these bytes incrementally.
+pub fn fragment(ds: &Dataset, pool: &Pool) -> String {
+    let stale = staleness_days_all(ds, pool);
+    let rev = revocation_stats_all(ds, pool);
+    let mut out = String::from("lifecycle v1\n");
+    for (i, kind) in PlatformKind::ALL.into_iter().enumerate() {
+        render_platform(
+            &mut out,
+            kind,
+            &stale[i],
+            &rev[i],
+            ever_alive_fraction(ds, kind),
+        );
+    }
+    out
+}
+
+/// One monitored group's folded lifecycle state, advanced from the
+/// day's timeline observation.
+#[derive(Debug, Clone, PartialEq)]
+struct SlotLifecycle {
+    /// [`PlatformKind::index`] of the group's platform.
+    platform: u8,
+    /// Day of the first observation (None until observed at all).
+    first_day: Option<u32>,
+    /// Whether the first observation was already a revocation.
+    doa: bool,
+    /// Day the URL was first observed revoked.
+    revoked_day: Option<u32>,
+    /// Whether the revocation followed a gap day, censoring the lifetime.
+    censored: bool,
+    /// Whether the group was ever observed alive.
+    ever_alive: bool,
+}
+
+persist_struct!(SlotLifecycle {
+    platform,
+    first_day,
+    doa,
+    revoked_day,
+    censored,
+    ever_alive
+});
+
+/// Incremental twin of [`fragment`]: one compact record per monitored
+/// group, advanced from each day's observation — censoring consults the
+/// gap ledger on the revocation day, which is sound because a gap for
+/// day `d` is filed at day `d`'s own backfill, before any later fold
+/// step runs. Fig 5 staleness is captured on the final day (its joined
+/// metadata is only complete then).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LifecycleFold {
+    slots: Vec<SlotLifecycle>,
+    staleness: [Vec<f64>; 3],
+    days_total: u32,
+}
+
+impl LifecycleFold {
+    /// An empty fold.
+    pub fn new() -> LifecycleFold {
+        LifecycleFold::default()
+    }
+}
+
+impl DayFold for LifecycleFold {
+    fn name(&self) -> &'static str {
+        "lifecycle"
+    }
+
+    fn fold_day(&mut self, slice: &DaySlice<'_>) {
+        let day = slice.day;
+        self.days_total = slice.days_total;
+        for rec in slice.groups_today() {
+            self.slots.push(SlotLifecycle {
+                platform: rec.platform.index() as u8,
+                first_day: None,
+                doa: false,
+                revoked_day: None,
+                censored: false,
+                ever_alive: false,
+            });
+        }
+        for (slot, s) in self.slots.iter_mut().enumerate() {
+            let Some(tl) = slice.timelines.get(slot) else {
+                continue;
+            };
+            let Some(status) = tl.status_on(day) else {
+                continue;
+            };
+            if s.first_day.is_none() {
+                s.first_day = Some(day);
+                s.doa = matches!(status, ObservedStatus::Revoked);
+            }
+            match status {
+                ObservedStatus::Alive { .. } => s.ever_alive = true,
+                ObservedStatus::Revoked => {
+                    if s.revoked_day.is_none() {
+                        s.revoked_day = Some(day);
+                        s.censored =
+                            day > 0 && slice.gaps.get(slot).is_some_and(|g| g.contains(&(day - 1)));
+                    }
+                }
+                ObservedStatus::Failed => {}
+            }
+        }
+        if slice.is_final() {
+            self.staleness = PlatformKind::ALL.map(|kind| {
+                staleness_from(
+                    slice.joined(),
+                    slice.groups(),
+                    slice.interner,
+                    slice.timelines,
+                    kind,
+                )
+            });
+        }
+    }
+
+    fn finish(&self, pool: &Pool) -> String {
+        let sections = per_platform(pool, |kind| {
+            let p = kind.index() as u8;
+            let days = self.days_total as usize;
+            let mut observed = 0u64;
+            let mut revoked = 0u64;
+            let mut doa = 0u64;
+            let mut censored = 0u64;
+            let mut alive = 0u64;
+            let mut lifetimes: Vec<f64> = Vec::new();
+            let mut per_day = vec![0u64; days];
+            for s in self.slots.iter().filter(|s| s.platform == p) {
+                let Some(first_day) = s.first_day else {
+                    continue;
+                };
+                observed += 1;
+                if s.doa {
+                    doa += 1;
+                }
+                if s.ever_alive {
+                    alive += 1;
+                }
+                if let Some(rd) = s.revoked_day {
+                    revoked += 1;
+                    per_day[rd as usize] += 1;
+                    if s.censored {
+                        censored += 1;
+                    } else {
+                        lifetimes.push(f64::from(rd - first_day));
+                    }
+                }
+            }
+            let denom = observed.max(1) as f64;
+            let rev = RevocationStats {
+                observed,
+                revoked_fraction: revoked as f64 / denom,
+                dead_on_arrival_fraction: doa as f64 / denom,
+                lifetime_days: Ecdf::new(lifetimes),
+                censored,
+                revoked_per_day: per_day.into_iter().map(|c| c as f64 / denom).collect(),
+            };
+            let stale = Ecdf::new(self.staleness[kind.index()].clone());
+            let ever_alive = alive as f64 / observed.max(1) as f64;
+            let mut out = String::new();
+            render_platform(&mut out, kind, &stale, &rev, ever_alive);
+            out
+        });
+        let mut out = String::from("lifecycle v1\n");
+        for s in sections {
+            out.push_str(&s);
+        }
+        out
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.slots.save(w);
+        self.staleness.save(w);
+        self.days_total.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.slots = Persist::load(r)?;
+        self.staleness = Persist::load(r)?;
+        self.days_total = Persist::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

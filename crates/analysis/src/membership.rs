@@ -2,12 +2,18 @@
 //! §5's "Group Creators" analysis.
 
 use crate::fanout::per_platform;
+use crate::pipeline::ecdf_stats;
 use crate::stats::Ecdf;
-use chatlens_core::monitor::ObservedStatus;
-use chatlens_core::Dataset;
+use chatlens_checkpoint::{persist_struct, CheckpointError, Persist, Reader, Writer};
+use chatlens_core::intern::Interner;
+use chatlens_core::joiner::JoinedGroup;
+use chatlens_core::monitor::{ObservedStatus, TimelineStore};
+use chatlens_core::pii::PiiStore;
+use chatlens_core::{discovery::DiscoveryRecord, Dataset, DayFold, DaySlice};
 use chatlens_platforms::id::PlatformKind;
 use chatlens_simnet::par::Pool;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Fig 7a: member counts at each group's first alive observation.
 pub fn member_counts(ds: &Dataset, kind: PlatformKind) -> Ecdf {
@@ -109,20 +115,38 @@ pub struct CreatorStats {
 /// (each had a distinct creator in the paper — and here, by
 /// construction of the generator).
 pub fn creators(ds: &Dataset, kind: PlatformKind) -> CreatorStats {
+    creators_from(&ds.groups, &ds.interner, &ds.timelines, &ds.joined, kind)
+}
+
+/// [`creators`] over the raw collections — the shared core the batch
+/// path and [`MembershipFold`]'s final-day capture both call, so the two
+/// report paths share every creator aggregate and division.
+pub(crate) fn creators_from(
+    groups: &[DiscoveryRecord],
+    interner: &Interner,
+    timelines: &TimelineStore,
+    joined: &[JoinedGroup],
+    kind: PlatformKind,
+) -> CreatorStats {
+    let timeline_of = |rec: &DiscoveryRecord| {
+        interner
+            .get(&rec.invite.dedup_key())
+            .and_then(|s| timelines.get(s.index()))
+    };
     // BTreeMap so the creator aggregates iterate in key order — a pure
     // function of the dataset, never of hasher state (lint rule D2).
     let mut per_creator: BTreeMap<String, u64> = BTreeMap::new();
     match kind {
         PlatformKind::WhatsApp => {
-            for rec in ds.groups.iter().filter(|g| g.platform == kind) {
-                if let Some(h) = ds.timeline_of(rec).and_then(|t| t.wa_creator_hash.as_ref()) {
+            for rec in groups.iter().filter(|g| g.platform == kind) {
+                if let Some(h) = timeline_of(rec).and_then(|t| t.wa_creator_hash.as_ref()) {
                     *per_creator.entry(h.clone()).or_insert(0) += 1;
                 }
             }
         }
         PlatformKind::Discord => {
-            for rec in ds.groups.iter().filter(|g| g.platform == kind) {
-                if let Some(c) = ds.timeline_of(rec).and_then(|t| t.dc_creator) {
+            for rec in groups.iter().filter(|g| g.platform == kind) {
+                if let Some(c) = timeline_of(rec).and_then(|t| t.dc_creator) {
                     *per_creator.entry(c.to_string()).or_insert(0) += 1;
                 }
             }
@@ -131,7 +155,7 @@ pub fn creators(ds: &Dataset, kind: PlatformKind) -> CreatorStats {
             // Creator identity is only visible for joined groups; the API
             // exposes no cross-group creator handle beyond that, so each
             // joined group contributes one creator (as in §5).
-            for (i, _) in ds.joined_of(kind).enumerate() {
+            for (i, _) in joined.iter().filter(|j| j.platform == kind).enumerate() {
                 per_creator.insert(format!("joined-{i}"), 1);
             }
         }
@@ -149,8 +173,13 @@ pub fn creators(ds: &Dataset, kind: PlatformKind) -> CreatorStats {
 
 /// §5 "Group Countries": WhatsApp creator country counts, descending.
 pub fn whatsapp_countries(ds: &Dataset) -> Vec<(String, u64)> {
-    let mut v: Vec<(String, u64)> = ds
-        .pii
+    countries_from(&ds.pii)
+}
+
+/// [`whatsapp_countries`] over the raw PII store (shared with
+/// [`MembershipFold`]'s final-day capture).
+pub(crate) fn countries_from(pii: &PiiStore) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = pii
         .wa_creator_countries
         .iter()
         .map(|(k, &n)| (k.clone(), n))
@@ -174,6 +203,233 @@ pub fn online_fractions_all(ds: &Dataset, pool: &Pool) -> [Ecdf; 3] {
 /// Fig 7c for all three platforms, fanned out across the pool.
 pub fn growth_all(ds: &Dataset, pool: &Pool) -> [GrowthStats; 3] {
     per_platform(pool, |kind| growth(ds, kind))
+}
+
+persist_struct!(CreatorStats {
+    creators,
+    groups,
+    single_group_share,
+    max_groups
+});
+
+fn render_platform(
+    out: &mut String,
+    kind: PlatformKind,
+    counts: &Ecdf,
+    online: &Ecdf,
+    growth: &GrowthStats,
+    creators: &CreatorStats,
+) {
+    let name = kind.name();
+    writeln!(out, "{name}.member_counts: {}", ecdf_stats(counts)).unwrap();
+    writeln!(out, "{name}.online_fractions: {}", ecdf_stats(online)).unwrap();
+    writeln!(out, "{name}.growth_deltas: {}", ecdf_stats(&growth.deltas)).unwrap();
+    writeln!(
+        out,
+        "{name}.growth: grew={:?} shrank={:?} flat={:?}",
+        growth.grew, growth.shrank, growth.flat
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{name}.creators: creators={} groups={} single_group_share={:?} max_groups={}",
+        creators.creators, creators.groups, creators.single_group_share, creators.max_groups
+    )
+    .unwrap();
+}
+
+/// The batch membership fragment: Fig 7 and the §5 creator/country
+/// roll-ups, rendered canonically from the final dataset.
+/// [`MembershipFold`] reproduces these bytes incrementally.
+pub fn fragment(ds: &Dataset, pool: &Pool) -> String {
+    let counts = member_counts_all(ds, pool);
+    let online = online_fractions_all(ds, pool);
+    let grown = growth_all(ds, pool);
+    let mut out = String::from("membership v1\n");
+    for (i, kind) in PlatformKind::ALL.into_iter().enumerate() {
+        render_platform(
+            &mut out,
+            kind,
+            &counts[i],
+            &online[i],
+            &grown[i],
+            &creators(ds, kind),
+        );
+    }
+    writeln!(out, "whatsapp_countries: {:?}", whatsapp_countries(ds)).unwrap();
+    out
+}
+
+/// One monitored group's folded membership state, updated from the day's
+/// timeline observation.
+#[derive(Debug, Clone, PartialEq)]
+struct SlotMembership {
+    /// [`PlatformKind::index`] of the group's platform.
+    platform: u8,
+    /// Size at the first alive observation (Fig 7a).
+    first_size: Option<u32>,
+    /// Size at the latest alive observation (Fig 7c's "last").
+    last_size: Option<u32>,
+    /// Alive observations so far (growth needs at least two).
+    alive_days: u32,
+    /// Whether the first alive observation has been consumed.
+    online_seen: bool,
+    /// Online share at the first alive observation, when its size was
+    /// non-zero (Fig 7b).
+    online_frac: Option<f64>,
+}
+
+persist_struct!(SlotMembership {
+    platform,
+    first_size,
+    last_size,
+    alive_days,
+    online_seen,
+    online_frac
+});
+
+/// Incremental twin of [`fragment`]: one compact record per monitored
+/// group, updated from each day's observation, plus the creator and
+/// country roll-ups captured on the final day (their inputs — landing
+/// metadata and joined groups — are only complete then).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MembershipFold {
+    slots: Vec<SlotMembership>,
+    creators: Vec<CreatorStats>,
+    countries: Vec<(String, u64)>,
+}
+
+impl MembershipFold {
+    /// An empty fold.
+    pub fn new() -> MembershipFold {
+        MembershipFold::default()
+    }
+}
+
+impl DayFold for MembershipFold {
+    fn name(&self) -> &'static str {
+        "membership"
+    }
+
+    fn fold_day(&mut self, slice: &DaySlice<'_>) {
+        let day = slice.day;
+        for rec in slice.groups_today() {
+            self.slots.push(SlotMembership {
+                platform: rec.platform.index() as u8,
+                first_size: None,
+                last_size: None,
+                alive_days: 0,
+                online_seen: false,
+                online_frac: None,
+            });
+        }
+        for (slot, s) in self.slots.iter_mut().enumerate() {
+            let Some(tl) = slice.timelines.get(slot) else {
+                continue;
+            };
+            if let Some(ObservedStatus::Alive { size, online }) = tl.status_on(day) {
+                s.alive_days += 1;
+                if s.first_size.is_none() {
+                    s.first_size = Some(size);
+                }
+                s.last_size = Some(size);
+                if !s.online_seen {
+                    s.online_seen = true;
+                    if size > 0 {
+                        s.online_frac = Some(f64::from(online) / f64::from(size));
+                    }
+                }
+            }
+        }
+        if slice.is_final() {
+            self.creators = PlatformKind::ALL
+                .into_iter()
+                .map(|kind| {
+                    creators_from(
+                        slice.groups(),
+                        slice.interner,
+                        slice.timelines,
+                        slice.joined(),
+                        kind,
+                    )
+                })
+                .collect();
+            self.countries = countries_from(slice.pii);
+        }
+    }
+
+    fn finish(&self, pool: &Pool) -> String {
+        let sections = per_platform(pool, |kind| {
+            let p = kind.index() as u8;
+            let mut sizes: Vec<f64> = Vec::new();
+            let mut fracs: Vec<f64> = Vec::new();
+            let mut deltas: Vec<f64> = Vec::new();
+            let (mut grew, mut shrank, mut flat) = (0u64, 0u64, 0u64);
+            for s in self.slots.iter().filter(|s| s.platform == p) {
+                if let Some(first) = s.first_size {
+                    sizes.push(f64::from(first));
+                }
+                if let Some(f) = s.online_frac {
+                    fracs.push(f);
+                }
+                if s.alive_days >= 2 {
+                    if let (Some(first), Some(last)) = (s.first_size, s.last_size) {
+                        deltas.push(f64::from(last) - f64::from(first));
+                        if last > first {
+                            grew += 1;
+                        } else if last < first {
+                            shrank += 1;
+                        } else {
+                            flat += 1;
+                        }
+                    }
+                }
+            }
+            let n = (grew + shrank + flat).max(1) as f64;
+            let growth = GrowthStats {
+                deltas: Ecdf::new(deltas),
+                grew: grew as f64 / n,
+                shrank: shrank as f64 / n,
+                flat: flat as f64 / n,
+            };
+            let zero = CreatorStats {
+                creators: 0,
+                groups: 0,
+                single_group_share: 0.0,
+                max_groups: 0,
+            };
+            let creators = self.creators.get(kind.index()).unwrap_or(&zero);
+            let mut out = String::new();
+            render_platform(
+                &mut out,
+                kind,
+                &Ecdf::new(sizes),
+                &Ecdf::new(fracs),
+                &growth,
+                creators,
+            );
+            out
+        });
+        let mut out = String::from("membership v1\n");
+        for s in sections {
+            out.push_str(&s);
+        }
+        writeln!(out, "whatsapp_countries: {:?}", self.countries).unwrap();
+        out
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.slots.save(w);
+        self.creators.save(w);
+        self.countries.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.slots = Persist::load(r)?;
+        self.creators = Persist::load(r)?;
+        self.countries = Persist::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

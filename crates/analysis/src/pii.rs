@@ -1,8 +1,12 @@
 //! PII exposure: Table 4 (per-platform exposure) and Table 5 (Discord
 //! connected accounts).
 
-use chatlens_core::Dataset;
+use chatlens_checkpoint::{persist_struct, CheckpointError, Persist, Reader, Writer};
+use chatlens_core::pii::PiiStore;
+use chatlens_core::{Dataset, DayFold, DaySlice};
 use chatlens_platforms::id::PlatformKind;
+use chatlens_simnet::par::Pool;
+use std::fmt::Write as _;
 
 /// One row of Table 4.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,17 +28,23 @@ pub struct ExposureRow {
 
 /// One row of Table 4 for a single platform.
 pub fn exposure_row(ds: &Dataset, kind: PlatformKind) -> ExposureRow {
+    exposure_from(&ds.pii, kind)
+}
+
+/// Table 4 row from the raw PII store; shared by the batch path and
+/// [`PiiFold`]'s final-day capture.
+pub(crate) fn exposure_from(pii: &PiiStore, kind: PlatformKind) -> ExposureRow {
     match kind {
         // WhatsApp: every member of joined groups plus every creator of an
         // accessible group exposes a phone number (100% by construction of
         // the platform — the paper's headline).
         PlatformKind::WhatsApp => {
-            let wa_members: u64 = ds.pii.wa_member_hashes.len() as u64;
-            let wa_creators: u64 = ds.pii.wa_creator_hashes.len() as u64;
+            let wa_members: u64 = pii.wa_member_hashes.len() as u64;
+            let wa_creators: u64 = pii.wa_creator_hashes.len() as u64;
             ExposureRow {
                 platform: PlatformKind::WhatsApp,
                 users_observed: wa_members + wa_creators,
-                phones: Some(ds.pii.wa_total_phones() as u64),
+                phones: Some(pii.wa_total_phones() as u64),
                 phone_rate: Some(1.0),
                 linked_users: None,
                 link_rate: None,
@@ -42,19 +52,19 @@ pub fn exposure_row(ds: &Dataset, kind: PlatformKind) -> ExposureRow {
         }
         PlatformKind::Telegram => ExposureRow {
             platform: PlatformKind::Telegram,
-            users_observed: ds.pii.tg_users_observed.len() as u64,
-            phones: Some(ds.pii.tg_phone_hashes.len() as u64),
-            phone_rate: Some(ds.pii.tg_phone_rate()),
+            users_observed: pii.tg_users_observed.len() as u64,
+            phones: Some(pii.tg_phone_hashes.len() as u64),
+            phone_rate: Some(pii.tg_phone_rate()),
             linked_users: None,
             link_rate: None,
         },
         PlatformKind::Discord => ExposureRow {
             platform: PlatformKind::Discord,
-            users_observed: ds.pii.dc_users_observed.len() as u64,
+            users_observed: pii.dc_users_observed.len() as u64,
             phones: None,
             phone_rate: None,
-            linked_users: Some(ds.pii.dc_users_with_link.len() as u64),
-            link_rate: Some(ds.pii.dc_link_rate()),
+            linked_users: Some(pii.dc_users_with_link.len() as u64),
+            link_rate: Some(pii.dc_link_rate()),
         },
     }
 }
@@ -73,15 +83,145 @@ pub fn exposure_table_par(ds: &Dataset, pool: &chatlens_simnet::par::Pool) -> [E
 /// Table 5: Discord users per linked platform, descending, with shares of
 /// observed users.
 pub fn linked_accounts_table(ds: &Dataset) -> Vec<(String, u64, f64)> {
-    let observed = ds.pii.dc_users_observed.len().max(1) as f64;
-    let mut rows: Vec<(String, u64, f64)> = ds
-        .pii
+    linked_from(&ds.pii)
+}
+
+/// Table 5 rows from the raw PII store; shared by the batch path and
+/// [`PiiFold`]'s final-day capture.
+pub(crate) fn linked_from(pii: &PiiStore) -> Vec<(String, u64, f64)> {
+    let observed = pii.dc_users_observed.len().max(1) as f64;
+    let mut rows: Vec<(String, u64, f64)> = pii
         .dc_linked_counts
         .iter()
         .map(|(label, &n)| (label.clone(), n, n as f64 / observed))
         .collect();
     rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     rows
+}
+
+fn render(out: &mut String, rows: &[ExposureRow; 3], linked: &[(String, u64, f64)]) {
+    for row in rows {
+        writeln!(
+            out,
+            "{}: users={} phones={:?} phone_rate={:?} linked_users={:?} link_rate={:?}",
+            row.platform.name(),
+            row.users_observed,
+            row.phones,
+            row.phone_rate,
+            row.linked_users,
+            row.link_rate
+        )
+        .unwrap();
+    }
+    writeln!(out, "linked_accounts: {linked:?}").unwrap();
+}
+
+/// The batch PII fragment: Tables 4 and 5 rendered canonically from the
+/// final dataset. [`PiiFold`] reproduces these bytes incrementally.
+pub fn fragment(ds: &Dataset, pool: &Pool) -> String {
+    let mut out = String::from("pii v1\n");
+    render(
+        &mut out,
+        &exposure_table_par(ds, pool),
+        &linked_accounts_table(ds),
+    );
+    out
+}
+
+/// One platform's folded Table 4 fields ([`ExposureRow`] minus the
+/// platform tag, which the row's position carries).
+#[derive(Debug, Clone, Default, PartialEq)]
+struct FoldRow {
+    /// Users whose information the collector observed.
+    users_observed: u64,
+    /// Distinct phone hashes exposed, where applicable.
+    phones: Option<u64>,
+    /// Phones as a share of observed users.
+    phone_rate: Option<f64>,
+    /// Users with at least one linked account (Discord only).
+    linked_users: Option<u64>,
+    /// Linked users as a share of observed users.
+    link_rate: Option<f64>,
+}
+
+persist_struct!(FoldRow {
+    users_observed,
+    phones,
+    phone_rate,
+    linked_users,
+    link_rate
+});
+
+/// Incremental twin of [`fragment`].
+///
+/// The PII store only grows (hash sets and tallies), so the compact
+/// Table 4/5 summaries are captured once, on the final day, after the
+/// collection event has filed the last joined group's member list —
+/// exactly the store the batch path reads.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PiiFold {
+    rows: [FoldRow; 3],
+    linked: Vec<(String, u64, f64)>,
+}
+
+impl PiiFold {
+    /// An empty fold.
+    pub fn new() -> PiiFold {
+        PiiFold::default()
+    }
+}
+
+impl DayFold for PiiFold {
+    fn name(&self) -> &'static str {
+        "pii"
+    }
+
+    fn fold_day(&mut self, slice: &DaySlice<'_>) {
+        if !slice.is_final() {
+            return;
+        }
+        self.rows = PlatformKind::ALL.map(|kind| {
+            let row = exposure_from(slice.pii, kind);
+            FoldRow {
+                users_observed: row.users_observed,
+                phones: row.phones,
+                phone_rate: row.phone_rate,
+                linked_users: row.linked_users,
+                link_rate: row.link_rate,
+            }
+        });
+        self.linked = linked_from(slice.pii);
+    }
+
+    fn finish(&self, _pool: &Pool) -> String {
+        let mut i = 0usize;
+        let rows = PlatformKind::ALL.map(|kind| {
+            let r = &self.rows[i];
+            i += 1;
+            ExposureRow {
+                platform: kind,
+                users_observed: r.users_observed,
+                phones: r.phones,
+                phone_rate: r.phone_rate,
+                linked_users: r.linked_users,
+                link_rate: r.link_rate,
+            }
+        });
+        let mut out = String::from("pii v1\n");
+        render(&mut out, &rows, &self.linked);
+        out
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.rows.save(w);
+        self.linked.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.rows = Persist::load(r)?;
+        self.linked = Persist::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -128,6 +128,107 @@ pub fn fraction_of<T>(items: &[T], pred: impl Fn(&T) -> bool) -> f64 {
     items.iter().filter(|x| pred(x)).count() as f64 / items.len() as f64
 }
 
+use crate::pipeline::ecdf_stats;
+use chatlens_checkpoint::{CheckpointError, Persist, Reader, Writer};
+use chatlens_core::{Dataset, DayFold, DaySlice};
+use chatlens_simnet::par::Pool;
+use std::fmt::Write as _;
+
+/// Per-day collection volumes — `[tweets, control, groups, joined]`
+/// records filed on each study day, in day order. The batch twin of
+/// [`StatsFold`]'s state, computed post hoc through
+/// [`Dataset::day_slice`].
+pub fn collection_volumes(ds: &Dataset) -> Vec<[u64; 4]> {
+    let days = ds.window.num_days() as u32;
+    (0..days)
+        .filter_map(|d| ds.day_slice(d))
+        .map(|slice| day_volumes(&slice))
+        .collect()
+}
+
+/// The day's `[tweets, control, groups, joined]` record counts.
+fn day_volumes(slice: &DaySlice<'_>) -> [u64; 4] {
+    [
+        slice.tweets_today().len() as u64,
+        slice.control_today().len() as u64,
+        slice.groups_today().len() as u64,
+        slice.joined_today().len() as u64,
+    ]
+}
+
+fn render(out: &mut String, days: &[[u64; 4]]) {
+    for (d, v) in days.iter().enumerate() {
+        writeln!(
+            out,
+            "day {d}: tweets={} control={} groups={} joined={}",
+            v[0], v[1], v[2], v[3]
+        )
+        .unwrap();
+    }
+    for (i, series) in ["tweets", "control", "groups", "joined"]
+        .into_iter()
+        .enumerate()
+    {
+        let e = Ecdf::from_ints(days.iter().map(|v| v[i]));
+        writeln!(out, "{series}_per_day: {}", ecdf_stats(&e)).unwrap();
+    }
+    let totals: [u64; 4] = [0, 1, 2, 3].map(|i| days.iter().map(|v| v[i]).sum());
+    writeln!(
+        out,
+        "totals: tweets={} control={} groups={} joined={}",
+        totals[0], totals[1], totals[2], totals[3]
+    )
+    .unwrap();
+}
+
+/// The batch stats fragment: per-day collection volumes with their
+/// distributional roll-ups. [`StatsFold`] reproduces these bytes
+/// incrementally.
+pub fn fragment(ds: &Dataset, _pool: &Pool) -> String {
+    let mut out = String::from("stats v1\n");
+    render(&mut out, &collection_volumes(ds));
+    out
+}
+
+/// Incremental twin of [`fragment`]: one `[u64; 4]` volume record per
+/// folded day.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsFold {
+    days: Vec<[u64; 4]>,
+}
+
+impl StatsFold {
+    /// An empty fold.
+    pub fn new() -> StatsFold {
+        StatsFold::default()
+    }
+}
+
+impl DayFold for StatsFold {
+    fn name(&self) -> &'static str {
+        "stats"
+    }
+
+    fn fold_day(&mut self, slice: &DaySlice<'_>) {
+        self.days.push(day_volumes(slice));
+    }
+
+    fn finish(&self, _pool: &Pool) -> String {
+        let mut out = String::from("stats v1\n");
+        render(&mut out, &self.days);
+        out
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.days.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.days = Persist::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

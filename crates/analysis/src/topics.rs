@@ -6,13 +6,19 @@
 //! vocabularies (the closest label wins and the overlap score is
 //! reported), which makes the comparison mechanical and testable.
 
+use crate::fanout::per_platform;
 use crate::lda::{LdaConfig, LdaModel};
+use crate::pipeline::report_lda_config;
 use crate::text::StopwordFilter;
-use chatlens_core::Dataset;
+use chatlens_checkpoint::{CheckpointError, Persist, Reader, Writer};
+use chatlens_core::{Dataset, DayFold, DaySlice};
 use chatlens_platforms::id::PlatformKind;
+use chatlens_platforms::invite::parse_invite_url;
+use chatlens_simnet::par::Pool;
 use chatlens_twitter::Lang;
 use chatlens_workload::topics::{topics_for, topics_for_lang, Topic};
 use chatlens_workload::Vocabulary;
+use std::fmt::Write as _;
 
 /// One recovered, labelled topic.
 #[derive(Debug, Clone)]
@@ -68,8 +74,19 @@ pub fn analyze_topics(
     vocab: &Vocabulary,
     cfg: LdaConfig,
 ) -> TopicAnalysis {
-    let docs = english_corpus(ds, kind, vocab);
-    let model = LdaModel::fit(&docs, vocab.len(), cfg);
+    analyze_corpus(kind, &english_corpus(ds, kind, vocab), vocab, cfg)
+}
+
+/// Fit LDA and label the topics over an already-built English corpus;
+/// shared by the batch path ([`analyze_topics`]) and [`TopicsFold`],
+/// whose corpus accrues day by day instead of being rebuilt at the end.
+pub fn analyze_corpus(
+    kind: PlatformKind,
+    docs: &[Vec<u16>],
+    vocab: &Vocabulary,
+    cfg: LdaConfig,
+) -> TopicAnalysis {
+    let model = LdaModel::fit(docs, vocab.len(), cfg);
     let doc_shares = model.topic_doc_shares();
     let topics = (0..model.k())
         .map(|t| {
@@ -164,6 +181,129 @@ pub fn share_by_label(analysis: &TopicAnalysis) -> Vec<(String, f64)> {
     let mut out: Vec<(String, f64)> = map.into_iter().collect();
     out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     out
+}
+
+fn render_platform(out: &mut String, analysis: &TopicAnalysis) {
+    let name = analysis.platform.name();
+    writeln!(out, "{name}.num_docs: {}", analysis.num_docs).unwrap();
+    for (i, t) in analysis.topics.iter().enumerate() {
+        writeln!(
+            out,
+            "{name}.topic {i}: label={:?} score={:?} share={:?} terms={:?}",
+            t.label, t.match_score, t.tweet_share, t.top_terms
+        )
+        .unwrap();
+    }
+    writeln!(out, "{name}.share_by_label: {:?}", share_by_label(analysis)).unwrap();
+}
+
+/// The batch topics fragment: Table 3 refit with the report's fixed LDA
+/// settings ([`report_lda_config`]) and rendered canonically from the
+/// final dataset. [`TopicsFold`] reproduces these bytes incrementally.
+pub fn fragment(ds: &Dataset, pool: &Pool) -> String {
+    let vocab = Vocabulary::build();
+    let sections = per_platform(pool, |kind| {
+        let analysis = analyze_topics(ds, kind, &vocab, report_lda_config());
+        let mut out = String::new();
+        render_platform(&mut out, &analysis);
+        out
+    });
+    let mut out = String::from("topics v1\n");
+    for s in sections {
+        out.push_str(&s);
+    }
+    out
+}
+
+/// Incremental twin of [`fragment`]: accrues each platform's
+/// stopword-filtered English corpus day by day (tokenising only the
+/// day's tweets), then fits and labels once at `finish` with the same
+/// fixed-seed configuration as the batch path. The vocabulary and
+/// stopword filter are dataset-independent and rebuilt on construction,
+/// so only the token-id corpus rides in the checkpoint.
+pub struct TopicsFold {
+    corpora: [Vec<Vec<u16>>; 3],
+    vocab: Vocabulary,
+    filter: StopwordFilter,
+}
+
+impl TopicsFold {
+    /// An empty fold over a freshly built vocabulary.
+    pub fn new() -> TopicsFold {
+        let vocab = Vocabulary::build();
+        let filter = StopwordFilter::new(&vocab);
+        TopicsFold {
+            corpora: [Vec::new(), Vec::new(), Vec::new()],
+            vocab,
+            filter,
+        }
+    }
+}
+
+impl Default for TopicsFold {
+    fn default() -> TopicsFold {
+        TopicsFold::new()
+    }
+}
+
+impl DayFold for TopicsFold {
+    fn name(&self) -> &'static str {
+        "topics"
+    }
+
+    fn fold_day(&mut self, slice: &DaySlice<'_>) {
+        for ct in slice.tweets_today() {
+            if ct.tweet.lang != Lang::En {
+                continue;
+            }
+            let mut on = [false; 3];
+            for url in &ct.tweet.urls {
+                if let Some(inv) = parse_invite_url(url) {
+                    on[inv.platform().index()] = true;
+                }
+            }
+            if !on.iter().any(|&b| b) {
+                continue;
+            }
+            let doc = self.filter.filter(&ct.tweet.tokens);
+            if doc.is_empty() {
+                continue;
+            }
+            for (i, hit) in on.into_iter().enumerate() {
+                if hit {
+                    self.corpora[i].push(doc.clone());
+                }
+            }
+        }
+    }
+
+    fn finish(&self, pool: &Pool) -> String {
+        let sections = per_platform(pool, |kind| {
+            let analysis = analyze_corpus(
+                kind,
+                &self.corpora[kind.index()],
+                &self.vocab,
+                report_lda_config(),
+            );
+            let mut out = String::new();
+            render_platform(&mut out, &analysis);
+            out
+        });
+        let mut out = String::from("topics v1\n");
+        for s in sections {
+            out.push_str(&s);
+        }
+        out
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.corpora.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.corpora = Persist::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -4,10 +4,15 @@
 //!
 //! Design rules:
 //!
-//! * Fixed-width little-endian integers; `f64` as its IEEE-754 bit
-//!   pattern (`to_bits`/`from_bits`), so floating state round-trips
-//!   exactly.
-//! * Length prefixes are `u64` and are validated against the remaining
+//! * Multi-byte integers are canonical LEB128 varints (`u16`/`u32`/`u64`/
+//!   `usize` direct, `i32`/`i64` zigzag-mapped first); `u8` stays a raw
+//!   byte and `f64` is its fixed 8-byte IEEE-754 bit pattern
+//!   (`to_bits`/`from_bits`), so floating state round-trips exactly.
+//!   Varints are the format-v5 change: most persisted values (lengths,
+//!   day numbers, counters, sizes) are small, so snapshots shrink.
+//!   Decoding rejects non-canonical (overlong) varints, keeping the
+//!   codec bijective: equal values always encode to equal bytes.
+//! * Length prefixes are varints and are validated against the remaining
 //!   input *before* any allocation — a corrupt length cannot trigger a
 //!   huge `Vec::with_capacity`.
 //! * Enums encode as a `u8` index into a stable variant order; unknown
@@ -64,6 +69,21 @@ impl Writer {
     pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
+
+    /// Append a LEB128 varint: seven value bits per byte, low bits first,
+    /// high bit set on every byte except the last. The encoding is
+    /// minimal-length by construction, so it is canonical.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
 }
 
 /// Bounds-checked cursor over encoded bytes.
@@ -116,12 +136,38 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 
-    /// Consume a `u64` length prefix and validate it against the remaining
+    /// Consume a LEB128 varint, rejecting overlong encodings so that
+    /// decode(encode(v)) consumes exactly the bytes encode wrote and no
+    /// other byte sequence decodes to the same value.
+    pub fn get_varint(&mut self) -> Result<u64, CheckpointError> {
+        let mut value: u64 = 0;
+        for i in 0..10u32 {
+            let byte = self.get_u8()?;
+            // The 10th byte carries bit 63 only; anything above overflows.
+            if i == 9 && byte > 0x01 {
+                return Err(CheckpointError::Malformed("varint overflows u64".into()));
+            }
+            value |= u64::from(byte & 0x7f) << (7 * i);
+            if byte & 0x80 == 0 {
+                if i > 0 && byte == 0 {
+                    return Err(CheckpointError::Malformed(
+                        "non-canonical varint (overlong encoding)".into(),
+                    ));
+                }
+                return Ok(value);
+            }
+        }
+        Err(CheckpointError::Malformed(
+            "varint longer than 10 bytes".into(),
+        ))
+    }
+
+    /// Consume a varint length prefix and validate it against the remaining
     /// input (each encoded element occupies at least one byte, so a length
     /// exceeding `remaining` can never be satisfied). This is the
     /// allocation guard: call it before any `with_capacity`.
     pub fn get_len(&mut self) -> Result<usize, CheckpointError> {
-        let len = self.get_u64()?;
+        let len = self.get_varint()?;
         let len = usize::try_from(len)
             .map_err(|_| CheckpointError::Malformed("length prefix overflows usize".into()))?;
         if len > self.remaining() {
@@ -161,28 +207,59 @@ macro_rules! persist_struct {
     };
 }
 
-macro_rules! persist_le_int {
-    ($($ty:ty),+) => {
+// `u8` stays a raw byte: a varint would cost a second byte for values
+// ≥ 128, and single bytes are already as small as it gets.
+impl Persist for u8 {
+    fn save(&self, w: &mut Writer) {
+        w.put_u8(*self);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        r.get_u8()
+    }
+}
+
+macro_rules! persist_uvarint {
+    ($($ty:ty => $what:literal),+ $(,)?) => {
         $(impl Persist for $ty {
             fn save(&self, w: &mut Writer) {
-                w.put_bytes(&self.to_le_bytes());
+                w.put_varint(u64::from(*self));
             }
             fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
-                let b = r.take(std::mem::size_of::<$ty>())?;
-                Ok(<$ty>::from_le_bytes(b.try_into().expect("sized slice")))
+                <$ty>::try_from(r.get_varint()?)
+                    .map_err(|_| CheckpointError::Malformed(concat!("varint overflows ", $what).into()))
             }
         })+
     };
 }
 
-persist_le_int!(u8, u16, u32, u64, i32, i64);
+persist_uvarint!(u16 => "u16", u32 => "u32", u64 => "u64");
+
+/// Zigzag map: small-magnitude signed values (of either sign) become
+/// small unsigned varints (`0, -1, 1, -2, 2, …` → `0, 1, 2, 3, 4, …`).
+macro_rules! persist_ivarint {
+    ($($ty:ty => $un:ty, $bits:literal, $what:literal);+ $(;)?) => {
+        $(impl Persist for $ty {
+            fn save(&self, w: &mut Writer) {
+                let zig = ((*self << 1) ^ (*self >> ($bits - 1))) as $un;
+                w.put_varint(u64::from(zig));
+            }
+            fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+                let zig = <$un>::try_from(r.get_varint()?)
+                    .map_err(|_| CheckpointError::Malformed(concat!("varint overflows ", $what).into()))?;
+                Ok(((zig >> 1) as $ty) ^ -((zig & 1) as $ty))
+            }
+        })+
+    };
+}
+
+persist_ivarint!(i32 => u32, 32, "i32"; i64 => u64, 64, "i64");
 
 impl Persist for usize {
     fn save(&self, w: &mut Writer) {
-        w.put_u64(*self as u64);
+        w.put_varint(*self as u64);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
-        usize::try_from(r.get_u64()?)
+        usize::try_from(r.get_varint()?)
             .map_err(|_| CheckpointError::Malformed("usize value overflows this platform".into()))
     }
 }
@@ -211,7 +288,7 @@ impl Persist for f64 {
 
 impl Persist for String {
     fn save(&self, w: &mut Writer) {
-        w.put_u64(self.len() as u64);
+        w.put_varint(self.len() as u64);
         w.put_bytes(self.as_bytes());
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
@@ -227,7 +304,7 @@ impl Persist for std::borrow::Cow<'static, str> {
     // whether the live value borrowed a `'static` literal or owned its
     // bytes, and loading always produces an owned value.
     fn save(&self, w: &mut Writer) {
-        w.put_u64(self.len() as u64);
+        w.put_varint(self.len() as u64);
         w.put_bytes(self.as_bytes());
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
@@ -256,7 +333,7 @@ impl<T: Persist> Persist for Option<T> {
 
 impl<T: Persist> Persist for Vec<T> {
     fn save(&self, w: &mut Writer) {
-        w.put_u64(self.len() as u64);
+        w.put_varint(self.len() as u64);
         for item in self {
             item.save(w);
         }
@@ -310,7 +387,7 @@ impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
 
 impl<K: Persist + Ord, V: Persist> Persist for BTreeMap<K, V> {
     fn save(&self, w: &mut Writer) {
-        w.put_u64(self.len() as u64);
+        w.put_varint(self.len() as u64);
         for (k, v) in self {
             k.save(w);
             v.save(w);
@@ -406,13 +483,70 @@ mod tests {
 
     #[test]
     fn hostile_length_prefix_is_rejected_before_allocation() {
-        // A Vec claiming u64::MAX elements with a 9-byte body.
-        let mut bytes = u64::MAX.to_le_bytes().to_vec();
+        // A Vec claiming u64::MAX elements (the 10-byte varint) with a
+        // one-byte body.
+        let mut w = Writer::new();
+        w.put_varint(u64::MAX);
+        let mut bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 10);
         bytes.push(0);
         assert_eq!(
             Vec::<u8>::load(&mut Reader::new(&bytes)),
             Err(CheckpointError::Truncated)
         );
+    }
+
+    #[test]
+    fn varint_boundaries_round_trip_at_minimal_width() {
+        for (value, width) in [
+            (0u64, 1usize),
+            (0x7f, 1),
+            (0x80, 2),
+            (0x3fff, 2),
+            (0x4000, 3),
+            (u64::from(u32::MAX), 5),
+            (u64::MAX, 10),
+        ] {
+            let mut w = Writer::new();
+            w.put_varint(value);
+            let bytes = w.into_bytes();
+            assert_eq!(bytes.len(), width, "width of {value:#x}");
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.get_varint().unwrap(), value);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn overlong_varints_are_malformed() {
+        // 0x80 0x00 decodes to 0, but 0 must encode as the single byte
+        // 0x00: the canonical codec rejects the overlong form.
+        for bytes in [&[0x80, 0x00][..], &[0xff, 0x80, 0x00][..]] {
+            assert!(matches!(
+                Reader::new(bytes).get_varint(),
+                Err(CheckpointError::Malformed(_))
+            ));
+        }
+        // An 11-byte continuation chain can never fit in u64.
+        let too_long = [0xffu8; 10];
+        assert!(matches!(
+            Reader::new(&too_long).get_varint(),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_small() {
+        for value in [-1i64, 1, -63, 63] {
+            let mut w = Writer::new();
+            value.save(&mut w);
+            assert_eq!(w.len(), 1, "encoding width of {value}");
+        }
+        round_trip(i64::MIN);
+        round_trip(i64::MAX);
+        round_trip(i32::MIN);
+        round_trip(i32::MAX);
+        round_trip(-1i32);
     }
 
     #[test]
@@ -430,7 +564,7 @@ mod tests {
     #[test]
     fn out_of_order_map_keys_are_malformed() {
         let mut w = Writer::new();
-        w.put_u64(2);
+        w.put_varint(2);
         String::from("b").save(&mut w);
         1u64.save(&mut w);
         String::from("a").save(&mut w);
@@ -445,7 +579,7 @@ mod tests {
     #[test]
     fn invalid_utf8_is_malformed() {
         let mut w = Writer::new();
-        w.put_u64(2);
+        w.put_varint(2);
         w.put_bytes(&[0xff, 0xfe]);
         let bytes = w.into_bytes();
         assert!(matches!(

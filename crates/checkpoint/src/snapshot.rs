@@ -31,7 +31,13 @@ pub const MAGIC: [u8; 8] = *b"CLCKPT\x1a\x01";
 ///   and gap ledger are keyed by dense group slot (`u32`) instead of
 ///   dedup-key strings, and each timeline encodes as parallel day/status
 ///   columns instead of an observation-struct list.
-pub const FORMAT_VERSION: u32 = 4;
+/// * v5 — incremental analysis folds: multi-byte integers and length
+///   prefixes became canonical LEB128 varints (zigzag for signed; `f64`
+///   and the envelope header stay fixed-width), the campaign state
+///   carries per-day collection cursor marks (`DayMark`) and an optional
+///   fold ledger (`FoldLedger`) of per-analysis folded state, so resumed
+///   incremental runs never replay raw history.
+pub const FORMAT_VERSION: u32 = 5;
 
 /// Envelope overhead before the payload: magic + version + payload length.
 const HEADER_LEN: usize = 8 + 4 + 8;

@@ -1,6 +1,7 @@
 //! The assembled campaign output — everything the analyses consume.
 
 use crate::discovery::{CollectedTweet, Discovery, DiscoveryRecord};
+use crate::fold::{DayMark, DayParts, DaySlice};
 use crate::intern::Interner;
 use crate::joiner::JoinedGroup;
 use crate::monitor::{GapLedger, GroupTimeline, ObservedStatus, TimelineStore};
@@ -79,10 +80,15 @@ pub struct Dataset {
     /// Campaign-health counters and histograms (request volumes, rounds
     /// executed, discovery progress).
     pub metrics: chatlens_simnet::metrics::Metrics,
+    /// Per-day collection cursor marks, one per completed study day —
+    /// the boundaries [`Dataset::day_slice`] cuts at. Not rendered by
+    /// [`Dataset::campaign_report`] (the frozen byte contract).
+    pub marks: Vec<DayMark>,
 }
 
 impl Dataset {
     /// Assemble from the campaign components.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         window: StudyWindow,
         discovery: Discovery,
@@ -91,6 +97,7 @@ impl Dataset {
         monitor_quarantine: Vec<QuarantineEntry>,
         joiner: crate::joiner::Joiner,
         pii: PiiStore,
+        marks: Vec<DayMark>,
     ) -> Dataset {
         let mut quarantine = discovery.quarantine;
         quarantine.extend(monitor_quarantine);
@@ -111,7 +118,43 @@ impl Dataset {
             joined: joiner.joined,
             pii,
             metrics: chatlens_simnet::metrics::Metrics::new(),
+            marks,
         }
+    }
+
+    /// A borrowed [`DaySlice`] view of day `day`: the collections as
+    /// they stood at that day's boundary, cut at the recorded
+    /// [`DayMark`]s (no per-day data is ever cloned). Cumulative stores
+    /// (timelines, gaps, PII) are exposed in their final form; timelines
+    /// slice by day via binary search
+    /// ([`GroupTimeline::status_on`](crate::monitor::GroupTimeline::status_on)).
+    /// `None` if `day` has no recorded mark.
+    pub fn day_slice(&self, day: u32) -> Option<DaySlice<'_>> {
+        let cur = self.marks.get(day as usize)?;
+        debug_assert_eq!(cur.day, day, "marks must be day-indexed");
+        let zero = DayMark {
+            day: 0,
+            tweets: 0,
+            control: 0,
+            groups: 0,
+            joined: 0,
+        };
+        let prev = match day.checked_sub(1) {
+            Some(d) => *self.marks.get(d as usize)?,
+            None => zero,
+        };
+        let parts = DayParts {
+            window: self.window,
+            tweets: &self.tweets,
+            control: &self.control,
+            groups: &self.groups,
+            joined: &self.joined,
+            interner: &self.interner,
+            timelines: &self.timelines,
+            gaps: &self.gaps,
+            pii: &self.pii,
+        };
+        Some(parts.slice_between(day, &prev, cur))
     }
 
     /// Tweets that carry at least one URL of `kind` (a tweet sharing two

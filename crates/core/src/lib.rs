@@ -41,6 +41,7 @@ pub mod audit;
 pub mod dataset;
 pub mod discovery;
 pub mod error;
+pub mod fold;
 pub mod intern;
 pub mod joiner;
 pub mod monitor;
@@ -54,9 +55,11 @@ pub mod study;
 pub use audit::{audit_dataset, AuditCode, AuditViolation};
 pub use dataset::Dataset;
 pub use error::CoreError;
+pub use fold::{DayFold, DayMark, DayParts, DaySlice, FoldDriver, FoldLedger, FoldOutcome};
 pub use intern::{Interner, Sym};
 pub use state::{CampaignState, SnapshotSummary};
 pub use study::{
-    resume_study, resume_study_checkpointed, resume_study_days, run_study, run_study_checkpointed,
-    run_study_with, CampaignConfig, CampaignEvent, CheckpointPolicy,
+    resume_study, resume_study_checkpointed, resume_study_days, resume_study_folded,
+    resume_study_folded_checkpointed, run_study, run_study_checkpointed, run_study_folded,
+    run_study_folded_checkpointed, run_study_with, CampaignConfig, CampaignEvent, CheckpointPolicy,
 };

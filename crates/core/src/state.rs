@@ -21,6 +21,7 @@
 //! byte-equal, which the determinism suite exploits directly.
 
 use crate::discovery::{CollectedTweet, Discovery, DiscoveryRecord};
+use crate::fold::{DayMark, FoldLedger};
 use crate::joiner::{JoinStrategy, JoinedGroup, Joiner, MemberRecord};
 use crate::monitor::{GapLedger, GroupTimeline, Monitor, ObservedStatus, TimelineStore};
 use crate::patterns::ExtractionStats;
@@ -654,6 +655,15 @@ pub struct CampaignState {
     /// Metrics registry. Counters ending `.micros` are wall-clock and
     /// differ across runs; [`Metrics::strip_wall_clock`] normalizes.
     pub metrics: Metrics,
+    /// Per-day collection cursor marks, one per completed day (format
+    /// v5). Recorded by every run — they delimit day slices for the
+    /// incremental analysis folds and `Dataset::day_slice`.
+    pub marks: Vec<DayMark>,
+    /// Folded analysis state (format v5). `Some` when the snapshot was
+    /// written by an incremental (`--analysis incremental`) run; batch
+    /// runs write `None`. Resuming incrementally requires it — the
+    /// folds' inputs are never replayed from raw history.
+    pub folds: Option<FoldLedger>,
     /// Campaign-mutated slice of the ecosystem.
     pub delta: EcosystemDelta,
 }
@@ -670,6 +680,8 @@ persist_struct!(CampaignState {
     joiner,
     pii,
     metrics,
+    marks,
+    folds,
     delta
 });
 
@@ -714,6 +726,11 @@ pub struct SnapshotSummary {
     pub quarantined_monitor: usize,
     /// Quarantined bodies in the joiner ledger.
     pub quarantined_joiner: usize,
+    /// Analyses carried in the fold ledger (0 for batch snapshots).
+    pub folds: usize,
+    /// Encoded fold-state bytes, keyed by fold name (empty for batch
+    /// snapshots). The `repro checkpoint inspect` per-fold size report.
+    pub fold_state_bytes: BTreeMap<String, u64>,
     /// Deterministic metric counters (wall-clock timings excluded).
     pub counters: BTreeMap<String, u64>,
 }
@@ -739,6 +756,16 @@ impl CampaignState {
             quarantined_discovery: self.discovery.quarantine.len(),
             quarantined_monitor: self.monitor.quarantine.len(),
             quarantined_joiner: self.joiner.quarantine.len(),
+            folds: self.folds.as_ref().map_or(0, |l| l.entries.len()),
+            fold_state_bytes: self
+                .folds
+                .as_ref()
+                .map(|l| {
+                    l.state_sizes()
+                        .map(|(name, bytes)| (name.to_string(), bytes))
+                        .collect()
+                })
+                .unwrap_or_default(),
             counters: self
                 .metrics
                 .counters()

@@ -23,9 +23,21 @@
 //! [`resume_study`] rebuilds the world from the scenario, replays the
 //! delta, and continues — producing a dataset byte-identical to an
 //! uninterrupted run.
+//!
+//! # Incremental analysis
+//!
+//! The `*_folded` entry points thread a [`FoldDriver`] through the day
+//! loop: after every completed day the driver hands each registered
+//! [`DayFold`](crate::fold::DayFold) a borrowed slice of the day's
+//! appends, so analyses maintain compact per-day state instead of
+//! replaying history at campaign end. Folded state rides inside the
+//! snapshot (`CampaignState::folds`), making incremental runs
+//! killable/resumable like batch runs — `tests/fold_parity.rs` proves
+//! the final report fragments byte-identical either way.
 
 use crate::dataset::Dataset;
 use crate::discovery::Discovery;
+use crate::fold::{DayMark, DayParts, FoldDriver};
 use crate::joiner::Joiner;
 use crate::monitor::Monitor;
 use crate::net::Net;
@@ -244,7 +256,7 @@ pub fn run_study_checkpointed(
 ) -> Result<Dataset, CheckpointError> {
     let eco = Ecosystem::build(scenario);
     let runner = Runner::new(eco.window, campaign);
-    run_guarded(runner, eco, policy)
+    run_guarded(runner, eco, policy, None)
 }
 
 /// Resume a snapshotted campaign and run it to completion. The returned
@@ -281,7 +293,108 @@ pub fn resume_study_checkpointed(
     policy: &CheckpointPolicy,
 ) -> Result<Dataset, CheckpointError> {
     let (eco, runner) = rebuild(state);
-    run_guarded(runner, eco, policy)
+    run_guarded(runner, eco, policy, None)
+}
+
+/// Run the full study while folding every completed day into `driver`'s
+/// incremental analyses. The returned dataset is identical to
+/// [`run_study_with`]'s; the analysis results live in the driver — call
+/// [`FoldDriver::finish`] afterwards for the report fragments.
+pub fn run_study_folded(
+    scenario: ScenarioConfig,
+    campaign: CampaignConfig,
+    driver: &mut FoldDriver,
+) -> Dataset {
+    let mut eco = Ecosystem::build(scenario);
+    let mut runner = Runner::new(eco.window, campaign);
+    let days = eco.window.num_days() as u32;
+    while runner.day < days {
+        runner.step_day(&mut eco);
+        driver.fold_day(&runner.parts());
+    }
+    runner.finish(&mut eco)
+}
+
+/// [`run_study_folded`] with snapshot saves per the policy. Every
+/// snapshot carries the driver's [`FoldLedger`](crate::fold::FoldLedger),
+/// so the run resumes via [`resume_study_folded`] without replaying any
+/// raw history.
+pub fn run_study_folded_checkpointed(
+    scenario: ScenarioConfig,
+    campaign: CampaignConfig,
+    policy: &CheckpointPolicy,
+    driver: &mut FoldDriver,
+) -> Result<Dataset, CheckpointError> {
+    let eco = Ecosystem::build(scenario);
+    let runner = Runner::new(eco.window, campaign);
+    run_guarded(runner, eco, policy, Some(driver))
+}
+
+/// Resume a snapshotted incremental campaign: restore `driver`'s folds
+/// from the snapshot's ledger (auditing day and cursor agreement), then
+/// run — and fold — the remaining days.
+///
+/// # Panics
+/// Panics if the snapshot carries no fold ledger (it was written by a
+/// batch run — resume it with [`resume_study`] instead, or re-run
+/// incrementally from scratch), if the ledger does not match the
+/// driver's registered folds, or if the ledger's cursors disagree with
+/// the snapshot's collections.
+pub fn resume_study_folded(state: &CampaignState, driver: &mut FoldDriver) -> Dataset {
+    let (mut eco, mut runner) = rebuild_folded(state, driver);
+    let days = runner.window.num_days() as u32;
+    while runner.day < days {
+        runner.step_day(&mut eco);
+        driver.fold_day(&runner.parts());
+    }
+    runner.finish(&mut eco)
+}
+
+/// [`resume_study_folded`] with snapshot saves per the policy (a resumed
+/// incremental run is itself resumable).
+///
+/// # Panics
+/// As [`resume_study_folded`].
+pub fn resume_study_folded_checkpointed(
+    state: &CampaignState,
+    policy: &CheckpointPolicy,
+    driver: &mut FoldDriver,
+) -> Result<Dataset, CheckpointError> {
+    let (eco, runner) = rebuild_folded(state, driver);
+    run_guarded(runner, eco, policy, Some(driver))
+}
+
+/// [`rebuild`] plus fold-ledger restoration and audit.
+fn rebuild_folded(state: &CampaignState, driver: &mut FoldDriver) -> (Ecosystem, Runner) {
+    let (eco, runner) = rebuild(state);
+    let ledger = state.folds.as_ref().expect(
+        "snapshot carries no fold ledger: it was written by a batch run; \
+         resume it in batch mode or re-run incrementally from scratch",
+    );
+    driver
+        .restore(ledger)
+        .expect("fold ledger does not match this build's registered folds");
+    assert_eq!(
+        driver.days_folded(),
+        state.day,
+        "fold ledger day count disagrees with snapshot day"
+    );
+    assert_eq!(
+        (
+            ledger.tweets_seen,
+            ledger.control_seen,
+            ledger.groups_seen,
+            ledger.joined_seen,
+        ),
+        (
+            runner.discovery.tweets.len() as u64,
+            runner.discovery.control.len() as u64,
+            runner.discovery.groups.len() as u64,
+            runner.joiner.joined.len() as u64,
+        ),
+        "fold ledger cursors disagree with the snapshot's collections"
+    );
+    (eco, runner)
 }
 
 /// Rebuild the world and the runner from a snapshot: the ecosystem is
@@ -304,20 +417,29 @@ fn rebuild(state: &CampaignState) -> (Ecosystem, Runner) {
         violations.is_empty(),
         "restored snapshot violates campaign invariants: {violations:#?}"
     );
+    assert_eq!(
+        runner.marks.len(),
+        state.day as usize,
+        "snapshot must carry one day mark per completed day"
+    );
     (eco, runner)
 }
 
-/// Drive a runner to completion under a checkpoint policy.
+/// Drive a runner to completion under a checkpoint policy, optionally
+/// folding each completed day into an incremental-analysis driver (whose
+/// ledger then rides inside every snapshot, including the drop-save).
 fn run_guarded(
     runner: Runner,
     eco: Ecosystem,
     policy: &CheckpointPolicy,
+    driver: Option<&mut FoldDriver>,
 ) -> Result<Dataset, CheckpointError> {
     let days = runner.window.num_days() as u32;
     let mut guard = RunGuard {
         runner: Some(runner),
         eco: Some(eco),
         policy,
+        driver,
     };
     loop {
         let runner = guard.runner.as_mut().expect("runner present until taken");
@@ -326,8 +448,14 @@ fn run_guarded(
             break;
         }
         runner.step_day(eco);
+        if let Some(driver) = guard.driver.as_deref_mut() {
+            driver.fold_day(&runner.parts());
+        }
         if policy.every_days > 0 && runner.day.is_multiple_of(policy.every_days) {
-            let state = runner.state(eco);
+            let state = match guard.driver.as_deref() {
+                Some(driver) => runner.state_with_folds(eco, driver),
+                None => runner.state(eco),
+            };
             save_to_file(&policy.snapshot_path(runner.day), &state)?;
         }
     }
@@ -341,20 +469,24 @@ fn run_guarded(
 /// Owns the runner across the checkpointed loop so an unwind (a panic in
 /// an event handler) still leaves a snapshot of the last completed day on
 /// disk. Disarmed by `take`-ing the fields before final assembly.
-struct RunGuard<'p> {
+struct RunGuard<'p, 'd> {
     runner: Option<Runner>,
     eco: Option<Ecosystem>,
     policy: &'p CheckpointPolicy,
+    driver: Option<&'d mut FoldDriver>,
 }
 
-impl Drop for RunGuard<'_> {
+impl Drop for RunGuard<'_, '_> {
     fn drop(&mut self) {
         if !self.policy.on_drop {
             return;
         }
         if let (Some(runner), Some(eco)) = (self.runner.as_ref(), self.eco.as_ref()) {
             // Best-effort: never panic (or surface I/O errors) mid-unwind.
-            let state = runner.state(eco);
+            let state = match self.driver.as_deref() {
+                Some(driver) => runner.state_with_folds(eco, driver),
+                None => runner.state(eco),
+            };
             let _ = save_to_file(&self.policy.snapshot_path(runner.day), &state);
         }
     }
@@ -375,6 +507,10 @@ struct Runner {
     joiner: Joiner,
     pii: PiiStore,
     metrics: Metrics,
+    /// One mark per completed day: collection-vector lengths at the day
+    /// boundary. Recorded unconditionally (batch and incremental runs
+    /// produce identical datasets and snapshots, folds aside).
+    marks: Vec<DayMark>,
 }
 
 impl Runner {
@@ -444,6 +580,7 @@ impl Runner {
             joiner: Joiner::new(),
             pii: PiiStore::new(),
             metrics: Metrics::new(),
+            marks: Vec::new(),
         }
     }
 
@@ -483,6 +620,13 @@ impl Runner {
             );
         });
         self.day += 1;
+        self.marks.push(DayMark {
+            day: self.day - 1,
+            tweets: self.discovery.tweets.len() as u64,
+            control: self.discovery.control.len() as u64,
+            groups: self.discovery.groups.len() as u64,
+            joined: self.joiner.joined.len() as u64,
+        });
         // Day boundaries are quiescent points, so the cross-component
         // invariants must hold here; debug builds prove it after every
         // day, release campaigns skip the sweep.
@@ -584,6 +728,7 @@ impl Runner {
             self.monitor.quarantine,
             self.joiner,
             self.pii,
+            self.marks,
         );
         ds.metrics = self.metrics;
         ds
@@ -603,7 +748,32 @@ impl Runner {
             joiner: JoinerState::capture(&self.joiner),
             pii: PiiState::capture(&self.pii),
             metrics: self.metrics.clone(),
+            marks: self.marks.clone(),
+            folds: None,
             delta: eco.export_delta(),
+        }
+    }
+
+    /// Capture the full campaign state including the fold ledger of an
+    /// incremental run's driver.
+    fn state_with_folds(&self, eco: &Ecosystem, driver: &FoldDriver) -> CampaignState {
+        let mut state = self.state(eco);
+        state.folds = Some(driver.ledger());
+        state
+    }
+
+    /// Borrow the live collections for per-day fold slicing.
+    fn parts(&self) -> DayParts<'_> {
+        DayParts {
+            window: self.window,
+            tweets: &self.discovery.tweets,
+            control: &self.discovery.control,
+            groups: &self.discovery.groups,
+            joined: &self.joiner.joined,
+            interner: self.discovery.interner(),
+            timelines: &self.monitor.timelines,
+            gaps: &self.monitor.gaps,
+            pii: &self.pii,
         }
     }
 
@@ -632,6 +802,7 @@ impl Runner {
             joiner: state.joiner.restore(),
             pii: state.pii.restore(),
             metrics: state.metrics.clone(),
+            marks: state.marks.clone(),
         }
     }
 }

@@ -1,0 +1,78 @@
+//! Rendering of the incremental-analysis fold summary (`repro run
+//! --analysis incremental`).
+
+use crate::table::{fmt_bytes, fmt_count, Table};
+
+/// One row of the fold summary: a fold's accounting as reported by the
+/// driver after `finish`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldSummaryRow {
+    /// Fold name (registration order is preserved by the caller).
+    pub name: String,
+    /// Final encoded state size in bytes.
+    pub state_bytes: u64,
+    /// Total microseconds spent folding days into this analysis.
+    pub fold_micros: u64,
+    /// Microseconds spent rendering the final fragment.
+    pub finish_micros: u64,
+    /// Short digest of the rendered fragment (parity spot-check against
+    /// a batch run's fragment digest).
+    pub digest: String,
+}
+
+/// Render the per-fold summary table: state sizes, per-stage timings and
+/// fragment digests, with a peak-state/days headline.
+pub fn fold_summary(rows: &[FoldSummaryRow], peak_state_bytes: u64, days_folded: u32) -> Table {
+    let mut t = Table::new(format!(
+        "Incremental analysis folds — {days_folded} day(s) folded, peak state {}",
+        fmt_bytes(peak_state_bytes)
+    ))
+    .header([
+        "fold",
+        "state",
+        "fold \u{b5}s",
+        "finish \u{b5}s",
+        "fragment",
+    ]);
+    for r in rows {
+        t.row([
+            r.name.clone(),
+            fmt_bytes(r.state_bytes),
+            fmt_count(r.fold_micros),
+            fmt_count(r.finish_micros),
+            r.digest.clone(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_lists_every_fold_with_headline() {
+        let rows = vec![
+            FoldSummaryRow {
+                name: "discovery".into(),
+                state_bytes: 2048,
+                fold_micros: 1500,
+                finish_micros: 90,
+                digest: "ab12cd34ef56".into(),
+            },
+            FoldSummaryRow {
+                name: "stats".into(),
+                state_bytes: 64,
+                fold_micros: 12,
+                finish_micros: 5,
+                digest: "0011223344aa".into(),
+            },
+        ];
+        let s = fold_summary(&rows, 4096, 38).render();
+        assert!(s.contains("38 day(s) folded"));
+        assert!(s.contains("4.0 KiB"));
+        assert!(s.contains("discovery"));
+        assert!(s.contains("ab12cd34ef56"));
+        assert!(s.contains("1,500"));
+    }
+}

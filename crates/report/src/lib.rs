@@ -9,9 +9,11 @@
 #![forbid(unsafe_code)]
 
 pub mod compare;
+pub mod fold;
 pub mod plot;
 pub mod series;
 pub mod table;
 
 pub use compare::{Comparison, Direction};
+pub use fold::{fold_summary, FoldSummaryRow};
 pub use table::Table;

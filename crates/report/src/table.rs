@@ -125,6 +125,22 @@ pub fn fmt_pct(f: f64) -> String {
     format!("{:.1}%", f * 100.0)
 }
 
+/// Format a byte count in a human-readable binary unit (`4096` →
+/// `4.0 KiB`); exact counts below 1 KiB (`512` → `512 B`).
+pub fn fmt_bytes(n: u64) -> String {
+    const UNITS: [&str; 4] = ["KiB", "MiB", "GiB", "TiB"];
+    if n < 1024 {
+        return format!("{n} B");
+    }
+    let mut value = n as f64 / 1024.0;
+    let mut unit = 0usize;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.1} {}", UNITS[unit])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -194,6 +194,16 @@ pub mod keys {
     pub const STAGE_EXTRAS: &str = "extras";
     pub const STAGE_EXTENSIONS: &str = "extensions";
     pub const STAGE_REPORT: &str = "report";
+
+    // Incremental analysis folds (per-fold stages are computed as
+    // `fold.<name>` / `fold_finish.<name>` from these prefixes).
+    pub const STAGE_FOLD: &str = "fold";
+    pub const STAGE_FOLD_FINISH: &str = "fold_finish";
+    pub const FOLD_DAYS: &str = "fold.days";
+    pub const FOLD_STATE_PEAK_BYTES: &str = "fold.state_peak_bytes";
+    /// Full batch-analysis report render, timed by the fold bench gate
+    /// as the baseline the incremental path is compared against.
+    pub const STAGE_BATCH_REPORT: &str = "batch_report";
 }
 
 /// A registry of named counters and histograms with deterministic

@@ -16,21 +16,26 @@
 //! table recorded in [`chatlens::simnet::metrics::Metrics`].
 
 use chatlens::analysis::LdaConfig;
-use chatlens::analysis::{content, discovery, lifecycle, membership, messages, pii, topics};
+use chatlens::analysis::{
+    content, discovery, lifecycle, membership, messages, pii, standard_folds, topics,
+};
 use chatlens::checkpoint::load_from_file;
 use chatlens::core::audit_dataset;
 use chatlens::core::net::SERVICE_NAMES;
 use chatlens::core::{
-    resume_study, resume_study_checkpointed, run_study_checkpointed, CampaignConfig, CampaignState,
-    CheckpointPolicy,
+    resume_study, resume_study_checkpointed, resume_study_folded, resume_study_folded_checkpointed,
+    run_study_checkpointed, run_study_folded, run_study_folded_checkpointed, CampaignConfig,
+    CampaignState, CheckpointPolicy, FoldDriver,
 };
 use chatlens::perspective::score_dataset;
 use chatlens::platforms::id::PlatformKind;
 use chatlens::platforms::spec::PlatformSpec;
 use chatlens::report::compare::{holding, markdown_table, Comparison};
+use chatlens::report::fold::{fold_summary, FoldSummaryRow};
 use chatlens::report::series::{cdf_summary, days_csv, sparkline, to_csv};
 use chatlens::report::table::{fmt_count, fmt_pct, Table};
 use chatlens::simnet::fault::{CorruptionProfile, FaultProfile, OutageSpec};
+use chatlens::simnet::hash::sha256_hex;
 use chatlens::simnet::metrics::{keys, Metrics};
 use chatlens::simnet::par::Pool;
 use chatlens::twitter::Lang;
@@ -50,6 +55,7 @@ ARTIFACT:
     extensions dump-config run all    (default: all)
     `run` executes the campaign and prints the dataset totals without
     regenerating the analyses — pair it with the checkpoint options
+    and `--analysis incremental` for the per-day folded pipeline
 
 SUBCOMMANDS:
     lint [--stats] [--format <text|json>] [--out <path>]
@@ -85,6 +91,15 @@ OPTIONS:
                      at ANY thread count — parallelism only changes
                      wall-clock time, never a table, figure, or the
                      collected dataset.
+    --analysis <batch|incremental>
+                     analysis pipeline mode (default batch). `incremental`
+                     folds every completed study day into compact per-
+                     analysis state (the DayFold pipeline) instead of
+                     replaying history at campaign end: checkpoints carry
+                     folded state (smaller snapshots, audited on resume)
+                     and a per-fold state-size/timing summary is printed
+                     after the run. Fold output is byte-identical to the
+                     batch analyses — locked by tests/fold_parity.rs.
     --checkpoint-dir <dir>
                      save a campaign snapshot (day<NNN>.ckpt) into <dir>
                      at day boundaries during the run
@@ -138,6 +153,7 @@ fn main() {
     let mut ckpt_dir: Option<std::path::PathBuf> = None;
     let mut ckpt_every = 1u32;
     let mut resume: Option<std::path::PathBuf> = None;
+    let mut incremental = false;
     let mut profile = FaultProfile::Calm;
     let mut outages: [Option<OutageSpec>; 4] = [None; 4];
     let mut corruption = CorruptionProfile::Calm;
@@ -187,6 +203,19 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--threads <usize>");
+            }
+            "--analysis" => {
+                let v = args.next().expect("--analysis <batch|incremental>");
+                incremental = match v.as_str() {
+                    "batch" => false,
+                    "incremental" => true,
+                    other => {
+                        eprintln!(
+                            "error: unknown analysis mode {other:?} (expected batch|incremental)"
+                        );
+                        std::process::exit(2);
+                    }
+                };
             }
             "--timings" => timings = true,
             "--stats" => stats = true,
@@ -304,6 +333,9 @@ fn main() {
         every_days: ckpt_every.max(1),
         on_drop: true,
     });
+    // `--analysis incremental`: fold every completed day into the
+    // standard analyses; checkpoints then carry folded state.
+    let mut driver = incremental.then(|| FoldDriver::new(standard_folds(), threads));
     let ds = if let Some(path) = &resume {
         let state: CampaignState = load_from_file(path).unwrap_or_else(|e| {
             eprintln!("error: cannot resume from {}: {e}", path.display());
@@ -316,26 +348,66 @@ fn main() {
         );
         let mut state = state;
         state.campaign.threads = threads;
-        match &policy {
-            Some(p) => resume_study_checkpointed(&state, p).unwrap_or_else(|e| {
+        match (&policy, &mut driver) {
+            (Some(p), Some(d)) => {
+                resume_study_folded_checkpointed(&state, p, d).unwrap_or_else(|e| {
+                    eprintln!("error: snapshot save failed: {e}");
+                    std::process::exit(2);
+                })
+            }
+            (Some(p), None) => resume_study_checkpointed(&state, p).unwrap_or_else(|e| {
                 eprintln!("error: snapshot save failed: {e}");
                 std::process::exit(2);
             }),
-            None => resume_study(&state),
+            (None, Some(d)) => resume_study_folded(&state, d),
+            (None, None) => resume_study(&state),
         }
     } else {
         eprintln!("# building ecosystem and running the 38-day campaign...");
-        match &policy {
-            Some(p) => run_study_checkpointed(config, campaign, p).unwrap_or_else(|e| {
+        match (&policy, &mut driver) {
+            (Some(p), Some(d)) => run_study_folded_checkpointed(config, campaign, p, d)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: snapshot save failed: {e}");
+                    std::process::exit(2);
+                }),
+            (Some(p), None) => run_study_checkpointed(config, campaign, p).unwrap_or_else(|e| {
                 eprintln!("error: snapshot save failed: {e}");
                 std::process::exit(2);
             }),
-            None => run_study_with(config, campaign),
+            (None, Some(d)) => run_study_folded(config, campaign, d),
+            (None, None) => run_study_with(config, campaign),
         }
     };
     eprintln!("# campaign done in {:.1?}\n", t0.elapsed());
     if let Some(p) = &policy {
         eprintln!("# snapshots in {}", p.dir.display());
+    }
+    if let Some(d) = &mut driver {
+        let outcome = d.finish();
+        let rows: Vec<FoldSummaryRow> = outcome
+            .fragments
+            .iter()
+            .map(|(name, fragment)| FoldSummaryRow {
+                name: (*name).to_string(),
+                state_bytes: outcome
+                    .state_sizes
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, b)| *b)
+                    .unwrap_or(0),
+                fold_micros: outcome
+                    .metrics
+                    .stage_micros(&format!("{}.{name}", keys::STAGE_FOLD)),
+                finish_micros: outcome
+                    .metrics
+                    .stage_micros(&format!("{}.{name}", keys::STAGE_FOLD_FINISH)),
+                digest: sha256_hex(fragment.as_bytes())[..12].to_string(),
+            })
+            .collect();
+        println!(
+            "{}",
+            fold_summary(&rows, outcome.peak_state_bytes, outcome.days_folded).render()
+        );
     }
     if artifact == "run" {
         let tot = ds.totals();
