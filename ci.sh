@@ -87,6 +87,25 @@ fold_digests() {
 diff <(fold_digests "$INC_DIR/first.out") <(fold_digests "$INC_DIR/resumed.out") \
     || { echo "FAIL: resumed fold fragment digests diverge" >&2; exit 1; }
 
+# Torn-write crash-storm smoke: run a checkpointed campaign under the
+# torn disk-fault profile (25% of saves silently lose their rename, 10%
+# land truncated, reads see bit-rot), kill it mid-campaign, verify the
+# damaged chain, then resume — chain recovery must walk back past the
+# damage and the final report must be byte-identical to the fault-free
+# golden run (the full every-boundary matrix lives in
+# tests/crash_storm.rs).
+echo "==> torn-write crash-storm smoke (repro run --disk-fault torn)"
+TORN_DIR="$(mktemp -d)"
+trap 'rm -rf "$CKPT_DIR" "$INC_DIR" "$TORN_DIR"' EXIT
+cargo run -q --bin repro -- --scale 0.005 run > "$TORN_DIR/golden.out"
+cargo run -q --bin repro -- --scale 0.005 --disk-fault torn \
+    --checkpoint-dir "$TORN_DIR/chain" --halt-after-day 20 run
+cargo run -q --bin repro -- checkpoint verify --all "$TORN_DIR/chain"
+cargo run -q --bin repro -- --scale 0.005 --disk-fault torn \
+    --resume "$TORN_DIR/chain" run > "$TORN_DIR/resumed.out"
+cmp "$TORN_DIR/golden.out" "$TORN_DIR/resumed.out" \
+    || { echo "FAIL: torn-profile resume diverges from the fault-free run" >&2; exit 1; }
+
 echo "==> cargo test (threads=1)"
 CHATLENS_THREADS=1 cargo test -q --workspace
 

@@ -49,22 +49,42 @@
 //! ## Who writes files
 //!
 //! This crate is one of the two sanctioned filesystem writers in the
-//! workspace (the other is `chatlens-report`); lint rule D6 enforces that.
-//! [`save_to_file`] writes atomically — temp file in the target directory,
-//! then rename — so a crash mid-save never leaves a half-written snapshot
-//! where a resume would find it.
+//! workspace (the other is `chatlens-report`); lint rule D6 enforces
+//! that, and rule D13 narrows it further: every `std::fs` call lives in
+//! the [`vfs`] module, and all snapshot/report I/O flows through the
+//! [`Vfs`] trait — [`RealVfs`] in production, [`FaultVfs`] under an
+//! injected disk-fault profile.
+//!
+//! ## Durability
+//!
+//! [`save_to_file`] writes durably and atomically: the bytes are staged
+//! under a `.tmp` sibling, fsynced, renamed into place, and the parent
+//! directory is fsynced — so `Ok` means the snapshot survives power
+//! loss, not just process death. When a disk does lose or damage a
+//! snapshot anyway, the [`chain`] module walks the per-day checkpoint
+//! chain backwards to the newest valid link, records every skip in a
+//! persisted [`RecoveryLedger`], and lets the campaign replay the lost
+//! days — the full recovery story is in ARCHITECTURE.md "Durability &
+//! the fault VFS".
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chain;
 pub mod codec;
 mod error;
 mod impls;
 mod snapshot;
+pub mod vfs;
 
+pub use chain::{
+    recover_latest, repair_chain, verify_chain, ChainEntry, Recovered, RecoveryAction,
+    RecoveryEntry, RecoveryLedger, RepairReport, SkipReason,
+};
 pub use codec::{Persist, Reader, Writer};
 pub use error::CheckpointError;
 pub use snapshot::{
-    decode_snapshot, encode_snapshot, load_from_file, save_to_file, snapshot_version,
-    FORMAT_VERSION, MAGIC,
+    decode_snapshot, encode_snapshot, load_from_file, load_from_file_with, save_to_file,
+    save_to_file_with, snapshot_version, FORMAT_VERSION, MAGIC,
 };
+pub use vfs::{FaultVfs, RealVfs, Vfs};

@@ -2,6 +2,7 @@
 
 use crate::codec::{Persist, Reader, Writer};
 use crate::error::CheckpointError;
+use crate::vfs::{RealVfs, Vfs};
 use chatlens_simnet::hash::sha256;
 use std::path::Path;
 
@@ -128,31 +129,37 @@ pub fn decode_snapshot<T: Persist>(bytes: &[u8]) -> Result<T, CheckpointError> {
     Ok(value)
 }
 
-/// Write `value` as a snapshot file, atomically: the bytes go to a
-/// temporary sibling first and are `rename`d into place, so a crash
-/// mid-write can never leave a torn file at `path`. The parent directory
-/// is created if missing.
-pub fn save_to_file<T: Persist>(path: &Path, value: &T) -> Result<(), CheckpointError> {
-    let bytes = encode_snapshot(value);
-    let io = |e: std::io::Error| CheckpointError::Io(format!("{}: {e}", path.display()));
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).map_err(io)?;
-        }
-    }
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, &bytes).map_err(io)?;
-    std::fs::rename(&tmp, path).map_err(io)?;
-    Ok(())
+/// Write `value` as a snapshot file through `vfs`, durably and
+/// atomically: the bytes are staged under a `.tmp` sibling, fsynced,
+/// renamed into place, and the parent directory is fsynced (see
+/// [`Vfs::write_atomic`]). A crash mid-write can never leave a torn file
+/// at `path`, and once this returns `Ok` on the real filesystem the
+/// snapshot survives power loss. The parent directory is created if
+/// missing.
+pub fn save_to_file_with<T: Persist>(
+    vfs: &mut dyn Vfs,
+    path: &Path,
+    value: &T,
+) -> Result<(), CheckpointError> {
+    vfs.write_atomic(path, &encode_snapshot(value))
 }
 
-/// Read and decode a snapshot file written by [`save_to_file`].
+/// Read and decode a snapshot file through `vfs`.
+pub fn load_from_file_with<T: Persist>(
+    vfs: &mut dyn Vfs,
+    path: &Path,
+) -> Result<T, CheckpointError> {
+    decode_snapshot(&vfs.read(path)?)
+}
+
+/// [`save_to_file_with`] on the production filesystem ([`RealVfs`]).
+pub fn save_to_file<T: Persist>(path: &Path, value: &T) -> Result<(), CheckpointError> {
+    save_to_file_with(&mut RealVfs, path, value)
+}
+
+/// [`load_from_file_with`] on the production filesystem ([`RealVfs`]).
 pub fn load_from_file<T: Persist>(path: &Path) -> Result<T, CheckpointError> {
-    let bytes =
-        std::fs::read(path).map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
-    decode_snapshot(&bytes)
+    load_from_file_with(&mut RealVfs, path)
 }
 
 #[cfg(test)]

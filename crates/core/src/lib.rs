@@ -59,7 +59,8 @@ pub use fold::{DayFold, DayMark, DayParts, DaySlice, FoldDriver, FoldLedger, Fol
 pub use intern::{Interner, Sym};
 pub use state::{CampaignState, SnapshotSummary};
 pub use study::{
-    resume_study, resume_study_checkpointed, resume_study_days, resume_study_folded,
-    resume_study_folded_checkpointed, run_study, run_study_checkpointed, run_study_folded,
-    run_study_folded_checkpointed, run_study_with, CampaignConfig, CampaignEvent, CheckpointPolicy,
+    recover_latest_state, resume_study, resume_study_checkpointed, resume_study_days,
+    resume_study_folded, resume_study_folded_checkpointed, run_study, run_study_checkpointed,
+    run_study_days_checkpointed, run_study_folded, run_study_folded_checkpointed, run_study_with,
+    CampaignConfig, CampaignEvent, CheckpointPolicy,
 };

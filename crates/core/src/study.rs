@@ -45,10 +45,12 @@ use crate::pii::PiiStore;
 use crate::state::{
     CampaignState, DiscoveryState, EngineState, JoinerState, MonitorState, PiiState,
 };
-use chatlens_checkpoint::{save_to_file, CheckpointError};
+use chatlens_checkpoint::{
+    chain, save_to_file_with, CheckpointError, FaultVfs, RealVfs, Recovered, Vfs,
+};
 use chatlens_platforms::id::PlatformKind;
 use chatlens_simnet::fault::{
-    CorruptionProfile, FaultInjector, FaultProfile, FaultSchedule, OutageSpec,
+    CorruptionProfile, DiskFaultProfile, FaultInjector, FaultProfile, FaultSchedule, OutageSpec,
 };
 use chatlens_simnet::metrics::{keys, Metrics};
 use chatlens_simnet::par::Pool;
@@ -202,6 +204,11 @@ pub struct CheckpointPolicy {
     /// in a handler, for instance — so the run is resumable from the last
     /// completed day rather than its last interval snapshot.
     pub on_drop: bool,
+    /// Which storage fault regime snapshot I/O runs under. `Calm` (the
+    /// default) is the real filesystem; `Flaky`/`Torn` route saves and
+    /// loads through a deterministic [`FaultVfs`] whose injected damage
+    /// the chain-recovery resume path must survive.
+    pub disk_fault: DiskFaultProfile,
 }
 
 impl CheckpointPolicy {
@@ -211,12 +218,24 @@ impl CheckpointPolicy {
             dir: dir.into(),
             every_days: 1,
             on_drop: true,
+            disk_fault: DiskFaultProfile::Calm,
         }
     }
 
     /// Path of the snapshot written after `day` completed days.
     pub fn snapshot_path(&self, day: u32) -> PathBuf {
         self.dir.join(format!("day{day:03}.ckpt"))
+    }
+
+    /// The filesystem snapshot I/O goes through under this policy: the
+    /// real one under `Calm`, a deterministic fault injector seeded from
+    /// the campaign seed (via the registered `("checkpoint", "disk")`
+    /// stream) otherwise.
+    pub fn vfs(&self, seed: u64) -> Box<dyn Vfs> {
+        match self.disk_fault {
+            DiskFaultProfile::Calm => Box::new(RealVfs),
+            profile => Box::new(FaultVfs::new(seed, profile.rates())),
+        }
     }
 }
 
@@ -257,6 +276,44 @@ pub fn run_study_checkpointed(
     let eco = Ecosystem::build(scenario);
     let runner = Runner::new(eco.window, campaign);
     run_guarded(runner, eco, policy, None)
+}
+
+/// Run a checkpointed campaign but halt cleanly after `days` completed
+/// study days, leaving the snapshot chain (and nothing else) on disk.
+/// Returns the number of days actually completed. This is the
+/// deterministic "kill at a day boundary" behind `repro run
+/// --halt-after-day`, which the crash-storm smoke uses to interrupt a
+/// campaign mid-flight without racing a real signal.
+pub fn run_study_days_checkpointed(
+    scenario: ScenarioConfig,
+    campaign: CampaignConfig,
+    policy: &CheckpointPolicy,
+    days: u32,
+) -> Result<u32, CheckpointError> {
+    let eco = Ecosystem::build(scenario);
+    let runner = Runner::new(eco.window, campaign);
+    let until = days.min(eco.window.num_days() as u32);
+    let (runner, _eco) = run_guarded_until(runner, eco, policy, None, until)?;
+    Ok(runner.day)
+}
+
+/// Walk the checkpoint chain in `policy.dir` backwards to the newest
+/// valid snapshot (see [`chain::recover_latest`]), persisting every
+/// skipped link into the directory's recovery ledger. Snapshot reads go
+/// through the policy's (possibly fault-injected) filesystem; the ledger
+/// append always goes through the real one, so the fault domain cannot
+/// erase its own audit trail. `up_to` bounds the walk ("resume as of day
+/// N"); `None` recovers from the newest on-disk evidence. A `Recovered`
+/// with `state: None` means no link survived — start fresh.
+pub fn recover_latest_state(
+    policy: &CheckpointPolicy,
+    seed: u64,
+    up_to: Option<u32>,
+) -> Result<Recovered<CampaignState>, CheckpointError> {
+    let mut vfs = policy.vfs(seed);
+    let recovered = chain::recover_latest::<CampaignState>(vfs.as_mut(), &policy.dir, up_to)?;
+    chain::append_ledger(&policy.dir, &recovered.skipped)?;
+    Ok(recovered)
 }
 
 /// Resume a snapshotted campaign and run it to completion. The returned
@@ -435,16 +492,33 @@ fn run_guarded(
     driver: Option<&mut FoldDriver>,
 ) -> Result<Dataset, CheckpointError> {
     let days = runner.window.num_days() as u32;
+    let (runner, mut eco) = run_guarded_until(runner, eco, policy, driver, days)?;
+    Ok(runner.finish(&mut eco))
+}
+
+/// The guarded day loop, stopping after `until` completed days (callers
+/// pass the full window length for a complete run). Returns the runner
+/// and ecosystem so the caller decides between final assembly and a
+/// mid-campaign halt.
+fn run_guarded_until(
+    runner: Runner,
+    eco: Ecosystem,
+    policy: &CheckpointPolicy,
+    driver: Option<&mut FoldDriver>,
+    until: u32,
+) -> Result<(Runner, Ecosystem), CheckpointError> {
+    let seed = runner.campaign.seed;
     let mut guard = RunGuard {
         runner: Some(runner),
         eco: Some(eco),
         policy,
         driver,
+        vfs: policy.vfs(seed),
     };
     loop {
         let runner = guard.runner.as_mut().expect("runner present until taken");
         let eco = guard.eco.as_mut().expect("eco present until taken");
-        if runner.day >= days {
+        if runner.day >= until {
             break;
         }
         runner.step_day(eco);
@@ -456,14 +530,23 @@ fn run_guarded(
                 Some(driver) => runner.state_with_folds(eco, driver),
                 None => runner.state(eco),
             };
-            save_to_file(&policy.snapshot_path(runner.day), &state)?;
+            let path = policy.snapshot_path(runner.day);
+            if let Err(err) = save_to_file_with(guard.vfs.as_mut(), &path, &state) {
+                if policy.disk_fault.tolerates_save_failures() {
+                    // An injected fault costs durability (the chain gets
+                    // a hole recovery must walk past), never the run.
+                    eprintln!("# snapshot save failed (injected): {err}");
+                } else {
+                    return Err(err);
+                }
+            }
         }
     }
-    // Disarm the drop guard before the (non-resumable) final assembly.
+    // Disarm the drop guard before handing the pair back.
     let runner = guard.runner.take().expect("runner");
-    let mut eco = guard.eco.take().expect("eco");
+    let eco = guard.eco.take().expect("eco");
     drop(guard);
-    Ok(runner.finish(&mut eco))
+    Ok((runner, eco))
 }
 
 /// Owns the runner across the checkpointed loop so an unwind (a panic in
@@ -474,6 +557,7 @@ struct RunGuard<'p, 'd> {
     eco: Option<Ecosystem>,
     policy: &'p CheckpointPolicy,
     driver: Option<&'d mut FoldDriver>,
+    vfs: Box<dyn Vfs>,
 }
 
 impl Drop for RunGuard<'_, '_> {
@@ -487,7 +571,11 @@ impl Drop for RunGuard<'_, '_> {
                 Some(driver) => runner.state_with_folds(eco, driver),
                 None => runner.state(eco),
             };
-            let _ = save_to_file(&self.policy.snapshot_path(runner.day), &state);
+            let _ = save_to_file_with(
+                self.vfs.as_mut(),
+                &self.policy.snapshot_path(runner.day),
+                &state,
+            );
         }
     }
 }

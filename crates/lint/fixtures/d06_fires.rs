@@ -1,2 +1,3 @@
 //@ path: crates/core/src/fixture.rs
 fn f() { std::fs::write("out.txt", "data").unwrap(); } //~ ERROR D6
+//~^ ERROR D13

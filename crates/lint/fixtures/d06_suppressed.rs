@@ -1,3 +1,4 @@
 //@ path: crates/core/src/fixture.rs
-// lint:allow(D6) fixture: operator-requested export path
+// lint:allow(D6, D13) fixture: operator-requested export path
 fn f() { std::fs::write("out.txt", "data").unwrap(); } //~ SUPPRESSED D6
+//~^ SUPPRESSED D13

@@ -1,0 +1,5 @@
+//@ path: crates/checkpoint/src/snapshot.rs
+// Reads are fine under D6 but not D13: even the checkpoint crate must
+// go through its own vfs module for every byte that touches disk.
+fn f() -> Vec<u8> { std::fs::read("day001.ckpt").unwrap() } //~ ERROR D13
+fn g() { let _f = File::open("day001.ckpt").unwrap(); } //~ ERROR D13

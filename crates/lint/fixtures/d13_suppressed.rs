@@ -1,0 +1,3 @@
+//@ path: crates/bench/src/main.rs
+// lint:allow(D13) fixture: bench baselines sit outside the durability domain
+fn f() -> String { std::fs::read_to_string("BENCH.json").unwrap() } //~ SUPPRESSED D13

@@ -23,6 +23,7 @@
 //! | D10 | hot-path allocation: `format!`, `.to_string()`, `.to_owned()`, `String::from`, `.clone()` in the designated hot modules (`core::dataset`, `core::monitor`, wire parsing, `TweetStore`) — protects the zero-copy/`Cow` layout |
 //! | D11 | RNG-stream discipline: every `Rng::fork` label must be a string literal declared in `simnet::rng::STREAM_REGISTRY`, globally unique per subsystem — shared streams are a silent determinism hazard |
 //! | D12 | metrics/trace-key registry: metric keys must be the declared constants in `simnet::metrics::keys`, never ad-hoc string literals — key families must not fork via typo |
+//! | D13 | `std::fs` calls (reads included) outside the checkpoint crate's `vfs` module — all durable I/O must flow through the `Vfs` trait so the fault-injection and fsync contracts hold (ARCHITECTURE.md "Durability & the fault VFS") |
 //!
 //! Rules D9–D12 are *structure-aware*: they run on an item-level parse
 //! ([`items`]) and a cross-file symbol index ([`index`]) layered on the
@@ -73,11 +74,13 @@ pub enum Rule {
     D11,
     /// Ad-hoc metric-key literals instead of registry constants.
     D12,
+    /// `std::fs` calls outside the checkpoint VFS module.
+    D13,
 }
 
 impl Rule {
     /// All rules, in catalog order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 13] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
@@ -90,6 +93,7 @@ impl Rule {
         Rule::D10,
         Rule::D11,
         Rule::D12,
+        Rule::D13,
     ];
 
     /// The short id used in diagnostics and `lint:allow(...)` pragmas.
@@ -107,6 +111,7 @@ impl Rule {
             Rule::D10 => "D10",
             Rule::D11 => "D11",
             Rule::D12 => "D12",
+            Rule::D13 => "D13",
         }
     }
 
@@ -136,6 +141,7 @@ impl Rule {
             }
             Rule::D11 => "Rng::fork label not a literal from the declared STREAM_REGISTRY",
             Rule::D12 => "metric key passed as ad-hoc literal instead of a metrics::keys constant",
+            Rule::D13 => "std::fs call outside the checkpoint VFS module (route it through Vfs)",
         }
     }
 }
@@ -193,6 +199,9 @@ struct Scope {
     /// dataset/monitor per-request paths, wire parsing, and the tweet
     /// store (the PR 6 zero-copy surface).
     hot_path: bool,
+    /// The checkpoint crate's `vfs` module — the one place in the
+    /// workspace allowed to call `std::fs` (D13).
+    vfs_module: bool,
 }
 
 /// The four files whose per-request loops D10 guards.
@@ -217,6 +226,7 @@ fn scope_of(path: &str) -> Scope {
         net_caller: in_crate("core") || !p.contains("crates/"),
         quarantine_path: p.ends_with("core/src/quarantine.rs"),
         hot_path: HOT_MODULES.iter().any(|m| p.ends_with(m)),
+        vfs_module: p.ends_with("checkpoint/src/vfs.rs"),
     }
 }
 
@@ -400,6 +410,42 @@ fn token_findings(
                     Rule::D6,
                     &toks[i],
                     "`OpenOptions` outside the checkpoint/report crates; route output through the sanctioned writers".into(),
+                );
+            }
+        }
+        // ---- D13: std::fs outside the checkpoint VFS module ---------------
+        // Stricter than D6: *reads* count too, and no crate is exempt — only
+        // `checkpoint/src/vfs.rs` itself may touch `std::fs`, so that every
+        // durable byte passes through the `Vfs` trait's fault-injection and
+        // fsync contracts.
+        if !scope.vfs_module {
+            if i + 3 < toks.len() {
+                if toks[i].is_ident("fs")
+                    && path_sep(i + 1)
+                    && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+                {
+                    push(
+                        Rule::D13,
+                        &toks[i + 3],
+                        format!(
+                            "`fs::{}` outside checkpoint::vfs; all file I/O must flow through the Vfs trait so fault injection and the fsync contract hold",
+                            toks[i + 3].text
+                        ),
+                    );
+                }
+                if assoc(i, "File", "create") || assoc(i, "File", "open") {
+                    push(
+                        Rule::D13,
+                        &toks[i],
+                        "`File` opened outside checkpoint::vfs; all file I/O must flow through the Vfs trait".into(),
+                    );
+                }
+            }
+            if toks[i].is_ident("OpenOptions") {
+                push(
+                    Rule::D13,
+                    &toks[i],
+                    "`OpenOptions` outside checkpoint::vfs; all file I/O must flow through the Vfs trait".into(),
                 );
             }
         }
@@ -986,6 +1032,7 @@ pub fn check_workspace(root: impl AsRef<Path>) -> std::io::Result<Report> {
     collect_rs(&root.join("src"), &mut files)?;
     let crates = root.join("crates");
     if crates.is_dir() {
+        // lint:allow(D13) the linter reads sources outside any durability domain
         let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
             .filter_map(|e| e.ok())
             .map(|e| e.path())
@@ -1003,6 +1050,7 @@ pub fn check_workspace(root: impl AsRef<Path>) -> std::io::Result<Report> {
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
+        // lint:allow(D13) the linter reads sources outside any durability domain
         sources.push((rel, std::fs::read_to_string(&file)?));
     }
     Ok(check_sources(&sources))
@@ -1012,6 +1060,7 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     if !dir.is_dir() {
         return Ok(());
     }
+    // lint:allow(D13) the linter reads sources outside any durability domain
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok())
         .map(|e| e.path())
@@ -1117,31 +1166,68 @@ mod tests {
     #[test]
     fn d6_fires_on_fs_writes_outside_writers() {
         let src = "fn f() { std::fs::write(\"out.csv\", b\"x\").unwrap(); }";
-        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![Rule::D6]);
-        assert_eq!(rules_of("src/bin/repro.rs", src), vec![Rule::D6]);
-        // The sanctioned writer crates are exempt.
-        assert_eq!(rules_of("crates/checkpoint/src/snapshot.rs", src), vec![]);
-        assert_eq!(rules_of("crates/report/src/x.rs", src), vec![]);
+        // Every direct write also trips D13 (only checkpoint::vfs may
+        // touch std::fs at all).
+        assert_eq!(
+            rules_of("crates/core/src/x.rs", src),
+            vec![Rule::D6, Rule::D13]
+        );
+        assert_eq!(rules_of("src/bin/repro.rs", src), vec![Rule::D6, Rule::D13]);
+        // The sanctioned writer crates are exempt from D6, not D13.
+        assert_eq!(
+            rules_of("crates/checkpoint/src/snapshot.rs", src),
+            vec![Rule::D13]
+        );
+        assert_eq!(rules_of("crates/report/src/x.rs", src), vec![Rule::D13]);
     }
 
     #[test]
     fn d6_covers_file_create_and_openoptions() {
         let src = "fn f() { let f = File::create(\"x\").unwrap(); }";
-        assert_eq!(rules_of("crates/analysis/src/x.rs", src), vec![Rule::D6]);
+        assert_eq!(
+            rules_of("crates/analysis/src/x.rs", src),
+            vec![Rule::D6, Rule::D13]
+        );
         let src2 = "fn f() { OpenOptions::new().append(true).open(\"x\").unwrap(); }";
-        assert_eq!(rules_of("crates/workload/src/x.rs", src2), vec![Rule::D6]);
+        assert_eq!(
+            rules_of("crates/workload/src/x.rs", src2),
+            vec![Rule::D6, Rule::D13]
+        );
     }
 
     #[test]
     fn d6_reads_are_fine() {
+        // Reads never trip D6; D13 still wants them behind the Vfs trait.
         let src = "fn f() -> String { std::fs::read_to_string(\"in.json\").unwrap() }";
-        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![]);
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![Rule::D13]);
     }
 
     #[test]
     fn d6_pragma_suppresses() {
-        let src = "// lint:allow(D6) CSV export is this binary's whole job\nfn f() { std::fs::write(\"t.csv\", b\"x\").unwrap(); }";
+        let src = "// lint:allow(D6, D13) CSV export is this binary's whole job\nfn f() { std::fs::write(\"t.csv\", b\"x\").unwrap(); }";
         let (findings, suppressed) = check_source_counting("src/bin/repro.rs", src);
+        assert!(findings.is_empty());
+        assert_eq!(suppressed, 2);
+    }
+
+    #[test]
+    fn d13_fires_on_reads_and_opens_everywhere_but_vfs() {
+        let read = "fn f() -> Vec<u8> { std::fs::read(\"snap.ckpt\").unwrap() }";
+        assert_eq!(
+            rules_of("crates/checkpoint/src/snapshot.rs", read),
+            vec![Rule::D13]
+        );
+        let open = "fn f() { let f = File::open(\"snap.ckpt\").unwrap(); }";
+        assert_eq!(rules_of("crates/report/src/x.rs", open), vec![Rule::D13]);
+        // The VFS module is the one sanctioned home for std::fs.
+        assert_eq!(rules_of("crates/checkpoint/src/vfs.rs", read), vec![]);
+        assert_eq!(rules_of("crates/checkpoint/src/vfs.rs", open), vec![]);
+    }
+
+    #[test]
+    fn d13_pragma_suppresses() {
+        let src = "// lint:allow(D13) bench baselines live outside the durability domain\nfn f() -> String { std::fs::read_to_string(\"b.json\").unwrap() }";
+        let (findings, suppressed) = check_source_counting("crates/bench/src/main.rs", src);
         assert!(findings.is_empty());
         assert_eq!(suppressed, 1);
     }

@@ -79,7 +79,7 @@ fn fixture_corpus_matches_expectations() {
     files.sort();
 
     // Corpus completeness: one firing and one suppressed fixture per rule.
-    for k in 1..=12 {
+    for k in 1..=13 {
         for kind in ["fires", "suppressed"] {
             let want = format!("d{k:02}_{kind}.rs");
             assert!(

@@ -714,6 +714,156 @@ impl CorruptionProfile {
     }
 }
 
+/// One injectable storage fault — the disk-side analogue of
+/// [`CorruptionKind`]. The injection itself happens inside the checkpoint
+/// crate's `FaultVfs` (the one sanctioned filesystem gateway); the kinds
+/// are declared here so the whole fault vocabulary (connection, content,
+/// storage) lives in one module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DiskFaultKind {
+    /// A crash between the tmp-file write and the rename: the `.tmp`
+    /// sibling is on disk, the destination never appears, and the writer
+    /// believed the save succeeded.
+    TornWrite,
+    /// A short write: the destination file exists but holds only a
+    /// prefix of the intended bytes (data blocks never flushed).
+    ShortWrite,
+    /// Bit-rot on read: the file on disk is fine, but one bit of the
+    /// bytes handed back is flipped (a failing sector, a bad cable).
+    BitRot,
+    /// `ENOSPC`: the write fails up front, nothing reaches the disk.
+    NoSpace,
+    /// The rename into place fails; the `.tmp` sibling is left behind
+    /// and the destination is untouched.
+    RenameFail,
+}
+
+impl DiskFaultKind {
+    /// Every storage fault kind, in injection-roll order.
+    pub const ALL: [DiskFaultKind; 5] = [
+        DiskFaultKind::TornWrite,
+        DiskFaultKind::ShortWrite,
+        DiskFaultKind::BitRot,
+        DiskFaultKind::NoSpace,
+        DiskFaultKind::RenameFail,
+    ];
+
+    /// Stable label for ledgers and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiskFaultKind::TornWrite => "torn-write",
+            DiskFaultKind::ShortWrite => "short-write",
+            DiskFaultKind::BitRot => "bit-rot",
+            DiskFaultKind::NoSpace => "no-space",
+            DiskFaultKind::RenameFail => "rename-fail",
+        }
+    }
+}
+
+/// Per-operation injection probabilities for the storage fault domain.
+/// Writes roll `no_space`, `torn_write`, `short_write` and `rename_fail`
+/// (in that order); reads roll `bit_rot`. A zero rate consumes no RNG
+/// draws, so an all-zero schedule is bit-identical to no injection at
+/// all — the same contract as [`CorruptionSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DiskFaultRates {
+    /// Probability a save "succeeds" but only the `.tmp` file lands.
+    pub torn_write: f64,
+    /// Probability a save lands truncated at the destination.
+    pub short_write: f64,
+    /// Probability a read hands back bytes with one bit flipped.
+    pub bit_rot: f64,
+    /// Probability a save fails up front with `ENOSPC`.
+    pub no_space: f64,
+    /// Probability the rename into place fails.
+    pub rename_fail: f64,
+}
+
+impl DiskFaultRates {
+    /// A perfectly healthy disk (no draws consumed).
+    pub fn none() -> DiskFaultRates {
+        DiskFaultRates::default()
+    }
+
+    /// Whether any fault kind has a non-zero rate.
+    pub fn is_active(&self) -> bool {
+        self.torn_write > 0.0
+            || self.short_write > 0.0
+            || self.bit_rot > 0.0
+            || self.no_space > 0.0
+            || self.rename_fail > 0.0
+    }
+}
+
+/// Which storage fault regime a campaign's snapshot/report I/O runs
+/// under (`repro run --disk-fault`). Orthogonal to [`FaultProfile`] and
+/// [`CorruptionProfile`]: those shape the *network*; this one shapes the
+/// *disk* underneath the checkpoint chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiskFaultProfile {
+    /// A healthy disk — the historical model, byte-identical to no
+    /// injection (zero rates draw nothing).
+    #[default]
+    Calm,
+    /// Occasional failures of every kind (~2% each): the aging-disk
+    /// drizzle long-running collection boxes see.
+    Flaky,
+    /// Torn-write heavy (~25% torn, plus short writes, bit-rot, ENOSPC
+    /// and rename failures): a machine crashing and brown-outing its way
+    /// through a campaign. Chain recovery is the only way through.
+    Torn,
+}
+
+impl DiskFaultProfile {
+    /// Parse a CLI spelling (`calm` / `flaky` / `torn`).
+    pub fn parse(s: &str) -> Option<DiskFaultProfile> {
+        match s {
+            "calm" => Some(DiskFaultProfile::Calm),
+            "flaky" => Some(DiskFaultProfile::Flaky),
+            "torn" => Some(DiskFaultProfile::Torn),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this profile.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiskFaultProfile::Calm => "calm",
+            DiskFaultProfile::Flaky => "flaky",
+            DiskFaultProfile::Torn => "torn",
+        }
+    }
+
+    /// The injection rates this profile configures. `Calm` is exactly
+    /// [`DiskFaultRates::none`], so it draws nothing from any RNG.
+    pub fn rates(self) -> DiskFaultRates {
+        match self {
+            DiskFaultProfile::Calm => DiskFaultRates::none(),
+            DiskFaultProfile::Flaky => DiskFaultRates {
+                torn_write: 0.02,
+                short_write: 0.02,
+                bit_rot: 0.02,
+                no_space: 0.02,
+                rename_fail: 0.02,
+            },
+            DiskFaultProfile::Torn => DiskFaultRates {
+                torn_write: 0.25,
+                short_write: 0.10,
+                bit_rot: 0.05,
+                no_space: 0.05,
+                rename_fail: 0.05,
+            },
+        }
+    }
+
+    /// Whether snapshot-save failures under this profile are *expected*
+    /// (injected) and must cost durability, never the run. Under `Calm`
+    /// a failed save is a real misconfiguration and still aborts.
+    pub fn tolerates_save_failures(self) -> bool {
+        self != DiskFaultProfile::Calm
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -954,5 +1104,31 @@ mod tests {
         assert!(FaultProfile::Calm.burst().is_none());
         assert!(FaultProfile::Bursty.burst().is_some());
         assert!(FaultProfile::Outage.burst().is_some());
+    }
+
+    #[test]
+    fn disk_fault_profile_cli_spellings_round_trip() {
+        for p in [
+            DiskFaultProfile::Calm,
+            DiskFaultProfile::Flaky,
+            DiskFaultProfile::Torn,
+        ] {
+            assert_eq!(DiskFaultProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(DiskFaultProfile::parse("shredded"), None);
+        assert!(!DiskFaultProfile::Calm.rates().is_active());
+        assert!(DiskFaultProfile::Flaky.rates().is_active());
+        assert!(
+            DiskFaultProfile::Torn.rates().torn_write > DiskFaultProfile::Flaky.rates().torn_write
+        );
+        assert!(!DiskFaultProfile::Calm.tolerates_save_failures());
+        assert!(DiskFaultProfile::Torn.tolerates_save_failures());
+    }
+
+    #[test]
+    fn disk_fault_kind_labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> =
+            DiskFaultKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), DiskFaultKind::ALL.len());
     }
 }

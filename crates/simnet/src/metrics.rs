@@ -204,6 +204,13 @@ pub mod keys {
     /// Full batch-analysis report render, timed by the fold bench gate
     /// as the baseline the incremental path is compared against.
     pub const STAGE_BATCH_REPORT: &str = "batch_report";
+
+    // Checkpoint-chain durability counters (`repro checkpoint verify`
+    // / `repair` summaries and the chain-recovery resume path).
+    pub const CHECKPOINT_CHAIN_VALID: &str = "checkpoint.chain_valid";
+    pub const CHECKPOINT_CHAIN_INVALID: &str = "checkpoint.chain_invalid";
+    pub const CHECKPOINT_SNAPSHOTS_SKIPPED: &str = "checkpoint.snapshots_skipped";
+    pub const CHECKPOINT_QUARANTINED: &str = "checkpoint.quarantined";
 }
 
 /// A registry of named counters and histograms with deterministic

@@ -65,6 +65,7 @@ pub const STREAM_REGISTRY: &[(&str, &str)] = &[
     ("core", "discord"),
     ("workload", "control"),
     ("workload", "cross-platform"),
+    ("checkpoint", "disk"),
 ];
 
 impl Rng {

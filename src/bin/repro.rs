@@ -19,13 +19,14 @@ use chatlens::analysis::LdaConfig;
 use chatlens::analysis::{
     content, discovery, lifecycle, membership, messages, pii, standard_folds, topics,
 };
-use chatlens::checkpoint::load_from_file;
+use chatlens::checkpoint::{chain, load_from_file, CheckpointError, RealVfs, Vfs};
 use chatlens::core::audit_dataset;
 use chatlens::core::net::SERVICE_NAMES;
 use chatlens::core::{
-    resume_study, resume_study_checkpointed, resume_study_folded, resume_study_folded_checkpointed,
-    run_study_checkpointed, run_study_folded, run_study_folded_checkpointed, CampaignConfig,
-    CampaignState, CheckpointPolicy, FoldDriver,
+    recover_latest_state, resume_study, resume_study_checkpointed, resume_study_folded,
+    resume_study_folded_checkpointed, run_study_checkpointed, run_study_days_checkpointed,
+    run_study_folded, run_study_folded_checkpointed, CampaignConfig, CampaignState,
+    CheckpointPolicy, FoldDriver,
 };
 use chatlens::perspective::score_dataset;
 use chatlens::platforms::id::PlatformKind;
@@ -34,7 +35,7 @@ use chatlens::report::compare::{holding, markdown_table, Comparison};
 use chatlens::report::fold::{fold_summary, FoldSummaryRow};
 use chatlens::report::series::{cdf_summary, days_csv, sparkline, to_csv};
 use chatlens::report::table::{fmt_count, fmt_pct, Table};
-use chatlens::simnet::fault::{CorruptionProfile, FaultProfile, OutageSpec};
+use chatlens::simnet::fault::{CorruptionProfile, DiskFaultProfile, FaultProfile, OutageSpec};
 use chatlens::simnet::hash::sha256_hex;
 use chatlens::simnet::metrics::{keys, Metrics};
 use chatlens::simnet::par::Pool;
@@ -63,19 +64,33 @@ SUBCOMMANDS:
                      pass (chatlens-lint) over the workspace sources and
                      exit nonzero on any finding; --stats prints the
                      per-rule and per-crate summary tables (see DESIGN.md
-                     §Determinism lint for the rule catalog D1..D12);
+                     §Determinism lint for the rule catalog D1..D13);
                      --format json prints the machine-readable
                      chatlens-lint/v1 report instead of diagnostics and
                      --out <path> writes that report to a file as well
     lint --validate <file>
                      check a previously emitted JSON report against the
                      chatlens-lint/v1 schema; exits 1 if it is malformed
-    checkpoint inspect <file>
+    checkpoint inspect <file|dir>
                      decode a campaign snapshot and print its summary as
                      JSON (format version, day, clock, collection counts,
                      quarantine ledger sizes, deterministic metric
                      counters); exits 2 with a diagnostic on corrupt,
-                     truncated, or version-skewed files
+                     truncated, or version-skewed files. Given a
+                     checkpoint directory instead, prints the per-day
+                     chain status plus the persisted recovery ledger
+    checkpoint verify [--all] <file|dir>
+                     classify snapshots without touching them: a single
+                     file loads (exit 0) or prints its typed error (exit
+                     1); a directory (or --all) walks the whole chain,
+                     prints one status line per day plus a counter
+                     summary, and exits 0 as long as at least one valid
+                     resume point survives
+    checkpoint repair <dir>
+                     quarantine every invalid snapshot and orphaned .tmp
+                     file into <dir>/quarantine/ (recorded in the
+                     recovery ledger) so the remaining chain verifies
+                     clean
     audit <file>     resume the campaign from a snapshot to a finished
                      dataset and run the invariant auditor over it
                      (timeline monotonicity, membership/population
@@ -106,10 +121,17 @@ OPTIONS:
     --checkpoint-every <n>
                      snapshot interval in study days (default 1; needs
                      --checkpoint-dir)
-    --resume <file>  resume the campaign from a snapshot instead of
+    --resume <file|dir>
+                     resume the campaign from a snapshot instead of
                      starting fresh (--scale/--seed are then taken from
                      the snapshot, not the command line); the finished
-                     dataset is bit-identical to an uninterrupted run
+                     dataset is bit-identical to an uninterrupted run.
+                     Given a checkpoint directory (or a damaged file),
+                     chain recovery walks the per-day chain backwards
+                     past invalid snapshots to the newest valid one,
+                     records every skip in the recovery ledger, and
+                     replays the lost days; if nothing survives the
+                     campaign restarts from scratch
     --fault-profile <calm|bursty|outage>
                      fault regime for the campaign's transport clients
                      (default calm). `bursty` layers a Gilbert-Elliott
@@ -135,6 +157,22 @@ OPTIONS:
                      quarantine ledger with a typed error and provenance.
                      Deterministic: same profile + seed => byte-identical
                      dataset at any thread count.
+    --disk-fault <calm|flaky|torn>
+                     storage fault regime for snapshot I/O (default
+                     calm). `flaky` injects occasional torn/short writes,
+                     bit-rot, ENOSPC and rename failures; `torn` is a
+                     torn-write-heavy storm. Injected faults cost
+                     durability (holes in the checkpoint chain that
+                     resume-time chain recovery walks past), never the
+                     run. Deterministic: driven by the registered
+                     (checkpoint, disk) RNG stream off the campaign
+                     seed.
+    --halt-after-day <n>
+                     run a fresh checkpointed batch campaign but stop
+                     cleanly after <n> completed study days, leaving the
+                     snapshot chain on disk (the deterministic kill at a
+                     day boundary used by the crash-storm CI smoke);
+                     needs --checkpoint-dir
     --timings        print per-stage wall-clock timings (campaign stages
                      and per-artifact analysis stages) to stderr
     --csv <dir>      export figure series as CSV files into <dir>
@@ -157,33 +195,60 @@ fn main() {
     let mut profile = FaultProfile::Calm;
     let mut outages: [Option<OutageSpec>; 4] = [None; 4];
     let mut corruption = CorruptionProfile::Calm;
+    let mut disk_fault = DiskFaultProfile::Calm;
+    let mut halt_after: Option<u32> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "checkpoint" => {
-                match args.next().as_deref() {
-                    Some("inspect") => {}
-                    other => {
-                        eprintln!(
-                            "error: unknown checkpoint subcommand {:?} (expected `inspect`)",
-                            other.unwrap_or("")
-                        );
-                        std::process::exit(2);
+                let sub = args.next();
+                let result = match sub.as_deref() {
+                    Some("inspect") => match args.next() {
+                        Some(file) => checkpoint_inspect(std::path::Path::new(&file)),
+                        None => Err(CliError::usage(
+                            "checkpoint inspect needs a snapshot file or directory",
+                        )),
+                    },
+                    Some("verify") => {
+                        let mut all = false;
+                        let mut target: Option<String> = None;
+                        for v in args.by_ref() {
+                            match v.as_str() {
+                                "--all" => all = true,
+                                other => target = Some(other.to_string()),
+                            }
+                        }
+                        match target {
+                            Some(t) => checkpoint_verify(std::path::Path::new(&t), all),
+                            None => Err(CliError::usage(
+                                "checkpoint verify needs a snapshot file or directory",
+                            )),
+                        }
                     }
+                    Some("repair") => match args.next() {
+                        Some(dir) => checkpoint_repair(std::path::Path::new(&dir)),
+                        None => Err(CliError::usage(
+                            "checkpoint repair needs a checkpoint directory",
+                        )),
+                    },
+                    other => Err(CliError::usage(format!(
+                        "unknown checkpoint subcommand {:?} (expected inspect, verify, or repair)",
+                        other.unwrap_or("")
+                    ))),
+                };
+                if let Err(e) = result {
+                    exit_with(e);
                 }
-                let file = args.next().unwrap_or_else(|| {
-                    eprintln!("error: checkpoint inspect needs a snapshot file");
-                    std::process::exit(2);
-                });
-                checkpoint_inspect(std::path::Path::new(&file));
                 return;
             }
             "audit" => {
-                let file = args.next().unwrap_or_else(|| {
-                    eprintln!("error: audit needs a snapshot file");
-                    std::process::exit(2);
-                });
-                audit_snapshot(std::path::Path::new(&file));
+                let result = match args.next() {
+                    Some(file) => audit_snapshot(std::path::Path::new(&file)),
+                    None => Err(CliError::usage("audit needs a snapshot file")),
+                };
+                if let Err(e) = result {
+                    exit_with(e);
+                }
                 return;
             }
             "--scale" => {
@@ -235,7 +300,9 @@ fn main() {
             }
             "--validate" => {
                 let file = args.next().expect("--validate <file>");
-                validate_lint_json(std::path::Path::new(&file));
+                if let Err(e) = validate_lint_json(std::path::Path::new(&file)) {
+                    exit_with(e);
+                }
                 return;
             }
             "--csv" => {
@@ -274,6 +341,22 @@ fn main() {
                     );
                     std::process::exit(2);
                 });
+            }
+            "--disk-fault" => {
+                let v = args.next().expect("--disk-fault <calm|flaky|torn>");
+                disk_fault = DiskFaultProfile::parse(&v).unwrap_or_else(|| {
+                    eprintln!(
+                        "error: unknown disk-fault profile {v:?} (expected calm, flaky, or torn)"
+                    );
+                    std::process::exit(2);
+                });
+            }
+            "--halt-after-day" => {
+                halt_after = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--halt-after-day <days>"),
+                );
             }
             "--outage" | "--ban" => {
                 let spec = args.next().expect("--outage/--ban <svc:start_day:days>");
@@ -328,55 +411,73 @@ fn main() {
         corruption,
         ..CampaignConfig::default()
     };
+    if disk_fault != DiskFaultProfile::Calm {
+        eprintln!("# disk-fault profile: {}", disk_fault.name());
+    }
     let policy = ckpt_dir.as_ref().map(|dir| CheckpointPolicy {
         dir: dir.clone(),
         every_days: ckpt_every.max(1),
         on_drop: true,
+        disk_fault,
     });
+    // `--halt-after-day N`: the deterministic mid-campaign kill. Runs the
+    // checkpointed batch campaign to the requested day boundary, leaves
+    // the snapshot chain on disk, and stops before final assembly.
+    if let Some(days) = halt_after {
+        let Some(p) = &policy else {
+            exit_with(CliError::usage("--halt-after-day needs --checkpoint-dir"));
+        };
+        if resume.is_some() || incremental {
+            exit_with(CliError::usage(
+                "--halt-after-day only applies to a fresh batch run",
+            ));
+        }
+        match run_study_days_checkpointed(config, campaign, p, days) {
+            Ok(done) => {
+                println!(
+                    "campaign halted after day {done} (snapshots in {})",
+                    p.dir.display()
+                );
+                return;
+            }
+            Err(e) => exit_with(CliError::usage(format!("snapshot save failed: {e}"))),
+        }
+    }
     // `--analysis incremental`: fold every completed day into the
     // standard analyses; checkpoints then carry folded state.
     let mut driver = incremental.then(|| FoldDriver::new(standard_folds(), threads));
     let ds = if let Some(path) = &resume {
-        let state: CampaignState = load_from_file(path).unwrap_or_else(|e| {
-            eprintln!("error: cannot resume from {}: {e}", path.display());
-            std::process::exit(2);
-        });
-        eprintln!(
-            "# resuming campaign from {} (day {}, threads {threads})",
-            path.display(),
-            state.day,
-        );
-        let mut state = state;
-        state.campaign.threads = threads;
-        match (&policy, &mut driver) {
-            (Some(p), Some(d)) => {
-                resume_study_folded_checkpointed(&state, p, d).unwrap_or_else(|e| {
-                    eprintln!("error: snapshot save failed: {e}");
-                    std::process::exit(2);
+        let state = match load_resume_state(path, campaign.seed, disk_fault) {
+            Ok(s) => s,
+            Err(e) => exit_with(e),
+        };
+        match state {
+            Some(mut state) => {
+                eprintln!(
+                    "# resuming campaign from {} (day {}, threads {threads})",
+                    path.display(),
+                    state.day,
+                );
+                state.campaign.threads = threads;
+                run_resumed_campaign(&state, policy.as_ref(), driver.as_mut()).unwrap_or_else(|e| {
+                    exit_with(CliError::usage(format!("snapshot save failed: {e}")))
                 })
             }
-            (Some(p), None) => resume_study_checkpointed(&state, p).unwrap_or_else(|e| {
-                eprintln!("error: snapshot save failed: {e}");
-                std::process::exit(2);
-            }),
-            (None, Some(d)) => resume_study_folded(&state, d),
-            (None, None) => resume_study(&state),
+            None => {
+                eprintln!(
+                    "# no valid snapshot in {}; restarting the campaign from scratch",
+                    path.display()
+                );
+                run_fresh_campaign(config, campaign, policy.as_ref(), driver.as_mut())
+                    .unwrap_or_else(|e| {
+                        exit_with(CliError::usage(format!("snapshot save failed: {e}")))
+                    })
+            }
         }
     } else {
         eprintln!("# building ecosystem and running the 38-day campaign...");
-        match (&policy, &mut driver) {
-            (Some(p), Some(d)) => run_study_folded_checkpointed(config, campaign, p, d)
-                .unwrap_or_else(|e| {
-                    eprintln!("error: snapshot save failed: {e}");
-                    std::process::exit(2);
-                }),
-            (Some(p), None) => run_study_checkpointed(config, campaign, p).unwrap_or_else(|e| {
-                eprintln!("error: snapshot save failed: {e}");
-                std::process::exit(2);
-            }),
-            (None, Some(d)) => run_study_folded(config, campaign, d),
-            (None, None) => run_study_with(config, campaign),
-        }
+        run_fresh_campaign(config, campaign, policy.as_ref(), driver.as_mut())
+            .unwrap_or_else(|e| exit_with(CliError::usage(format!("snapshot save failed: {e}"))))
     };
     eprintln!("# campaign done in {:.1?}\n", t0.elapsed());
     if let Some(p) = &policy {
@@ -491,7 +592,9 @@ fn main() {
         });
     }
     if let Some(dir) = &csv_dir {
-        export_csv(&ds, &pool, dir).expect("CSV export");
+        if let Err(e) = export_csv(&ds, &pool, dir) {
+            exit_with(CliError::usage(format!("CSV export failed: {e}")));
+        }
         eprintln!("# figure series written to {}", dir.display());
     }
     if timings {
@@ -551,20 +654,140 @@ fn parse_outage(arg: &str, ban: bool) -> (usize, OutageSpec) {
     )
 }
 
+/// A typed CLI failure: the diagnostic for stderr plus the process exit
+/// code — `1` when the requested check found problems, `2` on usage or
+/// I/O errors. Threaded back to [`exit_with`] through `Result` so the
+/// subcommand bodies stay ordinary fallible functions instead of
+/// sprinkling `process::exit` through every filesystem touch.
+struct CliError {
+    message: String,
+    code: i32,
+}
+
+impl CliError {
+    /// Usage / environment error (exit 2).
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    /// The requested check ran and failed (exit 1).
+    fn failed(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+/// Print a [`CliError`] diagnostic and terminate with its exit code.
+fn exit_with(err: CliError) -> ! {
+    eprintln!("error: {}", err.message);
+    std::process::exit(err.code);
+}
+
+/// Dispatch a fresh campaign across the four policy × analysis modes.
+fn run_fresh_campaign(
+    config: ScenarioConfig,
+    campaign: CampaignConfig,
+    policy: Option<&CheckpointPolicy>,
+    driver: Option<&mut FoldDriver>,
+) -> Result<Dataset, CheckpointError> {
+    match (policy, driver) {
+        (Some(p), Some(d)) => run_study_folded_checkpointed(config, campaign, p, d),
+        (Some(p), None) => run_study_checkpointed(config, campaign, p),
+        (None, Some(d)) => Ok(run_study_folded(config, campaign, d)),
+        (None, None) => Ok(run_study_with(config, campaign)),
+    }
+}
+
+/// Dispatch a resumed campaign across the four policy × analysis modes.
+fn run_resumed_campaign(
+    state: &CampaignState,
+    policy: Option<&CheckpointPolicy>,
+    driver: Option<&mut FoldDriver>,
+) -> Result<Dataset, CheckpointError> {
+    match (policy, driver) {
+        (Some(p), Some(d)) => resume_study_folded_checkpointed(state, p, d),
+        (Some(p), None) => resume_study_checkpointed(state, p),
+        (None, Some(d)) => Ok(resume_study_folded(state, d)),
+        (None, None) => Ok(resume_study(state)),
+    }
+}
+
+/// Resolve `--resume <path>` into a campaign state. A single readable
+/// snapshot file loads directly; a checkpoint directory — or a file that
+/// turns out to be damaged — goes through chain recovery: walk the
+/// per-day chain backwards past invalid links to the newest valid
+/// snapshot, appending every skip to the directory's recovery ledger.
+/// `Ok(None)` means no link survived anywhere in the chain and the
+/// caller should start fresh.
+fn load_resume_state(
+    path: &std::path::Path,
+    seed: u64,
+    disk_fault: DiskFaultProfile,
+) -> Result<Option<CampaignState>, CliError> {
+    if path.is_file() {
+        match load_from_file::<CampaignState>(path) {
+            Ok(state) => return Ok(Some(state)),
+            Err(e) => eprintln!(
+                "# snapshot {} is unusable ({e}); walking the checkpoint chain",
+                path.display()
+            ),
+        }
+    }
+    let dir = if path.is_dir() {
+        path.to_path_buf()
+    } else {
+        match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => {
+                return Err(CliError::usage(format!(
+                    "{}: no checkpoint directory to recover from",
+                    path.display()
+                )))
+            }
+        }
+    };
+    let policy = CheckpointPolicy {
+        dir: dir.clone(),
+        every_days: 0,
+        on_drop: false,
+        disk_fault,
+    };
+    let recovered = recover_latest_state(&policy, seed, None)
+        .map_err(|e| CliError::usage(format!("{}: chain recovery failed: {e}", dir.display())))?;
+    for skip in &recovered.skipped {
+        eprintln!(
+            "# chain recovery skipped {} (day {}): {}",
+            skip.file,
+            skip.day,
+            skip.reason.label()
+        );
+    }
+    Ok(recovered.state)
+}
+
 /// `repro lint --validate <file>`: parse a previously emitted lint
 /// report and check it against the `chatlens-lint/v1` JSON schema.
 /// Exits 0 when the document is well-formed and schema-valid.
-fn validate_lint_json(path: &std::path::Path) {
-    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("error: cannot read {}: {e}", path.display());
-        std::process::exit(2);
-    });
+fn validate_lint_json(path: &std::path::Path) -> Result<(), CliError> {
+    let body = RealVfs
+        .read(path)
+        .map_err(|e| CliError::usage(format!("cannot read {e}")))?;
+    let body = String::from_utf8(body)
+        .map_err(|_| CliError::failed(format!("{} is not UTF-8", path.display())))?;
     match chatlens_lint::json::validate(&body) {
-        Ok(()) => eprintln!("# chatlens-lint: {} is schema-valid", path.display()),
-        Err(e) => {
-            eprintln!("error: {} fails schema validation: {e}", path.display());
-            std::process::exit(1);
+        Ok(()) => {
+            eprintln!("# chatlens-lint: {} is schema-valid", path.display());
+            Ok(())
         }
+        Err(e) => Err(CliError::failed(format!(
+            "{} fails schema validation: {e}",
+            path.display()
+        ))),
     }
 }
 
@@ -589,11 +812,9 @@ fn run_lint(stats: bool, json: bool, out: Option<&std::path::Path>) {
         let body = chatlens_lint::json::report_json(&report);
         debug_assert!(chatlens_lint::json::validate(&body).is_ok());
         if let Some(path) = out {
-            // lint:allow(D6) operator-requested report sink (--out <path>)
-            std::fs::write(path, &body).unwrap_or_else(|e| {
-                eprintln!("error: cannot write {}: {e}", path.display());
-                std::process::exit(2);
-            });
+            if let Err(e) = RealVfs.write_atomic(path, body.as_bytes()) {
+                exit_with(CliError::usage(format!("cannot write report: {e}")));
+            }
         }
         if json {
             println!("{body}");
@@ -619,30 +840,138 @@ fn run_lint(stats: bool, json: bool, out: Option<&std::path::Path>) {
     }
 }
 
-/// `repro checkpoint inspect <file>`: decode a snapshot and print its
-/// summary as JSON, or exit 2 with a diagnostic if the file is corrupt,
-/// truncated, or written by a different format version.
-fn checkpoint_inspect(path: &std::path::Path) {
-    match load_from_file::<CampaignState>(path) {
-        Ok(state) => println!(
-            "{}",
-            chatlens::workload::config_io::to_json(&state.summary()).expect("summary serializes")
-        ),
-        Err(e) => {
-            eprintln!("error: {}: {e}", path.display());
-            std::process::exit(2);
+/// `repro checkpoint inspect <file|dir>`: decode a snapshot and print
+/// its summary as JSON, or exit 2 with a diagnostic if the file is
+/// corrupt, truncated, or written by a different format version. Given
+/// a checkpoint directory, prints the per-day chain status and the
+/// persisted recovery ledger instead.
+fn checkpoint_inspect(path: &std::path::Path) -> Result<(), CliError> {
+    if path.is_dir() {
+        let entries = chain::verify_chain::<CampaignState>(&mut RealVfs, path)
+            .map_err(|e| CliError::usage(format!("{e}")))?;
+        if entries.is_empty() {
+            println!("no snapshots in {}", path.display());
         }
+        for e in &entries {
+            match &e.outcome {
+                Ok(()) => println!("{}  day {:3}  ok", e.file, e.day),
+                Err(err) => println!("{}  day {:3}  INVALID: {err}", e.file, e.day),
+            }
+        }
+        let ledger = chain::load_ledger(path);
+        if ledger.entries.is_empty() {
+            println!("recovery ledger: empty");
+        } else {
+            println!("recovery ledger ({} entries):", ledger.entries.len());
+            for e in &ledger.entries {
+                println!(
+                    "  day {:3}  {}  {}  {}",
+                    e.day,
+                    e.file,
+                    e.reason.label(),
+                    e.action.label()
+                );
+            }
+        }
+        return Ok(());
     }
+    match load_from_file::<CampaignState>(path) {
+        Ok(state) => {
+            println!(
+                "{}",
+                chatlens::workload::config_io::to_json(&state.summary())
+                    .expect("summary serializes")
+            );
+            Ok(())
+        }
+        Err(e) => Err(CliError::usage(format!("{}: {e}", path.display()))),
+    }
+}
+
+/// `repro checkpoint verify [--all] <file|dir>`: classify snapshots
+/// without touching them. A directory (or `--all`) walks the whole
+/// chain and prints a counter summary; success means at least one valid
+/// resume point survives.
+fn checkpoint_verify(path: &std::path::Path, all: bool) -> Result<(), CliError> {
+    if all || path.is_dir() {
+        let dir = if path.is_dir() {
+            path
+        } else {
+            path.parent()
+                .filter(|p| !p.as_os_str().is_empty())
+                .ok_or_else(|| {
+                    CliError::usage(format!("{}: not a checkpoint directory", path.display()))
+                })?
+        };
+        let entries = chain::verify_chain::<CampaignState>(&mut RealVfs, dir)
+            .map_err(|e| CliError::usage(format!("{e}")))?;
+        let mut metrics = Metrics::new();
+        for e in &entries {
+            match &e.outcome {
+                Ok(()) => {
+                    metrics.add(keys::CHECKPOINT_CHAIN_VALID, 1);
+                    println!("{}  day {:3}  ok", e.file, e.day);
+                }
+                Err(err) => {
+                    metrics.add(keys::CHECKPOINT_CHAIN_INVALID, 1);
+                    println!("{}  day {:3}  INVALID: {err}", e.file, e.day);
+                }
+            }
+        }
+        println!("{metrics}");
+        if metrics.get(keys::CHECKPOINT_CHAIN_VALID) == 0 {
+            return Err(CliError::failed(format!(
+                "{}: no valid resume point in the chain",
+                dir.display()
+            )));
+        }
+        return Ok(());
+    }
+    match load_from_file::<CampaignState>(path) {
+        Ok(state) => {
+            println!("{}  day {:3}  ok", path.display(), state.day);
+            Ok(())
+        }
+        Err(e) => Err(CliError::failed(format!("{}: {e}", path.display()))),
+    }
+}
+
+/// `repro checkpoint repair <dir>`: quarantine every invalid snapshot
+/// and orphaned `.tmp` file into `<dir>/quarantine/` (recorded in the
+/// recovery ledger) so the remaining chain verifies clean.
+fn checkpoint_repair(dir: &std::path::Path) -> Result<(), CliError> {
+    if !dir.is_dir() {
+        return Err(CliError::usage(format!(
+            "{}: not a checkpoint directory",
+            dir.display()
+        )));
+    }
+    let report = chain::repair_chain::<CampaignState>(&mut RealVfs, dir)
+        .map_err(|e| CliError::usage(format!("{e}")))?;
+    for e in &report.quarantined {
+        println!(
+            "quarantined {}  day {:3}  {}",
+            e.file,
+            e.day,
+            e.reason.label()
+        );
+    }
+    let mut metrics = Metrics::new();
+    metrics.add(keys::CHECKPOINT_CHAIN_VALID, u64::from(report.kept));
+    metrics.add(
+        keys::CHECKPOINT_QUARANTINED,
+        report.quarantined.len() as u64,
+    );
+    println!("{metrics}");
+    Ok(())
 }
 
 /// `repro audit <file>`: resume a snapshot to a finished dataset and run
 /// the invariant auditor over it. Exit 0 (clean) or 1 (violations);
 /// exit 2 when the snapshot itself cannot be decoded.
-fn audit_snapshot(path: &std::path::Path) {
-    let state: CampaignState = load_from_file(path).unwrap_or_else(|e| {
-        eprintln!("error: {}: {e}", path.display());
-        std::process::exit(2);
-    });
+fn audit_snapshot(path: &std::path::Path) -> Result<(), CliError> {
+    let state: CampaignState =
+        load_from_file(path).map_err(|e| CliError::usage(format!("{}: {e}", path.display())))?;
     eprintln!(
         "# resuming campaign from {} (day {}) for audit...",
         path.display(),
@@ -658,22 +987,24 @@ fn audit_snapshot(path: &std::path::Path) {
     );
     if violations.is_empty() {
         println!("audit clean: every dataset invariant holds");
-        return;
+        return Ok(());
     }
     for v in &violations {
         println!("violation: {}", v.render());
     }
-    eprintln!("error: {} invariant violation(s)", violations.len());
-    std::process::exit(1);
+    Err(CliError::failed(format!(
+        "{} invariant violation(s)",
+        violations.len()
+    )))
 }
 
-/// Write every figure's plottable series as CSV files into `dir`.
-fn export_csv(ds: &Dataset, pool: &Pool, dir: &std::path::Path) -> std::io::Result<()> {
-    use std::fs;
-    // lint:allow(D6) CSV export is an operator-requested artifact sink (--csv)
-    fs::create_dir_all(dir)?;
-    // lint:allow(D6) same artifact sink: every write lands under --csv <dir>
-    let write = |name: String, body: String| fs::write(dir.join(name), body);
+/// Write every figure's plottable series as CSV files into `dir`, each
+/// through the VFS tmp+rename path so a crash never leaves a truncated
+/// report file.
+fn export_csv(ds: &Dataset, pool: &Pool, dir: &std::path::Path) -> Result<(), CheckpointError> {
+    let mut vfs = RealVfs;
+    vfs.create_dir_all(dir)?;
+    let mut write = |name: String, body: String| vfs.write_atomic(&dir.join(name), body.as_bytes());
     let daily = discovery::daily_discovery_all(ds, pool);
     let per_url = discovery::tweets_per_url_all(ds, pool);
     let staleness = lifecycle::staleness_days_all(ds, pool);

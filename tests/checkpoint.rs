@@ -176,6 +176,43 @@ fn damaged_snapshots_are_rejected_never_panic() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn every_header_byte_flip_is_a_typed_error() {
+    let (dir, _) = run_with_daily_snapshots("headerflip", 1);
+    let good = std::fs::read(dir.join("day003.ckpt")).expect("snapshot readable");
+
+    // The 20-byte header is magic (8) + version (4) + payload length (8).
+    // Flipping any single header byte must surface as the matching typed
+    // error through `load_from_file` — never a panic, never `Io`.
+    for pos in 0..20 {
+        let mut bad = good.clone();
+        bad[pos] ^= 0x01;
+        let err = load_after_writing(&dir, &bad);
+        match pos {
+            0..=7 => assert!(
+                matches!(err, CheckpointError::BadMagic),
+                "magic flip at byte {pos} gave {err}"
+            ),
+            8..=11 => assert!(
+                matches!(
+                    err,
+                    CheckpointError::VersionMismatch {
+                        expected: FORMAT_VERSION,
+                        ..
+                    }
+                ),
+                "version flip at byte {pos} gave {err}"
+            ),
+            _ => assert!(
+                !matches!(err, CheckpointError::Io(_)),
+                "length flip at byte {pos} gave {err}"
+            ),
+        }
+        assert!(!err.to_string().is_empty());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Write `bytes` as a snapshot file and return the load error.
 fn load_after_writing(dir: &std::path::Path, bytes: &[u8]) -> CheckpointError {
     let path = dir.join("tampered.ckpt");
