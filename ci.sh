@@ -50,9 +50,9 @@ cargo run -q --bin repro -- --scale 0.005 --fault-profile bursty run
 
 # Byzantine smoke: a campaign under hostile wire corruption (20% of
 # bodies mutated in flight) must complete with every rejected body in
-# the quarantine ledger, its checkpoints must carry snapshot format v5
-# (canonical varints + fold ledger), and the dataset invariant
-# auditor must find nothing to report.
+# the quarantine ledger, its checkpoints must carry snapshot format v6
+# (canonical varints + fold ledger + budget accountant state), and the
+# dataset invariant auditor must find nothing to report.
 echo "==> hostile corruption smoke (repro run + audit)"
 CKPT_DIR="$(mktemp -d)"
 trap 'rm -rf "$CKPT_DIR"' EXIT
@@ -60,7 +60,7 @@ cargo run -q --bin repro -- --scale 0.005 --corruption hostile \
     --checkpoint-dir "$CKPT_DIR" run
 LAST_CKPT="$(ls "$CKPT_DIR"/day*.ckpt | sort | tail -1)"
 cargo run -q --bin repro -- checkpoint inspect "$LAST_CKPT" \
-    | grep -q '"format_version":5'
+    | grep -q '"format_version":6'
 cargo run -q --bin repro -- audit "$LAST_CKPT"
 
 # Incremental-parity smoke: the folded analysis pipeline must complete a
@@ -106,6 +106,21 @@ cargo run -q --bin repro -- --scale 0.005 --disk-fault torn \
 cmp "$TORN_DIR/golden.out" "$TORN_DIR/resumed.out" \
     || { echo "FAIL: torn-profile resume diverges from the fault-free run" >&2; exit 1; }
 
+# Memory-budget smoke: a campaign under a hard byte ceiling (Min mode —
+# everything cold spills) must complete without aborting, and its report
+# must be byte-identical to the unbudgeted run's. The full composition
+# matrix (budget × torn spills × kill/resume × threads) lives in
+# tests/budget.rs.
+echo "==> memory-budget smoke (repro run --mem-budget min)"
+MEM_DIR="$(mktemp -d)"
+trap 'rm -rf "$CKPT_DIR" "$INC_DIR" "$TORN_DIR" "$MEM_DIR"' EXIT
+cargo run -q --bin repro -- --scale 0.005 run \
+    --report-out "$MEM_DIR/unbounded.report"
+cargo run -q --bin repro -- --scale 0.005 --mem-budget min \
+    --spill-dir "$MEM_DIR/spill" run --report-out "$MEM_DIR/budgeted.report"
+cmp "$MEM_DIR/unbounded.report" "$MEM_DIR/budgeted.report" \
+    || { echo "FAIL: budgeted report diverges from the unbounded run" >&2; exit 1; }
+
 echo "==> cargo test (threads=1)"
 CHATLENS_THREADS=1 cargo test -q --workspace
 
@@ -130,5 +145,14 @@ cargo run --release -p chatlens-bench
 # with BENCH_FOLD_UPDATE=1 (same contract as the hotpath knob).
 echo "==> fold regression gate (BENCH_fold.json)"
 cargo run --release -p chatlens-bench --bin fold
+
+# Memory-accounting regression gate: peak accounted resident bytes and
+# spill/fault counts at the paper and 10x stand-in scales against the
+# committed BENCH_mem.json baseline. Every entry is deterministic (byte
+# and partition counts, not wall-clock); >25% growth fails. Refresh
+# intentional changes with BENCH_MEM_UPDATE=1 (same contract as the
+# hotpath knob).
+echo "==> memory-budget regression gate (BENCH_mem.json)"
+cargo run --release -p chatlens-bench --bin mem
 
 echo "CI green."

@@ -38,7 +38,15 @@ pub const MAGIC: [u8; 8] = *b"CLCKPT\x1a\x01";
 ///   carries per-day collection cursor marks (`DayMark`) and an optional
 ///   fold ledger (`FoldLedger`) of per-analysis folded state, so resumed
 ///   incremental runs never replay raw history.
-pub const FORMAT_VERSION: u32 = 5;
+/// * v6 — memory budget and cold-partition spill: discovery state splits
+///   the tweet/control logs into a spilled prefix count (`tweets_base`,
+///   `control_base`) plus the resident tail, and the campaign state
+///   carries an optional `BudgetState` (limit, accounting floor, per-day
+///   encoded sizes, spill-partition manifest with per-file SHA-256, and
+///   the budget counters) so a kill/resume under `--mem-budget` replays
+///   to byte-identical reports. Spill partitions themselves reuse this
+///   envelope (one snapshot file per evicted day).
+pub const FORMAT_VERSION: u32 = 6;
 
 /// Envelope overhead before the payload: magic + version + payload length.
 const HEADER_LEN: usize = 8 + 4 + 8;

@@ -8,6 +8,7 @@
 //! (search, stream, or both) is retained. The 1% sample stream is drained
 //! daily into the control dataset.
 
+use crate::budget::SpillableLog;
 use crate::error::CoreError;
 use crate::intern::Interner;
 use crate::net::Net;
@@ -57,9 +58,12 @@ pub struct Discovery {
     since_id: [Option<u64>; 6],
     tweet_index: HashMap<u64, usize>,
     /// Collected pattern-matched tweets, in arrival order, deduplicated.
-    pub tweets: Vec<CollectedTweet>,
-    /// Control-sample tweets.
-    pub control: Vec<Tweet>,
+    /// Under `--mem-budget` the cold day-prefix may be spilled to disk;
+    /// indices in `tweet_index` and day-mark cursors are *global* and
+    /// stay valid across an eviction.
+    pub tweets: SpillableLog<CollectedTweet>,
+    /// Control-sample tweets (spillable like `tweets`).
+    pub control: SpillableLog<Tweet>,
     /// Ids present in `control` (derived; rebuilt on resume). Backfill
     /// re-fetches sample windows whose early pages already landed, so
     /// control ingestion dedups by id — against this persistent set, not
@@ -101,8 +105,8 @@ impl Discovery {
             start,
             since_id: [None; 6],
             tweet_index: HashMap::new(),
-            tweets: Vec::new(),
-            control: Vec::new(),
+            tweets: SpillableLog::new(),
+            control: SpillableLog::new(),
             control_ids: HashSet::new(),
             interner: Interner::new(),
             groups: Vec::new(),
@@ -131,12 +135,17 @@ impl Discovery {
     /// is re-interned from the group records in discovery order, which
     /// reproduces the saved table id-for-id (the snapshot also carries
     /// the table explicitly and the loader verifies the two agree).
+    ///
+    /// `tweets` and `control` carry only the resident tail of a budgeted
+    /// snapshot; the ids of spilled items are re-registered afterwards by
+    /// [`index_spilled`](Self::index_spilled) (the budget accountant
+    /// faults each manifest partition once to enumerate them).
     #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
         start: SimTime,
         since_id: [Option<u64>; 6],
-        tweets: Vec<CollectedTweet>,
-        control: Vec<Tweet>,
+        tweets: SpillableLog<CollectedTweet>,
+        control: SpillableLog<Tweet>,
         groups: Vec<DiscoveryRecord>,
         stats: ExtractionStats,
         last_stream_drain: SimTime,
@@ -146,10 +155,11 @@ impl Discovery {
         pending_sample: Vec<(SimTime, SimTime)>,
         quarantine: Vec<QuarantineEntry>,
     ) -> Discovery {
+        let base = tweets.base();
         let tweet_index = tweets
             .iter()
             .enumerate()
-            .map(|(i, t)| (t.tweet.id.0, i))
+            .map(|(i, t)| (t.tweet.id.0, base + i))
             .collect();
         let control_ids = control.iter().map(|t| t.id.0).collect();
         let mut interner = Interner::new();
@@ -205,8 +215,15 @@ impl Discovery {
     fn ingest(&mut self, tweet: Tweet, now: SimTime, via_search: bool) {
         if let Some(&i) = self.tweet_index.get(&tweet.id.0) {
             // Seen before (the other feed, or an overlapping search
-            // window): merge provenance only.
-            let rec = &mut self.tweets[i];
+            // window): merge provenance only. The record must still be
+            // resident: the budget's eviction eligibility rule (a
+            // partition ages `RESIDENCY_DAYS` past the 7-day search
+            // lookback and past every pending backfill window before it
+            // may spill) guarantees no merge can target a spilled day.
+            let rec = self
+                .tweets
+                .get_mut(i)
+                .expect("provenance merge reached a spilled partition (eligibility invariant)");
             rec.via_search |= via_search;
             rec.via_stream |= !via_search;
             return;
@@ -435,6 +452,39 @@ impl Discovery {
     /// Windows still awaiting backfill (campaign health metric).
     pub fn pending_windows(&self) -> usize {
         self.pending_stream.len() + self.pending_sample.len()
+    }
+
+    /// Earliest study day any pending backfill window reaches back to,
+    /// if any window is queued. The memory budget must keep every
+    /// partition from that day on resident: a backfill re-delivers
+    /// tweets posted in `[from, to]`, whose original collection day is
+    /// at least `day_of(from)` and which therefore merge into
+    /// partitions no colder than that.
+    pub fn min_pending_window_day(&self) -> Option<u32> {
+        self.pending_stream
+            .iter()
+            .chain(self.pending_sample.iter())
+            .map(|&(from, _)| day_of(self.start, from))
+            .min()
+    }
+
+    /// Re-register the ids of spilled items into the dedup indexes
+    /// after a resume: `tweet_ids` pairs each spilled tweet id with its
+    /// global append index (for provenance-merge lookups, which under
+    /// the eligibility rule never actually dereference a spilled
+    /// index), and `control_ids` repopulates the control dedup set.
+    pub fn index_spilled(
+        &mut self,
+        tweet_ids: impl IntoIterator<Item = (u64, usize)>,
+        control_ids: impl IntoIterator<Item = u64>,
+    ) {
+        for (id, global) in tweet_ids {
+            self.tweet_index.insert(id, global);
+        }
+        // lint:allow(D2) set insertion is order-insensitive
+        for id in control_ids {
+            self.control_ids.insert(id);
+        }
     }
 }
 

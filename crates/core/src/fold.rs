@@ -30,6 +30,7 @@
 //!
 //! [`Dataset::day_slice`]: crate::Dataset::day_slice
 
+use crate::budget::LogView;
 use crate::discovery::{CollectedTweet, DiscoveryRecord};
 use crate::intern::Interner;
 use crate::joiner::JoinedGroup;
@@ -97,8 +98,8 @@ pub struct DaySlice<'a> {
     pub gaps: &'a GapLedger,
     /// PII exposure accounting as of the end of the day.
     pub pii: &'a PiiStore,
-    tweets: &'a [CollectedTweet],
-    control: &'a [Tweet],
+    tweets: LogView<'a, CollectedTweet>,
+    control: LogView<'a, Tweet>,
     groups: &'a [DiscoveryRecord],
     joined: &'a [JoinedGroup],
     new_tweets: Range<usize>,
@@ -115,23 +116,33 @@ impl<'a> DaySlice<'a> {
     }
 
     /// Every pattern-matched tweet collected through the end of the day.
+    ///
+    /// # Panics
+    /// Panics under `--mem-budget` once a prefix has been spilled —
+    /// incremental folds consume [`tweets_today`](Self::tweets_today)
+    /// (always resident); full-history reads are a batch-mode affordance.
     pub fn tweets(&self) -> &'a [CollectedTweet] {
-        self.tweets
+        self.tweets.full()
     }
 
-    /// The tweets collected during this day.
+    /// The tweets collected during this day (always resident).
     pub fn tweets_today(&self) -> &'a [CollectedTweet] {
-        &self.tweets[self.new_tweets.clone()]
+        self.tweets.slice(self.new_tweets.clone())
     }
 
     /// Every control-sample tweet collected through the end of the day.
+    ///
+    /// # Panics
+    /// Panics under `--mem-budget` once a prefix has been spilled (see
+    /// [`tweets`](Self::tweets)).
     pub fn control(&self) -> &'a [Tweet] {
-        self.control
+        self.control.full()
     }
 
-    /// The control-sample tweets collected during this day.
+    /// The control-sample tweets collected during this day (always
+    /// resident).
     pub fn control_today(&self) -> &'a [Tweet] {
-        &self.control[self.new_control.clone()]
+        self.control.slice(self.new_control.clone())
     }
 
     /// Every group discovered through the end of the day, in discovery
@@ -166,10 +177,11 @@ impl<'a> DaySlice<'a> {
 pub struct DayParts<'a> {
     /// The collection window.
     pub window: StudyWindow,
-    /// Pattern-matched tweets, append-only.
-    pub tweets: &'a [CollectedTweet],
-    /// Control-sample tweets, append-only.
-    pub control: &'a [Tweet],
+    /// Pattern-matched tweets, append-only; a [`LogView`] so global
+    /// indices survive cold-prefix spills under `--mem-budget`.
+    pub tweets: LogView<'a, CollectedTweet>,
+    /// Control-sample tweets, append-only (spillable like `tweets`).
+    pub control: LogView<'a, Tweet>,
     /// Discovered groups in slot order, append-only.
     pub groups: &'a [DiscoveryRecord],
     /// Joined groups, append-only (contents mutate at collection).
@@ -213,8 +225,8 @@ impl<'a> DayParts<'a> {
             timelines: self.timelines,
             gaps: self.gaps,
             pii: self.pii,
-            tweets: &self.tweets[..cur.tweets as usize],
-            control: &self.control[..cur.control as usize],
+            tweets: self.tweets.truncated(cur.tweets as usize),
+            control: self.control.truncated(cur.control as usize),
             groups: &self.groups[..cur.groups as usize],
             joined: &self.joined[..cur.joined as usize],
             new_tweets: prev.tweets as usize..cur.tweets as usize,

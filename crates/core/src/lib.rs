@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod budget;
 pub mod dataset;
 pub mod discovery;
 pub mod error;
@@ -53,14 +54,17 @@ pub mod state;
 pub mod study;
 
 pub use audit::{audit_dataset, AuditCode, AuditViolation};
+pub use budget::{BudgetError, BudgetLimit, BudgetPolicy, BudgetStats, MemoryBudget, SpillableLog};
 pub use dataset::Dataset;
 pub use error::CoreError;
 pub use fold::{DayFold, DayMark, DayParts, DaySlice, FoldDriver, FoldLedger, FoldOutcome};
 pub use intern::{Interner, Sym};
 pub use state::{CampaignState, SnapshotSummary};
 pub use study::{
-    recover_latest_state, resume_study, resume_study_checkpointed, resume_study_days,
-    resume_study_folded, resume_study_folded_checkpointed, run_study, run_study_checkpointed,
+    recover_latest_state, resume_study, resume_study_budgeted, resume_study_budgeted_checkpointed,
+    resume_study_checkpointed, resume_study_days, resume_study_folded,
+    resume_study_folded_checkpointed, run_study, run_study_budgeted,
+    run_study_budgeted_checkpointed, run_study_checkpointed, run_study_days_budgeted,
     run_study_days_checkpointed, run_study_folded, run_study_folded_checkpointed, run_study_with,
-    CampaignConfig, CampaignEvent, CheckpointPolicy,
+    BudgetedRun, CampaignConfig, CampaignEvent, CheckpointPolicy, StudyError,
 };

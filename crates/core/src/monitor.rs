@@ -264,6 +264,20 @@ impl TimelineStore {
         self.iter().map(|(i, tl)| (i as u32, tl.clone())).collect()
     }
 
+    /// Encoded (checkpoint codec) size of every observed timeline, in
+    /// bytes. This is the memory-budget accounting charge for the
+    /// columnar store — a pure function of observation history, never of
+    /// allocator behavior. Only computed at day boundaries under
+    /// `--mem-budget`, so the walk stays off the request hot path.
+    pub fn encoded_bytes(&self) -> u64 {
+        use chatlens_checkpoint::codec::{Persist, Writer};
+        let mut w = Writer::new();
+        for (_, tl) in self.iter() {
+            tl.save(&mut w);
+        }
+        w.len() as u64
+    }
+
     /// Rebuild from checkpointed `(slot, timeline)` pairs.
     pub fn from_entries(entries: Vec<(u32, GroupTimeline)>) -> TimelineStore {
         let mut store = TimelineStore::new();

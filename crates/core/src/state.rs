@@ -20,6 +20,7 @@
 //! always encodes to the same bytes — snapshot files of equal states are
 //! byte-equal, which the determinism suite exploits directly.
 
+use crate::budget::{BudgetState, SpillableLog};
 use crate::discovery::{CollectedTweet, Discovery, DiscoveryRecord};
 use crate::fold::{DayMark, FoldLedger};
 use crate::joiner::{JoinStrategy, JoinedGroup, Joiner, MemberRecord};
@@ -106,10 +107,16 @@ impl Persist for EngineState {
 pub struct DiscoveryState {
     /// Per-host Search API `since_id` watermarks.
     pub since_id: [Option<u64>; 6],
-    /// Collected pattern-matched tweets, in arrival order.
+    /// Resident tail of the collected tweet log (v6: a budgeted run may
+    /// have spilled the cold prefix to disk; `tweets_base` counts it).
     pub tweets: Vec<CollectedTweet>,
-    /// Control-sample tweets.
+    /// Resident tail of the control-sample log (see `control_base`).
     pub control: Vec<Tweet>,
+    /// Spilled tweet-prefix length: the global index of `tweets[0]`.
+    /// Zero on unbudgeted runs.
+    pub tweets_base: u64,
+    /// Spilled control-prefix length, like `tweets_base`.
+    pub control_base: u64,
     /// Discovered groups in discovery order.
     pub groups: Vec<DiscoveryRecord>,
     /// URL extraction totals.
@@ -151,6 +158,8 @@ impl Persist for DiscoveryState {
         self.pending_sample.save(w);
         self.quarantine.save(w);
         self.symbols.save(w);
+        self.tweets_base.save(w);
+        self.control_base.save(w);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
         let since_id = <[Option<u64>; 6]>::load(r)?;
@@ -165,6 +174,8 @@ impl Persist for DiscoveryState {
         let pending_sample = Vec::<(SimTime, SimTime)>::load(r)?;
         let quarantine = Vec::<QuarantineEntry>::load(r)?;
         let symbols = Vec::<String>::load(r)?;
+        let tweets_base = u64::load(r)?;
+        let control_base = u64::load(r)?;
         if symbols.len() != groups.len() {
             return Err(CheckpointError::Malformed(format!(
                 "symbol table has {} entries for {} groups",
@@ -184,6 +195,8 @@ impl Persist for DiscoveryState {
             since_id,
             tweets,
             control,
+            tweets_base,
+            control_base,
             groups,
             stats,
             last_stream_drain,
@@ -203,8 +216,10 @@ impl DiscoveryState {
         let (since_id, last_stream_drain, last_sample_drain) = d.cursors();
         DiscoveryState {
             since_id,
-            tweets: d.tweets.clone(),
-            control: d.control.clone(),
+            tweets: d.tweets.resident().to_vec(),
+            control: d.control.resident().to_vec(),
+            tweets_base: d.tweets.base() as u64,
+            control_base: d.control.base() as u64,
             groups: d.groups.clone(),
             stats: d.stats,
             last_stream_drain,
@@ -224,8 +239,8 @@ impl DiscoveryState {
         Discovery::from_parts(
             start,
             self.since_id,
-            self.tweets.clone(),
-            self.control.clone(),
+            SpillableLog::from_parts(self.tweets_base as usize, self.tweets.clone()),
+            SpillableLog::from_parts(self.control_base as usize, self.control.clone()),
             self.groups.clone(),
             self.stats,
             self.last_stream_drain,
@@ -666,6 +681,11 @@ pub struct CampaignState {
     pub folds: Option<FoldLedger>,
     /// Campaign-mutated slice of the ecosystem.
     pub delta: EcosystemDelta,
+    /// Memory-budget accountant state (format v6). `Some` when the
+    /// snapshot was written under `--mem-budget`; carries the limit,
+    /// accounting floor, per-day encoded sizes and the spill-partition
+    /// manifest so a resume stays byte-identical.
+    pub budget: Option<BudgetState>,
 }
 
 persist_struct!(CampaignState {
@@ -682,7 +702,8 @@ persist_struct!(CampaignState {
     metrics,
     marks,
     folds,
-    delta
+    delta,
+    budget
 });
 
 /// Human-readable digest of a snapshot for `repro checkpoint inspect`,
@@ -731,6 +752,13 @@ pub struct SnapshotSummary {
     /// Encoded fold-state bytes, keyed by fold name (empty for batch
     /// snapshots). The `repro checkpoint inspect` per-fold size report.
     pub fold_state_bytes: BTreeMap<String, u64>,
+    /// Spilled day-partitions on disk (0 for unbudgeted snapshots).
+    pub spill_partitions: usize,
+    /// Total encoded bytes across all spill partitions.
+    pub spill_bytes: u64,
+    /// Per-day spill inventory: `dayNNN` → encoded partition bytes
+    /// (empty for unbudgeted snapshots).
+    pub spill_day_bytes: BTreeMap<String, u64>,
     /// Deterministic metric counters (wall-clock timings excluded).
     pub counters: BTreeMap<String, u64>,
 }
@@ -744,8 +772,8 @@ impl CampaignState {
             sim_now_secs: self.engine.now.0,
             events_processed: self.engine.processed,
             events_pending: self.engine.pending.len(),
-            tweets_collected: self.discovery.tweets.len(),
-            control_tweets: self.discovery.control.len(),
+            tweets_collected: self.discovery.tweets.len() + self.discovery.tweets_base as usize,
+            control_tweets: self.discovery.control.len() + self.discovery.control_base as usize,
             groups_discovered: self.discovery.groups.len(),
             groups_monitored: self.monitor.timelines.len(),
             groups_joined: self.joiner.joined.len(),
@@ -763,6 +791,21 @@ impl CampaignState {
                 .map(|l| {
                     l.state_sizes()
                         .map(|(name, bytes)| (name.to_string(), bytes))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            spill_partitions: self.budget.as_ref().map_or(0, |b| b.manifest.len()),
+            spill_bytes: self
+                .budget
+                .as_ref()
+                .map_or(0, |b| b.manifest.iter().map(|p| p.encoded_bytes).sum()),
+            spill_day_bytes: self
+                .budget
+                .as_ref()
+                .map(|b| {
+                    b.manifest
+                        .iter()
+                        .map(|p| (format!("day{:03}", p.day), p.encoded_bytes))
                         .collect()
                 })
                 .unwrap_or_default(),
@@ -930,6 +973,8 @@ mod tests {
             pending_sample: Vec::new(),
             quarantine: Vec::new(),
             symbols: vec![good_key.clone()],
+            tweets_base: 0,
+            control_base: 0,
         };
         let back: DiscoveryState = decode_snapshot(&encode_snapshot(&state)).unwrap();
         assert_eq!(back, state);

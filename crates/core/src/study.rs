@@ -35,7 +35,10 @@
 //! killable/resumable like batch runs — `tests/fold_parity.rs` proves
 //! the final report fragments byte-identical either way.
 
-use crate::dataset::Dataset;
+use crate::budget::{BudgetError, BudgetPolicy, BudgetStats, MemoryBudget};
+use crate::dataset::{
+    render_campaign_report, Dataset, PlatformSummary, ReportInputs, TweetRollupBuilder,
+};
 use crate::discovery::Discovery;
 use crate::fold::{DayMark, DayParts, FoldDriver};
 use crate::joiner::Joiner;
@@ -58,6 +61,7 @@ use chatlens_simnet::rng::Rng;
 use chatlens_simnet::time::{SimDuration, SimTime, StudyWindow};
 use chatlens_simnet::Engine;
 use chatlens_workload::{Ecosystem, ScenarioConfig};
+use std::fmt;
 use std::path::PathBuf;
 
 /// Knobs of the collection campaign itself (as opposed to the world it
@@ -353,6 +357,200 @@ pub fn resume_study_checkpointed(
     run_guarded(runner, eco, policy, None)
 }
 
+/// Why a budgeted (and possibly checkpointed) campaign refused to
+/// continue. Both arms are typed refusals — a budgeted campaign
+/// degrades (spill, then refuse) and never aborts.
+#[derive(Debug)]
+pub enum StudyError {
+    /// Snapshot I/O failed under a non-tolerant disk-fault profile.
+    Checkpoint(CheckpointError),
+    /// The memory accountant refused: ceiling below the floor,
+    /// un-evictable working set over the ceiling, or damaged spill data.
+    Budget(BudgetError),
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            StudyError::Budget(e) => write!(f, "budget: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
+impl From<CheckpointError> for StudyError {
+    fn from(e: CheckpointError) -> StudyError {
+        StudyError::Checkpoint(e)
+    }
+}
+
+impl From<BudgetError> for StudyError {
+    fn from(e: BudgetError) -> StudyError {
+        StudyError::Budget(e)
+    }
+}
+
+/// The output of a budgeted campaign. There is no [`Dataset`]: a
+/// budgeted run streams its report from spilled partitions plus the
+/// resident tail instead of materializing the full tweet log, so the
+/// report (byte-identical to the unbudgeted run's) and the Table 2
+/// totals are the deliverables, with the accountant's final statistics
+/// alongside.
+#[derive(Debug)]
+pub struct BudgetedRun {
+    /// The canonical campaign report — byte-identical to
+    /// [`Dataset::campaign_report`] of an unbudgeted run.
+    pub report: String,
+    /// Table 2 bottom row.
+    pub totals: PlatformSummary,
+    /// Final accountant statistics (resident peak, spill volume, …).
+    pub stats: BudgetStats,
+    /// The `budget.*` metric registry (kept out of the report's frozen
+    /// counter digest).
+    pub metrics: Metrics,
+}
+
+/// Run the full study under a hard memory budget: day partitions of the
+/// collected logs are spilled coldest-first through the budget policy's
+/// (possibly fault-injected) filesystem whenever the accounted resident
+/// size exceeds the ceiling, and the report is streamed at the end. The
+/// report is byte-identical to [`run_study_with`]'s
+/// [`Dataset::campaign_report`].
+pub fn run_study_budgeted(
+    scenario: ScenarioConfig,
+    campaign: CampaignConfig,
+    budget: &BudgetPolicy,
+) -> Result<BudgetedRun, StudyError> {
+    let eco = Ecosystem::build(scenario);
+    let mut runner = Runner::new(eco.window, campaign);
+    runner.attach_budget(budget, &eco)?;
+    let days = eco.window.num_days() as u32;
+    let (runner, mut eco) = run_budgeted_until(runner, eco, None, days)?;
+    Ok(runner.finish_budgeted(&mut eco)?)
+}
+
+/// [`run_study_budgeted`] with snapshot saves per the checkpoint policy.
+/// Snapshots carry the accountant's state (checkpoint format v6), so a
+/// killed budgeted run resumes — under the same budget — to a
+/// byte-identical report.
+pub fn run_study_budgeted_checkpointed(
+    scenario: ScenarioConfig,
+    campaign: CampaignConfig,
+    policy: &CheckpointPolicy,
+    budget: &BudgetPolicy,
+) -> Result<BudgetedRun, StudyError> {
+    let eco = Ecosystem::build(scenario);
+    let mut runner = Runner::new(eco.window, campaign);
+    runner.attach_budget(budget, &eco)?;
+    let days = eco.window.num_days() as u32;
+    let (runner, mut eco) = run_budgeted_until(runner, eco, Some(policy), days)?;
+    Ok(runner.finish_budgeted(&mut eco)?)
+}
+
+/// Run a budgeted, checkpointed campaign but halt cleanly after `days`
+/// completed study days (the budgeted `--halt-after-day`). Returns the
+/// number of days actually completed.
+pub fn run_study_days_budgeted(
+    scenario: ScenarioConfig,
+    campaign: CampaignConfig,
+    policy: &CheckpointPolicy,
+    budget: &BudgetPolicy,
+    days: u32,
+) -> Result<u32, StudyError> {
+    let eco = Ecosystem::build(scenario);
+    let mut runner = Runner::new(eco.window, campaign);
+    runner.attach_budget(budget, &eco)?;
+    let until = days.min(eco.window.num_days() as u32);
+    let (runner, _eco) = run_budgeted_until(runner, eco, Some(policy), until)?;
+    Ok(runner.day)
+}
+
+/// Resume a budgeted campaign from a v6 snapshot and run it to
+/// completion (no further snapshot saves). The budget policy must carry
+/// the snapshot's ceiling ([`BudgetError::ResumeMismatch`] otherwise);
+/// spilled-partition dedup indexes are rebuilt by faulting each
+/// manifest partition exactly once.
+pub fn resume_study_budgeted(
+    state: &CampaignState,
+    budget: &BudgetPolicy,
+) -> Result<BudgetedRun, StudyError> {
+    let (eco, runner) = rebuild_budgeted(state, budget)?;
+    let days = runner.window.num_days() as u32;
+    let (runner, mut eco) = run_budgeted_until(runner, eco, None, days)?;
+    Ok(runner.finish_budgeted(&mut eco)?)
+}
+
+/// [`resume_study_budgeted`] with snapshot saves per the checkpoint
+/// policy (a resumed budgeted run is itself resumable).
+pub fn resume_study_budgeted_checkpointed(
+    state: &CampaignState,
+    policy: &CheckpointPolicy,
+    budget: &BudgetPolicy,
+) -> Result<BudgetedRun, StudyError> {
+    let (eco, runner) = rebuild_budgeted(state, budget)?;
+    let days = runner.window.num_days() as u32;
+    let (runner, mut eco) = run_budgeted_until(runner, eco, Some(policy), days)?;
+    Ok(runner.finish_budgeted(&mut eco)?)
+}
+
+/// [`rebuild`] plus budget-accountant restoration: resume the
+/// accountant from the snapshot's budget state and re-register the
+/// spilled tweet/control ids into the discovery dedup indexes.
+fn rebuild_budgeted(
+    state: &CampaignState,
+    budget: &BudgetPolicy,
+) -> Result<(Ecosystem, Runner), StudyError> {
+    let (eco, mut runner) = rebuild(state);
+    let bs = state.budget.as_ref().ok_or_else(|| {
+        StudyError::Budget(BudgetError::ResumeMismatch(
+            "snapshot carries no budget state: it was written by an unbudgeted run; \
+             resume it without --mem-budget"
+                .into(),
+        ))
+    })?;
+    let mut accountant = MemoryBudget::resume(bs, budget, runner.campaign.seed)?;
+    accountant.reindex_spilled(&mut runner.discovery)?;
+    runner.budget = Some(accountant);
+    Ok((eco, runner))
+}
+
+/// The budgeted day loop: step, enforce the budget at the day boundary
+/// (spill first, typed refusal only if spilling cannot satisfy the
+/// ceiling), then snapshot per the policy. Mirrors [`run_guarded_until`]
+/// without the unwind guard — budgeted runs stop at clean boundaries or
+/// refuse with a typed error, never mid-day.
+fn run_budgeted_until(
+    mut runner: Runner,
+    mut eco: Ecosystem,
+    policy: Option<&CheckpointPolicy>,
+    until: u32,
+) -> Result<(Runner, Ecosystem), StudyError> {
+    let seed = runner.campaign.seed;
+    let mut vfs = policy.map(|p| p.vfs(seed));
+    while runner.day < until {
+        runner.step_day(&mut eco);
+        runner.enforce_budget(0)?;
+        if let (Some(policy), Some(vfs)) = (policy, vfs.as_mut()) {
+            if policy.every_days > 0 && runner.day.is_multiple_of(policy.every_days) {
+                let state = runner.state(&eco);
+                let path = policy.snapshot_path(runner.day);
+                if let Err(err) = save_to_file_with(vfs.as_mut(), &path, &state) {
+                    if policy.disk_fault.tolerates_save_failures() {
+                        // Injected fault: costs chain durability, never
+                        // the run (recovery walks past the hole).
+                        eprintln!("# snapshot save failed (injected): {err}");
+                    } else {
+                        return Err(StudyError::Checkpoint(err));
+                    }
+                }
+            }
+        }
+    }
+    Ok((runner, eco))
+}
+
 /// Run the full study while folding every completed day into `driver`'s
 /// incremental analyses. The returned dataset is identical to
 /// [`run_study_with`]'s; the analysis results live in the driver — call
@@ -599,6 +797,9 @@ struct Runner {
     /// boundary. Recorded unconditionally (batch and incremental runs
     /// produce identical datasets and snapshots, folds aside).
     marks: Vec<DayMark>,
+    /// The memory accountant of a budgeted run (`None` on the unbudgeted
+    /// paths, which never spill and assemble datasets in memory).
+    budget: Option<MemoryBudget>,
 }
 
 impl Runner {
@@ -669,6 +870,7 @@ impl Runner {
             pii: PiiStore::new(),
             metrics: Metrics::new(),
             marks: Vec::new(),
+            budget: None,
         }
     }
 
@@ -738,6 +940,25 @@ impl Runner {
     /// none, but resumed runners may still be mid-campaign), record the
     /// end-of-run metrics, and assemble the dataset.
     fn finish(mut self, eco: &mut Ecosystem) -> Dataset {
+        self.drain_tail(eco);
+        self.record_final_metrics();
+        let mut ds = Dataset::assemble(
+            self.window,
+            self.discovery,
+            self.monitor.timelines,
+            self.monitor.gaps,
+            self.monitor.quarantine,
+            self.joiner,
+            self.pii,
+            self.marks,
+        );
+        ds.metrics = self.metrics;
+        ds
+    }
+
+    /// Run any events left past the final day boundary (a complete run
+    /// has none; a resumed mid-campaign runner may).
+    fn drain_tail(&mut self, eco: &mut Ecosystem) {
         let end = self.window.end_time();
         {
             let Runner {
@@ -751,7 +972,7 @@ impl Runner {
                 pii,
                 metrics,
                 ..
-            } = &mut self;
+            } = self;
             engine.run_until(end, |eng, ev| {
                 handle_event(
                     ev,
@@ -768,7 +989,11 @@ impl Runner {
                 );
             });
         }
+    }
 
+    /// Record the end-of-run metrics (part of the frozen counter digest,
+    /// so the batch and budgeted paths share it).
+    fn record_final_metrics(&mut self) {
         self.metrics
             .add(keys::TRANSPORT_ATTEMPTS, self.net.total_attempts());
         let (opened, fast_fails) = self.net.breaker_totals();
@@ -807,19 +1032,100 @@ impl Runner {
                 + self.monitor.quarantine.len()
                 + self.joiner.quarantine.len()) as u64,
         );
+    }
 
-        let mut ds = Dataset::assemble(
-            self.window,
-            self.discovery,
-            self.monitor.timelines,
-            self.monitor.gaps,
-            self.monitor.quarantine,
-            self.joiner,
-            self.pii,
-            self.marks,
+    /// Attach a memory accountant to this runner. The floor is the
+    /// simulated world's tweet store at encoded size — the irreducible
+    /// working set no eviction can shrink.
+    fn attach_budget(&mut self, policy: &BudgetPolicy, eco: &Ecosystem) -> Result<(), BudgetError> {
+        let floor = eco.twitter.encoded_bytes();
+        self.budget = Some(MemoryBudget::attach(policy, self.campaign.seed, floor)?);
+        Ok(())
+    }
+
+    /// Day-boundary budget enforcement (no-op on unbudgeted runners).
+    /// The accountant is taken out of the runner for the call so it can
+    /// mutate the discovery logs it accounts for.
+    fn enforce_budget(&mut self, fold_bytes: u64) -> Result<(), BudgetError> {
+        let Some(mut budget) = self.budget.take() else {
+            return Ok(());
+        };
+        let timeline_bytes = self.monitor.timelines.encoded_bytes();
+        let result = budget.enforce(
+            self.day,
+            &self.marks,
+            &mut self.discovery,
+            timeline_bytes,
+            fold_bytes,
         );
-        ds.metrics = self.metrics;
-        ds
+        self.budget = Some(budget);
+        result
+    }
+
+    /// Stream the campaign report without ever assembling the full
+    /// dataset in memory: spilled day-partitions are faulted back one at
+    /// a time (tweets pass, then control pass — the frozen digest
+    /// layout), the resident tails follow, and the resident stores
+    /// render as usual. Byte-identical to [`Runner::finish`]'s
+    /// [`Dataset::campaign_report`] by construction — both funnel
+    /// through `render_campaign_report`.
+    fn finish_budgeted(mut self, eco: &mut Ecosystem) -> Result<BudgetedRun, BudgetError> {
+        self.drain_tail(eco);
+        self.record_final_metrics();
+        let mut budget = self
+            .budget
+            .take()
+            .expect("budgeted runner has an accountant");
+
+        let mut quarantine = std::mem::take(&mut self.discovery.quarantine);
+        quarantine.extend(std::mem::take(&mut self.monitor.quarantine));
+        quarantine.extend(std::mem::take(&mut self.joiner.quarantine));
+
+        let days: Vec<u32> = budget.manifest().iter().map(|p| p.day).collect();
+        let mut rb = TweetRollupBuilder::new();
+        for &day in &days {
+            let part = budget.read_partition(day)?;
+            for ct in &part.tweets {
+                rb.add_tweet(ct);
+            }
+        }
+        for ct in self.discovery.tweets.resident() {
+            rb.add_tweet(ct);
+        }
+        for &day in &days {
+            let part = budget.read_partition(day)?;
+            for tw in &part.control {
+                rb.add_control(tw);
+            }
+        }
+        for tw in self.discovery.control.resident() {
+            rb.add_control(tw);
+        }
+        let rollup = rb.finish();
+
+        let inputs = ReportInputs {
+            window: self.window,
+            groups: &self.discovery.groups,
+            interner: &self.discovery.interner,
+            timelines: &self.monitor.timelines,
+            gaps: &self.monitor.gaps,
+            quarantine: &quarantine,
+            joined: &self.joiner.joined,
+            pii: &self.pii,
+            extraction: self.discovery.stats,
+            failed_requests: self.discovery.failed_requests,
+            accounts_used: self.joiner.accounts_used,
+            bot_join_rejected: self.joiner.bot_join_rejected,
+            metrics: &self.metrics,
+        };
+        let report = render_campaign_report(&rollup, &inputs);
+        let totals = inputs.totals_with(&rollup);
+        Ok(BudgetedRun {
+            report,
+            totals,
+            stats: budget.stats(),
+            metrics: budget.metrics(),
+        })
     }
 
     /// Capture the full campaign state (valid at a day boundary).
@@ -839,6 +1145,7 @@ impl Runner {
             marks: self.marks.clone(),
             folds: None,
             delta: eco.export_delta(),
+            budget: self.budget.as_ref().map(|b| b.state()),
         }
     }
 
@@ -854,8 +1161,8 @@ impl Runner {
     fn parts(&self) -> DayParts<'_> {
         DayParts {
             window: self.window,
-            tweets: &self.discovery.tweets,
-            control: &self.discovery.control,
+            tweets: self.discovery.tweets.view(),
+            control: self.discovery.control.view(),
             groups: &self.discovery.groups,
             joined: &self.joiner.joined,
             interner: self.discovery.interner(),
@@ -891,6 +1198,7 @@ impl Runner {
             pii: state.pii.restore(),
             metrics: state.metrics.clone(),
             marks: state.marks.clone(),
+            budget: None,
         }
     }
 }

@@ -1,0 +1,16 @@
+//@ path: crates/core/src/monitor.rs
+// A hostile page can claim any element count it likes; sizing a Vec
+// straight from the claim is an unbounded allocation.
+fn f(doc: &WireDoc) -> Vec<u8> {
+    Vec::with_capacity(doc.req_u64("n").unwrap_or(0) as usize) //~ ERROR D14
+}
+// The claim travels through a let-binding: still tainted.
+fn g(r: &mut Reader) -> Vec<u8> {
+    let n = r.get_varint()? as usize;
+    let mut out: Vec<u8> = Vec::with_capacity(n); //~ ERROR D14
+    out
+}
+// `reserve` grows just as unboundedly as `with_capacity`.
+fn h(out: &mut Vec<u8>, doc: &WireDoc) {
+    out.reserve(doc.req_u64("more").unwrap_or(0) as usize); //~ ERROR D14
+}

@@ -1,0 +1,17 @@
+//@ path: crates/core/src/monitor.rs
+// The guarded constructors: `Reader::get_len` validates the claim
+// against the remaining input, and `.min(..)` bounds it at the site —
+// neither fires, no pragma needed.
+fn guarded(r: &mut Reader) -> Vec<u8> {
+    let len = r.get_len()?; // validated: each element needs >= 1 byte
+    let mut out: Vec<u8> = Vec::with_capacity(len);
+    out
+}
+fn clamped(doc: &WireDoc) -> Vec<u8> {
+    Vec::with_capacity((doc.req_u64("n").unwrap_or(0) as usize).min(MAX_PAGE))
+}
+// A site the author has argued bounded out-of-band takes the pragma.
+fn vouched(doc: &WireDoc) -> Vec<u8> {
+    // lint:allow(D14) fixture: page size capped by the transport frame limit upstream
+    Vec::with_capacity(doc.req_u64("n").unwrap_or(0) as usize) //~ SUPPRESSED D14
+}

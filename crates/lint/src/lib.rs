@@ -24,6 +24,7 @@
 //! | D11 | RNG-stream discipline: every `Rng::fork` label must be a string literal declared in `simnet::rng::STREAM_REGISTRY`, globally unique per subsystem — shared streams are a silent determinism hazard |
 //! | D12 | metrics/trace-key registry: metric keys must be the declared constants in `simnet::metrics::keys`, never ad-hoc string literals — key families must not fork via typo |
 //! | D13 | `std::fs` calls (reads included) outside the checkpoint crate's `vfs` module — all durable I/O must flow through the `Vfs` trait so the fault-injection and fsync contracts hold (ARCHITECTURE.md "Durability & the fault VFS") |
+//! | D14 | `with_capacity`/`reserve`/`reserve_exact` sized from a wire-derived quantity (`req_u64`/`req_i64`/`opt_u64`/`get_varint`, or an identifier bound from one) without a guard — hostile input must pass `Reader::get_len` or a `.min(..)`/`.clamp(..)` bound before it sizes an allocation (the unbounded-allocation cousin of D10) |
 //!
 //! Rules D9–D12 are *structure-aware*: they run on an item-level parse
 //! ([`items`]) and a cross-file symbol index ([`index`]) layered on the
@@ -76,11 +77,13 @@ pub enum Rule {
     D12,
     /// `std::fs` calls outside the checkpoint VFS module.
     D13,
+    /// Allocations sized from unguarded wire-derived quantities.
+    D14,
 }
 
 impl Rule {
     /// All rules, in catalog order.
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 14] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
@@ -94,6 +97,7 @@ impl Rule {
         Rule::D11,
         Rule::D12,
         Rule::D13,
+        Rule::D14,
     ];
 
     /// The short id used in diagnostics and `lint:allow(...)` pragmas.
@@ -112,6 +116,7 @@ impl Rule {
             Rule::D11 => "D11",
             Rule::D12 => "D12",
             Rule::D13 => "D13",
+            Rule::D14 => "D14",
         }
     }
 
@@ -142,6 +147,9 @@ impl Rule {
             Rule::D11 => "Rng::fork label not a literal from the declared STREAM_REGISTRY",
             Rule::D12 => "metric key passed as ad-hoc literal instead of a metrics::keys constant",
             Rule::D13 => "std::fs call outside the checkpoint VFS module (route it through Vfs)",
+            Rule::D14 => {
+                "with_capacity/reserve sized from an unguarded wire-derived value (validate or clamp first)"
+            }
         }
     }
 }
@@ -334,8 +342,22 @@ const LOCK_METHODS: [&str; 4] = ["lock", "try_lock", "read", "write"];
 /// to see unwrapped outside tests — a wire body is hostile input.
 const WIREDOC_ACCESSORS: [&str; 6] = ["parse", "parse_as", "req", "req_u64", "req_i64", "opt_u64"];
 
-/// The token-shaped rules (D1–D8) over one file's token stream. Returns
-/// raw findings, before suppression.
+/// Numeric quantities decoded straight off a wire or checkpoint body —
+/// the values D14 refuses to see sizing an allocation unguarded. A
+/// hostile page (or a torn spill partition) can claim any count it
+/// likes; the claim must be validated before it becomes a `Vec` size.
+const D14_WIRE_SOURCES: [&str; 4] = ["req_u64", "req_i64", "opt_u64", "get_varint"];
+
+/// Allocation constructors/growers whose size argument D14 inspects.
+const D14_ALLOC_CALLS: [&str; 3] = ["with_capacity", "reserve", "reserve_exact"];
+
+/// Tokens that excuse a D14 site: the length was validated against the
+/// remaining input (`Reader::get_len`, the codec's allocation guard) or
+/// explicitly bounded before allocating.
+const D14_GUARDS: [&str; 3] = ["get_len", "min", "clamp"];
+
+/// The token-shaped rules (D1–D8, D13, D14) over one file's token
+/// stream. Returns raw findings, before suppression.
 fn token_findings(
     path: &str,
     scope: Scope,
@@ -692,6 +714,89 @@ fn token_findings(
                                 t.text
                             ),
                         });
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- D14: allocations sized from unguarded wire-derived values --------
+    // `with_capacity`/`reserve`/`reserve_exact` whose size argument
+    // mentions a wire decode (`req_u64`, `get_varint`, ...) — directly or
+    // through an identifier let-bound from one — is an unbounded
+    // allocation a hostile page (or torn spill partition) can dial up at
+    // will. The excuse is a guard in the same statement: `Reader::get_len`
+    // (the codec's validated-length accessor) or an explicit
+    // `.min(..)`/`.clamp(..)` bound. Taint is tracked statement by
+    // statement in order, so a rebinding through a guard
+    // (`let len = r.get_len()?;`) launders the name.
+    {
+        let is_guard = |t: &Tok| t.kind == TokKind::Ident && D14_GUARDS.contains(&t.text.as_str());
+        let is_source =
+            |t: &Tok| t.kind == TokKind::Ident && D14_WIRE_SOURCES.contains(&t.text.as_str());
+        let mut tainted: BTreeSet<String> = BTreeSet::new();
+        let mut start = 0usize;
+        for i in 0..=toks.len() {
+            let boundary = i == toks.len()
+                || toks[i].is_punct(';')
+                || toks[i].is_punct('{')
+                || toks[i].is_punct('}');
+            if !boundary {
+                continue;
+            }
+            let stmt = &toks[start..i];
+            let stmt_start = start;
+            start = i + 1;
+            if stmt.is_empty() {
+                continue;
+            }
+            let has_guard = stmt.iter().any(is_guard);
+            let has_source = stmt.iter().any(&is_source);
+            let uses_taint = stmt
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && tainted.contains(&t.text));
+            // Allocation calls inside this statement.
+            if !has_guard && (has_source || uses_taint) {
+                for (off, t) in stmt.iter().enumerate() {
+                    if in_test(stmt_start + off)
+                        || t.kind != TokKind::Ident
+                        || !D14_ALLOC_CALLS.contains(&t.text.as_str())
+                        || !stmt.get(off + 1).is_some_and(|n| n.is_punct('('))
+                    {
+                        continue;
+                    }
+                    let end = balance(stmt, off + 1, '(', ')');
+                    let args = &stmt[off + 2..end.min(stmt.len())];
+                    let Some(src) = args.iter().find(|a| {
+                        is_source(a) || (a.kind == TokKind::Ident && tainted.contains(&a.text))
+                    }) else {
+                        continue;
+                    };
+                    raw.push(Finding {
+                        rule: Rule::D14,
+                        path: path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`{}` sized from wire-derived `{}`; validate through Reader::get_len or bound with .min/.clamp before allocating",
+                            t.text, src.text
+                        ),
+                    });
+                }
+            }
+            // Taint update: a let-binding whose initializer touches a wire
+            // source (or an already-tainted name) without a guard taints
+            // the bound name; any other rebinding clears it.
+            if stmt[0].is_ident("let") {
+                if let Some(name) = stmt
+                    .iter()
+                    .skip(1)
+                    .find(|t| t.kind == TokKind::Ident && t.text != "mut")
+                {
+                    if (has_source || uses_taint) && !has_guard {
+                        tainted.insert(name.text.clone());
+                    } else {
+                        tainted.remove(&name.text);
                     }
                 }
             }
@@ -1229,6 +1334,43 @@ mod tests {
         let src = "// lint:allow(D13) bench baselines live outside the durability domain\nfn f() -> String { std::fs::read_to_string(\"b.json\").unwrap() }";
         let (findings, suppressed) = check_source_counting("crates/bench/src/main.rs", src);
         assert!(findings.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn d14_fires_on_allocation_sized_from_wire() {
+        // Direct: the size expression decodes straight off the body.
+        let src = "fn f(doc: &WireDoc) -> Vec<u8> { Vec::with_capacity(doc.req_u64(\"n\").unwrap_or(0) as usize) }";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![Rule::D14]);
+        // Through a let-binding: the claim travels one statement.
+        let src = "fn f(r: &mut Reader) { let n = r.get_varint()? as usize; let mut out: Vec<u8> = Vec::with_capacity(n); }";
+        assert_eq!(
+            rules_of("crates/checkpoint/src/codec.rs", src),
+            vec![Rule::D14]
+        );
+        // `reserve` grows just as unboundedly as `with_capacity`.
+        let src = "fn f(out: &mut Vec<u8>, doc: &WireDoc) { out.reserve(doc.req_u64(\"more\").unwrap_or(0) as usize); }";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![Rule::D14]);
+    }
+
+    #[test]
+    fn d14_guarded_constructors_pass() {
+        // `Reader::get_len` is the sanctioned validated-length accessor.
+        let src = "fn f(r: &mut Reader) { let len = r.get_len()?; let mut out: Vec<u8> = Vec::with_capacity(len); }";
+        assert_eq!(rules_of("crates/checkpoint/src/codec.rs", src), vec![]);
+        // An explicit clamp bounds the allocation at the site.
+        let src = "fn f(doc: &WireDoc) -> Vec<u8> { Vec::with_capacity((doc.req_u64(\"n\").unwrap_or(0) as usize).min(MAX_PAGE)) }";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![]);
+        // Sizes not derived from the wire are out of scope.
+        let src = "fn f(xs: &[u32]) -> Vec<u32> { Vec::with_capacity(xs.len()) }";
+        assert_eq!(rules_of("crates/core/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d14_pragma_suppresses() {
+        let src = "fn f(doc: &WireDoc) -> Vec<u8> {\n // lint:allow(D14) page size capped by the transport frame limit upstream\n Vec::with_capacity(doc.req_u64(\"n\").unwrap_or(0) as usize)\n}";
+        let (findings, suppressed) = check_source_counting("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
         assert_eq!(suppressed, 1);
     }
 

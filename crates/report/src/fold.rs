@@ -74,5 +74,10 @@ mod tests {
         assert!(s.contains("discovery"));
         assert!(s.contains("ab12cd34ef56"));
         assert!(s.contains("1,500"));
+        // Byte columns are lossless: the exact counts round-trip out of
+        // the rendered table (no float approximation in accounting).
+        assert!(s.contains("(4,096 B)"), "headline peak must be exact");
+        assert!(s.contains("(2,048 B)"), "state column must be exact");
+        assert_eq!(crate::table::parse_bytes("4.0 KiB (4,096 B)"), Some(4096));
     }
 }

@@ -125,8 +125,11 @@ pub fn fmt_pct(f: f64) -> String {
     format!("{:.1}%", f * 100.0)
 }
 
-/// Format a byte count in a human-readable binary unit (`4096` →
-/// `4.0 KiB`); exact counts below 1 KiB (`512` → `512 B`).
+/// Format a byte count losslessly: a human-readable binary unit
+/// followed by the exact count (`4096` → `4.0 KiB (4,096 B)`); exact
+/// counts below 1 KiB stand alone (`512` → `512 B`). The parenthesized
+/// count round-trips the input byte-for-byte — memory-budget accounting
+/// must never be reported through lossy float formatting.
 pub fn fmt_bytes(n: u64) -> String {
     const UNITS: [&str; 4] = ["KiB", "MiB", "GiB", "TiB"];
     if n < 1024 {
@@ -138,7 +141,27 @@ pub fn fmt_bytes(n: u64) -> String {
         value /= 1024.0;
         unit += 1;
     }
-    format!("{value:.1} {}", UNITS[unit])
+    format!("{value:.1} {} ({} B)", UNITS[unit], fmt_count(n))
+}
+
+/// Parse the exact byte count back out of a [`fmt_bytes`] rendering.
+/// The inverse of `fmt_bytes` for every `u64` — the round-trip law the
+/// unit tests pin down.
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let digits: String = match (s.rfind('('), s.rfind(" B)")) {
+        // "4.0 KiB (4,096 B)" — exact count inside the parentheses.
+        (Some(open), Some(close)) if open < close => s[open + 1..close]
+            .chars()
+            .filter(|c| c.is_ascii_digit())
+            .collect(),
+        // "512 B" — already exact.
+        _ => s
+            .strip_suffix(" B")?
+            .chars()
+            .filter(|c| c.is_ascii_digit())
+            .collect(),
+    };
+    digits.parse().ok()
 }
 
 #[cfg(test)]
@@ -194,5 +217,38 @@ mod tests {
         assert_eq!(fmt_pct(0.273), "27.3%");
         assert_eq!(fmt_pct(1.0), "100.0%");
         assert_eq!(fmt_pct(0.0068), "0.7%");
+    }
+
+    #[test]
+    fn byte_formatting_is_lossless() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(1023), "1023 B");
+        assert_eq!(fmt_bytes(4096), "4.0 KiB (4,096 B)");
+        assert_eq!(fmt_bytes(1_048_576), "1.0 MiB (1,048,576 B)");
+        assert_eq!(fmt_bytes(753_901_573_241), "702.1 GiB (753,901,573,241 B)");
+    }
+
+    #[test]
+    fn byte_formatting_round_trips_exactly() {
+        // The parenthesized count is the law: parse_bytes ∘ fmt_bytes
+        // is the identity, including where the float approximation
+        // collides (consecutive counts rendering the same "4.0 KiB").
+        for n in [
+            0u64,
+            1,
+            512,
+            1023,
+            1024,
+            1025,
+            4095,
+            4096,
+            4097,
+            1_048_575,
+            1_048_577,
+            u64::MAX,
+        ] {
+            assert_eq!(parse_bytes(&fmt_bytes(n)), Some(n), "n={n}");
+        }
     }
 }

@@ -205,6 +205,17 @@ pub mod keys {
     /// as the baseline the incremental path is compared against.
     pub const STAGE_BATCH_REPORT: &str = "batch_report";
 
+    // Memory-budget accounting (`repro run --mem-budget`). These live in
+    // the budget runtime's own registry, never the dataset's — the
+    // campaign report's counter digest is a frozen byte contract and a
+    // budgeted run must reproduce an unbudgeted run's bytes exactly.
+    pub const BUDGET_RESIDENT_BYTES: &str = "budget.resident";
+    pub const BUDGET_RESIDENT_PEAK_BYTES: &str = "budget.resident_peak";
+    pub const BUDGET_SPILLED_BYTES: &str = "budget.spilled";
+    pub const BUDGET_EVICTIONS: &str = "budget.evictions";
+    pub const BUDGET_FAULTS: &str = "budget.faults";
+    pub const BUDGET_TORN_DETECTED: &str = "budget.torn_detected";
+
     // Checkpoint-chain durability counters (`repro checkpoint verify`
     // / `repair` summaries and the chain-recovery resume path).
     pub const CHECKPOINT_CHAIN_VALID: &str = "checkpoint.chain_valid";

@@ -173,6 +173,17 @@ impl TweetStore {
         }
     }
 
+    /// Encoded size of the world feed in bytes: the sum of every tweet's
+    /// wire encoding plus the per-tweet index bytes (`host_bits` and the
+    /// `matching`/`control` id lists). This is the memory-budget
+    /// accounting floor for the store — a deterministic function of the
+    /// scenario, never of allocator behavior.
+    pub fn encoded_bytes(&self) -> u64 {
+        let wire: u64 = self.tweets.iter().map(|t| t.encode().len() as u64).sum();
+        wire + self.host_bits.len() as u64
+            + 4 * (self.matching.len() as u64 + self.control.len() as u64)
+    }
+
     fn feed_visible(&self, id: u32, feed_salt: u64, miss: f64) -> bool {
         if miss <= 0.0 {
             return true;

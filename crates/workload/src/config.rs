@@ -415,9 +415,15 @@ impl ScenarioConfig {
         }
     }
 
-    /// The paper scenario scaled down by `scale`.
+    /// The paper scenario at a linear scale. Scales in `(0, 1]` shrink the
+    /// paper's world; scales above 1 grow it (the `--scale 10x` preset),
+    /// with join budgets clamped to the paper's absolute instrument
+    /// budgets by [`join_budget_scaled`](Self::join_budget_scaled).
     pub fn at_scale(scale: f64) -> ScenarioConfig {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale must be positive and finite"
+        );
         ScenarioConfig {
             scale,
             ..ScenarioConfig::paper()

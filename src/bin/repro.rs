@@ -21,12 +21,15 @@ use chatlens::analysis::{
 };
 use chatlens::checkpoint::{chain, load_from_file, CheckpointError, RealVfs, Vfs};
 use chatlens::core::audit_dataset;
+use chatlens::core::budget::{BudgetLimit, BudgetPolicy};
 use chatlens::core::net::SERVICE_NAMES;
 use chatlens::core::{
-    recover_latest_state, resume_study, resume_study_checkpointed, resume_study_folded,
-    resume_study_folded_checkpointed, run_study_checkpointed, run_study_days_checkpointed,
-    run_study_folded, run_study_folded_checkpointed, CampaignConfig, CampaignState,
-    CheckpointPolicy, FoldDriver,
+    recover_latest_state, resume_study, resume_study_budgeted, resume_study_budgeted_checkpointed,
+    resume_study_checkpointed, resume_study_folded, resume_study_folded_checkpointed,
+    run_study_budgeted, run_study_budgeted_checkpointed, run_study_checkpointed,
+    run_study_days_budgeted, run_study_days_checkpointed, run_study_folded,
+    run_study_folded_checkpointed, BudgetedRun, CampaignConfig, CampaignState, CheckpointPolicy,
+    FoldDriver,
 };
 use chatlens::perspective::score_dataset;
 use chatlens::platforms::id::PlatformKind;
@@ -34,7 +37,7 @@ use chatlens::platforms::spec::PlatformSpec;
 use chatlens::report::compare::{holding, markdown_table, Comparison};
 use chatlens::report::fold::{fold_summary, FoldSummaryRow};
 use chatlens::report::series::{cdf_summary, days_csv, sparkline, to_csv};
-use chatlens::report::table::{fmt_count, fmt_pct, Table};
+use chatlens::report::table::{fmt_bytes, fmt_count, fmt_pct, Table};
 use chatlens::simnet::fault::{CorruptionProfile, DiskFaultProfile, FaultProfile, OutageSpec};
 use chatlens::simnet::hash::sha256_hex;
 use chatlens::simnet::metrics::{keys, Metrics};
@@ -64,7 +67,7 @@ SUBCOMMANDS:
                      pass (chatlens-lint) over the workspace sources and
                      exit nonzero on any finding; --stats prints the
                      per-rule and per-crate summary tables (see DESIGN.md
-                     §Determinism lint for the rule catalog D1..D13);
+                     §Determinism lint for the rule catalog D1..D14);
                      --format json prints the machine-readable
                      chatlens-lint/v1 report instead of diagnostics and
                      --out <path> writes that report to a file as well
@@ -99,7 +102,11 @@ SUBCOMMANDS:
                      prints one line per violation and exits 1 on any
 
 OPTIONS:
-    --scale <f64>    world scale relative to the paper (default 0.1)
+    --scale <f64|paper|10x>
+                     world scale relative to the paper (default 0.1);
+                     `paper` is the full-size world (1.0) and `10x` a
+                     ten-fold stress preset (10.0) for the memory-budget
+                     acceptance runs
     --seed <u64>     world seed (default 20200408)
     --threads <n>    worker threads for the deterministic parallel runtime
                      (default 1). Output is bit-identical for a given seed
@@ -173,6 +180,28 @@ OPTIONS:
                      snapshot chain on disk (the deterministic kill at a
                      day boundary used by the crash-storm CI smoke);
                      needs --checkpoint-dir
+    --mem-budget <bytes|min>
+                     run the campaign under a hard memory budget (the
+                     `run` artifact only): the accountant tracks the
+                     encoded-size resident bytes of the big stores and
+                     spills cold day-partitions — coldest day first,
+                     deterministically — through the (possibly
+                     fault-injected, see --disk-fault) spill filesystem
+                     whenever the ceiling is exceeded, then streams the
+                     campaign report from disk. The report is
+                     byte-identical to the unbudgeted run's; a ceiling
+                     the spiller cannot satisfy is refused with a typed
+                     error, never an abort. `min` evicts everything
+                     eligible (the tightest deterministic residency).
+                     Budgeted snapshots carry the accountant (format
+                     v6) and must be resumed with the same --mem-budget
+    --spill-dir <dir>
+                     where spill partitions (day<NNN>.part) and the
+                     spill ledger live (default: <checkpoint-dir>/spill)
+    --report-out <path>
+                     write the canonical campaign report bytes to
+                     <path> after a `run` (budgeted or not) — the CI
+                     budget smoke byte-compares the two
     --timings        print per-stage wall-clock timings (campaign stages
                      and per-artifact analysis stages) to stderr
     --csv <dir>      export figure series as CSV files into <dir>
@@ -197,6 +226,9 @@ fn main() {
     let mut corruption = CorruptionProfile::Calm;
     let mut disk_fault = DiskFaultProfile::Calm;
     let mut halt_after: Option<u32> = None;
+    let mut mem_budget: Option<BudgetLimit> = None;
+    let mut spill_dir: Option<std::path::PathBuf> = None;
+    let mut report_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -252,10 +284,17 @@ fn main() {
                 return;
             }
             "--scale" => {
-                scale = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--scale <f64>");
+                let v = args.next().expect("--scale <f64|paper|10x>");
+                scale = match v.as_str() {
+                    "paper" => 1.0,
+                    "10x" => 10.0,
+                    other => other.parse().unwrap_or_else(|_| {
+                        eprintln!(
+                            "error: bad scale {other:?} (expected a positive number, `paper`, or `10x`)"
+                        );
+                        std::process::exit(2);
+                    }),
+                };
             }
             "--seed" => {
                 seed = args
@@ -358,6 +397,26 @@ fn main() {
                         .expect("--halt-after-day <days>"),
                 );
             }
+            "--mem-budget" => {
+                let v = args.next().expect("--mem-budget <bytes|min>");
+                mem_budget = Some(match v.as_str() {
+                    "min" => BudgetLimit::Min,
+                    other => BudgetLimit::Bytes(other.parse().unwrap_or_else(|_| {
+                        eprintln!("error: bad budget {other:?} (expected a byte count or `min`)");
+                        std::process::exit(2);
+                    })),
+                });
+            }
+            "--spill-dir" => {
+                spill_dir = Some(std::path::PathBuf::from(
+                    args.next().expect("--spill-dir <dir>"),
+                ));
+            }
+            "--report-out" => {
+                report_out = Some(std::path::PathBuf::from(
+                    args.next().expect("--report-out <path>"),
+                ));
+            }
             "--outage" | "--ban" => {
                 let spec = args.next().expect("--outage/--ban <svc:start_day:days>");
                 let (idx, spec) = parse_outage(&spec, a == "--ban");
@@ -420,6 +479,104 @@ fn main() {
         on_drop: true,
         disk_fault,
     });
+    // `--mem-budget`: the budgeted campaign. Only the `run` artifact is
+    // supported — the analyses need the fully assembled dataset, while a
+    // budgeted campaign streams its report from spilled partitions.
+    if let Some(limit) = mem_budget {
+        if artifact != "run" {
+            exit_with(CliError::usage(
+                "--mem-budget only supports the `run` artifact (analyses need the full dataset)",
+            ));
+        }
+        if incremental {
+            exit_with(CliError::usage(
+                "--mem-budget does not combine with --analysis incremental",
+            ));
+        }
+        let dir = spill_dir
+            .or_else(|| ckpt_dir.as_ref().map(|d| d.join("spill")))
+            .unwrap_or_else(|| {
+                exit_with(CliError::usage(
+                    "--mem-budget needs --spill-dir (or --checkpoint-dir, \
+                     whose spill/ subdirectory is the default)",
+                ))
+            });
+        // lint:allow(D6, D13) operator-addressed spill scratch dir; the Vfs owns every byte inside it
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            exit_with(CliError::failed(format!("{}: {e}", dir.display())));
+        }
+        let budget = BudgetPolicy {
+            limit,
+            dir,
+            disk_fault,
+        };
+        eprintln!(
+            "# memory budget: {} (spill dir {})",
+            match limit {
+                BudgetLimit::Bytes(b) => fmt_bytes(b),
+                BudgetLimit::Min => "min".to_string(),
+            },
+            budget.dir.display()
+        );
+        if let Some(days) = halt_after {
+            let Some(p) = &policy else {
+                exit_with(CliError::usage("--halt-after-day needs --checkpoint-dir"));
+            };
+            if resume.is_some() {
+                exit_with(CliError::usage(
+                    "--halt-after-day only applies to a fresh run",
+                ));
+            }
+            match run_study_days_budgeted(config, campaign, p, &budget, days) {
+                Ok(done) => {
+                    println!(
+                        "campaign halted after day {done} (snapshots in {}, spills in {})",
+                        p.dir.display(),
+                        budget.dir.display()
+                    );
+                    return;
+                }
+                Err(e) => exit_with(CliError::failed(format!("{e}"))),
+            }
+        }
+        let result = if let Some(path) = &resume {
+            let state = match load_resume_state(path, campaign.seed, disk_fault) {
+                Ok(Some(mut state)) => {
+                    eprintln!(
+                        "# resuming budgeted campaign from {} (day {}, threads {threads})",
+                        path.display(),
+                        state.day
+                    );
+                    state.campaign.threads = threads;
+                    Some(state)
+                }
+                Ok(None) => {
+                    eprintln!(
+                        "# no valid snapshot in {}; restarting the campaign from scratch",
+                        path.display()
+                    );
+                    None
+                }
+                Err(e) => exit_with(e),
+            };
+            match (state, &policy) {
+                (Some(state), Some(p)) => resume_study_budgeted_checkpointed(&state, p, &budget),
+                (Some(state), None) => resume_study_budgeted(&state, &budget),
+                (None, Some(p)) => run_study_budgeted_checkpointed(config, campaign, p, &budget),
+                (None, None) => run_study_budgeted(config, campaign, &budget),
+            }
+        } else {
+            eprintln!("# building ecosystem and running the 38-day budgeted campaign...");
+            match &policy {
+                Some(p) => run_study_budgeted_checkpointed(config, campaign, p, &budget),
+                None => run_study_budgeted(config, campaign, &budget),
+            }
+        };
+        let run = result.unwrap_or_else(|e| exit_with(CliError::failed(format!("{e}"))));
+        eprintln!("# campaign done in {:.1?}\n", t0.elapsed());
+        print_budgeted_run(&run, report_out.as_deref());
+        return;
+    }
     // `--halt-after-day N`: the deterministic mid-campaign kill. Runs the
     // checkpointed batch campaign to the requested day boundary, leaves
     // the snapshot chain on disk, and stops before final assembly.
@@ -453,6 +610,12 @@ fn main() {
         };
         match state {
             Some(mut state) => {
+                if state.budget.is_some() {
+                    exit_with(CliError::usage(
+                        "snapshot was written under --mem-budget; resume it with the \
+                         same --mem-budget (and the original --spill-dir)",
+                    ));
+                }
                 eprintln!(
                     "# resuming campaign from {} (day {}, threads {threads})",
                     path.display(),
@@ -511,6 +674,13 @@ fn main() {
         );
     }
     if artifact == "run" {
+        if let Some(path) = &report_out {
+            // lint:allow(D6, D13) operator-requested report export, outside the durability domain
+            if let Err(e) = std::fs::write(path, ds.campaign_report().as_bytes()) {
+                exit_with(CliError::failed(format!("{}: {e}", path.display())));
+            }
+            eprintln!("# report written to {}", path.display());
+        }
         let tot = ds.totals();
         println!(
             "campaign complete: {} tweets, {} group URLs, {} joined groups, {} messages",
@@ -659,6 +829,43 @@ fn parse_outage(arg: &str, ban: bool) -> (usize, OutageSpec) {
 /// I/O errors. Threaded back to [`exit_with`] through `Result` so the
 /// subcommand bodies stay ordinary fallible functions instead of
 /// sprinkling `process::exit` through every filesystem touch.
+/// Print the budgeted `run` summary: Table 2 totals, the accountant's
+/// final statistics, and (optionally) the canonical report bytes to a
+/// file for byte-comparison against an unbudgeted run.
+fn print_budgeted_run(run: &BudgetedRun, report_out: Option<&std::path::Path>) {
+    if let Some(path) = report_out {
+        // lint:allow(D6, D13) operator-requested report export, outside the durability domain
+        if let Err(e) = std::fs::write(path, run.report.as_bytes()) {
+            exit_with(CliError::failed(format!("{}: {e}", path.display())));
+        }
+        eprintln!("# report written to {}", path.display());
+    }
+    let tot = run.totals;
+    println!(
+        "campaign complete: {} tweets, {} group URLs, {} joined groups, {} messages",
+        fmt_count(tot.tweets),
+        fmt_count(tot.group_urls),
+        fmt_count(tot.joined_groups),
+        fmt_count(tot.messages)
+    );
+    let s = &run.stats;
+    let limit = match s.limit {
+        Some(b) => fmt_bytes(b),
+        None => "min".to_string(),
+    };
+    println!(
+        "budget: limit {limit}, floor {}, resident peak {}, spilled {} partition(s) ({}), \
+         evictions {}, faults {}, torn detected {}",
+        fmt_bytes(s.floor),
+        fmt_bytes(s.resident_peak),
+        fmt_count(s.partitions),
+        fmt_bytes(s.spilled_bytes),
+        fmt_count(s.evictions),
+        fmt_count(s.faults),
+        fmt_count(s.torn_detected),
+    );
+}
+
 struct CliError {
     message: String,
     code: i32,

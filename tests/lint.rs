@@ -93,6 +93,12 @@ fn fixtures() -> Vec<(Rule, &'static str, &'static str, &'static str)> {
             "fn f() -> String { std::fs::read_to_string(\"in.json\").unwrap() }",
             "// lint:allow(D13) fixture: diagnostic read outside the durability domain\nfn f() -> String { std::fs::read_to_string(\"in.json\").unwrap() }",
         ),
+        (
+            Rule::D14,
+            "crates/core/src/fixture.rs",
+            "fn f(doc: &WireDoc) -> Vec<u8> { Vec::with_capacity(doc.req_u64(\"n\").unwrap_or(0) as usize) }",
+            "fn f(doc: &WireDoc) -> Vec<u8> {\n // lint:allow(D14) fixture: page size capped by the transport frame limit upstream\n Vec::with_capacity(doc.req_u64(\"n\").unwrap_or(0) as usize)\n}",
+        ),
     ]
 }
 
@@ -171,7 +177,7 @@ fn the_real_workspace_tree_is_clean() {
     // number requires a justification comment at the new site. The audit
     // rules guarantee each one both suppresses a real finding and carries
     // a justification, so the count is exact, not a ceiling.
-    assert_eq!(report.suppressed, 47, "unexpected lint:allow pragma count");
+    assert_eq!(report.suppressed, 65, "unexpected lint:allow pragma count");
 }
 
 #[test]
